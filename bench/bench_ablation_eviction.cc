@@ -1,0 +1,51 @@
+// Ablation: composing Optimus with keep-alive-class work (§2.2).
+//
+// The paper states the first class of cold-start mitigation (pre-warming /
+// keep-alive policies such as FaasCache's greedy-dual caching) is
+// complementary to Optimus. This bench runs LRU vs greedy-dual eviction for
+// both OpenWhisk and Optimus: greedy-dual preferentially evicts containers
+// whose models are cheap to reload, which helps every system — and stacks
+// with inter-function model transformation.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace optimus {
+namespace {
+
+void Run() {
+  const AnalyticCostModel costs;
+  const auto models = benchutil::EndToEndModels();
+  const auto names = benchutil::NamesOf(models);
+  const Trace trace = benchutil::AzureWorkload(names);
+
+  benchutil::PrintHeader(
+      "Ablation: eviction policy (LRU vs FaasCache-style greedy-dual), Azure-like workload");
+  std::printf("%-12s %-14s %12s %10s %12s\n", "system", "eviction", "service(s)", "cold%",
+              "transform%");
+  benchutil::PrintRule(66);
+
+  for (const SystemType system : {SystemType::kOpenWhisk, SystemType::kOptimus}) {
+    for (const EvictionPolicy eviction : {EvictionPolicy::kLru, EvictionPolicy::kGreedyDual}) {
+      SimConfig config = benchutil::BaseSimConfig(system);
+      config.eviction = eviction;
+      const SimResult result = RunSimulation(models, trace, config, costs);
+      std::printf("%-12s %-14s %12.3f %9.2f%% %11.2f%%\n", SystemTypeName(system),
+                  eviction == EvictionPolicy::kLru ? "LRU" : "greedy-dual",
+                  result.AvgServiceTime(), 100.0 * result.FractionOf(StartType::kCold),
+                  100.0 * result.FractionOf(StartType::kTransform));
+    }
+  }
+  std::printf(
+      "\nPaper check (§2.2): keep-alive-class policies are complementary — greedy-dual\n"
+      "improves (or at least does not hurt) both OpenWhisk and Optimus.\n");
+}
+
+}  // namespace
+}  // namespace optimus
+
+int main() {
+  optimus::Run();
+  return 0;
+}

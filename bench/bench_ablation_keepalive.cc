@@ -1,0 +1,55 @@
+// Ablation: keep-alive window and §4.2 idle-threshold sweep.
+//
+// The 10-minute keep-alive and 60-second idle threshold are the paper's
+// defaults; this bench shows how Optimus' service time and start-type mix
+// respond to both knobs under the Poisson workload.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace optimus {
+namespace {
+
+void Run() {
+  const AnalyticCostModel costs;
+  const auto models = benchutil::EndToEndModels();
+  const auto names = benchutil::NamesOf(models);
+  const Trace trace = benchutil::PoissonWorkload(names);
+
+  benchutil::PrintHeader("Ablation: keep-alive window (idle threshold fixed at 60s)");
+  std::printf("%-16s %12s %10s %12s %10s\n", "keep-alive(s)", "service(s)", "cold%",
+              "transform%", "warm%");
+  benchutil::PrintRule(64);
+  for (const double keep_alive : {120.0, 300.0, 600.0, 1200.0, 2400.0}) {
+    SimConfig config = benchutil::BaseSimConfig(SystemType::kOptimus);
+    config.keep_alive = keep_alive;
+    const SimResult result = RunSimulation(models, trace, config, costs);
+    std::printf("%-16.0f %12.3f %9.2f%% %11.2f%% %9.2f%%\n", keep_alive,
+                result.AvgServiceTime(), 100.0 * result.FractionOf(StartType::kCold),
+                100.0 * result.FractionOf(StartType::kTransform),
+                100.0 * result.FractionOf(StartType::kWarm));
+  }
+
+  benchutil::PrintHeader("Ablation: idle threshold (keep-alive fixed at 600s)");
+  std::printf("%-16s %12s %10s %12s %10s\n", "threshold(s)", "service(s)", "cold%", "transform%",
+              "warm%");
+  benchutil::PrintRule(64);
+  for (const double threshold : {15.0, 30.0, 60.0, 120.0, 300.0}) {
+    SimConfig config = benchutil::BaseSimConfig(SystemType::kOptimus);
+    config.idle_threshold = threshold;
+    const SimResult result = RunSimulation(models, trace, config, costs);
+    std::printf("%-16.0f %12.3f %9.2f%% %11.2f%% %9.2f%%\n", threshold, result.AvgServiceTime(),
+                100.0 * result.FractionOf(StartType::kCold),
+                100.0 * result.FractionOf(StartType::kTransform),
+                100.0 * result.FractionOf(StartType::kWarm));
+  }
+}
+
+}  // namespace
+}  // namespace optimus
+
+int main() {
+  optimus::Run();
+  return 0;
+}

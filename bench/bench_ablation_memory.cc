@@ -1,0 +1,47 @@
+// Ablation: fine-grained vs homogeneous container memory allocation (§6).
+//
+// The paper notes two limitations of homogeneous allocation: memory is
+// wasted when small models get large containers, and too few containers fit
+// a memory-limited node. Fine-grained allocation sizes containers to their
+// models, fitting more containers (more warm starts) — but a small donor
+// container can no longer host a larger model, trimming the donor pool.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace optimus {
+namespace {
+
+void RunWithBudget(const char* label, int64_t node_memory_bytes) {
+  const AnalyticCostModel costs;
+  const auto models = benchutil::EndToEndModels();
+  const auto names = benchutil::NamesOf(models);
+  const Trace trace = benchutil::AzureWorkload(names);
+
+  benchutil::PrintHeader(std::string("Ablation: container memory allocation, ") + label);
+  std::printf("%-28s %12s %10s %12s %10s %12s\n", "allocation", "service(s)", "cold%",
+              "transform%", "warm%", "p95(s)");
+  benchutil::PrintRule(90);
+  for (const bool fine_grained : {false, true}) {
+    SimConfig config = benchutil::BaseSimConfig(SystemType::kOptimus);
+    config.node_memory_bytes = node_memory_bytes;
+    config.fine_grained_containers = fine_grained;
+    const SimResult result = RunSimulation(models, trace, config, costs);
+    std::printf("%-28s %12.3f %9.2f%% %11.2f%% %9.2f%% %12.3f\n",
+                fine_grained ? "fine-grained (model-sized)" : "homogeneous (4 GiB each)",
+                result.AvgServiceTime(), 100.0 * result.FractionOf(StartType::kCold),
+                100.0 * result.FractionOf(StartType::kTransform),
+                100.0 * result.FractionOf(StartType::kWarm),
+                result.ServiceTimePercentile(0.95));
+  }
+}
+
+}  // namespace
+}  // namespace optimus
+
+int main() {
+  optimus::RunWithBudget("16 GiB per node", 16LL << 30);
+  optimus::RunWithBudget("8 GiB per node", 8LL << 30);
+  return 0;
+}

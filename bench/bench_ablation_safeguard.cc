@@ -1,0 +1,68 @@
+// Ablation: the safeguard of §4.4 Module 3.
+//
+// Compares, over every ordered pair of the 21 representative models, the
+// latency of (a) always transforming, (b) always scratch-loading, and
+// (c) the safeguard (min of the two per pair). The safeguard should match
+// the best of both worlds: equal to always-transform where transformation
+// wins and never worse than scratch anywhere.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/transformer.h"
+
+namespace optimus {
+namespace {
+
+void Run() {
+  AnalyticCostModel costs;
+  Transformer transformer(&costs);
+  const std::vector<Model> models = benchutil::EndToEndModels();
+
+  double always_transform = 0.0;
+  double always_scratch = 0.0;
+  double safeguarded = 0.0;
+  int pairs = 0;
+  int fallbacks = 0;
+  double worst_transform_penalty = 0.0;
+  for (const Model& source : models) {
+    for (const Model& dest : models) {
+      if (source.name() == dest.name()) {
+        continue;
+      }
+      const TransformDecision decision = transformer.Decide(source, dest);
+      always_transform += decision.transform_cost;
+      always_scratch += decision.scratch_cost;
+      safeguarded += decision.ChosenCost();
+      ++pairs;
+      if (!decision.use_transform) {
+        ++fallbacks;
+        worst_transform_penalty =
+            std::max(worst_transform_penalty, decision.transform_cost - decision.scratch_cost);
+      }
+    }
+  }
+
+  benchutil::PrintHeader("Ablation: safeguard on/off over all 21x20 model pairs");
+  std::printf("%-36s %14s\n", "policy", "total load(s)");
+  benchutil::PrintRule(52);
+  std::printf("%-36s %14.3f\n", "always transform (no safeguard)", always_transform);
+  std::printf("%-36s %14.3f\n", "always scratch (no transformation)", always_scratch);
+  std::printf("%-36s %14.3f\n", "safeguard (Optimus)", safeguarded);
+  std::printf(
+      "\npairs: %d, safeguard fallbacks: %d\n"
+      "worst per-pair penalty avoided by the safeguard: %.3fs\n"
+      "safeguard vs always-transform: %.2f%% lower; vs always-scratch: %.2f%% lower\n",
+      pairs, fallbacks, worst_transform_penalty,
+      100.0 * (always_transform - safeguarded) / always_transform,
+      100.0 * (always_scratch - safeguarded) / always_scratch);
+}
+
+}  // namespace
+}  // namespace optimus
+
+int main() {
+  optimus::Run();
+  return 0;
+}

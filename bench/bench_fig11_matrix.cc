@@ -1,0 +1,102 @@
+// Figure 11: inter-function model transformation latency between the 21
+// representative models (11 CNNs + 10 BERT variations), plus the scratch-load
+// row.
+//
+// Entry (i, j) is the safeguard-aware latency of turning model i's container
+// into model j (diagonal = same structure, different weights). The final row
+// is loading model j from scratch.
+//
+// Expected shape (paper §8.2): transformation cuts latency by up to ~99%
+// within a family; the matrix is asymmetric (large->small < small->large);
+// same-family entries beat cross-family entries; diagonal (weight swap) is
+// cheapest; CNN<->transformer entries hit the safeguard and equal the
+// scratch-load row.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/transformer.h"
+
+namespace optimus {
+namespace {
+
+void Run() {
+  AnalyticCostModel costs;
+  Transformer transformer(&costs);
+  const std::vector<Model> models = benchutil::EndToEndModels();
+  const size_t n = models.size();
+
+  benchutil::PrintHeader(
+      "Figure 11: transformation latency (s) between 21 representative models");
+  std::printf("%-18s", "from\\to");
+  for (size_t j = 0; j < n; ++j) {
+    std::printf(" %5zu", j + 1);
+  }
+  std::printf("\n");
+  benchutil::PrintRule(18 + 6 * static_cast<int>(n));
+
+  double best_reduction = 0.0;
+  double total_reduction = 0.0;
+  int reduction_count = 0;
+  int safeguarded = 0;
+  for (size_t i = 0; i < n; ++i) {
+    std::printf("%2zu %-15.15s", i + 1, models[i].name().c_str());
+    for (size_t j = 0; j < n; ++j) {
+      double latency = 0.0;
+      if (i == j) {
+        // Same structure, different weights: pure Replace.
+        for (const auto& [id, op] : models[j].ops()) {
+          if (OpKindHasWeights(op.kind)) {
+            latency += costs.ReplaceCost(op.kind, op.attrs);
+          }
+        }
+      } else {
+        const TransformDecision decision = transformer.Decide(models[i], models[j]);
+        latency = decision.ChosenCost();
+        if (!decision.use_transform) {
+          ++safeguarded;
+        }
+        const double reduction = 100.0 * (decision.scratch_cost - latency) /
+                                 decision.scratch_cost;
+        best_reduction = std::max(best_reduction, reduction);
+        total_reduction += reduction;
+        ++reduction_count;
+      }
+      std::printf(" %5.2f", latency);
+    }
+    std::printf("\n");
+  }
+  std::printf("%-18s", "scratch load");
+  for (size_t j = 0; j < n; ++j) {
+    std::printf(" %5.2f", costs.ScratchLoadCost(models[j]));
+  }
+  std::printf("\n");
+
+  std::printf("\nmodel index: ");
+  for (size_t i = 0; i < n; ++i) {
+    std::printf("%zu=%s ", i + 1, models[i].name().c_str());
+  }
+  std::printf(
+      "\n\nbest latency reduction vs scratch: %.2f%% (paper: up to 99.08%%)\n"
+      "mean latency reduction vs scratch:  %.2f%%\n"
+      "safeguarded (scratch chosen) pairs: %d of %d\n",
+      best_reduction, total_reduction / reduction_count, safeguarded,
+      reduction_count);
+
+  // Asymmetry check: within-family large->small vs small->large.
+  const TransformDecision grow = transformer.Decide(models[0], models[2]);    // vgg11 -> vgg19.
+  const TransformDecision shrink = transformer.Decide(models[2], models[0]);  // vgg19 -> vgg11.
+  std::printf("asymmetry: vgg19->vgg11 %.3fs < vgg11->vgg19 %.3fs : %s\n",
+              shrink.ChosenCost(), grow.ChosenCost(),
+              shrink.ChosenCost() < grow.ChosenCost() ? "yes" : "NO");
+}
+
+}  // namespace
+}  // namespace optimus
+
+int main() {
+  optimus::Run();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Figure 12: large-scale evaluation of transformation latency — 500 random
+// transformation cases vs 500 scratch loads, in (a,b) the Imgclsmob-style zoo
+// and (c,d) the NAS-Bench-201 zoo.
+//
+// Expected shape (paper §8.2): transformation reduces model loading latency
+// by ~52.9% in Imgclsmob and ~94.5% in NASBench (NASBench models are
+// structurally near-identical, so almost everything is reused).
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/core/transformer.h"
+
+namespace optimus {
+namespace {
+
+struct Summary {
+  double min = 1e18;
+  double max = 0.0;
+  double total = 0.0;
+  int count = 0;
+
+  void Add(double value) {
+    min = std::min(min, value);
+    max = std::max(max, value);
+    total += value;
+    ++count;
+  }
+
+  double Avg() const { return count > 0 ? total / count : 0.0; }
+};
+
+void RunZoo(const char* label, const ModelRegistry& zoo, int cases, uint64_t seed) {
+  AnalyticCostModel costs;
+  Transformer transformer(&costs);
+  const std::vector<std::string> names = zoo.Names();
+  Rng rng(seed);
+
+  // Cache built models: building 500 pairs from scratch is wasteful.
+  std::map<std::string, Model> built;
+  auto get = [&](const std::string& name) -> const Model& {
+    auto it = built.find(name);
+    if (it == built.end()) {
+      it = built.emplace(name, zoo.Build(name)).first;
+    }
+    return it->second;
+  };
+
+  Summary transform;
+  Summary scratch;
+  for (int i = 0; i < cases; ++i) {
+    const std::string& from = names[rng.UniformInt(0, static_cast<int64_t>(names.size()) - 1)];
+    const std::string& to = names[rng.UniformInt(0, static_cast<int64_t>(names.size()) - 1)];
+    if (from == to) {
+      continue;
+    }
+    const TransformDecision decision = transformer.Decide(get(from), get(to));
+    transform.Add(decision.ChosenCost());
+    scratch.Add(decision.scratch_cost);
+  }
+
+  benchutil::PrintHeader(std::string("Figure 12: ") + label);
+  std::printf("%-32s %10s %10s %10s %8s\n", "case", "min(s)", "avg(s)", "max(s)", "n");
+  benchutil::PrintRule(76);
+  std::printf("%-32s %10.3f %10.3f %10.3f %8d\n", "transformation", transform.min,
+              transform.Avg(), transform.max, transform.count);
+  std::printf("%-32s %10.3f %10.3f %10.3f %8d\n", "loading from scratch", scratch.min,
+              scratch.Avg(), scratch.max, scratch.count);
+  std::printf("average loading-latency reduction: %.2f%%\n",
+              100.0 * (scratch.Avg() - transform.Avg()) / scratch.Avg());
+}
+
+}  // namespace
+}  // namespace optimus
+
+int main() {
+  {
+    const optimus::ModelRegistry zoo = optimus::ImgclsmobZoo();
+    optimus::RunZoo("500 random cases in the Imgclsmob-style zoo (paper: 52.88% reduction)", zoo,
+                    500, 11);
+  }
+  {
+    const optimus::ModelRegistry zoo = optimus::NasBenchZoo(120, 7);
+    optimus::RunZoo("500 random cases in the NAS-Bench-201 zoo (paper: 94.48% reduction)", zoo,
+                    500, 13);
+  }
+  return 0;
+}

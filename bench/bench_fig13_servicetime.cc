@@ -1,0 +1,55 @@
+// Figure 13: average service time of serverless ML inference requests under
+// the Poisson and Azure-like workloads, for OpenWhisk, Pagurus, Tetris and
+// Optimus.
+//
+// Expected shape (paper §8.3): Optimus reduces inference latency by
+// 24.00%~47.56% vs the other systems; Pagurus beats OpenWhisk (saves
+// sandbox/runtime init); Tetris sits between.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace optimus {
+namespace {
+
+void RunWorkload(const char* label, const std::vector<Model>& models, const Trace& trace) {
+  const AnalyticCostModel costs;
+  benchutil::PrintHeader(std::string("Figure 13: average service time, ") + label);
+  std::printf("%zu requests over %zu functions\n", trace.size(), models.size());
+  std::printf("%-12s %12s %10s %10s %10s %10s\n", "system", "service(s)", "wait(s)", "init(s)",
+              "load(s)", "compute(s)");
+  benchutil::PrintRule(70);
+
+  double optimus_time = 0.0;
+  double worst_time = 0.0;
+  double best_baseline = 1e18;
+  for (const SystemType system : benchutil::kAllSystems) {
+    const SimResult result =
+        RunSimulation(models, trace, benchutil::BaseSimConfig(system), costs);
+    const double service = result.AvgServiceTime();
+    std::printf("%-12s %12.3f %10.3f %10.3f %10.3f %10.3f\n", SystemTypeName(system), service,
+                result.AvgWait(), result.AvgInit(), result.AvgLoad(), result.AvgCompute());
+    if (system == SystemType::kOptimus) {
+      optimus_time = service;
+    } else {
+      worst_time = std::max(worst_time, service);
+      best_baseline = std::min(best_baseline, service);
+    }
+  }
+  std::printf("Optimus reduction: %.2f%% vs best baseline, %.2f%% vs worst (paper: 24.00%%~47.56%%)\n",
+              100.0 * (best_baseline - optimus_time) / best_baseline,
+              100.0 * (worst_time - optimus_time) / worst_time);
+}
+
+}  // namespace
+}  // namespace optimus
+
+int main() {
+  const auto models = optimus::benchutil::EndToEndModels();
+  const auto names = optimus::benchutil::NamesOf(models);
+  optimus::RunWorkload("Poisson workload", models, optimus::benchutil::PoissonWorkload(names));
+  optimus::RunWorkload("Azure-like workload", models, optimus::benchutil::AzureWorkload(names));
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 14: percentage of cold start, model transformation, and warm start
+// of requests under the Poisson and Azure-like workloads.
+//
+// Expected shape (paper §8.3): the inter-function container sharing systems
+// (Pagurus, Tetris, Optimus) replace cold starts with transformations;
+// Optimus has the lowest cold-start ratio.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace optimus {
+namespace {
+
+void RunWorkload(const char* label, const std::vector<Model>& models, const Trace& trace) {
+  const AnalyticCostModel costs;
+  benchutil::PrintHeader(std::string("Figure 14: start-type mix, ") + label);
+  std::printf("%-12s %10s %12s %10s\n", "system", "cold%", "transform%", "warm%");
+  benchutil::PrintRule(48);
+
+  double openwhisk_cold = 0.0;
+  double optimus_cold = 0.0;
+  for (const SystemType system : benchutil::kAllSystems) {
+    const SimResult result =
+        RunSimulation(models, trace, benchutil::BaseSimConfig(system), costs);
+    const double cold = 100.0 * result.FractionOf(StartType::kCold);
+    std::printf("%-12s %9.2f%% %11.2f%% %9.2f%%\n", SystemTypeName(system), cold,
+                100.0 * result.FractionOf(StartType::kTransform),
+                100.0 * result.FractionOf(StartType::kWarm));
+    if (system == SystemType::kOpenWhisk) {
+      openwhisk_cold = cold;
+    }
+    if (system == SystemType::kOptimus) {
+      optimus_cold = cold;
+    }
+  }
+  std::printf("cold-start ratio: Optimus %.2f%% vs OpenWhisk %.2f%%\n", optimus_cold,
+              openwhisk_cold);
+}
+
+}  // namespace
+}  // namespace optimus
+
+int main() {
+  const auto models = optimus::benchutil::EndToEndModels();
+  const auto names = optimus::benchutil::NamesOf(models);
+  optimus::RunWorkload("Poisson workload", models, optimus::benchutil::PoissonWorkload(names));
+  optimus::RunWorkload("Azure-like workload", models, optimus::benchutil::AzureWorkload(names));
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 15: latency proportion of the five meta-operators for three
+// inter-function model transformation cases.
+//
+// Expected shape (paper §8.4): ResNet50 -> ResNet101 is Add-heavy (the
+// destination has more CONVs); ResNet101 -> ResNet50 reuses existing CONVs
+// and uses Reduce with no Add; Replace cost tracks the destination's weight
+// volume.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/planner.h"
+#include "src/zoo/resnet.h"
+#include "src/zoo/vgg.h"
+
+namespace optimus {
+namespace {
+
+void PrintCase(const Model& source, const Model& dest) {
+  AnalyticCostModel costs;
+  const TransformPlan plan = PlanTransform(source, dest, costs, PlannerKind::kGroup);
+  const auto breakdown = plan.CostBreakdown();
+  std::printf("%-24s", (source.name() + " -> " + dest.name()).c_str());
+  for (int i = 0; i < kNumMetaOpKinds; ++i) {
+    const double share =
+        plan.total_cost > 0.0 ? 100.0 * breakdown[static_cast<size_t>(i)] / plan.total_cost : 0.0;
+    std::printf(" %6.1f%%(%3d)", share, plan.CountOf(static_cast<MetaOpKind>(i)));
+  }
+  std::printf(" %9.3fs\n", plan.total_cost);
+}
+
+void Run() {
+  benchutil::PrintHeader(
+      "Figure 15: meta-operator latency proportion (share%(count)) per transformation case");
+  std::printf("%-24s %12s %12s %12s %12s %12s %10s\n", "case", "Replace", "Reshape", "Reduce",
+              "Add", "Edge", "total");
+  benchutil::PrintRule(100);
+  PrintCase(BuildVgg(16), BuildVgg(19));
+  PrintCase(BuildResNet(50), BuildResNet(101));
+  PrintCase(BuildResNet(101), BuildResNet(50));
+}
+
+}  // namespace
+}  // namespace optimus
+
+int main() {
+  optimus::Run();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 16: average service time of serverless ML inference requests on
+// GPU-enabled servers.
+//
+// Expected shape (paper §8.5): Optimus reduces latency by 26.93%~57.08% vs
+// the other systems, and GPU service times exceed the CPU-only ones because
+// of GPU runtime initialization and host-to-device model loading.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace optimus {
+namespace {
+
+void RunWorkload(const char* label, const std::vector<Model>& models, const Trace& trace) {
+  const AnalyticCostModel costs;
+  benchutil::PrintHeader(std::string("Figure 16: GPU-enabled average service time, ") + label);
+  std::printf("%-12s %14s %14s %12s\n", "system", "gpu svc(s)", "cpu svc(s)", "gpu/cpu");
+  benchutil::PrintRule(56);
+
+  double optimus_gpu = 0.0;
+  double worst_gpu = 0.0;
+  double best_gpu_baseline = 1e18;
+  for (const SystemType system : benchutil::kAllSystems) {
+    SimConfig gpu_config = benchutil::BaseSimConfig(system);
+    gpu_config.profile = SystemProfile::Gpu();
+    const double gpu_service = RunSimulation(models, trace, gpu_config, costs).AvgServiceTime();
+    const double cpu_service =
+        RunSimulation(models, trace, benchutil::BaseSimConfig(system), costs).AvgServiceTime();
+    std::printf("%-12s %14.3f %14.3f %12.2f\n", SystemTypeName(system), gpu_service, cpu_service,
+                gpu_service / cpu_service);
+    if (system == SystemType::kOptimus) {
+      optimus_gpu = gpu_service;
+    } else {
+      worst_gpu = std::max(worst_gpu, gpu_service);
+      best_gpu_baseline = std::min(best_gpu_baseline, gpu_service);
+    }
+  }
+  std::printf(
+      "Optimus GPU reduction: %.2f%% vs best baseline, %.2f%% vs worst (paper: "
+      "26.93%%~57.08%%)\n",
+      100.0 * (best_gpu_baseline - optimus_gpu) / best_gpu_baseline,
+      100.0 * (worst_gpu - optimus_gpu) / worst_gpu);
+}
+
+}  // namespace
+}  // namespace optimus
+
+int main() {
+  const auto models = optimus::benchutil::EndToEndModels();
+  const auto names = optimus::benchutil::NamesOf(models);
+  optimus::RunWorkload("Poisson workload", models, optimus::benchutil::PoissonWorkload(names));
+  optimus::RunWorkload("Azure-like workload", models, optimus::benchutil::AzureWorkload(names));
+  return 0;
+}

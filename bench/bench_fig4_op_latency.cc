@@ -1,0 +1,76 @@
+// Figure 4: loading latency for the operation types of ResNet50.
+//
+// Expected shape (paper §3.2): operation types differ widely; weighted ops
+// (CONV, dense) load slower than weight-free ones (activation, pooling, add);
+// CONVs of different shapes load in different times (3x3x512 ≈ 1.79x of
+// 3x3x64).
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "src/runtime/cost_model.h"
+#include "src/zoo/chain_builder.h"
+#include "src/zoo/resnet.h"
+
+namespace optimus {
+namespace {
+
+void Run() {
+  const AnalyticCostModel costs;
+  const Model resnet = BuildResNet(50);
+
+  struct KindStats {
+    int count = 0;
+    double total = 0.0;
+    double min = 1e18;
+    double max = 0.0;
+  };
+  std::map<OpKind, KindStats> stats;
+  for (const auto& [id, op] : resnet.ops()) {
+    KindStats& entry = stats[op.kind];
+    const double cost = costs.OpStructureCost(op.kind, op.attrs);
+    entry.count += 1;
+    entry.total += cost;
+    entry.min = std::min(entry.min, cost);
+    entry.max = std::max(entry.max, cost);
+  }
+
+  benchutil::PrintHeader("Figure 4: per-operation loading latency in ResNet50");
+  std::printf("%-16s %6s %12s %12s %12s %8s\n", "operation", "count", "avg(ms)", "min(ms)",
+              "max(ms)", "weights");
+  benchutil::PrintRule(72);
+  for (const auto& [kind, entry] : stats) {
+    std::printf("%-16s %6d %12.3f %12.3f %12.3f %8s\n", OpKindName(kind), entry.count,
+                1e3 * entry.total / entry.count, 1e3 * entry.min, 1e3 * entry.max,
+                OpKindHasWeights(kind) ? "yes" : "no");
+  }
+
+  benchutil::PrintHeader("Figure 4 inset: CONV loading latency by shape");
+  std::printf("%-20s %12s\n", "conv shape", "load(ms)");
+  benchutil::PrintRule(34);
+  const struct {
+    const char* label;
+    OpAttributes attrs;
+  } shapes[] = {
+      {"1x1, out=64", ConvAttrs(1, 64, 64)},    {"3x3, out=64", ConvAttrs(3, 64, 64)},
+      {"3x3, out=256", ConvAttrs(3, 256, 256)}, {"3x3, out=512", ConvAttrs(3, 512, 512)},
+      {"7x7, out=64", ConvAttrs(7, 3, 64)},
+  };
+  for (const auto& shape : shapes) {
+    std::printf("%-20s %12.3f\n", shape.label,
+                1e3 * costs.OpStructureCost(OpKind::kConv2D, shape.attrs));
+  }
+  const double ratio = costs.OpStructureCost(OpKind::kConv2D, ConvAttrs(3, 512, 512)) /
+                       costs.OpStructureCost(OpKind::kConv2D, ConvAttrs(3, 64, 64));
+  std::printf("\n3x3x512 / 3x3x64 load ratio: %.2f (paper: ~1.79)\n", ratio);
+}
+
+}  // namespace
+}  // namespace optimus
+
+int main() {
+  optimus::Run();
+  return 0;
+}

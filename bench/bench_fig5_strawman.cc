@@ -1,0 +1,142 @@
+// Figure 5: the strawman system of §3.3.
+//
+//  (a) Same model structure, different weights: replacing weights in a warm
+//      container vs starting a new container from scratch (paper: 79.83%
+//      average latency reduction).
+//  (c) In-container scaling of CONV operations with varying kernel sizes:
+//      the diagonal is the scratch load time of each shape, off-diagonal
+//      (i, j) is the time to Reshape shape i into shape j (paper: scaling
+//      takes ~1/3 of a scratch load).
+//
+// Both the calibrated analytic costs and real wall-clock measurements over
+// the actual tensor data paths are reported.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/stopwatch.h"
+#include "src/runtime/cost_model.h"
+#include "src/tensor/tensor_ops.h"
+#include "src/zoo/chain_builder.h"
+#include "src/zoo/resnet.h"
+#include "src/zoo/vgg.h"
+
+namespace optimus {
+namespace {
+
+template <typename Body>
+double MedianSeconds(int repetitions, Body&& body) {
+  std::vector<double> samples;
+  for (int i = 0; i < repetitions; ++i) {
+    Stopwatch watch;
+    body();
+    samples.push_back(watch.ElapsedSeconds());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+void RunPartA() {
+  const AnalyticCostModel costs;
+  const SystemProfile profile = SystemProfile::Cpu();
+
+  benchutil::PrintHeader(
+      "Figure 5(a): same structure, different weights - weight swap vs cold start");
+  std::printf("%-12s %14s %14s %12s\n", "model", "cold(s)", "swap(s)", "reduction");
+  benchutil::PrintRule(56);
+
+  double total_reduction = 0.0;
+  const Model models[] = {BuildVgg(11),    BuildVgg(16),     BuildVgg(19),
+                          BuildResNet(50), BuildResNet(101), BuildResNet(152)};
+  for (const Model& model : models) {
+    const double cold = profile.InitCost() + costs.ScratchLoadCost(model);
+    // The swap replaces every weighted op's weights in the warm container.
+    double swap = 0.0;
+    for (const auto& [id, op] : model.ops()) {
+      if (OpKindHasWeights(op.kind)) {
+        swap += costs.ReplaceCost(op.kind, op.attrs);
+      }
+    }
+    const double reduction = 100.0 * (cold - swap) / cold;
+    total_reduction += reduction;
+    std::printf("%-12s %14.3f %14.3f %11.1f%%\n", model.name().c_str(), cold, swap, reduction);
+  }
+  std::printf("average reduction: %.1f%% (paper: 79.83%%)\n",
+              total_reduction / static_cast<double>(std::size(models)));
+}
+
+void RunPartC() {
+  const AnalyticCostModel costs;
+  const int64_t kernels[] = {1, 3, 5, 7};
+  constexpr int64_t kChannels = 64;
+
+  benchutil::PrintHeader(
+      "Figure 5(c): CONV scaling matrix, analytic (s). Diagonal = scratch load; (i,j) = reshape "
+      "i->j");
+  std::printf("%-12s", "from\\to");
+  for (const int64_t to : kernels) {
+    std::printf(" %7ldx%ld", to, to);
+  }
+  std::printf("\n");
+  benchutil::PrintRule(50);
+  for (const int64_t from : kernels) {
+    std::printf("%4ldx%-7ld", from, from);
+    for (const int64_t to : kernels) {
+      double value = 0.0;
+      if (from == to) {
+        value = costs.AddCost(OpKind::kConv2D, ConvAttrs(to, kChannels, kChannels));
+      } else {
+        value = costs.ReshapeCost(OpKind::kConv2D, ConvAttrs(from, kChannels, kChannels),
+                                  ConvAttrs(to, kChannels, kChannels));
+      }
+      std::printf(" %9.4f", value);
+    }
+    std::printf("\n");
+  }
+
+  benchutil::PrintHeader(
+      "Figure 5(c) measured: real tensor data path (ms). Diagonal = allocate+init; (i,j) = "
+      "crop/pad resize");
+  Rng rng(5);
+  std::printf("%-12s", "from\\to");
+  for (const int64_t to : kernels) {
+    std::printf(" %7ldx%ld", to, to);
+  }
+  std::printf("\n");
+  benchutil::PrintRule(50);
+  for (const int64_t from : kernels) {
+    Tensor source(Shape({from, from, kChannels, kChannels}));
+    source.FillRandom(&rng);
+    std::printf("%4ldx%-7ld", from, from);
+    for (const int64_t to : kernels) {
+      double seconds = 0.0;
+      if (from == to) {
+        seconds = MedianSeconds(9, [&] {
+          Operation op;
+          op.kind = OpKind::kConv2D;
+          op.attrs = ConvAttrs(to, kChannels, kChannels);
+          op.InitializeWeights(&rng);
+        });
+      } else {
+        const Shape target({to, to, kChannels, kChannels});
+        seconds = MedianSeconds(9, [&] { ResizeToShape(source, target); });
+      }
+      std::printf(" %9.4f", 1e3 * seconds);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nPaper check: off-diagonal (reshape) entries are well below the diagonal\n"
+      "(scratch) entry of their column - in-container scaling beats reloading.\n");
+}
+
+}  // namespace
+}  // namespace optimus
+
+int main() {
+  optimus::RunPartA();
+  optimus::RunPartC();
+  return 0;
+}

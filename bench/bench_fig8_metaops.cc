@@ -1,0 +1,91 @@
+// Figure 8: execution time of the five meta-operators over representative
+// ResNet50 operations, from the offline profiling module (§4.4, Module 1).
+//
+// Expected shape: Replace scales with destination weight size; Add scales
+// with operation type/shape (CONV and dense are expensive); Reshape scales
+// with the shape delta; Reduce is constant; Edge is negligible.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/executor.h"
+#include "src/core/planner.h"
+#include "src/runtime/cost_model.h"
+#include "src/runtime/loader.h"
+#include "src/zoo/chain_builder.h"
+#include "src/zoo/resnet.h"
+
+namespace optimus {
+namespace {
+
+void PrintAnalytic() {
+  const AnalyticCostModel costs;
+  benchutil::PrintHeader("Figure 8: meta-operator execution time (analytic, ms)");
+  std::printf("%-44s %12s\n", "meta-operator", "time(ms)");
+  benchutil::PrintRule(58);
+
+  const struct {
+    const char* label;
+    double seconds;
+  } rows[] = {
+      {"Replace  conv 1x1x64", costs.ReplaceCost(OpKind::kConv2D, ConvAttrs(1, 64, 64))},
+      {"Replace  conv 3x3x256", costs.ReplaceCost(OpKind::kConv2D, ConvAttrs(3, 256, 256))},
+      {"Replace  dense 2048x1000", costs.ReplaceCost(OpKind::kDense, DenseAttrs(2048, 1000))},
+      {"Replace  batchnorm 512", costs.ReplaceCost(OpKind::kBatchNorm, NormAttrs(512))},
+      {"Reshape  conv 3x3x64 -> 3x3x128",
+       costs.ReshapeCost(OpKind::kConv2D, ConvAttrs(3, 64, 64), ConvAttrs(3, 64, 128))},
+      {"Reshape  conv 3x3x256 -> 5x5x256",
+       costs.ReshapeCost(OpKind::kConv2D, ConvAttrs(3, 256, 256), ConvAttrs(5, 256, 256))},
+      {"Reshape  batchnorm 256 -> 512",
+       costs.ReshapeCost(OpKind::kBatchNorm, NormAttrs(256), NormAttrs(512))},
+      {"Reduce   (any op)", costs.ReduceCost()},
+      {"Add      activation", costs.AddCost(OpKind::kActivation, ReluAttrs())},
+      {"Add      pooling", costs.AddCost(OpKind::kMaxPool, PoolAttrs(3, 2))},
+      {"Add      conv 1x1x64", costs.AddCost(OpKind::kConv2D, ConvAttrs(1, 64, 64))},
+      {"Add      conv 3x3x512", costs.AddCost(OpKind::kConv2D, ConvAttrs(3, 512, 512))},
+      {"Add      dense 2048x1000", costs.AddCost(OpKind::kDense, DenseAttrs(2048, 1000))},
+      {"Edge     (any edge)", costs.EdgeCost()},
+  };
+  for (const auto& row : rows) {
+    std::printf("%-44s %12.4f\n", row.label, 1e3 * row.seconds);
+  }
+}
+
+void PrintMeasured() {
+  // Real wall time: transform tiny ResNet pairs and report per-meta-operator
+  // execution time measured by the executor's instrumentation.
+  AnalyticCostModel costs;
+  Loader loader(&costs);
+  ResNetOptions narrow;
+  narrow.width_multiplier = 0.5;
+  Model r18 = BuildResNet(18, narrow);
+  r18.set_name("resnet18_half");
+  Model r34 = BuildResNet(34, narrow);
+  r34.set_name("resnet34_half");
+
+  ModelInstance source = loader.Instantiate(r18, 1);
+  const ModelInstance dest = loader.Instantiate(r34, 2);
+  const TransformPlan plan = PlanTransform(source.model, dest.model, costs, PlannerKind::kGroup);
+  const TransformExecutionStats stats = ExecutePlan(&source, dest.model, plan);
+
+  benchutil::PrintHeader(
+      "Figure 8 measured: per-kind wall time executing resnet18_half -> resnet34_half");
+  std::printf("%-12s %8s %14s %16s\n", "meta-op", "count", "total(ms)", "avg(ms/op)");
+  benchutil::PrintRule(54);
+  for (int i = 0; i < kNumMetaOpKinds; ++i) {
+    const int count = stats.count_by_kind[static_cast<size_t>(i)];
+    const double seconds = stats.seconds_by_kind[static_cast<size_t>(i)];
+    std::printf("%-12s %8d %14.4f %16.5f\n", MetaOpKindName(static_cast<MetaOpKind>(i)), count,
+                1e3 * seconds, count > 0 ? 1e3 * seconds / count : 0.0);
+  }
+  std::printf("total transformation wall time: %.3f ms\n", 1e3 * stats.total_seconds);
+}
+
+}  // namespace
+}  // namespace optimus
+
+int main() {
+  optimus::PrintAnalytic();
+  optimus::PrintMeasured();
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Wall-clock micro benchmarks (google-benchmark) over the real data paths:
+// tensor resize/overwrite, serialization, Munkres vs group planning, plan
+// execution, and the end-to-end transform-or-load pipeline.
+//
+// These complement the figure benches: the figures report calibrated virtual
+// latencies (machine-independent), while these measure what the C++
+// implementation actually costs on this machine.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/core/executor.h"
+#include "src/core/planner.h"
+#include "src/core/transformer.h"
+#include "src/graph/serialization.h"
+#include "src/runtime/loader.h"
+#include "src/tensor/tensor_ops.h"
+#include "src/zoo/resnet.h"
+#include "src/zoo/vgg.h"
+
+namespace optimus {
+namespace {
+
+Model HalfVgg(int depth) {
+  VggOptions options;
+  options.width_multiplier = 0.5;
+  Model model = BuildVgg(depth, options);
+  model.set_name("half_vgg" + std::to_string(depth));
+  return model;
+}
+
+Model HalfResNet(int depth) {
+  ResNetOptions options;
+  options.width_multiplier = 0.5;
+  Model model = BuildResNet(depth, options);
+  model.set_name("half_resnet" + std::to_string(depth));
+  return model;
+}
+
+void BM_TensorOverwrite(benchmark::State& state) {
+  Rng rng(1);
+  Tensor src(Shape({state.range(0), state.range(0)}));
+  src.FillRandom(&rng);
+  Tensor dst(Shape({state.range(0), state.range(0)}));
+  for (auto _ : state) {
+    OverwriteTensor(src, &dst);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * src.SizeBytes());
+}
+BENCHMARK(BM_TensorOverwrite)->Arg(64)->Arg(512)->Arg(2048);
+
+void BM_TensorResize(benchmark::State& state) {
+  Rng rng(2);
+  Tensor src(Shape({3, 3, state.range(0), state.range(0)}));
+  src.FillRandom(&rng);
+  const Shape target({5, 5, state.range(0), state.range(0)});
+  for (auto _ : state) {
+    Tensor out = ResizeToShape(src, target);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_TensorResize)->Arg(32)->Arg(128)->Arg(256);
+
+void BM_SerializeRoundTrip(benchmark::State& state) {
+  AnalyticCostModel costs;
+  Loader loader(&costs);
+  const ModelInstance instance = loader.Instantiate(HalfResNet(18), 1);
+  for (auto _ : state) {
+    const ModelFile file = SerializeModel(instance.model);
+    const Model restored = DeserializeModel(file);
+    benchmark::DoNotOptimize(restored.NumOps());
+  }
+}
+BENCHMARK(BM_SerializeRoundTrip);
+
+void BM_PlanBasic(benchmark::State& state) {
+  AnalyticCostModel costs;
+  const Model source = BuildVgg(16);
+  const Model dest = BuildResNet(50);
+  for (auto _ : state) {
+    const TransformPlan plan = PlanTransform(source, dest, costs, PlannerKind::kBasic);
+    benchmark::DoNotOptimize(plan.total_cost);
+  }
+}
+BENCHMARK(BM_PlanBasic)->Unit(benchmark::kMillisecond);
+
+void BM_PlanGroup(benchmark::State& state) {
+  AnalyticCostModel costs;
+  const Model source = BuildVgg(16);
+  const Model dest = BuildResNet(50);
+  for (auto _ : state) {
+    const TransformPlan plan = PlanTransform(source, dest, costs, PlannerKind::kGroup);
+    benchmark::DoNotOptimize(plan.total_cost);
+  }
+}
+BENCHMARK(BM_PlanGroup)->Unit(benchmark::kMillisecond);
+
+void BM_ExecutePlan(benchmark::State& state) {
+  AnalyticCostModel costs;
+  Loader loader(&costs);
+  const Model source_structure = HalfVgg(16);
+  const ModelInstance dest = loader.Instantiate(HalfVgg(19), 2);
+  const TransformPlan plan =
+      PlanTransform(source_structure, dest.model, costs, PlannerKind::kGroup);
+  for (auto _ : state) {
+    state.PauseTiming();
+    ModelInstance source = loader.Instantiate(source_structure, 1);
+    state.ResumeTiming();
+    const TransformExecutionStats stats = ExecutePlan(&source, dest.model, plan);
+    benchmark::DoNotOptimize(stats.total_seconds);
+  }
+}
+BENCHMARK(BM_ExecutePlan)->Unit(benchmark::kMillisecond);
+
+void BM_ScratchInstantiate(benchmark::State& state) {
+  AnalyticCostModel costs;
+  Loader loader(&costs);
+  const Model structure = HalfVgg(19);
+  for (auto _ : state) {
+    ModelInstance instance = loader.Instantiate(structure, 1);
+    benchmark::DoNotOptimize(instance.model.NumOps());
+  }
+}
+BENCHMARK(BM_ScratchInstantiate)->Unit(benchmark::kMillisecond);
+
+void BM_TransformOrLoad(benchmark::State& state) {
+  AnalyticCostModel costs;
+  Transformer transformer(&costs);
+  Loader loader(&costs);
+  const Model source_structure = HalfResNet(34);
+  const ModelInstance dest = loader.Instantiate(HalfResNet(18), 2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    ModelInstance instance = loader.Instantiate(source_structure, 1);
+    state.ResumeTiming();
+    const TransformOutcome outcome = transformer.TransformOrLoad(&instance, dest.model);
+    benchmark::DoNotOptimize(outcome.decision.use_transform);
+  }
+}
+BENCHMARK(BM_TransformOrLoad)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace optimus
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Scale sweep: how Optimus' advantage varies with cluster capacity.
+//
+// The paper's observation (§4.1) is that warm containers are scarce relative
+// to the number of model types; this sweep varies container slots per node
+// and node count under the Azure-like workload to show where transformation
+// matters most (tight capacity) and where every system converges (abundant
+// capacity, everything warm).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace optimus {
+namespace {
+
+void SweepContainers() {
+  const AnalyticCostModel costs;
+  const auto models = benchutil::EndToEndModels();
+  const auto names = benchutil::NamesOf(models);
+  const Trace trace = benchutil::AzureWorkload(names);
+
+  benchutil::PrintHeader("Scale sweep: containers per node (2 nodes, Azure-like workload)");
+  std::printf("%-12s", "containers");
+  for (const SystemType system : benchutil::kAllSystems) {
+    std::printf(" %12s", SystemTypeName(system));
+  }
+  std::printf(" %14s\n", "optimus gain");
+  benchutil::PrintRule(80);
+
+  for (const int containers : {2, 4, 6, 8, 12, 16}) {
+    std::printf("%-12d", containers);
+    double openwhisk = 0.0;
+    double optimus = 0.0;
+    for (const SystemType system : benchutil::kAllSystems) {
+      SimConfig config = benchutil::BaseSimConfig(system);
+      config.containers_per_node = containers;
+      const double service = RunSimulation(models, trace, config, costs).AvgServiceTime();
+      std::printf(" %12.3f", service);
+      if (system == SystemType::kOpenWhisk) {
+        openwhisk = service;
+      }
+      if (system == SystemType::kOptimus) {
+        optimus = service;
+      }
+    }
+    std::printf(" %13.1f%%\n", 100.0 * (openwhisk - optimus) / openwhisk);
+  }
+}
+
+void SweepNodes() {
+  const AnalyticCostModel costs;
+  const auto models = benchutil::EndToEndModels();
+  const auto names = benchutil::NamesOf(models);
+  const Trace trace = benchutil::AzureWorkload(names);
+
+  benchutil::PrintHeader("Scale sweep: node count (4 containers each, Azure-like workload)");
+  std::printf("%-12s %12s %12s %14s\n", "nodes", "OpenWhisk", "Optimus", "optimus gain");
+  benchutil::PrintRule(54);
+  for (const int nodes : {1, 2, 3, 4, 6}) {
+    double service[2] = {};
+    int i = 0;
+    for (const SystemType system : {SystemType::kOpenWhisk, SystemType::kOptimus}) {
+      SimConfig config = benchutil::BaseSimConfig(system);
+      config.num_nodes = nodes;
+      config.containers_per_node = 4;
+      service[i++] = RunSimulation(models, trace, config, costs).AvgServiceTime();
+    }
+    std::printf("%-12d %12.3f %12.3f %13.1f%%\n", nodes, service[0], service[1],
+                100.0 * (service[0] - service[1]) / service[0]);
+  }
+}
+
+}  // namespace
+}  // namespace optimus
+
+int main() {
+  optimus::SweepContainers();
+  optimus::SweepNodes();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Shared helpers for the figure/table reproduction benchmarks: fixed-width
+// table printing and the common experiment configuration.
+
+#ifndef OPTIMUS_BENCH_BENCH_UTIL_H_
+#define OPTIMUS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/balancer/balancer.h"
+#include "src/sim/simulator.h"
+#include "src/workload/azure.h"
+#include "src/workload/poisson.h"
+#include "src/zoo/registry.h"
+
+namespace optimus {
+namespace benchutil {
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PrintRule(int width = 100) {
+  for (int i = 0; i < width; ++i) {
+    std::putchar('-');
+  }
+  std::putchar('\n');
+}
+
+// The function set used by the end-to-end experiments (Figs. 13, 14, 16):
+// twelve CNNs spanning the Imgclsmob-style families plus the ten-variation
+// BERT zoo, mirroring §8.1's workloads.
+inline std::vector<Model> EndToEndModels() {
+  const ModelRegistry registry = RepresentativeModels();
+  std::vector<Model> models;
+  for (const std::string& name : RepresentativeModelNames()) {
+    models.push_back(registry.Build(name));
+  }
+  return models;
+}
+
+inline std::vector<std::string> NamesOf(const std::vector<Model>& models) {
+  std::vector<std::string> names;
+  names.reserve(models.size());
+  for (const Model& model : models) {
+    names.push_back(model.name());
+  }
+  return names;
+}
+
+// Cluster configuration shared by the end-to-end benches.
+inline SimConfig BaseSimConfig(SystemType system) {
+  SimConfig config;
+  config.system = system;
+  config.num_nodes = 2;
+  config.containers_per_node = 6;
+  // Optimus ships the §5.1 model sharing-aware balancer; the baselines use
+  // the hash placement of existing serverless platforms.
+  config.balancer.kind =
+      system == SystemType::kOptimus ? BalancerKind::kModelSharing : BalancerKind::kHash;
+  return config;
+}
+
+inline Trace PoissonWorkload(const std::vector<std::string>& functions) {
+  PoissonTraceOptions options;
+  options.horizon_seconds = 4.0 * 3600;
+  options.seed = 2024;
+  return GenerateMixedPoissonTrace(functions, options);
+}
+
+inline Trace AzureWorkload(const std::vector<std::string>& functions) {
+  AzureTraceOptions options;
+  options.horizon_seconds = 4.0 * 3600;
+  options.seed = 2024;
+  return GenerateAzureTrace(functions, options);
+}
+
+constexpr SystemType kAllSystems[] = {SystemType::kOpenWhisk, SystemType::kPagurus,
+                                      SystemType::kTetris, SystemType::kOptimus};
+
+}  // namespace benchutil
+}  // namespace optimus
+
+#endif  // OPTIMUS_BENCH_BENCH_UTIL_H_

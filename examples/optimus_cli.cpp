@@ -1,0 +1,201 @@
+// optimus_cli — a command-line tool over the library's public API.
+//
+// Commands:
+//   zoo                          list the representative model catalog
+//   describe <model>             print a model's operation graph
+//   plan <source> <dest>         plan a transformation (group planner) and
+//                                print the strategy + safeguard verdict
+//   matrix                       print the 21x21 transformation-cost matrix
+//   simulate <system>            run the Azure-like workload through a system
+//                                (openwhisk | pagurus | tetris | optimus)
+//   export-trace <path>          write the Azure-like workload to a CSV file
+//
+// With no arguments, prints usage and runs `zoo`.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/core/plan_io.h"
+#include "src/core/transformer.h"
+#include "src/graph/serialization.h"
+#include "src/sim/simulator.h"
+#include "src/workload/azure.h"
+#include "src/workload/trace_io.h"
+#include "src/zoo/registry.h"
+
+namespace optimus {
+namespace {
+
+int Usage() {
+  std::printf(
+      "usage: optimus_cli <command> [args]\n"
+      "  zoo                      list representative models\n"
+      "  describe <model>         print a model's operation graph\n"
+      "  plan <source> <dest>     plan source -> dest and print the strategy\n"
+      "  matrix                   21x21 transformation cost matrix (seconds)\n"
+      "  simulate <system>        run the Azure-like workload (openwhisk|pagurus|tetris|optimus)\n"
+      "  export-trace <path>      write the Azure-like workload as CSV\n");
+  return 2;
+}
+
+int CmdZoo() {
+  const ModelRegistry registry = RepresentativeModels();
+  std::printf("%-20s %-12s %10s %12s %8s\n", "model", "family", "ops", "params(M)", "MiB");
+  for (const std::string& name : RepresentativeModelNames()) {
+    const Model model = registry.Build(name);
+    std::printf("%-20s %-12s %10zu %12.1f %8.0f\n", name.c_str(), model.family().c_str(),
+                model.NumOps(), static_cast<double>(model.ParamCount()) / 1e6,
+                static_cast<double>(model.WeightBytes()) / (1024.0 * 1024.0));
+  }
+  return 0;
+}
+
+int CmdDescribe(const std::string& name) {
+  const ModelRegistry registry = RepresentativeModels();
+  if (!registry.Has(name)) {
+    std::fprintf(stderr, "unknown model '%s' (try `optimus_cli zoo`)\n", name.c_str());
+    return 1;
+  }
+  std::printf("%s", DescribeModel(registry.Build(name)).c_str());
+  return 0;
+}
+
+int CmdPlan(const std::string& source_name, const std::string& dest_name) {
+  const ModelRegistry registry = RepresentativeModels();
+  if (!registry.Has(source_name) || !registry.Has(dest_name)) {
+    std::fprintf(stderr, "unknown model (try `optimus_cli zoo`)\n");
+    return 1;
+  }
+  AnalyticCostModel costs;
+  Transformer transformer(&costs);
+  const Model source = registry.Build(source_name);
+  const Model dest = registry.Build(dest_name);
+  const TransformPlan& plan = transformer.cache().GetOrPlan(source, dest);
+  const TransformDecision decision = transformer.Decide(source, dest);
+  std::printf("%s\n", plan.ToString().c_str());
+  std::printf("planning took %.3f ms\n", 1e3 * plan.planning_seconds);
+  std::printf("estimated execution: %.3fs; scratch load: %.3fs; safeguard: %s\n",
+              decision.transform_cost, decision.scratch_cost,
+              decision.use_transform ? "TRANSFORM" : "LOAD FROM SCRATCH");
+  std::printf("\nserialized strategy:\n%s", SerializePlan(plan).c_str());
+  return 0;
+}
+
+int CmdMatrix() {
+  AnalyticCostModel costs;
+  Transformer transformer(&costs);
+  const ModelRegistry registry = RepresentativeModels();
+  const auto names = RepresentativeModelNames();
+  std::printf("%-18s", "from\\to");
+  for (size_t j = 0; j < names.size(); ++j) {
+    std::printf(" %5zu", j + 1);
+  }
+  std::printf("\n");
+  std::vector<Model> models;
+  for (const std::string& name : names) {
+    models.push_back(registry.Build(name));
+  }
+  for (size_t i = 0; i < models.size(); ++i) {
+    std::printf("%2zu %-15.15s", i + 1, names[i].c_str());
+    for (size_t j = 0; j < models.size(); ++j) {
+      if (i == j) {
+        std::printf("     -");
+        continue;
+      }
+      std::printf(" %5.2f", transformer.Decide(models[i], models[j]).ChosenCost());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int CmdSimulate(const std::string& system_name) {
+  SystemType system;
+  if (system_name == "openwhisk") {
+    system = SystemType::kOpenWhisk;
+  } else if (system_name == "pagurus") {
+    system = SystemType::kPagurus;
+  } else if (system_name == "tetris") {
+    system = SystemType::kTetris;
+  } else if (system_name == "optimus") {
+    system = SystemType::kOptimus;
+  } else {
+    std::fprintf(stderr, "unknown system '%s'\n", system_name.c_str());
+    return 1;
+  }
+  const ModelRegistry registry = RepresentativeModels();
+  std::vector<Model> models;
+  std::vector<std::string> names = RepresentativeModelNames();
+  for (const std::string& name : names) {
+    models.push_back(registry.Build(name));
+  }
+  AzureTraceOptions trace_options;
+  trace_options.horizon_seconds = 2.0 * 3600;
+  const Trace trace = GenerateAzureTrace(names, trace_options);
+
+  SimConfig config;
+  config.system = system;
+  config.num_nodes = 2;
+  config.containers_per_node = 6;
+  config.balancer.kind =
+      system == SystemType::kOptimus ? BalancerKind::kModelSharing : BalancerKind::kHash;
+  AnalyticCostModel costs;
+  const SimResult result = RunSimulation(models, trace, config, costs);
+  std::printf("%s on Azure-like workload (%zu requests):\n", SystemTypeName(system),
+              trace.size());
+  std::printf("  avg service %.3fs (p50 %.3fs, p95 %.3fs, p99 %.3fs)\n",
+              result.AvgServiceTime(), result.ServiceTimePercentile(0.5),
+              result.ServiceTimePercentile(0.95), result.ServiceTimePercentile(0.99));
+  std::printf("  start mix: %.1f%% warm, %.1f%% transform, %.1f%% cold\n",
+              100.0 * result.FractionOf(StartType::kWarm),
+              100.0 * result.FractionOf(StartType::kTransform),
+              100.0 * result.FractionOf(StartType::kCold));
+  return 0;
+}
+
+int CmdExportTrace(const std::string& path) {
+  AzureTraceOptions trace_options;
+  trace_options.horizon_seconds = 2.0 * 3600;
+  const Trace trace = GenerateAzureTrace(RepresentativeModelNames(), trace_options);
+  WriteTraceCsvFile(path, trace);
+  std::printf("wrote %zu invocations to %s\n", trace.size(), path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace optimus
+
+int main(int argc, char** argv) {
+  using namespace optimus;
+  if (argc < 2) {
+    Usage();
+    std::printf("\n");
+    return CmdZoo();
+  }
+  const std::string command = argv[1];
+  try {
+    if (command == "zoo") {
+      return CmdZoo();
+    }
+    if (command == "describe" && argc >= 3) {
+      return CmdDescribe(argv[2]);
+    }
+    if (command == "plan" && argc >= 4) {
+      return CmdPlan(argv[2], argv[3]);
+    }
+    if (command == "matrix") {
+      return CmdMatrix();
+    }
+    if (command == "simulate" && argc >= 3) {
+      return CmdSimulate(argv[2]);
+    }
+    if (command == "export-trace" && argc >= 3) {
+      return CmdExportTrace(argv[2]);
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  return Usage();
+}

@@ -1,0 +1,60 @@
+// Scenario: offline profiling (paper §4.4 Module 1) and online refresh (§6).
+//
+// Profiles the meta-operator data paths on *this* machine, builds a
+// MeasuredCostModel from the fit, and compares the transformation decisions
+// it produces against the paper-calibrated analytic model. Ends with an
+// online Refresh() to show profile updates at runtime.
+
+#include <cstdio>
+
+#include "src/core/transformer.h"
+#include "src/runtime/profiler.h"
+#include "src/zoo/mobilenet.h"
+#include "src/zoo/resnet.h"
+
+int main() {
+  using namespace optimus;
+
+  std::printf("profiling meta-operator data paths on this machine...\n");
+  const CostProfile profile = ProfileMachine(/*repetitions=*/5);
+  std::printf("%s\n\n", profile.ToString().c_str());
+
+  MeasuredCostModel measured(profile);
+  AnalyticCostModel analytic;
+
+  ResNetOptions narrow;
+  narrow.width_multiplier = 0.5;
+  Model r18 = BuildResNet(18, narrow);
+  r18.set_name("resnet18_half");
+  Model r34 = BuildResNet(34, narrow);
+  r34.set_name("resnet34_half");
+  MobileNetOptions mobile_options;
+  mobile_options.width_multiplier = 0.5;
+  const Model mobilenet = BuildMobileNet(mobile_options);
+
+  const struct {
+    const Model* source;
+    const Model* dest;
+  } cases[] = {{&r18, &r34}, {&r34, &r18}, {&mobilenet, &r18}};
+
+  std::printf("%-32s %16s %16s %10s\n", "case", "measured est(s)", "analytic est(s)",
+              "agree?");
+  for (const auto& pair : cases) {
+    Transformer measured_transformer(&measured);
+    Transformer analytic_transformer(&analytic);
+    const TransformDecision with_measured =
+        measured_transformer.Decide(*pair.source, *pair.dest);
+    const TransformDecision with_analytic =
+        analytic_transformer.Decide(*pair.source, *pair.dest);
+    std::printf("%-32s %16.4f %16.4f %10s\n",
+                (pair.source->name() + " -> " + pair.dest->name()).c_str(),
+                with_measured.ChosenCost(), with_analytic.ChosenCost(),
+                with_measured.use_transform == with_analytic.use_transform ? "yes" : "no");
+  }
+
+  std::printf("\nonline profiling refresh (§6)...\n");
+  measured.Refresh(/*repetitions=*/2);
+  std::printf("refreshed weight-assign throughput: %.2f GB/s\n",
+              1e-9 / measured.profile().weight_assign_per_byte);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Scenario: the §7 prototype end to end, in process.
+//
+// An OptimusPlatform instance plays gateway + scheduler: three CNN functions
+// and two BERT functions are Deploy()ed (plans pre-computed and cached at
+// registration), then a 30-minute request script is replayed through
+// Invoke(). Every request is served from a real container with real weights;
+// the log shows warm starts, inter-function transformations (with the donor),
+// and cold starts as containers go idle and expire.
+
+#include <cstdio>
+
+#include "src/core/platform.h"
+#include "src/zoo/bert.h"
+#include "src/zoo/resnet.h"
+#include "src/zoo/vgg.h"
+
+namespace {
+
+optimus::Model Quarter(optimus::Model (*builder)(int, const optimus::VggOptions&), int depth) {
+  optimus::VggOptions options;
+  options.width_multiplier = 0.25;
+  return builder(depth, options);
+}
+
+}  // namespace
+
+int main() {
+  using namespace optimus;
+
+  AnalyticCostModel costs;
+  PlatformOptions options;
+  options.num_nodes = 1;
+  options.containers_per_node = 3;
+  OptimusPlatform platform(&costs, options);
+
+  // Deploy the catalog (quarter-width for a fast demo).
+  platform.Deploy("vgg11", Quarter(&BuildVgg, 11));
+  platform.Deploy("vgg16", Quarter(&BuildVgg, 16));
+  platform.Deploy("vgg19", Quarter(&BuildVgg, 19));
+  {
+    BertConfig tiny = BertTinyConfig();
+    tiny.vocab_size = 2048;  // Scaled-down vocabulary for the demo.
+    platform.Deploy("bert_tiny", BuildBert(tiny));
+    BertConfig mini = BertMiniConfig();
+    mini.vocab_size = 2048;
+    platform.Deploy("bert_mini", BuildBert(mini));
+  }
+  std::printf("deployed %zu functions; plan cache holds %zu strategies\n\n",
+              platform.NumFunctions(), platform.plan_cache().Size());
+
+  // A request script: (time, function). The node has 3 container slots for
+  // 5 functions, so transformations kick in once slots fill and idle.
+  const struct {
+    double t;
+    const char* function;
+  } script[] = {
+      {0.0, "vgg16"},      {5.0, "vgg16"},      {10.0, "bert_tiny"}, {20.0, "vgg11"},
+      {95.0, "vgg19"},     {100.0, "vgg19"},    {180.0, "bert_mini"}, {185.0, "vgg19"},
+      {260.0, "vgg16"},    {265.0, "bert_mini"}, {340.0, "bert_tiny"}, {1200.0, "vgg11"},
+  };
+
+  const std::vector<float> input(8, 0.4f);
+  std::printf("%8s %-11s %-10s %-24s %14s\n", "time(s)", "function", "start", "donor",
+              "est latency(s)");
+  for (const auto& request : script) {
+    const InvokeResult result = platform.Invoke(request.function, input, request.t);
+    std::printf("%8.0f %-11s %-10s %-24s %14.3f\n", request.t, request.function,
+                StartTypeName(result.start),
+                result.donor_function.empty() ? "-" : result.donor_function.c_str(),
+                result.estimated_latency);
+  }
+
+  std::printf("\ntotals: %zu warm, %zu transformed, %zu cold over %zu requests; %zu containers live\n",
+              platform.WarmStarts(), platform.Transforms(), platform.ColdStarts(),
+              std::size(script), platform.NumLiveContainers());
+  return 0;
+}

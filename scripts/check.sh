@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Full verification: configure, build, run the test suite, then every
+# figure/table benchmark. Mirrors what CI would run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/bench_*; do
+  echo "==================== $b"
+  "$b"
+done

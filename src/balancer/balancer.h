@@ -1,0 +1,64 @@
+// Function-to-node placement (paper §5.1).
+//
+// The model sharing-aware balancer co-locates functions whose models are
+// structurally similar (small editing distance D) and whose demand dynamics
+// are complementary (low or negative correlation K), using K-medoids over the
+// combined distance gamma_d * D̂(A,B) + gamma_k * K̂(A,B). Hash-based and
+// load-based baselines represent the strategies existing serverless systems
+// use.
+
+#ifndef OPTIMUS_SRC_BALANCER_BALANCER_H_
+#define OPTIMUS_SRC_BALANCER_BALANCER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/graph/model.h"
+#include "src/runtime/cost_model.h"
+#include "src/workload/trace.h"
+
+namespace optimus {
+
+// function name -> node index in [0, num_nodes).
+using Placement = std::map<std::string, int>;
+
+enum class BalancerKind : uint8_t {
+  kHash = 0,        // Stateless hashing (existing systems' default).
+  kLoadBased,       // Spread expected demand evenly (resource-usage based).
+  kModelSharing,    // The §5.1 similarity + complementarity K-medoids scheme.
+};
+
+const char* BalancerKindName(BalancerKind kind);
+
+struct BalancerOptions {
+  BalancerKind kind = BalancerKind::kModelSharing;
+  // Combined-distance weights (the paper's gamma_i for D and gamma_j for K).
+  double gamma_distance = 0.6;
+  double gamma_correlation = 0.4;
+  // K-medoids granularity: the model-sharing balancer forms
+  // clusters_per_node * num_nodes clusters, then bin-packs whole clusters
+  // onto nodes by expected demand. >1 keeps node load even when cluster
+  // sizes are skewed.
+  int clusters_per_node = 2;
+  uint64_t seed = 1;
+};
+
+// Computes the placement of `models` (structure-only) onto `num_nodes` nodes.
+// `history` provides demand series for the correlation term (may be empty,
+// in which case K is treated as 0). The cost model supplies D via the group
+// planner's transformation cost.
+Placement PlaceFunctions(const std::vector<Model>& models, int num_nodes,
+                         const std::map<std::string, DemandSeries>& history,
+                         const CostModel& costs, const BalancerOptions& options);
+
+// The pairwise combined-distance matrix the model-sharing balancer clusters;
+// exposed for tests and ablation benchmarks. Distances are normalized to
+// [0, 1] per term before weighting, and symmetrized via min(D(a,b), D(b,a)).
+std::vector<std::vector<double>> CombinedDistanceMatrix(
+    const std::vector<Model>& models, const std::map<std::string, DemandSeries>& history,
+    const CostModel& costs, const BalancerOptions& options);
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_BALANCER_BALANCER_H_

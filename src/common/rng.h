@@ -1,0 +1,66 @@
+// Deterministic pseudo-random number generation for Optimus.
+//
+// Every stochastic component in the repository (model-zoo generation, workload
+// synthesis, simulation) draws from this generator so that experiments are
+// reproducible bit-for-bit from a seed.
+
+#ifndef OPTIMUS_SRC_COMMON_RNG_H_
+#define OPTIMUS_SRC_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace optimus {
+
+// A small, fast, deterministic RNG (xoshiro256** seeded via splitmix64).
+//
+// Not cryptographically secure; statistically strong enough for workload and
+// weight synthesis. Copyable; copies evolve independently.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Next raw 64-bit value.
+  uint64_t NextU64();
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Standard normal via Box-Muller.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  // Exponential inter-arrival sample with the given rate (events per unit
+  // time). Requires rate > 0.
+  double Exponential(double rate);
+
+  // Poisson-distributed count with the given mean. Uses inversion for small
+  // means and a normal approximation for large ones.
+  int64_t Poisson(double mean);
+
+  // Returns true with probability p.
+  bool Bernoulli(double p);
+
+  // Samples an index in [0, weights.size()) proportionally to weights.
+  // Requires a non-empty vector with a positive sum.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  // Derives an independent child generator; useful for giving each model or
+  // function its own stream without cross-coupling.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_COMMON_RNG_H_

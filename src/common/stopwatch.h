@@ -1,0 +1,29 @@
+// Wall-clock stopwatch used by the offline profiler and micro benchmarks.
+
+#ifndef OPTIMUS_SRC_COMMON_STOPWATCH_H_
+#define OPTIMUS_SRC_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace optimus {
+
+// Measures elapsed wall time in seconds. Started on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_COMMON_STOPWATCH_H_

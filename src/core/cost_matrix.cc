@@ -1,0 +1,52 @@
+#include "src/core/cost_matrix.h"
+
+namespace optimus {
+
+double SubstitutionCost(const Operation& src, const Operation& dst, const CostModel& costs) {
+  if (src.kind != dst.kind) {
+    return kForbiddenCost;
+  }
+  double cost = 0.0;
+  if (!(src.attrs == dst.attrs)) {
+    cost += costs.ReshapeCost(src.kind, src.attrs, dst.attrs);
+  }
+  // The destination function's weights always differ from the source's, so a
+  // Replace follows every kept weighted op.
+  cost += costs.ReplaceCost(dst.kind, dst.attrs);
+  return cost;
+}
+
+TransformCostMatrix BuildCostMatrix(const Model& source, const Model& dest,
+                                    const CostModel& costs) {
+  TransformCostMatrix matrix;
+  matrix.source_ids = source.TopologicalOrder();
+  matrix.dest_ids = dest.TopologicalOrder();
+  const size_t n = matrix.n();
+  const size_t m = matrix.m();
+  const size_t size = n + m;
+  matrix.costs.assign(size, std::vector<double>(size, kForbiddenCost));
+
+  for (size_t i = 0; i < n; ++i) {
+    const Operation& src_op = source.op(matrix.source_ids[i]);
+    // Substitutions.
+    for (size_t j = 0; j < m; ++j) {
+      matrix.costs[i][j] = SubstitutionCost(src_op, dest.op(matrix.dest_ids[j]), costs);
+    }
+    // Deletion diagonal.
+    matrix.costs[i][m + i] = costs.ReduceCost();
+  }
+  for (size_t j = 0; j < m; ++j) {
+    const Operation& dst_op = dest.op(matrix.dest_ids[j]);
+    // Insertion diagonal.
+    matrix.costs[n + j][j] = costs.AddCost(dst_op.kind, dst_op.attrs);
+  }
+  // Bottom-right block: epsilon-to-epsilon, zero cost.
+  for (size_t j = 0; j < m; ++j) {
+    for (size_t i = 0; i < n; ++i) {
+      matrix.costs[n + j][m + i] = 0.0;
+    }
+  }
+  return matrix;
+}
+
+}  // namespace optimus

@@ -1,0 +1,51 @@
+// Graph-edit-distance cost matrix for inter-function model transformation
+// (paper §4.4, Module 2; construction per Riesen & Bunke, 2009).
+//
+// For a source model with n ops and a destination with m ops, the matrix is
+// (n+m) x (n+m):
+//
+//   top-left  (n x m): substitution cost — Reshape (if attributes differ)
+//                      plus Replace of the destination weights; infinite when
+//                      the op kinds differ (cross-kind transformation is not
+//                      supported by the meta-operators).
+//   top-right (n x n): deletion — Reduce cost on the diagonal, infinite off it.
+//   bottom-left (m x m): insertion — Add cost on the diagonal, infinite off it.
+//   bottom-right (m x n): zero.
+
+#ifndef OPTIMUS_SRC_CORE_COST_MATRIX_H_
+#define OPTIMUS_SRC_CORE_COST_MATRIX_H_
+
+#include <vector>
+
+#include "src/graph/model.h"
+#include "src/runtime/cost_model.h"
+
+namespace optimus {
+
+// Sentinel for forbidden assignments. Large but finite so sums stay ordered.
+inline constexpr double kForbiddenCost = 1e12;
+
+struct TransformCostMatrix {
+  // Source / destination op ids in topological order; rows 0..n-1 of the
+  // matrix correspond to source_ids, columns 0..m-1 to dest_ids.
+  std::vector<OpId> source_ids;
+  std::vector<OpId> dest_ids;
+  // Row-major (n+m) x (n+m) costs.
+  std::vector<std::vector<double>> costs;
+
+  size_t n() const { return source_ids.size(); }
+  size_t m() const { return dest_ids.size(); }
+  size_t Size() const { return n() + m(); }
+};
+
+// Substitution cost of transforming source op `src` into destination op `dst`
+// via Reshape (if needed) + Replace; kForbiddenCost if kinds differ.
+double SubstitutionCost(const Operation& src, const Operation& dst, const CostModel& costs);
+
+// Builds the full edit-distance cost matrix for the pair of models.
+TransformCostMatrix BuildCostMatrix(const Model& source, const Model& dest,
+                                    const CostModel& costs);
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_CORE_COST_MATRIX_H_

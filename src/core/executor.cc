@@ -1,0 +1,136 @@
+#include "src/core/executor.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "src/common/stopwatch.h"
+#include "src/tensor/tensor_ops.h"
+
+namespace optimus {
+
+namespace {
+
+// Accumulates wall time into a per-kind slot.
+class KindTimer {
+ public:
+  explicit KindTimer(TransformExecutionStats* stats) : stats_(stats) {}
+
+  template <typename Body>
+  void Time(MetaOpKind kind, Body&& body) {
+    Stopwatch watch;
+    body();
+    const double elapsed = watch.ElapsedSeconds();
+    stats_->seconds_by_kind[static_cast<size_t>(kind)] += elapsed;
+    stats_->count_by_kind[static_cast<size_t>(kind)] += 1;
+    stats_->total_seconds += elapsed;
+  }
+
+ private:
+  TransformExecutionStats* stats_;
+};
+
+}  // namespace
+
+TransformExecutionStats ExecutePlan(ModelInstance* instance, const Model& dest,
+                                    const TransformPlan& plan) {
+  TransformExecutionStats stats;
+  KindTimer timer(&stats);
+  Model& source = instance->model;
+  if (!plan.source_name.empty() && plan.source_name != source.name()) {
+    throw std::runtime_error("ExecutePlan: plan was computed for source '" + plan.source_name +
+                             "' but the container holds '" + source.name() + "'");
+  }
+
+  Model result(dest.name(), dest.family());
+
+  // Matched ops carry over: Reshape adjusts structure in place (crop / pad of
+  // resident weight storage), Replace overwrites the weights with the
+  // destination function's.
+  for (const auto& [src_id, dst_id] : plan.mapping.matched) {
+    if (!source.HasOp(src_id)) {
+      throw std::runtime_error("ExecutePlan: plan references missing source op " +
+                               std::to_string(src_id));
+    }
+    const Operation& dst_op = dest.op(dst_id);
+    Operation op = std::move(source.mutable_op(src_id));
+    if (op.kind != dst_op.kind) {
+      throw std::runtime_error("ExecutePlan: matched ops of different kinds");
+    }
+    if (!(op.attrs == dst_op.attrs)) {
+      timer.Time(MetaOpKind::kReshape, [&] {
+        op.attrs = dst_op.attrs;
+        const std::vector<Shape> target_shapes = WeightShapesFor(op.kind, op.attrs);
+        for (size_t i = 0; i < op.weights.size() && i < target_shapes.size(); ++i) {
+          if (op.weights[i].shape() != target_shapes[i]) {
+            op.weights[i] = ResizeToShape(op.weights[i], target_shapes[i]);
+          }
+        }
+      });
+    }
+    if (OpKindHasWeights(op.kind) && !dst_op.weights.empty()) {
+      timer.Time(MetaOpKind::kReplace, [&] {
+        if (op.weights.size() != dst_op.weights.size()) {
+          op.AllocateWeights();
+        }
+        for (size_t i = 0; i < op.weights.size(); ++i) {
+          OverwriteTensor(dst_op.weights[i], &op.weights[i]);
+        }
+      });
+    }
+    op.id = dst_id;
+    result.AddOpWithId(std::move(op));
+  }
+
+  // Reduce: drop source ops with no destination counterpart. The actual
+  // storage release happens when the old model is replaced below.
+  for (const OpId src_id : plan.mapping.reduced) {
+    timer.Time(MetaOpKind::kReduce, [&] { source.RemoveOp(src_id); });
+  }
+
+  // Add: materialize brand-new destination ops (structure + weights).
+  for (const OpId dst_id : plan.mapping.added) {
+    timer.Time(MetaOpKind::kAdd, [&] {
+      Operation op;
+      const Operation& dst_op = dest.op(dst_id);
+      op.id = dst_id;
+      op.kind = dst_op.kind;
+      op.attrs = dst_op.attrs;
+      op.weights.reserve(dst_op.weights.size());
+      for (const Tensor& weight : dst_op.weights) {
+        op.weights.push_back(CopyTensor(weight));
+      }
+      result.AddOpWithId(std::move(op));
+    });
+  }
+
+  // Edge: start from the surviving (projected) source edges, then apply the
+  // planned additions/removals.
+  std::map<OpId, OpId> src_to_dst;
+  for (const auto& [src_id, dst_id] : plan.mapping.matched) {
+    src_to_dst[src_id] = dst_id;
+  }
+  for (const Edge& edge : source.edges()) {
+    auto from = src_to_dst.find(edge.first);
+    auto to = src_to_dst.find(edge.second);
+    if (from != src_to_dst.end() && to != src_to_dst.end()) {
+      result.AddEdge(from->second, to->second);
+    }
+  }
+  for (const MetaOp& step : plan.steps) {
+    if (step.kind != MetaOpKind::kEdge) {
+      continue;
+    }
+    timer.Time(MetaOpKind::kEdge, [&] {
+      if (step.edge_add) {
+        result.AddEdge(step.edge.first, step.edge.second);
+      } else {
+        result.RemoveEdge(step.edge.first, step.edge.second);
+      }
+    });
+  }
+
+  instance->model = std::move(result);
+  return stats;
+}
+
+}  // namespace optimus

@@ -1,0 +1,38 @@
+// Online execution of a transformation plan inside a container (paper §4.4,
+// Module 3 "online transformation execution").
+//
+// The executor mutates the warm container's resident ModelInstance into the
+// destination model by applying the planned meta-operators with real memory
+// traffic: Reshape crops/zero-pads weight tensors in place, Replace memcpy's
+// the destination function's weights over resident storage, Add materializes
+// fresh operations, Reduce drops them, Edge rewires data flows. The result is
+// bit-identical to a scratch-loaded destination instance.
+
+#ifndef OPTIMUS_SRC_CORE_EXECUTOR_H_
+#define OPTIMUS_SRC_CORE_EXECUTOR_H_
+
+#include <array>
+
+#include "src/core/meta_op.h"
+#include "src/runtime/loader.h"
+
+namespace optimus {
+
+// Wall-clock execution timings per meta-operator kind, plus the total.
+struct TransformExecutionStats {
+  std::array<double, kNumMetaOpKinds> seconds_by_kind{};
+  double total_seconds = 0.0;
+  std::array<int, kNumMetaOpKinds> count_by_kind{};
+};
+
+// Applies `plan` to `instance` (which currently holds the plan's source
+// model), pulling destination structure and weights from `dest` — the stand-in
+// for the destination function's model file. On return, instance->model is
+// Identical() to dest. Throws std::runtime_error if the plan does not match
+// the instance's resident model.
+TransformExecutionStats ExecutePlan(ModelInstance* instance, const Model& dest,
+                                    const TransformPlan& plan);
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_CORE_EXECUTOR_H_

@@ -1,0 +1,62 @@
+#include "src/core/meta_op.h"
+
+#include <sstream>
+
+namespace optimus {
+
+const char* MetaOpKindName(MetaOpKind kind) {
+  switch (kind) {
+    case MetaOpKind::kReplace:
+      return "Replace";
+    case MetaOpKind::kReshape:
+      return "Reshape";
+    case MetaOpKind::kReduce:
+      return "Reduce";
+    case MetaOpKind::kAdd:
+      return "Add";
+    case MetaOpKind::kEdge:
+      return "Edge";
+  }
+  return "Unknown";
+}
+
+int TransformPlan::CountOf(MetaOpKind kind) const {
+  int count = 0;
+  for (const MetaOp& step : steps) {
+    if (step.kind == kind) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+double TransformPlan::CostOf(MetaOpKind kind) const {
+  double cost = 0.0;
+  for (const MetaOp& step : steps) {
+    if (step.kind == kind) {
+      cost += step.cost;
+    }
+  }
+  return cost;
+}
+
+std::array<double, kNumMetaOpKinds> TransformPlan::CostBreakdown() const {
+  std::array<double, kNumMetaOpKinds> breakdown{};
+  for (const MetaOp& step : steps) {
+    breakdown[static_cast<size_t>(step.kind)] += step.cost;
+  }
+  return breakdown;
+}
+
+std::string TransformPlan::ToString() const {
+  std::ostringstream out;
+  out << "TransformPlan " << source_name << " -> " << dest_name << " (cost=" << total_cost
+      << "s, steps=" << steps.size() << ")";
+  for (int i = 0; i < kNumMetaOpKinds; ++i) {
+    const MetaOpKind kind = static_cast<MetaOpKind>(i);
+    out << " " << MetaOpKindName(kind) << "=" << CountOf(kind);
+  }
+  return out.str();
+}
+
+}  // namespace optimus

@@ -1,0 +1,75 @@
+// The five in-container transformation meta-operators (paper §4.3) and the
+// transformation plan — a sequence of meta-operators turning one model's
+// in-memory representation into another's.
+
+#ifndef OPTIMUS_SRC_CORE_META_OP_H_
+#define OPTIMUS_SRC_CORE_META_OP_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "src/graph/model.h"
+
+namespace optimus {
+
+enum class MetaOpKind : uint8_t {
+  kReplace = 0,  // Overwrite an op's weights with the destination's.
+  kReshape,      // Adjust an op's properties (kernel size, channels, ...).
+  kReduce,       // Delete a source op with no destination counterpart.
+  kAdd,          // Create a destination op with no source counterpart.
+  kEdge,         // Add/remove/redirect a data-flow edge.
+};
+
+inline constexpr int kNumMetaOpKinds = 5;
+
+const char* MetaOpKindName(MetaOpKind kind);
+
+// One planned meta-operator application.
+struct MetaOp {
+  MetaOpKind kind = MetaOpKind::kReplace;
+  // Op in the source model acted on (Replace/Reshape/Reduce).
+  OpId source_id = kInvalidOpId;
+  // Op in the destination model targeted (Replace/Reshape/Add).
+  OpId dest_id = kInvalidOpId;
+  // For kEdge: the edge in destination id space, and whether it is added
+  // (true) or removed (false).
+  Edge edge{kInvalidOpId, kInvalidOpId};
+  bool edge_add = true;
+  // Estimated execution cost (seconds), from the cost model.
+  double cost = 0.0;
+};
+
+// An op-level assignment between two models.
+struct OpMapping {
+  std::vector<std::pair<OpId, OpId>> matched;  // (source op, destination op).
+  std::vector<OpId> reduced;                   // Source ops to delete.
+  std::vector<OpId> added;                     // Destination ops to create.
+};
+
+// A complete transformation strategy from a source to a destination model.
+struct TransformPlan {
+  std::string source_name;
+  std::string dest_name;
+  // The op assignment the steps implement (kept for the executor: matched
+  // weight-free ops with identical attributes need no step but still carry
+  // over).
+  OpMapping mapping;
+  std::vector<MetaOp> steps;
+  // Estimated execution cost: sum of step costs.
+  double total_cost = 0.0;
+  // Wall-clock seconds the planner itself took (Table 1's "Planning").
+  double planning_seconds = 0.0;
+
+  int CountOf(MetaOpKind kind) const;
+  double CostOf(MetaOpKind kind) const;
+
+  // Estimated cost per meta-operator kind, indexed by MetaOpKind.
+  std::array<double, kNumMetaOpKinds> CostBreakdown() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_CORE_META_OP_H_

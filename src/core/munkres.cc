@@ -1,0 +1,82 @@
+#include "src/core/munkres.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace optimus {
+
+AssignmentResult SolveAssignment(const std::vector<std::vector<double>>& cost) {
+  const int k = static_cast<int>(cost.size());
+  if (k == 0) {
+    return {};
+  }
+  for (const auto& row : cost) {
+    if (static_cast<int>(row.size()) != k) {
+      throw std::invalid_argument("SolveAssignment: matrix must be square");
+    }
+  }
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // 1-indexed arrays per the classic formulation. way[j] tracks the previous
+  // column on the shortest augmenting path; u/v are the dual potentials.
+  std::vector<double> u(static_cast<size_t>(k) + 1, 0.0);
+  std::vector<double> v(static_cast<size_t>(k) + 1, 0.0);
+  std::vector<int> match(static_cast<size_t>(k) + 1, 0);  // match[j] = row assigned to column j.
+  std::vector<int> way(static_cast<size_t>(k) + 1, 0);
+
+  for (int i = 1; i <= k; ++i) {
+    match[0] = i;
+    int j0 = 0;
+    std::vector<double> min_cost(static_cast<size_t>(k) + 1, kInf);
+    std::vector<bool> used(static_cast<size_t>(k) + 1, false);
+    do {
+      used[static_cast<size_t>(j0)] = true;
+      const int i0 = match[static_cast<size_t>(j0)];
+      double delta = kInf;
+      int j1 = 0;
+      for (int j = 1; j <= k; ++j) {
+        if (used[static_cast<size_t>(j)]) {
+          continue;
+        }
+        const double current = cost[static_cast<size_t>(i0) - 1][static_cast<size_t>(j) - 1] -
+                               u[static_cast<size_t>(i0)] - v[static_cast<size_t>(j)];
+        if (current < min_cost[static_cast<size_t>(j)]) {
+          min_cost[static_cast<size_t>(j)] = current;
+          way[static_cast<size_t>(j)] = j0;
+        }
+        if (min_cost[static_cast<size_t>(j)] < delta) {
+          delta = min_cost[static_cast<size_t>(j)];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= k; ++j) {
+        if (used[static_cast<size_t>(j)]) {
+          u[static_cast<size_t>(match[static_cast<size_t>(j)])] += delta;
+          v[static_cast<size_t>(j)] -= delta;
+        } else {
+          min_cost[static_cast<size_t>(j)] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match[static_cast<size_t>(j0)] != 0);
+    // Augment along the path.
+    do {
+      const int j1 = way[static_cast<size_t>(j0)];
+      match[static_cast<size_t>(j0)] = match[static_cast<size_t>(j1)];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  AssignmentResult result;
+  result.assignment.assign(static_cast<size_t>(k), -1);
+  for (int j = 1; j <= k; ++j) {
+    result.assignment[static_cast<size_t>(match[static_cast<size_t>(j)]) - 1] = j - 1;
+  }
+  for (int i = 0; i < k; ++i) {
+    result.total_cost +=
+        cost[static_cast<size_t>(i)][static_cast<size_t>(result.assignment[static_cast<size_t>(i)])];
+  }
+  return result;
+}
+
+}  // namespace optimus

@@ -1,0 +1,28 @@
+// Munkres (Hungarian) assignment solver, O(k^3).
+//
+// Used by the Basic planner (paper §4.4, Module 2) to find the optimal
+// operation assignment over the edit-distance cost matrix, following
+// Riesen & Bunke's bipartite graph-matching formulation.
+
+#ifndef OPTIMUS_SRC_CORE_MUNKRES_H_
+#define OPTIMUS_SRC_CORE_MUNKRES_H_
+
+#include <vector>
+
+namespace optimus {
+
+struct AssignmentResult {
+  // assignment[row] = column matched to that row.
+  std::vector<int> assignment;
+  double total_cost = 0.0;
+};
+
+// Solves the square assignment problem: finds a permutation minimizing
+// sum cost[row][assignment[row]]. Requires a non-empty square matrix.
+// Implementation: shortest augmenting paths with dual potentials (the
+// Jonker-Volgenant refinement of the Munkres algorithm), O(k^3).
+AssignmentResult SolveAssignment(const std::vector<std::vector<double>>& cost);
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_CORE_MUNKRES_H_

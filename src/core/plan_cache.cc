@@ -1,0 +1,35 @@
+#include "src/core/plan_cache.h"
+
+#include "src/core/plan_io.h"
+
+namespace optimus {
+
+void PlanCache::Save(const std::string& path) const {
+  std::vector<TransformPlan> plans;
+  plans.reserve(plans_.size());
+  for (const auto& [key, plan] : plans_) {
+    plans.push_back(plan);
+  }
+  WritePlansToFile(path, plans);
+}
+
+void PlanCache::Load(const std::string& path) {
+  for (TransformPlan& plan : ReadPlansFromFile(path)) {
+    auto key = std::make_pair(plan.source_name, plan.dest_name);
+    plans_.insert_or_assign(std::move(key), std::move(plan));
+  }
+}
+
+const TransformPlan& PlanCache::GetOrPlan(const Model& source, const Model& dest) {
+  const auto key = std::make_pair(source.name(), dest.name());
+  auto it = plans_.find(key);
+  if (it != plans_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  TransformPlan plan = PlanTransform(source, dest, *costs_, planner_);
+  return plans_.emplace(key, std::move(plan)).first->second;
+}
+
+}  // namespace optimus

@@ -1,0 +1,65 @@
+// Planning-strategy cache (paper §4.4, Module 3 "planning strategy caching").
+//
+// When a new model registers in the global repository, Optimus plans its
+// transformations against the existing models and caches the strategies, so
+// an online transformation only reads the cached plan — no planning on the
+// request path.
+
+#ifndef OPTIMUS_SRC_CORE_PLAN_CACHE_H_
+#define OPTIMUS_SRC_CORE_PLAN_CACHE_H_
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "src/core/planner.h"
+
+namespace optimus {
+
+class PlanCache {
+ public:
+  explicit PlanCache(const CostModel* costs, PlannerKind planner = PlannerKind::kGroup)
+      : costs_(costs), planner_(planner) {}
+
+  // Returns the cached plan for (source, dest), planning and caching it on a
+  // miss. Keyed by model name; models are assumed immutable once registered.
+  const TransformPlan& GetOrPlan(const Model& source, const Model& dest);
+
+  // Pre-plans `model` against every model in `repository` (both directions),
+  // as the paper does at model-registration time.
+  template <typename ModelRange>
+  void WarmFor(const Model& model, const ModelRange& repository) {
+    for (const Model& other : repository) {
+      if (other.name() == model.name()) {
+        continue;
+      }
+      GetOrPlan(other, model);
+      GetOrPlan(model, other);
+    }
+  }
+
+  bool Contains(const std::string& source_name, const std::string& dest_name) const {
+    return plans_.count({source_name, dest_name}) > 0;
+  }
+
+  // Persists all cached strategies to a file / restores them (the §7 design
+  // stores plans with the models; restoring avoids re-planning on restart).
+  // Load merges into the cache, keyed by the plans' source/dest names.
+  void Save(const std::string& path) const;
+  void Load(const std::string& path);
+
+  size_t Size() const { return plans_.size(); }
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+
+ private:
+  const CostModel* costs_;
+  PlannerKind planner_;
+  std::map<std::pair<std::string, std::string>, TransformPlan> plans_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_CORE_PLAN_CACHE_H_

@@ -1,0 +1,192 @@
+#include "src/core/plan_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace optimus {
+
+namespace {
+
+constexpr char kRecordSeparator[] = "---";
+
+void ExpectTag(std::istringstream* line, const char* tag) {
+  std::string token;
+  *line >> token;
+  if (token != tag) {
+    throw std::runtime_error(std::string("DeserializePlan: expected '") + tag + "', got '" +
+                             token + "'");
+  }
+}
+
+}  // namespace
+
+std::string SerializePlan(const TransformPlan& plan) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "plan source " << plan.source_name << " dest " << plan.dest_name << "\n";
+  out << "cost " << plan.total_cost << " planning " << plan.planning_seconds << "\n";
+  out << "matched " << plan.mapping.matched.size();
+  for (const auto& [src, dst] : plan.mapping.matched) {
+    out << " " << src << ":" << dst;
+  }
+  out << "\nreduced " << plan.mapping.reduced.size();
+  for (const OpId id : plan.mapping.reduced) {
+    out << " " << id;
+  }
+  out << "\nadded " << plan.mapping.added.size();
+  for (const OpId id : plan.mapping.added) {
+    out << " " << id;
+  }
+  out << "\nsteps " << plan.steps.size() << "\n";
+  for (const MetaOp& step : plan.steps) {
+    out << static_cast<int>(step.kind) << " " << step.source_id << " " << step.dest_id << " "
+        << step.edge.first << " " << step.edge.second << " " << (step.edge_add ? 1 : 0) << " "
+        << step.cost << "\n";
+  }
+  return out.str();
+}
+
+TransformPlan DeserializePlan(const std::string& text) {
+  std::istringstream in(text);
+  TransformPlan plan;
+  std::string line;
+
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("DeserializePlan: empty input");
+  }
+  {
+    std::istringstream header(line);
+    ExpectTag(&header, "plan");
+    ExpectTag(&header, "source");
+    header >> plan.source_name;
+    ExpectTag(&header, "dest");
+    header >> plan.dest_name;
+  }
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("DeserializePlan: missing cost line");
+  }
+  {
+    std::istringstream costs(line);
+    ExpectTag(&costs, "cost");
+    costs >> plan.total_cost;
+    ExpectTag(&costs, "planning");
+    costs >> plan.planning_seconds;
+  }
+
+  auto read_ids = [&](const char* tag, std::vector<OpId>* ids) {
+    if (!std::getline(in, line)) {
+      throw std::runtime_error(std::string("DeserializePlan: missing ") + tag);
+    }
+    std::istringstream row(line);
+    ExpectTag(&row, tag);
+    size_t count = 0;
+    row >> count;
+    for (size_t i = 0; i < count; ++i) {
+      OpId id = kInvalidOpId;
+      if (!(row >> id)) {
+        throw std::runtime_error(std::string("DeserializePlan: truncated ") + tag);
+      }
+      ids->push_back(id);
+    }
+  };
+
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("DeserializePlan: missing matched line");
+  }
+  {
+    std::istringstream row(line);
+    ExpectTag(&row, "matched");
+    size_t count = 0;
+    row >> count;
+    for (size_t i = 0; i < count; ++i) {
+      std::string pair;
+      if (!(row >> pair)) {
+        throw std::runtime_error("DeserializePlan: truncated matched list");
+      }
+      const size_t colon = pair.find(':');
+      if (colon == std::string::npos) {
+        throw std::runtime_error("DeserializePlan: malformed matched pair " + pair);
+      }
+      plan.mapping.matched.emplace_back(std::stoi(pair.substr(0, colon)),
+                                        std::stoi(pair.substr(colon + 1)));
+    }
+  }
+  read_ids("reduced", &plan.mapping.reduced);
+  read_ids("added", &plan.mapping.added);
+
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("DeserializePlan: missing steps line");
+  }
+  size_t step_count = 0;
+  {
+    std::istringstream row(line);
+    ExpectTag(&row, "steps");
+    row >> step_count;
+  }
+  for (size_t i = 0; i < step_count; ++i) {
+    if (!std::getline(in, line)) {
+      throw std::runtime_error("DeserializePlan: truncated steps");
+    }
+    std::istringstream row(line);
+    MetaOp step;
+    int kind = 0;
+    int edge_add = 0;
+    if (!(row >> kind >> step.source_id >> step.dest_id >> step.edge.first >> step.edge.second >>
+          edge_add >> step.cost)) {
+      throw std::runtime_error("DeserializePlan: malformed step " + line);
+    }
+    if (kind < 0 || kind >= kNumMetaOpKinds) {
+      throw std::runtime_error("DeserializePlan: bad meta-op kind");
+    }
+    step.kind = static_cast<MetaOpKind>(kind);
+    step.edge_add = edge_add != 0;
+    plan.steps.push_back(step);
+  }
+  return plan;
+}
+
+void WritePlans(std::ostream& out, const std::vector<TransformPlan>& plans) {
+  for (const TransformPlan& plan : plans) {
+    out << SerializePlan(plan) << kRecordSeparator << "\n";
+  }
+}
+
+std::vector<TransformPlan> ReadPlans(std::istream& in) {
+  std::vector<TransformPlan> plans;
+  std::string record;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line == kRecordSeparator) {
+      if (!record.empty()) {
+        plans.push_back(DeserializePlan(record));
+        record.clear();
+      }
+      continue;
+    }
+    record += line;
+    record += "\n";
+  }
+  if (!record.empty()) {
+    plans.push_back(DeserializePlan(record));
+  }
+  return plans;
+}
+
+void WritePlansToFile(const std::string& path, const std::vector<TransformPlan>& plans) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("WritePlansToFile: cannot open " + path);
+  }
+  WritePlans(out, plans);
+}
+
+std::vector<TransformPlan> ReadPlansFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("ReadPlansFromFile: cannot open " + path);
+  }
+  return ReadPlans(in);
+}
+
+}  // namespace optimus

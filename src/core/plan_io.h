@@ -1,0 +1,35 @@
+// Transformation-plan serialization.
+//
+// The paper's prototype stores model-to-model transformation plans next to
+// the models in the repository (§7, "model-to-model transformation planning
+// [is] stored with the models in JSON format"). This module provides a
+// stable textual encoding for TransformPlan plus save/load of a whole
+// PlanCache, so planning done at registration survives process restarts.
+
+#ifndef OPTIMUS_SRC_CORE_PLAN_IO_H_
+#define OPTIMUS_SRC_CORE_PLAN_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/core/meta_op.h"
+
+namespace optimus {
+
+// Serializes a plan to a line-oriented textual form.
+std::string SerializePlan(const TransformPlan& plan);
+
+// Parses SerializePlan output. Throws std::runtime_error on malformed input.
+TransformPlan DeserializePlan(const std::string& text);
+
+// Writes/reads one plan per record to/from a stream ("---" separated).
+void WritePlans(std::ostream& out, const std::vector<TransformPlan>& plans);
+std::vector<TransformPlan> ReadPlans(std::istream& in);
+
+// Convenience file wrappers.
+void WritePlansToFile(const std::string& path, const std::vector<TransformPlan>& plans);
+std::vector<TransformPlan> ReadPlansFromFile(const std::string& path);
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_CORE_PLAN_IO_H_

@@ -1,0 +1,238 @@
+#include "src/core/planner.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+
+#include "src/common/stopwatch.h"
+#include "src/core/cost_matrix.h"
+#include "src/core/munkres.h"
+
+namespace optimus {
+
+namespace {
+
+// Maximum matrix size the brute-force planner will enumerate (9! ≈ 3.6e5).
+constexpr size_t kBruteForceLimit = 9;
+
+OpMapping MappingFromAssignment(const TransformCostMatrix& matrix,
+                                const std::vector<int>& assignment) {
+  OpMapping mapping;
+  const size_t n = matrix.n();
+  const size_t m = matrix.m();
+  for (size_t row = 0; row < n + m; ++row) {
+    const size_t col = static_cast<size_t>(assignment[row]);
+    if (row < n && col < m) {
+      // A substitution chosen despite a forbidden cost means the solver was
+      // cornered; treat it as delete + insert instead.
+      if (matrix.costs[row][col] >= kForbiddenCost / 2) {
+        mapping.reduced.push_back(matrix.source_ids[row]);
+        mapping.added.push_back(matrix.dest_ids[col]);
+      } else {
+        mapping.matched.emplace_back(matrix.source_ids[row], matrix.dest_ids[col]);
+      }
+    } else if (row < n) {
+      mapping.reduced.push_back(matrix.source_ids[row]);
+    } else if (col < m) {
+      mapping.added.push_back(matrix.dest_ids[col]);
+    }
+  }
+  return mapping;
+}
+
+OpMapping BruteForcePlan(const Model& source, const Model& dest, const CostModel& costs) {
+  const TransformCostMatrix matrix = BuildCostMatrix(source, dest, costs);
+  const size_t size = matrix.Size();
+  if (size > kBruteForceLimit) {
+    throw std::invalid_argument("BruteForcePlan: model pair too large (" + std::to_string(size) +
+                                " ops); use kBasic or kGroup");
+  }
+  std::vector<int> permutation(size);
+  std::iota(permutation.begin(), permutation.end(), 0);
+  std::vector<int> best = permutation;
+  double best_cost = kForbiddenCost * static_cast<double>(size);
+  do {
+    double cost = 0.0;
+    for (size_t row = 0; row < size; ++row) {
+      cost += matrix.costs[row][static_cast<size_t>(permutation[row])];
+      if (cost >= best_cost) {
+        break;
+      }
+    }
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = permutation;
+    }
+  } while (std::next_permutation(permutation.begin(), permutation.end()));
+  return MappingFromAssignment(matrix, best);
+}
+
+OpMapping BasicPlan(const Model& source, const Model& dest, const CostModel& costs) {
+  const TransformCostMatrix matrix = BuildCostMatrix(source, dest, costs);
+  const AssignmentResult result = SolveAssignment(matrix.costs);
+  return MappingFromAssignment(matrix, result.assignment);
+}
+
+// The linear-complexity group-based heuristic (Module 2+): bucket ops by
+// kind in topological order, then match the k-th op of each kind in the
+// source to the k-th of the same kind in the destination.
+OpMapping GroupPlan(const Model& source, const Model& dest) {
+  std::map<OpKind, std::vector<OpId>> source_groups;
+  std::map<OpKind, std::vector<OpId>> dest_groups;
+  for (const OpId id : source.TopologicalOrder()) {
+    source_groups[source.op(id).kind].push_back(id);
+  }
+  for (const OpId id : dest.TopologicalOrder()) {
+    dest_groups[dest.op(id).kind].push_back(id);
+  }
+
+  OpMapping mapping;
+  for (const auto& [kind, src_ids] : source_groups) {
+    auto it = dest_groups.find(kind);
+    const std::vector<OpId>* dst_ids = it == dest_groups.end() ? nullptr : &it->second;
+    const size_t matched = dst_ids == nullptr ? 0 : std::min(src_ids.size(), dst_ids->size());
+    for (size_t i = 0; i < matched; ++i) {
+      mapping.matched.emplace_back(src_ids[i], (*dst_ids)[i]);
+    }
+    for (size_t i = matched; i < src_ids.size(); ++i) {
+      mapping.reduced.push_back(src_ids[i]);
+    }
+  }
+  for (const auto& [kind, dst_ids] : dest_groups) {
+    auto it = source_groups.find(kind);
+    const size_t matched =
+        it == source_groups.end() ? 0 : std::min(it->second.size(), dst_ids.size());
+    for (size_t i = matched; i < dst_ids.size(); ++i) {
+      mapping.added.push_back(dst_ids[i]);
+    }
+  }
+  return mapping;
+}
+
+}  // namespace
+
+const char* PlannerKindName(PlannerKind kind) {
+  switch (kind) {
+    case PlannerKind::kBruteForce:
+      return "BruteForce";
+    case PlannerKind::kBasic:
+      return "Basic";
+    case PlannerKind::kGroup:
+      return "Group";
+  }
+  return "Unknown";
+}
+
+TransformPlan PlanFromMapping(const Model& source, const Model& dest, const CostModel& costs,
+                              const OpMapping& mapping) {
+  TransformPlan plan;
+  plan.source_name = source.name();
+  plan.dest_name = dest.name();
+  plan.mapping = mapping;
+
+  for (const auto& [src_id, dst_id] : mapping.matched) {
+    const Operation& src_op = source.op(src_id);
+    const Operation& dst_op = dest.op(dst_id);
+    if (!(src_op.attrs == dst_op.attrs)) {
+      MetaOp reshape;
+      reshape.kind = MetaOpKind::kReshape;
+      reshape.source_id = src_id;
+      reshape.dest_id = dst_id;
+      reshape.cost = costs.ReshapeCost(src_op.kind, src_op.attrs, dst_op.attrs);
+      plan.steps.push_back(reshape);
+    }
+    if (OpKindHasWeights(dst_op.kind)) {
+      MetaOp replace;
+      replace.kind = MetaOpKind::kReplace;
+      replace.source_id = src_id;
+      replace.dest_id = dst_id;
+      replace.cost = costs.ReplaceCost(dst_op.kind, dst_op.attrs);
+      plan.steps.push_back(replace);
+    }
+  }
+  for (const OpId src_id : mapping.reduced) {
+    MetaOp reduce;
+    reduce.kind = MetaOpKind::kReduce;
+    reduce.source_id = src_id;
+    reduce.cost = costs.ReduceCost();
+    plan.steps.push_back(reduce);
+  }
+  for (const OpId dst_id : mapping.added) {
+    const Operation& dst_op = dest.op(dst_id);
+    MetaOp add;
+    add.kind = MetaOpKind::kAdd;
+    add.dest_id = dst_id;
+    add.cost = costs.AddCost(dst_op.kind, dst_op.attrs);
+    plan.steps.push_back(add);
+  }
+
+  // Edge reconciliation: project surviving source edges into destination id
+  // space and diff against the destination's edges. Edges incident to reduced
+  // ops disappear with their op (covered by Reduce); edges incident to added
+  // ops appear here as additions.
+  std::map<OpId, OpId> src_to_dst;
+  for (const auto& [src_id, dst_id] : mapping.matched) {
+    src_to_dst[src_id] = dst_id;
+  }
+  std::set<Edge> surviving;
+  for (const Edge& edge : source.edges()) {
+    auto from = src_to_dst.find(edge.first);
+    auto to = src_to_dst.find(edge.second);
+    if (from != src_to_dst.end() && to != src_to_dst.end()) {
+      surviving.emplace(from->second, to->second);
+    }
+  }
+  for (const Edge& edge : surviving) {
+    if (!dest.edges().count(edge)) {
+      MetaOp edge_op;
+      edge_op.kind = MetaOpKind::kEdge;
+      edge_op.edge = edge;
+      edge_op.edge_add = false;
+      edge_op.cost = costs.EdgeCost();
+      plan.steps.push_back(edge_op);
+    }
+  }
+  for (const Edge& edge : dest.edges()) {
+    if (!surviving.count(edge)) {
+      MetaOp edge_op;
+      edge_op.kind = MetaOpKind::kEdge;
+      edge_op.edge = edge;
+      edge_op.edge_add = true;
+      edge_op.cost = costs.EdgeCost();
+      plan.steps.push_back(edge_op);
+    }
+  }
+
+  plan.total_cost = 0.0;
+  for (const MetaOp& step : plan.steps) {
+    plan.total_cost += step.cost;
+  }
+  return plan;
+}
+
+TransformPlan PlanTransform(const Model& source, const Model& dest, const CostModel& costs,
+                            PlannerKind kind) {
+  Stopwatch watch;
+  OpMapping mapping;
+  switch (kind) {
+    case PlannerKind::kBruteForce:
+      mapping = BruteForcePlan(source, dest, costs);
+      break;
+    case PlannerKind::kBasic:
+      mapping = BasicPlan(source, dest, costs);
+      break;
+    case PlannerKind::kGroup:
+      mapping = GroupPlan(source, dest);
+      break;
+  }
+  TransformPlan plan = PlanFromMapping(source, dest, costs, mapping);
+  plan.planning_seconds = watch.ElapsedSeconds();
+  return plan;
+}
+
+double ModelEditDistance(const Model& a, const Model& b, const CostModel& costs) {
+  return PlanTransform(a, b, costs, PlannerKind::kGroup).total_cost;
+}
+
+}  // namespace optimus

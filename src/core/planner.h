@@ -1,0 +1,43 @@
+// Transformation planning (paper §4.4, Modules 2 and 2+).
+//
+// Three planners share a common mapping-to-plan lowering:
+//  * kBruteForce — factorial enumeration; exact; only for tiny models (tests).
+//  * kBasic      — Munkres over the Riesen-Bunke cost matrix; optimal
+//                  assignment in O((n+m)^3) (Module 2).
+//  * kGroup      — the paper's linear-complexity group-based heuristic:
+//                  group ops by type, match sequentially within groups in
+//                  model depth order (Module 2+). O(n+m).
+
+#ifndef OPTIMUS_SRC_CORE_PLANNER_H_
+#define OPTIMUS_SRC_CORE_PLANNER_H_
+
+#include "src/core/meta_op.h"
+#include "src/runtime/cost_model.h"
+
+namespace optimus {
+
+enum class PlannerKind : uint8_t {
+  kBruteForce = 0,
+  kBasic,
+  kGroup,
+};
+
+const char* PlannerKindName(PlannerKind kind);
+
+// Lowers a mapping to a full plan: Reshape/Replace for matched pairs, Reduce
+// and Add for the rest, and the Edge operations reconciling the data flows.
+TransformPlan PlanFromMapping(const Model& source, const Model& dest, const CostModel& costs,
+                              const OpMapping& mapping);
+
+// Plans a transformation from `source` to `dest` with the chosen planner.
+// The returned plan records its own planning wall time.
+TransformPlan PlanTransform(const Model& source, const Model& dest, const CostModel& costs,
+                            PlannerKind kind = PlannerKind::kGroup);
+
+// Model editing distance D(A, B) used by the load balancer (§5.1): the total
+// estimated cost of the (group-planned) transformation.
+double ModelEditDistance(const Model& a, const Model& b, const CostModel& costs);
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_CORE_PLANNER_H_

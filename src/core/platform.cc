@@ -1,0 +1,162 @@
+#include "src/core/platform.h"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+#include "src/runtime/inference.h"
+
+namespace optimus {
+
+OptimusPlatform::OptimusPlatform(const CostModel* costs, const PlatformOptions& options)
+    : costs_(costs), options_(options), loader_(costs) {
+  if (options.num_nodes < 1 || options.containers_per_node < 1) {
+    throw std::invalid_argument("OptimusPlatform: need at least one node and one container");
+  }
+  transformer_ = std::make_unique<Transformer>(costs, options.planner);
+  nodes_.resize(static_cast<size_t>(options.num_nodes));
+}
+
+void OptimusPlatform::Deploy(const std::string& function, const Model& model) {
+  if (repository_.count(function) > 0) {
+    throw std::invalid_argument("Deploy: function already registered: " + function);
+  }
+  // Materialize weights (deterministic from the function name) so the
+  // repository holds the function's full "model file" content.
+  Model named = model;
+  named.set_name(function);
+  const uint64_t seed = std::hash<std::string>{}(function);
+  ModelInstance instance = loader_.Instantiate(named, seed == 0 ? 1 : seed);
+  if (options_.warm_plan_cache) {
+    // Planning-strategy caching at registration (§4.4 Module 3): plan both
+    // directions against every already-registered model.
+    for (const auto& [other_name, other_model] : repository_) {
+      transformer_->cache().GetOrPlan(other_model, instance.model);
+      transformer_->cache().GetOrPlan(instance.model, other_model);
+    }
+  }
+  repository_.emplace(function, std::move(instance.model));
+}
+
+void OptimusPlatform::DeployFile(const std::string& function, const ModelFile& file) {
+  Deploy(function, DeserializeModel(file));
+}
+
+size_t OptimusPlatform::NumLiveContainers() const {
+  size_t count = 0;
+  for (const Node& node : nodes_) {
+    count += node.containers.size();
+  }
+  return count;
+}
+
+void OptimusPlatform::ReapExpired(Node* node, double now) {
+  auto& containers = node->containers;
+  containers.erase(std::remove_if(containers.begin(), containers.end(),
+                                  [&](const RealContainer& container) {
+                                    return now - container.last_active >= options_.keep_alive;
+                                  }),
+                   containers.end());
+}
+
+int OptimusPlatform::PlaceFunction(const std::string& function) const {
+  return static_cast<int>(std::hash<std::string>{}(function) %
+                          static_cast<size_t>(options_.num_nodes));
+}
+
+InvokeResult OptimusPlatform::Invoke(const std::string& function,
+                                     const std::vector<float>& input, double now) {
+  if (now + 1e-12 < last_now_) {
+    throw std::invalid_argument("Invoke: time moved backwards");
+  }
+  last_now_ = now;
+  auto model_it = repository_.find(function);
+  if (model_it == repository_.end()) {
+    throw std::out_of_range("Invoke: unknown function " + function);
+  }
+  const Model& model = model_it->second;
+
+  InvokeResult result;
+  result.node = PlaceFunction(function);
+  Node& node = nodes_[static_cast<size_t>(result.node)];
+  ReapExpired(&node, now);
+
+  const SystemProfile profile;  // CPU profile for latency estimation.
+  RealContainer* chosen = nullptr;
+
+  // Warm start: an idle container already holding this function's model.
+  for (RealContainer& container : node.containers) {
+    if (container.function == function) {
+      chosen = &container;
+      result.start = StartType::kWarm;
+      result.estimated_latency = profile.InferenceCost(model);
+      break;
+    }
+  }
+
+  // Transformation: repurpose the best sufficiently-idle donor (only when the
+  // node has no free slot; otherwise a fresh container preserves warm state).
+  const bool has_free_slot =
+      static_cast<int>(node.containers.size()) < options_.containers_per_node;
+  if (chosen == nullptr && !has_free_slot) {
+    RealContainer* best_donor = nullptr;
+    double best_cost = 0.0;
+    for (RealContainer& container : node.containers) {
+      if (now - container.last_active < options_.idle_threshold) {
+        continue;
+      }
+      const TransformDecision decision = transformer_->Decide(container.instance.model, model);
+      if (best_donor == nullptr || decision.ChosenCost() < best_cost) {
+        best_donor = &container;
+        best_cost = decision.ChosenCost();
+      }
+    }
+    if (best_donor != nullptr) {
+      const TransformOutcome outcome = transformer_->TransformOrLoad(&best_donor->instance, model);
+      result.start = outcome.decision.use_transform ? StartType::kTransform : StartType::kCold;
+      result.donor_function = best_donor->function;
+      result.estimated_latency = outcome.decision.ChosenCost() + profile.InferenceCost(model);
+      best_donor->function = function;
+      chosen = best_donor;
+    }
+  }
+
+  // Cold start: fresh container (using a free slot, or evicting the
+  // least-recently-active container on a full node with no eligible donor).
+  if (chosen == nullptr) {
+    if (!has_free_slot) {
+      auto victim = std::min_element(node.containers.begin(), node.containers.end(),
+                                     [](const RealContainer& a, const RealContainer& b) {
+                                       return a.last_active < b.last_active;
+                                     });
+      node.containers.erase(victim);
+    }
+    RealContainer container;
+    container.id = next_container_id_++;
+    container.function = function;
+    container.instance = loader_.Instantiate(model);
+    result.start = StartType::kCold;
+    result.estimated_latency =
+        profile.InitCost() + costs_->ScratchLoadCost(model) + profile.InferenceCost(model);
+    node.containers.push_back(std::move(container));
+    chosen = &node.containers.back();
+  }
+
+  switch (result.start) {
+    case StartType::kWarm:
+      ++warm_starts_;
+      break;
+    case StartType::kTransform:
+      ++transforms_;
+      break;
+    case StartType::kCold:
+      ++cold_starts_;
+      break;
+  }
+
+  chosen->last_active = now;
+  result.output = RunInference(chosen->instance, input);
+  return result;
+}
+
+}  // namespace optimus

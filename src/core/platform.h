@@ -1,0 +1,110 @@
+// An in-process serverless ML inference platform — the prototype of §7.
+//
+// OptimusPlatform plays the role of the gateway + scheduler services: clients
+// Deploy() models (stored serialized in the "Docker volume" repository; plans
+// are pre-computed and cached at registration, §4.4 Module 3) and Invoke()
+// functions. Each invocation is routed to a worker node and served from a
+// real container holding a real ModelInstance:
+//
+//   * warm start      — an idle container already holds the model;
+//   * transformation  — a sufficiently idle container of another function is
+//                       repurposed by executing the cached meta-operator plan
+//                       (with the safeguard's scratch fallback);
+//   * cold start      — a fresh container is created and the model loads from
+//                       scratch.
+//
+// Time is a caller-driven virtual clock (advanced by the `now` argument), so
+// idle-threshold and keep-alive behaviour is deterministic; the *content* of
+// containers (weights, inference results) is fully real.
+
+#ifndef OPTIMUS_SRC_CORE_PLATFORM_H_
+#define OPTIMUS_SRC_CORE_PLATFORM_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/container/container.h"
+#include "src/core/transformer.h"
+#include "src/graph/serialization.h"
+
+namespace optimus {
+
+struct PlatformOptions {
+  int num_nodes = 1;
+  int containers_per_node = 4;
+  double idle_threshold = 60.0;
+  double keep_alive = 600.0;
+  PlannerKind planner = PlannerKind::kGroup;
+  // Pre-plan transformations against all registered models at Deploy() time
+  // (the paper's planning-strategy caching). Disable to plan lazily.
+  bool warm_plan_cache = true;
+};
+
+// Result of one invocation.
+struct InvokeResult {
+  std::vector<float> output;       // Real inference output.
+  StartType start = StartType::kCold;
+  double estimated_latency = 0.0;  // Cost-model latency of the chosen path
+                                   // (init + load/transform + compute).
+  std::string donor_function;      // Set when a transformation occurred.
+  int node = -1;
+};
+
+class OptimusPlatform {
+ public:
+  OptimusPlatform(const CostModel* costs, const PlatformOptions& options);
+
+  // Registers a function. The model is serialized into the repository; if the
+  // structure carries no weights, deterministic weights are materialized.
+  // Throws std::invalid_argument on duplicate names.
+  void Deploy(const std::string& function, const Model& model);
+
+  // Registers a function from a serialized model file.
+  void DeployFile(const std::string& function, const ModelFile& file);
+
+  // Serves one inference request at virtual time `now` (seconds, monotone
+  // non-decreasing across calls). Throws std::out_of_range for unknown
+  // functions and std::invalid_argument if `now` moves backwards.
+  InvokeResult Invoke(const std::string& function, const std::vector<float>& input, double now);
+
+  // Operational introspection.
+  size_t NumFunctions() const { return repository_.size(); }
+  size_t NumLiveContainers() const;
+  const PlanCache& plan_cache() const { return transformer_->cache(); }
+  size_t WarmStarts() const { return warm_starts_; }
+  size_t Transforms() const { return transforms_; }
+  size_t ColdStarts() const { return cold_starts_; }
+
+ private:
+  struct RealContainer {
+    ContainerId id = -1;
+    std::string function;
+    double last_active = 0.0;
+    ModelInstance instance;
+  };
+
+  struct Node {
+    std::vector<RealContainer> containers;
+  };
+
+  void ReapExpired(Node* node, double now);
+  int PlaceFunction(const std::string& function) const;
+
+  const CostModel* costs_;
+  PlatformOptions options_;
+  Loader loader_;
+  std::unique_ptr<Transformer> transformer_;
+  std::map<std::string, Model> repository_;  // Loaded (weighted) models.
+  std::vector<Node> nodes_;
+  ContainerId next_container_id_ = 0;
+  double last_now_ = 0.0;
+  size_t warm_starts_ = 0;
+  size_t transforms_ = 0;
+  size_t cold_starts_ = 0;
+};
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_CORE_PLATFORM_H_

@@ -1,0 +1,26 @@
+#include "src/core/transformer.h"
+
+namespace optimus {
+
+TransformDecision Transformer::Decide(const Model& source, const Model& dest) {
+  TransformDecision decision;
+  decision.transform_cost = cache_.GetOrPlan(source, dest).total_cost;
+  decision.scratch_cost = costs_->ScratchLoadCost(dest);
+  decision.use_transform = decision.transform_cost < decision.scratch_cost;
+  return decision;
+}
+
+TransformOutcome Transformer::TransformOrLoad(ModelInstance* instance, const Model& dest) {
+  TransformOutcome outcome;
+  outcome.decision = Decide(instance->model, dest);
+  if (outcome.decision.use_transform) {
+    const TransformPlan& plan = cache_.GetOrPlan(instance->model, dest);
+    outcome.execution = ExecutePlan(instance, dest, plan);
+  } else {
+    // Safeguard: load the destination from scratch, as traditional systems do.
+    *instance = loader_.Instantiate(dest);
+  }
+  return outcome;
+}
+
+}  // namespace optimus

@@ -1,0 +1,62 @@
+// High-level inter-function model transformation with the safeguard
+// (paper §4.4, Module 3).
+//
+// Transformer is the in-container "scheduler service" of §7: given a warm but
+// idle container holding the source model and a destination function's model,
+// it reads the cached transformation strategy and either executes it or —
+// when transformation would be slower than a scratch load — falls back to
+// loading the destination from scratch, guaranteeing worst-case parity with
+// traditional systems.
+
+#ifndef OPTIMUS_SRC_CORE_TRANSFORMER_H_
+#define OPTIMUS_SRC_CORE_TRANSFORMER_H_
+
+#include "src/core/executor.h"
+#include "src/core/plan_cache.h"
+#include "src/runtime/loader.h"
+
+namespace optimus {
+
+// The safeguard's verdict for a candidate transformation.
+struct TransformDecision {
+  bool use_transform = false;
+  double transform_cost = 0.0;  // Estimated plan-execution cost (seconds).
+  double scratch_cost = 0.0;    // Estimated scratch-load cost (seconds).
+
+  // Latency the chosen path is expected to take.
+  double ChosenCost() const { return use_transform ? transform_cost : scratch_cost; }
+};
+
+// Outcome of TransformOrLoad.
+struct TransformOutcome {
+  TransformDecision decision;
+  TransformExecutionStats execution;  // Only populated when transformed.
+};
+
+class Transformer {
+ public:
+  Transformer(const CostModel* costs, PlannerKind planner = PlannerKind::kGroup)
+      : costs_(costs), loader_(costs), cache_(costs, planner) {}
+
+  // Safeguard check: compares the (cached) plan cost against the destination's
+  // scratch-load cost.
+  TransformDecision Decide(const Model& source, const Model& dest);
+
+  // Transforms `instance` (holding `source`) into `dest`, or scratch-loads
+  // `dest` when the safeguard rejects the transformation. In both cases
+  // instance->model ends Identical() to dest.
+  TransformOutcome TransformOrLoad(ModelInstance* instance, const Model& dest);
+
+  PlanCache& cache() { return cache_; }
+  const Loader& loader() const { return loader_; }
+  const CostModel& costs() const { return *costs_; }
+
+ private:
+  const CostModel* costs_;
+  Loader loader_;
+  PlanCache cache_;
+};
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_CORE_TRANSFORMER_H_

@@ -1,0 +1,281 @@
+#include "src/gateway/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace optimus {
+
+namespace {
+
+constexpr size_t kMaxRequestBytes = 64 << 20;
+
+std::string StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 409:
+      return "Conflict";
+    case 500:
+      return "Internal Server Error";
+    default:
+      return "Unknown";
+  }
+}
+
+void SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n <= 0) {
+      throw std::runtime_error("SendAll: send failed");
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+// Reads from `fd` until a full HTTP request (headers + Content-Length body)
+// is buffered, then parses it. Returns false on EOF before a full request.
+bool ReadRequest(int fd, HttpRequest* request) {
+  std::string buffer;
+  char chunk[4096];
+  while (buffer.size() < kMaxRequestBytes) {
+    if (ParseHttpRequest(buffer, request)) {
+      return true;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      return false;
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+  return ParseHttpRequest(buffer, request);
+}
+
+std::string ReadResponse(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      break;
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+  return buffer;
+}
+
+void ParseQuery(const std::string& query_string, std::map<std::string, std::string>* query) {
+  size_t start = 0;
+  while (start < query_string.size()) {
+    size_t end = query_string.find('&', start);
+    if (end == std::string::npos) {
+      end = query_string.size();
+    }
+    const std::string pair = query_string.substr(start, end - start);
+    const size_t equals = pair.find('=');
+    if (equals == std::string::npos) {
+      (*query)[pair] = "";
+    } else {
+      (*query)[pair.substr(0, equals)] = pair.substr(equals + 1);
+    }
+    start = end + 1;
+  }
+}
+
+}  // namespace
+
+bool ParseHttpRequest(const std::string& raw, HttpRequest* request) {
+  const size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    return false;
+  }
+  std::istringstream head(raw.substr(0, head_end));
+  std::string request_line;
+  if (!std::getline(head, request_line)) {
+    return false;
+  }
+  std::istringstream first(request_line);
+  std::string target;
+  std::string version;
+  first >> request->method >> target >> version;
+  if (request->method.empty() || target.empty()) {
+    return false;
+  }
+  const size_t question = target.find('?');
+  request->path = target.substr(0, question);
+  request->query.clear();
+  if (question != std::string::npos) {
+    ParseQuery(target.substr(question + 1), &request->query);
+  }
+
+  size_t content_length = 0;
+  std::string header;
+  while (std::getline(head, header)) {
+    const size_t colon = header.find(':');
+    if (colon == std::string::npos) {
+      continue;
+    }
+    std::string name = header.substr(0, colon);
+    for (auto& c : name) {
+      c = static_cast<char>(std::tolower(c));
+    }
+    if (name == "content-length") {
+      try {
+        content_length = static_cast<size_t>(std::stoul(header.substr(colon + 1)));
+      } catch (const std::exception&) {
+        throw std::runtime_error("ParseHttpRequest: malformed Content-Length");
+      }
+      if (content_length > kMaxRequestBytes) {
+        throw std::runtime_error("ParseHttpRequest: request body too large");
+      }
+    }
+  }
+  const size_t body_start = head_end + 4;
+  if (raw.size() < body_start + content_length) {
+    return false;  // Body not fully buffered yet.
+  }
+  request->body = raw.substr(body_start, content_length);
+  return true;
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Start(uint16_t port, HttpHandler handler) {
+  if (running_.load()) {
+    throw std::runtime_error("HttpServer::Start: already running");
+  }
+  handler_ = std::move(handler);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("HttpServer: socket() failed");
+  }
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("HttpServer: bind() failed");
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("HttpServer: listen() failed");
+  }
+  running_.store(true);
+  thread_ = std::thread(&HttpServer::Serve, this);
+}
+
+void HttpServer::Serve() {
+  while (running_.load()) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      break;  // Listening socket closed by Stop().
+    }
+    HttpRequest request;
+    HttpResponse response;
+    bool parsed = false;
+    try {
+      parsed = ReadRequest(client, &request);
+    } catch (const std::exception&) {
+      parsed = false;  // Malformed head (e.g. bad Content-Length).
+    }
+    if (parsed) {
+      try {
+        response = handler_(request);
+      } catch (const std::exception& error) {
+        response.status = 500;
+        response.body = std::string("error: ") + error.what() + "\n";
+      }
+    } else {
+      response.status = 400;
+      response.body = "malformed request\n";
+    }
+    std::ostringstream out;
+    out << "HTTP/1.1 " << response.status << " " << StatusText(response.status) << "\r\n"
+        << "Content-Type: " << response.content_type << "\r\n"
+        << "Content-Length: " << response.body.size() << "\r\n"
+        << "Connection: close\r\n\r\n"
+        << response.body;
+    try {
+      SendAll(client, out.str());
+    } catch (const std::exception&) {
+      // Client hung up; nothing to do.
+    }
+    ::close(client);
+  }
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  // Closing the listening socket unblocks accept().
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+HttpResponse HttpFetch(uint16_t port, const std::string& method, const std::string& target,
+                       const std::string& body) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error("HttpFetch: socket() failed");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw std::runtime_error("HttpFetch: connect() failed");
+  }
+  std::ostringstream out;
+  out << method << " " << target << " HTTP/1.1\r\n"
+      << "Host: 127.0.0.1\r\n"
+      << "Content-Length: " << body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << body;
+  try {
+    SendAll(fd, out.str());
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  const std::string raw = ReadResponse(fd);
+  ::close(fd);
+
+  const size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos || raw.compare(0, 5, "HTTP/") != 0) {
+    throw std::runtime_error("HttpFetch: malformed response");
+  }
+  HttpResponse response;
+  {
+    std::istringstream status_line(raw.substr(0, raw.find("\r\n")));
+    std::string version;
+    status_line >> version >> response.status;
+  }
+  response.body = raw.substr(head_end + 4);
+  return response;
+}
+
+}  // namespace optimus

@@ -1,0 +1,77 @@
+// A minimal blocking HTTP/1.1 server and client over POSIX sockets.
+//
+// This implements just enough of the protocol for the Optimus gateway (§7:
+// "Optimus API and communication between clients and the gateway are
+// implemented in REST API format"): request line + headers + Content-Length
+// bodies, one request per connection. Not a general-purpose web server.
+
+#ifndef OPTIMUS_SRC_GATEWAY_HTTP_H_
+#define OPTIMUS_SRC_GATEWAY_HTTP_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+namespace optimus {
+
+struct HttpRequest {
+  std::string method;  // "GET", "POST", ...
+  std::string path;    // Path without the query string.
+  std::map<std::string, std::string> query;  // Decoded query parameters.
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain";
+  std::string body;
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+// A single-threaded accept loop running on a background thread. Connections
+// are served sequentially; the handler runs on the server thread.
+class HttpServer {
+ public:
+  HttpServer() = default;
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Binds 127.0.0.1:`port` (0 picks an ephemeral port) and starts serving.
+  // Throws std::runtime_error on socket errors.
+  void Start(uint16_t port, HttpHandler handler);
+
+  // Stops the accept loop and joins the server thread. Idempotent.
+  void Stop();
+
+  bool Running() const { return running_.load(); }
+  uint16_t port() const { return port_; }
+
+ private:
+  void Serve();
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+  HttpHandler handler_;
+};
+
+// Blocking HTTP client for tests and examples: sends one request to
+// 127.0.0.1:`port` and returns the response. Throws std::runtime_error on
+// connection or protocol errors.
+HttpResponse HttpFetch(uint16_t port, const std::string& method, const std::string& target,
+                       const std::string& body = "");
+
+// Parses an HTTP request head + body from a raw buffer (exposed for tests).
+// Returns false if the buffer does not hold a complete request yet; throws
+// std::runtime_error on malformed headers (bad or oversized Content-Length).
+bool ParseHttpRequest(const std::string& raw, HttpRequest* request);
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_GATEWAY_HTTP_H_

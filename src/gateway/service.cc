@@ -1,0 +1,133 @@
+#include "src/gateway/service.h"
+
+#include <chrono>
+#include <sstream>
+
+namespace optimus {
+
+namespace {
+
+std::vector<float> ParseFloats(const std::string& csv) {
+  std::vector<float> values;
+  std::istringstream in(csv);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    if (!token.empty()) {
+      values.push_back(std::stof(token));
+    }
+  }
+  return values;
+}
+
+std::string FormatOutput(const std::vector<float>& output, size_t limit = 8) {
+  std::ostringstream out;
+  for (size_t i = 0; i < output.size() && i < limit; ++i) {
+    if (i > 0) {
+      out << ",";
+    }
+    out << output[i];
+  }
+  return out.str();
+}
+
+}  // namespace
+
+OptimusHttpService::OptimusHttpService(const CostModel* costs, const PlatformOptions& options,
+                                       std::function<double()> clock)
+    : platform_(costs, options), clock_(std::move(clock)) {
+  if (!clock_) {
+    const auto start = std::chrono::steady_clock::now();
+    clock_ = [start] {
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    };
+  }
+}
+
+void OptimusHttpService::Start(uint16_t port) {
+  server_.Start(port, [this](const HttpRequest& request) { return Handle(request); });
+}
+
+void OptimusHttpService::Stop() { server_.Stop(); }
+
+HttpResponse OptimusHttpService::Handle(const HttpRequest& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HttpResponse response;
+
+  if (request.method == "POST" && request.path == "/deploy") {
+    auto name = request.query.find("name");
+    if (name == request.query.end() || name->second.empty()) {
+      response.status = 400;
+      response.body = "missing ?name=\n";
+      return response;
+    }
+    try {
+      platform_.DeployFile(name->second,
+                           ModelFile(request.body.begin(), request.body.end()));
+    } catch (const std::invalid_argument& error) {
+      response.status = 409;
+      response.body = std::string(error.what()) + "\n";
+      return response;
+    } catch (const std::exception& error) {
+      response.status = 400;
+      response.body = std::string(error.what()) + "\n";
+      return response;
+    }
+    response.body = "deployed " + name->second + "\n";
+    return response;
+  }
+
+  if (request.method == "POST" && request.path == "/invoke") {
+    auto name = request.query.find("name");
+    if (name == request.query.end() || name->second.empty()) {
+      response.status = 400;
+      response.body = "missing ?name=\n";
+      return response;
+    }
+    std::vector<float> input;
+    try {
+      input = ParseFloats(request.body);
+    } catch (const std::exception&) {
+      response.status = 400;
+      response.body = "malformed input vector\n";
+      return response;
+    }
+    try {
+      const InvokeResult result = platform_.Invoke(name->second, input, clock_());
+      std::ostringstream body;
+      body << "start=" << StartTypeName(result.start) << "\n"
+           << "estimated_latency=" << result.estimated_latency << "\n";
+      if (!result.donor_function.empty()) {
+        body << "donor=" << result.donor_function << "\n";
+      }
+      body << "output=" << FormatOutput(result.output) << "\n";
+      response.body = body.str();
+    } catch (const std::out_of_range&) {
+      response.status = 404;
+      response.body = "unknown function " + name->second + "\n";
+    }
+    return response;
+  }
+
+  if (request.method == "GET" && request.path == "/stats") {
+    std::ostringstream body;
+    body << "functions=" << platform_.NumFunctions() << "\n"
+         << "containers=" << platform_.NumLiveContainers() << "\n"
+         << "warm=" << platform_.WarmStarts() << "\n"
+         << "transform=" << platform_.Transforms() << "\n"
+         << "cold=" << platform_.ColdStarts() << "\n"
+         << "cached_plans=" << platform_.plan_cache().Size() << "\n";
+    response.body = body.str();
+    return response;
+  }
+
+  if (request.method == "GET" && request.path == "/functions") {
+    response.body = "count=" + std::to_string(platform_.NumFunctions()) + "\n";
+    return response;
+  }
+
+  response.status = 404;
+  response.body = "no such route: " + request.method + " " + request.path + "\n";
+  return response;
+}
+
+}  // namespace optimus

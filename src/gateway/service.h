@@ -1,0 +1,53 @@
+// The Optimus REST gateway service (§7): HTTP routes over OptimusPlatform.
+//
+// Routes:
+//   POST /deploy?name=<fn>   body = serialized model file  -> deploys <fn>
+//   POST /invoke?name=<fn>   body = comma-separated floats -> runs inference
+//   GET  /functions                                        -> registered names
+//   GET  /stats                                            -> start-type counters
+//
+// Invocation responses are line-oriented "key=value" text:
+//   start=Warm|Transform|Cold
+//   estimated_latency=<seconds>
+//   donor=<function>           (only when a transformation occurred)
+//   output=<csv of the first 8 output values>
+
+#ifndef OPTIMUS_SRC_GATEWAY_SERVICE_H_
+#define OPTIMUS_SRC_GATEWAY_SERVICE_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "src/core/platform.h"
+#include "src/gateway/http.h"
+
+namespace optimus {
+
+class OptimusHttpService {
+ public:
+  // `clock` supplies the platform's virtual time in seconds; the default uses
+  // wall time since service construction.
+  OptimusHttpService(const CostModel* costs, const PlatformOptions& options,
+                     std::function<double()> clock = nullptr);
+
+  // Starts serving on 127.0.0.1:`port` (0 picks an ephemeral port).
+  void Start(uint16_t port = 0);
+  void Stop();
+
+  uint16_t port() const { return server_.port(); }
+  OptimusPlatform& platform() { return platform_; }
+
+  // The route dispatcher (exposed for direct testing without sockets).
+  HttpResponse Handle(const HttpRequest& request);
+
+ private:
+  OptimusPlatform platform_;
+  std::function<double()> clock_;
+  std::mutex mutex_;
+  HttpServer server_;
+};
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_GATEWAY_SERVICE_H_

@@ -1,0 +1,208 @@
+#include "src/graph/model.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace optimus {
+
+OpId Model::AddOp(OpKind kind, const OpAttributes& attrs) {
+  Operation op;
+  op.id = next_id_++;
+  op.kind = kind;
+  op.attrs = attrs;
+  const OpId id = op.id;
+  ops_.emplace(id, std::move(op));
+  return id;
+}
+
+void Model::AddOpWithId(Operation op) {
+  if (op.id == kInvalidOpId || ops_.count(op.id) > 0) {
+    throw std::invalid_argument("AddOpWithId: invalid or duplicate op id");
+  }
+  next_id_ = std::max(next_id_, op.id + 1);
+  ops_.emplace(op.id, std::move(op));
+}
+
+void Model::RemoveOp(OpId id) {
+  ops_.erase(id);
+  for (auto it = edges_.begin(); it != edges_.end();) {
+    if (it->first == id || it->second == id) {
+      it = edges_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Model::AddEdge(OpId from, OpId to) { edges_.emplace(from, to); }
+
+void Model::RemoveEdge(OpId from, OpId to) { edges_.erase({from, to}); }
+
+bool Model::HasEdge(OpId from, OpId to) const { return edges_.count({from, to}) > 0; }
+
+size_t Model::NumWeightedOps() const {
+  size_t count = 0;
+  for (const auto& [id, op] : ops_) {
+    if (OpKindHasWeights(op.kind)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+int64_t Model::ParamCount() const {
+  int64_t total = 0;
+  for (const auto& [id, op] : ops_) {
+    total += WeightElementsFor(op.kind, op.attrs);
+  }
+  return total;
+}
+
+int64_t Model::WeightBytes() const { return ParamCount() * static_cast<int64_t>(sizeof(float)); }
+
+std::vector<OpId> Model::OpIds() const {
+  std::vector<OpId> ids;
+  ids.reserve(ops_.size());
+  for (const auto& [id, op] : ops_) {
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+std::vector<OpId> Model::TopologicalOrder() const {
+  std::map<OpId, int> in_degree;
+  for (const auto& [id, op] : ops_) {
+    in_degree[id] = 0;
+  }
+  for (const Edge& edge : edges_) {
+    ++in_degree[edge.second];
+  }
+  std::deque<OpId> frontier;
+  for (const auto& [id, degree] : in_degree) {
+    if (degree == 0) {
+      frontier.push_back(id);
+    }
+  }
+  std::vector<OpId> order;
+  order.reserve(ops_.size());
+  while (!frontier.empty()) {
+    const OpId id = frontier.front();
+    frontier.pop_front();
+    order.push_back(id);
+    for (const Edge& edge : edges_) {
+      if (edge.first != id) {
+        continue;
+      }
+      if (--in_degree[edge.second] == 0) {
+        frontier.push_back(edge.second);
+      }
+    }
+  }
+  if (order.size() != ops_.size()) {
+    throw std::runtime_error("TopologicalOrder: graph '" + name_ + "' contains a cycle");
+  }
+  return order;
+}
+
+std::vector<OpId> Model::Predecessors(OpId id) const {
+  std::vector<OpId> result;
+  for (const Edge& edge : edges_) {
+    if (edge.second == id) {
+      result.push_back(edge.first);
+    }
+  }
+  return result;
+}
+
+std::vector<OpId> Model::Successors(OpId id) const {
+  std::vector<OpId> result;
+  for (const Edge& edge : edges_) {
+    if (edge.first == id) {
+      result.push_back(edge.second);
+    }
+  }
+  return result;
+}
+
+void Model::Validate() const {
+  for (const Edge& edge : edges_) {
+    if (!HasOp(edge.first) || !HasOp(edge.second)) {
+      throw std::runtime_error("Validate: edge references a missing op in '" + name_ + "'");
+    }
+    if (edge.first == edge.second) {
+      throw std::runtime_error("Validate: self-edge in '" + name_ + "'");
+    }
+  }
+  TopologicalOrder();  // Throws on cycles.
+  for (const auto& [id, op] : ops_) {
+    if (op.id != id) {
+      throw std::runtime_error("Validate: op id key mismatch in '" + name_ + "'");
+    }
+    if (op.weights.empty()) {
+      continue;  // Structure-only op; weights not yet assigned.
+    }
+    const std::vector<Shape> expected = WeightShapesFor(op.kind, op.attrs);
+    if (expected.size() != op.weights.size()) {
+      throw std::runtime_error("Validate: weight count mismatch for " + op.ToString());
+    }
+    for (size_t i = 0; i < expected.size(); ++i) {
+      if (op.weights[i].shape() != expected[i]) {
+        throw std::runtime_error("Validate: weight shape mismatch for " + op.ToString() +
+                                 " tensor " + std::to_string(i));
+      }
+    }
+  }
+}
+
+bool Model::StructurallyEqual(const Model& other) const {
+  if (ops_.size() != other.ops_.size() || edges_ != other.edges_) {
+    return false;
+  }
+  for (const auto& [id, op] : ops_) {
+    auto it = other.ops_.find(id);
+    if (it == other.ops_.end() || !op.SameStructure(it->second)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Model::Identical(const Model& other) const {
+  if (!StructurallyEqual(other)) {
+    return false;
+  }
+  for (const auto& [id, op] : ops_) {
+    if (!op.Identical(other.ops_.at(id))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint64_t Model::StructureFingerprint() const {
+  auto mix = [](uint64_t h, uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return h;
+  };
+  uint64_t hash = 0x5bf03635f09d4bc7ULL;
+  for (const auto& [id, op] : ops_) {
+    uint64_t op_hash = static_cast<uint64_t>(op.kind);
+    op_hash = mix(op_hash, static_cast<uint64_t>(op.attrs.kernel_h));
+    op_hash = mix(op_hash, static_cast<uint64_t>(op.attrs.kernel_w));
+    op_hash = mix(op_hash, static_cast<uint64_t>(op.attrs.stride));
+    op_hash = mix(op_hash, static_cast<uint64_t>(op.attrs.in_channels));
+    op_hash = mix(op_hash, static_cast<uint64_t>(op.attrs.out_channels));
+    op_hash = mix(op_hash, static_cast<uint64_t>(op.attrs.vocab_size));
+    op_hash = mix(op_hash, static_cast<uint64_t>(op.attrs.heads));
+    op_hash = mix(op_hash, static_cast<uint64_t>(op.attrs.activation));
+    hash = mix(hash, mix(op_hash, static_cast<uint64_t>(id)));
+  }
+  for (const Edge& edge : edges_) {
+    hash = mix(hash, (static_cast<uint64_t>(edge.first) << 32) ^
+                         static_cast<uint64_t>(static_cast<uint32_t>(edge.second)));
+  }
+  return hash;
+}
+
+}  // namespace optimus

@@ -1,0 +1,112 @@
+// Model: a computational graph of operations.
+//
+// Following §4.4 of the paper, each model structure is a directed graph whose
+// nodes are operations (CONV, dense, ...) and whose edges are data flows.
+// The transformation executor mutates Model instances in place via the five
+// meta-operators; Identical/StructurallyEqual provide the correctness oracle
+// ("the transformed source must equal the destination").
+
+#ifndef OPTIMUS_SRC_GRAPH_MODEL_H_
+#define OPTIMUS_SRC_GRAPH_MODEL_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/graph/operation.h"
+
+namespace optimus {
+
+using Edge = std::pair<OpId, OpId>;
+
+class Model {
+ public:
+  Model() = default;
+  Model(std::string name, std::string family)
+      : name_(std::move(name)), family_(std::move(family)) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& family() const { return family_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  void set_family(std::string family) { family_ = std::move(family); }
+
+  // --- Construction / mutation -------------------------------------------
+
+  // Adds an operation with a fresh id; weights are left empty (structure
+  // only) — call Operation::InitializeWeights or the loader to populate them.
+  OpId AddOp(OpKind kind, const OpAttributes& attrs = {});
+
+  // Adds an operation under a caller-chosen id (used by deserialization and
+  // by the transformation executor when relabeling to destination ids).
+  // Requires the id to be unused.
+  void AddOpWithId(Operation op);
+
+  // Removes the operation and every incident edge.
+  void RemoveOp(OpId id);
+
+  void AddEdge(OpId from, OpId to);
+  void RemoveEdge(OpId from, OpId to);
+  bool HasEdge(OpId from, OpId to) const;
+
+  // --- Access --------------------------------------------------------------
+
+  bool HasOp(OpId id) const { return ops_.count(id) > 0; }
+  const Operation& op(OpId id) const { return ops_.at(id); }
+  Operation& mutable_op(OpId id) { return ops_.at(id); }
+
+  // Operations in ascending id order (deterministic).
+  const std::map<OpId, Operation>& ops() const { return ops_; }
+  const std::set<Edge>& edges() const { return edges_; }
+
+  size_t NumOps() const { return ops_.size(); }
+  size_t NumEdges() const { return edges_.size(); }
+  size_t NumWeightedOps() const;
+
+  // Sum of weight elements over all ops ("Params" in the paper's Fig. 2c).
+  int64_t ParamCount() const;
+
+  // Serialized weight footprint in bytes.
+  int64_t WeightBytes() const;
+
+  // Ids of ops in ascending order.
+  std::vector<OpId> OpIds() const;
+
+  // --- Graph queries ---------------------------------------------------------
+
+  // Kahn topological order. Throws std::runtime_error if the graph is cyclic.
+  std::vector<OpId> TopologicalOrder() const;
+
+  std::vector<OpId> Predecessors(OpId id) const;
+  std::vector<OpId> Successors(OpId id) const;
+
+  // Checks internal consistency: edges reference existing ops, the graph is
+  // acyclic, and every weighted op's tensors (if allocated) match its
+  // declared attribute shapes. Throws std::runtime_error on violation.
+  void Validate() const;
+
+  // --- Comparison ------------------------------------------------------------
+
+  // Same op ids with equal kind/attrs and the same edge set (weights ignored).
+  bool StructurallyEqual(const Model& other) const;
+
+  // StructurallyEqual plus element-wise equal weights.
+  bool Identical(const Model& other) const;
+
+  // Order-insensitive structural hash (kinds, attrs, edge shape); used by the
+  // plan cache and the Tetris baseline.
+  uint64_t StructureFingerprint() const;
+
+ private:
+  std::string name_;
+  std::string family_;
+  std::map<OpId, Operation> ops_;
+  std::set<Edge> edges_;
+  OpId next_id_ = 0;
+};
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_GRAPH_MODEL_H_

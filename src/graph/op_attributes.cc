@@ -1,0 +1,75 @@
+#include "src/graph/op_attributes.h"
+
+#include <sstream>
+
+namespace optimus {
+
+std::string OpAttributes::ToString() const {
+  std::ostringstream out;
+  out << "{k=" << kernel_h << "x" << kernel_w << " s=" << stride << " in=" << in_channels
+      << " out=" << out_channels;
+  if (vocab_size > 0) {
+    out << " vocab=" << vocab_size;
+  }
+  if (heads > 0) {
+    out << " heads=" << heads;
+  }
+  out << "}";
+  return out.str();
+}
+
+std::vector<Shape> WeightShapesFor(OpKind kind, const OpAttributes& attrs) {
+  switch (kind) {
+    case OpKind::kConv2D:
+      return {Shape({attrs.kernel_h, attrs.kernel_w, attrs.in_channels, attrs.out_channels}),
+              Shape({attrs.out_channels})};
+    case OpKind::kDepthwiseConv2D:
+      return {Shape({attrs.kernel_h, attrs.kernel_w, attrs.in_channels, 1}),
+              Shape({attrs.in_channels})};
+    case OpKind::kDense:
+      return {Shape({attrs.in_channels, attrs.out_channels}), Shape({attrs.out_channels})};
+    case OpKind::kBatchNorm:
+      // gamma, beta, moving mean, moving variance.
+      return {Shape({attrs.out_channels}), Shape({attrs.out_channels}),
+              Shape({attrs.out_channels}), Shape({attrs.out_channels})};
+    case OpKind::kLayerNorm:
+      return {Shape({attrs.out_channels}), Shape({attrs.out_channels})};
+    case OpKind::kEmbedding:
+      return {Shape({attrs.vocab_size, attrs.out_channels})};
+    case OpKind::kAttentionQuery:
+    case OpKind::kAttentionKey:
+    case OpKind::kAttentionValue:
+    case OpKind::kAttentionOutput:
+      return {Shape({attrs.in_channels, attrs.out_channels}), Shape({attrs.out_channels})};
+    case OpKind::kLstmCell:
+      // Input-to-hidden and hidden-to-hidden kernels over 4 stacked gates,
+      // plus the gate bias (Keras LSTM layout).
+      return {Shape({attrs.in_channels, 4 * attrs.out_channels}),
+              Shape({attrs.out_channels, 4 * attrs.out_channels}),
+              Shape({4 * attrs.out_channels})};
+    case OpKind::kGruCell:
+      return {Shape({attrs.in_channels, 3 * attrs.out_channels}),
+              Shape({attrs.out_channels, 3 * attrs.out_channels}),
+              Shape({3 * attrs.out_channels})};
+    default:
+      return {};
+  }
+}
+
+int64_t WeightElementsFor(OpKind kind, const OpAttributes& attrs) {
+  int64_t total = 0;
+  for (const Shape& shape : WeightShapesFor(kind, attrs)) {
+    total += shape.NumElements();
+  }
+  return total;
+}
+
+int64_t WeightTensorCountFor(OpKind kind, const OpAttributes& attrs) {
+  return static_cast<int64_t>(WeightShapesFor(kind, attrs).size());
+}
+
+int64_t WeightBytesFor(OpKind kind, const OpAttributes& attrs) {
+  return WeightElementsFor(kind, attrs) * static_cast<int64_t>(sizeof(float));
+}
+
+}  // namespace optimus

@@ -1,0 +1,64 @@
+// Structural attributes of a model operation.
+
+#ifndef OPTIMUS_SRC_GRAPH_OP_ATTRIBUTES_H_
+#define OPTIMUS_SRC_GRAPH_OP_ATTRIBUTES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/op_kind.h"
+#include "src/tensor/shape.h"
+
+namespace optimus {
+
+enum class ActivationType : uint8_t {
+  kNone = 0,
+  kRelu,
+  kRelu6,
+  kGelu,
+  kSigmoid,
+  kTanh,
+};
+
+// The shape-determining properties of an operation. Which fields are
+// meaningful depends on the OpKind:
+//   Conv2D / DepthwiseConv2D : kernel_h, kernel_w, stride, in_channels, out_channels
+//   Dense                    : in_channels (input units), out_channels (output units)
+//   BatchNorm / LayerNorm    : out_channels (normalized feature count)
+//   MaxPool / AvgPool        : kernel_h, kernel_w, stride
+//   Embedding                : vocab_size, out_channels (embedding dim)
+//   Attention Q/K/V/O        : in_channels (model dim), out_channels, heads
+//   Activation               : activation
+// All other kinds are structural markers with no meaningful fields.
+struct OpAttributes {
+  int64_t kernel_h = 0;
+  int64_t kernel_w = 0;
+  int64_t stride = 1;
+  int64_t in_channels = 0;
+  int64_t out_channels = 0;
+  int64_t vocab_size = 0;
+  int64_t heads = 0;
+  ActivationType activation = ActivationType::kNone;
+
+  bool operator==(const OpAttributes& other) const = default;
+
+  std::string ToString() const;
+};
+
+// Shapes of the weight tensors an operation of (kind, attrs) carries, in a
+// fixed order (e.g. kernel then bias for Conv2D). Empty for weight-free kinds.
+std::vector<Shape> WeightShapesFor(OpKind kind, const OpAttributes& attrs);
+
+// Total number of weight scalars for (kind, attrs).
+int64_t WeightElementsFor(OpKind kind, const OpAttributes& attrs);
+
+// Number of weight tensors for (kind, attrs) (e.g. kernel + bias = 2).
+int64_t WeightTensorCountFor(OpKind kind, const OpAttributes& attrs);
+
+// Total weight bytes (float32) for (kind, attrs).
+int64_t WeightBytesFor(OpKind kind, const OpAttributes& attrs);
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_GRAPH_OP_ATTRIBUTES_H_

@@ -1,0 +1,91 @@
+#include "src/graph/op_kind.h"
+
+namespace optimus {
+
+bool OpKindHasWeights(OpKind kind) {
+  switch (kind) {
+    case OpKind::kConv2D:
+    case OpKind::kDepthwiseConv2D:
+    case OpKind::kDense:
+    case OpKind::kBatchNorm:
+    case OpKind::kLayerNorm:
+    case OpKind::kEmbedding:
+    case OpKind::kAttentionQuery:
+    case OpKind::kAttentionKey:
+    case OpKind::kAttentionValue:
+    case OpKind::kAttentionOutput:
+    case OpKind::kLstmCell:
+    case OpKind::kGruCell:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInput:
+      return "Input";
+    case OpKind::kConv2D:
+      return "Conv2D";
+    case OpKind::kDepthwiseConv2D:
+      return "DepthwiseConv2D";
+    case OpKind::kDense:
+      return "Dense";
+    case OpKind::kBatchNorm:
+      return "BatchNorm";
+    case OpKind::kLayerNorm:
+      return "LayerNorm";
+    case OpKind::kActivation:
+      return "Activation";
+    case OpKind::kMaxPool:
+      return "MaxPool";
+    case OpKind::kAvgPool:
+      return "AvgPool";
+    case OpKind::kGlobalAvgPool:
+      return "GlobalAvgPool";
+    case OpKind::kAdd:
+      return "Add";
+    case OpKind::kConcat:
+      return "Concat";
+    case OpKind::kFlatten:
+      return "Flatten";
+    case OpKind::kDropout:
+      return "Dropout";
+    case OpKind::kEmbedding:
+      return "Embedding";
+    case OpKind::kAttentionQuery:
+      return "AttentionQuery";
+    case OpKind::kAttentionKey:
+      return "AttentionKey";
+    case OpKind::kAttentionValue:
+      return "AttentionValue";
+    case OpKind::kAttentionOutput:
+      return "AttentionOutput";
+    case OpKind::kLogit:
+      return "Logit";
+    case OpKind::kAttend:
+      return "Attend";
+    case OpKind::kSoftmax:
+      return "Softmax";
+    case OpKind::kLstmCell:
+      return "LstmCell";
+    case OpKind::kGruCell:
+      return "GruCell";
+    case OpKind::kOutput:
+      return "Output";
+  }
+  return "Unknown";
+}
+
+OpKind OpKindFromName(const std::string& name) {
+  for (int i = 0; i < kNumOpKinds; ++i) {
+    const OpKind kind = static_cast<OpKind>(i);
+    if (name == OpKindName(kind)) {
+      return kind;
+    }
+  }
+  return OpKind::kOutput;
+}
+
+}  // namespace optimus

@@ -1,0 +1,61 @@
+// Operation kinds for the computational-graph substrate.
+//
+// These cover the operation vocabulary the paper's meta-operators act on: the
+// CNN families (convolution, dense, pooling, normalization, activations,
+// residual adds, concatenation) and the transformer building blocks described
+// in §5.2 (embedding, Q/K/V/O projections, the weight-free Logit and Attend
+// steps, layer normalization).
+
+#ifndef OPTIMUS_SRC_GRAPH_OP_KIND_H_
+#define OPTIMUS_SRC_GRAPH_OP_KIND_H_
+
+#include <cstdint>
+#include <string>
+
+namespace optimus {
+
+enum class OpKind : uint8_t {
+  kInput = 0,
+  kConv2D,
+  kDepthwiseConv2D,
+  kDense,
+  kBatchNorm,
+  kLayerNorm,
+  kActivation,
+  kMaxPool,
+  kAvgPool,
+  kGlobalAvgPool,
+  kAdd,
+  kConcat,
+  kFlatten,
+  kDropout,
+  kEmbedding,
+  kAttentionQuery,
+  kAttentionKey,
+  kAttentionValue,
+  kAttentionOutput,
+  kLogit,    // QK^T score computation; weight-free.
+  kAttend,   // score-weighted value combination; weight-free.
+  kSoftmax,
+  kLstmCell,  // Recurrent cell with 4 gate projections (input/forget/cell/output).
+  kGruCell,   // Recurrent cell with 3 gate projections (update/reset/candidate).
+  kOutput,
+};
+
+// Total number of distinct kinds (for iteration in profiling sweeps).
+inline constexpr int kNumOpKinds = static_cast<int>(OpKind::kOutput) + 1;
+
+// True for kinds that carry weight tensors (CONV, dense, norms, embedding,
+// attention projections). The paper's Insight in §3.2 distinguishes these:
+// weighted operations load slower and dominate transformation cost.
+bool OpKindHasWeights(OpKind kind);
+
+// Short human-readable name, e.g. "Conv2D".
+const char* OpKindName(OpKind kind);
+
+// Parses the result of OpKindName; returns kOutput on unknown names.
+OpKind OpKindFromName(const std::string& name);
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_GRAPH_OP_KIND_H_

@@ -1,0 +1,55 @@
+#include "src/graph/operation.h"
+
+#include <sstream>
+
+namespace optimus {
+
+void Operation::AllocateWeights() {
+  weights.clear();
+  for (const Shape& shape : WeightShapesFor(kind, attrs)) {
+    weights.emplace_back(shape);
+  }
+}
+
+void Operation::InitializeWeights(Rng* rng) {
+  AllocateWeights();
+  for (Tensor& weight : weights) {
+    weight.FillRandom(rng);
+  }
+}
+
+int64_t Operation::WeightElements() const {
+  int64_t total = 0;
+  for (const Tensor& weight : weights) {
+    total += weight.NumElements();
+  }
+  return total;
+}
+
+int64_t Operation::WeightBytes() const {
+  return WeightElements() * static_cast<int64_t>(sizeof(float));
+}
+
+bool Operation::SameStructure(const Operation& other) const {
+  return kind == other.kind && attrs == other.attrs;
+}
+
+bool Operation::Identical(const Operation& other) const {
+  if (!SameStructure(other) || weights.size() != other.weights.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (!weights[i].ElementsEqual(other.weights[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Operation::ToString() const {
+  std::ostringstream out;
+  out << "#" << id << " " << OpKindName(kind) << " " << attrs.ToString();
+  return out.str();
+}
+
+}  // namespace optimus

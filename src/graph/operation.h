@@ -1,0 +1,48 @@
+// A single operation (graph node) with its weights.
+
+#ifndef OPTIMUS_SRC_GRAPH_OPERATION_H_
+#define OPTIMUS_SRC_GRAPH_OPERATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/op_attributes.h"
+#include "src/graph/op_kind.h"
+#include "src/tensor/tensor.h"
+
+namespace optimus {
+
+using OpId = int32_t;
+
+inline constexpr OpId kInvalidOpId = -1;
+
+// An operation in a model's computational graph. Weight tensors (if the kind
+// carries weights) are stored in the canonical order of WeightShapesFor.
+struct Operation {
+  OpId id = kInvalidOpId;
+  OpKind kind = OpKind::kOutput;
+  OpAttributes attrs;
+  std::vector<Tensor> weights;
+
+  // Allocates zero weights matching (kind, attrs).
+  void AllocateWeights();
+
+  // Allocates weights and fills them with deterministic pseudo-random values.
+  void InitializeWeights(Rng* rng);
+
+  int64_t WeightElements() const;
+  int64_t WeightBytes() const;
+
+  // True if kind and attributes match (weights may differ).
+  bool SameStructure(const Operation& other) const;
+
+  // True if kind, attributes, and all weight elements match.
+  bool Identical(const Operation& other) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_GRAPH_OPERATION_H_

@@ -1,0 +1,201 @@
+#include "src/graph/serialization.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace optimus {
+
+namespace {
+
+constexpr char kMagic[4] = {'O', 'P', 'T', 'M'};
+constexpr uint32_t kVersion = 1;
+
+class Writer {
+ public:
+  explicit Writer(ModelFile* out) : out_(out) {}
+
+  void Raw(const void* data, size_t size) {
+    const auto* bytes = static_cast<const uint8_t*>(data);
+    out_->insert(out_->end(), bytes, bytes + size);
+  }
+
+  template <typename T>
+  void Scalar(T value) {
+    Raw(&value, sizeof(T));
+  }
+
+  void String(const std::string& value) {
+    Scalar<uint32_t>(static_cast<uint32_t>(value.size()));
+    Raw(value.data(), value.size());
+  }
+
+ private:
+  ModelFile* out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const ModelFile& file) : file_(file) {}
+
+  void Raw(void* data, size_t size) {
+    if (pos_ + size > file_.size()) {
+      throw std::runtime_error("DeserializeModel: truncated model file");
+    }
+    std::memcpy(data, file_.data() + pos_, size);
+    pos_ += size;
+  }
+
+  template <typename T>
+  T Scalar() {
+    T value;
+    Raw(&value, sizeof(T));
+    return value;
+  }
+
+  std::string String() {
+    const uint32_t size = Scalar<uint32_t>();
+    std::string value(size, '\0');
+    Raw(value.data(), size);
+    return value;
+  }
+
+  bool AtEnd() const { return pos_ == file_.size(); }
+
+ private:
+  const ModelFile& file_;
+  size_t pos_ = 0;
+};
+
+void WriteAttrs(Writer* writer, const OpAttributes& attrs) {
+  writer->Scalar<int64_t>(attrs.kernel_h);
+  writer->Scalar<int64_t>(attrs.kernel_w);
+  writer->Scalar<int64_t>(attrs.stride);
+  writer->Scalar<int64_t>(attrs.in_channels);
+  writer->Scalar<int64_t>(attrs.out_channels);
+  writer->Scalar<int64_t>(attrs.vocab_size);
+  writer->Scalar<int64_t>(attrs.heads);
+  writer->Scalar<uint8_t>(static_cast<uint8_t>(attrs.activation));
+}
+
+OpAttributes ReadAttrs(Reader* reader) {
+  OpAttributes attrs;
+  attrs.kernel_h = reader->Scalar<int64_t>();
+  attrs.kernel_w = reader->Scalar<int64_t>();
+  attrs.stride = reader->Scalar<int64_t>();
+  attrs.in_channels = reader->Scalar<int64_t>();
+  attrs.out_channels = reader->Scalar<int64_t>();
+  attrs.vocab_size = reader->Scalar<int64_t>();
+  attrs.heads = reader->Scalar<int64_t>();
+  attrs.activation = static_cast<ActivationType>(reader->Scalar<uint8_t>());
+  return attrs;
+}
+
+}  // namespace
+
+ModelFile SerializeModel(const Model& model) {
+  ModelFile file;
+  Writer writer(&file);
+  writer.Raw(kMagic, sizeof(kMagic));
+  writer.Scalar<uint32_t>(kVersion);
+  writer.String(model.name());
+  writer.String(model.family());
+  writer.Scalar<uint32_t>(static_cast<uint32_t>(model.NumOps()));
+  for (const auto& [id, op] : model.ops()) {
+    writer.Scalar<int32_t>(id);
+    writer.Scalar<uint8_t>(static_cast<uint8_t>(op.kind));
+    WriteAttrs(&writer, op.attrs);
+    writer.Scalar<uint32_t>(static_cast<uint32_t>(op.weights.size()));
+    for (const Tensor& weight : op.weights) {
+      writer.Scalar<uint8_t>(static_cast<uint8_t>(weight.shape().Rank()));
+      for (int64_t dim : weight.shape().dims()) {
+        writer.Scalar<int64_t>(dim);
+      }
+      writer.Raw(weight.data(), static_cast<size_t>(weight.SizeBytes()));
+    }
+  }
+  writer.Scalar<uint32_t>(static_cast<uint32_t>(model.NumEdges()));
+  for (const Edge& edge : model.edges()) {
+    writer.Scalar<int32_t>(edge.first);
+    writer.Scalar<int32_t>(edge.second);
+  }
+  return file;
+}
+
+Model DeserializeModel(const ModelFile& file) {
+  Reader reader(file);
+  char magic[4];
+  reader.Raw(magic, sizeof(magic));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("DeserializeModel: bad magic");
+  }
+  const uint32_t version = reader.Scalar<uint32_t>();
+  if (version != kVersion) {
+    throw std::runtime_error("DeserializeModel: unsupported version " + std::to_string(version));
+  }
+  std::string name = reader.String();
+  std::string family = reader.String();
+  Model model(std::move(name), std::move(family));
+  const uint32_t op_count = reader.Scalar<uint32_t>();
+  for (uint32_t i = 0; i < op_count; ++i) {
+    Operation op;
+    op.id = reader.Scalar<int32_t>();
+    op.kind = static_cast<OpKind>(reader.Scalar<uint8_t>());
+    op.attrs = ReadAttrs(&reader);
+    const uint32_t weight_count = reader.Scalar<uint32_t>();
+    for (uint32_t w = 0; w < weight_count; ++w) {
+      const uint8_t rank = reader.Scalar<uint8_t>();
+      std::vector<int64_t> dims(rank);
+      for (auto& dim : dims) {
+        dim = reader.Scalar<int64_t>();
+      }
+      Tensor tensor(Shape{std::move(dims)});
+      reader.Raw(tensor.data(), static_cast<size_t>(tensor.SizeBytes()));
+      op.weights.push_back(std::move(tensor));
+    }
+    model.AddOpWithId(std::move(op));
+  }
+  const uint32_t edge_count = reader.Scalar<uint32_t>();
+  for (uint32_t i = 0; i < edge_count; ++i) {
+    const int32_t from = reader.Scalar<int32_t>();
+    const int32_t to = reader.Scalar<int32_t>();
+    model.AddEdge(from, to);
+  }
+  if (!reader.AtEnd()) {
+    throw std::runtime_error("DeserializeModel: trailing bytes");
+  }
+  return model;
+}
+
+void WriteModelFile(const ModelFile& file, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("WriteModelFile: cannot open " + path);
+  }
+  out.write(reinterpret_cast<const char*>(file.data()), static_cast<std::streamsize>(file.size()));
+}
+
+ModelFile ReadModelFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    throw std::runtime_error("ReadModelFile: cannot open " + path);
+  }
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  ModelFile file(static_cast<size_t>(size));
+  in.read(reinterpret_cast<char*>(file.data()), size);
+  return file;
+}
+
+std::string DescribeModel(const Model& model) {
+  std::ostringstream out;
+  out << model.name() << " (family=" << model.family() << ", ops=" << model.NumOps()
+      << ", edges=" << model.NumEdges() << ", params=" << model.ParamCount() << ")\n";
+  for (const OpId id : model.TopologicalOrder()) {
+    out << "  " << model.op(id).ToString() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace optimus

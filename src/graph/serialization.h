@@ -1,0 +1,46 @@
+// Binary model-file serialization.
+//
+// Stands in for the HDF5 / SavedModel files the paper's prototype stores in a
+// Docker volume. The format is a simple little-endian byte stream:
+//
+//   magic "OPTM" | u32 version | name | family
+//   u32 op_count | per op: i32 id, u8 kind, attrs, u32 weight_count,
+//                  per weight: u8 rank, i64 dims..., f32 data...
+//   u32 edge_count | per edge: i32 from, i32 to
+//
+// The loader in src/runtime deserializes these files in the same three phases
+// the paper measures: file parse, structure build, weight assignment.
+
+#ifndef OPTIMUS_SRC_GRAPH_SERIALIZATION_H_
+#define OPTIMUS_SRC_GRAPH_SERIALIZATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/model.h"
+
+namespace optimus {
+
+// A serialized model ("model file" bytes).
+using ModelFile = std::vector<uint8_t>;
+
+// Serializes the model, including weights. Ops without allocated weights are
+// written as structure-only (weight_count = 0).
+ModelFile SerializeModel(const Model& model);
+
+// Parses a model file back into a Model. Throws std::runtime_error on a
+// malformed stream.
+Model DeserializeModel(const ModelFile& file);
+
+// Writes/reads a model file to/from disk.
+void WriteModelFile(const ModelFile& file, const std::string& path);
+ModelFile ReadModelFile(const std::string& path);
+
+// A structure-only textual summary (one op per line), useful for examples and
+// debugging; loosely mirrors the JSON structure files in the paper's §7.
+std::string DescribeModel(const Model& model);
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_GRAPH_SERIALIZATION_H_

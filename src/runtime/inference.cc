@@ -1,0 +1,241 @@
+#include "src/runtime/inference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace optimus {
+
+namespace {
+
+using Vector = std::vector<float>;
+
+float MeanOf(const Vector& values) {
+  if (values.empty()) {
+    return 0.0f;
+  }
+  double sum = 0.0;
+  for (const float v : values) {
+    sum += v;
+  }
+  return static_cast<float>(sum / static_cast<double>(values.size()));
+}
+
+// out[j] = bias[j] + sum_r in[r mod |in|] * W[r][j], for matrix-like weights
+// whose last dimension indexes output channels. Each weight row is driven by
+// a (cyclically indexed) input element, so outputs depend on the full weight
+// tensor and the input pattern.
+Vector ProjectThroughMatrix(const Vector& in, const Tensor& weight, const Tensor* bias) {
+  const Shape& shape = weight.shape();
+  const int64_t out_channels = shape.Dim(shape.Rank() - 1);
+  const int64_t rows = weight.NumElements() / out_channels;
+  Vector out(static_cast<size_t>(out_channels), 0.0f);
+  const size_t in_size = in.size();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float in_value = in_size == 0 ? 0.0f : in[static_cast<size_t>(r) % in_size];
+    if (in_value == 0.0f) {
+      continue;
+    }
+    const float* row = weight.data() + r * out_channels;
+    for (int64_t j = 0; j < out_channels; ++j) {
+      out[static_cast<size_t>(j)] += in_value * row[j];
+    }
+  }
+  for (int64_t j = 0; j < out_channels; ++j) {
+    if (bias != nullptr) {
+      out[static_cast<size_t>(j)] += bias->At(j);
+    }
+  }
+  return out;
+}
+
+Vector ApplyOp(const Operation& op, const std::vector<Vector>& inputs) {
+  const Vector& in = inputs.empty() ? Vector{} : inputs.front();
+  switch (op.kind) {
+    case OpKind::kInput:
+    case OpKind::kMaxPool:
+    case OpKind::kAvgPool:
+    case OpKind::kGlobalAvgPool:
+    case OpKind::kFlatten:
+    case OpKind::kDropout:
+    case OpKind::kLogit:
+    case OpKind::kAttend:
+    case OpKind::kOutput:
+      return in;
+    case OpKind::kConv2D:
+    case OpKind::kDense:
+    case OpKind::kAttentionQuery:
+    case OpKind::kAttentionKey:
+    case OpKind::kAttentionValue:
+    case OpKind::kAttentionOutput:
+      return ProjectThroughMatrix(in, op.weights.at(0),
+                                  op.weights.size() > 1 ? &op.weights.at(1) : nullptr);
+    case OpKind::kLstmCell:
+    case OpKind::kGruCell: {
+      // One step of the recurrence: project the input through the
+      // input-to-hidden kernel, then average the stacked gate activations
+      // down to the hidden width.
+      const int64_t gates = op.kind == OpKind::kLstmCell ? 4 : 3;
+      const int64_t hidden = op.attrs.out_channels;
+      Vector gated = ProjectThroughMatrix(in, op.weights.at(0), &op.weights.at(2));
+      Vector out(static_cast<size_t>(hidden), 0.0f);
+      for (int64_t h = 0; h < hidden; ++h) {
+        float acc = 0.0f;
+        for (int64_t g = 0; g < gates; ++g) {
+          acc += gated[static_cast<size_t>(g * hidden + h) % gated.size()];
+        }
+        out[static_cast<size_t>(h)] =
+            std::tanh(acc / static_cast<float>(gates));
+      }
+      return out;
+    }
+    case OpKind::kDepthwiseConv2D: {
+      // Per-channel scale: out[c] = in[c] * kernel_mean(c) + bias[c].
+      const Tensor& kernel = op.weights.at(0);
+      const int64_t channels = op.attrs.in_channels;
+      const int64_t cells = kernel.NumElements() / channels;
+      Vector out(static_cast<size_t>(channels), 0.0f);
+      for (int64_t c = 0; c < channels; ++c) {
+        double acc = 0.0;
+        // Kernel layout: [kh, kw, channels, 1]; stride over the channel axis.
+        for (int64_t cell = 0; cell < cells; ++cell) {
+          acc += kernel.At(cell * channels + c);
+        }
+        const float in_value =
+            in.empty() ? 0.0f : in[static_cast<size_t>(c) % in.size()];
+        out[static_cast<size_t>(c)] =
+            in_value * static_cast<float>(acc / static_cast<double>(cells)) +
+            op.weights.at(1).At(c);
+      }
+      return out;
+    }
+    case OpKind::kBatchNorm:
+    case OpKind::kLayerNorm: {
+      const Tensor& gamma = op.weights.at(0);
+      const Tensor& beta = op.weights.at(1);
+      const int64_t channels = op.attrs.out_channels;
+      Vector out(static_cast<size_t>(channels), 0.0f);
+      for (int64_t c = 0; c < channels; ++c) {
+        const float in_value = in.empty() ? 0.0f : in[static_cast<size_t>(c) % in.size()];
+        out[static_cast<size_t>(c)] = in_value * gamma.At(c) + beta.At(c);
+      }
+      return out;
+    }
+    case OpKind::kEmbedding: {
+      // out[j] = mean over the vocabulary of embedding column j, scaled by the
+      // mean input token summary.
+      const Tensor& table = op.weights.at(0);
+      const int64_t dim = op.attrs.out_channels;
+      const int64_t vocab = table.NumElements() / dim;
+      Vector out(static_cast<size_t>(dim), 0.0f);
+      for (int64_t v = 0; v < vocab; ++v) {
+        for (int64_t j = 0; j < dim; ++j) {
+          out[static_cast<size_t>(j)] += table.At(v * dim + j);
+        }
+      }
+      const float scale = in.empty() ? 1.0f : (1.0f + MeanOf(in));
+      for (auto& value : out) {
+        value = value / static_cast<float>(vocab) * scale;
+      }
+      return out;
+    }
+    case OpKind::kActivation: {
+      Vector out = in;
+      switch (op.attrs.activation) {
+        case ActivationType::kRelu:
+        case ActivationType::kRelu6:
+          for (auto& v : out) {
+            v = std::max(0.0f, v);
+          }
+          break;
+        case ActivationType::kGelu:
+          for (auto& v : out) {
+            v = 0.5f * v * (1.0f + std::tanh(0.7978845608f * (v + 0.044715f * v * v * v)));
+          }
+          break;
+        case ActivationType::kSigmoid:
+          for (auto& v : out) {
+            v = 1.0f / (1.0f + std::exp(-v));
+          }
+          break;
+        case ActivationType::kTanh:
+          for (auto& v : out) {
+            v = std::tanh(v);
+          }
+          break;
+        case ActivationType::kNone:
+          break;
+      }
+      return out;
+    }
+    case OpKind::kSoftmax: {
+      Vector out = in;
+      if (out.empty()) {
+        return out;
+      }
+      const float max_value = *std::max_element(out.begin(), out.end());
+      double total = 0.0;
+      for (auto& v : out) {
+        v = std::exp(v - max_value);
+        total += v;
+      }
+      for (auto& v : out) {
+        v = static_cast<float>(v / total);
+      }
+      return out;
+    }
+    case OpKind::kAdd: {
+      size_t width = 0;
+      for (const Vector& input : inputs) {
+        width = std::max(width, input.size());
+      }
+      Vector out(width, 0.0f);
+      for (const Vector& input : inputs) {
+        for (size_t i = 0; i < input.size(); ++i) {
+          out[i] += input[i];
+        }
+      }
+      return out;
+    }
+    case OpKind::kConcat: {
+      Vector out;
+      for (const Vector& input : inputs) {
+        out.insert(out.end(), input.begin(), input.end());
+      }
+      return out;
+    }
+  }
+  throw std::runtime_error("ApplyOp: unhandled op kind");
+}
+
+}  // namespace
+
+std::vector<float> RunInference(const ModelInstance& instance, const std::vector<float>& input) {
+  const Model& model = instance.model;
+  std::map<OpId, Vector> values;
+  Vector output;
+  for (const OpId id : model.TopologicalOrder()) {
+    const Operation& op = model.op(id);
+    std::vector<Vector> inputs;
+    if (op.kind == OpKind::kInput) {
+      inputs.push_back(input);
+    } else {
+      for (const OpId pred : model.Predecessors(id)) {
+        inputs.push_back(values.at(pred));
+      }
+    }
+    values[id] = ApplyOp(op, inputs);
+    output = values[id];
+  }
+  return output;
+}
+
+int ArgMax(const std::vector<float>& values) {
+  if (values.empty()) {
+    return -1;
+  }
+  return static_cast<int>(std::max_element(values.begin(), values.end()) - values.begin());
+}
+
+}  // namespace optimus

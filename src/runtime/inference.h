@@ -1,0 +1,28 @@
+// Forward-pass execution over a loaded model instance.
+//
+// This executor propagates channel-level activation summaries through the
+// computational graph: each operation maps its inputs' per-channel values
+// through its weights. It is deliberately lightweight (O(parameters) per
+// request) but *real* — outputs are deterministic functions of the resident
+// weights, so a transformed container provably serves the destination
+// function's model (tests compare transformed-vs-scratch-loaded outputs).
+
+#ifndef OPTIMUS_SRC_RUNTIME_INFERENCE_H_
+#define OPTIMUS_SRC_RUNTIME_INFERENCE_H_
+
+#include <vector>
+
+#include "src/runtime/loader.h"
+
+namespace optimus {
+
+// Runs the model on a channel-summary input vector and returns the output
+// vector (sized by the final dense layer, or the last op's channel count).
+std::vector<float> RunInference(const ModelInstance& instance, const std::vector<float>& input);
+
+// Index of the largest output element ("predicted class").
+int ArgMax(const std::vector<float>& values);
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_RUNTIME_INFERENCE_H_

@@ -1,0 +1,48 @@
+#include "src/runtime/loader.h"
+
+#include "src/common/rng.h"
+
+namespace optimus {
+
+namespace {
+
+void MaterializeWeights(Model* model, uint64_t weight_seed) {
+  Rng rng(weight_seed);
+  for (const OpId id : model->OpIds()) {
+    Operation& op = model->mutable_op(id);
+    if (!OpKindHasWeights(op.kind)) {
+      continue;
+    }
+    if (op.weights.empty()) {
+      op.InitializeWeights(&rng);
+    }
+  }
+}
+
+}  // namespace
+
+ModelInstance Loader::LoadFromFile(const ModelFile& file, uint64_t weight_seed,
+                                   LoadBreakdown* breakdown) const {
+  ModelInstance instance;
+  instance.model = DeserializeModel(file);
+  MaterializeWeights(&instance.model, weight_seed);
+  instance.model.Validate();
+  if (breakdown != nullptr) {
+    *breakdown = cost_model_->ModelLoadBreakdown(instance.model);
+  }
+  return instance;
+}
+
+ModelInstance Loader::Instantiate(const Model& structure, uint64_t weight_seed,
+                                  LoadBreakdown* breakdown) const {
+  ModelInstance instance;
+  instance.model = structure;
+  MaterializeWeights(&instance.model, weight_seed);
+  instance.model.Validate();
+  if (breakdown != nullptr) {
+    *breakdown = cost_model_->ModelLoadBreakdown(instance.model);
+  }
+  return instance;
+}
+
+}  // namespace optimus

@@ -1,0 +1,48 @@
+// Model loading: the in-container path the paper decomposes in §3.2 into
+// deserialization, structure loading, and weight assignment.
+
+#ifndef OPTIMUS_SRC_RUNTIME_LOADER_H_
+#define OPTIMUS_SRC_RUNTIME_LOADER_H_
+
+#include <cstdint>
+
+#include "src/graph/model.h"
+#include "src/graph/serialization.h"
+#include "src/runtime/cost_model.h"
+
+namespace optimus {
+
+// A model materialized inside a container's runtime, with weights resident.
+struct ModelInstance {
+  Model model;
+
+  bool Loaded() const { return model.NumOps() > 0; }
+};
+
+// Loads models into instances, performing the real work (parse, graph
+// construction, weight tensor allocation and fill) while also reporting the
+// calibrated latency decomposition from the cost model — the simulator and
+// benchmarks consume the latter so results are deterministic across machines.
+class Loader {
+ public:
+  explicit Loader(const CostModel* cost_model) : cost_model_(cost_model) {}
+
+  // Deserializes a model file and materializes its weights. Ops serialized
+  // structure-only get deterministic weights derived from `weight_seed`.
+  ModelInstance LoadFromFile(const ModelFile& file, uint64_t weight_seed = 1,
+                             LoadBreakdown* breakdown = nullptr) const;
+
+  // Materializes a structure-only model (as produced by the zoo builders)
+  // with deterministic weights — the "load from scratch" path.
+  ModelInstance Instantiate(const Model& structure, uint64_t weight_seed = 1,
+                            LoadBreakdown* breakdown = nullptr) const;
+
+  const CostModel& cost_model() const { return *cost_model_; }
+
+ private:
+  const CostModel* cost_model_;
+};
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_RUNTIME_LOADER_H_

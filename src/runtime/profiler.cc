@@ -1,0 +1,239 @@
+#include "src/runtime/profiler.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/stopwatch.h"
+#include "src/graph/serialization.h"
+#include "src/tensor/tensor_ops.h"
+
+namespace optimus {
+
+namespace {
+
+// Times `body` `repetitions` times and returns the median duration.
+template <typename Body>
+double MedianTime(int repetitions, Body&& body) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(repetitions));
+  for (int i = 0; i < repetitions; ++i) {
+    Stopwatch watch;
+    body();
+    samples.push_back(watch.ElapsedSeconds());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+// Representative attributes of a kind at a "small" and a "large" size, used
+// as the two fit points.
+OpAttributes SampleAttrs(OpKind kind, bool large) {
+  OpAttributes attrs;
+  switch (kind) {
+    case OpKind::kConv2D:
+      attrs.kernel_h = attrs.kernel_w = 3;
+      attrs.in_channels = large ? 512 : 32;
+      attrs.out_channels = large ? 512 : 32;
+      break;
+    case OpKind::kDepthwiseConv2D:
+      attrs.kernel_h = attrs.kernel_w = 3;
+      attrs.in_channels = large ? 1024 : 64;
+      attrs.out_channels = attrs.in_channels;
+      break;
+    case OpKind::kDense:
+    case OpKind::kAttentionQuery:
+    case OpKind::kAttentionKey:
+    case OpKind::kAttentionValue:
+    case OpKind::kAttentionOutput:
+      attrs.in_channels = large ? 2048 : 128;
+      attrs.out_channels = large ? 2048 : 128;
+      break;
+    case OpKind::kBatchNorm:
+    case OpKind::kLayerNorm:
+      attrs.out_channels = large ? 2048 : 64;
+      break;
+    case OpKind::kEmbedding:
+      attrs.vocab_size = large ? 30522 : 1024;
+      attrs.out_channels = large ? 768 : 64;
+      break;
+    case OpKind::kLstmCell:
+    case OpKind::kGruCell:
+      attrs.in_channels = large ? 1024 : 64;
+      attrs.out_channels = large ? 1024 : 64;
+      break;
+    case OpKind::kActivation:
+      attrs.activation = ActivationType::kRelu;
+      break;
+    default:
+      break;
+  }
+  return attrs;
+}
+
+// Measures the cost of materializing one operation (structure + allocation).
+double MeasureOpBuild(OpKind kind, const OpAttributes& attrs, int repetitions) {
+  Rng rng(7);
+  return MedianTime(repetitions, [&] {
+    Operation op;
+    op.id = 0;
+    op.kind = kind;
+    op.attrs = attrs;
+    op.InitializeWeights(&rng);
+  });
+}
+
+}  // namespace
+
+CostProfile ProfileMachine(int repetitions) {
+  CostProfile profile;
+  Rng rng(11);
+
+  // --- Per-kind structure costs (two-point linear fit). ----------------------
+  for (int i = 0; i < kNumOpKinds; ++i) {
+    const OpKind kind = static_cast<OpKind>(i);
+    const OpAttributes small_attrs = SampleAttrs(kind, /*large=*/false);
+    const OpAttributes large_attrs = SampleAttrs(kind, /*large=*/true);
+    const int64_t small_elements = WeightElementsFor(kind, small_attrs);
+    const int64_t large_elements = WeightElementsFor(kind, large_attrs);
+    const double small_time = MeasureOpBuild(kind, small_attrs, repetitions);
+    LinearCost fit;
+    if (large_elements > small_elements) {
+      const double large_time = MeasureOpBuild(kind, large_attrs, repetitions);
+      fit.per_element = std::max(0.0, (large_time - small_time) /
+                                          static_cast<double>(large_elements - small_elements));
+      fit.base = std::max(0.0, small_time - fit.per_element *
+                                                static_cast<double>(small_elements));
+    } else {
+      fit.base = small_time;
+    }
+    profile.structure[static_cast<size_t>(i)] = fit;
+  }
+
+  // --- Weight assignment throughput (bulk overwrite). ------------------------
+  {
+    Tensor src(Shape({1024, 1024}));
+    src.FillRandom(&rng);
+    Tensor dst(Shape({1024, 1024}));
+    const double time = MedianTime(repetitions, [&] { OverwriteTensor(src, &dst); });
+    profile.weight_assign_per_byte = time / static_cast<double>(src.SizeBytes());
+    Tensor tiny_src(Shape({8}));
+    Tensor tiny_dst(Shape({8}));
+    // The per-tensor dispatch overhead is the cost of an (effectively empty)
+    // tensor overwrite.
+    profile.weight_assign_per_tensor =
+        MedianTime(repetitions, [&] { OverwriteTensor(tiny_src, &tiny_dst); });
+    profile.weight_assign_base = profile.weight_assign_per_tensor;
+  }
+
+  // --- Deserialization throughput. -------------------------------------------
+  {
+    Model sample("profile_sample", "profiler");
+    OpAttributes attrs;
+    attrs.in_channels = 512;
+    attrs.out_channels = 512;
+    const OpId id = sample.AddOp(OpKind::kDense, attrs);
+    sample.mutable_op(id).InitializeWeights(&rng);
+    const ModelFile file = SerializeModel(sample);
+    const double time = MedianTime(repetitions, [&] { DeserializeModel(file); });
+    profile.deserialize_per_byte = time / static_cast<double>(file.size());
+    profile.deserialize_base = 1e-6;
+  }
+
+  // --- Reshape (crop/pad resize) over two sizes. ------------------------------
+  {
+    Tensor small_tensor(Shape({3, 3, 32, 32}));
+    small_tensor.FillRandom(&rng);
+    const Shape small_target({3, 3, 32, 48});
+    Tensor large_tensor(Shape({3, 3, 256, 256}));
+    large_tensor.FillRandom(&rng);
+    const Shape large_target({3, 3, 256, 384});
+    const double small_time =
+        MedianTime(repetitions, [&] { ResizeToShape(small_tensor, small_target); });
+    const double large_time =
+        MedianTime(repetitions, [&] { ResizeToShape(large_tensor, large_target); });
+    const int64_t small_elements = small_tensor.NumElements() + small_target.NumElements();
+    const int64_t large_elements = large_tensor.NumElements() + large_target.NumElements();
+    profile.reshape.per_element =
+        std::max(0.0, (large_time - small_time) /
+                          static_cast<double>(large_elements - small_elements));
+    profile.reshape.base =
+        std::max(1e-7, small_time - profile.reshape.per_element *
+                                        static_cast<double>(small_elements));
+  }
+
+  // --- Constants. --------------------------------------------------------------
+  {
+    Model graph("profile_graph", "profiler");
+    std::vector<OpId> ids;
+    for (int i = 0; i < 64; ++i) {
+      ids.push_back(graph.AddOp(OpKind::kActivation, SampleAttrs(OpKind::kActivation, false)));
+      if (i > 0) {
+        graph.AddEdge(ids[static_cast<size_t>(i) - 1], ids[static_cast<size_t>(i)]);
+      }
+    }
+    profile.reduce = MedianTime(repetitions, [&] {
+                       Model copy = graph;
+                       copy.RemoveOp(ids[32]);
+                     }) /
+                     1.0;
+    profile.edge = MedianTime(repetitions, [&] {
+                     graph.AddEdge(ids[0], ids[63]);
+                     graph.RemoveEdge(ids[0], ids[63]);
+                   }) /
+                   2.0;
+    profile.replace_overhead = profile.weight_assign_base;
+  }
+
+  return profile;
+}
+
+std::string CostProfile::ToString() const {
+  std::ostringstream out;
+  out << "CostProfile{\n";
+  for (int i = 0; i < kNumOpKinds; ++i) {
+    const auto& fit = structure[static_cast<size_t>(i)];
+    out << "  " << OpKindName(static_cast<OpKind>(i)) << ": base=" << fit.base
+        << " per_element=" << fit.per_element << "\n";
+  }
+  out << "  weight_assign: base=" << weight_assign_base << " per_tensor="
+      << weight_assign_per_tensor << " per_byte=" << weight_assign_per_byte
+      << "\n  deserialize: base=" << deserialize_base << " per_byte=" << deserialize_per_byte
+      << "\n  reshape: base=" << reshape.base << " per_element=" << reshape.per_element
+      << "\n  reduce=" << reduce << " edge=" << edge << " replace_overhead=" << replace_overhead
+      << "\n}";
+  return out.str();
+}
+
+double MeasuredCostModel::OpStructureCost(OpKind kind, const OpAttributes& attrs) const {
+  return profile_.structure[static_cast<size_t>(kind)].Eval(WeightElementsFor(kind, attrs));
+}
+
+double MeasuredCostModel::WeightAssignCost(int64_t bytes, int64_t tensor_count) const {
+  if (bytes <= 0 && tensor_count <= 0) {
+    return 0.0;
+  }
+  return profile_.weight_assign_base +
+         profile_.weight_assign_per_tensor * static_cast<double>(tensor_count) +
+         profile_.weight_assign_per_byte * static_cast<double>(bytes);
+}
+
+double MeasuredCostModel::DeserializeCost(int64_t bytes) const {
+  return profile_.deserialize_base + profile_.deserialize_per_byte * static_cast<double>(bytes);
+}
+
+double MeasuredCostModel::ReshapeCost(OpKind kind, const OpAttributes& src,
+                                      const OpAttributes& dst) const {
+  const int64_t elements = WeightElementsFor(kind, src) + WeightElementsFor(kind, dst);
+  return profile_.reshape.Eval(elements);
+}
+
+double MeasuredCostModel::ReduceCost() const { return profile_.reduce; }
+
+double MeasuredCostModel::EdgeCost() const { return profile_.edge; }
+
+double MeasuredCostModel::ReplaceOverhead() const { return profile_.replace_overhead; }
+
+}  // namespace optimus

@@ -1,0 +1,75 @@
+// Offline profiling for meta-operators (paper §4.4, Module 1) and the
+// measured cost model it produces.
+//
+// The profiler measures real wall-clock costs of the primitive data paths on
+// the current machine (op materialization, weight overwrite, tensor resize,
+// file parse) and fits per-kind linear models cost = base + slope * elements.
+// Refresh() re-runs the measurements, implementing the online-profiling
+// extension discussed in §6.
+
+#ifndef OPTIMUS_SRC_RUNTIME_PROFILER_H_
+#define OPTIMUS_SRC_RUNTIME_PROFILER_H_
+
+#include <array>
+#include <string>
+
+#include "src/runtime/cost_model.h"
+
+namespace optimus {
+
+// A fitted linear cost: seconds = base + per_element * weight_elements.
+struct LinearCost {
+  double base = 0.0;
+  double per_element = 0.0;
+
+  double Eval(int64_t elements) const {
+    return base + per_element * static_cast<double>(elements);
+  }
+};
+
+// The raw profile produced by measurement; serializable to text for caching.
+struct CostProfile {
+  std::array<LinearCost, kNumOpKinds> structure;  // Per-kind structure cost.
+  double weight_assign_per_byte = 0.0;
+  double weight_assign_per_tensor = 0.0;
+  double weight_assign_base = 0.0;
+  double deserialize_per_byte = 0.0;
+  double deserialize_base = 0.0;
+  LinearCost reshape;  // Over (src + dst) weight elements.
+  double reduce = 0.0;
+  double edge = 0.0;
+  double replace_overhead = 0.0;
+
+  std::string ToString() const;
+};
+
+// Measures a CostProfile on the current machine. `repetitions` controls the
+// number of timed iterations per data point (median taken).
+CostProfile ProfileMachine(int repetitions = 5);
+
+// CostModel backed by a measured profile.
+class MeasuredCostModel final : public CostModel {
+ public:
+  explicit MeasuredCostModel(CostProfile profile) : profile_(std::move(profile)) {}
+
+  // Re-measures the profile in place (online profiling, §6).
+  void Refresh(int repetitions = 5) { profile_ = ProfileMachine(repetitions); }
+
+  const CostProfile& profile() const { return profile_; }
+
+  double OpStructureCost(OpKind kind, const OpAttributes& attrs) const override;
+  double WeightAssignCost(int64_t bytes, int64_t tensor_count) const override;
+  double DeserializeCost(int64_t bytes) const override;
+  double ReshapeCost(OpKind kind, const OpAttributes& src,
+                     const OpAttributes& dst) const override;
+  double ReduceCost() const override;
+  double EdgeCost() const override;
+  double ReplaceOverhead() const override;
+
+ private:
+  CostProfile profile_;
+};
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_RUNTIME_PROFILER_H_

@@ -1,0 +1,306 @@
+#include "src/sim/simulator.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <stdexcept>
+
+namespace optimus {
+
+namespace {
+
+enum class EventType : uint8_t { kArrival = 0, kCompletion };
+
+struct Event {
+  double time = 0.0;
+  uint64_t seq = 0;  // Tie-breaker for deterministic ordering.
+  EventType type = EventType::kArrival;
+  size_t request_index = 0;
+  int node = -1;
+  ContainerId container = -1;
+
+  bool operator>(const Event& other) const {
+    if (time != other.time) {
+      return time > other.time;
+    }
+    return seq > other.seq;
+  }
+};
+
+struct NodeState {
+  ContainerPool pool;
+  std::deque<size_t> queue;  // FIFO of pending request indices.
+
+  NodeState(int capacity, double idle_threshold, double keep_alive, int64_t memory_limit)
+      : pool(capacity, idle_threshold, keep_alive, memory_limit) {}
+};
+
+class Simulation {
+ public:
+  Simulation(const std::vector<Model>& models, const Trace& trace, const SimConfig& config,
+             const CostModel& costs)
+      : trace_(trace), config_(config) {
+    for (const Model& model : models) {
+      repository_.emplace(model.name(), model);
+      scratch_costs_.emplace(model.name(), costs.ScratchLoadCost(model));
+    }
+    PolicyContext context;
+    context.repository = &repository_;
+    context.costs = &costs;
+    context.profile = config.profile;
+    context.planner = config.planner;
+    policy_ = MakeStartupPolicy(config.system, context);
+
+    const auto history = DemandHistory(trace, Horizon(trace), /*slot_seconds=*/300.0);
+    placement_ = PlaceFunctions(models, config.num_nodes, history, costs, config.balancer);
+
+    nodes_.reserve(static_cast<size_t>(config.num_nodes));
+    for (int i = 0; i < config.num_nodes; ++i) {
+      nodes_.emplace_back(config.containers_per_node, config.idle_threshold, config.keep_alive,
+                          config.node_memory_bytes);
+    }
+    result_.records.resize(trace.size());
+  }
+
+  SimResult Run() {
+    for (size_t i = 0; i < trace_.size(); ++i) {
+      Event event;
+      event.time = trace_[i].arrival;
+      event.seq = next_seq_++;
+      event.type = EventType::kArrival;
+      event.request_index = i;
+      events_.push(event);
+    }
+    while (!events_.empty()) {
+      const Event event = events_.top();
+      events_.pop();
+      if (event.type == EventType::kArrival) {
+        OnArrival(event.request_index, event.time);
+      } else {
+        OnCompletion(event.node, event.container, event.time);
+      }
+    }
+    return std::move(result_);
+  }
+
+ private:
+  static double Horizon(const Trace& trace) {
+    return trace.empty() ? 1.0 : trace.back().arrival + 1.0;
+  }
+
+  void OnArrival(size_t request_index, double now) {
+    const std::string& function = trace_[request_index].function;
+    auto placed = placement_.find(function);
+    if (placed == placement_.end()) {
+      throw std::runtime_error("RunSimulation: unregistered function " + function);
+    }
+    const int node = placed->second;
+    if (!TryServe(node, request_index, now)) {
+      nodes_[static_cast<size_t>(node)].queue.push_back(request_index);
+    }
+  }
+
+  void OnCompletion(int node_index, ContainerId container_id, double now) {
+    NodeState& node = nodes_[static_cast<size_t>(node_index)];
+    Container* container = node.pool.Find(container_id);
+    if (container != nullptr) {
+      container->state = ContainerState::kIdle;
+      container->last_active = now;
+    }
+    // Drain the node's queue in FIFO order while requests can be served.
+    while (!node.queue.empty() && TryServe(node_index, node.queue.front(), now)) {
+      node.queue.pop_front();
+    }
+  }
+
+  // Attempts to serve the request on its node right now; returns false if it
+  // must (continue to) queue.
+  bool TryServe(int node_index, size_t request_index, double now) {
+    NodeState& node = nodes_[static_cast<size_t>(node_index)];
+    const std::string& function = trace_[request_index].function;
+    const Model& model = repository_.at(function);
+    node.pool.ReapExpired(now);
+
+    RequestRecord& record = result_.records[request_index];
+    record.function = function;
+    record.arrival = trace_[request_index].arrival;
+    record.wait = now - record.arrival;
+    record.compute = config_.profile.InferenceCost(model);
+
+    // Warm start: an idle container already serving this function.
+    if (Container* warm = node.pool.FindWarm(function)) {
+      record.start = StartType::kWarm;
+      record.init = 0.0;
+      record.load = 0.0;
+      Occupy(warm, node_index, request_index, now, record);
+      return true;
+    }
+
+    // Memory the new container would need (0 when memory is unmodeled).
+    int64_t needed_memory = 0;
+    if (config_.node_memory_bytes > 0) {
+      needed_memory = config_.fine_grained_containers ? ContainerFootprintBytes(model)
+                                                      : config_.uniform_container_bytes;
+    }
+
+    StartupRequest request;
+    request.dest = &model;
+    // With fine-grained containers a donor must be large enough to host the
+    // new model (§6).
+    request.donors = node.pool.TransformCandidates(
+        function, now, config_.fine_grained_containers ? needed_memory : 0);
+    request.has_free_slot = node.pool.CanLaunch(needed_memory);
+    for (const Container& container : node.pool.containers()) {
+      request.resident_functions.push_back(container.function);
+    }
+    const StartupResult startup = policy_->Acquire(request);
+
+    record.start = startup.type;
+    record.init = startup.init_seconds;
+    record.load = startup.load_seconds;
+
+    if (startup.donor != nullptr) {
+      // Repurpose the donor container for this function.
+      startup.donor->function = function;
+      Occupy(startup.donor, node_index, request_index, now, record);
+      return true;
+    }
+
+    // Start a new container, evicting idle containers (per the eviction
+    // policy) until it fits, slot- and memory-wise.
+    while (!node.pool.CanLaunch(needed_memory)) {
+      Container* victim = config_.eviction == EvictionPolicy::kGreedyDual
+                              ? node.pool.MinPriorityIdle()
+                              : node.pool.LruIdle();
+      if (victim == nullptr) {
+        return false;  // All containers busy: queue.
+      }
+      // Greedy-dual aging: the clock advances to the evicted priority.
+      if (config_.eviction == EvictionPolicy::kGreedyDual) {
+        gd_clock_ = std::max(gd_clock_, victim->priority);
+      }
+      node.pool.Remove(victim->id);
+    }
+    Container* slot = node.pool.Launch(function, now, now, needed_memory);
+    Occupy(slot, node_index, request_index, now, record);
+    return true;
+  }
+
+  // Marks the container busy through init + load + compute and schedules the
+  // completion event.
+  void Occupy(Container* container, int node_index, size_t request_index, double now,
+              const RequestRecord& record) {
+    const double done = now + record.init + record.load + record.compute;
+    container->state = ContainerState::kBusy;
+    container->busy_until = done;
+    container->last_active = now;
+    if (config_.eviction == EvictionPolicy::kGreedyDual) {
+      // GDSF-style priority: aged clock plus the cost of bringing this
+      // function back after an eviction (a full cold start).
+      container->priority =
+          gd_clock_ + config_.profile.InitCost() +
+          scratch_costs_.at(trace_[request_index].function);
+    }
+    Event completion;
+    completion.time = done;
+    completion.seq = next_seq_++;
+    completion.type = EventType::kCompletion;
+    completion.request_index = request_index;
+    completion.node = node_index;
+    completion.container = container->id;
+    events_.push(completion);
+  }
+
+  const Trace& trace_;
+  SimConfig config_;
+  std::map<std::string, Model> repository_;
+  std::map<std::string, double> scratch_costs_;
+  double gd_clock_ = 0.0;
+  Placement placement_;
+  std::unique_ptr<StartupPolicy> policy_;
+  std::vector<NodeState> nodes_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  uint64_t next_seq_ = 0;
+  SimResult result_;
+};
+
+double Average(const std::vector<RequestRecord>& records, double (*get)(const RequestRecord&)) {
+  if (records.empty()) {
+    return 0.0;
+  }
+  double total = 0.0;
+  for (const RequestRecord& record : records) {
+    total += get(record);
+  }
+  return total / static_cast<double>(records.size());
+}
+
+}  // namespace
+
+double SimResult::AvgServiceTime() const {
+  return Average(records, [](const RequestRecord& r) { return r.ServiceTime(); });
+}
+
+double SimResult::AvgWait() const {
+  return Average(records, [](const RequestRecord& r) { return r.wait; });
+}
+
+double SimResult::AvgInit() const {
+  return Average(records, [](const RequestRecord& r) { return r.init; });
+}
+
+double SimResult::AvgLoad() const {
+  return Average(records, [](const RequestRecord& r) { return r.load; });
+}
+
+double SimResult::AvgCompute() const {
+  return Average(records, [](const RequestRecord& r) { return r.compute; });
+}
+
+size_t SimResult::CountOf(StartType type) const {
+  size_t count = 0;
+  for (const RequestRecord& record : records) {
+    if (record.start == type) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+double SimResult::ServiceTimePercentile(double q) const {
+  if (records.empty()) {
+    return 0.0;
+  }
+  std::vector<double> times;
+  times.reserve(records.size());
+  for (const RequestRecord& record : records) {
+    times.push_back(record.ServiceTime());
+  }
+  std::sort(times.begin(), times.end());
+  const double clamped = std::min(1.0, std::max(0.0, q));
+  const size_t index = std::min(times.size() - 1,
+                                static_cast<size_t>(clamped * static_cast<double>(times.size())));
+  return times[index];
+}
+
+double SimResult::FractionOf(StartType type) const {
+  if (records.empty()) {
+    return 0.0;
+  }
+  return static_cast<double>(CountOf(type)) / static_cast<double>(records.size());
+}
+
+int64_t ContainerFootprintBytes(const Model& model) {
+  // ~256 MiB of runtime/framework baseline plus weights with a 1.2x overhead
+  // for deserialization scratch and fragmentation.
+  constexpr int64_t kRuntimeBaseline = 256LL << 20;
+  return kRuntimeBaseline + static_cast<int64_t>(1.2 * static_cast<double>(model.WeightBytes()));
+}
+
+SimResult RunSimulation(const std::vector<Model>& models, const Trace& trace,
+                        const SimConfig& config, const CostModel& costs) {
+  Simulation simulation(models, trace, config, costs);
+  return simulation.Run();
+}
+
+}  // namespace optimus

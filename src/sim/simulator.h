@@ -1,0 +1,94 @@
+// Discrete-event cluster simulator for end-to-end serverless ML inference
+// experiments (paper §8.3-§8.5).
+//
+// Requests flow through the lifecycle the paper's Figure 1 describes:
+// dispatch to a node (via the load balancer), container acquisition
+// (warm start / transformation / cold start per the system's policy),
+// sandbox+runtime init, model load or transformation, inference compute.
+// Virtual time comes from the calibrated cost model, so results are
+// deterministic and machine-independent.
+
+#ifndef OPTIMUS_SRC_SIM_SIMULATOR_H_
+#define OPTIMUS_SRC_SIM_SIMULATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/balancer/balancer.h"
+#include "src/baselines/systems.h"
+#include "src/workload/trace.h"
+
+namespace optimus {
+
+// Which idle container a full node evicts for a fresh one. kGreedyDual is
+// the FaasCache-style keep-alive the paper calls complementary (§2.2): the
+// victim is the container whose model is cheapest to reload, aged by a
+// global clock.
+enum class EvictionPolicy : uint8_t { kLru = 0, kGreedyDual };
+
+struct SimConfig {
+  SystemType system = SystemType::kOptimus;
+  int num_nodes = 2;
+  int containers_per_node = 8;
+  double idle_threshold = 60.0;   // §4.2 timer threshold.
+  double keep_alive = 600.0;      // 10-minute keep-alive (§8.1).
+  EvictionPolicy eviction = EvictionPolicy::kLru;
+  SystemProfile profile = SystemProfile::Cpu();
+  // Placement strategy. The paper's Optimus uses the model sharing-aware
+  // balancer; existing systems hash.
+  BalancerOptions balancer;
+  PlannerKind planner = PlannerKind::kGroup;
+
+  // --- Memory modeling (§6 "fine-grained resource allocation"). -------------
+  // Per-node memory budget; 0 disables memory accounting entirely.
+  int64_t node_memory_bytes = 0;
+  // Homogeneous allocation (the paper's default): every container gets this
+  // size regardless of its model.
+  int64_t uniform_container_bytes = 4LL << 30;
+  // Fine-grained allocation (§6 extension): size each container to its
+  // model's footprint, fitting more containers per node — at the price that
+  // a small donor container cannot host a larger model.
+  bool fine_grained_containers = false;
+};
+
+// Memory footprint of serving `model` in a container (runtime baseline plus
+// resident weights with framework overhead).
+int64_t ContainerFootprintBytes(const Model& model);
+
+// Per-request latency decomposition.
+struct RequestRecord {
+  std::string function;
+  double arrival = 0.0;
+  double wait = 0.0;     // Queueing delay on the node.
+  double init = 0.0;     // Sandbox/runtime/GPU initialization.
+  double load = 0.0;     // Model load or transformation.
+  double compute = 0.0;  // Inference computation.
+  StartType start = StartType::kCold;
+
+  double ServiceTime() const { return wait + init + load + compute; }
+};
+
+struct SimResult {
+  std::vector<RequestRecord> records;
+
+  double AvgServiceTime() const;
+  double AvgWait() const;
+  double AvgInit() const;
+  double AvgLoad() const;
+  double AvgCompute() const;
+  // Fraction of requests served via the given start type, in [0, 1].
+  double FractionOf(StartType type) const;
+  size_t CountOf(StartType type) const;
+
+  // Service-time percentile (q in [0, 1], e.g. 0.5 / 0.95 / 0.99).
+  double ServiceTimePercentile(double q) const;
+};
+
+// Runs the trace through a cluster of the configured system. `models` are the
+// registered (structure-only) models; every function in `trace` must appear.
+SimResult RunSimulation(const std::vector<Model>& models, const Trace& trace,
+                        const SimConfig& config, const CostModel& costs);
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,28 @@
+#include "src/tensor/shape.h"
+
+#include <sstream>
+
+namespace optimus {
+
+int64_t Shape::NumElements() const {
+  int64_t count = 1;
+  for (int64_t d : dims_) {
+    count *= d;
+  }
+  return count;
+}
+
+std::string Shape::ToString() const {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) {
+      out << ", ";
+    }
+    out << dims_[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace optimus

@@ -1,0 +1,40 @@
+// Dense tensor shapes.
+
+#ifndef OPTIMUS_SRC_TENSOR_SHAPE_H_
+#define OPTIMUS_SRC_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace optimus {
+
+// The shape of a dense tensor: an ordered list of non-negative dimensions.
+// A rank-0 shape describes a scalar with one element.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) {}
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {}
+
+  int Rank() const { return static_cast<int>(dims_.size()); }
+  int64_t Dim(int axis) const { return dims_[static_cast<size_t>(axis)]; }
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  // Total number of elements (product of dimensions; 1 for a scalar).
+  int64_t NumElements() const;
+
+  // Human-readable form, e.g. "[3, 3, 64, 128]".
+  std::string ToString() const;
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+ private:
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_TENSOR_SHAPE_H_

@@ -1,0 +1,25 @@
+#include "src/tensor/tensor.h"
+
+#include <numeric>
+
+namespace optimus {
+
+Tensor::Tensor(const Shape& shape)
+    : shape_(shape), data_(static_cast<size_t>(shape.NumElements()), 0.0f) {}
+
+Tensor::Tensor(const Shape& shape, float fill)
+    : shape_(shape), data_(static_cast<size_t>(shape.NumElements()), fill) {}
+
+void Tensor::FillRandom(Rng* rng, float scale) {
+  for (auto& value : data_) {
+    value = static_cast<float>(rng->Normal(0.0, scale));
+  }
+}
+
+bool Tensor::ElementsEqual(const Tensor& other) const {
+  return shape_ == other.shape_ && data_ == other.data_;
+}
+
+double Tensor::Sum() const { return std::accumulate(data_.begin(), data_.end(), 0.0); }
+
+}  // namespace optimus

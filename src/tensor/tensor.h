@@ -1,0 +1,57 @@
+// A minimal dense float32 tensor.
+//
+// This is the weight substrate for model operations: meta-operators such as
+// Replace and Reshape perform real memory traffic (copy / pad / crop) over
+// Tensor storage, which is what gives transformation its size-dependent and
+// asymmetric cost behaviour.
+
+#ifndef OPTIMUS_SRC_TENSOR_TENSOR_H_
+#define OPTIMUS_SRC_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/tensor/shape.h"
+
+namespace optimus {
+
+// Owns a contiguous row-major float32 buffer described by a Shape.
+class Tensor {
+ public:
+  // An empty (rank-0, zero-filled scalar) tensor.
+  Tensor() : shape_({}), data_(1, 0.0f) {}
+
+  // Zero-initialized tensor of the given shape.
+  explicit Tensor(const Shape& shape);
+
+  // Tensor filled with a constant.
+  Tensor(const Shape& shape, float fill);
+
+  const Shape& shape() const { return shape_; }
+  int64_t NumElements() const { return static_cast<int64_t>(data_.size()); }
+  int64_t SizeBytes() const { return NumElements() * static_cast<int64_t>(sizeof(float)); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float At(int64_t flat_index) const { return data_[static_cast<size_t>(flat_index)]; }
+  void Set(int64_t flat_index, float value) { data_[static_cast<size_t>(flat_index)] = value; }
+
+  // Fills with deterministic pseudo-random weights drawn from N(0, scale).
+  void FillRandom(Rng* rng, float scale = 0.05f);
+
+  // Element-wise equality.
+  bool ElementsEqual(const Tensor& other) const;
+
+  // Sum of all elements (used by the toy forward pass and tests).
+  double Sum() const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_TENSOR_TENSOR_H_

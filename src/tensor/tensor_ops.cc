@@ -1,0 +1,86 @@
+#include "src/tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace optimus {
+
+Tensor CopyTensor(const Tensor& src) {
+  Tensor out(src.shape());
+  std::memcpy(out.data(), src.data(), static_cast<size_t>(src.SizeBytes()));
+  return out;
+}
+
+void OverwriteTensor(const Tensor& src, Tensor* dst) {
+  if (src.shape() != dst->shape()) {
+    throw std::invalid_argument("OverwriteTensor: shape mismatch " + src.shape().ToString() +
+                                " vs " + dst->shape().ToString());
+  }
+  std::memcpy(dst->data(), src.data(), static_cast<size_t>(src.SizeBytes()));
+}
+
+namespace {
+
+// Recursively copies the overlap box. `axis` walks the dimensions; `src_base`
+// and `dst_base` are flat offsets into the respective buffers.
+void CopyOverlap(const Tensor& src, Tensor* dst, const std::vector<int64_t>& src_strides,
+                 const std::vector<int64_t>& dst_strides, const std::vector<int64_t>& overlap,
+                 int axis, int64_t src_base, int64_t dst_base) {
+  if (axis == static_cast<int>(overlap.size()) - 1) {
+    // Innermost dimension is contiguous in both tensors: one memcpy.
+    std::memcpy(dst->data() + dst_base, src.data() + src_base,
+                static_cast<size_t>(overlap[static_cast<size_t>(axis)]) * sizeof(float));
+    return;
+  }
+  for (int64_t i = 0; i < overlap[static_cast<size_t>(axis)]; ++i) {
+    CopyOverlap(src, dst, src_strides, dst_strides, overlap, axis + 1,
+                src_base + i * src_strides[static_cast<size_t>(axis)],
+                dst_base + i * dst_strides[static_cast<size_t>(axis)]);
+  }
+}
+
+std::vector<int64_t> RowMajorStrides(const Shape& shape) {
+  std::vector<int64_t> strides(static_cast<size_t>(shape.Rank()), 1);
+  for (int axis = shape.Rank() - 2; axis >= 0; --axis) {
+    strides[static_cast<size_t>(axis)] =
+        strides[static_cast<size_t>(axis) + 1] * shape.Dim(axis + 1);
+  }
+  return strides;
+}
+
+}  // namespace
+
+Tensor ResizeToShape(const Tensor& src, const Shape& target) {
+  if (src.shape().Rank() != target.Rank()) {
+    throw std::invalid_argument("ResizeToShape: rank mismatch " + src.shape().ToString() +
+                                " vs " + target.ToString());
+  }
+  Tensor out(target);
+  if (target.Rank() == 0) {
+    out.Set(0, src.At(0));
+    return out;
+  }
+  std::vector<int64_t> overlap(static_cast<size_t>(target.Rank()));
+  for (int axis = 0; axis < target.Rank(); ++axis) {
+    overlap[static_cast<size_t>(axis)] = std::min(src.shape().Dim(axis), target.Dim(axis));
+    if (overlap[static_cast<size_t>(axis)] == 0) {
+      return out;
+    }
+  }
+  CopyOverlap(src, &out, RowMajorStrides(src.shape()), RowMajorStrides(target), overlap, 0, 0, 0);
+  return out;
+}
+
+int64_t OverlapElements(const Shape& a, const Shape& b) {
+  if (a.Rank() != b.Rank()) {
+    return 0;
+  }
+  int64_t count = 1;
+  for (int axis = 0; axis < a.Rank(); ++axis) {
+    count *= std::min(a.Dim(axis), b.Dim(axis));
+  }
+  return count;
+}
+
+}  // namespace optimus

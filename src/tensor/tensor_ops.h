@@ -1,0 +1,33 @@
+// Tensor transformation primitives used by the in-container meta-operators.
+//
+// ResizeToShape is the workhorse behind the Reshape meta-operator: it embeds
+// the overlapping region of the source tensor into a tensor of the destination
+// shape (cropping dimensions that shrink, zero-padding dimensions that grow),
+// so existing weights are reused rather than regenerated.
+
+#ifndef OPTIMUS_SRC_TENSOR_TENSOR_OPS_H_
+#define OPTIMUS_SRC_TENSOR_TENSOR_OPS_H_
+
+#include "src/tensor/tensor.h"
+
+namespace optimus {
+
+// Deep copy of `src` into a new tensor.
+Tensor CopyTensor(const Tensor& src);
+
+// Overwrites the contents of `dst` with the contents of `src`.
+// Requires identical shapes. This is the Replace meta-operator's data path.
+void OverwriteTensor(const Tensor& src, Tensor* dst);
+
+// Returns a tensor of `target` shape containing the overlap of `src` (the
+// elements whose indices are valid in both shapes), with all other elements
+// zero. Source and target must have the same rank. This is the Reshape
+// meta-operator's data path (crop and/or zero-pad per dimension).
+Tensor ResizeToShape(const Tensor& src, const Shape& target);
+
+// Number of elements copied by ResizeToShape (the size of the overlap box).
+int64_t OverlapElements(const Shape& a, const Shape& b);
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_TENSOR_TENSOR_OPS_H_

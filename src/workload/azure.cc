@@ -1,0 +1,103 @@
+#include "src/workload/azure.h"
+
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace optimus {
+
+namespace {
+
+constexpr double kDaySeconds = 24.0 * 3600;
+
+// Diurnal modulation: load peaks mid-day, troughs at night.
+double Diurnal(double t) {
+  return 0.75 + 0.25 * std::sin(2.0 * M_PI * t / kDaySeconds - M_PI / 2.0);
+}
+
+Trace GeneratePeriodic(const std::string& function, double rate, double horizon, Rng* rng) {
+  // Timer-triggered function: near-regular period with small jitter.
+  Trace trace;
+  const double period = 1.0 / rate;
+  double t = rng->Uniform(0.0, period);
+  while (t < horizon) {
+    trace.push_back({t, function});
+    t += period * rng->Uniform(0.9, 1.1);
+  }
+  return trace;
+}
+
+Trace GenerateBursty(const std::string& function, double rate, double horizon, Rng* rng) {
+  // On/off phases: quiet stretches punctuated by dense bursts.
+  Trace trace;
+  double t = 0.0;
+  while (t < horizon) {
+    // Off phase.
+    t += rng->Exponential(1.0 / 900.0);  // Mean 15 min quiet.
+    if (t >= horizon) {
+      break;
+    }
+    // Burst: a cluster of arrivals at ~20x the base rate.
+    const int64_t burst_size = 1 + rng->Poisson(rate * 600.0);
+    double burst_t = t;
+    for (int64_t i = 0; i < burst_size && burst_t < horizon; ++i) {
+      trace.push_back({burst_t, function});
+      burst_t += rng->Exponential(rate * 20.0);
+    }
+    t = burst_t;
+  }
+  return trace;
+}
+
+Trace GenerateSporadic(const std::string& function, double rate, double horizon, Rng* rng) {
+  // Rare Poisson arrivals with diurnal thinning.
+  Trace trace;
+  double t = rng->Exponential(rate);
+  while (t < horizon) {
+    if (rng->NextDouble() < Diurnal(t)) {
+      trace.push_back({t, function});
+    }
+    t += rng->Exponential(rate);
+  }
+  return trace;
+}
+
+}  // namespace
+
+AzurePattern AzurePatternFor(size_t function_index, uint64_t seed) {
+  Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * (function_index + 1)));
+  const double draw = rng.NextDouble();
+  if (draw < 0.30) {
+    return AzurePattern::kPeriodic;
+  }
+  if (draw < 0.55) {
+    return AzurePattern::kBursty;
+  }
+  return AzurePattern::kSporadic;
+}
+
+Trace GenerateAzureTrace(const std::vector<std::string>& functions,
+                         const AzureTraceOptions& options) {
+  std::vector<Trace> traces;
+  Rng seeder(options.seed);
+  for (size_t i = 0; i < functions.size(); ++i) {
+    // Zipf popularity: function rank i gets rate peak / (i+1)^skew.
+    const double rate =
+        options.peak_rate / std::pow(static_cast<double>(i + 1), options.popularity_skew);
+    Rng rng(seeder.NextU64());
+    switch (AzurePatternFor(i, options.seed)) {
+      case AzurePattern::kPeriodic:
+        traces.push_back(GeneratePeriodic(functions[i], rate, options.horizon_seconds, &rng));
+        break;
+      case AzurePattern::kBursty:
+        traces.push_back(GenerateBursty(functions[i], rate, options.horizon_seconds, &rng));
+        break;
+      case AzurePattern::kSporadic:
+        traces.push_back(GenerateSporadic(functions[i], rate, options.horizon_seconds, &rng));
+        break;
+    }
+  }
+  return MergeTraces(traces);
+}
+
+}  // namespace optimus

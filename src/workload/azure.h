@@ -1,0 +1,44 @@
+// Azure-Functions-like trace synthesis.
+//
+// The paper replays a two-week Microsoft Azure Functions production trace
+// (Zhang et al., SOSP'21 release of the Shahrad et al. dataset). That trace
+// is not redistributable here, so this generator synthesizes arrivals with
+// the trace's published first-order characteristics (Shahrad et al., ATC'20):
+//   * heavy-tailed function popularity (a few functions dominate invocations),
+//   * a mix of temporal patterns: periodic (timer-triggered spikes), bursty
+//     (on/off phases), and sporadic (rare, irregular invocations),
+//   * diurnal rate modulation.
+// Generation is fully deterministic from the seed.
+
+#ifndef OPTIMUS_SRC_WORKLOAD_AZURE_H_
+#define OPTIMUS_SRC_WORKLOAD_AZURE_H_
+
+#include <cstdint>
+
+#include "src/workload/trace.h"
+
+namespace optimus {
+
+enum class AzurePattern : uint8_t { kPeriodic = 0, kBursty, kSporadic };
+
+struct AzureTraceOptions {
+  double horizon_seconds = 4.0 * 3600;
+  uint64_t seed = 7;
+  // Zipf skew of function popularity (1.0 ≈ the published distribution).
+  double popularity_skew = 1.0;
+  // Base invocations/second of the most popular function.
+  double peak_rate = 0.08;
+};
+
+// Synthesizes a merged Azure-like trace over `functions`. Pattern types are
+// assigned deterministically: roughly 30% periodic, 25% bursty, 45% sporadic,
+// matching the characterization's mix.
+Trace GenerateAzureTrace(const std::vector<std::string>& functions,
+                         const AzureTraceOptions& options);
+
+// Pattern assigned to the i-th function by GenerateAzureTrace.
+AzurePattern AzurePatternFor(size_t function_index, uint64_t seed);
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_WORKLOAD_AZURE_H_

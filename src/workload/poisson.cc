@@ -1,0 +1,47 @@
+#include "src/workload/poisson.h"
+
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace optimus {
+
+double RateFor(RateClass rate_class) {
+  switch (rate_class) {
+    case RateClass::kFrequent:
+      return std::pow(10.0, -1.5);  // ~1 request / 32 s.
+    case RateClass::kMiddle:
+      return std::pow(10.0, -2.0);  // ~1 request / 100 s.
+    case RateClass::kInfrequent:
+      return std::pow(10.0, -2.5);  // ~1 request / 316 s.
+  }
+  return 0.0;
+}
+
+Trace GeneratePoissonTrace(const std::string& function, RateClass rate_class,
+                           const PoissonTraceOptions& options) {
+  Trace trace;
+  Rng rng(options.seed);
+  const double rate = RateFor(rate_class);
+  double t = rng.Exponential(rate);
+  while (t < options.horizon_seconds) {
+    trace.push_back({t, function});
+    t += rng.Exponential(rate);
+  }
+  return trace;
+}
+
+Trace GenerateMixedPoissonTrace(const std::vector<std::string>& functions,
+                                const PoissonTraceOptions& options) {
+  std::vector<Trace> traces;
+  Rng seeder(options.seed);
+  for (size_t i = 0; i < functions.size(); ++i) {
+    const auto rate_class = static_cast<RateClass>(i % 3);
+    PoissonTraceOptions per_function = options;
+    per_function.seed = seeder.NextU64();
+    traces.push_back(GeneratePoissonTrace(functions[i], rate_class, per_function));
+  }
+  return MergeTraces(traces);
+}
+
+}  // namespace optimus

@@ -1,0 +1,38 @@
+// Poisson arrival generation (paper §8.1): each function receives queries
+// following a Poisson process; functions are split across frequent, middle,
+// and infrequent rate classes.
+
+#ifndef OPTIMUS_SRC_WORKLOAD_POISSON_H_
+#define OPTIMUS_SRC_WORKLOAD_POISSON_H_
+
+#include <cstdint>
+
+#include "src/workload/trace.h"
+
+namespace optimus {
+
+enum class RateClass : uint8_t { kFrequent = 0, kMiddle, kInfrequent };
+
+// Arrival rates in requests/second for each class. Calibrated so that, over a
+// multi-hour horizon with a 10-minute keep-alive, frequent functions mostly
+// warm-start, middle functions mix warm and cold, and infrequent functions
+// mostly cold-start — matching the paper's intent for the three lambdas.
+double RateFor(RateClass rate_class);
+
+struct PoissonTraceOptions {
+  double horizon_seconds = 4.0 * 3600;
+  uint64_t seed = 1;
+};
+
+// Generates a Poisson trace for one function.
+Trace GeneratePoissonTrace(const std::string& function, RateClass rate_class,
+                           const PoissonTraceOptions& options);
+
+// Generates a merged trace for many functions, assigning classes round-robin
+// (frequent, middle, infrequent, frequent, ...).
+Trace GenerateMixedPoissonTrace(const std::vector<std::string>& functions,
+                                const PoissonTraceOptions& options);
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_WORKLOAD_POISSON_H_

@@ -1,0 +1,61 @@
+#include "src/workload/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace optimus {
+
+Trace MergeTraces(const std::vector<Trace>& traces) {
+  Trace merged;
+  for (const Trace& trace : traces) {
+    merged.insert(merged.end(), trace.begin(), trace.end());
+  }
+  std::stable_sort(merged.begin(), merged.end());
+  return merged;
+}
+
+std::map<std::string, DemandSeries> DemandHistory(const Trace& trace, double horizon,
+                                                  double slot_seconds) {
+  const size_t slots = static_cast<size_t>(std::ceil(horizon / slot_seconds));
+  std::map<std::string, DemandSeries> history;
+  for (const Invocation& invocation : trace) {
+    DemandSeries& series = history[invocation.function];
+    if (series.empty()) {
+      series.assign(slots, 0.0);
+    }
+    const size_t slot = std::min(slots - 1, static_cast<size_t>(invocation.arrival / slot_seconds));
+    series[slot] += 1.0;
+  }
+  return history;
+}
+
+double DemandCorrelation(const DemandSeries& a, const DemandSeries& b) {
+  const size_t size = std::min(a.size(), b.size());
+  if (size < 2) {
+    return 0.0;
+  }
+  double mean_a = 0.0;
+  double mean_b = 0.0;
+  for (size_t i = 0; i < size; ++i) {
+    mean_a += a[i];
+    mean_b += b[i];
+  }
+  mean_a /= static_cast<double>(size);
+  mean_b /= static_cast<double>(size);
+  double cov = 0.0;
+  double var_a = 0.0;
+  double var_b = 0.0;
+  for (size_t i = 0; i < size; ++i) {
+    const double da = a[i] - mean_a;
+    const double db = b[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a <= 0.0 || var_b <= 0.0) {
+    return 0.0;
+  }
+  return cov / std::sqrt(var_a * var_b);
+}
+
+}  // namespace optimus

@@ -1,0 +1,37 @@
+// Invocation traces: a time-ordered stream of function invocations.
+
+#ifndef OPTIMUS_SRC_WORKLOAD_TRACE_H_
+#define OPTIMUS_SRC_WORKLOAD_TRACE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace optimus {
+
+struct Invocation {
+  double arrival = 0.0;  // Seconds from trace start.
+  std::string function;  // The model/function name invoked.
+
+  bool operator<(const Invocation& other) const { return arrival < other.arrival; }
+};
+
+using Trace = std::vector<Invocation>;
+
+// Merges traces and sorts by arrival time.
+Trace MergeTraces(const std::vector<Trace>& traces);
+
+// Per-function invocation counts over fixed-width time slots — the demand
+// history the §5.1 load balancer correlates.
+using DemandSeries = std::vector<double>;
+
+std::map<std::string, DemandSeries> DemandHistory(const Trace& trace, double horizon,
+                                                  double slot_seconds);
+
+// Pearson correlation of two demand series (K(A,B) in §5.1). Returns 0 for
+// degenerate (constant) series.
+double DemandCorrelation(const DemandSeries& a, const DemandSeries& b);
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_WORKLOAD_TRACE_H_

@@ -1,0 +1,67 @@
+#include "src/workload/trace_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace optimus {
+
+void WriteTraceCsv(std::ostream& out, const Trace& trace) {
+  out << "# arrival_seconds,function\n";
+  out.precision(9);
+  out << std::fixed;
+  for (const Invocation& invocation : trace) {
+    out << invocation.arrival << "," << invocation.function << "\n";
+  }
+}
+
+Trace ReadTraceCsv(std::istream& in) {
+  Trace trace;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    const size_t comma = line.find(',');
+    if (comma == std::string::npos) {
+      throw std::runtime_error("ReadTraceCsv: missing comma at line " +
+                               std::to_string(line_number));
+    }
+    Invocation invocation;
+    try {
+      invocation.arrival = std::stod(line.substr(0, comma));
+    } catch (const std::exception&) {
+      throw std::runtime_error("ReadTraceCsv: bad arrival at line " +
+                               std::to_string(line_number));
+    }
+    invocation.function = line.substr(comma + 1);
+    if (invocation.function.empty()) {
+      throw std::runtime_error("ReadTraceCsv: empty function name at line " +
+                               std::to_string(line_number));
+    }
+    trace.push_back(std::move(invocation));
+  }
+  std::stable_sort(trace.begin(), trace.end());
+  return trace;
+}
+
+void WriteTraceCsvFile(const std::string& path, const Trace& trace) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("WriteTraceCsvFile: cannot open " + path);
+  }
+  WriteTraceCsv(out, trace);
+}
+
+Trace ReadTraceCsvFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("ReadTraceCsvFile: cannot open " + path);
+  }
+  return ReadTraceCsv(in);
+}
+
+}  // namespace optimus

@@ -1,0 +1,26 @@
+// CSV import/export of invocation traces, so the workload generators'
+// output can be archived and real traces (e.g. an Azure Functions export)
+// can be replayed through the simulator.
+//
+// Format: one "arrival_seconds,function" row per invocation; lines starting
+// with '#' are comments.
+
+#ifndef OPTIMUS_SRC_WORKLOAD_TRACE_IO_H_
+#define OPTIMUS_SRC_WORKLOAD_TRACE_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/workload/trace.h"
+
+namespace optimus {
+
+void WriteTraceCsv(std::ostream& out, const Trace& trace);
+Trace ReadTraceCsv(std::istream& in);
+
+void WriteTraceCsvFile(const std::string& path, const Trace& trace);
+Trace ReadTraceCsvFile(const std::string& path);
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_WORKLOAD_TRACE_IO_H_

@@ -1,0 +1,147 @@
+#include "src/zoo/bert.h"
+
+#include "src/zoo/chain_builder.h"
+
+namespace optimus {
+
+namespace {
+
+OpAttributes ProjectionAttrs(int64_t in_dim, int64_t out_dim, int64_t heads) {
+  OpAttributes attrs;
+  attrs.in_channels = in_dim;
+  attrs.out_channels = out_dim;
+  attrs.heads = heads;
+  return attrs;
+}
+
+OpAttributes EmbeddingAttrs(int64_t vocab, int64_t dim) {
+  OpAttributes attrs;
+  attrs.vocab_size = vocab;
+  attrs.out_channels = dim;
+  return attrs;
+}
+
+// One transformer encoder block: self-attention + FFN with residuals.
+void AttentionBlock(ChainBuilder* chain, const BertConfig& config) {
+  Model* model = chain->model();
+  const OpId block_input = chain->cursor();
+  const int64_t hidden = config.hidden;
+
+  // Self-attention: parallel Q/K/V projections.
+  chain->set_cursor(block_input);
+  const OpId query =
+      chain->Append(OpKind::kAttentionQuery, ProjectionAttrs(hidden, hidden, config.heads));
+  chain->set_cursor(block_input);
+  const OpId key =
+      chain->Append(OpKind::kAttentionKey, ProjectionAttrs(hidden, hidden, config.heads));
+  chain->set_cursor(block_input);
+  const OpId value =
+      chain->Append(OpKind::kAttentionValue, ProjectionAttrs(hidden, hidden, config.heads));
+
+  // Logit = QK^T, Softmax, Attend = softmax(logit) V. Weight-free.
+  const OpId logit = model->AddOp(OpKind::kLogit);
+  model->AddEdge(query, logit);
+  model->AddEdge(key, logit);
+  const OpId softmax = model->AddOp(OpKind::kSoftmax);
+  model->AddEdge(logit, softmax);
+  const OpId attend = model->AddOp(OpKind::kAttend);
+  model->AddEdge(softmax, attend);
+  model->AddEdge(value, attend);
+
+  chain->set_cursor(attend);
+  chain->Append(OpKind::kAttentionOutput, ProjectionAttrs(hidden, hidden, config.heads));
+  chain->Append(OpKind::kAdd);
+  chain->JoinFrom(block_input);
+  chain->Append(OpKind::kLayerNorm, NormAttrs(hidden));
+  const OpId attention_out = chain->cursor();
+
+  // Feed-forward network.
+  chain->Append(OpKind::kDense, DenseAttrs(hidden, config.intermediate));
+  chain->Append(OpKind::kActivation, GeluAttrs());
+  chain->Append(OpKind::kDense, DenseAttrs(config.intermediate, hidden));
+  chain->Append(OpKind::kAdd);
+  chain->JoinFrom(attention_out);
+  chain->Append(OpKind::kLayerNorm, NormAttrs(hidden));
+}
+
+void TaskHead(ChainBuilder* chain, const BertConfig& config) {
+  const int64_t hidden = config.hidden;
+  switch (config.task) {
+    case BertTask::kNone:
+      break;
+    case BertTask::kSequenceClassification:
+      chain->Append(OpKind::kDropout);
+      chain->Append(OpKind::kDense, DenseAttrs(hidden, config.num_labels));
+      break;
+    case BertTask::kTokenClassification:
+      chain->Append(OpKind::kDropout);
+      chain->Append(OpKind::kDense, DenseAttrs(hidden, config.num_labels));
+      break;
+    case BertTask::kQuestionAnswering:
+      // Two dense heads: span start and span end logits.
+      chain->Append(OpKind::kDense, DenseAttrs(hidden, hidden));
+      chain->Append(OpKind::kActivation, GeluAttrs());
+      chain->Append(OpKind::kDense, DenseAttrs(hidden, 2));
+      break;
+    case BertTask::kNextSentencePrediction:
+      chain->Append(OpKind::kDense, DenseAttrs(hidden, 2));
+      break;
+    case BertTask::kMultipleChoice:
+      chain->Append(OpKind::kDropout);
+      chain->Append(OpKind::kDense, DenseAttrs(hidden, 1));
+      break;
+  }
+}
+
+}  // namespace
+
+BertConfig BertTinyConfig() {
+  return {"bert_tiny", 2, 128, 2, 512, 30522, 512, BertTask::kNone, 2};
+}
+
+BertConfig BertMiniConfig() {
+  return {"bert_mini", 4, 256, 4, 1024, 30522, 512, BertTask::kNone, 2};
+}
+
+BertConfig BertSmallConfig() {
+  return {"bert_small", 4, 512, 8, 2048, 30522, 512, BertTask::kNone, 2};
+}
+
+BertConfig BertMediumConfig() {
+  return {"bert_medium", 8, 512, 8, 2048, 30522, 512, BertTask::kNone, 2};
+}
+
+BertConfig BertBaseConfig() {
+  return {"bert_base_uncased", 12, 768, 12, 3072, 30522, 512, BertTask::kNone, 2};
+}
+
+BertConfig BertBaseCasedConfig() {
+  return {"bert_base_cased", 12, 768, 12, 3072, 28996, 512, BertTask::kNone, 2};
+}
+
+Model BuildBert(const BertConfig& config) {
+  Model model(config.name, "bert");
+  ChainBuilder chain(&model);
+  const OpId input = chain.Append(OpKind::kInput);
+
+  // Embedding block: token + position embeddings summed, then LayerNorm.
+  chain.set_cursor(input);
+  const OpId token_embedding =
+      chain.Append(OpKind::kEmbedding, EmbeddingAttrs(config.vocab_size, config.hidden));
+  chain.set_cursor(input);
+  chain.Append(OpKind::kEmbedding, EmbeddingAttrs(config.max_position, config.hidden));
+  chain.Append(OpKind::kAdd);
+  chain.JoinFrom(token_embedding);
+  chain.Append(OpKind::kLayerNorm, NormAttrs(config.hidden));
+  chain.Append(OpKind::kDropout);
+
+  for (int layer = 0; layer < config.num_layers; ++layer) {
+    AttentionBlock(&chain, config);
+  }
+
+  TaskHead(&chain, config);
+  chain.Append(OpKind::kOutput);
+  return model;
+}
+
+}  // namespace optimus

@@ -1,0 +1,54 @@
+// BERT family builder (Devlin et al., 2019), per §5.2 of the paper.
+//
+// A BERT model here is an embedding block (token + position embeddings with a
+// LayerNorm) followed by a stack of attention blocks; each attention block
+// holds Q/K/V/O projection operations with weights, weight-free Logit and
+// Attend steps, and a two-layer feed-forward network, with residual Adds and
+// LayerNorms. Downstream-task variants add task-specific dense heads.
+
+#ifndef OPTIMUS_SRC_ZOO_BERT_H_
+#define OPTIMUS_SRC_ZOO_BERT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/graph/model.h"
+
+namespace optimus {
+
+// Downstream task heads described in §8.1.
+enum class BertTask : uint8_t {
+  kNone = 0,                // Pre-trained encoder only.
+  kSequenceClassification,  // BERT-SC: one dense head.
+  kTokenClassification,     // BERT-TC: one per-token dense head.
+  kQuestionAnswering,       // BERT-QA: two dense heads (start & end logits).
+  kNextSentencePrediction,  // BERT-NSP: one binary dense head.
+  kMultipleChoice,          // BERT-MC: one scoring dense head.
+};
+
+struct BertConfig {
+  std::string name;
+  int num_layers = 12;
+  int64_t hidden = 768;
+  int64_t heads = 12;
+  int64_t intermediate = 3072;
+  int64_t vocab_size = 30522;  // Uncased WordPiece vocabulary.
+  int64_t max_position = 512;
+  BertTask task = BertTask::kNone;
+  int64_t num_labels = 2;
+};
+
+// Canonical configurations.
+BertConfig BertTinyConfig();    // L=2,  H=128.
+BertConfig BertMiniConfig();    // L=4,  H=256.
+BertConfig BertSmallConfig();   // L=4,  H=512.
+BertConfig BertMediumConfig();  // L=8,  H=512.
+BertConfig BertBaseConfig();    // L=12, H=768 (uncased vocabulary).
+BertConfig BertBaseCasedConfig();  // L=12, H=768, cased vocabulary (28996).
+
+// Builds a BERT model from a configuration.
+Model BuildBert(const BertConfig& config);
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_ZOO_BERT_H_

@@ -1,0 +1,94 @@
+// Helper for building mostly-sequential model graphs.
+
+#ifndef OPTIMUS_SRC_ZOO_CHAIN_BUILDER_H_
+#define OPTIMUS_SRC_ZOO_CHAIN_BUILDER_H_
+
+#include "src/graph/model.h"
+
+namespace optimus {
+
+// Appends operations to a Model, automatically wiring each new op after the
+// previous one. Branch points are handled by saving/restoring the cursor.
+class ChainBuilder {
+ public:
+  explicit ChainBuilder(Model* model) : model_(model) {}
+
+  // Adds an op wired after the current cursor (if any) and moves the cursor.
+  OpId Append(OpKind kind, const OpAttributes& attrs = {}) {
+    const OpId id = model_->AddOp(kind, attrs);
+    if (cursor_ != kInvalidOpId) {
+      model_->AddEdge(cursor_, id);
+    }
+    cursor_ = id;
+    return id;
+  }
+
+  // Adds an op wired after an explicit predecessor and moves the cursor.
+  OpId AppendAfter(OpId predecessor, OpKind kind, const OpAttributes& attrs = {}) {
+    const OpId id = model_->AddOp(kind, attrs);
+    model_->AddEdge(predecessor, id);
+    cursor_ = id;
+    return id;
+  }
+
+  // Adds an extra inbound edge into the current cursor (residual/branch join).
+  void JoinFrom(OpId from) { model_->AddEdge(from, cursor_); }
+
+  OpId cursor() const { return cursor_; }
+  void set_cursor(OpId id) { cursor_ = id; }
+
+  Model* model() { return model_; }
+
+ private:
+  Model* model_;
+  OpId cursor_ = kInvalidOpId;
+};
+
+// Convolution attribute shorthand.
+inline OpAttributes ConvAttrs(int64_t kernel, int64_t in_channels, int64_t out_channels,
+                              int64_t stride = 1) {
+  OpAttributes attrs;
+  attrs.kernel_h = kernel;
+  attrs.kernel_w = kernel;
+  attrs.stride = stride;
+  attrs.in_channels = in_channels;
+  attrs.out_channels = out_channels;
+  return attrs;
+}
+
+inline OpAttributes DenseAttrs(int64_t in_units, int64_t out_units) {
+  OpAttributes attrs;
+  attrs.in_channels = in_units;
+  attrs.out_channels = out_units;
+  return attrs;
+}
+
+inline OpAttributes NormAttrs(int64_t channels) {
+  OpAttributes attrs;
+  attrs.out_channels = channels;
+  return attrs;
+}
+
+inline OpAttributes PoolAttrs(int64_t kernel, int64_t stride) {
+  OpAttributes attrs;
+  attrs.kernel_h = kernel;
+  attrs.kernel_w = kernel;
+  attrs.stride = stride;
+  return attrs;
+}
+
+inline OpAttributes ReluAttrs() {
+  OpAttributes attrs;
+  attrs.activation = ActivationType::kRelu;
+  return attrs;
+}
+
+inline OpAttributes GeluAttrs() {
+  OpAttributes attrs;
+  attrs.activation = ActivationType::kGelu;
+  return attrs;
+}
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_ZOO_CHAIN_BUILDER_H_

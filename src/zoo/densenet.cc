@@ -1,0 +1,73 @@
+#include "src/zoo/densenet.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "src/zoo/chain_builder.h"
+
+namespace optimus {
+
+namespace {
+
+std::vector<int> BlockPlan(int depth) {
+  switch (depth) {
+    case 121:
+      return {6, 12, 24, 16};
+    case 169:
+      return {6, 12, 32, 32};
+    case 201:
+      return {6, 12, 48, 32};
+    default:
+      throw std::invalid_argument("BuildDenseNet: unsupported depth " + std::to_string(depth));
+  }
+}
+
+}  // namespace
+
+Model BuildDenseNet(int depth, const DenseNetOptions& options) {
+  const std::vector<int> plan = BlockPlan(depth);
+  const int64_t growth = options.growth_rate;
+
+  Model model("densenet" + std::to_string(depth), "densenet");
+  ChainBuilder chain(&model);
+  chain.Append(OpKind::kInput);
+
+  int64_t channels = 2 * growth;
+  chain.Append(OpKind::kConv2D, ConvAttrs(7, 3, channels, 2));
+  chain.Append(OpKind::kBatchNorm, NormAttrs(channels));
+  chain.Append(OpKind::kActivation, ReluAttrs());
+  chain.Append(OpKind::kMaxPool, PoolAttrs(3, 2));
+
+  for (size_t block = 0; block < plan.size(); ++block) {
+    for (int layer = 0; layer < plan[block]; ++layer) {
+      const OpId block_input = chain.cursor();
+      // BN -> ReLU -> 1x1 conv (4k) -> BN -> ReLU -> 3x3 conv (k).
+      chain.Append(OpKind::kBatchNorm, NormAttrs(channels));
+      chain.Append(OpKind::kActivation, ReluAttrs());
+      chain.Append(OpKind::kConv2D, ConvAttrs(1, channels, 4 * growth));
+      chain.Append(OpKind::kBatchNorm, NormAttrs(4 * growth));
+      chain.Append(OpKind::kActivation, ReluAttrs());
+      chain.Append(OpKind::kConv2D, ConvAttrs(3, 4 * growth, growth));
+      // Dense connectivity: concatenate the new features with the input.
+      chain.Append(OpKind::kConcat);
+      chain.JoinFrom(block_input);
+      channels += growth;
+    }
+    if (block + 1 < plan.size()) {
+      // Transition: BN -> 1x1 conv halving channels -> 2x2 average pool.
+      chain.Append(OpKind::kBatchNorm, NormAttrs(channels));
+      channels /= 2;
+      chain.Append(OpKind::kConv2D, ConvAttrs(1, channels * 2, channels));
+      chain.Append(OpKind::kAvgPool, PoolAttrs(2, 2));
+    }
+  }
+
+  chain.Append(OpKind::kBatchNorm, NormAttrs(channels));
+  chain.Append(OpKind::kGlobalAvgPool);
+  chain.Append(OpKind::kDense, DenseAttrs(channels, options.num_classes));
+  chain.Append(OpKind::kSoftmax);
+  chain.Append(OpKind::kOutput);
+  return model;
+}
+
+}  // namespace optimus

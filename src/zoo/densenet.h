@@ -1,0 +1,21 @@
+// DenseNet family builders (Huang et al., 2017).
+
+#ifndef OPTIMUS_SRC_ZOO_DENSENET_H_
+#define OPTIMUS_SRC_ZOO_DENSENET_H_
+
+#include "src/graph/model.h"
+
+namespace optimus {
+
+struct DenseNetOptions {
+  int64_t growth_rate = 32;
+  int64_t num_classes = 1000;
+};
+
+// Builds DenseNet-`depth` for depth in {121, 169, 201}. Dense connectivity is
+// modeled with Concat ops joining every preceding layer output in a block.
+Model BuildDenseNet(int depth, const DenseNetOptions& options = {});
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_ZOO_DENSENET_H_

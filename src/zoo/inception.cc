@@ -1,0 +1,192 @@
+#include "src/zoo/inception.h"
+
+#include <array>
+#include <vector>
+
+#include "src/zoo/chain_builder.h"
+
+namespace optimus {
+
+namespace {
+
+struct InceptionSpec {
+  int64_t b1;        // 1x1 branch.
+  int64_t b2_in;     // 1x1 reduce before 3x3.
+  int64_t b2;        // 3x3 branch.
+  int64_t b3_in;     // 1x1 reduce before 5x5.
+  int64_t b3;        // 5x5 branch.
+  int64_t b4;        // pool-projection 1x1.
+  int64_t Out() const { return b1 + b2 + b3 + b4; }
+};
+
+// Four parallel branches joined by a Concat; returns the concat op id.
+OpId InceptionModule(ChainBuilder* chain, int64_t in_channels, const InceptionSpec& spec) {
+  Model* model = chain->model();
+  const OpId input = chain->cursor();
+
+  chain->set_cursor(input);
+  chain->Append(OpKind::kConv2D, ConvAttrs(1, in_channels, spec.b1));
+  chain->Append(OpKind::kActivation, ReluAttrs());
+  const OpId branch1 = chain->cursor();
+
+  chain->set_cursor(input);
+  chain->Append(OpKind::kConv2D, ConvAttrs(1, in_channels, spec.b2_in));
+  chain->Append(OpKind::kActivation, ReluAttrs());
+  chain->Append(OpKind::kConv2D, ConvAttrs(3, spec.b2_in, spec.b2));
+  chain->Append(OpKind::kActivation, ReluAttrs());
+  const OpId branch2 = chain->cursor();
+
+  chain->set_cursor(input);
+  chain->Append(OpKind::kConv2D, ConvAttrs(1, in_channels, spec.b3_in));
+  chain->Append(OpKind::kActivation, ReluAttrs());
+  chain->Append(OpKind::kConv2D, ConvAttrs(5, spec.b3_in, spec.b3));
+  chain->Append(OpKind::kActivation, ReluAttrs());
+  const OpId branch3 = chain->cursor();
+
+  chain->set_cursor(input);
+  chain->Append(OpKind::kMaxPool, PoolAttrs(3, 1));
+  chain->Append(OpKind::kConv2D, ConvAttrs(1, in_channels, spec.b4));
+  chain->Append(OpKind::kActivation, ReluAttrs());
+  const OpId branch4 = chain->cursor();
+
+  const OpId concat = model->AddOp(OpKind::kConcat);
+  model->AddEdge(branch1, concat);
+  model->AddEdge(branch2, concat);
+  model->AddEdge(branch3, concat);
+  model->AddEdge(branch4, concat);
+  chain->set_cursor(concat);
+  return concat;
+}
+
+// Depthwise-separable conv: depthwise 3x3 then pointwise 1x1 with BN.
+void SeparableConv(ChainBuilder* chain, int64_t in_channels, int64_t out_channels,
+                   int64_t stride = 1) {
+  OpAttributes depthwise;
+  depthwise.kernel_h = 3;
+  depthwise.kernel_w = 3;
+  depthwise.stride = stride;
+  depthwise.in_channels = in_channels;
+  depthwise.out_channels = in_channels;
+  chain->Append(OpKind::kDepthwiseConv2D, depthwise);
+  chain->Append(OpKind::kConv2D, ConvAttrs(1, in_channels, out_channels));
+  chain->Append(OpKind::kBatchNorm, NormAttrs(out_channels));
+}
+
+}  // namespace
+
+Model BuildInception(int64_t num_classes) {
+  Model model("inception_v1", "inception");
+  ChainBuilder chain(&model);
+  chain.Append(OpKind::kInput);
+
+  chain.Append(OpKind::kConv2D, ConvAttrs(7, 3, 64, 2));
+  chain.Append(OpKind::kActivation, ReluAttrs());
+  chain.Append(OpKind::kMaxPool, PoolAttrs(3, 2));
+  chain.Append(OpKind::kConv2D, ConvAttrs(1, 64, 64));
+  chain.Append(OpKind::kActivation, ReluAttrs());
+  chain.Append(OpKind::kConv2D, ConvAttrs(3, 64, 192));
+  chain.Append(OpKind::kActivation, ReluAttrs());
+  chain.Append(OpKind::kMaxPool, PoolAttrs(3, 2));
+
+  const std::array<InceptionSpec, 9> modules = {{
+      {64, 96, 128, 16, 32, 32},     // 3a -> 256
+      {128, 128, 192, 32, 96, 64},   // 3b -> 480
+      {192, 96, 208, 16, 48, 64},    // 4a -> 512
+      {160, 112, 224, 24, 64, 64},   // 4b -> 512
+      {128, 128, 256, 24, 64, 64},   // 4c -> 512
+      {112, 144, 288, 32, 64, 64},   // 4d -> 528
+      {256, 160, 320, 32, 128, 128}, // 4e -> 832
+      {256, 160, 320, 32, 128, 128}, // 5a -> 832
+      {384, 192, 384, 48, 128, 128}, // 5b -> 1024
+  }};
+  int64_t channels = 192;
+  for (size_t i = 0; i < modules.size(); ++i) {
+    InceptionModule(&chain, channels, modules[i]);
+    channels = modules[i].Out();
+    if (i == 1 || i == 6) {
+      chain.Append(OpKind::kMaxPool, PoolAttrs(3, 2));
+    }
+  }
+
+  chain.Append(OpKind::kGlobalAvgPool);
+  chain.Append(OpKind::kDropout);
+  chain.Append(OpKind::kDense, DenseAttrs(channels, num_classes));
+  chain.Append(OpKind::kSoftmax);
+  chain.Append(OpKind::kOutput);
+  return model;
+}
+
+Model BuildXception(int64_t num_classes) {
+  Model model("xception", "xception");
+  ChainBuilder chain(&model);
+  chain.Append(OpKind::kInput);
+
+  // Entry flow stem.
+  chain.Append(OpKind::kConv2D, ConvAttrs(3, 3, 32, 2));
+  chain.Append(OpKind::kBatchNorm, NormAttrs(32));
+  chain.Append(OpKind::kActivation, ReluAttrs());
+  chain.Append(OpKind::kConv2D, ConvAttrs(3, 32, 64));
+  chain.Append(OpKind::kBatchNorm, NormAttrs(64));
+  chain.Append(OpKind::kActivation, ReluAttrs());
+
+  int64_t channels = 64;
+  // Entry flow: three downsampling residual blocks.
+  for (const int64_t out : {128, 256, 728}) {
+    const OpId block_input = chain.cursor();
+    chain.Append(OpKind::kActivation, ReluAttrs());
+    SeparableConv(&chain, channels, out);
+    chain.Append(OpKind::kActivation, ReluAttrs());
+    SeparableConv(&chain, out, out);
+    chain.Append(OpKind::kMaxPool, PoolAttrs(3, 2));
+    const OpId main_path = chain.cursor();
+
+    chain.set_cursor(block_input);
+    chain.Append(OpKind::kConv2D, ConvAttrs(1, channels, out, 2));
+    chain.Append(OpKind::kBatchNorm, NormAttrs(out));
+    const OpId shortcut = chain.cursor();
+
+    chain.set_cursor(main_path);
+    chain.Append(OpKind::kAdd);
+    chain.JoinFrom(shortcut);
+    channels = out;
+  }
+
+  // Middle flow: eight identity residual blocks of three separable convs.
+  for (int block = 0; block < 8; ++block) {
+    const OpId block_input = chain.cursor();
+    for (int conv = 0; conv < 3; ++conv) {
+      chain.Append(OpKind::kActivation, ReluAttrs());
+      SeparableConv(&chain, channels, channels);
+    }
+    chain.Append(OpKind::kAdd);
+    chain.JoinFrom(block_input);
+  }
+
+  // Exit flow.
+  const OpId exit_input = chain.cursor();
+  chain.Append(OpKind::kActivation, ReluAttrs());
+  SeparableConv(&chain, channels, 728);
+  chain.Append(OpKind::kActivation, ReluAttrs());
+  SeparableConv(&chain, 728, 1024);
+  chain.Append(OpKind::kMaxPool, PoolAttrs(3, 2));
+  const OpId exit_main = chain.cursor();
+  chain.set_cursor(exit_input);
+  chain.Append(OpKind::kConv2D, ConvAttrs(1, channels, 1024, 2));
+  chain.Append(OpKind::kBatchNorm, NormAttrs(1024));
+  const OpId exit_shortcut = chain.cursor();
+  chain.set_cursor(exit_main);
+  chain.Append(OpKind::kAdd);
+  chain.JoinFrom(exit_shortcut);
+
+  SeparableConv(&chain, 1024, 1536);
+  chain.Append(OpKind::kActivation, ReluAttrs());
+  SeparableConv(&chain, 1536, 2048);
+  chain.Append(OpKind::kActivation, ReluAttrs());
+  chain.Append(OpKind::kGlobalAvgPool);
+  chain.Append(OpKind::kDense, DenseAttrs(2048, num_classes));
+  chain.Append(OpKind::kSoftmax);
+  chain.Append(OpKind::kOutput);
+  return model;
+}
+
+}  // namespace optimus

@@ -1,0 +1,20 @@
+// Inception (GoogLeNet-style) and Xception builders.
+
+#ifndef OPTIMUS_SRC_ZOO_INCEPTION_H_
+#define OPTIMUS_SRC_ZOO_INCEPTION_H_
+
+#include "src/graph/model.h"
+
+namespace optimus {
+
+// Builds a GoogLeNet-style Inception network: stem convolutions followed by
+// nine four-branch inception modules (1x1; 1x1->3x3; 1x1->5x5; pool->1x1).
+Model BuildInception(int64_t num_classes = 1000);
+
+// Builds an Xception-style network: entry/middle/exit flows of depthwise
+// separable convolutions with residual shortcuts.
+Model BuildXception(int64_t num_classes = 1000);
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_ZOO_INCEPTION_H_

@@ -1,0 +1,64 @@
+#include "src/zoo/mobilenet.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "src/zoo/chain_builder.h"
+
+namespace optimus {
+
+namespace {
+
+int64_t Scaled(int64_t channels, double multiplier) {
+  return std::max<int64_t>(1, static_cast<int64_t>(channels * multiplier));
+}
+
+OpAttributes DepthwiseAttrs(int64_t channels, int64_t stride) {
+  OpAttributes attrs;
+  attrs.kernel_h = 3;
+  attrs.kernel_w = 3;
+  attrs.stride = stride;
+  attrs.in_channels = channels;
+  attrs.out_channels = channels;
+  return attrs;
+}
+
+}  // namespace
+
+Model BuildMobileNet(const MobileNetOptions& options) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "mobilenet_w%.2f", options.width_multiplier);
+  Model model(name, "mobilenet");
+  ChainBuilder chain(&model);
+  chain.Append(OpKind::kInput);
+
+  int64_t channels = Scaled(32, options.width_multiplier);
+  chain.Append(OpKind::kConv2D, ConvAttrs(3, 3, channels, 2));
+  chain.Append(OpKind::kBatchNorm, NormAttrs(channels));
+  chain.Append(OpKind::kActivation, ReluAttrs());
+
+  // (output channels, stride) per depthwise-separable block.
+  const std::vector<std::pair<int64_t, int64_t>> blocks = {
+      {64, 1},  {128, 2}, {128, 1}, {256, 2},  {256, 1},  {512, 2},  {512, 1},
+      {512, 1}, {512, 1}, {512, 1}, {512, 1},  {1024, 2}, {1024, 1},
+  };
+  for (const auto& [out, stride] : blocks) {
+    const int64_t out_channels = Scaled(out, options.width_multiplier);
+    chain.Append(OpKind::kDepthwiseConv2D, DepthwiseAttrs(channels, stride));
+    chain.Append(OpKind::kBatchNorm, NormAttrs(channels));
+    chain.Append(OpKind::kActivation, ReluAttrs());
+    chain.Append(OpKind::kConv2D, ConvAttrs(1, channels, out_channels));
+    chain.Append(OpKind::kBatchNorm, NormAttrs(out_channels));
+    chain.Append(OpKind::kActivation, ReluAttrs());
+    channels = out_channels;
+  }
+
+  chain.Append(OpKind::kGlobalAvgPool);
+  chain.Append(OpKind::kDense, DenseAttrs(channels, options.num_classes));
+  chain.Append(OpKind::kSoftmax);
+  chain.Append(OpKind::kOutput);
+  return model;
+}
+
+}  // namespace optimus

@@ -1,0 +1,22 @@
+// MobileNetV1 builder (Howard et al., 2017).
+
+#ifndef OPTIMUS_SRC_ZOO_MOBILENET_H_
+#define OPTIMUS_SRC_ZOO_MOBILENET_H_
+
+#include "src/graph/model.h"
+
+namespace optimus {
+
+struct MobileNetOptions {
+  // Canonical width multipliers: 0.25, 0.5, 0.75, 1.0.
+  double width_multiplier = 1.0;
+  int64_t num_classes = 1000;
+};
+
+// Builds MobileNetV1: a 3x3 stem conv followed by 13 depthwise-separable
+// blocks (depthwise 3x3 + pointwise 1x1, each with BatchNorm + ReLU).
+Model BuildMobileNet(const MobileNetOptions& options = {});
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_ZOO_MOBILENET_H_

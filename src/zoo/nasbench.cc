@@ -1,0 +1,143 @@
+#include "src/zoo/nasbench.h"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/zoo/chain_builder.h"
+
+namespace optimus {
+
+namespace {
+
+struct CellEdge {
+  int from;
+  int to;
+};
+
+constexpr CellEdge kCellEdges[kNasBenchCellEdges] = {
+    {0, 1}, {0, 2}, {1, 2}, {0, 3}, {1, 3}, {2, 3},
+};
+
+// Materializes one cell: node 0 is the cell input, node 3 the output. Each
+// chosen edge op becomes graph operations feeding the target node's Add.
+// Returns the id of the cell output op.
+OpId BuildCell(Model* model, OpId cell_input, const NasBenchCellSpec& spec, int64_t width) {
+  std::vector<OpId> node_join(4, kInvalidOpId);
+  node_join[0] = cell_input;
+  for (int node = 1; node < 4; ++node) {
+    node_join[static_cast<size_t>(node)] = model->AddOp(OpKind::kAdd);
+  }
+
+  bool any_edge[4] = {true, false, false, false};
+  for (int e = 0; e < kNasBenchCellEdges; ++e) {
+    const NasBenchEdgeOp choice = spec[static_cast<size_t>(e)];
+    if (choice == NasBenchEdgeOp::kNone) {
+      continue;
+    }
+    const OpId src = node_join[static_cast<size_t>(kCellEdges[e].from)];
+    const OpId dst = node_join[static_cast<size_t>(kCellEdges[e].to)];
+    any_edge[kCellEdges[e].to] = true;
+    switch (choice) {
+      case NasBenchEdgeOp::kSkip:
+        model->AddEdge(src, dst);
+        break;
+      case NasBenchEdgeOp::kConv1x1:
+      case NasBenchEdgeOp::kConv3x3: {
+        const int64_t kernel = choice == NasBenchEdgeOp::kConv1x1 ? 1 : 3;
+        const OpId relu = model->AddOp(OpKind::kActivation, ReluAttrs());
+        const OpId conv = model->AddOp(OpKind::kConv2D, ConvAttrs(kernel, width, width));
+        const OpId bn = model->AddOp(OpKind::kBatchNorm, NormAttrs(width));
+        model->AddEdge(src, relu);
+        model->AddEdge(relu, conv);
+        model->AddEdge(conv, bn);
+        model->AddEdge(bn, dst);
+        break;
+      }
+      case NasBenchEdgeOp::kAvgPool3x3: {
+        const OpId pool = model->AddOp(OpKind::kAvgPool, PoolAttrs(3, 1));
+        model->AddEdge(src, pool);
+        model->AddEdge(pool, dst);
+        break;
+      }
+      case NasBenchEdgeOp::kNone:
+        break;
+    }
+  }
+
+  // A node with no inbound edge would be disconnected; fall back to a skip
+  // from the cell input so the graph stays connected (mirrors how NAS-Bench
+  // handles degenerate cells when evaluating them).
+  for (int node = 1; node < 4; ++node) {
+    if (!any_edge[node]) {
+      model->AddEdge(cell_input, node_join[static_cast<size_t>(node)]);
+    }
+  }
+  return node_join[3];
+}
+
+// Residual reduction block between stacks: doubles width, halves resolution.
+OpId ReductionBlock(ChainBuilder* chain, int64_t in_width, int64_t out_width) {
+  const OpId input = chain->cursor();
+  chain->Append(OpKind::kActivation, ReluAttrs());
+  chain->Append(OpKind::kConv2D, ConvAttrs(3, in_width, out_width, 2));
+  chain->Append(OpKind::kBatchNorm, NormAttrs(out_width));
+  chain->Append(OpKind::kActivation, ReluAttrs());
+  chain->Append(OpKind::kConv2D, ConvAttrs(3, out_width, out_width));
+  chain->Append(OpKind::kBatchNorm, NormAttrs(out_width));
+  const OpId main_path = chain->cursor();
+
+  chain->set_cursor(input);
+  chain->Append(OpKind::kAvgPool, PoolAttrs(2, 2));
+  chain->Append(OpKind::kConv2D, ConvAttrs(1, in_width, out_width));
+  const OpId shortcut = chain->cursor();
+
+  chain->set_cursor(main_path);
+  chain->Append(OpKind::kAdd);
+  chain->JoinFrom(shortcut);
+  return chain->cursor();
+}
+
+}  // namespace
+
+NasBenchCellSpec DecodeNasBenchSpec(int64_t index) {
+  if (index < 0 || index >= kNasBenchSpaceSize) {
+    throw std::invalid_argument("DecodeNasBenchSpec: index out of range");
+  }
+  NasBenchCellSpec spec;
+  for (int e = 0; e < kNasBenchCellEdges; ++e) {
+    spec[static_cast<size_t>(e)] = static_cast<NasBenchEdgeOp>(index % 5);
+    index /= 5;
+  }
+  return spec;
+}
+
+Model BuildNasBenchModel(int64_t index, const NasBenchOptions& options) {
+  const NasBenchCellSpec spec = DecodeNasBenchSpec(index);
+  Model model("nasbench_" + std::to_string(index), "nasbench");
+  ChainBuilder chain(&model);
+  chain.Append(OpKind::kInput);
+
+  int64_t width = options.base_width;
+  chain.Append(OpKind::kConv2D, ConvAttrs(3, 3, width));
+  chain.Append(OpKind::kBatchNorm, NormAttrs(width));
+
+  for (int stack = 0; stack < 3; ++stack) {
+    for (int cell = 0; cell < options.cells_per_stack; ++cell) {
+      const OpId out = BuildCell(&model, chain.cursor(), spec, width);
+      chain.set_cursor(out);
+    }
+    if (stack < 2) {
+      ReductionBlock(&chain, width, width * 2);
+      width *= 2;
+    }
+  }
+
+  chain.Append(OpKind::kGlobalAvgPool);
+  chain.Append(OpKind::kDense, DenseAttrs(width, options.num_classes));
+  chain.Append(OpKind::kSoftmax);
+  chain.Append(OpKind::kOutput);
+  return model;
+}
+
+}  // namespace optimus

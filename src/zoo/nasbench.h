@@ -1,0 +1,51 @@
+// NASBench-201-style cell-search-space model generator (Dong & Yang, 2020).
+//
+// NAS-Bench-201 defines a fixed macro skeleton (stem, three cell stacks with
+// residual reduction blocks between them) and a searchable 4-node cell whose
+// six internal edges each pick one of five operation choices. Enumerating the
+// edge choices yields 5^6 = 15625 lightweight architectures; this generator
+// samples them deterministically from a seed, reproducing the "thousands of
+// structurally similar models" property the paper relies on (§8.1).
+
+#ifndef OPTIMUS_SRC_ZOO_NASBENCH_H_
+#define OPTIMUS_SRC_ZOO_NASBENCH_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/graph/model.h"
+
+namespace optimus {
+
+// Operation choice per cell edge, matching the NAS-Bench-201 search space.
+enum class NasBenchEdgeOp : uint8_t {
+  kNone = 0,      // Edge removed entirely.
+  kSkip,          // Identity connection.
+  kConv1x1,       // ReLU-Conv(1x1)-BN triplet.
+  kConv3x3,       // ReLU-Conv(3x3)-BN triplet.
+  kAvgPool3x3,    // 3x3 average pooling.
+};
+
+inline constexpr int kNasBenchCellEdges = 6;
+
+// A fully specified cell: one op choice per edge, edges ordered
+// (0->1, 0->2, 1->2, 0->3, 1->3, 2->3).
+using NasBenchCellSpec = std::array<NasBenchEdgeOp, kNasBenchCellEdges>;
+
+struct NasBenchOptions {
+  int cells_per_stack = 5;
+  int64_t base_width = 16;
+  int64_t num_classes = 10;  // CIFAR-10, as in NAS-Bench-201.
+};
+
+// Builds the architecture `index` in [0, 15625) of the search space.
+Model BuildNasBenchModel(int64_t index, const NasBenchOptions& options = {});
+
+// Decodes an architecture index into its cell specification.
+NasBenchCellSpec DecodeNasBenchSpec(int64_t index);
+
+inline constexpr int64_t kNasBenchSpaceSize = 15625;  // 5^6.
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_ZOO_NASBENCH_H_

@@ -1,0 +1,260 @@
+#include "src/zoo/registry.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "src/common/rng.h"
+#include "src/zoo/bert.h"
+#include "src/zoo/densenet.h"
+#include "src/zoo/inception.h"
+#include "src/zoo/mobilenet.h"
+#include "src/zoo/nasbench.h"
+#include "src/zoo/resnet.h"
+#include "src/zoo/squeezenet.h"
+#include "src/zoo/vgg.h"
+
+namespace optimus {
+
+void ModelRegistry::Register(const std::string& name, ModelBuilder builder) {
+  if (builders_.count(name) > 0) {
+    throw std::invalid_argument("ModelRegistry: duplicate name " + name);
+  }
+  builders_.emplace(name, std::move(builder));
+}
+
+bool ModelRegistry::Has(const std::string& name) const { return builders_.count(name) > 0; }
+
+Model ModelRegistry::Build(const std::string& name) const {
+  auto it = builders_.find(name);
+  if (it == builders_.end()) {
+    throw std::out_of_range("ModelRegistry: unknown model " + name);
+  }
+  Model model = it->second();
+  model.set_name(name);
+  return model;
+}
+
+std::vector<std::string> ModelRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(builders_.size());
+  for (const auto& [name, builder] : builders_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+namespace {
+
+BertConfig WithTask(BertConfig config, BertTask task, const std::string& suffix) {
+  config.task = task;
+  config.name += "_" + suffix;
+  return config;
+}
+
+void RegisterBertZoo(ModelRegistry* registry) {
+  // Three sizes.
+  registry->Register("bert_tiny", [] { return BuildBert(BertTinyConfig()); });
+  registry->Register("bert_mini", [] { return BuildBert(BertMiniConfig()); });
+  registry->Register("bert_small", [] { return BuildBert(BertSmallConfig()); });
+  // Two vocabularies.
+  registry->Register("bert_base_cased", [] { return BuildBert(BertBaseCasedConfig()); });
+  registry->Register("bert_base_uncased", [] { return BuildBert(BertBaseConfig()); });
+  // Five downstream tasks on the base encoder.
+  registry->Register("bert_sc", [] {
+    return BuildBert(WithTask(BertBaseConfig(), BertTask::kSequenceClassification, "sc"));
+  });
+  registry->Register("bert_tc", [] {
+    return BuildBert(WithTask(BertBaseConfig(), BertTask::kTokenClassification, "tc"));
+  });
+  registry->Register("bert_qa", [] {
+    return BuildBert(WithTask(BertBaseConfig(), BertTask::kQuestionAnswering, "qa"));
+  });
+  registry->Register("bert_nsp", [] {
+    return BuildBert(WithTask(BertBaseConfig(), BertTask::kNextSentencePrediction, "nsp"));
+  });
+  registry->Register("bert_mc", [] {
+    return BuildBert(WithTask(BertBaseConfig(), BertTask::kMultipleChoice, "mc"));
+  });
+}
+
+}  // namespace
+
+std::vector<std::string> RepresentativeModelNames() {
+  return {
+      // 11 CNNs from the Imgclsmob-style zoo.
+      "vgg11", "vgg16", "vgg19", "resnet18", "resnet50", "resnet101", "resnet152",
+      "densenet121", "mobilenet_w1.00", "inception_v1", "xception",
+      // The 10-variation BERT zoo.
+      "bert_tiny", "bert_mini", "bert_small", "bert_base_cased", "bert_base_uncased",
+      "bert_sc", "bert_tc", "bert_qa", "bert_nsp", "bert_mc",
+  };
+}
+
+ModelRegistry RepresentativeModels() {
+  ModelRegistry registry;
+  registry.Register("vgg11", [] { return BuildVgg(11); });
+  registry.Register("vgg16", [] { return BuildVgg(16); });
+  registry.Register("vgg19", [] { return BuildVgg(19); });
+  registry.Register("resnet18", [] { return BuildResNet(18); });
+  registry.Register("resnet50", [] { return BuildResNet(50); });
+  registry.Register("resnet101", [] { return BuildResNet(101); });
+  registry.Register("resnet152", [] { return BuildResNet(152); });
+  registry.Register("densenet121", [] { return BuildDenseNet(121); });
+  registry.Register("mobilenet_w1.00", [] { return BuildMobileNet(); });
+  registry.Register("inception_v1", [] { return BuildInception(); });
+  registry.Register("xception", [] { return BuildXception(); });
+  RegisterBertZoo(&registry);
+  return registry;
+}
+
+ModelRegistry BertZoo() {
+  ModelRegistry registry;
+  RegisterBertZoo(&registry);
+  return registry;
+}
+
+ModelRegistry ImgclsmobZoo(int count) {
+  ModelRegistry registry;
+  // Canonical members first, then width-multiplier variants, mirroring how
+  // Imgclsmob hosts many scaled variants of each family.
+  struct Entry {
+    std::string name;
+    ModelBuilder builder;
+  };
+  std::vector<Entry> catalog;
+
+  for (const int depth : {11, 13, 16, 19}) {
+    for (const double width : {1.0, 0.75, 0.5, 0.375, 0.25}) {
+      char name[64];
+      std::snprintf(name, sizeof(name), "vgg%d_w%.3f", depth, width);
+      catalog.push_back({name, [depth, width] {
+                           VggOptions options;
+                           options.width_multiplier = width;
+                           return BuildVgg(depth, options);
+                         }});
+    }
+  }
+  for (const int depth : {18, 34, 50, 101, 152}) {
+    for (const double width : {1.0, 0.75, 0.5, 0.375, 0.25, 0.125}) {
+      char name[64];
+      std::snprintf(name, sizeof(name), "resnet%d_w%.3f", depth, width);
+      catalog.push_back({name, [depth, width] {
+                           ResNetOptions options;
+                           options.width_multiplier = width;
+                           return BuildResNet(depth, options);
+                         }});
+    }
+  }
+  for (const int depth : {121, 169, 201}) {
+    for (const int64_t growth : {8, 12, 16, 24, 32, 48}) {
+      char name[64];
+      std::snprintf(name, sizeof(name), "densenet%d_g%d", depth, static_cast<int>(growth));
+      catalog.push_back({name, [depth, growth] {
+                           DenseNetOptions options;
+                           options.growth_rate = growth;
+                           return BuildDenseNet(depth, options);
+                         }});
+    }
+  }
+  for (const double width :
+       {1.0, 0.9, 0.8, 0.75, 0.7, 0.6, 0.5, 0.45, 0.4, 0.35, 0.3, 0.25, 0.2, 0.15, 0.125, 0.1}) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "mobilenet_w%.2f", width);
+    catalog.push_back({name, [width] {
+                         MobileNetOptions options;
+                         options.width_multiplier = width;
+                         return BuildMobileNet(options);
+                       }});
+  }
+  for (const int64_t classes : {1000, 100, 10}) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "inception_v1_c%d", static_cast<int>(classes));
+    catalog.push_back({name, [classes] { return BuildInception(classes); }});
+    std::snprintf(name, sizeof(name), "xception_c%d", static_cast<int>(classes));
+    catalog.push_back({name, [classes] { return BuildXception(classes); }});
+    std::snprintf(name, sizeof(name), "squeezenet_c%d", static_cast<int>(classes));
+    catalog.push_back({name, [classes] { return BuildSqueezeNet(classes); }});
+  }
+
+  // Fill the remainder (up to `count`) with further class-count variants of
+  // the families to reach the 389-model catalog size.
+  int suffix = 0;
+  Rng rng(4242);
+  while (static_cast<int>(catalog.size()) < count) {
+    const int family = static_cast<int>(rng.UniformInt(0, 3));
+    const int64_t classes = rng.UniformInt(2, 1000);
+    char name[96];
+    switch (family) {
+      case 0: {
+        const int depth = std::vector<int>{11, 13, 16, 19}[static_cast<size_t>(
+            rng.UniformInt(0, 3))];
+        std::snprintf(name, sizeof(name), "vgg%d_c%d_%d", depth, static_cast<int>(classes),
+                      suffix);
+        catalog.push_back({name, [depth, classes] {
+                             VggOptions options;
+                             options.num_classes = classes;
+                             return BuildVgg(depth, options);
+                           }});
+        break;
+      }
+      case 1: {
+        const int depth = std::vector<int>{18, 34, 50, 101, 152}[static_cast<size_t>(
+            rng.UniformInt(0, 4))];
+        std::snprintf(name, sizeof(name), "resnet%d_c%d_%d", depth, static_cast<int>(classes),
+                      suffix);
+        catalog.push_back({name, [depth, classes] {
+                             ResNetOptions options;
+                             options.num_classes = classes;
+                             return BuildResNet(depth, options);
+                           }});
+        break;
+      }
+      case 2: {
+        std::snprintf(name, sizeof(name), "mobilenet_c%d_%d", static_cast<int>(classes), suffix);
+        catalog.push_back({name, [classes] {
+                             MobileNetOptions options;
+                             options.num_classes = classes;
+                             return BuildMobileNet(options);
+                           }});
+        break;
+      }
+      default: {
+        const int depth = std::vector<int>{121, 169, 201}[static_cast<size_t>(
+            rng.UniformInt(0, 2))];
+        std::snprintf(name, sizeof(name), "densenet%d_c%d_%d", depth, static_cast<int>(classes),
+                      suffix);
+        catalog.push_back({name, [depth, classes] {
+                             DenseNetOptions options;
+                             options.num_classes = classes;
+                             return BuildDenseNet(depth, options);
+                           }});
+        break;
+      }
+    }
+    ++suffix;
+  }
+
+  for (int i = 0; i < count && i < static_cast<int>(catalog.size()); ++i) {
+    registry.Register(catalog[static_cast<size_t>(i)].name,
+                      catalog[static_cast<size_t>(i)].builder);
+  }
+  return registry;
+}
+
+ModelRegistry NasBenchZoo(int count, uint64_t seed) {
+  ModelRegistry registry;
+  Rng rng(seed);
+  int added = 0;
+  while (added < count) {
+    const int64_t index = rng.UniformInt(0, kNasBenchSpaceSize - 1);
+    const std::string name = "nasbench_" + std::to_string(index);
+    if (registry.Has(name)) {
+      continue;
+    }
+    registry.Register(name, [index] { return BuildNasBenchModel(index); });
+    ++added;
+  }
+  return registry;
+}
+
+}  // namespace optimus

@@ -1,0 +1,61 @@
+// Model registry and catalogs mirroring the paper's workloads (§8.1):
+// an Imgclsmob-style CNN zoo (389 models), a BERT zoo (10 variations), and
+// the NAS-Bench-201 space, plus the 21 representative models of Figure 11.
+
+#ifndef OPTIMUS_SRC_ZOO_REGISTRY_H_
+#define OPTIMUS_SRC_ZOO_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/graph/model.h"
+
+namespace optimus {
+
+using ModelBuilder = std::function<Model()>;
+
+// A named catalog of model builders. Building is lazy: catalogs hold cheap
+// closures and models (structure-only) are constructed on demand.
+class ModelRegistry {
+ public:
+  // Registers a builder; throws std::invalid_argument on duplicate names.
+  void Register(const std::string& name, ModelBuilder builder);
+
+  bool Has(const std::string& name) const;
+
+  // Builds the model; throws std::out_of_range on unknown names.
+  Model Build(const std::string& name) const;
+
+  // All registered names in lexicographic order.
+  std::vector<std::string> Names() const;
+
+  size_t Size() const { return builders_.size(); }
+
+ private:
+  std::map<std::string, ModelBuilder> builders_;
+};
+
+// The 21 representative models of Figure 11 (11 CNNs + 10 BERT variations),
+// in the paper's ordering, plus builders for each.
+std::vector<std::string> RepresentativeModelNames();
+ModelRegistry RepresentativeModels();
+
+// The 10-variation BERT zoo: three extra sizes (Tiny, Mini, Small), two
+// vocabularies (Cased, Uncased), five downstream tasks (SC, TC, QA, NSP, MC).
+ModelRegistry BertZoo();
+
+// An Imgclsmob-style CNN zoo: `count` models (default 389, matching the
+// paper) drawn from the VGG/ResNet/DenseNet/MobileNet/Inception/Xception
+// families with varying depth and width multipliers. Deterministic.
+ModelRegistry ImgclsmobZoo(int count = 389);
+
+// A NAS-Bench-201 catalog with `count` architectures sampled deterministically
+// from the 15625-model space.
+ModelRegistry NasBenchZoo(int count, uint64_t seed = 2024);
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_ZOO_REGISTRY_H_

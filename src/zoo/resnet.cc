@@ -1,0 +1,133 @@
+#include "src/zoo/resnet.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "src/zoo/chain_builder.h"
+
+namespace optimus {
+
+namespace {
+
+struct StagePlan {
+  std::vector<int> blocks;
+  bool bottleneck;
+};
+
+StagePlan PlanFor(int depth) {
+  switch (depth) {
+    case 18:
+      return {{2, 2, 2, 2}, false};
+    case 34:
+      return {{3, 4, 6, 3}, false};
+    case 50:
+      return {{3, 4, 6, 3}, true};
+    case 101:
+      return {{3, 4, 23, 3}, true};
+    case 152:
+      return {{3, 8, 36, 3}, true};
+    default:
+      throw std::invalid_argument("BuildResNet: unsupported depth " + std::to_string(depth));
+  }
+}
+
+int64_t Scaled(int64_t channels, double multiplier) {
+  return std::max<int64_t>(1, static_cast<int64_t>(channels * multiplier));
+}
+
+// Basic block: two 3x3 convs with an identity (or projected) shortcut.
+// Returns the id of the block's output op. `in_channels` is updated.
+OpId BasicBlock(ChainBuilder* chain, int64_t* in_channels, int64_t out_channels, int64_t stride) {
+  const OpId shortcut_src = chain->cursor();
+  chain->Append(OpKind::kConv2D, ConvAttrs(3, *in_channels, out_channels, stride));
+  chain->Append(OpKind::kBatchNorm, NormAttrs(out_channels));
+  chain->Append(OpKind::kActivation, ReluAttrs());
+  chain->Append(OpKind::kConv2D, ConvAttrs(3, out_channels, out_channels));
+  chain->Append(OpKind::kBatchNorm, NormAttrs(out_channels));
+  const OpId main_path = chain->cursor();
+
+  OpId shortcut = shortcut_src;
+  if (*in_channels != out_channels || stride != 1) {
+    chain->set_cursor(shortcut_src);
+    chain->Append(OpKind::kConv2D, ConvAttrs(1, *in_channels, out_channels, stride));
+    chain->Append(OpKind::kBatchNorm, NormAttrs(out_channels));
+    shortcut = chain->cursor();
+  }
+
+  chain->set_cursor(main_path);
+  chain->Append(OpKind::kAdd);
+  chain->JoinFrom(shortcut);
+  chain->Append(OpKind::kActivation, ReluAttrs());
+  *in_channels = out_channels;
+  return chain->cursor();
+}
+
+// Bottleneck block: 1x1 reduce, 3x3, 1x1 expand (x4), with shortcut.
+OpId BottleneckBlock(ChainBuilder* chain, int64_t* in_channels, int64_t mid_channels,
+                     int64_t stride) {
+  const int64_t out_channels = mid_channels * 4;
+  const OpId shortcut_src = chain->cursor();
+  chain->Append(OpKind::kConv2D, ConvAttrs(1, *in_channels, mid_channels));
+  chain->Append(OpKind::kBatchNorm, NormAttrs(mid_channels));
+  chain->Append(OpKind::kActivation, ReluAttrs());
+  chain->Append(OpKind::kConv2D, ConvAttrs(3, mid_channels, mid_channels, stride));
+  chain->Append(OpKind::kBatchNorm, NormAttrs(mid_channels));
+  chain->Append(OpKind::kActivation, ReluAttrs());
+  chain->Append(OpKind::kConv2D, ConvAttrs(1, mid_channels, out_channels));
+  chain->Append(OpKind::kBatchNorm, NormAttrs(out_channels));
+  const OpId main_path = chain->cursor();
+
+  OpId shortcut = shortcut_src;
+  if (*in_channels != out_channels || stride != 1) {
+    chain->set_cursor(shortcut_src);
+    chain->Append(OpKind::kConv2D, ConvAttrs(1, *in_channels, out_channels, stride));
+    chain->Append(OpKind::kBatchNorm, NormAttrs(out_channels));
+    shortcut = chain->cursor();
+  }
+
+  chain->set_cursor(main_path);
+  chain->Append(OpKind::kAdd);
+  chain->JoinFrom(shortcut);
+  chain->Append(OpKind::kActivation, ReluAttrs());
+  *in_channels = out_channels;
+  return chain->cursor();
+}
+
+}  // namespace
+
+Model BuildResNet(int depth, const ResNetOptions& options) {
+  const StagePlan plan = PlanFor(depth);
+  Model model("resnet" + std::to_string(depth), "resnet");
+  ChainBuilder chain(&model);
+  chain.Append(OpKind::kInput);
+
+  int64_t in_channels = 3;
+  const int64_t stem_channels = Scaled(64, options.width_multiplier);
+  chain.Append(OpKind::kConv2D, ConvAttrs(7, in_channels, stem_channels, 2));
+  chain.Append(OpKind::kBatchNorm, NormAttrs(stem_channels));
+  chain.Append(OpKind::kActivation, ReluAttrs());
+  chain.Append(OpKind::kMaxPool, PoolAttrs(3, 2));
+  in_channels = stem_channels;
+
+  const int64_t base_channels[4] = {64, 128, 256, 512};
+  for (size_t stage = 0; stage < plan.blocks.size(); ++stage) {
+    const int64_t channels = Scaled(base_channels[stage], options.width_multiplier);
+    for (int block = 0; block < plan.blocks[static_cast<size_t>(stage)]; ++block) {
+      const int64_t stride = (block == 0 && stage > 0) ? 2 : 1;
+      if (plan.bottleneck) {
+        BottleneckBlock(&chain, &in_channels, channels, stride);
+      } else {
+        BasicBlock(&chain, &in_channels, channels, stride);
+      }
+    }
+  }
+
+  chain.Append(OpKind::kGlobalAvgPool);
+  chain.Append(OpKind::kDense, DenseAttrs(in_channels, options.num_classes));
+  chain.Append(OpKind::kSoftmax);
+  chain.Append(OpKind::kOutput);
+  return model;
+}
+
+}  // namespace optimus

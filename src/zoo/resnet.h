@@ -1,0 +1,22 @@
+// ResNet family builders (He et al., 2015).
+
+#ifndef OPTIMUS_SRC_ZOO_RESNET_H_
+#define OPTIMUS_SRC_ZOO_RESNET_H_
+
+#include "src/graph/model.h"
+
+namespace optimus {
+
+struct ResNetOptions {
+  double width_multiplier = 1.0;
+  int64_t num_classes = 1000;
+};
+
+// Builds ResNet-`depth` for depth in {18, 34, 50, 101, 152}. Depths 18/34 use
+// basic residual blocks, 50+ use bottleneck blocks. Canonical parameter
+// counts: ResNet50 25.6M, ResNet101 44.7M, ResNet152 60.4M.
+Model BuildResNet(int depth, const ResNetOptions& options = {});
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_ZOO_RESNET_H_

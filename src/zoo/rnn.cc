@@ -1,0 +1,34 @@
+#include "src/zoo/rnn.h"
+
+#include "src/zoo/chain_builder.h"
+
+namespace optimus {
+
+Model BuildRnn(const RnnConfig& config) {
+  Model model(config.name, config.use_gru ? "gru" : "lstm");
+  ChainBuilder chain(&model);
+  chain.Append(OpKind::kInput);
+
+  OpAttributes embedding;
+  embedding.vocab_size = config.vocab_size;
+  embedding.out_channels = config.embedding_dim;
+  chain.Append(OpKind::kEmbedding, embedding);
+  chain.Append(OpKind::kDropout);
+
+  int64_t in_dim = config.embedding_dim;
+  for (int layer = 0; layer < config.num_layers; ++layer) {
+    OpAttributes cell;
+    cell.in_channels = in_dim;
+    cell.out_channels = config.hidden;
+    chain.Append(config.use_gru ? OpKind::kGruCell : OpKind::kLstmCell, cell);
+    chain.Append(OpKind::kDropout);
+    in_dim = config.hidden;
+  }
+
+  chain.Append(OpKind::kDense, DenseAttrs(config.hidden, config.num_classes));
+  chain.Append(OpKind::kSoftmax);
+  chain.Append(OpKind::kOutput);
+  return model;
+}
+
+}  // namespace optimus

@@ -1,0 +1,32 @@
+// Recurrent (LSTM / GRU) model builders.
+//
+// The paper's implementation note (§7) states the meta-operator interfaces
+// cover "most models, including CNN, RNN, and transformer"; these builders
+// provide the RNN members of the zoo: embedding -> stacked recurrent cells ->
+// dense classifier, the standard text-classification topology.
+
+#ifndef OPTIMUS_SRC_ZOO_RNN_H_
+#define OPTIMUS_SRC_ZOO_RNN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/graph/model.h"
+
+namespace optimus {
+
+struct RnnConfig {
+  std::string name = "lstm_classifier";
+  bool use_gru = false;   // false = LSTM cells, true = GRU cells.
+  int num_layers = 2;
+  int64_t vocab_size = 20000;
+  int64_t embedding_dim = 128;
+  int64_t hidden = 256;
+  int64_t num_classes = 2;
+};
+
+Model BuildRnn(const RnnConfig& config);
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_ZOO_RNN_H_

@@ -1,0 +1,71 @@
+#include "src/zoo/squeezenet.h"
+
+#include "src/zoo/chain_builder.h"
+
+namespace optimus {
+
+namespace {
+
+// Fire module: squeeze 1x1 -> (expand 1x1 || expand 3x3) -> concat.
+// Returns the concat op; the module output has 2 * expand channels.
+OpId FireModule(ChainBuilder* chain, int64_t in_channels, int64_t squeeze, int64_t expand) {
+  Model* model = chain->model();
+  chain->Append(OpKind::kConv2D, ConvAttrs(1, in_channels, squeeze));
+  chain->Append(OpKind::kActivation, ReluAttrs());
+  const OpId squeezed = chain->cursor();
+
+  chain->Append(OpKind::kConv2D, ConvAttrs(1, squeeze, expand));
+  chain->Append(OpKind::kActivation, ReluAttrs());
+  const OpId left = chain->cursor();
+
+  chain->set_cursor(squeezed);
+  chain->Append(OpKind::kConv2D, ConvAttrs(3, squeeze, expand));
+  chain->Append(OpKind::kActivation, ReluAttrs());
+  const OpId right = chain->cursor();
+
+  const OpId concat = model->AddOp(OpKind::kConcat);
+  model->AddEdge(left, concat);
+  model->AddEdge(right, concat);
+  chain->set_cursor(concat);
+  return concat;
+}
+
+}  // namespace
+
+Model BuildSqueezeNet(int64_t num_classes) {
+  Model model("squeezenet", "squeezenet");
+  ChainBuilder chain(&model);
+  chain.Append(OpKind::kInput);
+
+  chain.Append(OpKind::kConv2D, ConvAttrs(7, 3, 96, 2));
+  chain.Append(OpKind::kActivation, ReluAttrs());
+  chain.Append(OpKind::kMaxPool, PoolAttrs(3, 2));
+
+  // (squeeze, expand) per fire module, with pools after fire4 and fire8.
+  const struct {
+    int64_t squeeze;
+    int64_t expand;
+    bool pool_after;
+  } fires[] = {
+      {16, 64, false}, {16, 64, false},  {32, 128, true},  {32, 128, false},
+      {48, 192, false}, {48, 192, false}, {64, 256, true},  {64, 256, false},
+  };
+  int64_t channels = 96;
+  for (const auto& fire : fires) {
+    FireModule(&chain, channels, fire.squeeze, fire.expand);
+    channels = 2 * fire.expand;
+    if (fire.pool_after) {
+      chain.Append(OpKind::kMaxPool, PoolAttrs(3, 2));
+    }
+  }
+
+  chain.Append(OpKind::kDropout);
+  chain.Append(OpKind::kConv2D, ConvAttrs(1, channels, num_classes));
+  chain.Append(OpKind::kActivation, ReluAttrs());
+  chain.Append(OpKind::kGlobalAvgPool);
+  chain.Append(OpKind::kSoftmax);
+  chain.Append(OpKind::kOutput);
+  return model;
+}
+
+}  // namespace optimus

@@ -1,0 +1,16 @@
+// SqueezeNet builder (Iandola et al., 2016): Fire modules with a 1x1 squeeze
+// convolution feeding parallel 1x1 and 3x3 expand branches.
+
+#ifndef OPTIMUS_SRC_ZOO_SQUEEZENET_H_
+#define OPTIMUS_SRC_ZOO_SQUEEZENET_H_
+
+#include "src/graph/model.h"
+
+namespace optimus {
+
+// Builds SqueezeNet v1.0 (~1.25M parameters at 1000 classes).
+Model BuildSqueezeNet(int64_t num_classes = 1000);
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_ZOO_SQUEEZENET_H_

@@ -1,0 +1,70 @@
+#include "src/zoo/vgg.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "src/zoo/chain_builder.h"
+
+namespace optimus {
+
+namespace {
+
+// Convolution plans per stage: number of 3x3 convs before each max-pool.
+std::vector<int> ConvsPerStage(int depth) {
+  switch (depth) {
+    case 11:
+      return {1, 1, 2, 2, 2};
+    case 13:
+      return {2, 2, 2, 2, 2};
+    case 16:
+      return {2, 2, 3, 3, 3};
+    case 19:
+      return {2, 2, 4, 4, 4};
+    default:
+      throw std::invalid_argument("BuildVgg: unsupported depth " + std::to_string(depth));
+  }
+}
+
+int64_t Scaled(int64_t channels, double multiplier) {
+  return std::max<int64_t>(1, static_cast<int64_t>(channels * multiplier));
+}
+
+}  // namespace
+
+Model BuildVgg(int depth, const VggOptions& options) {
+  const std::vector<int> plan = ConvsPerStage(depth);
+  const int64_t stage_channels[5] = {64, 128, 256, 512, 512};
+
+  Model model("vgg" + std::to_string(depth), "vgg");
+  ChainBuilder chain(&model);
+  chain.Append(OpKind::kInput);
+
+  int64_t in_channels = 3;
+  for (size_t stage = 0; stage < plan.size(); ++stage) {
+    const int64_t out_channels = Scaled(stage_channels[stage], options.width_multiplier);
+    for (int conv = 0; conv < plan[stage]; ++conv) {
+      chain.Append(OpKind::kConv2D, ConvAttrs(3, in_channels, out_channels));
+      chain.Append(OpKind::kActivation, ReluAttrs());
+      in_channels = out_channels;
+    }
+    chain.Append(OpKind::kMaxPool, PoolAttrs(2, 2));
+  }
+
+  chain.Append(OpKind::kFlatten);
+  // 224x224 input downsampled 2^5 -> 7x7 spatial grid before flattening.
+  const int64_t flat_units = 7 * 7 * in_channels;
+  const int64_t fc_units = Scaled(4096, options.width_multiplier);
+  chain.Append(OpKind::kDense, DenseAttrs(flat_units, fc_units));
+  chain.Append(OpKind::kActivation, ReluAttrs());
+  chain.Append(OpKind::kDropout);
+  chain.Append(OpKind::kDense, DenseAttrs(fc_units, fc_units));
+  chain.Append(OpKind::kActivation, ReluAttrs());
+  chain.Append(OpKind::kDropout);
+  chain.Append(OpKind::kDense, DenseAttrs(fc_units, options.num_classes));
+  chain.Append(OpKind::kSoftmax);
+  chain.Append(OpKind::kOutput);
+  return model;
+}
+
+}  // namespace optimus

@@ -1,0 +1,22 @@
+// VGG family builders (Simonyan & Zisserman, 2015).
+
+#ifndef OPTIMUS_SRC_ZOO_VGG_H_
+#define OPTIMUS_SRC_ZOO_VGG_H_
+
+#include "src/graph/model.h"
+
+namespace optimus {
+
+struct VggOptions {
+  // Scales every channel/unit count; <1.0 produces lighter zoo variants.
+  double width_multiplier = 1.0;
+  int64_t num_classes = 1000;
+};
+
+// Builds VGG-`depth` for depth in {11, 13, 16, 19}. Structure only (weights
+// unallocated); the canonical VGG16 has 138.4M parameters.
+Model BuildVgg(int depth, const VggOptions& options = {});
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_ZOO_VGG_H_

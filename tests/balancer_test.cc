@@ -1,0 +1,134 @@
+#include "src/balancer/balancer.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace optimus {
+namespace {
+
+class BalancerTest : public testing::Test {
+ protected:
+  std::vector<Model> SimilarAndDissimilarModels() {
+    // Two structural families: VGG-like and BERT-like.
+    std::vector<Model> models;
+    models.push_back(TinyVgg(11));
+    models.push_back(TinyVgg(16));
+    models.push_back(TinyVgg(19));
+    models.push_back(TinyBert(2, 64));
+    models.push_back(TinyBert(4, 128));
+    Model extra = TinyBert(2, 128);
+    models.push_back(extra);
+    return models;
+  }
+
+  AnalyticCostModel costs_;
+};
+
+TEST_F(BalancerTest, HashPlacementDeterministicAndInRange) {
+  const auto models = SimilarAndDissimilarModels();
+  BalancerOptions options;
+  options.kind = BalancerKind::kHash;
+  const Placement a = PlaceFunctions(models, 3, {}, costs_, options);
+  const Placement b = PlaceFunctions(models, 3, {}, costs_, options);
+  EXPECT_EQ(a, b);
+  for (const auto& [name, node] : a) {
+    EXPECT_GE(node, 0);
+    EXPECT_LT(node, 3);
+  }
+  EXPECT_EQ(a.size(), models.size());
+}
+
+TEST_F(BalancerTest, LoadBasedPlacementBalancesDemand) {
+  const auto models = SimilarAndDissimilarModels();
+  std::map<std::string, DemandSeries> history;
+  // One hot function, the rest cold.
+  history[models[0].name()] = {100.0, 100.0};
+  for (size_t i = 1; i < models.size(); ++i) {
+    history[models[i].name()] = {1.0, 1.0};
+  }
+  BalancerOptions options;
+  options.kind = BalancerKind::kLoadBased;
+  const Placement placement = PlaceFunctions(models, 2, history, costs_, options);
+  // The hot function gets a node; at most one cold one joins it while the
+  // other node takes the rest.
+  const int hot_node = placement.at(models[0].name());
+  int on_hot_node = 0;
+  for (const auto& [name, node] : placement) {
+    if (node == hot_node) {
+      ++on_hot_node;
+    }
+  }
+  EXPECT_LE(on_hot_node, 2);
+}
+
+TEST_F(BalancerTest, ModelSharingColocatesStructurallySimilarFunctions) {
+  const auto models = SimilarAndDissimilarModels();
+  BalancerOptions options;
+  options.kind = BalancerKind::kModelSharing;
+  options.gamma_distance = 1.0;
+  options.gamma_correlation = 0.0;  // Pure structural similarity.
+  options.clusters_per_node = 1;    // One cluster per node: pure K-medoids.
+  const Placement placement = PlaceFunctions(models, 2, {}, costs_, options);
+  // All VGG variants together, all BERT variants together, on distinct nodes.
+  EXPECT_EQ(placement.at(models[0].name()), placement.at(models[1].name()));
+  EXPECT_EQ(placement.at(models[1].name()), placement.at(models[2].name()));
+  EXPECT_EQ(placement.at(models[3].name()), placement.at(models[4].name()));
+  EXPECT_EQ(placement.at(models[4].name()), placement.at(models[5].name()));
+  EXPECT_NE(placement.at(models[0].name()), placement.at(models[3].name()));
+}
+
+TEST_F(BalancerTest, CorrelationTermSeparatesSynchronizedFunctions) {
+  // Two structurally identical pairs; within each pair demand is perfectly
+  // correlated, across pairs anti-correlated. With a correlation-only
+  // distance, the balancer splits the synchronized functions apart.
+  std::vector<Model> models;
+  for (int i = 0; i < 4; ++i) {
+    Model model = TinyVgg(11);
+    model.set_name("vgg_" + std::to_string(i));
+    models.push_back(model);
+  }
+  std::map<std::string, DemandSeries> history;
+  const DemandSeries day = {10.0, 0.0, 10.0, 0.0, 10.0, 0.0};
+  const DemandSeries night = {0.0, 10.0, 0.0, 10.0, 0.0, 10.0};
+  history["vgg_0"] = day;
+  history["vgg_1"] = day;
+  history["vgg_2"] = night;
+  history["vgg_3"] = night;
+  BalancerOptions options;
+  options.kind = BalancerKind::kModelSharing;
+  options.gamma_distance = 0.0;
+  options.gamma_correlation = 1.0;
+  options.clusters_per_node = 1;
+  const Placement placement = PlaceFunctions(models, 2, history, costs_, options);
+  // A perfectly synchronized pair is split apart, while a complementary
+  // (anti-correlated) pair shares a node.
+  EXPECT_NE(placement.at("vgg_0"), placement.at("vgg_1"));
+  EXPECT_EQ(placement.at("vgg_0"), placement.at("vgg_2"));
+}
+
+TEST_F(BalancerTest, CombinedDistanceMatrixProperties) {
+  const auto models = SimilarAndDissimilarModels();
+  BalancerOptions options;
+  const auto matrix = CombinedDistanceMatrix(models, {}, costs_, options);
+  ASSERT_EQ(matrix.size(), models.size());
+  for (size_t i = 0; i < matrix.size(); ++i) {
+    EXPECT_EQ(matrix[i][i], 0.0);
+    for (size_t j = 0; j < matrix.size(); ++j) {
+      EXPECT_DOUBLE_EQ(matrix[i][j], matrix[j][i]);
+      EXPECT_GE(matrix[i][j], 0.0);
+      EXPECT_LE(matrix[i][j], options.gamma_distance + options.gamma_correlation + 1e-9);
+    }
+  }
+  // Same-family distance < cross-family distance.
+  EXPECT_LT(matrix[0][1], matrix[0][3]);
+}
+
+TEST_F(BalancerTest, BalancerKindNames) {
+  EXPECT_STREQ(BalancerKindName(BalancerKind::kHash), "Hash");
+  EXPECT_STREQ(BalancerKindName(BalancerKind::kLoadBased), "LoadBased");
+  EXPECT_STREQ(BalancerKindName(BalancerKind::kModelSharing), "ModelSharing");
+}
+
+}  // namespace
+}  // namespace optimus

@@ -1,0 +1,210 @@
+#include "src/graph/model.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tests/test_util.h"
+
+namespace optimus {
+namespace {
+
+TEST(OpKindTest, NamesRoundTrip) {
+  for (int i = 0; i < kNumOpKinds; ++i) {
+    const OpKind kind = static_cast<OpKind>(i);
+    EXPECT_EQ(OpKindFromName(OpKindName(kind)), kind);
+  }
+}
+
+TEST(OpKindTest, WeightedKinds) {
+  EXPECT_TRUE(OpKindHasWeights(OpKind::kConv2D));
+  EXPECT_TRUE(OpKindHasWeights(OpKind::kDense));
+  EXPECT_TRUE(OpKindHasWeights(OpKind::kEmbedding));
+  EXPECT_TRUE(OpKindHasWeights(OpKind::kAttentionQuery));
+  EXPECT_FALSE(OpKindHasWeights(OpKind::kActivation));
+  EXPECT_FALSE(OpKindHasWeights(OpKind::kMaxPool));
+  EXPECT_FALSE(OpKindHasWeights(OpKind::kAdd));
+  EXPECT_FALSE(OpKindHasWeights(OpKind::kLogit));
+}
+
+TEST(OpAttributesTest, WeightShapes) {
+  OpAttributes conv;
+  conv.kernel_h = 3;
+  conv.kernel_w = 3;
+  conv.in_channels = 64;
+  conv.out_channels = 128;
+  const auto shapes = WeightShapesFor(OpKind::kConv2D, conv);
+  ASSERT_EQ(shapes.size(), 2u);
+  EXPECT_EQ(shapes[0], Shape({3, 3, 64, 128}));
+  EXPECT_EQ(shapes[1], Shape({128}));
+  EXPECT_EQ(WeightElementsFor(OpKind::kConv2D, conv), 3 * 3 * 64 * 128 + 128);
+  EXPECT_EQ(WeightBytesFor(OpKind::kConv2D, conv),
+            (3 * 3 * 64 * 128 + 128) * static_cast<int64_t>(sizeof(float)));
+}
+
+TEST(OpAttributesTest, WeightFreeKindsHaveNoShapes) {
+  EXPECT_TRUE(WeightShapesFor(OpKind::kActivation, {}).empty());
+  EXPECT_TRUE(WeightShapesFor(OpKind::kMaxPool, {}).empty());
+  EXPECT_EQ(WeightElementsFor(OpKind::kAdd, {}), 0);
+}
+
+TEST(OperationTest, InitializeWeightsMatchesDeclaredShapes) {
+  Operation op;
+  op.id = 0;
+  op.kind = OpKind::kDense;
+  op.attrs.in_channels = 8;
+  op.attrs.out_channels = 4;
+  Rng rng(1);
+  op.InitializeWeights(&rng);
+  ASSERT_EQ(op.weights.size(), 2u);
+  EXPECT_EQ(op.weights[0].shape(), Shape({8, 4}));
+  EXPECT_EQ(op.weights[1].shape(), Shape({4}));
+  EXPECT_EQ(op.WeightElements(), 36);
+}
+
+TEST(OperationTest, SameStructureIgnoresWeights) {
+  Operation a;
+  a.kind = OpKind::kConv2D;
+  a.attrs = ConvAttrs(3, 4, 8);
+  Operation b = a;
+  Rng rng(2);
+  a.InitializeWeights(&rng);
+  b.InitializeWeights(&rng);
+  EXPECT_TRUE(a.SameStructure(b));
+  EXPECT_FALSE(a.Identical(b));  // Different random draws.
+}
+
+TEST(ModelTest, AddAndRemoveOps) {
+  Model model("m", "test");
+  const OpId a = model.AddOp(OpKind::kInput);
+  const OpId b = model.AddOp(OpKind::kActivation, ReluAttrs());
+  model.AddEdge(a, b);
+  EXPECT_EQ(model.NumOps(), 2u);
+  EXPECT_TRUE(model.HasEdge(a, b));
+  model.RemoveOp(b);
+  EXPECT_EQ(model.NumOps(), 1u);
+  EXPECT_EQ(model.NumEdges(), 0u);  // Incident edge removed too.
+}
+
+TEST(ModelTest, AddOpWithIdRejectsDuplicates) {
+  Model model("m", "test");
+  Operation op;
+  op.id = 5;
+  op.kind = OpKind::kAdd;
+  model.AddOpWithId(op);
+  EXPECT_THROW(model.AddOpWithId(op), std::invalid_argument);
+  // Fresh ids continue after the explicit one.
+  EXPECT_GT(model.AddOp(OpKind::kAdd), 5);
+}
+
+TEST(ModelTest, TopologicalOrderLinearChain) {
+  Model model = SmallChain("chain", 3, 8);
+  const auto order = model.TopologicalOrder();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(model.op(order[0]).kind, OpKind::kInput);
+  EXPECT_EQ(model.op(order[3]).kind, OpKind::kOutput);
+}
+
+TEST(ModelTest, TopologicalOrderDetectsCycle) {
+  Model model("cyclic", "test");
+  const OpId a = model.AddOp(OpKind::kAdd);
+  const OpId b = model.AddOp(OpKind::kAdd);
+  model.AddEdge(a, b);
+  model.AddEdge(b, a);
+  EXPECT_THROW(model.TopologicalOrder(), std::runtime_error);
+}
+
+TEST(ModelTest, ValidateCatchesDanglingEdge) {
+  Model model("bad", "test");
+  const OpId a = model.AddOp(OpKind::kInput);
+  const OpId b = model.AddOp(OpKind::kOutput);
+  model.AddEdge(a, b);
+  model.Validate();
+  // Force a dangling edge.
+  Model broken = model;
+  broken.AddEdge(a, 99);
+  EXPECT_THROW(broken.Validate(), std::runtime_error);
+}
+
+TEST(ModelTest, ValidateCatchesWrongWeightShape) {
+  Model model("bad_weights", "test");
+  const OpId id = model.AddOp(OpKind::kDense, DenseAttrs(4, 4));
+  model.mutable_op(id).weights.emplace_back(Shape({2, 2}));
+  model.mutable_op(id).weights.emplace_back(Shape({4}));
+  EXPECT_THROW(model.Validate(), std::runtime_error);
+}
+
+TEST(ModelTest, PredecessorsAndSuccessors) {
+  Model model("branchy", "test");
+  const OpId in = model.AddOp(OpKind::kInput);
+  const OpId left = model.AddOp(OpKind::kActivation, ReluAttrs());
+  const OpId right = model.AddOp(OpKind::kActivation, ReluAttrs());
+  const OpId join = model.AddOp(OpKind::kAdd);
+  model.AddEdge(in, left);
+  model.AddEdge(in, right);
+  model.AddEdge(left, join);
+  model.AddEdge(right, join);
+  EXPECT_EQ(model.Successors(in).size(), 2u);
+  EXPECT_EQ(model.Predecessors(join).size(), 2u);
+  EXPECT_TRUE(model.Predecessors(in).empty());
+}
+
+TEST(ModelTest, ParamCountMatchesWeightShapes) {
+  Model model("counted", "test");
+  model.AddOp(OpKind::kConv2D, ConvAttrs(3, 4, 8));
+  model.AddOp(OpKind::kActivation, ReluAttrs());
+  EXPECT_EQ(model.ParamCount(), 3 * 3 * 4 * 8 + 8);
+  EXPECT_EQ(model.WeightBytes(), model.ParamCount() * 4);
+  EXPECT_EQ(model.NumWeightedOps(), 1u);
+}
+
+TEST(ModelTest, StructuralEqualityIgnoresWeights) {
+  Model a = SmallChain("a", 3, 8);
+  Model b = SmallChain("b", 3, 8);
+  EXPECT_TRUE(a.StructurallyEqual(b));
+  Rng rng(1);
+  for (const OpId id : a.OpIds()) {
+    a.mutable_op(id).InitializeWeights(&rng);
+  }
+  for (const OpId id : b.OpIds()) {
+    b.mutable_op(id).InitializeWeights(&rng);
+  }
+  EXPECT_TRUE(a.StructurallyEqual(b));
+  EXPECT_FALSE(a.Identical(b));
+}
+
+TEST(ModelTest, StructuralEqualityDetectsAttrDifference) {
+  const Model a = SmallChain("a", 3, 8);
+  const Model b = SmallChain("b", 5, 8);
+  EXPECT_FALSE(a.StructurallyEqual(b));
+}
+
+TEST(ModelTest, IdenticalAfterCopy) {
+  Model a = SmallChain("a", 3, 8);
+  Rng rng(1);
+  for (const OpId id : a.OpIds()) {
+    a.mutable_op(id).InitializeWeights(&rng);
+  }
+  const Model b = a;
+  EXPECT_TRUE(a.Identical(b));
+}
+
+TEST(ModelTest, FingerprintSensitiveToStructure) {
+  const Model a = SmallChain("a", 3, 8);
+  const Model b = SmallChain("b", 3, 8);
+  const Model c = SmallChain("c", 5, 8);
+  EXPECT_EQ(a.StructureFingerprint(), b.StructureFingerprint());
+  EXPECT_NE(a.StructureFingerprint(), c.StructureFingerprint());
+}
+
+TEST(ModelTest, FingerprintSensitiveToEdges) {
+  Model a("a", "test");
+  const OpId x = a.AddOp(OpKind::kAdd);
+  const OpId y = a.AddOp(OpKind::kAdd);
+  Model b = a;
+  a.AddEdge(x, y);
+  EXPECT_NE(a.StructureFingerprint(), b.StructureFingerprint());
+}
+
+}  // namespace
+}  // namespace optimus

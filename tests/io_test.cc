@@ -1,0 +1,141 @@
+// Tests for plan serialization (src/core/plan_io) and trace CSV IO
+// (src/workload/trace_io).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/core/executor.h"
+#include "src/core/plan_io.h"
+#include "src/core/planner.h"
+#include "src/workload/poisson.h"
+#include "src/workload/trace_io.h"
+#include "tests/test_util.h"
+
+namespace optimus {
+namespace {
+
+bool PlansEqual(const TransformPlan& a, const TransformPlan& b) {
+  if (a.source_name != b.source_name || a.dest_name != b.dest_name ||
+      a.total_cost != b.total_cost || a.steps.size() != b.steps.size() ||
+      a.mapping.matched != b.mapping.matched || a.mapping.reduced != b.mapping.reduced ||
+      a.mapping.added != b.mapping.added) {
+    return false;
+  }
+  for (size_t i = 0; i < a.steps.size(); ++i) {
+    const MetaOp& x = a.steps[i];
+    const MetaOp& y = b.steps[i];
+    if (x.kind != y.kind || x.source_id != y.source_id || x.dest_id != y.dest_id ||
+        x.edge != y.edge || x.edge_add != y.edge_add || x.cost != y.cost) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TransformPlan SamplePlan() {
+  AnalyticCostModel costs;
+  return PlanTransform(TinyVgg(11), TinyVgg(16), costs, PlannerKind::kGroup);
+}
+
+TEST(PlanIoTest, RoundTrip) {
+  const TransformPlan plan = SamplePlan();
+  const TransformPlan restored = DeserializePlan(SerializePlan(plan));
+  EXPECT_TRUE(PlansEqual(plan, restored));
+}
+
+TEST(PlanIoTest, RoundTripWithReducesAndEdges) {
+  AnalyticCostModel costs;
+  const TransformPlan plan =
+      PlanTransform(TinyResNet(34), TinyResNet(18), costs, PlannerKind::kGroup);
+  EXPECT_GT(plan.CountOf(MetaOpKind::kReduce), 0);
+  const TransformPlan restored = DeserializePlan(SerializePlan(plan));
+  EXPECT_TRUE(PlansEqual(plan, restored));
+}
+
+TEST(PlanIoTest, RestoredPlanIsExecutable) {
+  AnalyticCostModel costs;
+  Loader loader(&costs);
+  ModelInstance source = loader.Instantiate(TinyVgg(11), 1);
+  const ModelInstance dest = loader.Instantiate(TinyVgg(16), 2);
+  const TransformPlan plan = PlanTransform(source.model, dest.model, costs, PlannerKind::kGroup);
+  const TransformPlan restored = DeserializePlan(SerializePlan(plan));
+  ExecutePlan(&source, dest.model, restored);
+  EXPECT_TRUE(source.model.Identical(dest.model));
+}
+
+TEST(PlanIoTest, MalformedInputsRejected) {
+  EXPECT_THROW(DeserializePlan(""), std::runtime_error);
+  EXPECT_THROW(DeserializePlan("nonsense line\n"), std::runtime_error);
+  std::string truncated = SerializePlan(SamplePlan());
+  truncated.resize(truncated.size() / 2);
+  EXPECT_THROW(DeserializePlan(truncated), std::runtime_error);
+}
+
+TEST(PlanIoTest, MultiPlanStreamRoundTrip) {
+  AnalyticCostModel costs;
+  std::vector<TransformPlan> plans;
+  plans.push_back(PlanTransform(TinyVgg(11), TinyVgg(16), costs, PlannerKind::kGroup));
+  plans.push_back(PlanTransform(TinyVgg(16), TinyVgg(11), costs, PlannerKind::kGroup));
+  std::stringstream stream;
+  WritePlans(stream, plans);
+  const std::vector<TransformPlan> restored = ReadPlans(stream);
+  ASSERT_EQ(restored.size(), 2u);
+  EXPECT_TRUE(PlansEqual(plans[0], restored[0]));
+  EXPECT_TRUE(PlansEqual(plans[1], restored[1]));
+}
+
+TEST(PlanIoTest, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/optimus_plans.txt";
+  WritePlansToFile(path, {SamplePlan()});
+  const auto restored = ReadPlansFromFile(path);
+  ASSERT_EQ(restored.size(), 1u);
+  EXPECT_TRUE(PlansEqual(SamplePlan(), restored[0]));
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, RoundTrip) {
+  PoissonTraceOptions options;
+  options.horizon_seconds = 5000.0;
+  const Trace trace = GenerateMixedPoissonTrace({"alpha", "beta"}, options);
+  std::stringstream stream;
+  WriteTraceCsv(stream, trace);
+  const Trace restored = ReadTraceCsv(stream);
+  ASSERT_EQ(restored.size(), trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_NEAR(restored[i].arrival, trace[i].arrival, 1e-6);
+    EXPECT_EQ(restored[i].function, trace[i].function);
+  }
+}
+
+TEST(TraceIoTest, CommentsAndBlankLinesSkipped) {
+  std::stringstream stream("# header\n\n1.5,fn_a\n0.5,fn_b\n");
+  const Trace trace = ReadTraceCsv(stream);
+  ASSERT_EQ(trace.size(), 2u);
+  // Re-sorted by arrival.
+  EXPECT_EQ(trace[0].function, "fn_b");
+  EXPECT_EQ(trace[1].function, "fn_a");
+}
+
+TEST(TraceIoTest, MalformedRowsRejected) {
+  {
+    std::stringstream stream("no_comma_here\n");
+    EXPECT_THROW(ReadTraceCsv(stream), std::runtime_error);
+  }
+  {
+    std::stringstream stream("abc,fn\n");
+    EXPECT_THROW(ReadTraceCsv(stream), std::runtime_error);
+  }
+  {
+    std::stringstream stream("1.0,\n");
+    EXPECT_THROW(ReadTraceCsv(stream), std::runtime_error);
+  }
+}
+
+TEST(TraceIoTest, MissingFileThrows) {
+  EXPECT_THROW(ReadTraceCsvFile("/nonexistent/trace.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace optimus

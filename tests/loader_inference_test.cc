@@ -1,0 +1,145 @@
+#include "src/runtime/inference.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/serialization.h"
+#include "src/zoo/densenet.h"
+#include "tests/test_util.h"
+
+namespace optimus {
+namespace {
+
+class LoaderTest : public testing::Test {
+ protected:
+  AnalyticCostModel costs_;
+  Loader loader_{&costs_};
+};
+
+TEST_F(LoaderTest, InstantiateMaterializesWeights) {
+  const ModelInstance instance = loader_.Instantiate(TinyResNet(18), 3);
+  EXPECT_TRUE(instance.Loaded());
+  for (const auto& [id, op] : instance.model.ops()) {
+    if (OpKindHasWeights(op.kind)) {
+      EXPECT_FALSE(op.weights.empty()) << op.ToString();
+    } else {
+      EXPECT_TRUE(op.weights.empty()) << op.ToString();
+    }
+  }
+}
+
+TEST_F(LoaderTest, InstantiateDeterministicPerSeed) {
+  const ModelInstance a = loader_.Instantiate(TinyVgg(11), 42);
+  const ModelInstance b = loader_.Instantiate(TinyVgg(11), 42);
+  const ModelInstance c = loader_.Instantiate(TinyVgg(11), 43);
+  EXPECT_TRUE(a.model.Identical(b.model));
+  EXPECT_FALSE(a.model.Identical(c.model));
+  EXPECT_TRUE(a.model.StructurallyEqual(c.model));
+}
+
+TEST_F(LoaderTest, BreakdownReported) {
+  LoadBreakdown breakdown;
+  loader_.Instantiate(TinyResNet(18), 1, &breakdown);
+  EXPECT_GT(breakdown.structure, 0.0);
+  EXPECT_GT(breakdown.weights, 0.0);
+  EXPECT_GT(breakdown.deserialize, 0.0);
+  EXPECT_GT(breakdown.Total(), breakdown.structure);
+}
+
+TEST_F(LoaderTest, LoadFromFileRoundTrips) {
+  const ModelInstance original = loader_.Instantiate(TinyMobileNet(), 9);
+  const ModelFile file = SerializeModel(original.model);
+  LoadBreakdown breakdown;
+  const ModelInstance loaded = loader_.LoadFromFile(file, 9, &breakdown);
+  EXPECT_TRUE(loaded.model.Identical(original.model));
+  EXPECT_GT(breakdown.Total(), 0.0);
+}
+
+TEST_F(LoaderTest, LoadFromFileFillsMissingWeightsDeterministically) {
+  // A structure-only file gets seed-derived weights.
+  const ModelFile file = SerializeModel(TinyVgg(11));
+  const ModelInstance a = loader_.LoadFromFile(file, 5);
+  const ModelInstance b = loader_.LoadFromFile(file, 5);
+  EXPECT_TRUE(a.model.Identical(b.model));
+}
+
+class InferenceTest : public testing::Test {
+ protected:
+  AnalyticCostModel costs_;
+  Loader loader_{&costs_};
+  std::vector<float> input_ = std::vector<float>(8, 0.5f);
+};
+
+TEST_F(InferenceTest, OutputSizedByFinalDense) {
+  const ModelInstance instance = loader_.Instantiate(TinyResNet(18), 1);
+  const auto output = RunInference(instance, input_);
+  EXPECT_EQ(output.size(), 1000u);  // num_classes.
+}
+
+TEST_F(InferenceTest, SoftmaxOutputIsDistribution) {
+  const ModelInstance instance = loader_.Instantiate(TinyVgg(11), 1);
+  const auto output = RunInference(instance, input_);
+  double total = 0.0;
+  for (const float v : output) {
+    EXPECT_GE(v, 0.0f);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-4);
+}
+
+TEST_F(InferenceTest, DeterministicGivenWeights) {
+  const ModelInstance instance = loader_.Instantiate(TinyMobileNet(), 4);
+  const auto a = RunInference(instance, input_);
+  const auto b = RunInference(instance, input_);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(InferenceTest, OutputDependsOnWeights) {
+  const ModelInstance a = loader_.Instantiate(TinyMobileNet(), 4);
+  const ModelInstance b = loader_.Instantiate(TinyMobileNet(), 5);
+  EXPECT_NE(RunInference(a, input_), RunInference(b, input_));
+}
+
+TEST_F(InferenceTest, OutputDependsOnInput) {
+  // A shallow model keeps input perturbations visible at the output (deep
+  // stacks of small random weights attenuate them below float precision).
+  const ModelInstance instance = loader_.Instantiate(SmallChain("probe", 3, 16), 4);
+  const auto a = RunInference(instance, std::vector<float>(8, 0.5f));
+  const auto b = RunInference(instance, std::vector<float>(8, -0.5f));
+  EXPECT_NE(a, b);
+}
+
+TEST_F(InferenceTest, DenseNetConcatPathRuns) {
+  // DenseNet exercises the Concat data path (dense connectivity).
+  DenseNetOptions options;
+  options.growth_rate = 4;
+  const ModelInstance instance = loader_.Instantiate(BuildDenseNet(121, options), 1);
+  const auto a = RunInference(instance, input_);
+  const auto b = RunInference(instance, input_);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 1000u);
+}
+
+TEST_F(InferenceTest, RepresentativeZooModelsAllRunInference) {
+  // Every representative model family's forward pass executes cleanly at
+  // reduced scale (the per-kind ApplyOp switch is total).
+  const Model models[] = {TinyVgg(11), TinyResNet(18), TinyMobileNet(), TinyBert(2, 64)};
+  for (const Model& model : models) {
+    const ModelInstance instance = loader_.Instantiate(model, 7);
+    EXPECT_FALSE(RunInference(instance, input_).empty()) << model.name();
+  }
+}
+
+TEST_F(InferenceTest, BertForwardPassRuns) {
+  const ModelInstance instance = loader_.Instantiate(TinyBert(2, 64), 1);
+  const auto output = RunInference(instance, input_);
+  EXPECT_FALSE(output.empty());
+}
+
+TEST_F(InferenceTest, ArgMax) {
+  EXPECT_EQ(ArgMax({0.1f, 0.7f, 0.2f}), 1);
+  EXPECT_EQ(ArgMax({5.0f}), 0);
+  EXPECT_EQ(ArgMax({}), -1);
+}
+
+}  // namespace
+}  // namespace optimus

@@ -1,0 +1,101 @@
+#include "src/core/munkres.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/rng.h"
+
+namespace optimus {
+namespace {
+
+double BruteForceBest(const std::vector<std::vector<double>>& cost) {
+  const size_t k = cost.size();
+  std::vector<int> permutation(k);
+  std::iota(permutation.begin(), permutation.end(), 0);
+  double best = 1e300;
+  do {
+    double total = 0.0;
+    for (size_t i = 0; i < k; ++i) {
+      total += cost[i][static_cast<size_t>(permutation[i])];
+    }
+    best = std::min(best, total);
+  } while (std::next_permutation(permutation.begin(), permutation.end()));
+  return best;
+}
+
+TEST(MunkresTest, TrivialOneByOne) {
+  const AssignmentResult result = SolveAssignment({{3.5}});
+  EXPECT_EQ(result.assignment, std::vector<int>{0});
+  EXPECT_DOUBLE_EQ(result.total_cost, 3.5);
+}
+
+TEST(MunkresTest, KnownTwoByTwo) {
+  // Diagonal is 1+1=2; anti-diagonal is 10+10=20.
+  const AssignmentResult result = SolveAssignment({{1.0, 10.0}, {10.0, 1.0}});
+  EXPECT_DOUBLE_EQ(result.total_cost, 2.0);
+  EXPECT_EQ(result.assignment[0], 0);
+  EXPECT_EQ(result.assignment[1], 1);
+}
+
+TEST(MunkresTest, KnownThreeByThree) {
+  const std::vector<std::vector<double>> cost = {
+      {4.0, 1.0, 3.0},
+      {2.0, 0.0, 5.0},
+      {3.0, 2.0, 2.0},
+  };
+  const AssignmentResult result = SolveAssignment(cost);
+  EXPECT_DOUBLE_EQ(result.total_cost, 5.0);  // (0,1)+(1,0)+(2,2)=1+2+2.
+}
+
+TEST(MunkresTest, RejectsNonSquare) {
+  EXPECT_THROW(SolveAssignment({{1.0, 2.0}}), std::invalid_argument);
+}
+
+TEST(MunkresTest, EmptyMatrix) {
+  const AssignmentResult result = SolveAssignment({});
+  EXPECT_TRUE(result.assignment.empty());
+  EXPECT_EQ(result.total_cost, 0.0);
+}
+
+TEST(MunkresTest, AssignmentIsPermutation) {
+  Rng rng(21);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t k = static_cast<size_t>(rng.UniformInt(2, 12));
+    std::vector<std::vector<double>> cost(k, std::vector<double>(k));
+    for (auto& row : cost) {
+      for (auto& value : row) {
+        value = rng.Uniform(0.0, 100.0);
+      }
+    }
+    const AssignmentResult result = SolveAssignment(cost);
+    std::vector<int> sorted = result.assignment;
+    std::sort(sorted.begin(), sorted.end());
+    for (size_t i = 0; i < k; ++i) {
+      EXPECT_EQ(sorted[i], static_cast<int>(i));
+    }
+  }
+}
+
+// Property: Munkres matches exhaustive search on random small matrices.
+class MunkresOptimalityTest : public testing::TestWithParam<int> {};
+
+TEST_P(MunkresOptimalityTest, MatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const size_t k = static_cast<size_t>(rng.UniformInt(2, 7));
+  std::vector<std::vector<double>> cost(k, std::vector<double>(k));
+  for (auto& row : cost) {
+    for (auto& value : row) {
+      // Include large "forbidden-like" entries occasionally.
+      value = rng.Bernoulli(0.15) ? 1e9 : rng.Uniform(0.0, 50.0);
+    }
+  }
+  const AssignmentResult result = SolveAssignment(cost);
+  EXPECT_NEAR(result.total_cost, BruteForceBest(cost), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMatrices, MunkresOptimalityTest, testing::Range(0, 40));
+
+}  // namespace
+}  // namespace optimus

@@ -1,0 +1,86 @@
+#include "src/runtime/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/executor.h"
+#include "src/core/planner.h"
+#include "src/runtime/loader.h"
+#include "tests/test_util.h"
+
+namespace optimus {
+namespace {
+
+class ProfilerTest : public testing::Test {
+ protected:
+  // Profiling runs real timing loops; do it once for the suite.
+  static void SetUpTestSuite() { profile_ = new CostProfile(ProfileMachine(/*repetitions=*/3)); }
+  static void TearDownTestSuite() {
+    delete profile_;
+    profile_ = nullptr;
+  }
+
+  static CostProfile* profile_;
+};
+
+CostProfile* ProfilerTest::profile_ = nullptr;
+
+TEST_F(ProfilerTest, AllCostsNonNegative) {
+  for (int i = 0; i < kNumOpKinds; ++i) {
+    EXPECT_GE(profile_->structure[static_cast<size_t>(i)].base, 0.0);
+    EXPECT_GE(profile_->structure[static_cast<size_t>(i)].per_element, 0.0);
+  }
+  EXPECT_GT(profile_->weight_assign_per_byte, 0.0);
+  EXPECT_GT(profile_->deserialize_per_byte, 0.0);
+  EXPECT_GE(profile_->reduce, 0.0);
+  EXPECT_GE(profile_->edge, 0.0);
+}
+
+TEST_F(ProfilerTest, WeightedOpsCostMoreThanWeightFree) {
+  MeasuredCostModel model(*profile_);
+  const double conv = model.OpStructureCost(OpKind::kConv2D, ConvAttrs(3, 256, 256));
+  const double activation = model.OpStructureCost(OpKind::kActivation, ReluAttrs());
+  EXPECT_GT(conv, activation);
+}
+
+TEST_F(ProfilerTest, StructureCostMonotoneInSize) {
+  MeasuredCostModel model(*profile_);
+  EXPECT_LE(model.OpStructureCost(OpKind::kConv2D, ConvAttrs(3, 32, 32)),
+            model.OpStructureCost(OpKind::kConv2D, ConvAttrs(3, 512, 512)));
+  EXPECT_LE(model.WeightAssignCost(1 << 10, 1), model.WeightAssignCost(1 << 24, 1));
+}
+
+TEST_F(ProfilerTest, ToStringListsEveryKind) {
+  const std::string text = profile_->ToString();
+  for (int i = 0; i < kNumOpKinds; ++i) {
+    EXPECT_NE(text.find(OpKindName(static_cast<OpKind>(i))), std::string::npos);
+  }
+}
+
+TEST_F(ProfilerTest, MeasuredModelDrivesPlannerAndExecutor) {
+  // The measured cost model is a drop-in replacement for the analytic one.
+  MeasuredCostModel costs(*profile_);
+  Loader loader(&costs);
+  ModelInstance source = loader.Instantiate(TinyVgg(11), 1);
+  const ModelInstance dest = loader.Instantiate(TinyVgg(16), 2);
+  const TransformPlan plan = PlanTransform(source.model, dest.model, costs, PlannerKind::kGroup);
+  EXPECT_GT(plan.total_cost, 0.0);
+  ExecutePlan(&source, dest.model, plan);
+  EXPECT_TRUE(source.model.Identical(dest.model));
+}
+
+TEST_F(ProfilerTest, RefreshReplacesProfile) {
+  MeasuredCostModel model(*profile_);
+  model.Refresh(/*repetitions=*/1);
+  // Still sane after an online refresh (§6 extension).
+  EXPECT_GT(model.profile().weight_assign_per_byte, 0.0);
+  EXPECT_GT(model.WeightAssignCost(1 << 20, 1), 0.0);
+}
+
+TEST(LinearCostTest, Eval) {
+  const LinearCost cost{0.5, 0.25};
+  EXPECT_DOUBLE_EQ(cost.Eval(0), 0.5);
+  EXPECT_DOUBLE_EQ(cost.Eval(4), 1.5);
+}
+
+}  // namespace
+}  // namespace optimus

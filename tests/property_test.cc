@@ -1,0 +1,164 @@
+// Cross-module property sweeps:
+//   * transformation correctness over random NAS-Bench-201 pairs (the
+//     paper's "thousands of structurally similar models" regime),
+//   * serializer robustness against random corruption (never crashes: either
+//     throws or yields a model),
+//   * plan-cache persistence round trips through the §7 plan files,
+//   * safeguard totality across a mixed zoo sample.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/common/rng.h"
+#include "src/core/plan_io.h"
+#include "src/core/transformer.h"
+#include "src/graph/serialization.h"
+#include "src/runtime/inference.h"
+#include "src/zoo/nasbench.h"
+#include "src/zoo/squeezenet.h"
+#include "tests/test_util.h"
+
+namespace optimus {
+namespace {
+
+// --- NAS-Bench transformation sweep -----------------------------------------
+
+class NasBenchTransformTest : public testing::TestWithParam<int> {};
+
+TEST_P(NasBenchTransformTest, TransformYieldsIdenticalModel) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  const int64_t from_index = rng.UniformInt(0, kNasBenchSpaceSize - 1);
+  const int64_t to_index = rng.UniformInt(0, kNasBenchSpaceSize - 1);
+  NasBenchOptions options;
+  options.cells_per_stack = 2;  // Keep the sweep fast.
+  const Model from = BuildNasBenchModel(from_index, options);
+  const Model to = BuildNasBenchModel(to_index, options);
+  if (from.name() == to.name()) {
+    GTEST_SKIP() << "sampled identical architectures";
+  }
+
+  AnalyticCostModel costs;
+  Loader loader(&costs);
+  Transformer transformer(&costs);
+  ModelInstance container = loader.Instantiate(from, 100 + static_cast<uint64_t>(GetParam()));
+  const ModelInstance dest = loader.Instantiate(to, 200 + static_cast<uint64_t>(GetParam()));
+  transformer.TransformOrLoad(&container, dest.model);
+  EXPECT_TRUE(container.model.Identical(dest.model))
+      << from.name() << " -> " << to.name();
+  // The transformed container serves the destination function.
+  const std::vector<float> input(4, 0.25f);
+  EXPECT_EQ(RunInference(container, input), RunInference(dest, input));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPairs, NasBenchTransformTest, testing::Range(0, 25));
+
+// --- Serializer corruption fuzz ---------------------------------------------
+
+class SerializerFuzzTest : public testing::TestWithParam<int> {};
+
+TEST_P(SerializerFuzzTest, CorruptionNeverCrashes) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104729 + 7);
+  AnalyticCostModel costs;
+  Loader loader(&costs);
+  const ModelInstance instance = loader.Instantiate(TinyMobileNet(), 3);
+  ModelFile file = SerializeModel(instance.model);
+
+  // Flip a handful of random bytes.
+  const int flips = 1 + static_cast<int>(rng.UniformInt(0, 7));
+  for (int i = 0; i < flips; ++i) {
+    const size_t index = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(file.size()) - 1));
+    file[index] ^= static_cast<uint8_t>(1 + rng.UniformInt(0, 254));
+  }
+  // Occasionally truncate as well.
+  if (rng.Bernoulli(0.3)) {
+    file.resize(static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(file.size()))));
+  }
+
+  try {
+    const Model model = DeserializeModel(file);
+    // If parsing survived, the result must at least be internally countable.
+    EXPECT_LE(model.NumOps(), 100000u);
+  } catch (const std::exception&) {
+    // Rejection is the expected outcome for most corruptions.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCorruption, SerializerFuzzTest, testing::Range(0, 30));
+
+// --- Plan cache persistence ---------------------------------------------------
+
+TEST(PlanCachePersistenceTest, SaveLoadRoundTrip) {
+  AnalyticCostModel costs;
+  PlanCache cache(&costs);
+  const Model vgg11 = TinyVgg(11);
+  const Model vgg16 = TinyVgg(16);
+  const Model resnet = TinyResNet(18);
+  cache.GetOrPlan(vgg11, vgg16);
+  cache.GetOrPlan(vgg16, resnet);
+  const double expected_cost = cache.GetOrPlan(vgg11, vgg16).total_cost;
+
+  const std::string path = testing::TempDir() + "/optimus_plan_cache.txt";
+  cache.Save(path);
+
+  PlanCache restored(&costs);
+  restored.Load(path);
+  EXPECT_EQ(restored.Size(), 2u);
+  EXPECT_TRUE(restored.Contains("tiny_vgg11", "tiny_vgg16"));
+  EXPECT_TRUE(restored.Contains("tiny_vgg16", "tiny_resnet18"));
+  // A restored plan is served from the cache (no re-planning miss)...
+  const size_t misses_before = restored.misses();
+  const TransformPlan& plan = restored.GetOrPlan(vgg11, vgg16);
+  EXPECT_EQ(restored.misses(), misses_before);
+  EXPECT_DOUBLE_EQ(plan.total_cost, expected_cost);
+  // ...and remains executable.
+  Loader loader(&costs);
+  ModelInstance source = loader.Instantiate(vgg11, 1);
+  const ModelInstance dest = loader.Instantiate(vgg16, 2);
+  ExecutePlan(&source, dest.model, plan);
+  EXPECT_TRUE(source.model.Identical(dest.model));
+  std::remove(path.c_str());
+}
+
+// --- Safeguard totality over a mixed zoo sample ------------------------------
+
+TEST(SafeguardPropertyTest, ChosenPathNeverExceedsScratchAcrossMixedZoo) {
+  AnalyticCostModel costs;
+  Transformer transformer(&costs);
+  std::vector<Model> sample;
+  sample.push_back(TinyVgg(11));
+  sample.push_back(TinyResNet(34));
+  sample.push_back(TinyMobileNet());
+  sample.push_back(TinyBert(2, 64));
+  sample.push_back(BuildSqueezeNet(100));
+  NasBenchOptions options;
+  options.cells_per_stack = 2;
+  sample.push_back(BuildNasBenchModel(1234, options));
+  for (const Model& source : sample) {
+    for (const Model& dest : sample) {
+      if (source.name() == dest.name()) {
+        continue;
+      }
+      const TransformDecision decision = transformer.Decide(source, dest);
+      EXPECT_LE(decision.ChosenCost(), decision.scratch_cost + 1e-12)
+          << source.name() << " -> " << dest.name();
+      EXPECT_GT(decision.ChosenCost(), 0.0);
+    }
+  }
+}
+
+TEST(SqueezeNetTest, StructureAndParams) {
+  const Model model = BuildSqueezeNet();
+  model.Validate();
+  // SqueezeNet v1.0 has ~1.25M parameters.
+  EXPECT_NEAR(static_cast<double>(model.ParamCount()) / 1e6, 1.25, 0.15);
+  int concats = 0;
+  for (const auto& [id, op] : model.ops()) {
+    concats += op.kind == OpKind::kConcat ? 1 : 0;
+  }
+  EXPECT_EQ(concats, 8);  // One per fire module.
+}
+
+}  // namespace
+}  // namespace optimus

@@ -1,0 +1,161 @@
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace optimus {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double value = rng.NextDouble();
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double value = rng.Uniform(-2.5, 4.5);
+    EXPECT_GE(value, -2.5);
+    EXPECT_LT(value, 4.5);
+  }
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t value = rng.UniformInt(0, 9);
+    EXPECT_GE(value, 0);
+    EXPECT_LE(value, 9);
+    saw_lo = saw_lo || value == 0;
+    saw_hi = saw_hi || value == 9;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NormalMomentsApproximatelyCorrect) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double value = rng.Normal(3.0, 2.0);
+    sum += value;
+    sum_sq += value * value;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Exponential(0.5);
+  }
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(RngTest, PoissonMeanSmall) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.Poisson(3.5));
+  }
+  EXPECT_NEAR(sum / n, 3.5, 0.1);
+}
+
+TEST(RngTest, PoissonMeanLargeUsesNormalApprox) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.Poisson(200.0));
+  }
+  EXPECT_NEAR(sum / n, 200.0, 2.0);
+}
+
+TEST(RngTest, PoissonZeroMeanIsZero) {
+  Rng rng(23);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+  EXPECT_EQ(rng.Poisson(-1.0), 0);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, WeightedIndexProportional) {
+  Rng rng(31);
+  const std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.WeightedIndex(weights)];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.02);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependentAndDeterministic) {
+  Rng parent_a(99);
+  Rng parent_b(99);
+  Rng child_a = parent_a.Fork();
+  Rng child_b = parent_b.Fork();
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(child_a.NextU64(), child_b.NextU64());
+  }
+  // Parent and child streams differ.
+  Rng parent_c(99);
+  Rng child_c = parent_c.Fork();
+  int equal = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (parent_c.NextU64() == child_c.NextU64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 2);
+}
+
+}  // namespace
+}  // namespace optimus

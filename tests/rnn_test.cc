@@ -1,0 +1,108 @@
+// Tests for the RNN zoo extension (§7: the meta-operator interface covers
+// CNN, RNN and transformer models).
+
+#include "src/zoo/rnn.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/planner.h"
+#include "src/core/transformer.h"
+#include "src/runtime/inference.h"
+
+namespace optimus {
+namespace {
+
+RnnConfig SmallLstm(int layers, int64_t hidden) {
+  RnnConfig config;
+  config.name = "lstm_l" + std::to_string(layers) + "_h" + std::to_string(hidden);
+  config.num_layers = layers;
+  config.vocab_size = 1000;
+  config.embedding_dim = 32;
+  config.hidden = hidden;
+  return config;
+}
+
+TEST(RnnZooTest, LstmWeightShapes) {
+  OpAttributes attrs;
+  attrs.in_channels = 32;
+  attrs.out_channels = 64;
+  const auto shapes = WeightShapesFor(OpKind::kLstmCell, attrs);
+  ASSERT_EQ(shapes.size(), 3u);
+  EXPECT_EQ(shapes[0], Shape({32, 4 * 64}));   // Input kernel over 4 gates.
+  EXPECT_EQ(shapes[1], Shape({64, 4 * 64}));   // Recurrent kernel.
+  EXPECT_EQ(shapes[2], Shape({4 * 64}));       // Gate bias.
+  EXPECT_TRUE(OpKindHasWeights(OpKind::kLstmCell));
+}
+
+TEST(RnnZooTest, GruHasThreeGates) {
+  OpAttributes attrs;
+  attrs.in_channels = 16;
+  attrs.out_channels = 16;
+  EXPECT_EQ(WeightElementsFor(OpKind::kGruCell, attrs),
+            16 * 48 + 16 * 48 + 48);
+}
+
+TEST(RnnZooTest, ModelsValidate) {
+  BuildRnn(SmallLstm(2, 64)).Validate();
+  RnnConfig gru = SmallLstm(3, 32);
+  gru.use_gru = true;
+  gru.name = "gru_small";
+  const Model model = BuildRnn(gru);
+  model.Validate();
+  EXPECT_EQ(model.family(), "gru");
+}
+
+TEST(RnnZooTest, DepthGrowsOpsAndParams) {
+  const Model shallow = BuildRnn(SmallLstm(1, 64));
+  const Model deep = BuildRnn(SmallLstm(4, 64));
+  EXPECT_LT(shallow.NumOps(), deep.NumOps());
+  EXPECT_LT(shallow.ParamCount(), deep.ParamCount());
+}
+
+TEST(RnnZooTest, InferenceRuns) {
+  AnalyticCostModel costs;
+  Loader loader(&costs);
+  const ModelInstance instance = loader.Instantiate(BuildRnn(SmallLstm(2, 64)), 1);
+  const auto output = RunInference(instance, std::vector<float>(8, 0.3f));
+  EXPECT_EQ(output.size(), 2u);  // Binary classifier + softmax.
+  EXPECT_NEAR(output[0] + output[1], 1.0, 1e-5);
+}
+
+TEST(RnnTransformTest, LstmToLstmTransformsAndServes) {
+  AnalyticCostModel costs;
+  Loader loader(&costs);
+  Transformer transformer(&costs);
+  ModelInstance container = loader.Instantiate(BuildRnn(SmallLstm(2, 64)), 1);
+  const ModelInstance dest = loader.Instantiate(BuildRnn(SmallLstm(3, 128)), 2);
+  const TransformOutcome outcome = transformer.TransformOrLoad(&container, dest.model);
+  EXPECT_TRUE(outcome.decision.use_transform);
+  EXPECT_TRUE(container.model.Identical(dest.model));
+  const std::vector<float> input(8, 0.1f);
+  EXPECT_EQ(RunInference(container, input), RunInference(dest, input));
+}
+
+TEST(RnnTransformTest, LstmAndGruDoNotSubstitute) {
+  // Different cell kinds cannot transform into each other; the plan must Add
+  // the destination cells and Reduce the source ones.
+  AnalyticCostModel costs;
+  RnnConfig gru_config = SmallLstm(2, 64);
+  gru_config.use_gru = true;
+  gru_config.name = "gru_variant";
+  const Model lstm = BuildRnn(SmallLstm(2, 64));
+  const Model gru = BuildRnn(gru_config);
+  const TransformPlan plan = PlanTransform(lstm, gru, costs, PlannerKind::kGroup);
+  EXPECT_EQ(plan.CountOf(MetaOpKind::kAdd), 2);
+  EXPECT_EQ(plan.CountOf(MetaOpKind::kReduce), 2);
+}
+
+TEST(RnnTransformTest, WideningReshapesCells) {
+  AnalyticCostModel costs;
+  const TransformPlan plan = PlanTransform(BuildRnn(SmallLstm(2, 64)),
+                                           BuildRnn(SmallLstm(2, 128)), costs,
+                                           PlannerKind::kGroup);
+  EXPECT_GT(plan.CountOf(MetaOpKind::kReshape), 0);
+  EXPECT_EQ(plan.CountOf(MetaOpKind::kAdd), 0);
+}
+
+}  // namespace
+}  // namespace optimus

@@ -1,0 +1,107 @@
+#include "src/graph/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/runtime/loader.h"
+#include "tests/test_util.h"
+
+namespace optimus {
+namespace {
+
+Model WeightedChain() {
+  Model model = SmallChain("weighted", 3, 16);
+  Rng rng(77);
+  for (const OpId id : model.OpIds()) {
+    Operation& op = model.mutable_op(id);
+    if (OpKindHasWeights(op.kind)) {
+      op.InitializeWeights(&rng);
+    }
+  }
+  return model;
+}
+
+TEST(SerializationTest, RoundTripStructureOnly) {
+  const Model original = SmallChain("plain", 3, 8);
+  const Model restored = DeserializeModel(SerializeModel(original));
+  EXPECT_TRUE(original.StructurallyEqual(restored));
+  EXPECT_EQ(restored.name(), "plain");
+  EXPECT_EQ(restored.family(), "test");
+}
+
+TEST(SerializationTest, RoundTripWithWeights) {
+  const Model original = WeightedChain();
+  const Model restored = DeserializeModel(SerializeModel(original));
+  EXPECT_TRUE(original.Identical(restored));
+}
+
+TEST(SerializationTest, RoundTripLargeZooModel) {
+  AnalyticCostModel costs;
+  Loader loader(&costs);
+  const ModelInstance instance = loader.Instantiate(TinyResNet(18), /*weight_seed=*/5);
+  const Model restored = DeserializeModel(SerializeModel(instance.model));
+  EXPECT_TRUE(instance.model.Identical(restored));
+}
+
+TEST(SerializationTest, RoundTripBertModel) {
+  AnalyticCostModel costs;
+  Loader loader(&costs);
+  const ModelInstance instance = loader.Instantiate(TinyBert(2, 64), /*weight_seed=*/5);
+  const Model restored = DeserializeModel(SerializeModel(instance.model));
+  EXPECT_TRUE(instance.model.Identical(restored));
+}
+
+TEST(SerializationTest, BadMagicRejected) {
+  ModelFile file = SerializeModel(SmallChain("x", 3, 8));
+  file[0] = 'X';
+  EXPECT_THROW(DeserializeModel(file), std::runtime_error);
+}
+
+TEST(SerializationTest, TruncatedFileRejected) {
+  ModelFile file = SerializeModel(WeightedChain());
+  file.resize(file.size() / 2);
+  EXPECT_THROW(DeserializeModel(file), std::runtime_error);
+}
+
+TEST(SerializationTest, TrailingBytesRejected) {
+  ModelFile file = SerializeModel(SmallChain("x", 3, 8));
+  file.push_back(0);
+  EXPECT_THROW(DeserializeModel(file), std::runtime_error);
+}
+
+TEST(SerializationTest, FileSizeTracksWeightBytes) {
+  const Model small = WeightedChain();
+  Model big = SmallChain("big", 3, 64);
+  Rng rng(5);
+  for (const OpId id : big.OpIds()) {
+    Operation& op = big.mutable_op(id);
+    if (OpKindHasWeights(op.kind)) {
+      op.InitializeWeights(&rng);
+    }
+  }
+  EXPECT_GT(SerializeModel(big).size(), SerializeModel(small).size());
+}
+
+TEST(SerializationTest, DiskRoundTrip) {
+  const Model original = WeightedChain();
+  const std::string path = testing::TempDir() + "/optimus_model.bin";
+  WriteModelFile(SerializeModel(original), path);
+  const Model restored = DeserializeModel(ReadModelFile(path));
+  EXPECT_TRUE(original.Identical(restored));
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, ReadMissingFileThrows) {
+  EXPECT_THROW(ReadModelFile("/nonexistent/path/model.bin"), std::runtime_error);
+}
+
+TEST(SerializationTest, DescribeModelMentionsOps) {
+  const std::string description = DescribeModel(SmallChain("descr", 3, 8));
+  EXPECT_NE(description.find("descr"), std::string::npos);
+  EXPECT_NE(description.find("Conv2D"), std::string::npos);
+  EXPECT_NE(description.find("Input"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace optimus

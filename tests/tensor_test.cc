@@ -1,0 +1,145 @@
+#include "src/tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "src/tensor/tensor_ops.h"
+
+namespace optimus {
+namespace {
+
+TEST(ShapeTest, NumElementsAndRank) {
+  const Shape scalar{};
+  EXPECT_EQ(scalar.Rank(), 0);
+  EXPECT_EQ(scalar.NumElements(), 1);
+
+  const Shape vector({5});
+  EXPECT_EQ(vector.Rank(), 1);
+  EXPECT_EQ(vector.NumElements(), 5);
+
+  const Shape conv({3, 3, 64, 128});
+  EXPECT_EQ(conv.Rank(), 4);
+  EXPECT_EQ(conv.NumElements(), 3 * 3 * 64 * 128);
+}
+
+TEST(ShapeTest, EqualityAndToString) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_EQ(Shape({2, 3}).ToString(), "[2, 3]");
+}
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t(Shape({4, 4}));
+  for (int64_t i = 0; i < t.NumElements(); ++i) {
+    EXPECT_EQ(t.At(i), 0.0f);
+  }
+  EXPECT_EQ(t.SizeBytes(), 64);
+}
+
+TEST(TensorTest, FillConstant) {
+  Tensor t(Shape({3}), 2.5f);
+  EXPECT_EQ(t.Sum(), 7.5);
+}
+
+TEST(TensorTest, FillRandomDeterministic) {
+  Rng rng_a(5);
+  Rng rng_b(5);
+  Tensor a(Shape({128}));
+  Tensor b(Shape({128}));
+  a.FillRandom(&rng_a);
+  b.FillRandom(&rng_b);
+  EXPECT_TRUE(a.ElementsEqual(b));
+}
+
+TEST(TensorOpsTest, CopyTensorIsDeep) {
+  Rng rng(1);
+  Tensor src(Shape({16}));
+  src.FillRandom(&rng);
+  Tensor copy = CopyTensor(src);
+  EXPECT_TRUE(copy.ElementsEqual(src));
+  copy.Set(0, 123.0f);
+  EXPECT_FALSE(copy.ElementsEqual(src));
+}
+
+TEST(TensorOpsTest, OverwriteRequiresSameShape) {
+  Tensor src(Shape({4}), 1.0f);
+  Tensor dst(Shape({5}));
+  EXPECT_THROW(OverwriteTensor(src, &dst), std::invalid_argument);
+}
+
+TEST(TensorOpsTest, OverwriteCopiesAll) {
+  Rng rng(2);
+  Tensor src(Shape({8, 8}));
+  src.FillRandom(&rng);
+  Tensor dst(Shape({8, 8}));
+  OverwriteTensor(src, &dst);
+  EXPECT_TRUE(dst.ElementsEqual(src));
+}
+
+TEST(TensorOpsTest, ResizeGrowZeroPads) {
+  Tensor src(Shape({2, 2}), 1.0f);
+  const Tensor out = ResizeToShape(src, Shape({3, 3}));
+  // Overlap (2x2) preserved; the rest zero.
+  EXPECT_EQ(out.At(0 * 3 + 0), 1.0f);
+  EXPECT_EQ(out.At(0 * 3 + 1), 1.0f);
+  EXPECT_EQ(out.At(1 * 3 + 0), 1.0f);
+  EXPECT_EQ(out.At(1 * 3 + 1), 1.0f);
+  EXPECT_EQ(out.At(0 * 3 + 2), 0.0f);
+  EXPECT_EQ(out.At(2 * 3 + 2), 0.0f);
+  EXPECT_EQ(out.Sum(), 4.0);
+}
+
+TEST(TensorOpsTest, ResizeShrinkCrops) {
+  Tensor src(Shape({3, 3}));
+  for (int64_t i = 0; i < 9; ++i) {
+    src.Set(i, static_cast<float>(i));
+  }
+  const Tensor out = ResizeToShape(src, Shape({2, 2}));
+  EXPECT_EQ(out.At(0), 0.0f);  // (0,0)
+  EXPECT_EQ(out.At(1), 1.0f);  // (0,1)
+  EXPECT_EQ(out.At(2), 3.0f);  // (1,0)
+  EXPECT_EQ(out.At(3), 4.0f);  // (1,1)
+}
+
+TEST(TensorOpsTest, ResizeMixedGrowAndShrink) {
+  Tensor src(Shape({2, 4}), 1.0f);
+  const Tensor out = ResizeToShape(src, Shape({4, 2}));
+  // Overlap is 2x2 = 4 ones.
+  EXPECT_EQ(out.Sum(), 4.0);
+  EXPECT_EQ(out.shape(), Shape({4, 2}));
+}
+
+TEST(TensorOpsTest, ResizeRankMismatchThrows) {
+  Tensor src(Shape({2, 2}));
+  EXPECT_THROW(ResizeToShape(src, Shape({4})), std::invalid_argument);
+}
+
+TEST(TensorOpsTest, ResizeScalar) {
+  Tensor src(Shape{}, 3.0f);
+  const Tensor out = ResizeToShape(src, Shape{});
+  EXPECT_EQ(out.At(0), 3.0f);
+}
+
+TEST(TensorOpsTest, ResizeRank4ConvKernel) {
+  Rng rng(3);
+  Tensor src(Shape({3, 3, 4, 8}));
+  src.FillRandom(&rng);
+  const Tensor grown = ResizeToShape(src, Shape({5, 5, 4, 8}));
+  // Shrinking back must recover the original exactly (overlap round trip).
+  const Tensor back = ResizeToShape(grown, Shape({3, 3, 4, 8}));
+  EXPECT_TRUE(back.ElementsEqual(src));
+}
+
+TEST(TensorOpsTest, ResizeZeroOverlapDimension) {
+  Tensor src(Shape({0, 4}));
+  const Tensor out = ResizeToShape(src, Shape({2, 4}));
+  EXPECT_EQ(out.Sum(), 0.0);
+}
+
+TEST(TensorOpsTest, OverlapElements) {
+  EXPECT_EQ(OverlapElements(Shape({3, 3}), Shape({2, 5})), 2 * 3);
+  EXPECT_EQ(OverlapElements(Shape({3}), Shape({2, 2})), 0);  // Rank mismatch.
+  EXPECT_EQ(OverlapElements(Shape({4, 4}), Shape({4, 4})), 16);
+}
+
+}  // namespace
+}  // namespace optimus

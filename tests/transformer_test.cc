@@ -1,0 +1,97 @@
+#include "src/core/transformer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/runtime/inference.h"
+#include "tests/test_util.h"
+
+namespace optimus {
+namespace {
+
+class TransformerTest : public testing::Test {
+ protected:
+  AnalyticCostModel costs_;
+  Transformer transformer_{&costs_};
+  Loader loader_{&costs_};
+};
+
+TEST_F(TransformerTest, DecideFavorsTransformWithinFamily) {
+  const TransformDecision decision = transformer_.Decide(TinyVgg(16), TinyVgg(19));
+  EXPECT_TRUE(decision.use_transform);
+  EXPECT_LT(decision.transform_cost, decision.scratch_cost);
+  EXPECT_DOUBLE_EQ(decision.ChosenCost(), decision.transform_cost);
+}
+
+TEST_F(TransformerTest, SafeguardNeverWorseThanScratch) {
+  // Worst-case guarantee (§4.4): the chosen path never exceeds a scratch load.
+  const Model models[] = {TinyVgg(11),     TinyVgg(19),      TinyResNet(18),
+                          TinyMobileNet(), TinyBert(2, 64),  TinyBert(4, 128)};
+  for (const Model& source : models) {
+    for (const Model& dest : models) {
+      if (source.name() == dest.name()) {
+        continue;
+      }
+      const TransformDecision decision = transformer_.Decide(source, dest);
+      EXPECT_LE(decision.ChosenCost(), decision.scratch_cost)
+          << source.name() << " -> " << dest.name();
+    }
+  }
+}
+
+TEST_F(TransformerTest, TransformOrLoadTransformPath) {
+  ModelInstance instance = loader_.Instantiate(TinyVgg(16), 1);
+  const ModelInstance dest = loader_.Instantiate(TinyVgg(19), 2);
+  const TransformOutcome outcome = transformer_.TransformOrLoad(&instance, dest.model);
+  EXPECT_TRUE(outcome.decision.use_transform);
+  EXPECT_TRUE(instance.model.Identical(dest.model));
+  EXPECT_GT(outcome.execution.total_seconds, 0.0);
+}
+
+TEST_F(TransformerTest, TransformOrLoadScratchPath) {
+  // Force the safeguard: shrinking a large model into a trivial one costs
+  // more in Reduce overhead than loading the trivial model from scratch.
+  Model trivial("trivial", "test");
+  const OpId in = trivial.AddOp(OpKind::kInput);
+  const OpId out = trivial.AddOp(OpKind::kOutput);
+  trivial.AddEdge(in, out);
+  ModelInstance instance = loader_.Instantiate(TinyVgg(19), 1);
+  const ModelInstance dest = loader_.Instantiate(trivial, 2);
+  const TransformOutcome outcome = transformer_.TransformOrLoad(&instance, dest.model);
+  EXPECT_FALSE(outcome.decision.use_transform);
+  EXPECT_GT(outcome.decision.transform_cost, outcome.decision.scratch_cost);
+  // Either path must end with the destination resident.
+  EXPECT_TRUE(instance.model.Identical(dest.model));
+}
+
+TEST_F(TransformerTest, CacheHitsOnRepeatedDecisions) {
+  const Model source = TinyVgg(16);
+  const Model dest = TinyVgg(19);
+  transformer_.Decide(source, dest);
+  const size_t misses_after_first = transformer_.cache().misses();
+  transformer_.Decide(source, dest);
+  transformer_.Decide(source, dest);
+  EXPECT_EQ(transformer_.cache().misses(), misses_after_first);
+  EXPECT_GE(transformer_.cache().hits(), 2u);
+}
+
+TEST_F(TransformerTest, CacheWarmPrecomputesBothDirections) {
+  PlanCache cache(&costs_);
+  const std::vector<Model> repository = {TinyVgg(11), TinyVgg(16), TinyResNet(18)};
+  cache.WarmFor(repository[0], repository);
+  EXPECT_TRUE(cache.Contains("tiny_vgg11", "tiny_vgg16"));
+  EXPECT_TRUE(cache.Contains("tiny_vgg16", "tiny_vgg11"));
+  EXPECT_TRUE(cache.Contains("tiny_vgg11", "tiny_resnet18"));
+  EXPECT_FALSE(cache.Contains("tiny_vgg16", "tiny_resnet18"));
+  EXPECT_EQ(cache.Size(), 4u);
+}
+
+TEST_F(TransformerTest, TransformedInstanceServesCorrectly) {
+  ModelInstance instance = loader_.Instantiate(TinyResNet(34), 5);
+  const ModelInstance dest = loader_.Instantiate(TinyResNet(18), 6);
+  transformer_.TransformOrLoad(&instance, dest.model);
+  const std::vector<float> input(4, 1.0f);
+  EXPECT_EQ(RunInference(instance, input), RunInference(dest, input));
+}
+
+}  // namespace
+}  // namespace optimus

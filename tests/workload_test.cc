@@ -1,0 +1,183 @@
+#include "src/workload/azure.h"
+#include "src/workload/poisson.h"
+#include "src/workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace optimus {
+namespace {
+
+bool IsSorted(const Trace& trace) {
+  return std::is_sorted(trace.begin(), trace.end(),
+                        [](const Invocation& a, const Invocation& b) {
+                          return a.arrival < b.arrival;
+                        });
+}
+
+TEST(TraceTest, MergeSortsByArrival) {
+  const Trace a = {{5.0, "f1"}, {10.0, "f1"}};
+  const Trace b = {{1.0, "f2"}, {7.0, "f2"}};
+  const Trace merged = MergeTraces({a, b});
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_TRUE(IsSorted(merged));
+  EXPECT_EQ(merged.front().function, "f2");
+}
+
+TEST(TraceTest, DemandHistoryBucketsCorrectly) {
+  const Trace trace = {{0.5, "f"}, {1.5, "f"}, {1.7, "f"}, {9.9, "f"}};
+  const auto history = DemandHistory(trace, /*horizon=*/10.0, /*slot_seconds=*/1.0);
+  const DemandSeries& series = history.at("f");
+  ASSERT_EQ(series.size(), 10u);
+  EXPECT_EQ(series[0], 1.0);
+  EXPECT_EQ(series[1], 2.0);
+  EXPECT_EQ(series[9], 1.0);
+}
+
+TEST(TraceTest, CorrelationOfIdenticalSeriesIsOne) {
+  const DemandSeries series = {1.0, 5.0, 2.0, 8.0, 3.0};
+  EXPECT_NEAR(DemandCorrelation(series, series), 1.0, 1e-12);
+}
+
+TEST(TraceTest, CorrelationOfOppositeSeriesIsMinusOne) {
+  const DemandSeries a = {1.0, 2.0, 3.0, 4.0};
+  const DemandSeries b = {4.0, 3.0, 2.0, 1.0};
+  EXPECT_NEAR(DemandCorrelation(a, b), -1.0, 1e-12);
+}
+
+TEST(TraceTest, CorrelationDegenerateSeriesIsZero) {
+  EXPECT_EQ(DemandCorrelation({1.0, 1.0, 1.0}, {1.0, 2.0, 3.0}), 0.0);
+  EXPECT_EQ(DemandCorrelation({1.0}, {2.0}), 0.0);
+}
+
+TEST(PoissonTest, RatesOrdered) {
+  EXPECT_GT(RateFor(RateClass::kFrequent), RateFor(RateClass::kMiddle));
+  EXPECT_GT(RateFor(RateClass::kMiddle), RateFor(RateClass::kInfrequent));
+}
+
+TEST(PoissonTest, ArrivalCountMatchesRate) {
+  PoissonTraceOptions options;
+  options.horizon_seconds = 200000.0;
+  options.seed = 3;
+  const Trace trace = GeneratePoissonTrace("f", RateClass::kMiddle, options);
+  const double expected = RateFor(RateClass::kMiddle) * options.horizon_seconds;
+  EXPECT_NEAR(static_cast<double>(trace.size()), expected, 4.0 * std::sqrt(expected));
+  EXPECT_TRUE(IsSorted(trace));
+}
+
+TEST(PoissonTest, Deterministic) {
+  PoissonTraceOptions options;
+  options.seed = 9;
+  const Trace a = GeneratePoissonTrace("f", RateClass::kFrequent, options);
+  const Trace b = GeneratePoissonTrace("f", RateClass::kFrequent, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+  }
+}
+
+TEST(PoissonTest, MixedTraceCoversAllFunctions) {
+  PoissonTraceOptions options;
+  options.horizon_seconds = 100000.0;
+  const Trace trace = GenerateMixedPoissonTrace({"a", "b", "c", "d"}, options);
+  EXPECT_TRUE(IsSorted(trace));
+  std::map<std::string, int> counts;
+  for (const Invocation& invocation : trace) {
+    ++counts[invocation.function];
+  }
+  EXPECT_EQ(counts.size(), 4u);
+  // First class (frequent) fires much more often than the third (infrequent).
+  EXPECT_GT(counts["a"], counts["c"] * 3);
+}
+
+TEST(AzureTest, TraceSortedAndDeterministic) {
+  AzureTraceOptions options;
+  options.horizon_seconds = 3600.0;
+  const std::vector<std::string> functions = {"f0", "f1", "f2", "f3", "f4", "f5"};
+  const Trace a = GenerateAzureTrace(functions, options);
+  const Trace b = GenerateAzureTrace(functions, options);
+  EXPECT_TRUE(IsSorted(a));
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].function, b[i].function);
+  }
+}
+
+TEST(AzureTest, PopularityIsHeavyTailed) {
+  AzureTraceOptions options;
+  options.horizon_seconds = 8.0 * 3600;
+  std::vector<std::string> functions;
+  for (int i = 0; i < 12; ++i) {
+    functions.push_back("f" + std::to_string(i));
+  }
+  const Trace trace = GenerateAzureTrace(functions, options);
+  std::map<std::string, size_t> counts;
+  for (const Invocation& invocation : trace) {
+    ++counts[invocation.function];
+  }
+  // The most popular function dominates the least popular by a wide margin.
+  EXPECT_GT(counts["f0"], counts["f11"] * 2);
+}
+
+TEST(AzureTest, PatternAssignmentsCoverAllThree) {
+  bool periodic = false;
+  bool bursty = false;
+  bool sporadic = false;
+  for (size_t i = 0; i < 60; ++i) {
+    switch (AzurePatternFor(i, /*seed=*/7)) {
+      case AzurePattern::kPeriodic:
+        periodic = true;
+        break;
+      case AzurePattern::kBursty:
+        bursty = true;
+        break;
+      case AzurePattern::kSporadic:
+        sporadic = true;
+        break;
+    }
+  }
+  EXPECT_TRUE(periodic);
+  EXPECT_TRUE(bursty);
+  EXPECT_TRUE(sporadic);
+}
+
+TEST(AzureTest, BurstyFunctionsHaveBurstGaps) {
+  // A bursty function's inter-arrival distribution mixes very short (in-burst)
+  // and long (between-burst) gaps.
+  AzureTraceOptions options;
+  options.horizon_seconds = 24.0 * 3600;
+  options.seed = 7;
+  std::vector<std::string> functions;
+  for (int i = 0; i < 20; ++i) {
+    functions.push_back("f" + std::to_string(i));
+  }
+  size_t bursty_index = 0;
+  for (size_t i = 0; i < functions.size(); ++i) {
+    if (AzurePatternFor(i, options.seed) == AzurePattern::kBursty) {
+      bursty_index = i;
+      break;
+    }
+  }
+  const Trace trace = GenerateAzureTrace(functions, options);
+  std::vector<double> arrivals;
+  for (const Invocation& invocation : trace) {
+    if (invocation.function == functions[bursty_index]) {
+      arrivals.push_back(invocation.arrival);
+    }
+  }
+  ASSERT_GT(arrivals.size(), 4u);
+  double min_gap = 1e18;
+  double max_gap = 0.0;
+  for (size_t i = 1; i < arrivals.size(); ++i) {
+    const double gap = arrivals[i] - arrivals[i - 1];
+    min_gap = std::min(min_gap, gap);
+    max_gap = std::max(max_gap, gap);
+  }
+  EXPECT_GT(max_gap / (min_gap + 1e-9), 50.0);
+}
+
+}  // namespace
+}  // namespace optimus

@@ -1,0 +1,76 @@
+// Planning sweep over the full Imgclsmob-style zoo (structure-only models):
+// for random pairs drawn from the 389-model catalog, plans must be feasible,
+// positive, consistent, and safeguard-total. This exercises the planner
+// against the full structural diversity of the zoo without materializing
+// weights.
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/core/planner.h"
+#include "src/core/transformer.h"
+#include "src/zoo/registry.h"
+
+namespace optimus {
+namespace {
+
+class ZooPlanningSweepTest : public testing::TestWithParam<int> {
+ protected:
+  static void SetUpTestSuite() {
+    zoo_ = new ModelRegistry(ImgclsmobZoo());
+    names_ = new std::vector<std::string>(zoo_->Names());
+  }
+  static void TearDownTestSuite() {
+    delete zoo_;
+    delete names_;
+    zoo_ = nullptr;
+    names_ = nullptr;
+  }
+
+  static ModelRegistry* zoo_;
+  static std::vector<std::string>* names_;
+};
+
+ModelRegistry* ZooPlanningSweepTest::zoo_ = nullptr;
+std::vector<std::string>* ZooPlanningSweepTest::names_ = nullptr;
+
+TEST_P(ZooPlanningSweepTest, PlansAreFeasibleAndSafeguarded) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 2654435761u + 3);
+  const std::string& from_name =
+      (*names_)[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(names_->size()) - 1))];
+  const std::string& to_name =
+      (*names_)[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(names_->size()) - 1))];
+  if (from_name == to_name) {
+    GTEST_SKIP();
+  }
+  const Model from = zoo_->Build(from_name);
+  const Model to = zoo_->Build(to_name);
+
+  AnalyticCostModel costs;
+  const TransformPlan plan = PlanTransform(from, to, costs, PlannerKind::kGroup);
+
+  // Feasibility: the mapping covers both op sets exactly once.
+  EXPECT_EQ(plan.mapping.matched.size() + plan.mapping.reduced.size(), from.NumOps())
+      << from_name << " -> " << to_name;
+  EXPECT_EQ(plan.mapping.matched.size() + plan.mapping.added.size(), to.NumOps());
+  // Matched pairs preserve the op kind.
+  for (const auto& [src, dst] : plan.mapping.matched) {
+    EXPECT_EQ(from.op(src).kind, to.op(dst).kind);
+  }
+  // Cost consistency.
+  EXPECT_GT(plan.total_cost, 0.0);
+  double step_sum = 0.0;
+  for (const MetaOp& step : plan.steps) {
+    step_sum += step.cost;
+  }
+  EXPECT_NEAR(step_sum, plan.total_cost, 1e-9);
+  // Safeguard totality.
+  Transformer transformer(&costs);
+  const TransformDecision decision = transformer.Decide(from, to);
+  EXPECT_LE(decision.ChosenCost(), decision.scratch_cost + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomZooPairs, ZooPlanningSweepTest, testing::Range(0, 30));
+
+}  // namespace
+}  // namespace optimus

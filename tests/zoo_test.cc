@@ -1,0 +1,239 @@
+#include "src/zoo/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "src/zoo/bert.h"
+#include "src/zoo/densenet.h"
+#include "src/zoo/inception.h"
+#include "src/zoo/mobilenet.h"
+#include "src/zoo/nasbench.h"
+#include "src/zoo/resnet.h"
+#include "src/zoo/vgg.h"
+
+namespace optimus {
+namespace {
+
+double MillionParams(const Model& model) {
+  return static_cast<double>(model.ParamCount()) / 1e6;
+}
+
+// Parameter counts from the paper's Figure 2c, within 3%.
+TEST(ZooVggTest, CanonicalParamCounts) {
+  EXPECT_NEAR(MillionParams(BuildVgg(11)), 132.9, 132.9 * 0.03);
+  EXPECT_NEAR(MillionParams(BuildVgg(16)), 138.4, 138.4 * 0.03);
+  EXPECT_NEAR(MillionParams(BuildVgg(19)), 143.7, 143.7 * 0.03);
+}
+
+TEST(ZooResNetTest, CanonicalParamCounts) {
+  EXPECT_NEAR(MillionParams(BuildResNet(50)), 25.6, 25.6 * 0.03);
+  EXPECT_NEAR(MillionParams(BuildResNet(101)), 44.7, 44.7 * 0.03);
+  EXPECT_NEAR(MillionParams(BuildResNet(152)), 60.4, 60.4 * 0.03);
+}
+
+TEST(ZooMobileNetTest, CanonicalParamCount) {
+  // MobileNetV1 1.0x has ~4.2M parameters.
+  EXPECT_NEAR(MillionParams(BuildMobileNet()), 4.2, 4.2 * 0.08);
+}
+
+TEST(ZooDenseNetTest, CanonicalParamCount) {
+  // DenseNet-121 has ~8.0M parameters.
+  EXPECT_NEAR(MillionParams(BuildDenseNet(121)), 8.0, 8.0 * 0.10);
+}
+
+TEST(ZooTest, MoreCanonicalParamCounts) {
+  EXPECT_NEAR(MillionParams(BuildResNet(18)), 11.7, 11.7 * 0.05);
+  // GoogLeNet-class Inception: ~6.6-7M parameters.
+  EXPECT_NEAR(MillionParams(BuildInception()), 6.8, 6.8 * 0.10);
+  // Xception: ~22.9M parameters.
+  EXPECT_NEAR(MillionParams(BuildXception()), 22.9, 22.9 * 0.05);
+  // BERT sizes: Tiny ~4.4M, Mini ~11.2M, Base ~110M.
+  EXPECT_NEAR(MillionParams(BuildBert(BertTinyConfig())), 4.4, 4.4 * 0.05);
+  EXPECT_NEAR(MillionParams(BuildBert(BertMiniConfig())), 11.2, 11.2 * 0.05);
+}
+
+TEST(ZooTest, AllCanonicalModelsValidate) {
+  for (const int depth : {11, 13, 16, 19}) {
+    BuildVgg(depth).Validate();
+  }
+  for (const int depth : {18, 34, 50, 101, 152}) {
+    BuildResNet(depth).Validate();
+  }
+  for (const int depth : {121, 169, 201}) {
+    BuildDenseNet(depth).Validate();
+  }
+  BuildMobileNet().Validate();
+  BuildInception().Validate();
+  BuildXception().Validate();
+}
+
+TEST(ZooTest, UnsupportedDepthsThrow) {
+  EXPECT_THROW(BuildVgg(12), std::invalid_argument);
+  EXPECT_THROW(BuildResNet(42), std::invalid_argument);
+  EXPECT_THROW(BuildDenseNet(100), std::invalid_argument);
+}
+
+TEST(ZooTest, DepthIncreasesOpCountWithinFamily) {
+  EXPECT_LT(BuildVgg(11).NumOps(), BuildVgg(16).NumOps());
+  EXPECT_LT(BuildVgg(16).NumOps(), BuildVgg(19).NumOps());
+  EXPECT_LT(BuildResNet(50).NumOps(), BuildResNet(101).NumOps());
+  EXPECT_LT(BuildResNet(101).NumOps(), BuildResNet(152).NumOps());
+}
+
+TEST(ZooTest, ResNet101IsOperationRich) {
+  // The paper notes ResNet101 has ~347 operations, most without weights.
+  const Model model = BuildResNet(101);
+  EXPECT_GT(model.NumOps(), 300u);
+  EXPECT_LT(model.NumWeightedOps(), model.NumOps() / 2 + 60);
+}
+
+TEST(ZooTest, WidthMultiplierShrinksParams) {
+  VggOptions narrow;
+  narrow.width_multiplier = 0.5;
+  EXPECT_LT(BuildVgg(16, narrow).ParamCount(), BuildVgg(16).ParamCount() / 3);
+  // Structure (op sequence) is preserved.
+  EXPECT_EQ(BuildVgg(16, narrow).NumOps(), BuildVgg(16).NumOps());
+}
+
+TEST(ZooNasBenchTest, DecodeRoundTrip) {
+  for (const int64_t index : {0L, 1L, 77L, 5000L, kNasBenchSpaceSize - 1}) {
+    const NasBenchCellSpec spec = DecodeNasBenchSpec(index);
+    int64_t reencoded = 0;
+    for (int e = kNasBenchCellEdges - 1; e >= 0; --e) {
+      reencoded = reencoded * 5 + static_cast<int64_t>(spec[static_cast<size_t>(e)]);
+    }
+    EXPECT_EQ(reencoded, index);
+  }
+}
+
+TEST(ZooNasBenchTest, OutOfRangeThrows) {
+  EXPECT_THROW(DecodeNasBenchSpec(-1), std::invalid_argument);
+  EXPECT_THROW(DecodeNasBenchSpec(kNasBenchSpaceSize), std::invalid_argument);
+}
+
+TEST(ZooNasBenchTest, ModelsValidateAcrossSpace) {
+  for (const int64_t index : {0L, 1L, 624L, 3125L, 9999L, kNasBenchSpaceSize - 1}) {
+    const Model model = BuildNasBenchModel(index);
+    model.Validate();
+    EXPECT_GT(model.NumOps(), 10u);
+  }
+}
+
+TEST(ZooNasBenchTest, ModelsAreLightweight) {
+  // NAS-Bench-201 models are small (< 2M parameters at width 16).
+  const Model model = BuildNasBenchModel(12345);
+  EXPECT_LT(model.ParamCount(), 2'000'000);
+}
+
+TEST(ZooNasBenchTest, DifferentIndicesDiffer) {
+  // 100 and 102 differ in edge 0's choice (none vs conv1x1).
+  const Model a = BuildNasBenchModel(100);
+  const Model b = BuildNasBenchModel(102);
+  EXPECT_FALSE(a.StructurallyEqual(b));
+}
+
+TEST(ZooNasBenchTest, NoneAndSkipDegenerateCellsCoincide) {
+  // A 'none' edge into an otherwise unreachable node falls back to a skip
+  // from the cell input, so indices 100 (none) and 101 (skip) coincide.
+  EXPECT_TRUE(BuildNasBenchModel(100).StructurallyEqual(BuildNasBenchModel(101)));
+}
+
+TEST(ZooBertTest, SizesOrdered) {
+  const Model tiny = BuildBert(BertTinyConfig());
+  const Model mini = BuildBert(BertMiniConfig());
+  const Model base = BuildBert(BertBaseConfig());
+  tiny.Validate();
+  mini.Validate();
+  base.Validate();
+  EXPECT_LT(tiny.ParamCount(), mini.ParamCount());
+  EXPECT_LT(mini.ParamCount(), base.ParamCount());
+  EXPECT_LT(tiny.NumOps(), base.NumOps());
+}
+
+TEST(ZooBertTest, BaseParamCountApproximatelyCanonical) {
+  // BERT-Base has ~110M parameters.
+  EXPECT_NEAR(MillionParams(BuildBert(BertBaseConfig())), 110.0, 110.0 * 0.05);
+}
+
+TEST(ZooBertTest, CasedAndUncasedDifferOnlyInEmbedding) {
+  const Model cased = BuildBert(BertBaseCasedConfig());
+  const Model uncased = BuildBert(BertBaseConfig());
+  EXPECT_EQ(cased.NumOps(), uncased.NumOps());
+  EXPECT_NE(cased.ParamCount(), uncased.ParamCount());
+}
+
+TEST(ZooBertTest, TaskHeadsAddOps) {
+  const Model plain = BuildBert(BertBaseConfig());
+  BertConfig qa = BertBaseConfig();
+  qa.task = BertTask::kQuestionAnswering;
+  qa.name = "bert_qa";
+  const Model qa_model = BuildBert(qa);
+  BertConfig sc = BertBaseConfig();
+  sc.task = BertTask::kSequenceClassification;
+  sc.name = "bert_sc";
+  const Model sc_model = BuildBert(sc);
+  EXPECT_GT(qa_model.NumOps(), plain.NumOps());
+  EXPECT_GT(sc_model.NumOps(), plain.NumOps());
+  // QA has one more dense layer than SC (the paper's Example 2).
+  EXPECT_GT(qa_model.NumOps(), sc_model.NumOps());
+}
+
+TEST(ZooBertTest, AttentionOpsPresent) {
+  const Model model = BuildBert(BertTinyConfig());
+  int queries = 0;
+  int logits = 0;
+  for (const auto& [id, op] : model.ops()) {
+    queries += op.kind == OpKind::kAttentionQuery ? 1 : 0;
+    logits += op.kind == OpKind::kLogit ? 1 : 0;
+  }
+  EXPECT_EQ(queries, 2);  // One per layer.
+  EXPECT_EQ(logits, 2);
+}
+
+TEST(RegistryTest, DuplicateNameRejected) {
+  ModelRegistry registry;
+  registry.Register("m", [] { return Model("m", "test"); });
+  EXPECT_THROW(registry.Register("m", [] { return Model("m", "test"); }),
+               std::invalid_argument);
+}
+
+TEST(RegistryTest, UnknownNameThrows) {
+  const ModelRegistry registry;
+  EXPECT_THROW(registry.Build("nope"), std::out_of_range);
+}
+
+TEST(RegistryTest, RepresentativeModelsMatchPaperCount) {
+  const ModelRegistry registry = RepresentativeModels();
+  const auto names = RepresentativeModelNames();
+  EXPECT_EQ(names.size(), 21u);  // Figure 11: 21 representative models.
+  for (const std::string& name : names) {
+    EXPECT_TRUE(registry.Has(name)) << name;
+  }
+}
+
+TEST(RegistryTest, BertZooHasTenVariations) {
+  EXPECT_EQ(BertZoo().Size(), 10u);  // §8.1: 10 BERT variations.
+}
+
+TEST(RegistryTest, ImgclsmobZooDefaultSize) {
+  const ModelRegistry zoo = ImgclsmobZoo();
+  EXPECT_EQ(zoo.Size(), 389u);  // §8.1: 389 models.
+}
+
+TEST(RegistryTest, ImgclsmobModelsBuildAndValidate) {
+  const ModelRegistry zoo = ImgclsmobZoo(40);
+  for (const std::string& name : zoo.Names()) {
+    const Model model = zoo.Build(name);
+    model.Validate();
+    EXPECT_EQ(model.name(), name);
+  }
+}
+
+TEST(RegistryTest, NasBenchZooDeterministic) {
+  const ModelRegistry a = NasBenchZoo(25, 3);
+  const ModelRegistry b = NasBenchZoo(25, 3);
+  EXPECT_EQ(a.Names(), b.Names());
+  EXPECT_EQ(a.Size(), 25u);
+}
+
+}  // namespace
+}  // namespace optimus
