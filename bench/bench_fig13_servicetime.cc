@@ -38,9 +38,10 @@ void RunWorkload(const char* label, const std::vector<Model>& models, const Trac
       best_baseline = std::min(best_baseline, service);
     }
   }
-  std::printf("Optimus reduction: %.2f%% vs best baseline, %.2f%% vs worst (paper: 24.00%%~47.56%%)\n",
-              100.0 * (best_baseline - optimus_time) / best_baseline,
-              100.0 * (worst_time - optimus_time) / worst_time);
+  std::printf(
+      "Optimus reduction: %.2f%% vs best baseline, %.2f%% vs worst (paper: 24.00%%~47.56%%)\n",
+      100.0 * (best_baseline - optimus_time) / best_baseline,
+      100.0 * (worst_time - optimus_time) / worst_time);
 }
 
 }  // namespace

@@ -30,11 +30,19 @@ void PrintCase(const Model& source, const Model& dest) {
               group.total_cost / basic.total_cost);
 }
 
-void Run() {
+void Run(bool smoke) {
   benchutil::PrintHeader("Table 1: planning vs execution latency, Basic vs Improved planner");
   std::printf("%-24s %14s %14s %14s %14s %11s %10s\n", "case", "basic plan(ms)", "basic exec(s)",
               "impr plan(ms)", "impr exec(s)", "plan saved", "exec ratio");
   benchutil::PrintRule(108);
+  if (smoke) {
+    // CI smoke run: one quarter-width case keeps the Munkres O(k^3) planning
+    // tiny while still exercising the full table pipeline.
+    VggOptions options;
+    options.width_multiplier = 0.25;
+    PrintCase(BuildVgg(11, options), BuildVgg(13, options));
+    return;
+  }
   PrintCase(BuildVgg(16), BuildVgg(19));
   PrintCase(BuildVgg(16), BuildResNet(50));
   PrintCase(BuildResNet(50), BuildVgg(19));
@@ -43,7 +51,7 @@ void Run() {
 }  // namespace
 }  // namespace optimus
 
-int main() {
-  optimus::Run();
+int main(int argc, char** argv) {
+  optimus::Run(optimus::benchutil::SmokeMode(argc, argv));
   return 0;
 }

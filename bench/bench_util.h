@@ -17,6 +17,18 @@
 namespace optimus {
 namespace benchutil {
 
+// CI smoke mode: benchmarks invoked with `--smoke` shrink their workloads to
+// tiny iteration counts, so CI can catch benchmark bit-rot (build breaks,
+// crashes, assertion failures) without burning minutes on full runs.
+inline bool SmokeMode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == std::string("--smoke")) {
+      return true;
+    }
+  }
+  return false;
+}
+
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }

@@ -1,0 +1,120 @@
+// Deploy-time plan warming, serial vs parallel (§4.4 Module 3).
+//
+// Replays the platform's registration sequence over a 20-model repository:
+// each arriving model is pre-planned against every already-registered model
+// (both directions) — the O(N^2) pre-planning loop that PlanCache::WarmFor
+// now fans out across a ThreadPool. The bench times the serial and parallel
+// paths for both planners and verifies the two caches end bit-identical
+// (same keys, same plan costs), exiting non-zero on any divergence so the
+// CI smoke run doubles as a correctness check.
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/stopwatch.h"
+#include "src/common/thread_pool.h"
+#include "src/core/plan_cache.h"
+
+namespace optimus {
+namespace {
+
+constexpr int kWarmThreads = 4;
+
+// Replays deploy-time warming: model i is planned against models 0..i-1.
+// Returns wall seconds for the whole registration sequence.
+double WarmRepository(PlanCache* cache, const std::vector<Model>& repository, ThreadPool* pool) {
+  Stopwatch watch;
+  std::vector<std::reference_wrapper<const Model>> registered;
+  registered.reserve(repository.size());
+  for (const Model& model : repository) {
+    cache->WarmFor(model, registered, pool);
+    registered.emplace_back(model);
+  }
+  return watch.ElapsedSeconds();
+}
+
+bool CachesIdentical(PlanCache* a, PlanCache* b, const std::vector<Model>& repository) {
+  if (a->Size() != b->Size()) {
+    std::printf("  MISMATCH: cache sizes differ (%zu vs %zu)\n", a->Size(), b->Size());
+    return false;
+  }
+  for (const Model& source : repository) {
+    for (const Model& dest : repository) {
+      if (source.name() == dest.name()) {
+        continue;
+      }
+      if (!a->Contains(source.name(), dest.name()) || !b->Contains(source.name(), dest.name())) {
+        std::printf("  MISMATCH: missing key %s -> %s\n", source.name().c_str(),
+                    dest.name().c_str());
+        return false;
+      }
+      // Both caches are fully warmed, so GetOrPlan only reads.
+      const double cost_a = a->GetOrPlan(source, dest).total_cost;
+      const double cost_b = b->GetOrPlan(source, dest).total_cost;
+      if (cost_a != cost_b) {
+        std::printf("  MISMATCH: plan cost differs for %s -> %s (%f vs %f)\n",
+                    source.name().c_str(), dest.name().c_str(), cost_a, cost_b);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// Runs serial-vs-parallel warming for one planner; returns false on content
+// divergence.
+bool RunCase(const std::vector<Model>& repository, PlannerKind planner) {
+  AnalyticCostModel costs;
+
+  PlanCache serial_cache(&costs, planner);
+  const double serial_seconds = WarmRepository(&serial_cache, repository, nullptr);
+
+  ThreadPool pool(kWarmThreads);
+  PlanCache parallel_cache(&costs, planner);
+  const double parallel_seconds = WarmRepository(&parallel_cache, repository, &pool);
+
+  const bool identical = CachesIdentical(&serial_cache, &parallel_cache, repository);
+  const size_t pairs = repository.size() * (repository.size() - 1);
+  std::printf("%-10s %8zu %8zu %14.1f %18.1f %9.2fx %10s\n", PlannerKindName(planner),
+              repository.size(), pairs, 1e3 * serial_seconds, 1e3 * parallel_seconds,
+              serial_seconds / parallel_seconds, identical ? "identical" : "DIVERGED");
+  return identical;
+}
+
+int Run(bool smoke) {
+  benchutil::PrintHeader("Deploy-time plan-cache warming: serial vs parallel (4 threads)");
+
+  const ModelRegistry registry = RepresentativeModels();
+  std::vector<Model> repository;
+  const std::vector<std::string> names = RepresentativeModelNames();
+  const size_t count = smoke ? 5 : 20;
+  for (size_t i = 0; i < names.size() && repository.size() < count; ++i) {
+    repository.push_back(registry.Build(names[i]));
+  }
+
+  std::printf("%-10s %8s %8s %14s %18s %10s %10s\n", "planner", "models", "pairs",
+              "serial(ms)", "parallel4(ms)", "speedup", "contents");
+  benchutil::PrintRule(84);
+
+  bool ok = RunCase(repository, PlannerKind::kGroup);
+  // The Munkres planner is the heavyweight case planning-strategy caching
+  // exists for; skipped in smoke mode to keep CI fast.
+  if (!smoke) {
+    ok = RunCase(repository, PlannerKind::kBasic) && ok;
+  }
+  if (!ok) {
+    std::printf("FAILED: parallel warming diverged from the serial plan cache\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace optimus
+
+int main(int argc, char** argv) {
+  return optimus::Run(optimus::benchutil::SmokeMode(argc, argv));
+}

@@ -70,8 +70,9 @@ int main() {
                 result.estimated_latency);
   }
 
-  std::printf("\ntotals: %zu warm, %zu transformed, %zu cold over %zu requests; %zu containers live\n",
-              platform.WarmStarts(), platform.Transforms(), platform.ColdStarts(),
-              std::size(script), platform.NumLiveContainers());
+  std::printf(
+      "\ntotals: %zu warm, %zu transformed, %zu cold over %zu requests; %zu containers live\n",
+      platform.WarmStarts(), platform.Transforms(), platform.ColdStarts(), std::size(script),
+      platform.NumLiveContainers());
   return 0;
 }

@@ -1,12 +1,44 @@
 #!/usr/bin/env bash
 # Full verification: configure, build, run the test suite, then every
-# figure/table benchmark. Mirrors what CI would run.
+# figure/table benchmark. Mirrors the CI matrix via environment variables:
+#
+#   BUILD_TYPE   CMake build type (default Release)
+#   SANITIZE    passed to -DOPTIMUS_SANITIZE, e.g. address,undefined or thread
+#   BUILD_DIR   build directory (default: build, or build-<sanitizers>)
+#   SKIP_BENCH  set to 1 to stop after the test suite (sanitized benches are slow)
+#
+# Examples:
+#   scripts/check.sh                                  # tier-1: Release + ctest + benches
+#   SANITIZE=thread SKIP_BENCH=1 scripts/check.sh     # the CI TSan job, locally
 set -euo pipefail
 cd "$(dirname "$0")/.."
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build --output-on-failure
-for b in build/bench/bench_*; do
+
+BUILD_TYPE="${BUILD_TYPE:-Release}"
+SANITIZE="${SANITIZE:-}"
+if [[ -n "$SANITIZE" ]]; then
+  BUILD_DIR="${BUILD_DIR:-build-${SANITIZE//,/-}}"
+else
+  BUILD_DIR="${BUILD_DIR:-build}"
+fi
+
+CONFIGURE=(cmake -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE="$BUILD_TYPE")
+# Prefer Ninja when available and the build dir is not already configured with
+# another generator; fall back to the default generator (Unix Makefiles).
+if command -v ninja >/dev/null 2>&1 && [[ ! -f "$BUILD_DIR/CMakeCache.txt" ]]; then
+  CONFIGURE+=(-G Ninja)
+fi
+if [[ -n "$SANITIZE" ]]; then
+  CONFIGURE+=(-DOPTIMUS_SANITIZE="$SANITIZE")
+fi
+
+"${CONFIGURE[@]}"
+cmake --build "$BUILD_DIR" -j
+ctest --test-dir "$BUILD_DIR" --output-on-failure
+
+if [[ "${SKIP_BENCH:-0}" == "1" ]]; then
+  exit 0
+fi
+for b in "$BUILD_DIR"/bench/bench_*; do
   echo "==================== $b"
   "$b"
 done

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Formats every C++ source with the repo's .clang-format.
+#
+#   scripts/format.sh           rewrite files in place
+#   scripts/format.sh --check   verify only (exit non-zero on violations),
+#                               as the CI format job runs it
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "error: $CLANG_FORMAT not found (set CLANG_FORMAT to override)" >&2
+  exit 1
+fi
+
+MODE=(-i)
+if [[ "${1:-}" == "--check" ]]; then
+  MODE=(--dry-run --Werror)
+fi
+
+find src tests bench examples \
+  \( -name '*.cc' -o -name '*.h' -o -name '*.cpp' \) -print0 |
+  xargs -0 "$CLANG_FORMAT" "${MODE[@]}"

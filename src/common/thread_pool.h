@@ -1,0 +1,64 @@
+// A fixed-size worker pool for the concurrent control path: deploy-time plan
+// warming fans plan computations out across cores, and the HTTP gateway
+// dispatches connections onto it instead of serving them inline.
+//
+// Deliberately minimal — a single locked FIFO queue, no work stealing. The
+// tasks it runs (planning a transformation, serving one HTTP request) are
+// orders of magnitude more expensive than a queue handoff, so a smarter
+// scheduler buys nothing here.
+
+#ifndef OPTIMUS_SRC_COMMON_THREAD_POOL_H_
+#define OPTIMUS_SRC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace optimus {
+
+class ThreadPool {
+ public:
+  // Starts `num_threads` workers (values < 1 are clamped to 1).
+  explicit ThreadPool(int num_threads);
+
+  // Drains the queue: blocks until every already-submitted task has run.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues `fn(args...)` and returns a future for its result. Exceptions
+  // thrown by the task surface from future::get(). Submitting after the
+  // destructor has begun throws std::runtime_error.
+  template <typename Fn, typename... Args>
+  auto Submit(Fn&& fn, Args&&... args) -> std::future<std::invoke_result_t<Fn, Args...>> {
+    using Result = std::invoke_result_t<Fn, Args...>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(
+        std::bind(std::forward<Fn>(fn), std::forward<Args>(args)...));
+    std::future<Result> future = task->get_future();
+    Post([task] { (*task)(); });
+    return future;
+  }
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void Post(std::function<void()> task);
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_COMMON_THREAD_POOL_H_

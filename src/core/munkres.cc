@@ -73,8 +73,8 @@ AssignmentResult SolveAssignment(const std::vector<std::vector<double>>& cost) {
     result.assignment[static_cast<size_t>(match[static_cast<size_t>(j)]) - 1] = j - 1;
   }
   for (int i = 0; i < k; ++i) {
-    result.total_cost +=
-        cost[static_cast<size_t>(i)][static_cast<size_t>(result.assignment[static_cast<size_t>(i)])];
+    const size_t row = static_cast<size_t>(i);
+    result.total_cost += cost[row][static_cast<size_t>(result.assignment[row])];
   }
   return result;
 }

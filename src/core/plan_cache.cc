@@ -1,35 +1,116 @@
 #include "src/core/plan_cache.h"
 
+#include <algorithm>
+#include <functional>
+
 #include "src/core/plan_io.h"
 
 namespace optimus {
 
+const PlanCache::Shard& PlanCache::ShardFor(const Key& key) const {
+  const size_t hash =
+      std::hash<std::string>{}(key.first) * 31 + std::hash<std::string>{}(key.second);
+  return shards_[hash % kNumShards];
+}
+
+const TransformPlan& PlanCache::GetOrPlan(const Model& source, const Model& dest) {
+  const Key key{source.name(), dest.name()};
+  Shard& shard = ShardFor(key);
+
+  std::shared_ptr<Entry> entry;
+  bool planner_thread = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto [it, inserted] = shard.entries.try_emplace(key);
+    if (inserted) {
+      it->second = std::make_shared<Entry>();
+      planner_thread = true;
+    }
+    entry = it->second;
+  }
+
+  if (planner_thread) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    TransformPlan plan = PlanTransform(source, dest, *costs_, planner_);
+    {
+      std::lock_guard<std::mutex> lock(entry->mutex);
+      entry->plan = std::move(plan);
+      entry->ready.store(true, std::memory_order_release);
+    }
+    entry->published.notify_all();
+    return entry->plan;
+  }
+
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  if (!entry->ready.load(std::memory_order_acquire)) {
+    std::unique_lock<std::mutex> lock(entry->mutex);
+    entry->published.wait(lock, [&] { return entry->ready.load(std::memory_order_acquire); });
+  }
+  return entry->plan;
+}
+
+bool PlanCache::Contains(const std::string& source_name, const std::string& dest_name) const {
+  const Key key{source_name, dest_name};
+  const Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(key);
+  return it != shard.entries.end() && it->second->ready.load(std::memory_order_acquire);
+}
+
+size_t PlanCache::Size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.entries.size();
+  }
+  return total;
+}
+
 void PlanCache::Save(const std::string& path) const {
+  // Collect under the shard locks, then sort by key so the file contents are
+  // deterministic — identical whether the cache was warmed serially or by a
+  // pool (shard order is hash order, not key order).
+  std::vector<std::pair<Key, const Entry*>> ready_entries;
+  std::vector<std::shared_ptr<Entry>> pinned;  // Keep entries alive while writing.
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [key, entry] : shard.entries) {
+      if (entry->ready.load(std::memory_order_acquire)) {
+        ready_entries.emplace_back(key, entry.get());
+        pinned.push_back(entry);
+      }
+    }
+  }
+  std::sort(ready_entries.begin(), ready_entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   std::vector<TransformPlan> plans;
-  plans.reserve(plans_.size());
-  for (const auto& [key, plan] : plans_) {
-    plans.push_back(plan);
+  plans.reserve(ready_entries.size());
+  for (const auto& [key, entry] : ready_entries) {
+    plans.push_back(entry->plan);
   }
   WritePlansToFile(path, plans);
 }
 
 void PlanCache::Load(const std::string& path) {
   for (TransformPlan& plan : ReadPlansFromFile(path)) {
-    auto key = std::make_pair(plan.source_name, plan.dest_name);
-    plans_.insert_or_assign(std::move(key), std::move(plan));
+    const Key key{plan.source_name, plan.dest_name};
+    Shard& shard = ShardFor(key);
+    std::shared_ptr<Entry> entry;
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      auto [it, inserted] = shard.entries.try_emplace(key);
+      if (inserted) {
+        it->second = std::make_shared<Entry>();
+      }
+      entry = it->second;
+    }
+    {
+      std::lock_guard<std::mutex> lock(entry->mutex);
+      entry->plan = std::move(plan);
+      entry->ready.store(true, std::memory_order_release);
+    }
+    entry->published.notify_all();
   }
-}
-
-const TransformPlan& PlanCache::GetOrPlan(const Model& source, const Model& dest) {
-  const auto key = std::make_pair(source.name(), dest.name());
-  auto it = plans_.find(key);
-  if (it != plans_.end()) {
-    ++hits_;
-    return it->second;
-  }
-  ++misses_;
-  TransformPlan plan = PlanTransform(source, dest, *costs_, planner_);
-  return plans_.emplace(key, std::move(plan)).first->second;
 }
 
 }  // namespace optimus

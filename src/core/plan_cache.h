@@ -4,14 +4,31 @@
 // transformations against the existing models and caches the strategies, so
 // an online transformation only reads the cached plan — no planning on the
 // request path.
+//
+// Thread safety: every member is safe to call concurrently. The key space is
+// split across a fixed number of shards, each guarded by its own mutex, so
+// lookups for unrelated (source, dest) pairs never contend. Each entry
+// carries a "planning in flight" latch: the first thread to request a pair
+// plans it while later requesters block on the latch instead of re-planning,
+// so a pair is planned exactly once no matter how many threads race for it.
+// Plans are immutable once published, which is what makes the returned
+// references stable (entries are heap-allocated and never removed).
+// Exception: Load() overwrites plans in place and must not race with readers
+// holding references into the cache.
 
 #ifndef OPTIMUS_SRC_CORE_PLAN_CACHE_H_
 #define OPTIMUS_SRC_CORE_PLAN_CACHE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "src/common/thread_pool.h"
 #include "src/core/planner.h"
 
 namespace optimus {
@@ -23,41 +40,91 @@ class PlanCache {
 
   // Returns the cached plan for (source, dest), planning and caching it on a
   // miss. Keyed by model name; models are assumed immutable once registered.
+  // Concurrent callers for the same pair block until the single in-flight
+  // planning completes; a request that finds the pair present or in flight
+  // counts as a hit, the one that plans counts as a miss.
   const TransformPlan& GetOrPlan(const Model& source, const Model& dest);
 
   // Pre-plans `model` against every model in `repository` (both directions),
-  // as the paper does at model-registration time.
+  // as the paper does at model-registration time. With a pool, the pair
+  // plannings fan out across the pool's workers (distinct pairs are
+  // independent); the call still blocks until every plan is cached, and the
+  // resulting cache contents are identical to the serial path's.
   template <typename ModelRange>
-  void WarmFor(const Model& model, const ModelRange& repository) {
+  void WarmFor(const Model& model, const ModelRange& repository, ThreadPool* pool = nullptr) {
+    if (pool == nullptr) {
+      for (const Model& other : repository) {
+        if (other.name() == model.name()) {
+          continue;
+        }
+        GetOrPlan(other, model);
+        GetOrPlan(model, other);
+      }
+      return;
+    }
+    std::vector<std::future<void>> pending;
     for (const Model& other : repository) {
       if (other.name() == model.name()) {
         continue;
       }
-      GetOrPlan(other, model);
-      GetOrPlan(model, other);
+      const Model* other_ptr = &other;
+      pending.push_back(pool->Submit([this, &model, other_ptr] {
+        GetOrPlan(*other_ptr, model);
+        GetOrPlan(model, *other_ptr);
+      }));
+    }
+    for (std::future<void>& future : pending) {
+      future.get();
     }
   }
 
-  bool Contains(const std::string& source_name, const std::string& dest_name) const {
-    return plans_.count({source_name, dest_name}) > 0;
-  }
+  // True once the pair's plan is published (an in-flight planning does not
+  // count until it completes).
+  bool Contains(const std::string& source_name, const std::string& dest_name) const;
 
   // Persists all cached strategies to a file / restores them (the §7 design
   // stores plans with the models; restoring avoids re-planning on restart).
-  // Load merges into the cache, keyed by the plans' source/dest names.
+  // Save writes plans in (source, dest) key order regardless of which threads
+  // planned them; Load merges into the cache keyed by the plans' source/dest
+  // names, overwriting existing entries. Neither may race with GetOrPlan
+  // callers still using returned plan references.
   void Save(const std::string& path) const;
   void Load(const std::string& path);
 
-  size_t Size() const { return plans_.size(); }
-  size_t hits() const { return hits_; }
-  size_t misses() const { return misses_; }
+  // Number of entries, including any still being planned.
+  size_t Size() const;
+  size_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  size_t misses() const { return misses_.load(std::memory_order_relaxed); }
 
  private:
+  using Key = std::pair<std::string, std::string>;
+
+  // One cached pair. `ready` flips to true exactly once, under `mutex`, when
+  // the plan is published; waiters block on `published` until then.
+  struct Entry {
+    std::mutex mutex;
+    std::condition_variable published;
+    std::atomic<bool> ready{false};
+    TransformPlan plan;
+  };
+
+  static constexpr size_t kNumShards = 16;
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<Key, std::shared_ptr<Entry>> entries;
+  };
+
+  const Shard& ShardFor(const Key& key) const;
+  Shard& ShardFor(const Key& key) {
+    return const_cast<Shard&>(static_cast<const PlanCache*>(this)->ShardFor(key));
+  }
+
   const CostModel* costs_;
   PlannerKind planner_;
-  std::map<std::pair<std::string, std::string>, TransformPlan> plans_;
-  size_t hits_ = 0;
-  size_t misses_ = 0;
+  Shard shards_[kNumShards];
+  std::atomic<size_t> hits_{0};
+  std::atomic<size_t> misses_{0};
 };
 
 }  // namespace optimus

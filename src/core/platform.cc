@@ -14,12 +14,23 @@ OptimusPlatform::OptimusPlatform(const CostModel* costs, const PlatformOptions& 
     throw std::invalid_argument("OptimusPlatform: need at least one node and one container");
   }
   transformer_ = std::make_unique<Transformer>(costs, options.planner);
-  nodes_.resize(static_cast<size_t>(options.num_nodes));
+  if (options.warm_plan_cache && options.warm_threads > 1) {
+    warm_pool_ = std::make_unique<ThreadPool>(options.warm_threads);
+  }
+  nodes_.reserve(static_cast<size_t>(options.num_nodes));
+  for (int i = 0; i < options.num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<Node>());
+  }
 }
 
 void OptimusPlatform::Deploy(const std::string& function, const Model& model) {
-  if (repository_.count(function) > 0) {
-    throw std::invalid_argument("Deploy: function already registered: " + function);
+  {
+    // Fast-fail on duplicates before materializing weights; the authoritative
+    // check re-runs under the exclusive lock below.
+    std::shared_lock<std::shared_mutex> lock(repository_mutex_);
+    if (repository_.count(function) > 0) {
+      throw std::invalid_argument("Deploy: function already registered: " + function);
+    }
   }
   // Materialize weights (deterministic from the function name) so the
   // repository holds the function's full "model file" content.
@@ -27,25 +38,44 @@ void OptimusPlatform::Deploy(const std::string& function, const Model& model) {
   named.set_name(function);
   const uint64_t seed = std::hash<std::string>{}(function);
   ModelInstance instance = loader_.Instantiate(named, seed == 0 ? 1 : seed);
+
+  // Register, snapshotting the peers to warm against. The warming itself runs
+  // outside the repository lock: plans are independent of repository state and
+  // map nodes are reference-stable, so concurrent Deploy/Invoke can proceed.
+  const Model* deployed = nullptr;
+  std::vector<std::reference_wrapper<const Model>> peers;
+  {
+    std::unique_lock<std::shared_mutex> lock(repository_mutex_);
+    if (repository_.count(function) > 0) {
+      throw std::invalid_argument("Deploy: function already registered: " + function);
+    }
+    for (const auto& [other_name, other_model] : repository_) {
+      peers.emplace_back(other_model);
+    }
+    deployed = &repository_.emplace(function, std::move(instance.model)).first->second;
+  }
+
   if (options_.warm_plan_cache) {
     // Planning-strategy caching at registration (§4.4 Module 3): plan both
     // directions against every already-registered model.
-    for (const auto& [other_name, other_model] : repository_) {
-      transformer_->cache().GetOrPlan(other_model, instance.model);
-      transformer_->cache().GetOrPlan(instance.model, other_model);
-    }
+    transformer_->cache().WarmFor(*deployed, peers, warm_pool_.get());
   }
-  repository_.emplace(function, std::move(instance.model));
 }
 
 void OptimusPlatform::DeployFile(const std::string& function, const ModelFile& file) {
   Deploy(function, DeserializeModel(file));
 }
 
+size_t OptimusPlatform::NumFunctions() const {
+  std::shared_lock<std::shared_mutex> lock(repository_mutex_);
+  return repository_.size();
+}
+
 size_t OptimusPlatform::NumLiveContainers() const {
   size_t count = 0;
-  for (const Node& node : nodes_) {
-    count += node.containers.size();
+  for (const std::unique_ptr<Node>& node : nodes_) {
+    std::lock_guard<std::mutex> lock(node->mutex);
+    count += node->containers.size();
   }
   return count;
 }
@@ -64,21 +94,36 @@ int OptimusPlatform::PlaceFunction(const std::string& function) const {
                           static_cast<size_t>(options_.num_nodes));
 }
 
-InvokeResult OptimusPlatform::Invoke(const std::string& function,
-                                     const std::vector<float>& input, double now) {
-  if (now + 1e-12 < last_now_) {
+void OptimusPlatform::AdvanceClock(double now) {
+  double prev = last_now_.load(std::memory_order_relaxed);
+  while (prev < now) {
+    if (last_now_.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+      return;
+    }
+  }
+  if (now + 1e-12 < prev) {
     throw std::invalid_argument("Invoke: time moved backwards");
   }
-  last_now_ = now;
-  auto model_it = repository_.find(function);
-  if (model_it == repository_.end()) {
-    throw std::out_of_range("Invoke: unknown function " + function);
+}
+
+InvokeResult OptimusPlatform::Invoke(const std::string& function,
+                                     const std::vector<float>& input, double now) {
+  AdvanceClock(now);
+  const Model* model_ptr = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> lock(repository_mutex_);
+    auto model_it = repository_.find(function);
+    if (model_it == repository_.end()) {
+      throw std::out_of_range("Invoke: unknown function " + function);
+    }
+    model_ptr = &model_it->second;  // Map nodes are stable; models immutable.
   }
-  const Model& model = model_it->second;
+  const Model& model = *model_ptr;
 
   InvokeResult result;
   result.node = PlaceFunction(function);
-  Node& node = nodes_[static_cast<size_t>(result.node)];
+  Node& node = *nodes_[static_cast<size_t>(result.node)];
+  std::lock_guard<std::mutex> node_lock(node.mutex);
   ReapExpired(&node, now);
 
   const SystemProfile profile;  // CPU profile for latency estimation.
@@ -132,7 +177,7 @@ InvokeResult OptimusPlatform::Invoke(const std::string& function,
       node.containers.erase(victim);
     }
     RealContainer container;
-    container.id = next_container_id_++;
+    container.id = next_container_id_.fetch_add(1, std::memory_order_relaxed);
     container.function = function;
     container.instance = loader_.Instantiate(model);
     result.start = StartType::kCold;
@@ -144,13 +189,13 @@ InvokeResult OptimusPlatform::Invoke(const std::string& function,
 
   switch (result.start) {
     case StartType::kWarm:
-      ++warm_starts_;
+      warm_starts_.fetch_add(1, std::memory_order_relaxed);
       break;
     case StartType::kTransform:
-      ++transforms_;
+      transforms_.fetch_add(1, std::memory_order_relaxed);
       break;
     case StartType::kCold:
-      ++cold_starts_;
+      cold_starts_.fetch_add(1, std::memory_order_relaxed);
       break;
   }
 

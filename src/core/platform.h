@@ -16,15 +16,31 @@
 // Time is a caller-driven virtual clock (advanced by the `now` argument), so
 // idle-threshold and keep-alive behaviour is deterministic; the *content* of
 // containers (weights, inference results) is fully real.
+//
+// Thread safety: Deploy() and Invoke() are safe to call concurrently from any
+// number of threads. The locking discipline (also documented in DESIGN.md):
+//   * `repository_mutex_` (shared_mutex) guards the model repository — shared
+//     for Invoke's lookup, exclusive for Deploy's insert. Models are
+//     immutable once registered and std::map nodes are stable, so plain
+//     `const Model&` references remain valid outside the lock.
+//   * each Node carries its own mutex guarding that node's container state;
+//     invocations routed to different nodes never contend.
+//   * the start-type counters and the container-id allocator are atomics; the
+//     virtual clock is an atomic advanced by a CAS-max loop.
+//   * PlanCache synchronizes itself (sharded mutexes + in-flight latches).
 
 #ifndef OPTIMUS_SRC_CORE_PLATFORM_H_
 #define OPTIMUS_SRC_CORE_PLATFORM_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "src/common/thread_pool.h"
 #include "src/container/container.h"
 #include "src/core/transformer.h"
 #include "src/graph/serialization.h"
@@ -40,6 +56,10 @@ struct PlatformOptions {
   // Pre-plan transformations against all registered models at Deploy() time
   // (the paper's planning-strategy caching). Disable to plan lazily.
   bool warm_plan_cache = true;
+  // Workers used for deploy-time plan warming. Values > 1 fan the pair
+  // plannings out across a pool; 0 or 1 keeps the serial path. The cache
+  // contents are identical either way.
+  int warm_threads = 0;
 };
 
 // Result of one invocation.
@@ -66,16 +86,17 @@ class OptimusPlatform {
 
   // Serves one inference request at virtual time `now` (seconds, monotone
   // non-decreasing across calls). Throws std::out_of_range for unknown
-  // functions and std::invalid_argument if `now` moves backwards.
+  // functions and std::invalid_argument if `now` moves backwards (i.e. is
+  // smaller than a `now` some earlier-sequenced invocation already used).
   InvokeResult Invoke(const std::string& function, const std::vector<float>& input, double now);
 
   // Operational introspection.
-  size_t NumFunctions() const { return repository_.size(); }
+  size_t NumFunctions() const;
   size_t NumLiveContainers() const;
   const PlanCache& plan_cache() const { return transformer_->cache(); }
-  size_t WarmStarts() const { return warm_starts_; }
-  size_t Transforms() const { return transforms_; }
-  size_t ColdStarts() const { return cold_starts_; }
+  size_t WarmStarts() const { return warm_starts_.load(std::memory_order_relaxed); }
+  size_t Transforms() const { return transforms_.load(std::memory_order_relaxed); }
+  size_t ColdStarts() const { return cold_starts_.load(std::memory_order_relaxed); }
 
  private:
   struct RealContainer {
@@ -85,24 +106,30 @@ class OptimusPlatform {
     ModelInstance instance;
   };
 
+  // Node state is only touched under the node's mutex. Nodes live behind
+  // unique_ptr so the vector can be sized despite the mutex member.
   struct Node {
+    std::mutex mutex;
     std::vector<RealContainer> containers;
   };
 
   void ReapExpired(Node* node, double now);
   int PlaceFunction(const std::string& function) const;
+  void AdvanceClock(double now);
 
   const CostModel* costs_;
   PlatformOptions options_;
   Loader loader_;
   std::unique_ptr<Transformer> transformer_;
+  std::unique_ptr<ThreadPool> warm_pool_;  // Present when warm_threads > 1.
+  mutable std::shared_mutex repository_mutex_;
   std::map<std::string, Model> repository_;  // Loaded (weighted) models.
-  std::vector<Node> nodes_;
-  ContainerId next_container_id_ = 0;
-  double last_now_ = 0.0;
-  size_t warm_starts_ = 0;
-  size_t transforms_ = 0;
-  size_t cold_starts_ = 0;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::atomic<ContainerId> next_container_id_{0};
+  std::atomic<double> last_now_{0.0};
+  std::atomic<size_t> warm_starts_{0};
+  std::atomic<size_t> transforms_{0};
+  std::atomic<size_t> cold_starts_{0};
 };
 
 }  // namespace optimus

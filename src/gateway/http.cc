@@ -150,11 +150,12 @@ bool ParseHttpRequest(const std::string& raw, HttpRequest* request) {
 
 HttpServer::~HttpServer() { Stop(); }
 
-void HttpServer::Start(uint16_t port, HttpHandler handler) {
+void HttpServer::Start(uint16_t port, HttpHandler handler, int num_workers) {
   if (running_.load()) {
     throw std::runtime_error("HttpServer::Start: already running");
   }
   handler_ = std::move(handler);
+  workers_ = std::make_unique<ThreadPool>(num_workers);
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
     throw std::runtime_error("HttpServer: socket() failed");
@@ -188,38 +189,44 @@ void HttpServer::Serve() {
     if (client < 0) {
       break;  // Listening socket closed by Stop().
     }
-    HttpRequest request;
-    HttpResponse response;
-    bool parsed = false;
-    try {
-      parsed = ReadRequest(client, &request);
-    } catch (const std::exception&) {
-      parsed = false;  // Malformed head (e.g. bad Content-Length).
-    }
-    if (parsed) {
-      try {
-        response = handler_(request);
-      } catch (const std::exception& error) {
-        response.status = 500;
-        response.body = std::string("error: ") + error.what() + "\n";
-      }
-    } else {
-      response.status = 400;
-      response.body = "malformed request\n";
-    }
-    std::ostringstream out;
-    out << "HTTP/1.1 " << response.status << " " << StatusText(response.status) << "\r\n"
-        << "Content-Type: " << response.content_type << "\r\n"
-        << "Content-Length: " << response.body.size() << "\r\n"
-        << "Connection: close\r\n\r\n"
-        << response.body;
-    try {
-      SendAll(client, out.str());
-    } catch (const std::exception&) {
-      // Client hung up; nothing to do.
-    }
-    ::close(client);
+    // Hand the connection to the pool; the accept loop goes straight back to
+    // accept() so a slow handler never blocks other clients.
+    workers_->Submit([this, client] { HandleClient(client); });
   }
+}
+
+void HttpServer::HandleClient(int client_fd) {
+  HttpRequest request;
+  HttpResponse response;
+  bool parsed = false;
+  try {
+    parsed = ReadRequest(client_fd, &request);
+  } catch (const std::exception&) {
+    parsed = false;  // Malformed head (e.g. bad Content-Length).
+  }
+  if (parsed) {
+    try {
+      response = handler_(request);
+    } catch (const std::exception& error) {
+      response.status = 500;
+      response.body = std::string("error: ") + error.what() + "\n";
+    }
+  } else {
+    response.status = 400;
+    response.body = "malformed request\n";
+  }
+  std::ostringstream out;
+  out << "HTTP/1.1 " << response.status << " " << StatusText(response.status) << "\r\n"
+      << "Content-Type: " << response.content_type << "\r\n"
+      << "Content-Length: " << response.body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << response.body;
+  try {
+    SendAll(client_fd, out.str());
+  } catch (const std::exception&) {
+    // Client hung up; nothing to do.
+  }
+  ::close(client_fd);
 }
 
 void HttpServer::Stop() {
@@ -227,12 +234,13 @@ void HttpServer::Stop() {
     return;
   }
   // Closing the listening socket unblocks accept().
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
-  listen_fd_ = -1;
+  const int fd = listen_fd_.exchange(-1);
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
   if (thread_.joinable()) {
     thread_.join();
   }
+  workers_.reset();  // Drains in-flight connections before returning.
 }
 
 HttpResponse HttpFetch(uint16_t port, const std::string& method, const std::string& target,

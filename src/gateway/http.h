@@ -11,8 +11,11 @@
 #include <atomic>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
+
+#include "src/common/thread_pool.h"
 
 namespace optimus {
 
@@ -31,8 +34,9 @@ struct HttpResponse {
 
 using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
 
-// A single-threaded accept loop running on a background thread. Connections
-// are served sequentially; the handler runs on the server thread.
+// An accept loop on a background thread that dispatches each accepted
+// connection onto a worker pool, so the handler serves requests concurrently.
+// The handler must therefore be thread-safe; OptimusPlatform is.
 class HttpServer {
  public:
   HttpServer() = default;
@@ -41,11 +45,13 @@ class HttpServer {
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  // Binds 127.0.0.1:`port` (0 picks an ephemeral port) and starts serving.
+  // Binds 127.0.0.1:`port` (0 picks an ephemeral port) and starts serving
+  // with `num_workers` handler threads (values < 1 are clamped to 1).
   // Throws std::runtime_error on socket errors.
-  void Start(uint16_t port, HttpHandler handler);
+  void Start(uint16_t port, HttpHandler handler, int num_workers = 4);
 
-  // Stops the accept loop and joins the server thread. Idempotent.
+  // Stops the accept loop, drains in-flight connections, and joins the server
+  // and worker threads. Idempotent.
   void Stop();
 
   bool Running() const { return running_.load(); }
@@ -53,11 +59,13 @@ class HttpServer {
 
  private:
   void Serve();
+  void HandleClient(int client_fd);
 
-  int listen_fd_ = -1;
+  std::atomic<int> listen_fd_{-1};  // Stop() clears it while Serve() reads it.
   uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::thread thread_;
+  std::unique_ptr<ThreadPool> workers_;
   HttpHandler handler_;
 };
 

@@ -43,14 +43,14 @@ OptimusHttpService::OptimusHttpService(const CostModel* costs, const PlatformOpt
   }
 }
 
-void OptimusHttpService::Start(uint16_t port) {
-  server_.Start(port, [this](const HttpRequest& request) { return Handle(request); });
+void OptimusHttpService::Start(uint16_t port, int num_workers) {
+  server_.Start(port, [this](const HttpRequest& request) { return Handle(request); },
+                num_workers);
 }
 
 void OptimusHttpService::Stop() { server_.Stop(); }
 
 HttpResponse OptimusHttpService::Handle(const HttpRequest& request) {
-  std::lock_guard<std::mutex> lock(mutex_);
   HttpResponse response;
 
   if (request.method == "POST" && request.path == "/deploy") {

@@ -17,7 +17,6 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 
 #include "src/core/platform.h"
 #include "src/gateway/http.h"
@@ -27,24 +26,27 @@ namespace optimus {
 class OptimusHttpService {
  public:
   // `clock` supplies the platform's virtual time in seconds; the default uses
-  // wall time since service construction.
+  // wall time since service construction. A caller-supplied clock must be
+  // thread-safe: requests are handled concurrently on the server's workers.
   OptimusHttpService(const CostModel* costs, const PlatformOptions& options,
                      std::function<double()> clock = nullptr);
 
-  // Starts serving on 127.0.0.1:`port` (0 picks an ephemeral port).
-  void Start(uint16_t port = 0);
+  // Starts serving on 127.0.0.1:`port` (0 picks an ephemeral port) with
+  // `num_workers` concurrent request handlers.
+  void Start(uint16_t port = 0, int num_workers = 4);
   void Stop();
 
   uint16_t port() const { return server_.port(); }
   OptimusPlatform& platform() { return platform_; }
 
   // The route dispatcher (exposed for direct testing without sockets).
+  // Thread-safe: routes delegate to the platform, which synchronizes itself,
+  // so requests are served concurrently without a gateway-wide lock.
   HttpResponse Handle(const HttpRequest& request);
 
  private:
   OptimusPlatform platform_;
   std::function<double()> clock_;
-  std::mutex mutex_;
   HttpServer server_;
 };
 

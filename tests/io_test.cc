@@ -6,7 +6,9 @@
 #include <cstdio>
 #include <sstream>
 
+#include "src/common/thread_pool.h"
 #include "src/core/executor.h"
+#include "src/core/plan_cache.h"
 #include "src/core/plan_io.h"
 #include "src/core/planner.h"
 #include "src/workload/poisson.h"
@@ -93,6 +95,100 @@ TEST(PlanIoTest, FileRoundTrip) {
   ASSERT_EQ(restored.size(), 1u);
   EXPECT_TRUE(PlansEqual(SamplePlan(), restored[0]));
   std::remove(path.c_str());
+}
+
+TEST(PlanCacheIoTest, ConcurrentlyWarmedCacheRoundTrips) {
+  AnalyticCostModel costs;
+  const std::vector<Model> repository = {TinyVgg(11), TinyVgg(13), TinyVgg(16), TinyResNet(18)};
+  const size_t pairs = repository.size() * (repository.size() - 1);
+
+  ThreadPool pool(4);
+  PlanCache cache(&costs);
+  for (const Model& model : repository) {
+    cache.WarmFor(model, repository, &pool);
+  }
+  ASSERT_EQ(cache.Size(), pairs);
+
+  const std::string path = testing::TempDir() + "/optimus_concurrent_plans.txt";
+  cache.Save(path);
+
+  PlanCache restored(&costs);
+  restored.Load(path);
+  EXPECT_EQ(restored.Size(), pairs);
+  for (const Model& source : repository) {
+    for (const Model& dest : repository) {
+      if (source.name() == dest.name()) {
+        continue;
+      }
+      ASSERT_TRUE(restored.Contains(source.name(), dest.name()));
+      EXPECT_DOUBLE_EQ(restored.GetOrPlan(source, dest).total_cost,
+                       cache.GetOrPlan(source, dest).total_cost);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PlanCacheIoTest, LoadIntoWarmedCacheMergesWithoutDuplicateKeys) {
+  AnalyticCostModel costs;
+  const std::vector<Model> repository = {TinyVgg(11), TinyVgg(13), TinyVgg(16)};
+  const size_t pairs = repository.size() * (repository.size() - 1);
+
+  ThreadPool pool(2);
+  PlanCache cache(&costs);
+  for (const Model& model : repository) {
+    cache.WarmFor(model, repository, &pool);
+  }
+  const std::string path = testing::TempDir() + "/optimus_merge_plans.txt";
+  cache.Save(path);
+
+  // Re-loading the cache's own plans must be a no-op merge: every key already
+  // exists, so the size stays at one entry per ordered pair.
+  cache.Load(path);
+  EXPECT_EQ(cache.Size(), pairs);
+
+  // Merging into a cache that holds a disjoint pair adds without clobbering.
+  PlanCache merged(&costs);
+  const Model resnet = TinyResNet(18);
+  merged.GetOrPlan(resnet, repository[0]);
+  merged.Load(path);
+  EXPECT_EQ(merged.Size(), pairs + 1);
+  EXPECT_TRUE(merged.Contains(resnet.name(), repository[0].name()));
+  std::remove(path.c_str());
+}
+
+TEST(PlanCacheIoTest, SaveIsDeterministicAcrossWarmingStrategies) {
+  AnalyticCostModel costs;
+  const std::vector<Model> repository = {TinyVgg(11), TinyVgg(16), TinyResNet(18)};
+
+  PlanCache serial(&costs);
+  for (const Model& model : repository) {
+    serial.WarmFor(model, repository);
+  }
+  ThreadPool pool(4);
+  PlanCache parallel(&costs);
+  for (const Model& model : repository) {
+    parallel.WarmFor(model, repository, &pool);
+  }
+
+  const std::string serial_path = testing::TempDir() + "/optimus_serial_plans.txt";
+  const std::string parallel_path = testing::TempDir() + "/optimus_parallel_plans.txt";
+  serial.Save(serial_path);
+  parallel.Save(parallel_path);
+  // Save orders plans by (source, dest) key, so the two files hold the same
+  // plans in the same order no matter which threads planned which pairs.
+  // (Byte equality would be too strong: plans record their own wall-clock
+  // planning_seconds.)
+  const auto serial_plans = ReadPlansFromFile(serial_path);
+  const auto parallel_plans = ReadPlansFromFile(parallel_path);
+  ASSERT_EQ(serial_plans.size(), parallel_plans.size());
+  for (size_t i = 0; i < serial_plans.size(); ++i) {
+    EXPECT_EQ(serial_plans[i].source_name, parallel_plans[i].source_name);
+    EXPECT_EQ(serial_plans[i].dest_name, parallel_plans[i].dest_name);
+    EXPECT_DOUBLE_EQ(serial_plans[i].total_cost, parallel_plans[i].total_cost);
+    EXPECT_EQ(serial_plans[i].steps.size(), parallel_plans[i].steps.size());
+  }
+  std::remove(serial_path.c_str());
+  std::remove(parallel_path.c_str());
 }
 
 TEST(TraceIoTest, RoundTrip) {
