@@ -1,0 +1,651 @@
+#include "src/analysis/verifier.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace optimus {
+
+namespace {
+
+// Local name table: optimus_core links this library, so the verifier must not
+// pull symbols (MetaOpKindName) out of meta_op.cc.
+const char* StepKindLabel(MetaOpKind kind) {
+  switch (kind) {
+    case MetaOpKind::kReplace:
+      return "Replace";
+    case MetaOpKind::kReshape:
+      return "Reshape";
+    case MetaOpKind::kReduce:
+      return "Reduce";
+    case MetaOpKind::kAdd:
+      return "Add";
+    case MetaOpKind::kEdge:
+      return "Edge";
+  }
+  return "Unknown";
+}
+
+void AddIssue(PlanVerifyResult* result, PlanIssueKind kind, std::string detail) {
+  result->issues.push_back(PlanIssue{kind, std::move(detail)});
+}
+
+std::string EdgeLabel(const Edge& edge) {
+  return std::to_string(edge.first) + "->" + std::to_string(edge.second);
+}
+
+// First structural difference between two models, for actionable mismatch
+// diagnostics (StructurallyEqual alone only yields a boolean).
+std::string FirstStructuralDifference(const Model& got, const Model& want) {
+  if (got.NumOps() != want.NumOps()) {
+    return "op count " + std::to_string(got.NumOps()) + " vs " + std::to_string(want.NumOps());
+  }
+  for (const auto& [id, op] : want.ops()) {
+    if (!got.HasOp(id)) {
+      return "missing op " + std::to_string(id);
+    }
+    if (!got.op(id).SameStructure(op)) {
+      return "op " + std::to_string(id) + " is " + got.op(id).ToString() + ", expected " +
+             op.ToString();
+    }
+  }
+  for (const Edge& edge : want.edges()) {
+    if (!got.HasEdge(edge.first, edge.second)) {
+      return "missing edge " + EdgeLabel(edge);
+    }
+  }
+  for (const Edge& edge : got.edges()) {
+    if (!want.HasEdge(edge.first, edge.second)) {
+      return "spurious edge " + EdgeLabel(edge);
+    }
+  }
+  return "models are structurally equal";
+}
+
+// True if `target` is reachable from `start` over the adjacency map. Used per
+// edge addition: adding (u, v) creates a cycle iff u was reachable from v.
+bool Reaches(const std::map<OpId, std::vector<OpId>>& adjacency, OpId start, OpId target) {
+  std::vector<OpId> stack{start};
+  std::set<OpId> seen;
+  while (!stack.empty()) {
+    const OpId id = stack.back();
+    stack.pop_back();
+    if (id == target) {
+      return true;
+    }
+    if (!seen.insert(id).second) {
+      continue;
+    }
+    auto it = adjacency.find(id);
+    if (it == adjacency.end()) {
+      continue;
+    }
+    stack.insert(stack.end(), it->second.begin(), it->second.end());
+  }
+  return false;
+}
+
+struct MappingIndex {
+  std::map<OpId, OpId> src_to_dst;
+  std::set<std::pair<OpId, OpId>> matched;
+  std::set<OpId> reduced;
+  std::set<OpId> added;
+};
+
+MappingIndex CheckMapping(const Model& source, const Model& dest, const OpMapping& mapping,
+                          PlanVerifyResult* result) {
+  MappingIndex index;
+  std::set<OpId> used_src;
+  std::set<OpId> used_dst;
+
+  for (const auto& [src, dst] : mapping.matched) {
+    if (!source.HasOp(src)) {
+      AddIssue(result, PlanIssueKind::kMappingInvalid,
+               "matched pair references missing source op " + std::to_string(src));
+      continue;
+    }
+    if (!dest.HasOp(dst)) {
+      AddIssue(result, PlanIssueKind::kMappingInvalid,
+               "matched pair references missing destination op " + std::to_string(dst));
+      continue;
+    }
+    if (source.op(src).kind != dest.op(dst).kind) {
+      AddIssue(result, PlanIssueKind::kMappingInvalid,
+               "matched pair " + std::to_string(src) + ":" + std::to_string(dst) +
+                   " maps across op kinds (" + OpKindName(source.op(src).kind) + " vs " +
+                   OpKindName(dest.op(dst).kind) + ")");
+    }
+    if (!used_src.insert(src).second) {
+      AddIssue(result, PlanIssueKind::kMappingInvalid,
+               "source op " + std::to_string(src) + " is mapped more than once");
+      continue;
+    }
+    if (!used_dst.insert(dst).second) {
+      AddIssue(result, PlanIssueKind::kMappingInvalid,
+               "destination op " + std::to_string(dst) + " is mapped more than once");
+      continue;
+    }
+    index.src_to_dst[src] = dst;
+    index.matched.emplace(src, dst);
+  }
+
+  for (const OpId src : mapping.reduced) {
+    if (!source.HasOp(src)) {
+      AddIssue(result, PlanIssueKind::kMappingInvalid,
+               "reduced list references missing source op " + std::to_string(src));
+      continue;
+    }
+    if (!used_src.insert(src).second) {
+      AddIssue(result, PlanIssueKind::kMappingInvalid,
+               "source op " + std::to_string(src) + " is both matched and reduced");
+      continue;
+    }
+    index.reduced.insert(src);
+  }
+
+  for (const OpId dst : mapping.added) {
+    if (!dest.HasOp(dst)) {
+      AddIssue(result, PlanIssueKind::kMappingInvalid,
+               "added list references missing destination op " + std::to_string(dst));
+      continue;
+    }
+    if (!used_dst.insert(dst).second) {
+      AddIssue(result, PlanIssueKind::kMappingInvalid,
+               "destination op " + std::to_string(dst) + " is both matched and added");
+      continue;
+    }
+    index.added.insert(dst);
+  }
+
+  for (const auto& [id, op] : source.ops()) {
+    if (used_src.count(id) == 0) {
+      AddIssue(result, PlanIssueKind::kMappingIncomplete,
+               "source op " + std::to_string(id) + " (" + OpKindName(op.kind) +
+                   ") is neither matched nor reduced");
+    }
+  }
+  for (const auto& [id, op] : dest.ops()) {
+    if (used_dst.count(id) == 0) {
+      AddIssue(result, PlanIssueKind::kMappingIncomplete,
+               "destination op " + std::to_string(id) + " (" + OpKindName(op.kind) +
+                   ") is neither matched nor added");
+    }
+  }
+  return index;
+}
+
+// Steps the mapping obliges the plan to contain, marked off while scanning.
+struct StepLedger {
+  std::set<std::pair<OpId, OpId>> reshape_seen;
+  std::set<std::pair<OpId, OpId>> replace_seen;
+  std::set<OpId> reduce_seen;
+  std::set<OpId> add_seen;
+};
+
+void CheckSteps(const Model& source, const Model& dest, const TransformPlan& plan,
+                const MappingIndex& index, StepLedger* ledger, PlanVerifyResult* result) {
+  for (size_t i = 0; i < plan.steps.size(); ++i) {
+    const MetaOp& step = plan.steps[i];
+    const std::string label =
+        "step " + std::to_string(i) + " (" + StepKindLabel(step.kind) + ")";
+    switch (step.kind) {
+      case MetaOpKind::kReshape: {
+        const std::pair<OpId, OpId> pair{step.source_id, step.dest_id};
+        if (index.matched.count(pair) == 0) {
+          AddIssue(result, PlanIssueKind::kStepInvalid,
+                   label + " targets unmatched pair " + std::to_string(step.source_id) + ":" +
+                       std::to_string(step.dest_id));
+          break;
+        }
+        if (source.op(step.source_id).attrs == dest.op(step.dest_id).attrs) {
+          AddIssue(result, PlanIssueKind::kStepInvalid,
+                   label + " reshapes a pair whose attributes already agree");
+        }
+        if (!ledger->reshape_seen.insert(pair).second) {
+          AddIssue(result, PlanIssueKind::kStepInvalid, label + " duplicates an earlier Reshape");
+        }
+        break;
+      }
+      case MetaOpKind::kReplace: {
+        const std::pair<OpId, OpId> pair{step.source_id, step.dest_id};
+        if (index.matched.count(pair) == 0) {
+          AddIssue(result, PlanIssueKind::kStepInvalid,
+                   label + " targets unmatched pair " + std::to_string(step.source_id) + ":" +
+                       std::to_string(step.dest_id));
+          break;
+        }
+        if (!OpKindHasWeights(dest.op(step.dest_id).kind)) {
+          AddIssue(result, PlanIssueKind::kStepInvalid,
+                   label + " replaces weights of weight-free op " + std::to_string(step.dest_id));
+        }
+        if (!ledger->replace_seen.insert(pair).second) {
+          AddIssue(result, PlanIssueKind::kStepInvalid, label + " duplicates an earlier Replace");
+        }
+        break;
+      }
+      case MetaOpKind::kReduce:
+        if (index.reduced.count(step.source_id) == 0) {
+          AddIssue(result, PlanIssueKind::kStepInvalid,
+                   label + " deletes op " + std::to_string(step.source_id) +
+                       " which the mapping does not reduce");
+          break;
+        }
+        if (!ledger->reduce_seen.insert(step.source_id).second) {
+          AddIssue(result, PlanIssueKind::kStepInvalid, label + " duplicates an earlier Reduce");
+        }
+        break;
+      case MetaOpKind::kAdd:
+        if (index.added.count(step.dest_id) == 0) {
+          AddIssue(result, PlanIssueKind::kStepInvalid,
+                   label + " creates op " + std::to_string(step.dest_id) +
+                       " which the mapping does not add");
+          break;
+        }
+        if (!ledger->add_seen.insert(step.dest_id).second) {
+          AddIssue(result, PlanIssueKind::kStepInvalid, label + " duplicates an earlier Add");
+        }
+        break;
+      case MetaOpKind::kEdge:
+        if (step.edge.first == kInvalidOpId || step.edge.second == kInvalidOpId) {
+          AddIssue(result, PlanIssueKind::kStepInvalid,
+                   label + " carries invalid edge " + EdgeLabel(step.edge));
+        }
+        break;
+    }
+  }
+
+  // Obligations the scan did not mark off.
+  for (const auto& pair : index.matched) {
+    const Operation& src_op = source.op(pair.first);
+    const Operation& dst_op = dest.op(pair.second);
+    if (!(src_op.attrs == dst_op.attrs) && ledger->reshape_seen.count(pair) == 0) {
+      AddIssue(result, PlanIssueKind::kMissingStep,
+               "matched pair " + std::to_string(pair.first) + ":" + std::to_string(pair.second) +
+                   " changes attributes but has no Reshape step");
+    }
+    if (OpKindHasWeights(dst_op.kind) && ledger->replace_seen.count(pair) == 0) {
+      AddIssue(result, PlanIssueKind::kMissingStep,
+               "matched weighted pair " + std::to_string(pair.first) + ":" +
+                   std::to_string(pair.second) + " has no Replace step");
+    }
+  }
+  for (const OpId src : index.reduced) {
+    if (ledger->reduce_seen.count(src) == 0) {
+      AddIssue(result, PlanIssueKind::kMissingStep,
+               "reduced op " + std::to_string(src) + " has no Reduce step");
+    }
+  }
+  for (const OpId dst : index.added) {
+    if (ledger->add_seen.count(dst) == 0) {
+      AddIssue(result, PlanIssueKind::kMissingStep,
+               "added op " + std::to_string(dst) + " has no Add step");
+    }
+  }
+}
+
+// Symbolically applies the plan (structure only), checking well-formedness of
+// every intermediate graph, and returns the final graph for comparison.
+Model SymbolicApply(const Model& source, const Model& dest, const TransformPlan& plan,
+                    const MappingIndex& index, const StepLedger& ledger,
+                    PlanVerifyResult* result) {
+  Model applied(dest.name(), dest.family());
+  std::set<OpId> op_ids;
+
+  for (const auto& [src, dst] : index.matched) {
+    Operation op;
+    op.id = dst;
+    op.kind = source.op(src).kind;
+    // A Reshape step rewrites the attributes; without one they carry over.
+    op.attrs = ledger.reshape_seen.count({src, dst}) ? dest.op(dst).attrs : source.op(src).attrs;
+    applied.AddOpWithId(std::move(op));
+    op_ids.insert(dst);
+  }
+  for (const OpId dst : index.added) {
+    if (ledger.add_seen.count(dst) == 0) {
+      continue;  // No Add step: the op is never materialized (kMissingStep already reported).
+    }
+    Operation op;
+    op.id = dst;
+    op.kind = dest.op(dst).kind;
+    op.attrs = dest.op(dst).attrs;
+    applied.AddOpWithId(std::move(op));
+    op_ids.insert(dst);
+  }
+
+  // Surviving source edges, projected into destination id space. The
+  // adjacency map mirrors `edges` so the per-addition cycle probe is one DFS.
+  std::set<Edge> edges;
+  std::map<OpId, std::vector<OpId>> adjacency;
+  auto insert_edge = [&edges, &adjacency](const Edge& edge) {
+    if (edges.emplace(edge).second) {
+      adjacency[edge.first].push_back(edge.second);
+      return true;
+    }
+    return false;
+  };
+  for (const Edge& edge : source.edges()) {
+    auto from = index.src_to_dst.find(edge.first);
+    auto to = index.src_to_dst.find(edge.second);
+    if (from != index.src_to_dst.end() && to != index.src_to_dst.end()) {
+      insert_edge({from->second, to->second});
+    }
+  }
+
+  for (size_t i = 0; i < plan.steps.size(); ++i) {
+    const MetaOp& step = plan.steps[i];
+    if (step.kind != MetaOpKind::kEdge) {
+      continue;
+    }
+    const std::string label = "step " + std::to_string(i) + " (Edge " +
+                              (step.edge_add ? "add " : "remove ") + EdgeLabel(step.edge) + ")";
+    if (step.edge_add) {
+      if (op_ids.count(step.edge.first) == 0 || op_ids.count(step.edge.second) == 0) {
+        AddIssue(result, PlanIssueKind::kEdgeInvalid,
+                 label + " leaves a dangling edge: an endpoint is not in the graph");
+        continue;
+      }
+      // Well-formedness of the intermediate graph after the mutation: adding
+      // u->v creates a cycle exactly when u is already reachable from v.
+      if (Reaches(adjacency, step.edge.second, step.edge.first)) {
+        AddIssue(result, PlanIssueKind::kIntermediateCycle,
+                 label + " makes the intermediate graph cyclic");
+      }
+      if (!insert_edge(step.edge)) {
+        AddIssue(result, PlanIssueKind::kEdgeInvalid, label + " re-adds an existing edge");
+      }
+    } else {
+      if (edges.erase(step.edge) == 0) {
+        AddIssue(result, PlanIssueKind::kEdgeInvalid, label + " removes a nonexistent edge");
+      } else {
+        std::vector<OpId>& out = adjacency[step.edge.first];
+        out.erase(std::find(out.begin(), out.end(), step.edge.second));
+      }
+    }
+  }
+
+  for (const Edge& edge : edges) {
+    applied.AddEdge(edge.first, edge.second);
+  }
+  return applied;
+}
+
+void CheckCosts(const Model& source, const Model& dest, const TransformPlan& plan,
+                const CostModel& costs, const VerifyOptions& options, PlanVerifyResult* result) {
+  auto tolerance = [&options](double modeled) {
+    return std::max(options.cost_abs_tolerance, options.cost_rel_tolerance * modeled);
+  };
+
+  double step_sum = 0.0;
+  for (size_t i = 0; i < plan.steps.size(); ++i) {
+    const MetaOp& step = plan.steps[i];
+    step_sum += step.cost;
+    const std::string label =
+        "step " + std::to_string(i) + " (" + StepKindLabel(step.kind) + ")";
+    if (!(step.cost >= 0.0) || !std::isfinite(step.cost)) {
+      AddIssue(result, PlanIssueKind::kCostMismatch,
+               label + " has non-finite or negative cost " + std::to_string(step.cost));
+      continue;
+    }
+
+    double modeled = 0.0;
+    switch (step.kind) {
+      case MetaOpKind::kReshape:
+        if (!source.HasOp(step.source_id) || !dest.HasOp(step.dest_id)) {
+          continue;  // Already reported as kStepInvalid.
+        }
+        modeled = costs.ReshapeCost(source.op(step.source_id).kind,
+                                    source.op(step.source_id).attrs, dest.op(step.dest_id).attrs);
+        break;
+      case MetaOpKind::kReplace:
+        if (!dest.HasOp(step.dest_id)) {
+          continue;
+        }
+        modeled = costs.ReplaceCost(dest.op(step.dest_id).kind, dest.op(step.dest_id).attrs);
+        break;
+      case MetaOpKind::kReduce:
+        modeled = costs.ReduceCost();
+        break;
+      case MetaOpKind::kAdd:
+        if (!dest.HasOp(step.dest_id)) {
+          continue;
+        }
+        modeled = costs.AddCost(dest.op(step.dest_id).kind, dest.op(step.dest_id).attrs);
+        break;
+      case MetaOpKind::kEdge:
+        modeled = costs.EdgeCost();
+        break;
+    }
+    if (step.cost < modeled - tolerance(modeled)) {
+      AddIssue(result, PlanIssueKind::kCostUnderstated,
+               label + " claims " + std::to_string(step.cost) + "s but the cost model estimates " +
+                   std::to_string(modeled) + "s; an understated plan can defeat the safeguard");
+    } else if (step.cost > modeled + tolerance(modeled)) {
+      AddIssue(result, PlanIssueKind::kCostMismatch,
+               label + " claims " + std::to_string(step.cost) + "s but the cost model estimates " +
+                   std::to_string(modeled) + "s");
+    }
+  }
+
+  if (std::abs(plan.total_cost - step_sum) > tolerance(step_sum)) {
+    AddIssue(result,
+             plan.total_cost < step_sum ? PlanIssueKind::kCostUnderstated
+                                        : PlanIssueKind::kCostMismatch,
+             "total_cost " + std::to_string(plan.total_cost) + "s does not equal the step sum " +
+                 std::to_string(step_sum) + "s");
+  }
+}
+
+}  // namespace
+
+const char* PlanIssueKindName(PlanIssueKind kind) {
+  switch (kind) {
+    case PlanIssueKind::kGraphInvariant:
+      return "GraphInvariant";
+    case PlanIssueKind::kMappingInvalid:
+      return "MappingInvalid";
+    case PlanIssueKind::kMappingIncomplete:
+      return "MappingIncomplete";
+    case PlanIssueKind::kStepInvalid:
+      return "StepInvalid";
+    case PlanIssueKind::kMissingStep:
+      return "MissingStep";
+    case PlanIssueKind::kEdgeInvalid:
+      return "EdgeInvalid";
+    case PlanIssueKind::kIntermediateCycle:
+      return "IntermediateCycle";
+    case PlanIssueKind::kResultMismatch:
+      return "ResultMismatch";
+    case PlanIssueKind::kCostMismatch:
+      return "CostMismatch";
+    case PlanIssueKind::kCostUnderstated:
+      return "CostUnderstated";
+  }
+  return "Unknown";
+}
+
+std::string PlanVerifyResult::Summary() const {
+  if (ok()) {
+    return "ok";
+  }
+  std::ostringstream out;
+  for (size_t i = 0; i < issues.size(); ++i) {
+    if (i > 0) {
+      out << "\n";
+    }
+    out << PlanIssueKindName(issues[i].kind) << ": " << issues[i].detail;
+  }
+  return out.str();
+}
+
+bool PlanVerifyResult::Has(PlanIssueKind kind) const {
+  return std::any_of(issues.begin(), issues.end(),
+                     [kind](const PlanIssue& issue) { return issue.kind == kind; });
+}
+
+PlanVerifyResult VerifyPlan(const Model& source, const Model& dest, const TransformPlan& plan,
+                            const CostModel& costs, const VerifyOptions& options) {
+  PlanVerifyResult result;
+
+  const GraphCheckResult source_check = CheckGraphInvariants(source);
+  for (const GraphIssue& issue : source_check.issues) {
+    AddIssue(&result, PlanIssueKind::kGraphInvariant, "source: " + issue.detail);
+  }
+  const GraphCheckResult dest_check = CheckGraphInvariants(dest);
+  for (const GraphIssue& issue : dest_check.issues) {
+    AddIssue(&result, PlanIssueKind::kGraphInvariant, "destination: " + issue.detail);
+  }
+
+  const MappingIndex index = CheckMapping(source, dest, plan.mapping, &result);
+  StepLedger ledger;
+  CheckSteps(source, dest, plan, index, &ledger, &result);
+
+  const Model applied = SymbolicApply(source, dest, plan, index, ledger, &result);
+  const GraphCheckResult applied_check = CheckGraphInvariants(applied);
+  for (const GraphIssue& issue : applied_check.issues) {
+    AddIssue(&result, PlanIssueKind::kGraphInvariant, "result: " + issue.detail);
+  }
+  if (!applied.StructurallyEqual(dest)) {
+    AddIssue(&result, PlanIssueKind::kResultMismatch,
+             "symbolic application does not reproduce '" + dest.name() + "': " +
+                 FirstStructuralDifference(applied, dest));
+  }
+
+  if (options.check_costs) {
+    CheckCosts(source, dest, plan, costs, options, &result);
+  }
+  return result;
+}
+
+GraphCheckResult VerifyModel(const Model& model) { return CheckGraphInvariants(model); }
+
+PlanVerifyResult VerifyPlanShape(const TransformPlan& plan) {
+  PlanVerifyResult result;
+  if (plan.source_name.empty() || plan.dest_name.empty()) {
+    AddIssue(&result, PlanIssueKind::kMappingInvalid, "plan endpoints are unnamed");
+  }
+  if (plan.source_name == plan.dest_name && !plan.source_name.empty()) {
+    AddIssue(&result, PlanIssueKind::kMappingInvalid,
+             "plan maps '" + plan.source_name + "' onto itself");
+  }
+
+  std::set<OpId> used_src;
+  std::set<OpId> used_dst;
+  for (const auto& [src, dst] : plan.mapping.matched) {
+    if (src < 0 || dst < 0) {
+      AddIssue(&result, PlanIssueKind::kMappingInvalid, "matched pair has a negative op id");
+    }
+    if (!used_src.insert(src).second || !used_dst.insert(dst).second) {
+      AddIssue(&result, PlanIssueKind::kMappingInvalid,
+               "matched pair " + std::to_string(src) + ":" + std::to_string(dst) +
+                   " reuses an op id");
+    }
+  }
+  for (const OpId src : plan.mapping.reduced) {
+    if (src < 0 || !used_src.insert(src).second) {
+      AddIssue(&result, PlanIssueKind::kMappingInvalid,
+               "reduced op " + std::to_string(src) + " is invalid or reused");
+    }
+  }
+  for (const OpId dst : plan.mapping.added) {
+    if (dst < 0 || !used_dst.insert(dst).second) {
+      AddIssue(&result, PlanIssueKind::kMappingInvalid,
+               "added op " + std::to_string(dst) + " is invalid or reused");
+    }
+  }
+
+  double step_sum = 0.0;
+  for (size_t i = 0; i < plan.steps.size(); ++i) {
+    const MetaOp& step = plan.steps[i];
+    const std::string label = "step " + std::to_string(i);
+    if (static_cast<int>(step.kind) >= kNumMetaOpKinds) {
+      AddIssue(&result, PlanIssueKind::kStepInvalid,
+               label + " has unknown kind byte " + std::to_string(static_cast<int>(step.kind)));
+      continue;
+    }
+    if (!(step.cost >= 0.0) || !std::isfinite(step.cost)) {
+      AddIssue(&result, PlanIssueKind::kCostMismatch,
+               label + " has non-finite or negative cost " + std::to_string(step.cost));
+    }
+    step_sum += step.cost;
+    switch (step.kind) {
+      case MetaOpKind::kReplace:
+      case MetaOpKind::kReshape:
+        if (step.source_id < 0 || step.dest_id < 0) {
+          AddIssue(&result, PlanIssueKind::kStepInvalid,
+                   label + " (" + StepKindLabel(step.kind) + ") lacks source/destination ids");
+        }
+        break;
+      case MetaOpKind::kReduce:
+        if (step.source_id < 0) {
+          AddIssue(&result, PlanIssueKind::kStepInvalid, label + " (Reduce) lacks a source id");
+        }
+        break;
+      case MetaOpKind::kAdd:
+        if (step.dest_id < 0) {
+          AddIssue(&result, PlanIssueKind::kStepInvalid, label + " (Add) lacks a destination id");
+        }
+        break;
+      case MetaOpKind::kEdge:
+        if (step.edge.first < 0 || step.edge.second < 0) {
+          AddIssue(&result, PlanIssueKind::kStepInvalid, label + " (Edge) has invalid endpoints");
+        } else if (step.edge.first == step.edge.second) {
+          AddIssue(&result, PlanIssueKind::kStepInvalid, label + " (Edge) is a self-edge");
+        }
+        break;
+    }
+  }
+  if (std::abs(plan.total_cost - step_sum) > 1e-8 + 1e-9 * std::abs(step_sum)) {
+    AddIssue(&result,
+             plan.total_cost < step_sum ? PlanIssueKind::kCostUnderstated
+                                        : PlanIssueKind::kCostMismatch,
+             "total_cost " + std::to_string(plan.total_cost) + "s does not equal the step sum " +
+                 std::to_string(step_sum) + "s");
+  }
+  if (!std::isfinite(plan.total_cost) || plan.total_cost < 0.0) {
+    AddIssue(&result, PlanIssueKind::kCostMismatch, "total_cost is non-finite or negative");
+  }
+  return result;
+}
+
+bool VerificationEnabled() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("OPTIMUS_VERIFY");
+    if (env != nullptr) {
+      std::string value(env);
+      std::transform(value.begin(), value.end(), value.begin(),
+                     [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+      if (value == "1" || value == "on" || value == "true" || value == "yes") {
+        return true;
+      }
+      if (value == "0" || value == "off" || value == "false" || value == "no") {
+        return false;
+      }
+    }
+#ifndef NDEBUG
+    return true;
+#else
+    return false;
+#endif
+  }();
+  return enabled;
+}
+
+void ThrowIfInvalid(const PlanVerifyResult& result, const std::string& context) {
+  if (!result.ok()) {
+    throw std::runtime_error(context + ": " + result.Summary());
+  }
+}
+
+void ThrowIfInvalid(const GraphCheckResult& result, const std::string& context) {
+  if (!result.ok()) {
+    throw std::runtime_error(context + ": " + result.Summary());
+  }
+}
+
+}  // namespace optimus

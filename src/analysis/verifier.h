@@ -1,0 +1,105 @@
+// Static plan & graph verification (DESIGN.md §10).
+//
+// Optimus's correctness rests on an invariant the hot path never checks:
+// applying a planned sequence of Replace/Reshape/Reduce/Add/Edge
+// meta-operators to the source model's graph must yield exactly the
+// destination graph (§4.3-4.4), and the plan's claimed cost must be sound —
+// an understated cost would slip past the scratch-load safeguard and break
+// the worst-case-parity guarantee. VerifyPlan proves both *statically*, by
+// symbolically applying the plan to a structure-only copy of the source and
+// checking every intermediate graph for well-formedness, so corrupted or
+// hand-mutated plans are rejected before they ever reach a warm container.
+//
+// Layering: this library sits above src/graph and src/runtime and below
+// src/core (optimus_core links optimus_analysis), which is what lets the
+// plan cache verify at insert time. Only header-defined core types
+// (TransformPlan, MetaOp) are used here.
+
+#ifndef OPTIMUS_SRC_ANALYSIS_VERIFIER_H_
+#define OPTIMUS_SRC_ANALYSIS_VERIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/meta_op.h"
+#include "src/graph/invariants.h"
+#include "src/runtime/cost_model.h"
+
+namespace optimus {
+
+enum class PlanIssueKind : uint8_t {
+  kGraphInvariant = 0,  // Source, destination, or an intermediate graph is malformed.
+  kMappingInvalid,      // Mapping references missing ops, reuses an op, or mismatches kinds.
+  kMappingIncomplete,   // A source/destination op is covered by no mapping entry.
+  kStepInvalid,         // A step references ops outside the mapping or is self-inconsistent.
+  kMissingStep,         // The mapping requires a step (Reshape/Replace/Reduce/Add) that is absent.
+  kEdgeInvalid,         // An Edge step adds a dangling edge, re-adds, or removes a missing one.
+  kIntermediateCycle,   // An Edge addition makes an intermediate graph cyclic.
+  kResultMismatch,      // The symbolic result is not graph-isomorphic to the destination.
+  kCostMismatch,        // total_cost != sum of steps, or a step disagrees with the cost model.
+  kCostUnderstated,     // Claimed cost below the cost model's estimate: unsound vs the safeguard.
+};
+
+const char* PlanIssueKindName(PlanIssueKind kind);
+
+struct PlanIssue {
+  PlanIssueKind kind = PlanIssueKind::kResultMismatch;
+  std::string detail;
+};
+
+struct PlanVerifyResult {
+  std::vector<PlanIssue> issues;
+
+  bool ok() const { return issues.empty(); }
+
+  // "ok", or every issue on its own line ("kind: detail").
+  std::string Summary() const;
+
+  // True if any issue has the given kind.
+  bool Has(PlanIssueKind kind) const;
+};
+
+struct VerifyOptions {
+  // Per-step and total cost comparisons tolerate |claimed - modeled| up to
+  // max(abs_tolerance, rel_tolerance * modeled). Plans produced and verified
+  // with the same cost model match exactly; the slack covers plans produced
+  // by a measured cost model and verified against the analytic one.
+  double cost_rel_tolerance = 0.05;
+  double cost_abs_tolerance = 1e-6;
+  // Skip the cost-soundness pass entirely (structure-only verification).
+  bool check_costs = true;
+};
+
+// Statically verifies that `plan` transforms `source` into `dest`:
+//   (a) the symbolic application yields a graph StructurallyEqual to `dest`,
+//   (b) every intermediate graph is well-formed (no dangling edges, valid
+//       attributes, acyclic after each edge addition),
+//   (c) the claimed costs are sound with respect to `costs` — in particular
+//       never understated, which is what the scratch-load safeguard relies on.
+PlanVerifyResult VerifyPlan(const Model& source, const Model& dest, const TransformPlan& plan,
+                            const CostModel& costs, const VerifyOptions& options = {});
+
+// Graph-invariant check for a single model (thin wrapper over
+// CheckGraphInvariants; the alias the model-load boundary and tools use).
+GraphCheckResult VerifyModel(const Model& model);
+
+// Model-free structural verification of a (possibly deserialized) plan:
+// non-empty endpoint names, ids appropriate for each step kind, non-negative
+// costs, total equal to the step sum, and no duplicated mapping entries.
+// Used at the PlanCache::Load boundary where the models may not be resident.
+PlanVerifyResult VerifyPlanShape(const TransformPlan& plan);
+
+// Whether boundary verification (plan-cache insert / model registration)
+// should run. Opt in or out with OPTIMUS_VERIFY=1/0 (also on/off/true/false);
+// without the variable, verification defaults to on in debug builds (NDEBUG
+// undefined) and off in release builds.
+bool VerificationEnabled();
+
+// Throws std::runtime_error("<context>: <summary>") when the result holds
+// any issue; no-op otherwise.
+void ThrowIfInvalid(const PlanVerifyResult& result, const std::string& context);
+void ThrowIfInvalid(const GraphCheckResult& result, const std::string& context);
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_ANALYSIS_VERIFIER_H_

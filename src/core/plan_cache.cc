@@ -2,10 +2,21 @@
 
 #include <algorithm>
 #include <functional>
+#include <stdexcept>
 
+#include "src/analysis/verifier.h"
 #include "src/core/plan_io.h"
 
 namespace optimus {
+
+PlanCache::PlanCache(const CostModel* costs, PlannerKind planner)
+    : costs_(costs), planner_(planner), verify_(VerificationEnabled()) {}
+
+void PlanCache::CheckRegistration(const Model& model) const {
+  if (verification()) {
+    ThrowIfInvalid(VerifyModel(model), "PlanCache::WarmFor: model '" + model.name() + "'");
+  }
+}
 
 const PlanCache::Shard& PlanCache::ShardFor(const Key& key) const {
   const size_t hash =
@@ -31,20 +42,41 @@ const TransformPlan& PlanCache::GetOrPlan(const Model& source, const Model& dest
 
   if (planner_thread) {
     misses_.fetch_add(1, std::memory_order_relaxed);
-    TransformPlan plan = PlanTransform(source, dest, *costs_, planner_);
-    {
-      std::lock_guard<std::mutex> lock(entry->mutex);
-      entry->plan = std::move(plan);
-      entry->ready.store(true, std::memory_order_release);
+    try {
+      TransformPlan plan = PlanTransform(source, dest, *costs_, planner_);
+      if (verification()) {
+        ThrowIfInvalid(VerifyPlan(source, dest, plan, *costs_),
+                       "PlanCache: plan verification failed for '" + source.name() + "' -> '" +
+                           dest.name() + "'");
+      }
+      {
+        std::lock_guard<std::mutex> lock(entry->mutex);
+        entry->plan = std::move(plan);
+        entry->ready.store(true, std::memory_order_release);
+      }
+      entry->published.notify_all();
+      return entry->plan;
+    } catch (const std::exception& e) {
+      // Latch the failure so waiters (and later requesters) see the error
+      // instead of blocking forever on a plan that will never be published.
+      {
+        std::lock_guard<std::mutex> lock(entry->mutex);
+        entry->error = e.what();
+        entry->failed.store(true, std::memory_order_release);
+        entry->ready.store(true, std::memory_order_release);
+      }
+      entry->published.notify_all();
+      throw;
     }
-    entry->published.notify_all();
-    return entry->plan;
   }
 
   hits_.fetch_add(1, std::memory_order_relaxed);
   if (!entry->ready.load(std::memory_order_acquire)) {
     std::unique_lock<std::mutex> lock(entry->mutex);
     entry->published.wait(lock, [&] { return entry->ready.load(std::memory_order_acquire); });
+  }
+  if (entry->failed.load(std::memory_order_acquire)) {
+    throw std::runtime_error(entry->error);
   }
   return entry->plan;
 }
@@ -54,7 +86,8 @@ bool PlanCache::Contains(const std::string& source_name, const std::string& dest
   const Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.entries.find(key);
-  return it != shard.entries.end() && it->second->ready.load(std::memory_order_acquire);
+  return it != shard.entries.end() && it->second->ready.load(std::memory_order_acquire) &&
+         !it->second->failed.load(std::memory_order_acquire);
 }
 
 size_t PlanCache::Size() const {
@@ -75,7 +108,8 @@ void PlanCache::Save(const std::string& path) const {
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mutex);
     for (const auto& [key, entry] : shard.entries) {
-      if (entry->ready.load(std::memory_order_acquire)) {
+      if (entry->ready.load(std::memory_order_acquire) &&
+          !entry->failed.load(std::memory_order_acquire)) {
         ready_entries.emplace_back(key, entry.get());
         pinned.push_back(entry);
       }
@@ -93,6 +127,10 @@ void PlanCache::Save(const std::string& path) const {
 
 void PlanCache::Load(const std::string& path) {
   for (TransformPlan& plan : ReadPlansFromFile(path)) {
+    // Plan files are an external input: reject records whose shape is broken
+    // (bad ids, negative or inconsistent costs) before they enter the cache.
+    ThrowIfInvalid(VerifyPlanShape(plan), "PlanCache::Load: rejected plan '" + plan.source_name +
+                                              "' -> '" + plan.dest_name + "' from " + path);
     const Key key{plan.source_name, plan.dest_name};
     Shard& shard = ShardFor(key);
     std::shared_ptr<Entry> entry;
@@ -107,6 +145,8 @@ void PlanCache::Load(const std::string& path) {
     {
       std::lock_guard<std::mutex> lock(entry->mutex);
       entry->plan = std::move(plan);
+      entry->error.clear();
+      entry->failed.store(false, std::memory_order_release);
       entry->ready.store(true, std::memory_order_release);
     }
     entry->published.notify_all();

@@ -35,15 +35,26 @@ namespace optimus {
 
 class PlanCache {
  public:
-  explicit PlanCache(const CostModel* costs, PlannerKind planner = PlannerKind::kGroup)
-      : costs_(costs), planner_(planner) {}
+  explicit PlanCache(const CostModel* costs, PlannerKind planner = PlannerKind::kGroup);
 
   // Returns the cached plan for (source, dest), planning and caching it on a
   // miss. Keyed by model name; models are assumed immutable once registered.
   // Concurrent callers for the same pair block until the single in-flight
   // planning completes; a request that finds the pair present or in flight
   // counts as a hit, the one that plans counts as a miss.
+  //
+  // With verification enabled, a freshly planned strategy is statically
+  // verified (src/analysis) before it is published; a plan that fails — like
+  // a planning attempt that throws — is latched as failed, and every
+  // requester of the pair (the planner and all waiters) gets the error
+  // instead of deadlocking or consuming a corrupt plan.
   const TransformPlan& GetOrPlan(const Model& source, const Model& dest);
+
+  // Static verification at the insert boundary (DESIGN.md §10). Defaults to
+  // VerificationEnabled(): on in debug builds, opt-in via OPTIMUS_VERIFY=1
+  // elsewhere.
+  void set_verification(bool enabled) { verify_.store(enabled, std::memory_order_relaxed); }
+  bool verification() const { return verify_.load(std::memory_order_relaxed); }
 
   // Pre-plans `model` against every model in `repository` (both directions),
   // as the paper does at model-registration time. With a pool, the pair
@@ -52,6 +63,7 @@ class PlanCache {
   // resulting cache contents are identical to the serial path's.
   template <typename ModelRange>
   void WarmFor(const Model& model, const ModelRange& repository, ThreadPool* pool = nullptr) {
+    CheckRegistration(model);
     if (pool == nullptr) {
       for (const Model& other : repository) {
         if (other.name() == model.name()) {
@@ -86,8 +98,9 @@ class PlanCache {
   // stores plans with the models; restoring avoids re-planning on restart).
   // Save writes plans in (source, dest) key order regardless of which threads
   // planned them; Load merges into the cache keyed by the plans' source/dest
-  // names, overwriting existing entries. Neither may race with GetOrPlan
-  // callers still using returned plan references.
+  // names, overwriting existing entries, and rejects (throws) records that
+  // fail the model-free VerifyPlanShape checks. Neither may race with
+  // GetOrPlan callers still using returned plan references.
   void Save(const std::string& path) const;
   void Load(const std::string& path);
 
@@ -100,11 +113,15 @@ class PlanCache {
   using Key = std::pair<std::string, std::string>;
 
   // One cached pair. `ready` flips to true exactly once, under `mutex`, when
-  // the plan is published; waiters block on `published` until then.
+  // the outcome (good plan or latched failure) is published; waiters block on
+  // `published` until then. `failed`/`error` are written before the `ready`
+  // release-store and only read after an acquire-load of `ready`.
   struct Entry {
     std::mutex mutex;
     std::condition_variable published;
     std::atomic<bool> ready{false};
+    std::atomic<bool> failed{false};
+    std::string error;
     TransformPlan plan;
   };
 
@@ -120,8 +137,13 @@ class PlanCache {
     return const_cast<Shard&>(static_cast<const PlanCache*>(this)->ShardFor(key));
   }
 
+  // Throws when verification is on and `model` violates a graph invariant;
+  // keeps malformed models out of the repository-wide warm pass.
+  void CheckRegistration(const Model& model) const;
+
   const CostModel* costs_;
   PlannerKind planner_;
+  std::atomic<bool> verify_;
   Shard shards_[kNumShards];
   std::atomic<size_t> hits_{0};
   std::atomic<size_t> misses_{0};

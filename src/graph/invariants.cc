@@ -1,0 +1,167 @@
+#include "src/graph/invariants.h"
+
+#include <deque>
+#include <map>
+#include <sstream>
+
+namespace optimus {
+
+namespace {
+
+void AddIssue(GraphCheckResult* result, GraphIssueKind kind, std::string detail) {
+  result->issues.push_back(GraphIssue{kind, std::move(detail)});
+}
+
+bool AttributesNonNegative(const OpAttributes& attrs) {
+  return attrs.kernel_h >= 0 && attrs.kernel_w >= 0 && attrs.stride >= 0 &&
+         attrs.in_channels >= 0 && attrs.out_channels >= 0 && attrs.vocab_size >= 0 &&
+         attrs.heads >= 0;
+}
+
+// Kahn's algorithm over valid edges only; returns false if a cycle remains.
+bool IsAcyclic(const Model& model) {
+  std::map<OpId, int> in_degree;
+  for (const auto& [id, op] : model.ops()) {
+    in_degree[id] = 0;
+  }
+  std::multimap<OpId, OpId> out_edges;
+  for (const Edge& edge : model.edges()) {
+    if (in_degree.count(edge.first) == 0 || in_degree.count(edge.second) == 0) {
+      continue;  // Dangling edge; reported separately.
+    }
+    ++in_degree[edge.second];
+    out_edges.emplace(edge.first, edge.second);
+  }
+  std::deque<OpId> frontier;
+  for (const auto& [id, degree] : in_degree) {
+    if (degree == 0) {
+      frontier.push_back(id);
+    }
+  }
+  size_t visited = 0;
+  while (!frontier.empty()) {
+    const OpId id = frontier.front();
+    frontier.pop_front();
+    ++visited;
+    auto [begin, end] = out_edges.equal_range(id);
+    for (auto it = begin; it != end; ++it) {
+      if (--in_degree[it->second] == 0) {
+        frontier.push_back(it->second);
+      }
+    }
+  }
+  return visited == model.NumOps();
+}
+
+}  // namespace
+
+const char* GraphIssueKindName(GraphIssueKind kind) {
+  switch (kind) {
+    case GraphIssueKind::kEdgeMissingEndpoint:
+      return "EdgeMissingEndpoint";
+    case GraphIssueKind::kSelfEdge:
+      return "SelfEdge";
+    case GraphIssueKind::kCycle:
+      return "Cycle";
+    case GraphIssueKind::kOpIdMismatch:
+      return "OpIdMismatch";
+    case GraphIssueKind::kBadOpId:
+      return "InvalidOpId";
+    case GraphIssueKind::kUnknownOpKind:
+      return "UnknownOpKind";
+    case GraphIssueKind::kUnknownActivation:
+      return "UnknownActivation";
+    case GraphIssueKind::kNegativeAttribute:
+      return "NegativeAttribute";
+    case GraphIssueKind::kWeightCountMismatch:
+      return "WeightCountMismatch";
+    case GraphIssueKind::kWeightShapeMismatch:
+      return "WeightShapeMismatch";
+  }
+  return "Unknown";
+}
+
+std::string GraphCheckResult::Summary() const {
+  if (ok()) {
+    return "ok";
+  }
+  std::ostringstream out;
+  for (size_t i = 0; i < issues.size(); ++i) {
+    if (i > 0) {
+      out << "\n";
+    }
+    out << GraphIssueKindName(issues[i].kind) << ": " << issues[i].detail;
+  }
+  return out.str();
+}
+
+GraphCheckResult CheckGraphInvariants(const Model& model) {
+  GraphCheckResult result;
+  const std::string& name = model.name();
+
+  for (const Edge& edge : model.edges()) {
+    if (!model.HasOp(edge.first) || !model.HasOp(edge.second)) {
+      AddIssue(&result, GraphIssueKind::kEdgeMissingEndpoint,
+               "edge " + std::to_string(edge.first) + "->" + std::to_string(edge.second) +
+                   " references a missing op in '" + name + "'");
+    }
+    if (edge.first == edge.second) {
+      AddIssue(&result, GraphIssueKind::kSelfEdge,
+               "self-edge on op " + std::to_string(edge.first) + " in '" + name + "'");
+    }
+  }
+
+  if (!IsAcyclic(model)) {
+    AddIssue(&result, GraphIssueKind::kCycle, "graph '" + name + "' contains a cycle");
+  }
+
+  for (const auto& [id, op] : model.ops()) {
+    if (op.id != id) {
+      AddIssue(&result, GraphIssueKind::kOpIdMismatch,
+               "op keyed " + std::to_string(id) + " carries id " + std::to_string(op.id) +
+                   " in '" + name + "'");
+    }
+    if (id < 0) {
+      AddIssue(&result, GraphIssueKind::kBadOpId,
+               "op id " + std::to_string(id) + " is invalid in '" + name + "'");
+    }
+    if (static_cast<int>(op.kind) >= kNumOpKinds) {
+      AddIssue(&result, GraphIssueKind::kUnknownOpKind,
+               "op " + std::to_string(id) + " has kind byte " +
+                   std::to_string(static_cast<int>(op.kind)) + " in '" + name + "'");
+      continue;  // Attribute/weight checks are meaningless for unknown kinds.
+    }
+    if (static_cast<int>(op.attrs.activation) > static_cast<int>(ActivationType::kTanh)) {
+      AddIssue(&result, GraphIssueKind::kUnknownActivation,
+               "op " + std::to_string(id) + " has activation byte " +
+                   std::to_string(static_cast<int>(op.attrs.activation)) + " in '" + name + "'");
+    }
+    if (!AttributesNonNegative(op.attrs)) {
+      AddIssue(&result, GraphIssueKind::kNegativeAttribute,
+               "op " + op.ToString() + " has a negative attribute in '" + name + "'");
+    }
+    if (op.weights.empty()) {
+      continue;  // Structure-only op; weights not yet assigned.
+    }
+    const std::vector<Shape> expected = WeightShapesFor(op.kind, op.attrs);
+    if (expected.size() != op.weights.size()) {
+      AddIssue(&result, GraphIssueKind::kWeightCountMismatch,
+               "weight count mismatch for " + op.ToString() + " (" +
+                   std::to_string(op.weights.size()) + " allocated, " +
+                   std::to_string(expected.size()) + " declared)");
+      continue;
+    }
+    for (size_t i = 0; i < expected.size(); ++i) {
+      if (op.weights[i].shape() != expected[i]) {
+        AddIssue(&result, GraphIssueKind::kWeightShapeMismatch,
+                 "weight shape mismatch for " + op.ToString() + " tensor " + std::to_string(i) +
+                     " (" + op.weights[i].shape().ToString() + " vs " + expected[i].ToString() +
+                     ")");
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace optimus

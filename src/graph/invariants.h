@@ -1,0 +1,57 @@
+// Graph invariant checking (static analysis, DESIGN.md §10).
+//
+// CheckGraphInvariants is the non-throwing workhorse behind Model::Validate:
+// it walks a Model and collects every violated invariant instead of stopping
+// at the first. The checker is deliberately dependency-free (graph layer
+// only) so it is usable from deserialization, the plan cache's registration
+// path, the src/analysis plan verifier, and tests alike.
+
+#ifndef OPTIMUS_SRC_GRAPH_INVARIANTS_H_
+#define OPTIMUS_SRC_GRAPH_INVARIANTS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/model.h"
+
+namespace optimus {
+
+enum class GraphIssueKind : uint8_t {
+  kEdgeMissingEndpoint = 0,  // An edge references an op id not in the model.
+  kSelfEdge,                 // An op feeds itself directly.
+  kCycle,                    // The data-flow graph is not acyclic.
+  kOpIdMismatch,             // Map key and Operation::id disagree.
+  kBadOpId,                  // An op carries kInvalidOpId or a negative id.
+  kUnknownOpKind,            // Kind byte outside the OpKind enum.
+  kUnknownActivation,        // Activation byte outside the ActivationType enum.
+  kNegativeAttribute,        // A shape-determining attribute is negative.
+  kWeightCountMismatch,      // Allocated tensor count != WeightShapesFor.
+  kWeightShapeMismatch,      // An allocated tensor's shape != declared shape.
+};
+
+const char* GraphIssueKindName(GraphIssueKind kind);
+
+// One violated invariant with a human-readable description.
+struct GraphIssue {
+  GraphIssueKind kind = GraphIssueKind::kCycle;
+  std::string detail;
+};
+
+struct GraphCheckResult {
+  std::vector<GraphIssue> issues;
+
+  bool ok() const { return issues.empty(); }
+
+  // "ok", or every issue on its own line ("kind: detail").
+  std::string Summary() const;
+};
+
+// Checks every structural invariant of `model`: edges reference existing ops,
+// no self-edges, the graph is acyclic, op ids are valid and consistent, op
+// kinds / activations are in range, attributes are non-negative, and any
+// allocated weights match the shapes their (kind, attrs) declare.
+GraphCheckResult CheckGraphInvariants(const Model& model);
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_GRAPH_INVARIANTS_H_

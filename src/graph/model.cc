@@ -4,6 +4,8 @@
 #include <deque>
 #include <stdexcept>
 
+#include "src/graph/invariants.h"
+
 namespace optimus {
 
 OpId Model::AddOp(OpKind kind, const OpAttributes& attrs) {
@@ -126,32 +128,9 @@ std::vector<OpId> Model::Successors(OpId id) const {
 }
 
 void Model::Validate() const {
-  for (const Edge& edge : edges_) {
-    if (!HasOp(edge.first) || !HasOp(edge.second)) {
-      throw std::runtime_error("Validate: edge references a missing op in '" + name_ + "'");
-    }
-    if (edge.first == edge.second) {
-      throw std::runtime_error("Validate: self-edge in '" + name_ + "'");
-    }
-  }
-  TopologicalOrder();  // Throws on cycles.
-  for (const auto& [id, op] : ops_) {
-    if (op.id != id) {
-      throw std::runtime_error("Validate: op id key mismatch in '" + name_ + "'");
-    }
-    if (op.weights.empty()) {
-      continue;  // Structure-only op; weights not yet assigned.
-    }
-    const std::vector<Shape> expected = WeightShapesFor(op.kind, op.attrs);
-    if (expected.size() != op.weights.size()) {
-      throw std::runtime_error("Validate: weight count mismatch for " + op.ToString());
-    }
-    for (size_t i = 0; i < expected.size(); ++i) {
-      if (op.weights[i].shape() != expected[i]) {
-        throw std::runtime_error("Validate: weight shape mismatch for " + op.ToString() +
-                                 " tensor " + std::to_string(i));
-      }
-    }
+  const GraphCheckResult result = CheckGraphInvariants(*this);
+  if (!result.ok()) {
+    throw std::runtime_error("Validate: " + result.Summary());
   }
 }
 

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "src/graph/invariants.h"
+
 namespace optimus {
 
 namespace {
@@ -17,8 +19,9 @@ class Writer {
   explicit Writer(ModelFile* out) : out_(out) {}
 
   void Raw(const void* data, size_t size) {
-    const auto* bytes = static_cast<const uint8_t*>(data);
-    out_->insert(out_->end(), bytes, bytes + size);
+    const size_t old_size = out_->size();
+    out_->resize(old_size + size);
+    std::memcpy(out_->data() + old_size, data, size);
   }
 
   template <typename T>
@@ -63,10 +66,28 @@ class Reader {
 
   bool AtEnd() const { return pos_ == file_.size(); }
 
+  size_t Remaining() const { return file_.size() - pos_; }
+
  private:
   const ModelFile& file_;
   size_t pos_ = 0;
 };
+
+// Per-element lower bounds on the encoded size, used to reject hostile counts
+// before any allocation happens: a count field claiming more elements than the
+// remaining bytes could possibly hold is malformed, not merely truncated.
+constexpr size_t kMinOpBytes = 4 + 1 + 7 * 8 + 1 + 4;  // id, kind, attrs, weight_count.
+constexpr size_t kMinWeightBytes = 1;                  // rank byte of an empty tensor.
+constexpr size_t kMinEdgeBytes = 8;                    // two i32 endpoints.
+constexpr int kMaxWeightRank = 8;
+
+void CheckCount(uint64_t count, size_t min_bytes_each, size_t remaining, const char* what) {
+  if (count * min_bytes_each > remaining) {
+    throw std::runtime_error(std::string("DeserializeModel: ") + what + " count " +
+                             std::to_string(count) + " exceeds the remaining " +
+                             std::to_string(remaining) + " bytes");
+  }
+}
 
 void WriteAttrs(Writer* writer, const OpAttributes& attrs) {
   writer->Scalar<int64_t>(attrs.kernel_h);
@@ -88,7 +109,12 @@ OpAttributes ReadAttrs(Reader* reader) {
   attrs.out_channels = reader->Scalar<int64_t>();
   attrs.vocab_size = reader->Scalar<int64_t>();
   attrs.heads = reader->Scalar<int64_t>();
-  attrs.activation = static_cast<ActivationType>(reader->Scalar<uint8_t>());
+  const uint8_t activation = reader->Scalar<uint8_t>();
+  if (activation > static_cast<uint8_t>(ActivationType::kTanh)) {
+    throw std::runtime_error("DeserializeModel: unknown activation byte " +
+                             std::to_string(activation));
+  }
+  attrs.activation = static_cast<ActivationType>(activation);
   return attrs;
 }
 
@@ -138,32 +164,71 @@ Model DeserializeModel(const ModelFile& file) {
   std::string family = reader.String();
   Model model(std::move(name), std::move(family));
   const uint32_t op_count = reader.Scalar<uint32_t>();
+  CheckCount(op_count, kMinOpBytes, reader.Remaining(), "op");
   for (uint32_t i = 0; i < op_count; ++i) {
     Operation op;
     op.id = reader.Scalar<int32_t>();
-    op.kind = static_cast<OpKind>(reader.Scalar<uint8_t>());
+    if (op.id < 0) {
+      throw std::runtime_error("DeserializeModel: negative op id " + std::to_string(op.id));
+    }
+    if (model.HasOp(op.id)) {
+      throw std::runtime_error("DeserializeModel: duplicate op id " + std::to_string(op.id));
+    }
+    const uint8_t kind = reader.Scalar<uint8_t>();
+    if (kind >= kNumOpKinds) {
+      throw std::runtime_error("DeserializeModel: unknown op kind byte " + std::to_string(kind));
+    }
+    op.kind = static_cast<OpKind>(kind);
     op.attrs = ReadAttrs(&reader);
     const uint32_t weight_count = reader.Scalar<uint32_t>();
+    CheckCount(weight_count, kMinWeightBytes, reader.Remaining(), "weight");
     for (uint32_t w = 0; w < weight_count; ++w) {
       const uint8_t rank = reader.Scalar<uint8_t>();
+      if (rank > kMaxWeightRank) {
+        throw std::runtime_error("DeserializeModel: weight rank " + std::to_string(rank) +
+                                 " exceeds the limit of " + std::to_string(kMaxWeightRank));
+      }
       std::vector<int64_t> dims(rank);
       for (auto& dim : dims) {
         dim = reader.Scalar<int64_t>();
+        if (dim < 0) {
+          throw std::runtime_error("DeserializeModel: negative weight dimension " +
+                                   std::to_string(dim));
+        }
       }
-      Tensor tensor(Shape{std::move(dims)});
+      Shape shape{std::move(dims)};
+      // Reject before allocating: the payload must actually fit in the file.
+      const uint64_t elements = static_cast<uint64_t>(shape.NumElements());
+      if (elements > reader.Remaining() / sizeof(float)) {
+        throw std::runtime_error("DeserializeModel: weight payload of " +
+                                 std::to_string(elements) + " elements exceeds the remaining " +
+                                 std::to_string(reader.Remaining()) + " bytes");
+      }
+      Tensor tensor(shape);
       reader.Raw(tensor.data(), static_cast<size_t>(tensor.SizeBytes()));
       op.weights.push_back(std::move(tensor));
     }
     model.AddOpWithId(std::move(op));
   }
   const uint32_t edge_count = reader.Scalar<uint32_t>();
+  CheckCount(edge_count, kMinEdgeBytes, reader.Remaining(), "edge");
   for (uint32_t i = 0; i < edge_count; ++i) {
     const int32_t from = reader.Scalar<int32_t>();
     const int32_t to = reader.Scalar<int32_t>();
+    if (!model.HasOp(from) || !model.HasOp(to)) {
+      throw std::runtime_error("DeserializeModel: edge " + std::to_string(from) + "->" +
+                               std::to_string(to) + " references an out-of-range op");
+    }
     model.AddEdge(from, to);
   }
   if (!reader.AtEnd()) {
     throw std::runtime_error("DeserializeModel: trailing bytes");
+  }
+  // Final gate: the parsed model must satisfy every graph invariant (acyclic,
+  // weight shapes consistent with the declared attributes, ...).
+  const GraphCheckResult check = CheckGraphInvariants(model);
+  if (!check.ok()) {
+    throw std::runtime_error("DeserializeModel: invariant violation\n" + check.Summary());
   }
   return model;
 }

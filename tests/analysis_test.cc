@@ -1,0 +1,349 @@
+// Tests for the static plan & graph verifier (src/analysis, DESIGN.md §10):
+// plans produced by the production planners verify clean over zoo pairs, and
+// hand-mutated plans — dropped steps, dropped mapping entries, corrupted edge
+// steps, understated costs — are rejected with the right issue kind. Also
+// covers the graph invariant checker and the plan cache's verification
+// boundary (insert, WarmFor registration, Load).
+
+#include "src/analysis/verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/common/rng.h"
+#include "src/core/plan_cache.h"
+#include "src/core/plan_io.h"
+#include "src/core/planner.h"
+#include "src/zoo/registry.h"
+#include "tests/test_util.h"
+
+namespace optimus {
+namespace {
+
+// --- Graph invariant checker -----------------------------------------------
+
+TEST(GraphInvariantsTest, WellFormedModelPasses) {
+  const GraphCheckResult result = CheckGraphInvariants(TinyResNet(18));
+  EXPECT_TRUE(result.ok()) << result.Summary();
+  EXPECT_EQ(result.Summary(), "ok");
+}
+
+TEST(GraphInvariantsTest, DanglingEdgeDetected) {
+  Model model = SmallChain("dangling", 3, 8);
+  model.AddEdge(0, 99);
+  const GraphCheckResult result = CheckGraphInvariants(model);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.issues[0].kind, GraphIssueKind::kEdgeMissingEndpoint);
+  EXPECT_THROW(model.Validate(), std::runtime_error);
+}
+
+TEST(GraphInvariantsTest, SelfEdgeDetected) {
+  Model model = SmallChain("selfloop", 3, 8);
+  model.AddEdge(1, 1);
+  const GraphCheckResult result = CheckGraphInvariants(model);
+  ASSERT_FALSE(result.ok());
+  bool found = false;
+  for (const GraphIssue& issue : result.issues) {
+    found = found || issue.kind == GraphIssueKind::kSelfEdge;
+  }
+  EXPECT_TRUE(found) << result.Summary();
+}
+
+TEST(GraphInvariantsTest, CycleDetected) {
+  Model model = SmallChain("cyclic", 3, 8);
+  model.AddEdge(3, 0);
+  const GraphCheckResult result = CheckGraphInvariants(model);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.issues[0].kind, GraphIssueKind::kCycle);
+  EXPECT_THROW(model.Validate(), std::runtime_error);
+}
+
+TEST(GraphInvariantsTest, NegativeAttributeDetected) {
+  Model model = SmallChain("negattr", 3, 8);
+  model.mutable_op(1).attrs.out_channels = -4;
+  const GraphCheckResult result = CheckGraphInvariants(model);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.issues[0].kind, GraphIssueKind::kNegativeAttribute);
+}
+
+TEST(GraphInvariantsTest, WeightShapeMismatchDetected) {
+  Model model = SmallChain("badweights", 3, 8);
+  Rng rng(11);
+  for (const OpId id : model.OpIds()) {
+    Operation& op = model.mutable_op(id);
+    if (OpKindHasWeights(op.kind)) {
+      op.InitializeWeights(&rng);
+    }
+  }
+  ASSERT_TRUE(CheckGraphInvariants(model).ok());
+  model.mutable_op(1).weights[0] = Tensor(Shape{{2, 2}});
+  const GraphCheckResult result = CheckGraphInvariants(model);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.issues[0].kind, GraphIssueKind::kWeightShapeMismatch);
+  EXPECT_THROW(model.Validate(), std::runtime_error);
+}
+
+// --- VerifyPlan: acceptance over zoo pairs ---------------------------------
+
+class PlanVerifierSweepTest : public testing::TestWithParam<int> {
+ protected:
+  static void SetUpTestSuite() {
+    zoo_ = new ModelRegistry(RepresentativeModels());
+    names_ = new std::vector<std::string>(zoo_->Names());
+  }
+  static void TearDownTestSuite() {
+    delete zoo_;
+    delete names_;
+    zoo_ = nullptr;
+    names_ = nullptr;
+  }
+
+  static ModelRegistry* zoo_;
+  static std::vector<std::string>* names_;
+};
+
+ModelRegistry* PlanVerifierSweepTest::zoo_ = nullptr;
+std::vector<std::string>* PlanVerifierSweepTest::names_ = nullptr;
+
+TEST_P(PlanVerifierSweepTest, ProductionPlansVerify) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 6364136223846793005u + 1);
+  const auto pick = [&] {
+    return (*names_)[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(names_->size()) - 1))];
+  };
+  const std::string from_name = pick();
+  const std::string to_name = pick();
+  if (from_name == to_name) {
+    GTEST_SKIP();
+  }
+  const Model from = zoo_->Build(from_name);
+  const Model to = zoo_->Build(to_name);
+  AnalyticCostModel costs;
+  for (const PlannerKind planner : {PlannerKind::kBasic, PlannerKind::kGroup}) {
+    const TransformPlan plan = PlanTransform(from, to, costs, planner);
+    const PlanVerifyResult result = VerifyPlan(from, to, plan, costs);
+    EXPECT_TRUE(result.ok()) << from_name << " -> " << to_name << " ("
+                             << (planner == PlannerKind::kBasic ? "basic" : "group")
+                             << "):\n"
+                             << result.Summary();
+    EXPECT_TRUE(VerifyPlanShape(plan).ok()) << VerifyPlanShape(plan).Summary();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RepresentativePairs, PlanVerifierSweepTest, testing::Range(0, 25));
+
+// --- VerifyPlan: corruption rejection --------------------------------------
+
+class PlanCorruptionTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    source_ = TinyVgg(11);
+    dest_ = TinyResNet(18);
+    plan_ = PlanTransform(source_, dest_, costs_, PlannerKind::kBasic);
+    ASSERT_TRUE(VerifyPlan(source_, dest_, plan_, costs_).ok());
+  }
+
+  // Index of the first step of `kind`, or -1.
+  int FindStep(MetaOpKind kind) const {
+    for (size_t i = 0; i < plan_.steps.size(); ++i) {
+      if (plan_.steps[i].kind == kind) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+
+  AnalyticCostModel costs_;
+  Model source_;
+  Model dest_;
+  TransformPlan plan_;
+};
+
+TEST_F(PlanCorruptionTest, DroppedReplaceStepRejected) {
+  const int index = FindStep(MetaOpKind::kReplace);
+  ASSERT_GE(index, 0) << "expected at least one Replace step";
+  TransformPlan corrupt = plan_;
+  const double dropped_cost = corrupt.steps[static_cast<size_t>(index)].cost;
+  corrupt.steps.erase(corrupt.steps.begin() + index);
+  corrupt.total_cost -= dropped_cost;
+  const PlanVerifyResult result = VerifyPlan(source_, dest_, corrupt, costs_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.Has(PlanIssueKind::kMissingStep)) << result.Summary();
+}
+
+TEST_F(PlanCorruptionTest, DroppedMappingEntryRejected) {
+  TransformPlan corrupt = plan_;
+  ASSERT_FALSE(corrupt.mapping.matched.empty());
+  corrupt.mapping.matched.pop_back();
+  const PlanVerifyResult result = VerifyPlan(source_, dest_, corrupt, costs_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.Has(PlanIssueKind::kMappingIncomplete)) << result.Summary();
+}
+
+TEST_F(PlanCorruptionTest, DanglingEdgeStepRejected) {
+  const int index = FindStep(MetaOpKind::kEdge);
+  ASSERT_GE(index, 0) << "expected at least one Edge step";
+  TransformPlan corrupt = plan_;
+  corrupt.steps[static_cast<size_t>(index)].edge.second = 999999;
+  const PlanVerifyResult result = VerifyPlan(source_, dest_, corrupt, costs_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.Has(PlanIssueKind::kEdgeInvalid) ||
+              result.Has(PlanIssueKind::kResultMismatch))
+      << result.Summary();
+}
+
+TEST_F(PlanCorruptionTest, FlippedEdgeStepRejected) {
+  const int index = FindStep(MetaOpKind::kEdge);
+  ASSERT_GE(index, 0) << "expected at least one Edge step";
+  TransformPlan corrupt = plan_;
+  MetaOp& step = corrupt.steps[static_cast<size_t>(index)];
+  std::swap(step.edge.first, step.edge.second);
+  const PlanVerifyResult result = VerifyPlan(source_, dest_, corrupt, costs_);
+  ASSERT_FALSE(result.ok()) << "flipped edge " << step.edge.first << "->" << step.edge.second;
+}
+
+TEST_F(PlanCorruptionTest, UnderstatedTotalCostRejected) {
+  TransformPlan corrupt = plan_;
+  corrupt.total_cost *= 0.5;
+  const PlanVerifyResult result = VerifyPlan(source_, dest_, corrupt, costs_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.Has(PlanIssueKind::kCostUnderstated)) << result.Summary();
+}
+
+TEST_F(PlanCorruptionTest, UnderstatedStepCostRejected) {
+  int index = -1;
+  for (size_t i = 0; i < plan_.steps.size(); ++i) {
+    if (plan_.steps[i].cost > 1e-6) {
+      index = static_cast<int>(i);
+      break;
+    }
+  }
+  ASSERT_GE(index, 0) << "expected a step with non-trivial cost";
+  TransformPlan corrupt = plan_;
+  MetaOp& step = corrupt.steps[static_cast<size_t>(index)];
+  corrupt.total_cost -= step.cost * 0.9;
+  step.cost *= 0.1;
+  const PlanVerifyResult result = VerifyPlan(source_, dest_, corrupt, costs_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.Has(PlanIssueKind::kCostUnderstated)) << result.Summary();
+}
+
+TEST_F(PlanCorruptionTest, MalformedSourceGraphRejected) {
+  Model corrupt_source = source_;
+  corrupt_source.AddEdge(0, 999);
+  const PlanVerifyResult result = VerifyPlan(corrupt_source, dest_, plan_, costs_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.Has(PlanIssueKind::kGraphInvariant)) << result.Summary();
+}
+
+// --- VerifyPlanShape (model-free) ------------------------------------------
+
+TEST_F(PlanCorruptionTest, ShapeRejectsEmptyEndpointName) {
+  TransformPlan corrupt = plan_;
+  corrupt.dest_name.clear();
+  EXPECT_FALSE(VerifyPlanShape(corrupt).ok());
+}
+
+TEST_F(PlanCorruptionTest, ShapeRejectsNegativeCost) {
+  TransformPlan corrupt = plan_;
+  ASSERT_FALSE(corrupt.steps.empty());
+  corrupt.total_cost -= corrupt.steps[0].cost + 1.0;
+  corrupt.steps[0].cost = -1.0;
+  EXPECT_FALSE(VerifyPlanShape(corrupt).ok());
+}
+
+TEST_F(PlanCorruptionTest, ShapeRejectsTotalStepSumMismatch) {
+  TransformPlan corrupt = plan_;
+  corrupt.total_cost += 123.0;
+  EXPECT_FALSE(VerifyPlanShape(corrupt).ok());
+}
+
+TEST_F(PlanCorruptionTest, ShapeRejectsDuplicateMappingEntry) {
+  TransformPlan corrupt = plan_;
+  ASSERT_FALSE(corrupt.mapping.matched.empty());
+  corrupt.mapping.reduced.push_back(corrupt.mapping.matched[0].first);
+  EXPECT_FALSE(VerifyPlanShape(corrupt).ok());
+}
+
+// --- PlanCache verification boundary ---------------------------------------
+
+TEST(PlanCacheVerificationTest, VerifiedInsertAcceptsProductionPlans) {
+  AnalyticCostModel costs;
+  PlanCache cache(&costs, PlannerKind::kGroup);
+  cache.set_verification(true);
+  const Model from = TinyVgg(11);
+  const Model to = TinyResNet(18);
+  const TransformPlan& plan = cache.GetOrPlan(from, to);
+  EXPECT_EQ(plan.source_name, from.name());
+  EXPECT_TRUE(cache.Contains(from.name(), to.name()));
+}
+
+TEST(PlanCacheVerificationTest, MalformedSourceLatchesFailure) {
+  AnalyticCostModel costs;
+  PlanCache cache(&costs, PlannerKind::kGroup);
+  cache.set_verification(true);
+  Model from = SmallChain("corrupt_src", 3, 8);
+  from.AddEdge(3, 0);  // Cycle: planning or verification must fail.
+  const Model to = SmallChain("clean_dst", 5, 16);
+  EXPECT_THROW(cache.GetOrPlan(from, to), std::runtime_error);
+  // The failure is latched: later requesters get the error, not a hang or a
+  // corrupt plan, and the pair never counts as published.
+  EXPECT_THROW(cache.GetOrPlan(from, to), std::runtime_error);
+  EXPECT_FALSE(cache.Contains(from.name(), to.name()));
+}
+
+TEST(PlanCacheVerificationTest, WarmForRejectsMalformedRegistration) {
+  AnalyticCostModel costs;
+  PlanCache cache(&costs, PlannerKind::kGroup);
+  cache.set_verification(true);
+  Model model = SmallChain("bad_registration", 3, 8);
+  model.AddEdge(0, 77);  // Dangling edge.
+  const std::vector<Model> repository = {SmallChain("other", 5, 16)};
+  EXPECT_THROW(cache.WarmFor(model, repository), std::runtime_error);
+  EXPECT_EQ(cache.Size(), 0u);
+}
+
+TEST(PlanCacheVerificationTest, LoadRejectsCorruptPlanFile) {
+  AnalyticCostModel costs;
+  const Model from = SmallChain("load_src", 3, 8);
+  const Model to = SmallChain("load_dst", 5, 16);
+  TransformPlan plan = PlanTransform(from, to, costs, PlannerKind::kGroup);
+  plan.total_cost *= 0.25;  // Understates the step sum.
+  const std::string path = testing::TempDir() + "/optimus_corrupt_plans.txt";
+  WritePlansToFile(path, {plan});
+  PlanCache cache(&costs, PlannerKind::kGroup);
+  EXPECT_THROW(cache.Load(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(PlanCacheVerificationTest, LoadAcceptsWellFormedPlanFile) {
+  AnalyticCostModel costs;
+  const Model from = SmallChain("ok_src", 3, 8);
+  const Model to = SmallChain("ok_dst", 5, 16);
+  const TransformPlan plan = PlanTransform(from, to, costs, PlannerKind::kGroup);
+  const std::string path = testing::TempDir() + "/optimus_ok_plans.txt";
+  WritePlansToFile(path, {plan});
+  PlanCache cache(&costs, PlannerKind::kGroup);
+  cache.Load(path);
+  EXPECT_TRUE(cache.Contains(from.name(), to.name()));
+  std::remove(path.c_str());
+}
+
+// --- Verification gating ----------------------------------------------------
+
+TEST(PlanCacheVerificationTest, VerificationTogglesPerCache) {
+  AnalyticCostModel costs;
+  PlanCache cache(&costs);
+  cache.set_verification(false);
+  EXPECT_FALSE(cache.verification());
+  Model from = SmallChain("unverified_src", 3, 8);
+  from.AddEdge(0, 99);  // Would fail registration with verification on.
+  const std::vector<Model> repository;
+  cache.WarmFor(from, repository);  // No repository, no planning: must not throw.
+  cache.set_verification(true);
+  EXPECT_THROW(cache.WarmFor(from, repository), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace optimus

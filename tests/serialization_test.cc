@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 
 #include "src/runtime/loader.h"
 #include "tests/test_util.h"
@@ -67,6 +68,68 @@ TEST(SerializationTest, TruncatedFileRejected) {
 TEST(SerializationTest, TrailingBytesRejected) {
   ModelFile file = SerializeModel(SmallChain("x", 3, 8));
   file.push_back(0);
+  EXPECT_THROW(DeserializeModel(file), std::runtime_error);
+}
+
+// Overwrites the trailing edge record: the file layout puts the edge list
+// last, as consecutive (i32 from, i32 to) pairs.
+void PatchLastEdge(ModelFile* file, int32_t from, int32_t to) {
+  ASSERT_GE(file->size(), 8u);
+  std::memcpy(file->data() + file->size() - 8, &from, sizeof(from));
+  std::memcpy(file->data() + file->size() - 4, &to, sizeof(to));
+}
+
+TEST(SerializationTest, EdgeToMissingOpRejected) {
+  ModelFile file = SerializeModel(SmallChain("x", 3, 8));
+  PatchLastEdge(&file, 2, 1000000);
+  try {
+    DeserializeModel(file);
+    FAIL() << "expected DeserializeModel to throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("out-of-range"), std::string::npos) << error.what();
+  }
+}
+
+TEST(SerializationTest, CycleIntroducedByEdgeBytesRejected) {
+  // SmallChain is 0 -> 1 -> 2 -> 3; rewriting the last edge to (2, 1) closes
+  // the cycle 1 -> 2 -> 1. Both endpoints exist, so only the final
+  // invariant gate can catch it.
+  ModelFile file = SerializeModel(SmallChain("x", 3, 8));
+  PatchLastEdge(&file, 2, 1);
+  try {
+    DeserializeModel(file);
+    FAIL() << "expected DeserializeModel to throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("invariant violation"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(SerializationTest, HostileOpCountRejectedBeforeParsing) {
+  const Model model = SmallChain("x", 3, 8);
+  ModelFile file = SerializeModel(model);
+  // The op count sits after magic, version, and the two length-prefixed
+  // strings.
+  const size_t count_offset = 4 + 4 + (4 + model.name().size()) + (4 + model.family().size());
+  const uint32_t hostile = 0x7fffffff;
+  std::memcpy(file.data() + count_offset, &hostile, sizeof(hostile));
+  try {
+    DeserializeModel(file);
+    FAIL() << "expected DeserializeModel to throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("exceeds the remaining"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(SerializationTest, UnknownOpKindByteRejected) {
+  const Model model = SmallChain("x", 3, 8);
+  ModelFile file = SerializeModel(model);
+  // First op record starts right after the u32 op count: i32 id, then the
+  // kind byte.
+  const size_t kind_offset =
+      4 + 4 + (4 + model.name().size()) + (4 + model.family().size()) + 4 + 4;
+  file[kind_offset] = 0xee;
   EXPECT_THROW(DeserializeModel(file), std::runtime_error);
 }
 

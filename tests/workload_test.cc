@@ -111,7 +111,7 @@ TEST(AzureTest, PopularityIsHeavyTailed) {
   options.horizon_seconds = 8.0 * 3600;
   std::vector<std::string> functions;
   for (int i = 0; i < 12; ++i) {
-    functions.push_back("f" + std::to_string(i));
+    functions.push_back(std::string("f").append(std::to_string(i)));
   }
   const Trace trace = GenerateAzureTrace(functions, options);
   std::map<std::string, size_t> counts;
@@ -152,7 +152,7 @@ TEST(AzureTest, BurstyFunctionsHaveBurstGaps) {
   options.seed = 7;
   std::vector<std::string> functions;
   for (int i = 0; i < 20; ++i) {
-    functions.push_back("f" + std::to_string(i));
+    functions.push_back(std::string("f").append(std::to_string(i)));
   }
   size_t bursty_index = 0;
   for (size_t i = 0; i < functions.size(); ++i) {

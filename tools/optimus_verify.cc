@@ -1,0 +1,278 @@
+// optimus_verify: static verification sweep over the model zoo and cached
+// plan files (DESIGN.md §10).
+//
+// For every ordered model pair in the chosen set (optionally sampled), plans
+// the transformation with each requested planner and statically verifies the
+// plan: symbolic application must reproduce the destination graph through
+// well-formed intermediates, and the claimed costs must be sound against the
+// analytic cost model. Every model's own graph invariants are checked too,
+// and plan files produced by PlanCache::Save can be re-verified offline.
+//
+// Exits 0 when the sweep is clean, 1 on any violation, 2 on usage errors.
+//
+// Examples:
+//   optimus_verify                                   # representative set, both planners
+//   optimus_verify --set bert --planners group
+//   optimus_verify --set imgclsmob --count 40 --sample 200
+//   optimus_verify --save-plans plans.txt            # then:
+//   optimus_verify --plans plans.txt
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/analysis/verifier.h"
+#include "src/common/rng.h"
+#include "src/core/plan_io.h"
+#include "src/core/planner.h"
+#include "src/runtime/cost_model.h"
+#include "src/zoo/registry.h"
+
+namespace {
+
+using namespace optimus;  // NOLINT(google-build-using-namespace): small CLI tool.
+
+struct Options {
+  std::string set = "representative";
+  int count = 0;  // 0 = the set's default size.
+  std::vector<PlannerKind> planners{PlannerKind::kBasic, PlannerKind::kGroup};
+  size_t sample = 0;  // 0 = every ordered pair.
+  uint64_t seed = 2024;
+  std::vector<std::string> plan_files;
+  std::string save_plans;
+  bool quiet = false;
+};
+
+void PrintUsage() {
+  std::cout << "Usage: optimus_verify [options]\n"
+               "  --set NAME        representative (default) | bert | imgclsmob | nas\n"
+               "  --count N         catalog size for imgclsmob/nas sets\n"
+               "  --planners LIST   comma-separated subset of basic,group (default both)\n"
+               "  --sample N        verify N randomly sampled ordered pairs instead of all\n"
+               "  --seed S          sampling seed (default 2024)\n"
+               "  --plans FILE      verify a plan file (repeatable; plans whose models are\n"
+               "                    in the set are fully verified, others shape-checked)\n"
+               "  --save-plans FILE write every swept plan to FILE (PlanCache format)\n"
+               "  --quiet           print violations and the final summary only\n";
+}
+
+bool ParsePlanners(const std::string& list, std::vector<PlannerKind>* planners) {
+  planners->clear();
+  size_t begin = 0;
+  while (begin <= list.size()) {
+    const size_t comma = list.find(',', begin);
+    const std::string token =
+        list.substr(begin, comma == std::string::npos ? std::string::npos : comma - begin);
+    if (token == "basic") {
+      planners->push_back(PlannerKind::kBasic);
+    } else if (token == "group") {
+      planners->push_back(PlannerKind::kGroup);
+    } else {
+      return false;
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    begin = comma + 1;
+  }
+  return !planners->empty();
+}
+
+ModelRegistry BuildRegistry(const Options& options) {
+  if (options.set == "representative") {
+    return RepresentativeModels();
+  }
+  if (options.set == "bert") {
+    return BertZoo();
+  }
+  if (options.set == "imgclsmob") {
+    return options.count > 0 ? ImgclsmobZoo(options.count) : ImgclsmobZoo();
+  }
+  if (options.set == "nas") {
+    return NasBenchZoo(options.count > 0 ? options.count : 30, 2024);
+  }
+  throw std::invalid_argument("unknown model set '" + options.set + "'");
+}
+
+struct SweepStats {
+  size_t models_checked = 0;
+  size_t plans_checked = 0;
+  size_t violations = 0;
+};
+
+void Report(const std::string& what, const std::string& summary, SweepStats* stats) {
+  ++stats->violations;
+  std::cerr << "VIOLATION " << what << "\n  " << summary << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " requires an argument\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--set") {
+      options.set = next("--set");
+    } else if (arg == "--count") {
+      options.count = std::atoi(next("--count"));
+    } else if (arg == "--planners") {
+      if (!ParsePlanners(next("--planners"), &options.planners)) {
+        std::cerr << "--planners expects a comma-separated subset of basic,group\n";
+        return 2;
+      }
+    } else if (arg == "--sample") {
+      options.sample = static_cast<size_t>(std::atoll(next("--sample")));
+    } else if (arg == "--seed") {
+      options.seed = static_cast<uint64_t>(std::atoll(next("--seed")));
+    } else if (arg == "--plans") {
+      options.plan_files.push_back(next("--plans"));
+    } else if (arg == "--save-plans") {
+      options.save_plans = next("--save-plans");
+    } else if (arg == "--quiet") {
+      options.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else {
+      std::cerr << "unknown argument '" << arg << "'\n";
+      PrintUsage();
+      return 2;
+    }
+  }
+
+  ModelRegistry registry;
+  try {
+    registry = BuildRegistry(options);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+
+  const AnalyticCostModel costs;
+  SweepStats stats;
+
+  // Build every model once; check its graph invariants on the way in.
+  const std::vector<std::string> names = registry.Names();
+  std::map<std::string, Model> models;
+  for (const std::string& name : names) {
+    Model model = registry.Build(name);
+    const GraphCheckResult check = VerifyModel(model);
+    ++stats.models_checked;
+    if (!check.ok()) {
+      Report("model '" + name + "'", check.Summary(), &stats);
+    }
+    models.emplace(name, std::move(model));
+  }
+  if (!options.quiet) {
+    std::cout << "checked " << stats.models_checked << " models from set '" << options.set
+              << "'\n";
+  }
+
+  // Assemble the ordered pairs to sweep.
+  std::vector<std::pair<const Model*, const Model*>> pairs;
+  if (options.sample == 0) {
+    for (const auto& [from_name, from] : models) {
+      for (const auto& [to_name, to] : models) {
+        if (from_name != to_name) {
+          pairs.emplace_back(&from, &to);
+        }
+      }
+    }
+  } else {
+    Rng rng(options.seed);
+    const auto pick = [&]() -> const Model* {
+      const std::string& name =
+          names[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(names.size()) - 1))];
+      return &models.at(name);
+    };
+    while (pairs.size() < options.sample) {
+      const Model* from = pick();
+      const Model* to = pick();
+      if (from != to) {
+        pairs.emplace_back(from, to);
+      }
+    }
+  }
+
+  std::vector<TransformPlan> swept_plans;
+  for (const PlannerKind planner : options.planners) {
+    for (const auto& [from, to] : pairs) {
+      TransformPlan plan;
+      const std::string what = std::string(PlannerKindName(planner)) + " plan '" + from->name() +
+                               "' -> '" + to->name() + "'";
+      try {
+        plan = PlanTransform(*from, *to, costs, planner);
+      } catch (const std::exception& e) {
+        Report(what, std::string("planning failed: ") + e.what(), &stats);
+        continue;
+      }
+      const PlanVerifyResult result = VerifyPlan(*from, *to, plan, costs);
+      ++stats.plans_checked;
+      if (!result.ok()) {
+        Report(what, result.Summary(), &stats);
+      } else if (!options.save_plans.empty() && planner == options.planners.front()) {
+        swept_plans.push_back(std::move(plan));
+      }
+    }
+    if (!options.quiet) {
+      std::cout << "swept " << pairs.size() << " pairs with the " << PlannerKindName(planner)
+                << " planner\n";
+    }
+  }
+
+  if (!options.save_plans.empty()) {
+    WritePlansToFile(options.save_plans, swept_plans);
+    if (!options.quiet) {
+      std::cout << "saved " << swept_plans.size() << " plans to " << options.save_plans << "\n";
+    }
+  }
+
+  // Cached plan files: full verification when both endpoint models are in the
+  // registry, model-free shape checks otherwise.
+  for (const std::string& path : options.plan_files) {
+    std::vector<TransformPlan> plans;
+    try {
+      plans = ReadPlansFromFile(path);
+    } catch (const std::exception& e) {
+      Report("plan file " + path, e.what(), &stats);
+      continue;
+    }
+    size_t full = 0;
+    size_t shape_only = 0;
+    for (const TransformPlan& plan : plans) {
+      const std::string what =
+          "cached plan '" + plan.source_name + "' -> '" + plan.dest_name + "' (" + path + ")";
+      auto from = models.find(plan.source_name);
+      auto to = models.find(plan.dest_name);
+      PlanVerifyResult result;
+      if (from != models.end() && to != models.end()) {
+        result = VerifyPlan(from->second, to->second, plan, costs);
+        ++full;
+      } else {
+        result = VerifyPlanShape(plan);
+        ++shape_only;
+      }
+      ++stats.plans_checked;
+      if (!result.ok()) {
+        Report(what, result.Summary(), &stats);
+      }
+    }
+    if (!options.quiet) {
+      std::cout << "verified " << plans.size() << " cached plans from " << path << " (" << full
+                << " against models, " << shape_only << " shape-only)\n";
+    }
+  }
+
+  std::cout << "optimus_verify: " << stats.models_checked << " models, " << stats.plans_checked
+            << " plans, " << stats.violations << " violations\n";
+  return stats.violations == 0 ? 0 : 1;
+}
