@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/common/fault.h"
 #include "src/common/stopwatch.h"
 #include "src/common/thread_pool.h"
 #include "src/core/plan_cache.h"
@@ -84,7 +85,33 @@ bool RunCase(const std::vector<Model>& repository, PlannerKind planner) {
   return identical;
 }
 
+// Guard: a compiled-in fault point with injection disabled must cost no more
+// than a relaxed atomic load (DESIGN.md §11). Times a few million disabled
+// evaluations and fails if the average exceeds a generous per-call budget —
+// catching any regression that puts real work on the disabled path.
+int CheckDisabledFaultOverhead() {
+  fault::Disarm();  // The guard measures the disabled path even under OPTIMUS_FAULTS.
+  constexpr int kEvals = 4000000;
+  constexpr double kBudgetNs = 50.0;
+  Stopwatch watch;
+  for (int i = 0; i < kEvals; ++i) {
+    fault::MaybeInject("bench.disabled");
+  }
+  const double ns_per_eval = 1e9 * watch.ElapsedSeconds() / kEvals;
+  std::printf("disabled fault point: %.2f ns/eval over %d evals (budget %.0f ns)\n",
+              ns_per_eval, kEvals, kBudgetNs);
+  if (ns_per_eval > kBudgetNs) {
+    std::printf("FAILED: disabled fault injection is not free\n");
+    return 1;
+  }
+  return 0;
+}
+
 int Run(bool smoke) {
+  if (CheckDisabledFaultOverhead() != 0) {
+    return 1;
+  }
+
   benchutil::PrintHeader("Deploy-time plan-cache warming: serial vs parallel (4 threads)");
 
   const ModelRegistry registry = RepresentativeModels();

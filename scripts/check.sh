@@ -6,6 +6,10 @@
 #   SANITIZE    passed to -DOPTIMUS_SANITIZE, e.g. address,undefined or thread
 #   BUILD_DIR   build directory (default: build, or build-<sanitizers>)
 #   SKIP_BENCH  set to 1 to stop after the test suite (sanitized benches are slow)
+#   OPTIMUS_FAULTS  fault-injection spec (src/common/fault.h) inherited by every
+#               test/tool run below — e.g. "executor.step=prob:0.01@7" hardens
+#               the whole suite against injected transform failures. The chaos
+#               sweep arms its own seeded faults regardless.
 #
 # Examples:
 #   scripts/check.sh                                  # tier-1: Release + ctest + benches
@@ -34,6 +38,10 @@ fi
 "${CONFIGURE[@]}"
 cmake --build "$BUILD_DIR" -j
 ctest --test-dir "$BUILD_DIR" --output-on-failure
+
+# Seeded chaos smoke: randomized fault schedules over the invoke/transform
+# path; exits non-zero on any DESIGN.md §11 invariant violation.
+"$BUILD_DIR"/tools/optimus_chaos --smoke
 
 if [[ "${SKIP_BENCH:-0}" == "1" ]]; then
   exit 0

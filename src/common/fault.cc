@@ -1,0 +1,229 @@
+#include "src/common/fault.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+
+#include "src/common/rng.h"
+
+namespace optimus {
+namespace fault {
+
+namespace internal {
+std::atomic<bool> g_armed{false};
+}  // namespace internal
+
+namespace {
+
+// Mutable trigger state for one armed point. `mutex` serializes hit counting
+// and RNG draws so concurrent evaluations stay deterministic in aggregate
+// (the multiset of fire decisions depends only on the spec, not the thread
+// interleaving).
+struct Point {
+  std::mutex mutex;
+  FaultSpec spec;
+  Rng rng{1};
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+};
+
+struct Registry {
+  mutable std::shared_mutex mutex;
+  std::map<std::string, std::unique_ptr<Point>> points;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // Never destroyed: fault points
+  return *registry;                            // may be hit during shutdown.
+}
+
+bool EvaluatePoint(Point* point) {
+  std::lock_guard<std::mutex> lock(point->mutex);
+  const uint64_t hit = ++point->hits;
+  bool fire = false;
+  switch (point->spec.kind) {
+    case TriggerKind::kProbability:
+      fire = point->rng.Bernoulli(point->spec.probability);
+      break;
+    case TriggerKind::kEveryNth:
+      fire = hit % point->spec.n == 0;
+      break;
+    case TriggerKind::kAt:
+      fire = hit == point->spec.n;
+      break;
+    case TriggerKind::kAlways:
+      fire = true;
+      break;
+  }
+  if (fire) {
+    ++point->fires;
+  }
+  return fire;
+}
+
+uint64_t CounterFor(const std::string& point, bool fires) {
+  Registry& registry = GetRegistry();
+  std::shared_lock<std::shared_mutex> lock(registry.mutex);
+  auto it = registry.points.find(point);
+  if (it == registry.points.end()) {
+    return 0;
+  }
+  std::lock_guard<std::mutex> point_lock(it->second->mutex);
+  return fires ? it->second->fires : it->second->hits;
+}
+
+[[noreturn]] void BadSpec(const std::string& entry, const std::string& why) {
+  throw std::invalid_argument("OPTIMUS_FAULTS: bad entry '" + entry + "': " + why);
+}
+
+FaultSpec ParseEntry(const std::string& entry) {
+  const size_t equals = entry.find('=');
+  if (equals == std::string::npos || equals == 0) {
+    BadSpec(entry, "expected <point>=<trigger>");
+  }
+  FaultSpec spec;
+  spec.point = entry.substr(0, equals);
+  const std::string trigger = entry.substr(equals + 1);
+  try {
+    if (trigger == "always") {
+      spec.kind = TriggerKind::kAlways;
+    } else if (trigger == "once") {
+      spec.kind = TriggerKind::kAt;
+      spec.n = 1;
+    } else if (trigger.rfind("prob:", 0) == 0) {
+      spec.kind = TriggerKind::kProbability;
+      std::string value = trigger.substr(5);
+      const size_t at = value.find('@');
+      if (at != std::string::npos) {
+        spec.seed = std::stoull(value.substr(at + 1));
+        value = value.substr(0, at);
+      }
+      spec.probability = std::stod(value);
+      if (spec.probability < 0.0 || spec.probability > 1.0) {
+        BadSpec(entry, "probability must be in [0, 1]");
+      }
+    } else if (trigger.rfind("nth:", 0) == 0) {
+      spec.kind = TriggerKind::kEveryNth;
+      spec.n = std::stoull(trigger.substr(4));
+      if (spec.n == 0) {
+        BadSpec(entry, "nth requires n >= 1");
+      }
+    } else if (trigger.rfind("at:", 0) == 0) {
+      spec.kind = TriggerKind::kAt;
+      spec.n = std::stoull(trigger.substr(3));
+      if (spec.n == 0) {
+        BadSpec(entry, "at requires k >= 1");
+      }
+    } else {
+      BadSpec(entry, "unknown trigger '" + trigger + "'");
+    }
+  } catch (const std::invalid_argument&) {
+    throw;
+  } catch (const std::exception&) {
+    BadSpec(entry, "malformed number in trigger '" + trigger + "'");
+  }
+  return spec;
+}
+
+// Reads OPTIMUS_FAULTS once at process start. Parse errors are reported to
+// stderr and ignored rather than aborting static initialization.
+struct EnvInit {
+  EnvInit() {
+    const char* spec = std::getenv("OPTIMUS_FAULTS");
+    if (spec != nullptr && spec[0] != '\0') {
+      try {
+        ArmSpec(spec);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "warning: ignoring OPTIMUS_FAULTS: %s\n", e.what());
+      }
+    }
+  }
+};
+const EnvInit g_env_init;
+
+}  // namespace
+
+std::vector<FaultSpec> ParseFaultSpecs(const std::string& spec) {
+  std::vector<FaultSpec> specs;
+  size_t start = 0;
+  while (start < spec.size()) {
+    size_t end = spec.find(';', start);
+    if (end == std::string::npos) {
+      end = spec.size();
+    }
+    const std::string entry = spec.substr(start, end - start);
+    if (!entry.empty()) {
+      specs.push_back(ParseEntry(entry));
+    }
+    start = end + 1;
+  }
+  return specs;
+}
+
+namespace internal {
+
+bool EvaluateSlow(const char* point) {
+  Registry& registry = GetRegistry();
+  // The shared lock is held across the evaluation so a concurrent Disarm()
+  // cannot free the point mid-draw.
+  std::shared_lock<std::shared_mutex> lock(registry.mutex);
+  auto it = registry.points.find(point);
+  if (it == registry.points.end()) {
+    return false;
+  }
+  return EvaluatePoint(it->second.get());
+}
+
+void InjectSlow(const char* point) {
+  if (EvaluateSlow(point)) {
+    throw FaultInjectedError(point);
+  }
+}
+
+}  // namespace internal
+
+void Arm(const FaultSpec& spec) {
+  if (spec.point.empty()) {
+    throw std::invalid_argument("fault::Arm: empty point name");
+  }
+  Registry& registry = GetRegistry();
+  std::unique_lock<std::shared_mutex> lock(registry.mutex);
+  auto point = std::make_unique<Point>();
+  point->spec = spec;
+  point->rng = Rng(spec.seed);
+  registry.points[spec.point] = std::move(point);
+  internal::g_armed.store(true, std::memory_order_release);
+}
+
+void ArmSpec(const std::string& spec) {
+  for (const FaultSpec& parsed : ParseFaultSpecs(spec)) {
+    Arm(parsed);
+  }
+}
+
+void Disarm() {
+  Registry& registry = GetRegistry();
+  std::unique_lock<std::shared_mutex> lock(registry.mutex);
+  internal::g_armed.store(false, std::memory_order_release);
+  registry.points.clear();
+}
+
+uint64_t Hits(const std::string& point) { return CounterFor(point, /*fires=*/false); }
+
+uint64_t Fires(const std::string& point) { return CounterFor(point, /*fires=*/true); }
+
+std::map<std::string, uint64_t> FireCounts() {
+  Registry& registry = GetRegistry();
+  std::shared_lock<std::shared_mutex> lock(registry.mutex);
+  std::map<std::string, uint64_t> counts;
+  for (const auto& [name, point] : registry.points) {
+    std::lock_guard<std::mutex> point_lock(point->mutex);
+    counts[name] = point->fires;
+  }
+  return counts;
+}
+
+}  // namespace fault
+}  // namespace optimus

@@ -1,0 +1,138 @@
+// Deterministic fault injection (DESIGN.md §11).
+//
+// Subsystems declare named *fault points* on their failure-prone paths
+// (e.g. "loader.load", "executor.step"); a process-wide registry decides,
+// deterministically, whether each evaluation of a point fires. Nothing fires
+// unless a point has been armed — the hot-path cost of a compiled-in fault
+// point with injection disabled is a single relaxed atomic load.
+//
+// Points are armed programmatically (tests, the chaos harness) or through the
+// OPTIMUS_FAULTS environment variable, read once at process start:
+//
+//   OPTIMUS_FAULTS := entry (';' entry)*
+//   entry          := <point> '=' <trigger>
+//   trigger        := 'prob:' <p> ['@' <seed>]   fire each hit w.p. p (seeded)
+//                   | 'nth:' <n>                 fire every n-th hit
+//                   | 'at:' <k>                  fire exactly on the k-th hit
+//                   | 'once'                     sugar for at:1
+//                   | 'always'                   fire on every hit
+//
+//   e.g. OPTIMUS_FAULTS="executor.step=prob:0.05@42;loader.load=at:3"
+//
+// Every evaluation ("hit") and every firing is counted per point, so a chaos
+// harness can reconcile observed fallbacks/errors against the injected-fault
+// log. All decisions derive from the seed in the spec — two runs with the
+// same spec and the same hit sequence fire identically.
+//
+// Fault points in the tree (see DESIGN.md §11 for the failure each models):
+//   loader.deserialize  ModelFile parse/read failure (LoadFromFile)
+//   loader.load         weight materialization / scratch-load failure
+//   executor.step       per-meta-op failure inside ExecutePlan
+//   cache.plan          planning failure in PlanCache::GetOrPlan
+//   cache.verify        static verification failure at plan insert
+//   transform.donor     donor/plan mismatch detected at transform start
+//   gateway.slow        request handling delayed (exercises deadlines)
+//   gateway.drop        request dropped at the gateway (503)
+
+#ifndef OPTIMUS_SRC_COMMON_FAULT_H_
+#define OPTIMUS_SRC_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace optimus {
+namespace fault {
+
+enum class TriggerKind : uint8_t {
+  kProbability,  // Fire each hit with probability `probability` (seeded RNG).
+  kEveryNth,     // Fire on hits n, 2n, 3n, ...
+  kAt,           // Fire exactly on hit #n (one-shot).
+  kAlways,       // Fire on every hit.
+};
+
+// One armed fault point.
+struct FaultSpec {
+  std::string point;
+  TriggerKind kind = TriggerKind::kAlways;
+  double probability = 0.0;  // kProbability.
+  uint64_t n = 1;            // kEveryNth / kAt.
+  uint64_t seed = 1;         // kProbability.
+};
+
+// Parses the OPTIMUS_FAULTS grammar above. Throws std::invalid_argument with
+// the offending entry on any syntax error.
+std::vector<FaultSpec> ParseFaultSpecs(const std::string& spec);
+
+// Thrown when an armed fault point fires through MaybeInject().
+class FaultInjectedError : public std::runtime_error {
+ public:
+  explicit FaultInjectedError(const std::string& point)
+      : std::runtime_error("injected fault at " + point), point_(point) {}
+  const std::string& point() const { return point_; }
+
+ private:
+  std::string point_;
+};
+
+namespace internal {
+// True iff any point is armed. The only state fault points touch when
+// injection is disabled.
+extern std::atomic<bool> g_armed;
+// Slow paths; only reached while at least one point is armed.
+bool EvaluateSlow(const char* point);
+void InjectSlow(const char* point);
+}  // namespace internal
+
+// True iff any fault point is armed anywhere in the process.
+inline bool Enabled() { return internal::g_armed.load(std::memory_order_relaxed); }
+
+// Evaluates the point; returns true when it fires. For call sites that want
+// custom failure behaviour (delays, drops).
+inline bool Triggered(const char* point) {
+  return Enabled() && internal::EvaluateSlow(point);
+}
+
+// Evaluates the point; throws FaultInjectedError when it fires.
+inline void MaybeInject(const char* point) {
+  if (Enabled()) {
+    internal::InjectSlow(point);
+  }
+}
+
+// Arms a point (replacing any prior trigger for it; counters reset).
+void Arm(const FaultSpec& spec);
+
+// Parses `spec` and arms every entry.
+void ArmSpec(const std::string& spec);
+
+// Disarms everything and clears all counters.
+void Disarm();
+
+// Hit / fire counters for an individual point (0 for unknown points). Counts
+// survive Arm() of *other* points and are cleared by Disarm().
+uint64_t Hits(const std::string& point);
+uint64_t Fires(const std::string& point);
+
+// Snapshot of fire counts for every point that has been armed since the last
+// Disarm() — the injected-fault log chaos harnesses reconcile against.
+std::map<std::string, uint64_t> FireCounts();
+
+// RAII arming for tests: arms `spec` on construction, Disarm()s on scope
+// exit. Not nestable (scopes share the process-wide registry).
+class ScopedFaults {
+ public:
+  explicit ScopedFaults(const std::string& spec) { ArmSpec(spec); }
+  ScopedFaults() = default;
+  ~ScopedFaults() { Disarm(); }
+  ScopedFaults(const ScopedFaults&) = delete;
+  ScopedFaults& operator=(const ScopedFaults&) = delete;
+};
+
+}  // namespace fault
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_COMMON_FAULT_H_

@@ -1,0 +1,91 @@
+// Typed error taxonomy for the platform boundary (DESIGN.md §11).
+//
+// Every failure that crosses OptimusPlatform::TryInvoke or the gateway is
+// classified into one of these codes, splitting the space the way serving
+// systems do:
+//
+//   * client errors     — kInvalidArgument, kNotFound, kAlreadyExists: the
+//                         request itself is wrong; retrying it verbatim can
+//                         never succeed.
+//   * retryable errors  — kUnavailable: a transient fault (I/O hiccup,
+//                         injected fault, poisoned donor already destroyed);
+//                         the same request may succeed if retried.
+//   * load shedding     — kResourceExhausted: the platform is saturated and
+//                         refused the request outright; back off and retry.
+//   * deadline          — kDeadlineExceeded: the per-request deadline expired
+//                         before a result was produced.
+//   * permanent errors  — kInternal: an invariant broke; retrying won't help.
+//
+// Status is the value-type result; OptimusError is the matching exception for
+// call sites that prefer throwing APIs. The two convert losslessly.
+
+#ifndef OPTIMUS_SRC_COMMON_STATUS_H_
+#define OPTIMUS_SRC_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace optimus {
+
+enum class ErrorCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,    // Malformed request or input.
+  kNotFound,           // Unknown function.
+  kAlreadyExists,      // Duplicate registration.
+  kResourceExhausted,  // Shed: the platform/gateway is saturated.
+  kUnavailable,        // Transient failure; the request is retryable.
+  kDeadlineExceeded,   // Per-request deadline expired.
+  kInternal,           // Permanent internal failure.
+};
+
+// Stable upper-snake names ("NOT_FOUND") used in logs and JSON error bodies.
+const char* ErrorCodeName(ErrorCode code);
+
+// True for codes where retrying the identical request may succeed.
+inline bool IsRetryable(ErrorCode code) { return code == ErrorCode::kUnavailable; }
+
+// True for codes caused by the request itself rather than the platform.
+inline bool IsClientError(ErrorCode code) {
+  return code == ErrorCode::kInvalidArgument || code == ErrorCode::kNotFound ||
+         code == ErrorCode::kAlreadyExists;
+}
+
+class Status {
+ public:
+  Status() = default;  // OK.
+  Status(ErrorCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+// Exception form of a non-OK Status.
+class OptimusError : public std::runtime_error {
+ public:
+  OptimusError(ErrorCode code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+  explicit OptimusError(const Status& status)
+      : std::runtime_error(status.message()), code_(status.code()) {}
+
+  ErrorCode code() const { return code_; }
+  Status ToStatus() const { return Status(code_, what()); }
+
+ private:
+  ErrorCode code_;
+};
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_COMMON_STATUS_H_

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/common/fault.h"
 #include "src/common/stopwatch.h"
 #include "src/tensor/tensor_ops.h"
 
@@ -57,6 +58,7 @@ TransformExecutionStats ExecutePlan(ModelInstance* instance, const Model& dest,
       throw std::runtime_error("ExecutePlan: matched ops of different kinds");
     }
     if (!(op.attrs == dst_op.attrs)) {
+      fault::MaybeInject("executor.step");
       timer.Time(MetaOpKind::kReshape, [&] {
         op.attrs = dst_op.attrs;
         const std::vector<Shape> target_shapes = WeightShapesFor(op.kind, op.attrs);
@@ -68,6 +70,7 @@ TransformExecutionStats ExecutePlan(ModelInstance* instance, const Model& dest,
       });
     }
     if (OpKindHasWeights(op.kind) && !dst_op.weights.empty()) {
+      fault::MaybeInject("executor.step");
       timer.Time(MetaOpKind::kReplace, [&] {
         if (op.weights.size() != dst_op.weights.size()) {
           op.AllocateWeights();
@@ -84,11 +87,13 @@ TransformExecutionStats ExecutePlan(ModelInstance* instance, const Model& dest,
   // Reduce: drop source ops with no destination counterpart. The actual
   // storage release happens when the old model is replaced below.
   for (const OpId src_id : plan.mapping.reduced) {
+    fault::MaybeInject("executor.step");
     timer.Time(MetaOpKind::kReduce, [&] { source.RemoveOp(src_id); });
   }
 
   // Add: materialize brand-new destination ops (structure + weights).
   for (const OpId dst_id : plan.mapping.added) {
+    fault::MaybeInject("executor.step");
     timer.Time(MetaOpKind::kAdd, [&] {
       Operation op;
       const Operation& dst_op = dest.op(dst_id);
@@ -120,6 +125,7 @@ TransformExecutionStats ExecutePlan(ModelInstance* instance, const Model& dest,
     if (step.kind != MetaOpKind::kEdge) {
       continue;
     }
+    fault::MaybeInject("executor.step");
     timer.Time(MetaOpKind::kEdge, [&] {
       if (step.edge_add) {
         result.AddEdge(step.edge.first, step.edge.second);

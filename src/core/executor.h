@@ -30,6 +30,12 @@ struct TransformExecutionStats {
 // for the destination function's model file. On return, instance->model is
 // Identical() to dest. Throws std::runtime_error if the plan does not match
 // the instance's resident model.
+//
+// NOT transactional: execution mutates the resident model in place, so a
+// throw mid-plan (mismatch detected late, or the "executor.step" fault point
+// firing) leaves `instance` half-transformed. Callers must treat any throw as
+// poisoning the container and discard the instance — the platform destroys
+// the container and falls back to a scratch load (DESIGN.md §11).
 TransformExecutionStats ExecutePlan(ModelInstance* instance, const Model& dest,
                                     const TransformPlan& plan);
 

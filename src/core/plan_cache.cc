@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "src/analysis/verifier.h"
+#include "src/common/fault.h"
 #include "src/core/plan_io.h"
 
 namespace optimus {
@@ -24,6 +25,40 @@ const PlanCache::Shard& PlanCache::ShardFor(const Key& key) const {
   return shards_[hash % kNumShards];
 }
 
+const TransformPlan& PlanCache::PlanInto(Entry* entry, const Model& source, const Model& dest) {
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  try {
+    fault::MaybeInject("cache.plan");
+    TransformPlan plan = PlanTransform(source, dest, *costs_, planner_);
+    if (verification()) {
+      fault::MaybeInject("cache.verify");
+      ThrowIfInvalid(VerifyPlan(source, dest, plan, *costs_),
+                     "PlanCache: plan verification failed for '" + source.name() + "' -> '" +
+                         dest.name() + "'");
+    }
+    {
+      std::lock_guard<std::mutex> lock(entry->mutex);
+      entry->plan = std::move(plan);
+      entry->error.clear();
+      entry->state.store(kReady, std::memory_order_release);
+    }
+    entry->published.notify_all();
+    return entry->plan;
+  } catch (const std::exception& e) {
+    // Latch the failure so waiters see the error instead of blocking forever.
+    // The latch is retryable: a later requester re-claims the entry until the
+    // plan retry budget is exhausted.
+    {
+      std::lock_guard<std::mutex> lock(entry->mutex);
+      entry->error = e.what();
+      entry->failed_attempts += 1;
+      entry->state.store(kFailed, std::memory_order_release);
+    }
+    entry->published.notify_all();
+    throw;
+  }
+}
+
 const TransformPlan& PlanCache::GetOrPlan(const Model& source, const Model& dest) {
   const Key key{source.name(), dest.name()};
   Shard& shard = ShardFor(key);
@@ -40,45 +75,25 @@ const TransformPlan& PlanCache::GetOrPlan(const Model& source, const Model& dest
     entry = it->second;
   }
 
-  if (planner_thread) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    try {
-      TransformPlan plan = PlanTransform(source, dest, *costs_, planner_);
-      if (verification()) {
-        ThrowIfInvalid(VerifyPlan(source, dest, plan, *costs_),
-                       "PlanCache: plan verification failed for '" + source.name() + "' -> '" +
-                           dest.name() + "'");
-      }
-      {
-        std::lock_guard<std::mutex> lock(entry->mutex);
-        entry->plan = std::move(plan);
-        entry->ready.store(true, std::memory_order_release);
-      }
-      entry->published.notify_all();
+  if (!planner_thread) {
+    std::unique_lock<std::mutex> lock(entry->mutex);
+    entry->published.wait(
+        lock, [&] { return entry->state.load(std::memory_order_acquire) != kPlanning; });
+    if (entry->state.load(std::memory_order_acquire) == kReady) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
       return entry->plan;
-    } catch (const std::exception& e) {
-      // Latch the failure so waiters (and later requesters) see the error
-      // instead of blocking forever on a plan that will never be published.
-      {
-        std::lock_guard<std::mutex> lock(entry->mutex);
-        entry->error = e.what();
-        entry->failed.store(true, std::memory_order_release);
-        entry->ready.store(true, std::memory_order_release);
-      }
-      entry->published.notify_all();
-      throw;
     }
+    // kFailed: permanent once the budget is spent, otherwise re-claim the
+    // entry (flip back to kPlanning under the mutex so exactly one waiter
+    // becomes the re-planner; the rest resume waiting).
+    if (entry->failed_attempts >= plan_retry_budget_) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      throw std::runtime_error(entry->error);
+    }
+    entry->state.store(kPlanning, std::memory_order_release);
   }
 
-  hits_.fetch_add(1, std::memory_order_relaxed);
-  if (!entry->ready.load(std::memory_order_acquire)) {
-    std::unique_lock<std::mutex> lock(entry->mutex);
-    entry->published.wait(lock, [&] { return entry->ready.load(std::memory_order_acquire); });
-  }
-  if (entry->failed.load(std::memory_order_acquire)) {
-    throw std::runtime_error(entry->error);
-  }
-  return entry->plan;
+  return PlanInto(entry.get(), source, dest);
 }
 
 bool PlanCache::Contains(const std::string& source_name, const std::string& dest_name) const {
@@ -86,8 +101,37 @@ bool PlanCache::Contains(const std::string& source_name, const std::string& dest
   const Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.entries.find(key);
-  return it != shard.entries.end() && it->second->ready.load(std::memory_order_acquire) &&
-         !it->second->failed.load(std::memory_order_acquire);
+  return it != shard.entries.end() &&
+         it->second->state.load(std::memory_order_acquire) == kReady;
+}
+
+void PlanCache::ReportExecutionFailure(const std::string& source_name,
+                                       const std::string& dest_name) {
+  execution_failures_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(quarantine_mutex_);
+  execution_failures_by_pair_[Key{source_name, dest_name}] += 1;
+}
+
+bool PlanCache::Quarantined(const std::string& source_name,
+                            const std::string& dest_name) const {
+  std::lock_guard<std::mutex> lock(quarantine_mutex_);
+  auto it = execution_failures_by_pair_.find(Key{source_name, dest_name});
+  return it != execution_failures_by_pair_.end() && it->second >= execution_retry_budget_;
+}
+
+size_t PlanCache::QuarantinedPairs() const {
+  std::lock_guard<std::mutex> lock(quarantine_mutex_);
+  size_t count = 0;
+  for (const auto& [key, failures] : execution_failures_by_pair_) {
+    if (failures >= execution_retry_budget_) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+size_t PlanCache::ExecutionFailures() const {
+  return execution_failures_.load(std::memory_order_relaxed);
 }
 
 size_t PlanCache::Size() const {
@@ -108,8 +152,7 @@ void PlanCache::Save(const std::string& path) const {
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mutex);
     for (const auto& [key, entry] : shard.entries) {
-      if (entry->ready.load(std::memory_order_acquire) &&
-          !entry->failed.load(std::memory_order_acquire)) {
+      if (entry->state.load(std::memory_order_acquire) == kReady) {
         ready_entries.emplace_back(key, entry.get());
         pinned.push_back(entry);
       }
@@ -146,8 +189,8 @@ void PlanCache::Load(const std::string& path) {
       std::lock_guard<std::mutex> lock(entry->mutex);
       entry->plan = std::move(plan);
       entry->error.clear();
-      entry->failed.store(false, std::memory_order_release);
-      entry->ready.store(true, std::memory_order_release);
+      entry->failed_attempts = 0;
+      entry->state.store(kReady, std::memory_order_release);
     }
     entry->published.notify_all();
   }

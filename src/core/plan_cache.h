@@ -9,12 +9,25 @@
 // split across a fixed number of shards, each guarded by its own mutex, so
 // lookups for unrelated (source, dest) pairs never contend. Each entry
 // carries a "planning in flight" latch: the first thread to request a pair
-// plans it while later requesters block on the latch instead of re-planning,
-// so a pair is planned exactly once no matter how many threads race for it.
+// plans it while later requesters block on the latch instead of re-planning.
 // Plans are immutable once published, which is what makes the returned
 // references stable (entries are heap-allocated and never removed).
 // Exception: Load() overwrites plans in place and must not race with readers
 // holding references into the cache.
+//
+// Failure semantics (DESIGN.md §11):
+//   * A planning or verification failure is latched on the entry so waiters
+//     get the error instead of deadlocking — but the latch is *retryable*: a
+//     later requester re-claims the entry and re-plans, up to
+//     plan_retry_budget() total attempts, after which the latched error is
+//     permanent. Transient faults (I/O hiccups, injected faults) therefore
+//     don't poison a pair forever.
+//   * Plans that failed at *execution* time (ExecutePlan threw inside a
+//     container) are tracked in a quarantine list — a negative cache with a
+//     bounded retry budget. After execution_retry_budget() failures the pair
+//     is quarantined: Quarantined() returns true and the transformer routes
+//     the pair to the scratch-load safeguard instead of retrying a plan that
+//     keeps destroying containers.
 
 #ifndef OPTIMUS_SRC_CORE_PLAN_CACHE_H_
 #define OPTIMUS_SRC_CORE_PLAN_CACHE_H_
@@ -41,13 +54,13 @@ class PlanCache {
   // miss. Keyed by model name; models are assumed immutable once registered.
   // Concurrent callers for the same pair block until the single in-flight
   // planning completes; a request that finds the pair present or in flight
-  // counts as a hit, the one that plans counts as a miss.
+  // counts as a hit, every planning attempt counts as a miss.
   //
   // With verification enabled, a freshly planned strategy is statically
-  // verified (src/analysis) before it is published; a plan that fails — like
-  // a planning attempt that throws — is latched as failed, and every
-  // requester of the pair (the planner and all waiters) gets the error
-  // instead of deadlocking or consuming a corrupt plan.
+  // verified (src/analysis) before it is published. A planning attempt that
+  // throws latches the failure; requesters retry the planning (one at a time)
+  // until plan_retry_budget() attempts have failed, after which the latched
+  // error is thrown to every requester of the pair.
   const TransformPlan& GetOrPlan(const Model& source, const Model& dest);
 
   // Static verification at the insert boundary (DESIGN.md §10). Defaults to
@@ -94,6 +107,27 @@ class PlanCache {
   // count until it completes).
   bool Contains(const std::string& source_name, const std::string& dest_name) const;
 
+  // ---- Execution-failure quarantine (negative cache) ----
+
+  // Records that the pair's plan failed while executing inside a container.
+  void ReportExecutionFailure(const std::string& source_name, const std::string& dest_name);
+
+  // True once the pair has exhausted its execution retry budget; the
+  // transformer then treats the pair as non-transformable (scratch fallback).
+  bool Quarantined(const std::string& source_name, const std::string& dest_name) const;
+
+  // Execution failures a pair may accumulate before being quarantined.
+  int execution_retry_budget() const { return execution_retry_budget_; }
+  void set_execution_retry_budget(int budget) { execution_retry_budget_ = budget; }
+
+  // Planning attempts (initial + retries) a pair may consume before its
+  // latched planning error becomes permanent.
+  int plan_retry_budget() const { return plan_retry_budget_; }
+  void set_plan_retry_budget(int budget) { plan_retry_budget_ = budget; }
+
+  size_t QuarantinedPairs() const;   // Pairs at/over the execution budget.
+  size_t ExecutionFailures() const;  // Total failures reported.
+
   // Persists all cached strategies to a file / restores them (the §7 design
   // stores plans with the models; restoring avoids re-planning on restart).
   // Save writes plans in (source, dest) key order regardless of which threads
@@ -112,17 +146,23 @@ class PlanCache {
  private:
   using Key = std::pair<std::string, std::string>;
 
-  // One cached pair. `ready` flips to true exactly once, under `mutex`, when
-  // the outcome (good plan or latched failure) is published; waiters block on
-  // `published` until then. `failed`/`error` are written before the `ready`
-  // release-store and only read after an acquire-load of `ready`.
+  enum EntryState : uint8_t {
+    kPlanning = 0,  // A planning attempt is in flight; waiters block.
+    kReady,         // `plan` is published and immutable.
+    kFailed,        // The last attempt failed; `error`/`failed_attempts` say why.
+  };
+
+  // One cached pair. `state` transitions only under `mutex` (with a release
+  // store so Contains() may read it lock-free); waiters block on `published`
+  // until the state leaves kPlanning. A kFailed entry with budget remaining
+  // is re-claimed by flipping it back to kPlanning.
   struct Entry {
     std::mutex mutex;
     std::condition_variable published;
-    std::atomic<bool> ready{false};
-    std::atomic<bool> failed{false};
-    std::string error;
-    TransformPlan plan;
+    std::atomic<uint8_t> state{kPlanning};
+    int failed_attempts = 0;  // Guarded by mutex.
+    std::string error;        // Guarded by mutex.
+    TransformPlan plan;       // Written once, before state -> kReady.
   };
 
   static constexpr size_t kNumShards = 16;
@@ -137,6 +177,10 @@ class PlanCache {
     return const_cast<Shard&>(static_cast<const PlanCache*>(this)->ShardFor(key));
   }
 
+  // Runs one planning attempt for `entry`, publishing the plan or latching
+  // the failure. Returns the published plan; rethrows on failure.
+  const TransformPlan& PlanInto(Entry* entry, const Model& source, const Model& dest);
+
   // Throws when verification is on and `model` violates a graph invariant;
   // keeps malformed models out of the repository-wide warm pass.
   void CheckRegistration(const Model& model) const;
@@ -147,6 +191,12 @@ class PlanCache {
   Shard shards_[kNumShards];
   std::atomic<size_t> hits_{0};
   std::atomic<size_t> misses_{0};
+
+  int plan_retry_budget_ = 3;
+  int execution_retry_budget_ = 2;
+  mutable std::mutex quarantine_mutex_;
+  std::map<Key, int> execution_failures_by_pair_;
+  std::atomic<size_t> execution_failures_{0};
 };
 
 }  // namespace optimus

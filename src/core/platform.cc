@@ -80,6 +80,44 @@ size_t OptimusPlatform::NumLiveContainers() const {
   return count;
 }
 
+PlatformCounters OptimusPlatform::counters() const {
+  PlatformCounters counters;
+  counters.warm_starts = warm_starts_.load(std::memory_order_relaxed);
+  counters.transforms = transforms_.load(std::memory_order_relaxed);
+  counters.cold_starts = cold_starts_.load(std::memory_order_relaxed);
+  counters.transform_failures = transform_failures_.load(std::memory_order_relaxed);
+  counters.transform_fallbacks = transform_fallbacks_.load(std::memory_order_relaxed);
+  counters.decide_failures = decide_failures_.load(std::memory_order_relaxed);
+  counters.failed_invokes = failed_invokes_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+std::vector<std::string> OptimusPlatform::CheckContainerIntegrity() const {
+  std::vector<std::string> violations;
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    std::lock_guard<std::mutex> lock(nodes_[n]->mutex);
+    for (const RealContainer& container : nodes_[n]->containers) {
+      const std::string where =
+          "node " + std::to_string(n) + " container " + std::to_string(container.id) + " (" +
+          container.function + "): ";
+      if (!container.instance.Loaded()) {
+        violations.push_back(where + "no resident model");
+        continue;
+      }
+      if (container.instance.model.name() != container.function) {
+        violations.push_back(where + "resident model is '" + container.instance.model.name() +
+                             "' — half-transformed or misassigned");
+      }
+      try {
+        container.instance.model.Validate();
+      } catch (const std::exception& e) {
+        violations.push_back(where + "resident model invalid: " + e.what());
+      }
+    }
+  }
+  return violations;
+}
+
 void OptimusPlatform::ReapExpired(Node* node, double now) {
   auto& containers = node->containers;
   containers.erase(std::remove_if(containers.begin(), containers.end(),
@@ -94,27 +132,52 @@ int OptimusPlatform::PlaceFunction(const std::string& function) const {
                           static_cast<size_t>(options_.num_nodes));
 }
 
-void OptimusPlatform::AdvanceClock(double now) {
+double OptimusPlatform::AdvanceClock(double now) {
+  // CAS-max: the clock only moves forward. A caller presenting an older `now`
+  // (threads race between taking their timestamp and arriving here) is
+  // clamped to the newest observed time rather than rejected.
   double prev = last_now_.load(std::memory_order_relaxed);
   while (prev < now) {
     if (last_now_.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
-      return;
+      return now;
     }
   }
-  if (now + 1e-12 < prev) {
-    throw std::invalid_argument("Invoke: time moved backwards");
+  return prev;
+}
+
+Status OptimusPlatform::TryInvoke(const std::string& function, const std::vector<float>& input,
+                                  double now, InvokeResult* result) {
+  try {
+    *result = InvokeInternal(function, input, now);
+    return Status::Ok();
+  } catch (const OptimusError& error) {
+    failed_invokes_.fetch_add(1, std::memory_order_relaxed);
+    return error.ToStatus();
+  } catch (const std::exception& error) {
+    failed_invokes_.fetch_add(1, std::memory_order_relaxed);
+    return Status(ErrorCode::kInternal, error.what());
   }
 }
 
 InvokeResult OptimusPlatform::Invoke(const std::string& function,
                                      const std::vector<float>& input, double now) {
-  AdvanceClock(now);
+  InvokeResult result;
+  const Status status = TryInvoke(function, input, now, &result);
+  if (!status.ok()) {
+    throw OptimusError(status);
+  }
+  return result;
+}
+
+InvokeResult OptimusPlatform::InvokeInternal(const std::string& function,
+                                             const std::vector<float>& input, double now) {
+  now = AdvanceClock(now);
   const Model* model_ptr = nullptr;
   {
     std::shared_lock<std::shared_mutex> lock(repository_mutex_);
     auto model_it = repository_.find(function);
     if (model_it == repository_.end()) {
-      throw std::out_of_range("Invoke: unknown function " + function);
+      throw OptimusError(ErrorCode::kNotFound, "Invoke: unknown function " + function);
     }
     model_ptr = &model_it->second;  // Map nodes are stable; models immutable.
   }
@@ -141,35 +204,59 @@ InvokeResult OptimusPlatform::Invoke(const std::string& function,
 
   // Transformation: repurpose the best sufficiently-idle donor (only when the
   // node has no free slot; otherwise a fresh container preserves warm state).
-  const bool has_free_slot =
-      static_cast<int>(node.containers.size()) < options_.containers_per_node;
-  if (chosen == nullptr && !has_free_slot) {
+  if (chosen == nullptr &&
+      static_cast<int>(node.containers.size()) >= options_.containers_per_node) {
     RealContainer* best_donor = nullptr;
     double best_cost = 0.0;
     for (RealContainer& container : node.containers) {
       if (now - container.last_active < options_.idle_threshold) {
         continue;
       }
-      const TransformDecision decision = transformer_->Decide(container.instance.model, model);
-      if (best_donor == nullptr || decision.ChosenCost() < best_cost) {
-        best_donor = &container;
-        best_cost = decision.ChosenCost();
+      try {
+        const TransformDecision decision =
+            transformer_->Decide(container.instance.model, model);
+        if (best_donor == nullptr || decision.ChosenCost() < best_cost) {
+          best_donor = &container;
+          best_cost = decision.ChosenCost();
+        }
+      } catch (const std::exception&) {
+        // Planning/verification failed for this pair (possibly a transient
+        // injected fault): the candidate is simply not eligible this request.
+        decide_failures_.fetch_add(1, std::memory_order_relaxed);
       }
     }
     if (best_donor != nullptr) {
-      const TransformOutcome outcome = transformer_->TransformOrLoad(&best_donor->instance, model);
-      result.start = outcome.decision.use_transform ? StartType::kTransform : StartType::kCold;
-      result.donor_function = best_donor->function;
-      result.estimated_latency = outcome.decision.ChosenCost() + profile.InferenceCost(model);
-      best_donor->function = function;
-      chosen = best_donor;
+      try {
+        const TransformOutcome outcome =
+            transformer_->TransformOrLoad(&best_donor->instance, model);
+        result.start = outcome.decision.use_transform ? StartType::kTransform : StartType::kCold;
+        result.donor_function = best_donor->function;
+        result.estimated_latency = outcome.decision.ChosenCost() + profile.InferenceCost(model);
+        best_donor->function = function;
+        chosen = best_donor;
+      } catch (const std::exception&) {
+        // Transactional transformation: the donor's resident model may be
+        // half-mutated, so the container is destroyed and the request falls
+        // through to a fresh scratch (cold) load. The transformer already
+        // charged the failure to the plan-cache quarantine.
+        transform_failures_.fetch_add(1, std::memory_order_relaxed);
+        const ContainerId poisoned = best_donor->id;
+        auto& containers = node.containers;
+        containers.erase(std::remove_if(containers.begin(), containers.end(),
+                                        [&](const RealContainer& container) {
+                                          return container.id == poisoned;
+                                        }),
+                         containers.end());
+        result.transform_fallback = true;
+      }
     }
   }
 
-  // Cold start: fresh container (using a free slot, or evicting the
-  // least-recently-active container on a full node with no eligible donor).
+  // Cold start: fresh container (using a free slot — destroying a poisoned
+  // donor frees one — or evicting the least-recently-active container on a
+  // full node with no eligible donor).
   if (chosen == nullptr) {
-    if (!has_free_slot) {
+    if (static_cast<int>(node.containers.size()) >= options_.containers_per_node) {
       auto victim = std::min_element(node.containers.begin(), node.containers.end(),
                                      [](const RealContainer& a, const RealContainer& b) {
                                        return a.last_active < b.last_active;
@@ -179,7 +266,14 @@ InvokeResult OptimusPlatform::Invoke(const std::string& function,
     RealContainer container;
     container.id = next_container_id_.fetch_add(1, std::memory_order_relaxed);
     container.function = function;
-    container.instance = loader_.Instantiate(model);
+    try {
+      container.instance = loader_.Instantiate(model);
+    } catch (const std::exception& error) {
+      // The scratch load is the path of last resort; classify its failure as
+      // retryable — nothing about the request itself is wrong.
+      throw OptimusError(ErrorCode::kUnavailable,
+                         std::string("Invoke: scratch load failed: ") + error.what());
+    }
     result.start = StartType::kCold;
     result.estimated_latency =
         profile.InitCost() + costs_->ScratchLoadCost(model) + profile.InferenceCost(model);
@@ -187,6 +281,11 @@ InvokeResult OptimusPlatform::Invoke(const std::string& function,
     chosen = &node.containers.back();
   }
 
+  chosen->last_active = now;
+  result.output = RunInference(chosen->instance, input);
+
+  // Count successes only after inference produced output, so the start-type
+  // counters reconcile exactly with successful requests.
   switch (result.start) {
     case StartType::kWarm:
       warm_starts_.fetch_add(1, std::memory_order_relaxed);
@@ -198,9 +297,9 @@ InvokeResult OptimusPlatform::Invoke(const std::string& function,
       cold_starts_.fetch_add(1, std::memory_order_relaxed);
       break;
   }
-
-  chosen->last_active = now;
-  result.output = RunInference(chosen->instance, input);
+  if (result.transform_fallback) {
+    transform_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  }
   return result;
 }
 

@@ -17,6 +17,21 @@
 // idle-threshold and keep-alive behaviour is deterministic; the *content* of
 // containers (weights, inference results) is fully real.
 //
+// Clock semantics: the virtual clock is the CAS-max over every `now` any
+// invocation has presented. A caller whose `now` is older than the clock
+// (normal under concurrency — threads race between reading their timestamp
+// and reaching the platform) is *clamped forward*: the invocation behaves as
+// if it arrived at the newest observed time. Time never moves backwards and
+// stale timestamps are never an error.
+//
+// Failure semantics (DESIGN.md §11): Invoke()/TryInvoke() never leak raw
+// internal exceptions. Every failure is classified by the ErrorCode taxonomy
+// (src/common/status.h). Transformation is transactional at the container
+// level: if plan execution fails mid-plan, the poisoned container is
+// destroyed, the failure is charged to the plan cache's quarantine, and the
+// request falls back to a scratch (cold) load — the client sees a slower
+// start, not an error, unless the fallback itself fails (kUnavailable).
+//
 // Thread safety: Deploy() and Invoke() are safe to call concurrently from any
 // number of threads. The locking discipline (also documented in DESIGN.md):
 //   * `repository_mutex_` (shared_mutex) guards the model repository — shared
@@ -40,6 +55,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/common/thread_pool.h"
 #include "src/container/container.h"
 #include "src/core/transformer.h"
@@ -70,6 +86,27 @@ struct InvokeResult {
                                    // (init + load/transform + compute).
   std::string donor_function;      // Set when a transformation occurred.
   int node = -1;
+  // True when the request was served by the scratch fallback after a failed
+  // (aborted mid-plan) transformation; `start` is kCold in that case.
+  bool transform_fallback = false;
+};
+
+// Snapshot of the platform's monotone counters. Success counters
+// (warm/transform/cold) are incremented only after inference produced output,
+// so warm + transform + cold equals the number of successful invocations.
+struct PlatformCounters {
+  size_t warm_starts = 0;
+  size_t transforms = 0;
+  size_t cold_starts = 0;
+  // TransformOrLoad aborted inside a donor container; the container was
+  // destroyed (each failure destroys exactly one container).
+  size_t transform_failures = 0;
+  // Requests served by the scratch fallback after such a failure.
+  size_t transform_fallbacks = 0;
+  // Donor candidates skipped because planning/verification threw in Decide.
+  size_t decide_failures = 0;
+  // TryInvoke calls that returned a non-OK status.
+  size_t failed_invokes = 0;
 };
 
 class OptimusPlatform {
@@ -84,19 +121,34 @@ class OptimusPlatform {
   // Registers a function from a serialized model file.
   void DeployFile(const std::string& function, const ModelFile& file);
 
-  // Serves one inference request at virtual time `now` (seconds, monotone
-  // non-decreasing across calls). Throws std::out_of_range for unknown
-  // functions and std::invalid_argument if `now` moves backwards (i.e. is
-  // smaller than a `now` some earlier-sequenced invocation already used).
+  // Serves one inference request at virtual time `now` (seconds; stale values
+  // are clamped forward to the platform clock — see "Clock semantics" above).
+  // On failure returns a typed Status from the ErrorCode taxonomy and leaves
+  // *result unspecified; never throws for classified failures (kNotFound for
+  // unknown functions, kUnavailable for transient load/transform failures,
+  // kInternal otherwise).
+  Status TryInvoke(const std::string& function, const std::vector<float>& input, double now,
+                   InvokeResult* result);
+
+  // Throwing wrapper over TryInvoke: returns the result or throws
+  // OptimusError carrying the same typed code.
   InvokeResult Invoke(const std::string& function, const std::vector<float>& input, double now);
 
   // Operational introspection.
   size_t NumFunctions() const;
   size_t NumLiveContainers() const;
   const PlanCache& plan_cache() const { return transformer_->cache(); }
+  PlanCache& plan_cache() { return transformer_->cache(); }
   size_t WarmStarts() const { return warm_starts_.load(std::memory_order_relaxed); }
   size_t Transforms() const { return transforms_.load(std::memory_order_relaxed); }
   size_t ColdStarts() const { return cold_starts_.load(std::memory_order_relaxed); }
+  PlatformCounters counters() const;
+
+  // Debug/chaos introspection: validates every live container (resident model
+  // loaded, structurally valid, and named after the container's function) and
+  // returns one human-readable line per violation. A healthy platform — in
+  // particular one that has absorbed transformation failures — returns empty.
+  std::vector<std::string> CheckContainerIntegrity() const;
 
  private:
   struct RealContainer {
@@ -115,7 +167,12 @@ class OptimusPlatform {
 
   void ReapExpired(Node* node, double now);
   int PlaceFunction(const std::string& function) const;
-  void AdvanceClock(double now);
+  // CAS-max clock advance; returns the effective time max(now, clock).
+  double AdvanceClock(double now);
+  // The un-wrapped invocation path; throws OptimusError (and, for bugs,
+  // other exceptions TryInvoke classifies as kInternal).
+  InvokeResult InvokeInternal(const std::string& function, const std::vector<float>& input,
+                              double now);
 
   const CostModel* costs_;
   PlatformOptions options_;
@@ -130,6 +187,10 @@ class OptimusPlatform {
   std::atomic<size_t> warm_starts_{0};
   std::atomic<size_t> transforms_{0};
   std::atomic<size_t> cold_starts_{0};
+  std::atomic<size_t> transform_failures_{0};
+  std::atomic<size_t> transform_fallbacks_{0};
+  std::atomic<size_t> decide_failures_{0};
+  std::atomic<size_t> failed_invokes_{0};
 };
 
 }  // namespace optimus

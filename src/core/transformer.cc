@@ -1,11 +1,20 @@
 #include "src/core/transformer.h"
 
+#include "src/common/fault.h"
+
 namespace optimus {
 
 TransformDecision Transformer::Decide(const Model& source, const Model& dest) {
   TransformDecision decision;
-  decision.transform_cost = cache_.GetOrPlan(source, dest).total_cost;
   decision.scratch_cost = costs_->ScratchLoadCost(dest);
+  if (cache_.Quarantined(source.name(), dest.name())) {
+    // Negative cache: the pair kept failing at execution time; don't risk
+    // another container on it.
+    decision.quarantined = true;
+    decision.transform_cost = decision.scratch_cost;
+    return decision;
+  }
+  decision.transform_cost = cache_.GetOrPlan(source, dest).total_cost;
   decision.use_transform = decision.transform_cost < decision.scratch_cost;
   return decision;
 }
@@ -14,8 +23,17 @@ TransformOutcome Transformer::TransformOrLoad(ModelInstance* instance, const Mod
   TransformOutcome outcome;
   outcome.decision = Decide(instance->model, dest);
   if (outcome.decision.use_transform) {
-    const TransformPlan& plan = cache_.GetOrPlan(instance->model, dest);
-    outcome.execution = ExecutePlan(instance, dest, plan);
+    // Capture the name now: a mid-plan failure leaves instance->model
+    // half-mutated, but the quarantine is keyed by the pre-transform pair.
+    const std::string source_name = instance->model.name();
+    try {
+      fault::MaybeInject("transform.donor");
+      const TransformPlan& plan = cache_.GetOrPlan(instance->model, dest);
+      outcome.execution = ExecutePlan(instance, dest, plan);
+    } catch (...) {
+      cache_.ReportExecutionFailure(source_name, dest.name());
+      throw;
+    }
   } else {
     // Safeguard: load the destination from scratch, as traditional systems do.
     *instance = loader_.Instantiate(dest);

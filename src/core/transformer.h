@@ -7,6 +7,13 @@
 // when transformation would be slower than a scratch load — falls back to
 // loading the destination from scratch, guaranteeing worst-case parity with
 // traditional systems.
+//
+// Failure semantics (DESIGN.md §11): the paper's safeguard only covers the
+// case where transformation would be *slow*; this layer also covers the case
+// where it *fails*. A pair that has exhausted its execution retry budget in
+// the PlanCache quarantine is routed to the scratch path up front, and a plan
+// that throws mid-execution is charged to the quarantine before the error
+// propagates — the caller owns destroying the now-poisoned container.
 
 #ifndef OPTIMUS_SRC_CORE_TRANSFORMER_H_
 #define OPTIMUS_SRC_CORE_TRANSFORMER_H_
@@ -20,6 +27,7 @@ namespace optimus {
 // The safeguard's verdict for a candidate transformation.
 struct TransformDecision {
   bool use_transform = false;
+  bool quarantined = false;     // Pair rejected by the execution quarantine.
   double transform_cost = 0.0;  // Estimated plan-execution cost (seconds).
   double scratch_cost = 0.0;    // Estimated scratch-load cost (seconds).
 
@@ -39,15 +47,23 @@ class Transformer {
       : costs_(costs), loader_(costs), cache_(costs, planner) {}
 
   // Safeguard check: compares the (cached) plan cost against the destination's
-  // scratch-load cost.
+  // scratch-load cost. Quarantined pairs never choose the transform path (the
+  // cached plan is not even consulted, so a latched planning failure for a
+  // quarantined pair cannot surface here).
   TransformDecision Decide(const Model& source, const Model& dest);
 
   // Transforms `instance` (holding `source`) into `dest`, or scratch-loads
-  // `dest` when the safeguard rejects the transformation. In both cases
-  // instance->model ends Identical() to dest.
+  // `dest` when the safeguard (or the quarantine) rejects the transformation.
+  // On success instance->model ends Identical() to dest.
+  //
+  // On a mid-plan execution failure (including the "transform.donor" and
+  // "executor.step" fault points) the failure is reported to the plan cache's
+  // quarantine and the exception propagates with *instance poisoned — the
+  // caller must discard the container and fall back to a fresh scratch load.
   TransformOutcome TransformOrLoad(ModelInstance* instance, const Model& dest);
 
   PlanCache& cache() { return cache_; }
+  const PlanCache& cache() const { return cache_; }
   const Loader& loader() const { return loader_; }
   const CostModel& costs() const { return *costs_; }
 

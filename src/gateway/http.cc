@@ -25,8 +25,14 @@ std::string StatusText(int status) {
       return "Not Found";
     case 409:
       return "Conflict";
+    case 429:
+      return "Too Many Requests";
     case 500:
       return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    case 504:
+      return "Gateway Timeout";
     default:
       return "Unknown";
   }

@@ -1,7 +1,11 @@
 #include "src/gateway/service.h"
 
 #include <chrono>
+#include <cstdio>
 #include <sstream>
+#include <thread>
+
+#include "src/common/fault.h"
 
 namespace optimus {
 
@@ -30,11 +34,92 @@ std::string FormatOutput(const std::vector<float>& output, size_t limit = 8) {
   return out.str();
 }
 
+std::string JsonEscape(const std::string& text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        escaped += "\\\"";
+        break;
+      case '\\':
+        escaped += "\\\\";
+        break;
+      case '\n':
+        escaped += "\\n";
+        break;
+      case '\r':
+        escaped += "\\r";
+        break;
+      case '\t':
+        escaped += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          escaped += buffer;
+        } else {
+          escaped += c;
+        }
+    }
+  }
+  return escaped;
+}
+
+int HttpStatusFor(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return 200;
+    case ErrorCode::kInvalidArgument:
+      return 400;
+    case ErrorCode::kNotFound:
+      return 404;
+    case ErrorCode::kAlreadyExists:
+      return 409;
+    case ErrorCode::kResourceExhausted:
+      return 429;
+    case ErrorCode::kUnavailable:
+      return 503;
+    case ErrorCode::kDeadlineExceeded:
+      return 504;
+    case ErrorCode::kInternal:
+      return 500;
+  }
+  return 500;
+}
+
+HttpResponse JsonError(ErrorCode code, const std::string& message) {
+  HttpResponse response;
+  response.status = HttpStatusFor(code);
+  response.content_type = "application/json";
+  std::ostringstream body;
+  body << "{\"error\":{\"code\":\"" << ErrorCodeName(code) << "\",\"http\":" << response.status
+       << ",\"message\":\"" << JsonEscape(message) << "\"}}\n";
+  response.body = body.str();
+  return response;
+}
+
+HttpResponse JsonError(const Status& status) { return JsonError(status.code(), status.message()); }
+
+double WallSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 OptimusHttpService::OptimusHttpService(const CostModel* costs, const PlatformOptions& options,
                                        std::function<double()> clock)
-    : platform_(costs, options), clock_(std::move(clock)) {
+    : OptimusHttpService(costs, options, GatewayOptions(), std::move(clock)) {}
+
+OptimusHttpService::OptimusHttpService(const CostModel* costs, const PlatformOptions& options,
+                                       const GatewayOptions& gateway,
+                                       std::function<double()> clock)
+    : platform_(costs, options),
+      gateway_(gateway),
+      clock_(std::move(clock)),
+      jitter_rng_(gateway.jitter_seed) {
   if (!clock_) {
     const auto start = std::chrono::steady_clock::now();
     clock_ = [start] {
@@ -50,49 +135,90 @@ void OptimusHttpService::Start(uint16_t port, int num_workers) {
 
 void OptimusHttpService::Stop() { server_.Stop(); }
 
-HttpResponse OptimusHttpService::Handle(const HttpRequest& request) {
-  HttpResponse response;
+double OptimusHttpService::JitterFactor() {
+  std::lock_guard<std::mutex> lock(jitter_mutex_);
+  return 1.0 + jitter_rng_.NextDouble();
+}
 
-  if (request.method == "POST" && request.path == "/deploy") {
-    auto name = request.query.find("name");
-    if (name == request.query.end() || name->second.empty()) {
-      response.status = 400;
-      response.body = "missing ?name=\n";
-      return response;
-    }
-    try {
-      platform_.DeployFile(name->second,
-                           ModelFile(request.body.begin(), request.body.end()));
-    } catch (const std::invalid_argument& error) {
-      response.status = 409;
-      response.body = std::string(error.what()) + "\n";
-      return response;
-    } catch (const std::exception& error) {
-      response.status = 400;
-      response.body = std::string(error.what()) + "\n";
-      return response;
-    }
-    response.body = "deployed " + name->second + "\n";
-    return response;
+HttpResponse OptimusHttpService::HandleDeploy(const HttpRequest& request) {
+  auto name = request.query.find("name");
+  if (name == request.query.end() || name->second.empty()) {
+    return JsonError(ErrorCode::kInvalidArgument, "missing ?name=");
+  }
+  try {
+    platform_.DeployFile(name->second, ModelFile(request.body.begin(), request.body.end()));
+  } catch (const std::invalid_argument& error) {
+    return JsonError(ErrorCode::kAlreadyExists, error.what());
+  } catch (const std::exception& error) {
+    return JsonError(ErrorCode::kInvalidArgument, error.what());
+  }
+  HttpResponse response;
+  response.body = "deployed " + name->second + "\n";
+  return response;
+}
+
+HttpResponse OptimusHttpService::HandleInvoke(const HttpRequest& request) {
+  // Load shedding first: when the gateway is saturated, refuse immediately
+  // with 429 instead of queueing into collapse.
+  if (inflight_invokes_.fetch_add(1, std::memory_order_acq_rel) >=
+      gateway_.max_inflight_invokes) {
+    inflight_invokes_.fetch_sub(1, std::memory_order_acq_rel);
+    sheds_.fetch_add(1, std::memory_order_relaxed);
+    return JsonError(ErrorCode::kResourceExhausted, "gateway saturated; request shed");
+  }
+  struct InflightGuard {
+    std::atomic<int>* counter;
+    ~InflightGuard() { counter->fetch_sub(1, std::memory_order_acq_rel); }
+  } guard{&inflight_invokes_};
+
+  auto name = request.query.find("name");
+  if (name == request.query.end() || name->second.empty()) {
+    return JsonError(ErrorCode::kInvalidArgument, "missing ?name=");
   }
 
-  if (request.method == "POST" && request.path == "/invoke") {
-    auto name = request.query.find("name");
-    if (name == request.query.end() || name->second.empty()) {
-      response.status = 400;
-      response.body = "missing ?name=\n";
-      return response;
-    }
-    std::vector<float> input;
+  double deadline = gateway_.default_deadline;
+  auto deadline_param = request.query.find("deadline");
+  if (deadline_param != request.query.end()) {
     try {
-      input = ParseFloats(request.body);
+      deadline = std::stod(deadline_param->second);
     } catch (const std::exception&) {
-      response.status = 400;
-      response.body = "malformed input vector\n";
-      return response;
+      return JsonError(ErrorCode::kInvalidArgument,
+                       "malformed ?deadline=" + deadline_param->second);
     }
-    try {
-      const InvokeResult result = platform_.Invoke(name->second, input, clock_());
+    if (deadline < 0.0) {
+      return JsonError(ErrorCode::kInvalidArgument, "?deadline= must be >= 0");
+    }
+  }
+
+  std::vector<float> input;
+  try {
+    input = ParseFloats(request.body);
+  } catch (const std::exception&) {
+    return JsonError(ErrorCode::kInvalidArgument, "malformed input vector");
+  }
+
+  const double start = WallSeconds();
+
+  // Injected gateway faults: a dropped request surfaces as 503 (the client
+  // may retry); a slow one eats into the deadline below.
+  if (fault::Triggered("gateway.drop")) {
+    drops_.fetch_add(1, std::memory_order_relaxed);
+    return JsonError(ErrorCode::kUnavailable, "request dropped (injected fault)");
+  }
+  if (fault::Triggered("gateway.slow")) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(gateway_.slow_fault_delay));
+  }
+
+  Status status;
+  for (int attempt = 0;; ++attempt) {
+    if (deadline > 0.0 && WallSeconds() - start >= deadline) {
+      deadlines_.fetch_add(1, std::memory_order_relaxed);
+      return JsonError(ErrorCode::kDeadlineExceeded,
+                       "deadline of " + std::to_string(deadline) + "s exceeded");
+    }
+    InvokeResult result;
+    status = platform_.TryInvoke(name->second, input, clock_(), &result);
+    if (status.ok()) {
       std::ostringstream body;
       body << "start=" << StartTypeName(result.start) << "\n"
            << "estimated_latency=" << result.estimated_latency << "\n";
@@ -100,34 +226,63 @@ HttpResponse OptimusHttpService::Handle(const HttpRequest& request) {
         body << "donor=" << result.donor_function << "\n";
       }
       body << "output=" << FormatOutput(result.output) << "\n";
+      HttpResponse response;
       response.body = body.str();
-    } catch (const std::out_of_range&) {
-      response.status = 404;
-      response.body = "unknown function " + name->second + "\n";
+      return response;
     }
-    return response;
+    if (!IsRetryable(status.code()) || attempt >= gateway_.max_retries) {
+      return JsonError(status);
+    }
+    // Exponential backoff with deterministic jitter before the retry.
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    const double backoff =
+        gateway_.retry_backoff * static_cast<double>(1 << attempt) * JitterFactor();
+    std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+  }
+}
+
+HttpResponse OptimusHttpService::Handle(const HttpRequest& request) {
+  if (request.method == "POST" && request.path == "/deploy") {
+    return HandleDeploy(request);
+  }
+
+  if (request.method == "POST" && request.path == "/invoke") {
+    return HandleInvoke(request);
   }
 
   if (request.method == "GET" && request.path == "/stats") {
+    const PlatformCounters counters = platform_.counters();
+    const PlanCache& cache = platform_.plan_cache();
     std::ostringstream body;
     body << "functions=" << platform_.NumFunctions() << "\n"
          << "containers=" << platform_.NumLiveContainers() << "\n"
-         << "warm=" << platform_.WarmStarts() << "\n"
-         << "transform=" << platform_.Transforms() << "\n"
-         << "cold=" << platform_.ColdStarts() << "\n"
-         << "cached_plans=" << platform_.plan_cache().Size() << "\n";
+         << "warm=" << counters.warm_starts << "\n"
+         << "transform=" << counters.transforms << "\n"
+         << "cold=" << counters.cold_starts << "\n"
+         << "transform_failures=" << counters.transform_failures << "\n"
+         << "transform_fallbacks=" << counters.transform_fallbacks << "\n"
+         << "decide_failures=" << counters.decide_failures << "\n"
+         << "failed_invokes=" << counters.failed_invokes << "\n"
+         << "cached_plans=" << cache.Size() << "\n"
+         << "quarantined_pairs=" << cache.QuarantinedPairs() << "\n"
+         << "execution_failures=" << cache.ExecutionFailures() << "\n"
+         << "gateway_retries=" << Retries() << "\n"
+         << "gateway_sheds=" << Sheds() << "\n"
+         << "gateway_drops=" << Drops() << "\n"
+         << "gateway_deadlines=" << DeadlinesExceeded() << "\n";
+    HttpResponse response;
     response.body = body.str();
     return response;
   }
 
   if (request.method == "GET" && request.path == "/functions") {
+    HttpResponse response;
     response.body = "count=" + std::to_string(platform_.NumFunctions()) + "\n";
     return response;
   }
 
-  response.status = 404;
-  response.body = "no such route: " + request.method + " " + request.path + "\n";
-  return response;
+  return JsonError(ErrorCode::kNotFound,
+                   "no such route: " + request.method + " " + request.path);
 }
 
 }  // namespace optimus

@@ -3,25 +3,61 @@
 // Routes:
 //   POST /deploy?name=<fn>   body = serialized model file  -> deploys <fn>
 //   POST /invoke?name=<fn>   body = comma-separated floats -> runs inference
+//        [&deadline=<sec>]   per-request deadline override (wall seconds)
 //   GET  /functions                                        -> registered names
-//   GET  /stats                                            -> start-type counters
+//   GET  /stats                                            -> counters
 //
 // Invocation responses are line-oriented "key=value" text:
 //   start=Warm|Transform|Cold
 //   estimated_latency=<seconds>
 //   donor=<function>           (only when a transformation occurred)
 //   output=<csv of the first 8 output values>
+//
+// Error responses map the platform's ErrorCode taxonomy to HTTP statuses and
+// carry a JSON body {"error":{"code":"<NAME>","http":<status>,"message":...}}:
+//   400 INVALID_ARGUMENT   bad input / malformed request
+//   404 NOT_FOUND          unknown function or route
+//   409 ALREADY_EXISTS     duplicate deploy
+//   429 RESOURCE_EXHAUSTED shed: too many in-flight invokes (back off, retry)
+//   500 INTERNAL           permanent internal failure
+//   503 UNAVAILABLE        transient failure, retries exhausted (or dropped)
+//   504 DEADLINE_EXCEEDED  per-request deadline expired
+//
+// Failure hardening (DESIGN.md §11): each /invoke gets a wall-clock deadline;
+// retryable (UNAVAILABLE) platform errors are retried with exponential
+// backoff plus deterministic jitter while the deadline allows; when more than
+// max_inflight_invokes requests are already being served, new invokes are
+// shed immediately with 429 rather than queued into collapse.
 
 #ifndef OPTIMUS_SRC_GATEWAY_SERVICE_H_
 #define OPTIMUS_SRC_GATEWAY_SERVICE_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 
+#include "src/common/rng.h"
 #include "src/core/platform.h"
 #include "src/gateway/http.h"
 
 namespace optimus {
+
+struct GatewayOptions {
+  // Wall-clock deadline per /invoke (seconds); 0 disables. Overridable per
+  // request with ?deadline=<sec>.
+  double default_deadline = 1.0;
+  // Additional attempts for retryable (UNAVAILABLE) platform errors.
+  int max_retries = 2;
+  // Base backoff before retry k is base * 2^k, scaled by a deterministic
+  // jitter factor in [1, 2).
+  double retry_backoff = 0.005;
+  uint64_t jitter_seed = 0x5eed;
+  // Invokes allowed in flight before new ones are shed with 429.
+  int max_inflight_invokes = 64;
+  // Delay injected when the "gateway.slow" fault point fires.
+  double slow_fault_delay = 0.05;
+};
 
 class OptimusHttpService {
  public:
@@ -30,6 +66,8 @@ class OptimusHttpService {
   // thread-safe: requests are handled concurrently on the server's workers.
   OptimusHttpService(const CostModel* costs, const PlatformOptions& options,
                      std::function<double()> clock = nullptr);
+  OptimusHttpService(const CostModel* costs, const PlatformOptions& options,
+                     const GatewayOptions& gateway, std::function<double()> clock = nullptr);
 
   // Starts serving on 127.0.0.1:`port` (0 picks an ephemeral port) with
   // `num_workers` concurrent request handlers.
@@ -38,6 +76,13 @@ class OptimusHttpService {
 
   uint16_t port() const { return server_.port(); }
   OptimusPlatform& platform() { return platform_; }
+  const GatewayOptions& gateway_options() const { return gateway_; }
+
+  // Gateway-level counters (also exported via /stats).
+  size_t Retries() const { return retries_.load(std::memory_order_relaxed); }
+  size_t Sheds() const { return sheds_.load(std::memory_order_relaxed); }
+  size_t Drops() const { return drops_.load(std::memory_order_relaxed); }
+  size_t DeadlinesExceeded() const { return deadlines_.load(std::memory_order_relaxed); }
 
   // The route dispatcher (exposed for direct testing without sockets).
   // Thread-safe: routes delegate to the platform, which synchronizes itself,
@@ -45,9 +90,21 @@ class OptimusHttpService {
   HttpResponse Handle(const HttpRequest& request);
 
  private:
+  HttpResponse HandleDeploy(const HttpRequest& request);
+  HttpResponse HandleInvoke(const HttpRequest& request);
+  double JitterFactor();  // Deterministic in [1, 2).
+
   OptimusPlatform platform_;
+  GatewayOptions gateway_;
   std::function<double()> clock_;
   HttpServer server_;
+  std::atomic<int> inflight_invokes_{0};
+  std::atomic<size_t> retries_{0};
+  std::atomic<size_t> sheds_{0};
+  std::atomic<size_t> drops_{0};
+  std::atomic<size_t> deadlines_{0};
+  std::mutex jitter_mutex_;
+  Rng jitter_rng_;
 };
 
 }  // namespace optimus

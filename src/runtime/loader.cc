@@ -1,5 +1,6 @@
 #include "src/runtime/loader.h"
 
+#include "src/common/fault.h"
 #include "src/common/rng.h"
 
 namespace optimus {
@@ -23,6 +24,7 @@ void MaterializeWeights(Model* model, uint64_t weight_seed) {
 
 ModelInstance Loader::LoadFromFile(const ModelFile& file, uint64_t weight_seed,
                                    LoadBreakdown* breakdown) const {
+  fault::MaybeInject("loader.deserialize");
   ModelInstance instance;
   instance.model = DeserializeModel(file);
   MaterializeWeights(&instance.model, weight_seed);
@@ -35,6 +37,7 @@ ModelInstance Loader::LoadFromFile(const ModelFile& file, uint64_t weight_seed,
 
 ModelInstance Loader::Instantiate(const Model& structure, uint64_t weight_seed,
                                   LoadBreakdown* breakdown) const {
+  fault::MaybeInject("loader.load");
   ModelInstance instance;
   instance.model = structure;
   MaterializeWeights(&instance.model, weight_seed);

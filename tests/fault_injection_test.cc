@@ -1,0 +1,486 @@
+// Tests for the deterministic fault-injection framework (src/common/fault)
+// and the failure-hardened invoke/transform path it exercises (DESIGN.md §11):
+// trigger semantics, the typed-error taxonomy at the platform boundary,
+// transactional transformation with scratch fallback, the plan-cache retry
+// budgets and execution quarantine, and the gateway's shed/retry/deadline
+// behaviour.
+
+#include "src/common/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/plan_cache.h"
+#include "src/core/platform.h"
+#include "src/gateway/service.h"
+#include "src/runtime/inference.h"
+#include "src/runtime/loader.h"
+#include "tests/test_util.h"
+
+namespace optimus {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Spec grammar and trigger semantics.
+// ---------------------------------------------------------------------------
+
+TEST(FaultSpecTest, ParsesTheDocumentedGrammar) {
+  const std::vector<fault::FaultSpec> specs =
+      fault::ParseFaultSpecs("executor.step=prob:0.05@42;loader.load=at:3;x=once;y=nth:4;z=always");
+  ASSERT_EQ(specs.size(), 5u);
+  EXPECT_EQ(specs[0].point, "executor.step");
+  EXPECT_EQ(specs[0].kind, fault::TriggerKind::kProbability);
+  EXPECT_DOUBLE_EQ(specs[0].probability, 0.05);
+  EXPECT_EQ(specs[0].seed, 42u);
+  EXPECT_EQ(specs[1].point, "loader.load");
+  EXPECT_EQ(specs[1].kind, fault::TriggerKind::kAt);
+  EXPECT_EQ(specs[1].n, 3u);
+  EXPECT_EQ(specs[2].kind, fault::TriggerKind::kAt);
+  EXPECT_EQ(specs[2].n, 1u);  // "once" is sugar for at:1.
+  EXPECT_EQ(specs[3].kind, fault::TriggerKind::kEveryNth);
+  EXPECT_EQ(specs[3].n, 4u);
+  EXPECT_EQ(specs[4].kind, fault::TriggerKind::kAlways);
+}
+
+TEST(FaultSpecTest, RejectsMalformedEntries) {
+  EXPECT_THROW(fault::ParseFaultSpecs("noequals"), std::invalid_argument);
+  EXPECT_THROW(fault::ParseFaultSpecs("=once"), std::invalid_argument);
+  EXPECT_THROW(fault::ParseFaultSpecs("x=bogus:1"), std::invalid_argument);
+  EXPECT_THROW(fault::ParseFaultSpecs("x=prob:2.0"), std::invalid_argument);
+  EXPECT_THROW(fault::ParseFaultSpecs("x=prob:abc"), std::invalid_argument);
+  EXPECT_THROW(fault::ParseFaultSpecs("x=nth:0"), std::invalid_argument);
+  EXPECT_THROW(fault::ParseFaultSpecs("x=at:0"), std::invalid_argument);
+}
+
+TEST(FaultTriggerTest, AtFiresExactlyOnTheKthHit) {
+  fault::ScopedFaults faults("p=at:3");
+  EXPECT_FALSE(fault::Triggered("p"));
+  EXPECT_FALSE(fault::Triggered("p"));
+  EXPECT_TRUE(fault::Triggered("p"));
+  EXPECT_FALSE(fault::Triggered("p"));
+  EXPECT_EQ(fault::Hits("p"), 4u);
+  EXPECT_EQ(fault::Fires("p"), 1u);
+}
+
+TEST(FaultTriggerTest, NthFiresOnEveryNthHit) {
+  fault::ScopedFaults faults("p=nth:2");
+  std::vector<bool> decisions;
+  for (int i = 0; i < 6; ++i) {
+    decisions.push_back(fault::Triggered("p"));
+  }
+  EXPECT_EQ(decisions, (std::vector<bool>{false, true, false, true, false, true}));
+  EXPECT_EQ(fault::Fires("p"), 3u);
+}
+
+TEST(FaultTriggerTest, AlwaysAndOnce) {
+  fault::ScopedFaults faults("a=always;o=once");
+  EXPECT_TRUE(fault::Triggered("a"));
+  EXPECT_TRUE(fault::Triggered("a"));
+  EXPECT_TRUE(fault::Triggered("o"));
+  EXPECT_FALSE(fault::Triggered("o"));
+}
+
+TEST(FaultTriggerTest, ProbabilityIsSeededAndDeterministic) {
+  constexpr int kDraws = 200;
+  std::vector<bool> first;
+  {
+    fault::ScopedFaults faults("p=prob:0.5@7");
+    for (int i = 0; i < kDraws; ++i) {
+      first.push_back(fault::Triggered("p"));
+    }
+  }
+  std::vector<bool> second;
+  {
+    fault::ScopedFaults faults("p=prob:0.5@7");
+    for (int i = 0; i < kDraws; ++i) {
+      second.push_back(fault::Triggered("p"));
+    }
+  }
+  EXPECT_EQ(first, second);  // Same seed, same hit sequence -> same decisions.
+  const int fires = static_cast<int>(std::count(first.begin(), first.end(), true));
+  EXPECT_GT(fires, kDraws / 4);  // Sanity: roughly half fire.
+  EXPECT_LT(fires, 3 * kDraws / 4);
+}
+
+TEST(FaultTriggerTest, DisabledRegistryIsInert) {
+  fault::Disarm();
+  EXPECT_FALSE(fault::Enabled());
+  EXPECT_FALSE(fault::Triggered("executor.step"));
+  EXPECT_NO_THROW(fault::MaybeInject("executor.step"));
+  EXPECT_EQ(fault::Hits("executor.step"), 0u);  // Unknown points count nothing.
+}
+
+TEST(FaultTriggerTest, MaybeInjectThrowsTypedErrorNamingThePoint) {
+  fault::ScopedFaults faults("loader.load=always");
+  try {
+    fault::MaybeInject("loader.load");
+    FAIL() << "expected FaultInjectedError";
+  } catch (const fault::FaultInjectedError& error) {
+    EXPECT_EQ(error.point(), "loader.load");
+  }
+}
+
+TEST(FaultTriggerTest, FireCountsSnapshotCoversAllArmedPoints) {
+  fault::ScopedFaults faults("a=always;b=at:100");
+  fault::Triggered("a");
+  fault::Triggered("a");
+  fault::Triggered("b");
+  const std::map<std::string, uint64_t> counts = fault::FireCounts();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts.at("a"), 2u);
+  EXPECT_EQ(counts.at("b"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Loader fault points.
+// ---------------------------------------------------------------------------
+
+TEST(LoaderFaultTest, DeserializeFaultSurfacesFromLoadFromFile) {
+  AnalyticCostModel costs;
+  Loader loader(&costs);
+  const ModelFile file = SerializeModel(TinyMobileNet());
+  ASSERT_TRUE(loader.LoadFromFile(file).Loaded());  // Clean path works.
+  fault::ScopedFaults faults("loader.deserialize=always");
+  EXPECT_THROW(loader.LoadFromFile(file), fault::FaultInjectedError);
+}
+
+// ---------------------------------------------------------------------------
+// Platform-level failure semantics.
+// ---------------------------------------------------------------------------
+
+class PlatformFaultTest : public testing::Test {
+ protected:
+  static PlatformOptions Options(int containers_per_node) {
+    PlatformOptions options;
+    options.num_nodes = 1;
+    options.containers_per_node = containers_per_node;
+    return options;
+  }
+
+  // Output of `function` on a clean, fault-free platform (scratch cold load).
+  std::vector<float> ReferenceOutput(const std::string& function, const Model& model) {
+    AnalyticCostModel costs;
+    OptimusPlatform reference(&costs, Options(1));
+    reference.Deploy(function, model);
+    return reference.Invoke(function, input_, 0.0).output;
+  }
+
+  AnalyticCostModel costs_;
+  std::vector<float> input_ = std::vector<float>(8, 0.5f);
+};
+
+TEST_F(PlatformFaultTest, ScratchLoadFaultIsTypedUnavailable) {
+  OptimusPlatform platform(&costs_, Options(2));
+  platform.Deploy("vgg", TinyVgg(11));
+  fault::ScopedFaults faults("loader.load=always");
+  InvokeResult result;
+  const Status status = platform.TryInvoke("vgg", input_, 0.0, &result);
+  EXPECT_EQ(status.code(), ErrorCode::kUnavailable);
+  EXPECT_TRUE(IsRetryable(status.code()));
+  try {
+    platform.Invoke("vgg", input_, 1.0);
+    FAIL() << "expected OptimusError";
+  } catch (const OptimusError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kUnavailable);
+  }
+  EXPECT_EQ(platform.counters().failed_invokes, 2u);
+  EXPECT_EQ(platform.NumLiveContainers(), 0u);  // No half-built containers.
+  EXPECT_TRUE(platform.CheckContainerIntegrity().empty());
+}
+
+TEST_F(PlatformFaultTest, MidPlanFaultDestroysDonorAndFallsBackToScratch) {
+  OptimusPlatform platform(&costs_, Options(2));
+  platform.Deploy("vgg11", TinyVgg(11));
+  platform.Deploy("vgg16", TinyVgg(16));
+  platform.Deploy("vgg19", TinyVgg(19));
+  platform.Invoke("vgg11", input_, 0.0);
+  platform.Invoke("vgg16", input_, 1.0);
+
+  fault::ScopedFaults faults("executor.step=once");
+  const InvokeResult result = platform.Invoke("vgg19", input_, 120.0);
+
+  // The request succeeded via the scratch fallback, not a transform.
+  EXPECT_EQ(result.start, StartType::kCold);
+  EXPECT_TRUE(result.transform_fallback);
+  EXPECT_EQ(result.output, ReferenceOutput("vgg19", TinyVgg(19)));
+
+  // Exactly one injected fault, charged as exactly one transform failure; the
+  // poisoned donor was destroyed and replaced by the fallback container.
+  EXPECT_EQ(fault::Fires("executor.step"), 1u);
+  const PlatformCounters counters = platform.counters();
+  EXPECT_EQ(counters.transform_failures, 1u);
+  EXPECT_EQ(counters.transform_fallbacks, 1u);
+  EXPECT_EQ(counters.transforms, 0u);
+  EXPECT_EQ(counters.failed_invokes, 0u);
+  EXPECT_EQ(platform.NumLiveContainers(), 2u);
+  EXPECT_TRUE(platform.CheckContainerIntegrity().empty());
+  EXPECT_EQ(platform.plan_cache().ExecutionFailures(), 1u);
+  EXPECT_EQ(platform.plan_cache().QuarantinedPairs(), 0u);  // Budget is 2.
+}
+
+TEST_F(PlatformFaultTest, DonorMismatchFaultTakesTheSameFallback) {
+  OptimusPlatform platform(&costs_, Options(2));
+  platform.Deploy("vgg11", TinyVgg(11));
+  platform.Deploy("vgg16", TinyVgg(16));
+  platform.Deploy("vgg19", TinyVgg(19));
+  platform.Invoke("vgg11", input_, 0.0);
+  platform.Invoke("vgg16", input_, 1.0);
+
+  fault::ScopedFaults faults("transform.donor=once");
+  const InvokeResult result = platform.Invoke("vgg19", input_, 120.0);
+  EXPECT_EQ(result.start, StartType::kCold);
+  EXPECT_TRUE(result.transform_fallback);
+  EXPECT_EQ(result.output, ReferenceOutput("vgg19", TinyVgg(19)));
+  EXPECT_EQ(fault::Fires("transform.donor"), 1u);
+  EXPECT_EQ(platform.counters().transform_failures, 1u);
+  EXPECT_TRUE(platform.CheckContainerIntegrity().empty());
+}
+
+TEST_F(PlatformFaultTest, RepeatedExecutionFailuresQuarantineThePair) {
+  OptimusPlatform platform(&costs_, Options(1));
+  platform.plan_cache().set_execution_retry_budget(1);
+  platform.Deploy("a", TinyVgg(11));
+  platform.Deploy("b", TinyVgg(16));
+  platform.Invoke("a", input_, 0.0);  // Cold; the node's only slot.
+
+  fault::ScopedFaults faults("executor.step=once");
+  // Transform a->b aborts mid-plan: with a budget of one failure the pair is
+  // quarantined immediately.
+  const InvokeResult failed = platform.Invoke("b", input_, 120.0);
+  EXPECT_EQ(failed.start, StartType::kCold);
+  EXPECT_TRUE(failed.transform_fallback);
+  EXPECT_TRUE(platform.plan_cache().Quarantined("a", "b"));
+  EXPECT_EQ(platform.plan_cache().QuarantinedPairs(), 1u);
+
+  // The reverse pair b->a is unaffected (the one-shot fault is spent).
+  const InvokeResult back = platform.Invoke("a", input_, 240.0);
+  EXPECT_EQ(back.output, ReferenceOutput("a", TinyVgg(11)));
+
+  // a->b again: the quarantine routes the request straight to the safeguard
+  // (scratch load into the donor container) without touching the executor.
+  const uint64_t fires_before = fault::Fires("executor.step");
+  const InvokeResult routed = platform.Invoke("b", input_, 360.0);
+  EXPECT_EQ(routed.start, StartType::kCold);
+  EXPECT_FALSE(routed.transform_fallback);
+  EXPECT_EQ(routed.donor_function, "a");
+  EXPECT_EQ(routed.output, ReferenceOutput("b", TinyVgg(16)));
+  EXPECT_EQ(fault::Fires("executor.step"), fires_before);
+  EXPECT_TRUE(platform.CheckContainerIntegrity().empty());
+}
+
+// The crash-consistency sweep: abort a real zoo transformation after every
+// step index in turn and require, each time, that the poisoned container is
+// discarded and the scratch fallback's output is bit-identical to a clean
+// cold start.
+TEST_F(PlatformFaultTest, CrashConsistencyAtEveryStepIndex) {
+  const std::vector<float> reference = ReferenceOutput("b", TinyVgg(16));
+
+  // Count the executor fault-point evaluations of a clean a->b transform.
+  uint64_t num_steps = 0;
+  {
+    OptimusPlatform platform(&costs_, Options(1));
+    platform.Deploy("a", TinyVgg(11));
+    platform.Deploy("b", TinyVgg(16));
+    platform.Invoke("a", input_, 0.0);
+    fault::ScopedFaults faults("executor.step=at:1000000000");  // Never fires.
+    const InvokeResult clean = platform.Invoke("b", input_, 120.0);
+    ASSERT_EQ(clean.start, StartType::kTransform);
+    ASSERT_EQ(clean.output, reference);
+    num_steps = fault::Hits("executor.step");
+  }
+  ASSERT_GT(num_steps, 2u);
+
+  for (uint64_t k = 1; k <= num_steps; ++k) {
+    SCOPED_TRACE("aborting at executor step " + std::to_string(k));
+    OptimusPlatform platform(&costs_, Options(1));
+    platform.Deploy("a", TinyVgg(11));
+    platform.Deploy("b", TinyVgg(16));
+    platform.Invoke("a", input_, 0.0);
+
+    fault::ScopedFaults faults("executor.step=at:" + std::to_string(k));
+    const InvokeResult result = platform.Invoke("b", input_, 120.0);
+    EXPECT_EQ(fault::Fires("executor.step"), 1u);
+    EXPECT_EQ(result.start, StartType::kCold);
+    EXPECT_TRUE(result.transform_fallback);
+    EXPECT_EQ(result.output, reference);
+    EXPECT_EQ(platform.counters().transform_failures, 1u);
+    EXPECT_EQ(platform.NumLiveContainers(), 1u);
+    EXPECT_TRUE(platform.CheckContainerIntegrity().empty());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Plan-cache retry budget.
+// ---------------------------------------------------------------------------
+
+TEST(PlanCacheFaultTest, PlanningFaultIsRetriedOnTheNextRequest) {
+  AnalyticCostModel costs;
+  PlanCache cache(&costs);
+  const Model a = SmallChain("a", 3, 8);
+  const Model b = SmallChain("b", 3, 16);
+
+  fault::ScopedFaults faults("cache.plan=once");
+  EXPECT_THROW(cache.GetOrPlan(a, b), fault::FaultInjectedError);
+  EXPECT_FALSE(cache.Contains("a", "b"));
+  EXPECT_NO_THROW(cache.GetOrPlan(a, b));  // Transient fault: retry re-plans.
+  EXPECT_TRUE(cache.Contains("a", "b"));
+  EXPECT_EQ(cache.misses(), 2u);  // Both attempts count as misses.
+}
+
+TEST(PlanCacheFaultTest, PlanRetryBudgetMakesTheFailurePermanent) {
+  AnalyticCostModel costs;
+  PlanCache cache(&costs);
+  cache.set_plan_retry_budget(2);
+  const Model a = SmallChain("a", 3, 8);
+  const Model b = SmallChain("b", 3, 16);
+
+  fault::ScopedFaults faults("cache.plan=always");
+  EXPECT_THROW(cache.GetOrPlan(a, b), fault::FaultInjectedError);
+  EXPECT_THROW(cache.GetOrPlan(a, b), fault::FaultInjectedError);
+  EXPECT_EQ(cache.misses(), 2u);
+  // Budget exhausted: the latched error is rethrown without a new attempt.
+  EXPECT_THROW(cache.GetOrPlan(a, b), std::runtime_error);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(fault::Hits("cache.plan"), 2u);
+}
+
+TEST(PlanCacheFaultTest, VerificationFaultIsAlsoRetryable) {
+  AnalyticCostModel costs;
+  PlanCache cache(&costs);
+  cache.set_verification(true);
+  const Model a = SmallChain("a", 3, 8);
+  const Model b = SmallChain("b", 3, 16);
+
+  fault::ScopedFaults faults("cache.verify=once");
+  EXPECT_THROW(cache.GetOrPlan(a, b), fault::FaultInjectedError);
+  EXPECT_NO_THROW(cache.GetOrPlan(a, b));
+  EXPECT_TRUE(cache.Contains("a", "b"));
+}
+
+// ---------------------------------------------------------------------------
+// Gateway hardening: JSON taxonomy, shedding, retries, deadlines.
+// ---------------------------------------------------------------------------
+
+class GatewayFaultTest : public testing::Test {
+ protected:
+  static HttpRequest Request(const std::string& method, const std::string& path,
+                             std::map<std::string, std::string> query = {},
+                             std::string body = "") {
+    HttpRequest request;
+    request.method = method;
+    request.path = path;
+    request.query = std::move(query);
+    request.body = std::move(body);
+    return request;
+  }
+
+  static PlatformOptions Options() {
+    PlatformOptions options;
+    options.num_nodes = 1;
+    options.containers_per_node = 2;
+    return options;
+  }
+
+  AnalyticCostModel costs_;
+  std::string input_csv_ = "0.5,0.5,0.5,0.5";
+};
+
+TEST_F(GatewayFaultTest, ErrorsCarryTheJsonTaxonomy) {
+  OptimusHttpService service(&costs_, Options());
+  const HttpResponse unknown_fn =
+      service.Handle(Request("POST", "/invoke", {{"name", "nope"}}, input_csv_));
+  EXPECT_EQ(unknown_fn.status, 404);
+  EXPECT_NE(unknown_fn.body.find("\"code\":\"NOT_FOUND\""), std::string::npos);
+  EXPECT_NE(unknown_fn.body.find("\"http\":404"), std::string::npos);
+
+  EXPECT_EQ(service.Handle(Request("POST", "/invoke", {}, input_csv_)).status, 400);
+  EXPECT_EQ(service
+                .Handle(Request("POST", "/invoke", {{"name", "x"}, {"deadline", "soon"}},
+                                input_csv_))
+                .status,
+            400);
+  const HttpResponse no_route = service.Handle(Request("GET", "/bogus"));
+  EXPECT_EQ(no_route.status, 404);
+  EXPECT_NE(no_route.body.find("NOT_FOUND"), std::string::npos);
+}
+
+TEST_F(GatewayFaultTest, SaturatedGatewayShedsWith429) {
+  GatewayOptions gateway;
+  gateway.max_inflight_invokes = 0;  // Every invoke is over the limit.
+  OptimusHttpService service(&costs_, Options(), gateway);
+  service.platform().Deploy("fn", TinyVgg(11));
+  const HttpResponse shed =
+      service.Handle(Request("POST", "/invoke", {{"name", "fn"}}, input_csv_));
+  EXPECT_EQ(shed.status, 429);
+  EXPECT_NE(shed.body.find("RESOURCE_EXHAUSTED"), std::string::npos);
+  EXPECT_EQ(service.Sheds(), 1u);
+}
+
+TEST_F(GatewayFaultTest, DroppedRequestIs503) {
+  OptimusHttpService service(&costs_, Options());
+  service.platform().Deploy("fn", TinyVgg(11));
+  fault::ScopedFaults faults("gateway.drop=always");
+  const HttpResponse dropped =
+      service.Handle(Request("POST", "/invoke", {{"name", "fn"}}, input_csv_));
+  EXPECT_EQ(dropped.status, 503);
+  EXPECT_NE(dropped.body.find("UNAVAILABLE"), std::string::npos);
+  EXPECT_EQ(service.Drops(), 1u);
+}
+
+TEST_F(GatewayFaultTest, RetryRecoversFromTransientLoadFault) {
+  OptimusHttpService service(&costs_, Options());
+  service.platform().Deploy("fn", TinyVgg(11));
+  // The first scratch load fails (UNAVAILABLE, retryable); the gateway's
+  // bounded retry succeeds on the second attempt.
+  fault::ScopedFaults faults("loader.load=once");
+  const HttpResponse ok =
+      service.Handle(Request("POST", "/invoke", {{"name", "fn"}}, input_csv_));
+  EXPECT_EQ(ok.status, 200);
+  EXPECT_NE(ok.body.find("start=Cold"), std::string::npos);
+  EXPECT_EQ(service.Retries(), 1u);
+
+  const HttpResponse stats = service.Handle(Request("GET", "/stats"));
+  EXPECT_EQ(stats.status, 200);
+  EXPECT_NE(stats.body.find("gateway_retries=1"), std::string::npos);
+  EXPECT_NE(stats.body.find("failed_invokes=1"), std::string::npos);
+}
+
+TEST_F(GatewayFaultTest, RetriesExhaustedSurfaces503) {
+  GatewayOptions gateway;
+  gateway.max_retries = 1;
+  gateway.retry_backoff = 0.001;
+  OptimusHttpService service(&costs_, Options(), gateway);
+  service.platform().Deploy("fn", TinyVgg(11));
+  fault::ScopedFaults faults("loader.load=always");
+  const HttpResponse unavailable =
+      service.Handle(Request("POST", "/invoke", {{"name", "fn"}}, input_csv_));
+  EXPECT_EQ(unavailable.status, 503);
+  EXPECT_NE(unavailable.body.find("UNAVAILABLE"), std::string::npos);
+  EXPECT_EQ(service.Retries(), 1u);
+}
+
+TEST_F(GatewayFaultTest, SlowFaultTripsTheDeadline) {
+  GatewayOptions gateway;
+  gateway.default_deadline = 0.01;
+  gateway.slow_fault_delay = 0.05;
+  OptimusHttpService service(&costs_, Options(), gateway);
+  service.platform().Deploy("fn", TinyVgg(11));
+  fault::ScopedFaults faults("gateway.slow=always");
+  const HttpResponse timed_out =
+      service.Handle(Request("POST", "/invoke", {{"name", "fn"}}, input_csv_));
+  EXPECT_EQ(timed_out.status, 504);
+  EXPECT_NE(timed_out.body.find("DEADLINE_EXCEEDED"), std::string::npos);
+  EXPECT_EQ(service.DeadlinesExceeded(), 1u);
+
+  // A per-request deadline of 0 disables the deadline: the slow request
+  // completes normally.
+  const HttpResponse ok = service.Handle(
+      Request("POST", "/invoke", {{"name", "fn"}, {"deadline", "0"}}, input_csv_));
+  EXPECT_EQ(ok.status, 200);
+}
+
+}  // namespace
+}  // namespace optimus

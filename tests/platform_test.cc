@@ -30,14 +30,31 @@ TEST_F(PlatformTest, DeployRejectsDuplicates) {
   EXPECT_EQ(platform_.NumFunctions(), 1u);
 }
 
-TEST_F(PlatformTest, InvokeUnknownFunctionThrows) {
-  EXPECT_THROW(platform_.Invoke("nope", input_, 0.0), std::out_of_range);
+TEST_F(PlatformTest, InvokeUnknownFunctionIsTypedNotFound) {
+  try {
+    platform_.Invoke("nope", input_, 0.0);
+    FAIL() << "expected OptimusError";
+  } catch (const OptimusError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kNotFound);
+  }
+  InvokeResult result;
+  const Status status = platform_.TryInvoke("nope", input_, 0.0, &result);
+  EXPECT_EQ(status.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(platform_.counters().failed_invokes, 2u);
 }
 
-TEST_F(PlatformTest, TimeMustNotMoveBackwards) {
+TEST_F(PlatformTest, StaleTimestampsClampForward) {
+  // Concurrent callers race between reading their timestamp and reaching the
+  // platform, so an older `now` is clamped to the CAS-max clock, not rejected.
   platform_.Deploy("vgg", TinyVgg(11));
   platform_.Invoke("vgg", input_, 100.0);
-  EXPECT_THROW(platform_.Invoke("vgg", input_, 50.0), std::invalid_argument);
+  const InvokeResult stale = platform_.Invoke("vgg", input_, 50.0);
+  // Served as if it arrived at t=100: the container is still warm.
+  EXPECT_EQ(stale.start, StartType::kWarm);
+  // The clock did not move backwards: at t=100+keep_alive the container has
+  // expired (had the clamp regressed the clock, it would still be live).
+  const InvokeResult late = platform_.Invoke("vgg", input_, 100.0 + 600.0);
+  EXPECT_EQ(late.start, StartType::kCold);
 }
 
 TEST_F(PlatformTest, ColdThenWarm) {

@@ -1,0 +1,345 @@
+// Seeded chaos harness for the failure-hardened invoke/transform path
+// (DESIGN.md §11).
+//
+// For each seed, deploys a small zoo onto a fresh platform, arms seeded
+// probabilistic faults across the loader / executor / plan-cache / transform
+// points, drives a randomized request stream, and asserts the §11 invariants:
+//
+//   * every request either returns bit-correct output (identical to a clean
+//     scratch load of the function) or a typed error from the taxonomy;
+//   * no container is ever left half-transformed (CheckContainerIntegrity);
+//   * the platform's counters reconcile with the injected-fault log
+//     (fault::FireCounts): every executor/donor fire is charged as exactly
+//     one transform failure, fallbacks never exceed failures, and the
+//     warm/transform/cold counters sum to the successful requests.
+//
+// A second pass per seed drives the HTTP gateway dispatcher under gateway
+// faults (drops, transient load failures) and checks the HTTP status
+// taxonomy plus the shed/retry/drop counters.
+//
+// Usage: optimus_chaos [--seeds N] [--requests M] [--smoke]
+// Exits non-zero on the first invariant violation.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/fault.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/core/platform.h"
+#include "src/gateway/service.h"
+#include "src/zoo/mobilenet.h"
+#include "src/zoo/vgg.h"
+
+namespace optimus {
+namespace {
+
+int g_violations = 0;
+
+#define CHAOS_CHECK(condition, ...)                         \
+  do {                                                      \
+    if (!(condition)) {                                     \
+      std::fprintf(stderr, "VIOLATION [%s]: ", #condition); \
+      std::fprintf(stderr, __VA_ARGS__);                    \
+      std::fprintf(stderr, "\n");                           \
+      ++g_violations;                                       \
+    }                                                       \
+  } while (0)
+
+Model ScaledVgg(int depth) {
+  VggOptions options;
+  options.width_multiplier = 0.25;
+  return BuildVgg(depth, options);
+}
+
+Model ScaledMobileNet() {
+  MobileNetOptions options;
+  options.width_multiplier = 0.25;
+  return BuildMobileNet(options);
+}
+
+struct Zoo {
+  std::vector<std::string> names;
+  std::vector<Model> models;
+
+  void Add(const std::string& name, Model model) {
+    names.push_back(name);
+    models.push_back(std::move(model));
+  }
+};
+
+Zoo MakeZoo() {
+  Zoo zoo;
+  zoo.Add("vgg11", ScaledVgg(11));
+  zoo.Add("vgg16", ScaledVgg(16));
+  zoo.Add("mobilenet", ScaledMobileNet());
+  return zoo;
+}
+
+PlatformOptions ChaosPlatformOptions() {
+  PlatformOptions options;
+  options.num_nodes = 1;
+  options.containers_per_node = 2;  // Fewer slots than functions: transforms happen.
+  options.warm_plan_cache = false;  // Plan lazily so cache.plan faults are reachable.
+  return options;
+}
+
+// Bit-exact reference output per function, from clean scratch loads.
+std::map<std::string, std::vector<float>> ReferenceOutputs(const Zoo& zoo,
+                                                           const std::vector<float>& input) {
+  PlatformOptions options = ChaosPlatformOptions();
+  options.containers_per_node = static_cast<int>(zoo.names.size());
+  AnalyticCostModel costs;
+  OptimusPlatform reference(&costs, options);
+  std::map<std::string, std::vector<float>> outputs;
+  for (size_t i = 0; i < zoo.names.size(); ++i) {
+    reference.Deploy(zoo.names[i], zoo.models[i]);
+    outputs[zoo.names[i]] =
+        reference.Invoke(zoo.names[i], input, static_cast<double>(i)).output;
+  }
+  return outputs;
+}
+
+std::string PlatformFaultSpec(uint64_t seed) {
+  // The per-step probability is low because a plan evaluates the executor
+  // point dozens of times: ~2% per step still aborts roughly half the
+  // transforms while letting the other half complete and serve output.
+  return "executor.step=prob:0.02@" + std::to_string(seed) +
+         ";transform.donor=prob:0.03@" + std::to_string(seed + 1) +
+         ";loader.load=prob:0.04@" + std::to_string(seed + 2) +
+         ";cache.plan=prob:0.10@" + std::to_string(seed + 3) +
+         ";cache.verify=prob:0.05@" + std::to_string(seed + 4);
+}
+
+// Drives TryInvoke directly and reconciles platform counters against the
+// injected-fault log.
+void RunPlatformPass(uint64_t seed, int requests, const Zoo& zoo,
+                     const std::map<std::string, std::vector<float>>& reference) {
+  AnalyticCostModel costs;
+  OptimusPlatform platform(&costs, ChaosPlatformOptions());
+  for (size_t i = 0; i < zoo.names.size(); ++i) {
+    platform.Deploy(zoo.names[i], zoo.models[i]);
+  }
+
+  fault::ScopedFaults faults(PlatformFaultSpec(seed));
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  const std::vector<float> input(8, 0.5f);
+
+  size_t ok = 0;
+  size_t not_found = 0;
+  size_t unavailable = 0;
+  for (int i = 0; i < requests; ++i) {
+    // Every 17th request targets an unregistered function (typed NOT_FOUND);
+    // the rest pick a zoo function at random. Time advances enough that
+    // containers go idle and transformations fire.
+    const bool unknown = i % 17 == 16;
+    const std::string& function =
+        unknown ? static_cast<const std::string&>("no_such_fn")
+                : zoo.names[static_cast<size_t>(
+                      rng.UniformInt(0, static_cast<int64_t>(zoo.names.size()) - 1))];
+    const double now = static_cast<double>(i) * 25.0;
+    InvokeResult result;
+    const Status status = platform.TryInvoke(function, input, now, &result);
+    if (status.ok()) {
+      ++ok;
+      CHAOS_CHECK(!unknown, "seed %llu request %d: unknown function succeeded",
+                  (unsigned long long)seed, i);
+      const auto it = reference.find(function);
+      CHAOS_CHECK(it != reference.end() && result.output == it->second,
+                  "seed %llu request %d (%s): output differs from scratch reference",
+                  (unsigned long long)seed, i, function.c_str());
+    } else {
+      // Every failure must be typed, with a message, and from the codes the
+      // invoke path documents.
+      CHAOS_CHECK(!status.message().empty(), "seed %llu request %d: untyped empty error",
+                  (unsigned long long)seed, i);
+      switch (status.code()) {
+        case ErrorCode::kNotFound:
+          ++not_found;
+          CHAOS_CHECK(unknown, "seed %llu request %d (%s): spurious NOT_FOUND",
+                      (unsigned long long)seed, i, function.c_str());
+          break;
+        case ErrorCode::kUnavailable:
+          ++unavailable;
+          break;
+        default:
+          CHAOS_CHECK(false, "seed %llu request %d: unexpected code %s",
+                      (unsigned long long)seed, i, ErrorCodeName(status.code()));
+      }
+    }
+    if (i % 25 == 24) {
+      const std::vector<std::string> violations = platform.CheckContainerIntegrity();
+      CHAOS_CHECK(violations.empty(), "seed %llu request %d: %s", (unsigned long long)seed, i,
+                  violations.empty() ? "" : violations.front().c_str());
+    }
+  }
+
+  // Final integrity sweep: no container may be left half-transformed.
+  for (const std::string& violation : platform.CheckContainerIntegrity()) {
+    CHAOS_CHECK(false, "seed %llu: %s", (unsigned long long)seed, violation.c_str());
+  }
+
+  // Counter reconciliation against the injected-fault log.
+  const PlatformCounters counters = platform.counters();
+  const uint64_t step_fires = fault::Fires("executor.step");
+  const uint64_t donor_fires = fault::Fires("transform.donor");
+  const uint64_t load_fires = fault::Fires("loader.load");
+  const uint64_t plan_fires = fault::Fires("cache.plan");
+  const uint64_t verify_fires = fault::Fires("cache.verify");
+
+  CHAOS_CHECK(counters.warm_starts + counters.transforms + counters.cold_starts == ok,
+              "seed %llu: start counters %zu+%zu+%zu != %zu successes",
+              (unsigned long long)seed, counters.warm_starts, counters.transforms,
+              counters.cold_starts, ok);
+  CHAOS_CHECK(counters.failed_invokes == not_found + unavailable,
+              "seed %llu: failed_invokes=%zu but observed %zu errors",
+              (unsigned long long)seed, counters.failed_invokes, not_found + unavailable);
+  // Every executor/donor fire aborts exactly one transform; the only other
+  // causes of a transform failure are load/plan/verify fires inside
+  // TransformOrLoad.
+  CHAOS_CHECK(counters.transform_failures >= step_fires + donor_fires,
+              "seed %llu: %zu transform failures < %llu executor+donor fires",
+              (unsigned long long)seed, counters.transform_failures,
+              (unsigned long long)(step_fires + donor_fires));
+  CHAOS_CHECK(counters.transform_failures <=
+                  step_fires + donor_fires + load_fires + plan_fires + verify_fires,
+              "seed %llu: %zu transform failures exceed %llu injected faults",
+              (unsigned long long)seed, counters.transform_failures,
+              (unsigned long long)(step_fires + donor_fires + load_fires + plan_fires +
+                                   verify_fires));
+  CHAOS_CHECK(counters.transform_fallbacks <= counters.transform_failures,
+              "seed %llu: more fallbacks (%zu) than failures (%zu)",
+              (unsigned long long)seed, counters.transform_fallbacks,
+              counters.transform_failures);
+  CHAOS_CHECK(platform.plan_cache().ExecutionFailures() <= counters.transform_failures,
+              "seed %llu: quarantine charged %zu > %zu transform failures",
+              (unsigned long long)seed, platform.plan_cache().ExecutionFailures(),
+              counters.transform_failures);
+  CHAOS_CHECK(unavailable <= load_fires,
+              "seed %llu: %zu UNAVAILABLE errors but only %llu loader fires",
+              (unsigned long long)seed, unavailable, (unsigned long long)load_fires);
+
+  std::printf(
+      "seed %llu platform: ok=%zu notfound=%zu unavailable=%zu warm=%zu transform=%zu "
+      "cold=%zu tfail=%zu tfallback=%zu quarantined=%zu fires[step=%llu donor=%llu "
+      "load=%llu plan=%llu verify=%llu]\n",
+      (unsigned long long)seed, ok, not_found, unavailable, counters.warm_starts,
+      counters.transforms, counters.cold_starts, counters.transform_failures,
+      counters.transform_fallbacks, platform.plan_cache().QuarantinedPairs(),
+      (unsigned long long)step_fires, (unsigned long long)donor_fires,
+      (unsigned long long)load_fires, (unsigned long long)plan_fires,
+      (unsigned long long)verify_fires);
+}
+
+// Drives the gateway dispatcher (no sockets) and checks the HTTP taxonomy.
+void RunGatewayPass(uint64_t seed, int requests, const Zoo& zoo) {
+  AnalyticCostModel costs;
+  GatewayOptions gateway;
+  gateway.max_retries = 2;
+  gateway.retry_backoff = 0.0005;
+  gateway.jitter_seed = seed;
+  OptimusHttpService service(&costs, ChaosPlatformOptions(), gateway);
+  for (size_t i = 0; i < zoo.names.size(); ++i) {
+    service.platform().Deploy(zoo.names[i], zoo.models[i]);
+  }
+
+  fault::ScopedFaults faults("gateway.drop=prob:0.05@" + std::to_string(seed + 5) +
+                             ";loader.load=prob:0.05@" + std::to_string(seed + 6) +
+                             ";executor.step=prob:0.05@" + std::to_string(seed + 7));
+  Rng rng(seed * 0x2545f4914f6cdd1dULL + 7);
+  std::map<int, size_t> statuses;
+  for (int i = 0; i < requests; ++i) {
+    HttpRequest request;
+    request.method = "POST";
+    request.path = "/invoke";
+    const bool unknown = i % 11 == 10;
+    request.query["name"] =
+        unknown ? "no_such_fn"
+                : zoo.names[static_cast<size_t>(
+                      rng.UniformInt(0, static_cast<int64_t>(zoo.names.size()) - 1))];
+    request.body = "0.5,0.5,0.5,0.5";
+    const HttpResponse response = service.Handle(request);
+    ++statuses[response.status];
+    const bool allowed = response.status == 200 || response.status == 404 ||
+                         response.status == 429 || response.status == 503 ||
+                         response.status == 504;
+    CHAOS_CHECK(allowed, "seed %llu gateway request %d: unexpected status %d",
+                (unsigned long long)seed, i, response.status);
+    if (response.status == 200) {
+      CHAOS_CHECK(response.body.find("output=") != std::string::npos,
+                  "seed %llu gateway request %d: 200 without output", (unsigned long long)seed,
+                  i);
+      CHAOS_CHECK(!unknown, "seed %llu gateway request %d: unknown function got 200",
+                  (unsigned long long)seed, i);
+    } else {
+      CHAOS_CHECK(response.body.find("\"error\"") != std::string::npos,
+                  "seed %llu gateway request %d: non-JSON error body", (unsigned long long)seed,
+                  i);
+    }
+  }
+
+  // Reconcile the gateway counters: every injected drop is a 503; the
+  // sequential driver can never saturate the gateway.
+  CHAOS_CHECK(service.Drops() == fault::Fires("gateway.drop"),
+              "seed %llu: drops=%zu but %llu drop fires", (unsigned long long)seed,
+              service.Drops(), (unsigned long long)fault::Fires("gateway.drop"));
+  CHAOS_CHECK(service.Drops() <= statuses[503],
+              "seed %llu: %zu drops but only %zu 503s", (unsigned long long)seed,
+              service.Drops(), statuses[503]);
+  CHAOS_CHECK(service.Sheds() == 0, "seed %llu: sequential driver was shed %zu times",
+              (unsigned long long)seed, service.Sheds());
+  for (const std::string& violation : service.platform().CheckContainerIntegrity()) {
+    CHAOS_CHECK(false, "seed %llu gateway: %s", (unsigned long long)seed, violation.c_str());
+  }
+
+  std::printf("seed %llu gateway: 200=%zu 404=%zu 503=%zu 504=%zu retries=%zu drops=%zu\n",
+              (unsigned long long)seed, statuses[200], statuses[404], statuses[503],
+              statuses[504], service.Retries(), service.Drops());
+}
+
+}  // namespace
+}  // namespace optimus
+
+int main(int argc, char** argv) {
+  int seeds = 10;
+  int requests = 120;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+      seeds = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      requests = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      seeds = 3;
+      requests = 40;
+    } else {
+      std::fprintf(stderr, "usage: %s [--seeds N] [--requests M] [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (seeds < 1 || requests < 1) {
+    std::fprintf(stderr, "optimus_chaos: --seeds and --requests must be >= 1\n");
+    return 2;
+  }
+
+  const optimus::Zoo zoo = optimus::MakeZoo();
+  const std::vector<float> input(8, 0.5f);
+  const auto reference = optimus::ReferenceOutputs(zoo, input);
+
+  for (int s = 0; s < seeds; ++s) {
+    const uint64_t seed = 1000u + static_cast<uint64_t>(s) * 31u;
+    optimus::RunPlatformPass(seed, requests, zoo, reference);
+    optimus::RunGatewayPass(seed, requests / 2, zoo);
+  }
+
+  if (optimus::g_violations > 0) {
+    std::fprintf(stderr, "optimus_chaos: %d invariant violation(s)\n", optimus::g_violations);
+    return 1;
+  }
+  std::printf("optimus_chaos: %d seeds x %d requests, all invariants held\n", seeds, requests);
+  return 0;
+}
