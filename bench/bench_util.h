@@ -5,11 +5,13 @@
 #define OPTIMUS_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "src/balancer/balancer.h"
 #include "src/sim/simulator.h"
+#include "src/telemetry/metrics.h"
 #include "src/workload/azure.h"
 #include "src/workload/poisson.h"
 #include "src/zoo/registry.h"
@@ -90,6 +92,63 @@ inline Trace AzureWorkload(const std::vector<std::string>& functions) {
 
 constexpr SystemType kAllSystems[] = {SystemType::kOpenWhisk, SystemType::kPagurus,
                                       SystemType::kTetris, SystemType::kOptimus};
+
+inline std::string JsonEscapeString(const std::string& text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      escaped.push_back('\\');
+    }
+    escaped.push_back(c);
+  }
+  return escaped;
+}
+
+// Dumps every histogram series in `registry` — count, mean, p50/p95/p99, max —
+// into BENCH_<bench_name>.json, so the perf trajectory records tail latency,
+// not just means. Returns true when the file was written.
+inline bool DumpRegistryPercentiles(const telemetry::MetricsRegistry& registry,
+                                    const std::string& bench_name) {
+  const std::string path = "BENCH_" + bench_name + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "DumpRegistryPercentiles: cannot open %s\n", path.c_str());
+    return false;
+  }
+  out << "{\"bench\":\"" << JsonEscapeString(bench_name) << "\",\"histograms\":[";
+  bool first = true;
+  registry.VisitHistograms([&out, &first](const std::string& name,
+                                          const telemetry::Labels& labels,
+                                          const telemetry::HistogramSnapshot& snapshot) {
+    if (snapshot.count == 0) {
+      return;  // Unexercised series carry no signal.
+    }
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "{\"name\":\"" << JsonEscapeString(name) << "\",\"labels\":{";
+    for (size_t i = 0; i < labels.size(); ++i) {
+      if (i > 0) {
+        out << ",";
+      }
+      out << "\"" << JsonEscapeString(labels[i].first) << "\":\""
+          << JsonEscapeString(labels[i].second) << "\"";
+    }
+    char stats[256];
+    std::snprintf(stats, sizeof(stats),
+                  "},\"count\":%llu,\"mean\":%.9g,\"p50\":%.9g,\"p95\":%.9g,\"p99\":%.9g,"
+                  "\"max\":%.9g}",
+                  static_cast<unsigned long long>(snapshot.count), snapshot.Mean(),
+                  snapshot.Percentile(0.5), snapshot.Percentile(0.95), snapshot.Percentile(0.99),
+                  snapshot.max_seconds);
+    out << stats;
+  });
+  out << "]}\n";
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
 
 }  // namespace benchutil
 }  // namespace optimus

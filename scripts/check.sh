@@ -40,8 +40,19 @@ cmake --build "$BUILD_DIR" -j
 ctest --test-dir "$BUILD_DIR" --output-on-failure
 
 # Seeded chaos smoke: randomized fault schedules over the invoke/transform
-# path; exits non-zero on any DESIGN.md §11 invariant violation.
+# path; exits non-zero on any DESIGN.md §11 invariant violation. Also prints
+# latency-percentile/drift summaries and asserts span accounting balances.
 "$BUILD_DIR"/tools/optimus_chaos --smoke
+
+# Telemetry endpoint smoke (DESIGN.md §12): a real gateway must serve
+# /metrics as valid Prometheus exposition text and /trace as Chrome
+# trace_event JSON with the expected span taxonomy.
+"$BUILD_DIR"/tools/optimus_trace --selftest \
+  --out "$BUILD_DIR"/trace-selftest.json --metrics-out "$BUILD_DIR"/metrics-selftest.txt
+python3 scripts/check_prometheus.py "$BUILD_DIR"/metrics-selftest.txt \
+  --require optimus_starts_total optimus_invoke_seconds optimus_phase_seconds \
+  optimus_cost_drift_ratio optimus_trace_spans_opened_total
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$BUILD_DIR"/trace-selftest.json
 
 if [[ "${SKIP_BENCH:-0}" == "1" ]]; then
   exit 0

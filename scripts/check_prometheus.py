@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text exposition format (version 0.0.4).
+
+Used by CI to check the gateway's /metrics endpoint: the response must parse
+line-by-line as valid exposition text, every sample must belong to a family
+announced by a # TYPE line, summaries must carry quantile series plus _sum and
+_count, and counter values must be non-negative integers.
+
+Usage:
+  check_prometheus.py [FILE]               # FILE or stdin
+  check_prometheus.py --require NAME ...   # additionally assert families exist
+
+Exits 0 when valid, 1 on any violation (all violations are printed).
+"""
+
+import argparse
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# name{labels} value  — labels block is optional; values include +Inf/NaN.
+SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>[-+]?(?:[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|Inf|NaN))"
+    r"(?: [0-9]+)?$"
+)
+LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\["\\n])*)"')
+
+
+def base_family(name: str) -> str:
+    """Strips summary/histogram sample suffixes to the announced family name."""
+    for suffix in ("_sum", "_count", "_max", "_bucket"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def validate(text: str):
+    errors = []
+    types = {}  # family -> type
+    helps = set()
+    seen_series = set()
+    samples = []  # (family, name, labels_text, value)
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP ") :].split(" ", 1)
+            if not parts or not METRIC_NAME.match(parts[0]):
+                errors.append(f"line {lineno}: malformed HELP line: {line!r}")
+            elif parts[0] in helps:
+                errors.append(f"line {lineno}: duplicate HELP for {parts[0]}")
+            else:
+                helps.add(parts[0])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE ") :].split(" ")
+            if len(parts) != 2 or not METRIC_NAME.match(parts[0]):
+                errors.append(f"line {lineno}: malformed TYPE line: {line!r}")
+                continue
+            name, metric_type = parts
+            if metric_type not in ("counter", "gauge", "summary", "histogram", "untyped"):
+                errors.append(f"line {lineno}: unknown metric type {metric_type!r}")
+            elif name in types:
+                errors.append(f"line {lineno}: duplicate TYPE for {name}")
+            else:
+                types[name] = metric_type
+            continue
+        if line.startswith("#"):
+            continue  # Other comments are legal.
+
+        match = SAMPLE_LINE.match(line)
+        if not match:
+            errors.append(f"line {lineno}: unparseable sample line: {line!r}")
+            continue
+        name = match.group("name")
+        labels_text = match.group("labels") or ""
+        if labels_text:
+            inner = labels_text[1:-1]
+            consumed = ",".join(
+                f'{k}="{v}"' for k, v in LABEL_PAIR.findall(labels_text)
+            )
+            if inner != consumed:
+                errors.append(f"line {lineno}: malformed labels {labels_text!r}")
+            for label_name, _ in LABEL_PAIR.findall(labels_text):
+                if not LABEL_NAME.match(label_name):
+                    errors.append(f"line {lineno}: bad label name {label_name!r}")
+        family = base_family(name)
+        if family not in types and name in types:
+            family = name  # e.g. a family genuinely named *_sum.
+        if family not in types:
+            errors.append(f"line {lineno}: sample {name!r} has no # TYPE announcement")
+            continue
+        series_key = (name, labels_text)
+        if series_key in seen_series:
+            errors.append(f"line {lineno}: duplicate series {name}{labels_text}")
+        seen_series.add(series_key)
+        samples.append((family, name, labels_text, match.group("value")))
+
+    by_family = {}
+    for family, name, labels_text, value in samples:
+        by_family.setdefault(family, []).append((name, labels_text, value))
+
+    for family, metric_type in types.items():
+        family_samples = by_family.get(family, [])
+        if not family_samples:
+            errors.append(f"family {family}: TYPE announced but no samples")
+            continue
+        if metric_type == "counter":
+            for name, labels_text, value in family_samples:
+                if value in ("NaN", "+Inf", "-Inf") or float(value) < 0:
+                    errors.append(
+                        f"family {family}: counter sample {name}{labels_text} = {value}"
+                    )
+        if metric_type == "summary":
+            names = {name for name, _, _ in family_samples}
+            if f"{family}_sum" not in names:
+                errors.append(f"family {family}: summary missing {family}_sum")
+            if f"{family}_count" not in names:
+                errors.append(f"family {family}: summary missing {family}_count")
+            quantiles = [
+                labels_text
+                for name, labels_text, _ in family_samples
+                if name == family
+            ]
+            if not quantiles:
+                errors.append(f"family {family}: summary has no quantile series")
+            for labels_text in quantiles:
+                if 'quantile="' not in labels_text:
+                    errors.append(
+                        f"family {family}: series {labels_text!r} lacks a quantile label"
+                    )
+
+    return errors, types
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file", nargs="?", help="exposition text file (default: stdin)")
+    parser.add_argument(
+        "--require",
+        nargs="*",
+        default=[],
+        help="metric family names that must be present",
+    )
+    args = parser.parse_args()
+
+    if args.file:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    else:
+        text = sys.stdin.read()
+
+    errors, types = validate(text)
+    for name in args.require:
+        if name not in types:
+            errors.append(f"required metric family {name!r} not exposed")
+
+    if errors:
+        for error in errors:
+            print(f"check_prometheus: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"check_prometheus: OK — {len(types)} families "
+        f"({sum(1 for t in types.values() if t == 'summary')} summaries)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

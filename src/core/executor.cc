@@ -1,6 +1,8 @@
 #include "src/core/executor.h"
 
+#include <map>
 #include <stdexcept>
+#include <tuple>
 #include <utility>
 
 #include "src/common/fault.h"
@@ -11,31 +13,71 @@ namespace optimus {
 
 namespace {
 
-// Accumulates wall time into a per-kind slot.
+// Accumulates wall time into a per-kind slot, and — when tracing — records a
+// span per step carrying the plan's predicted cost next to the measured one.
 class KindTimer {
  public:
-  explicit KindTimer(TransformExecutionStats* stats) : stats_(stats) {}
+  KindTimer(TransformExecutionStats* stats, telemetry::TraceContext* trace,
+            const TransformPlan& plan)
+      : stats_(stats), trace_(trace) {
+    if (trace_ == nullptr) {
+      return;
+    }
+    // Index the plan's predicted per-step costs by (kind, source, dest) so
+    // each executed step can report prediction vs. reality. Built only for
+    // the ~1/64 sampled requests — the untraced path never touches it.
+    for (const MetaOp& step : plan.steps) {
+      if (step.kind == MetaOpKind::kEdge) {
+        continue;
+      }
+      predicted_[Key{step.kind, step.source_id, step.dest_id}] += step.cost;
+    }
+  }
 
   template <typename Body>
-  void Time(MetaOpKind kind, Body&& body) {
+  void Time(MetaOpKind kind, OpId source_id, OpId dest_id, Body&& body) {
+    double predicted = 0.0;
+    if (trace_ != nullptr) {
+      auto it = predicted_.find(Key{kind, source_id, dest_id});
+      predicted = it != predicted_.end() ? it->second : 0.0;
+    }
+    TimeWithPrediction(kind, predicted, std::forward<Body>(body));
+  }
+
+  // Edge steps carry their own cost on the step record.
+  template <typename Body>
+  void TimeStep(const MetaOp& step, Body&& body) {
+    TimeWithPrediction(step.kind, step.cost, std::forward<Body>(body));
+  }
+
+ private:
+  using Key = std::tuple<MetaOpKind, OpId, OpId>;
+
+  template <typename Body>
+  void TimeWithPrediction(MetaOpKind kind, double predicted, Body&& body) {
+    telemetry::ScopedSpan span(trace_, MetaOpKindName(kind), "meta_op");
     Stopwatch watch;
     body();
     const double elapsed = watch.ElapsedSeconds();
     stats_->seconds_by_kind[static_cast<size_t>(kind)] += elapsed;
     stats_->count_by_kind[static_cast<size_t>(kind)] += 1;
     stats_->total_seconds += elapsed;
+    span.Arg("predicted_s", predicted);
+    span.Arg("actual_s", elapsed);
   }
 
- private:
   TransformExecutionStats* stats_;
+  telemetry::TraceContext* trace_;
+  std::map<Key, double> predicted_;
 };
 
 }  // namespace
 
 TransformExecutionStats ExecutePlan(ModelInstance* instance, const Model& dest,
-                                    const TransformPlan& plan) {
+                                    const TransformPlan& plan,
+                                    telemetry::TraceContext* trace) {
   TransformExecutionStats stats;
-  KindTimer timer(&stats);
+  KindTimer timer(&stats, trace, plan);
   Model& source = instance->model;
   if (!plan.source_name.empty() && plan.source_name != source.name()) {
     throw std::runtime_error("ExecutePlan: plan was computed for source '" + plan.source_name +
@@ -59,7 +101,7 @@ TransformExecutionStats ExecutePlan(ModelInstance* instance, const Model& dest,
     }
     if (!(op.attrs == dst_op.attrs)) {
       fault::MaybeInject("executor.step");
-      timer.Time(MetaOpKind::kReshape, [&] {
+      timer.Time(MetaOpKind::kReshape, src_id, dst_id, [&] {
         op.attrs = dst_op.attrs;
         const std::vector<Shape> target_shapes = WeightShapesFor(op.kind, op.attrs);
         for (size_t i = 0; i < op.weights.size() && i < target_shapes.size(); ++i) {
@@ -71,7 +113,7 @@ TransformExecutionStats ExecutePlan(ModelInstance* instance, const Model& dest,
     }
     if (OpKindHasWeights(op.kind) && !dst_op.weights.empty()) {
       fault::MaybeInject("executor.step");
-      timer.Time(MetaOpKind::kReplace, [&] {
+      timer.Time(MetaOpKind::kReplace, src_id, dst_id, [&] {
         if (op.weights.size() != dst_op.weights.size()) {
           op.AllocateWeights();
         }
@@ -88,13 +130,13 @@ TransformExecutionStats ExecutePlan(ModelInstance* instance, const Model& dest,
   // storage release happens when the old model is replaced below.
   for (const OpId src_id : plan.mapping.reduced) {
     fault::MaybeInject("executor.step");
-    timer.Time(MetaOpKind::kReduce, [&] { source.RemoveOp(src_id); });
+    timer.Time(MetaOpKind::kReduce, src_id, kInvalidOpId, [&] { source.RemoveOp(src_id); });
   }
 
   // Add: materialize brand-new destination ops (structure + weights).
   for (const OpId dst_id : plan.mapping.added) {
     fault::MaybeInject("executor.step");
-    timer.Time(MetaOpKind::kAdd, [&] {
+    timer.Time(MetaOpKind::kAdd, kInvalidOpId, dst_id, [&] {
       Operation op;
       const Operation& dst_op = dest.op(dst_id);
       op.id = dst_id;
@@ -126,7 +168,7 @@ TransformExecutionStats ExecutePlan(ModelInstance* instance, const Model& dest,
       continue;
     }
     fault::MaybeInject("executor.step");
-    timer.Time(MetaOpKind::kEdge, [&] {
+    timer.TimeStep(step, [&] {
       if (step.edge_add) {
         result.AddEdge(step.edge.first, step.edge.second);
       } else {

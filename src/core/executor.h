@@ -15,6 +15,7 @@
 
 #include "src/core/meta_op.h"
 #include "src/runtime/loader.h"
+#include "src/telemetry/trace.h"
 
 namespace optimus {
 
@@ -36,8 +37,13 @@ struct TransformExecutionStats {
 // firing) leaves `instance` half-transformed. Callers must treat any throw as
 // poisoning the container and discard the instance — the platform destroys
 // the container and falls back to a scratch load (DESIGN.md §11).
+//
+// A non-null `trace` records one span per executed meta-op step (category
+// "meta_op"), each carrying the cost model's predicted_s next to the measured
+// actual_s — the raw material for cost-model drift auditing (DESIGN.md §12).
 TransformExecutionStats ExecutePlan(ModelInstance* instance, const Model& dest,
-                                    const TransformPlan& plan);
+                                    const TransformPlan& plan,
+                                    telemetry::TraceContext* trace = nullptr);
 
 }  // namespace optimus
 

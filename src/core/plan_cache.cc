@@ -10,8 +10,23 @@
 
 namespace optimus {
 
-PlanCache::PlanCache(const CostModel* costs, PlannerKind planner)
-    : costs_(costs), planner_(planner), verify_(VerificationEnabled()) {}
+PlanCache::PlanCache(const CostModel* costs, PlannerKind planner,
+                     telemetry::MetricsRegistry* metrics)
+    : costs_(costs),
+      planner_(planner),
+      verify_(VerificationEnabled()),
+      owned_metrics_(metrics == nullptr ? std::make_unique<telemetry::MetricsRegistry>()
+                                        : nullptr),
+      metrics_(metrics != nullptr ? metrics : owned_metrics_.get()),
+      hits_(metrics_->GetCounter("optimus_plan_cache_hits_total", {},
+                                 "Plan-cache lookups served from a cached strategy")),
+      misses_(metrics_->GetCounter("optimus_plan_cache_misses_total", {},
+                                   "Plan-cache lookups that triggered a planning attempt")),
+      execution_failures_(
+          metrics_->GetCounter("optimus_plan_execution_failures_total", {},
+                               "Cached plans that failed while executing in a container")),
+      plan_seconds_(metrics_->GetHistogram("optimus_plan_seconds", {},
+                                           "Wall seconds per planning attempt")) {}
 
 void PlanCache::CheckRegistration(const Model& model) const {
   if (verification()) {
@@ -26,7 +41,8 @@ const PlanCache::Shard& PlanCache::ShardFor(const Key& key) const {
 }
 
 const TransformPlan& PlanCache::PlanInto(Entry* entry, const Model& source, const Model& dest) {
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  misses_.Inc();
+  const uint64_t start_ns = telemetry::MonotonicNanos();
   try {
     fault::MaybeInject("cache.plan");
     TransformPlan plan = PlanTransform(source, dest, *costs_, planner_);
@@ -43,6 +59,7 @@ const TransformPlan& PlanCache::PlanInto(Entry* entry, const Model& source, cons
       entry->state.store(kReady, std::memory_order_release);
     }
     entry->published.notify_all();
+    plan_seconds_.Observe(static_cast<double>(telemetry::MonotonicNanos() - start_ns) * 1e-9);
     return entry->plan;
   } catch (const std::exception& e) {
     // Latch the failure so waiters see the error instead of blocking forever.
@@ -55,11 +72,14 @@ const TransformPlan& PlanCache::PlanInto(Entry* entry, const Model& source, cons
       entry->state.store(kFailed, std::memory_order_release);
     }
     entry->published.notify_all();
+    plan_seconds_.Observe(static_cast<double>(telemetry::MonotonicNanos() - start_ns) * 1e-9);
     throw;
   }
 }
 
-const TransformPlan& PlanCache::GetOrPlan(const Model& source, const Model& dest) {
+const TransformPlan& PlanCache::GetOrPlan(const Model& source, const Model& dest,
+                                          telemetry::TraceContext* trace) {
+  telemetry::ScopedSpan span(trace, "plan_lookup", "plan");
   const Key key{source.name(), dest.name()};
   Shard& shard = ShardFor(key);
 
@@ -80,19 +100,21 @@ const TransformPlan& PlanCache::GetOrPlan(const Model& source, const Model& dest
     entry->published.wait(
         lock, [&] { return entry->state.load(std::memory_order_acquire) != kPlanning; });
     if (entry->state.load(std::memory_order_acquire) == kReady) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
+      hits_.Inc();
+      span.Arg("hit", 1.0);
       return entry->plan;
     }
     // kFailed: permanent once the budget is spent, otherwise re-claim the
     // entry (flip back to kPlanning under the mutex so exactly one waiter
     // becomes the re-planner; the rest resume waiting).
     if (entry->failed_attempts >= plan_retry_budget_) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
+      hits_.Inc();
       throw std::runtime_error(entry->error);
     }
     entry->state.store(kPlanning, std::memory_order_release);
   }
 
+  span.Arg("hit", 0.0);
   return PlanInto(entry.get(), source, dest);
 }
 
@@ -107,7 +129,7 @@ bool PlanCache::Contains(const std::string& source_name, const std::string& dest
 
 void PlanCache::ReportExecutionFailure(const std::string& source_name,
                                        const std::string& dest_name) {
-  execution_failures_.fetch_add(1, std::memory_order_relaxed);
+  execution_failures_.Inc();
   std::lock_guard<std::mutex> lock(quarantine_mutex_);
   execution_failures_by_pair_[Key{source_name, dest_name}] += 1;
 }
@@ -131,7 +153,7 @@ size_t PlanCache::QuarantinedPairs() const {
 }
 
 size_t PlanCache::ExecutionFailures() const {
-  return execution_failures_.load(std::memory_order_relaxed);
+  return static_cast<size_t>(execution_failures_.Value());
 }
 
 size_t PlanCache::Size() const {

@@ -43,12 +43,18 @@
 
 #include "src/common/thread_pool.h"
 #include "src/core/planner.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 
 namespace optimus {
 
 class PlanCache {
  public:
-  explicit PlanCache(const CostModel* costs, PlannerKind planner = PlannerKind::kGroup);
+  // Hit/miss/failure counters and the planning-latency histogram live on
+  // `metrics` (DESIGN.md §12); with none supplied the cache owns a private
+  // registry so standalone construction keeps working.
+  explicit PlanCache(const CostModel* costs, PlannerKind planner = PlannerKind::kGroup,
+                     telemetry::MetricsRegistry* metrics = nullptr);
 
   // Returns the cached plan for (source, dest), planning and caching it on a
   // miss. Keyed by model name; models are assumed immutable once registered.
@@ -61,7 +67,10 @@ class PlanCache {
   // throws latches the failure; requesters retry the planning (one at a time)
   // until plan_retry_budget() attempts have failed, after which the latched
   // error is thrown to every requester of the pair.
-  const TransformPlan& GetOrPlan(const Model& source, const Model& dest);
+  // A non-null `trace` records a "plan_lookup" span (category "plan") around
+  // the lookup-or-plan, with a hit=0/1 arg.
+  const TransformPlan& GetOrPlan(const Model& source, const Model& dest,
+                                 telemetry::TraceContext* trace = nullptr);
 
   // Static verification at the insert boundary (DESIGN.md §10). Defaults to
   // VerificationEnabled(): on in debug builds, opt-in via OPTIMUS_VERIFY=1
@@ -140,8 +149,8 @@ class PlanCache {
 
   // Number of entries, including any still being planned.
   size_t Size() const;
-  size_t hits() const { return hits_.load(std::memory_order_relaxed); }
-  size_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  size_t hits() const { return static_cast<size_t>(hits_.Value()); }
+  size_t misses() const { return static_cast<size_t>(misses_.Value()); }
 
  private:
   using Key = std::pair<std::string, std::string>;
@@ -189,14 +198,19 @@ class PlanCache {
   PlannerKind planner_;
   std::atomic<bool> verify_;
   Shard shards_[kNumShards];
-  std::atomic<size_t> hits_{0};
-  std::atomic<size_t> misses_{0};
+
+  // Declared before the metric references below (initialization order).
+  std::unique_ptr<telemetry::MetricsRegistry> owned_metrics_;
+  telemetry::MetricsRegistry* metrics_;
+  telemetry::Counter& hits_;
+  telemetry::Counter& misses_;
+  telemetry::Counter& execution_failures_;
+  telemetry::Histogram& plan_seconds_;
 
   int plan_retry_budget_ = 3;
   int execution_retry_budget_ = 2;
   mutable std::mutex quarantine_mutex_;
   std::map<Key, int> execution_failures_by_pair_;
-  std::atomic<size_t> execution_failures_{0};
 };
 
 }  // namespace optimus

@@ -9,11 +9,46 @@
 namespace optimus {
 
 OptimusPlatform::OptimusPlatform(const CostModel* costs, const PlatformOptions& options)
-    : costs_(costs), options_(options), loader_(costs) {
+    : costs_(costs),
+      options_(options),
+      traces_(&metrics_, telemetry::TraceCollectorOptions{options.trace_capacity,
+                                                          options.trace_sample_period,
+                                                          options.trace_seed}),
+      loader_(costs),
+      warm_starts_(metrics_.GetCounter("optimus_starts_total", {{"kind", "warm"}},
+                                       "Successful invocations by start type")),
+      transforms_(metrics_.GetCounter("optimus_starts_total", {{"kind", "transform"}},
+                                      "Successful invocations by start type")),
+      cold_starts_(metrics_.GetCounter("optimus_starts_total", {{"kind", "cold"}},
+                                       "Successful invocations by start type")),
+      transform_failures_(
+          metrics_.GetCounter("optimus_transform_failures_total", {},
+                              "Transformations aborted mid-plan (container destroyed)")),
+      transform_fallbacks_(
+          metrics_.GetCounter("optimus_transform_fallbacks_total", {},
+                              "Requests served by the scratch fallback after a failed transform")),
+      decide_failures_(metrics_.GetCounter("optimus_decide_failures_total", {},
+                                           "Donor candidates skipped because Decide threw")),
+      failed_invokes_(metrics_.GetCounter("optimus_failed_invokes_total", {},
+                                          "TryInvoke calls that returned a non-OK status")),
+      invoke_seconds_warm_(metrics_.GetHistogram("optimus_invoke_seconds", {{"start", "warm"}},
+                                                 "End-to-end invoke wall seconds by start type")),
+      invoke_seconds_transform_(
+          metrics_.GetHistogram("optimus_invoke_seconds", {{"start", "transform"}},
+                                "End-to-end invoke wall seconds by start type")),
+      invoke_seconds_cold_(metrics_.GetHistogram("optimus_invoke_seconds", {{"start", "cold"}},
+                                                 "End-to-end invoke wall seconds by start type")),
+      decide_seconds_(metrics_.GetHistogram("optimus_phase_seconds", {{"phase", "decide"}},
+                                            "Wall seconds spent per invoke-path phase")),
+      transform_seconds_(metrics_.GetHistogram("optimus_phase_seconds", {{"phase", "transform"}},
+                                               "Wall seconds spent per invoke-path phase")),
+      inference_seconds_(metrics_.GetHistogram("optimus_phase_seconds", {{"phase", "inference"}},
+                                               "Wall seconds spent per invoke-path phase")) {
   if (options.num_nodes < 1 || options.containers_per_node < 1) {
     throw std::invalid_argument("OptimusPlatform: need at least one node and one container");
   }
-  transformer_ = std::make_unique<Transformer>(costs, options.planner);
+  loader_.set_metrics(&metrics_);
+  transformer_ = std::make_unique<Transformer>(costs, options.planner, &metrics_);
   if (options.warm_plan_cache && options.warm_threads > 1) {
     warm_pool_ = std::make_unique<ThreadPool>(options.warm_threads);
   }
@@ -49,10 +84,15 @@ void OptimusPlatform::Deploy(const std::string& function, const Model& model) {
     if (repository_.count(function) > 0) {
       throw std::invalid_argument("Deploy: function already registered: " + function);
     }
-    for (const auto& [other_name, other_model] : repository_) {
-      peers.emplace_back(other_model);
+    for (const auto& [other_name, other_entry] : repository_) {
+      peers.emplace_back(other_entry.model);
     }
-    deployed = &repository_.emplace(function, std::move(instance.model)).first->second;
+    FunctionEntry entry;
+    entry.model = std::move(instance.model);
+    entry.invoke_seconds =
+        &metrics_.GetHistogram("optimus_function_invoke_seconds", {{"function", function}},
+                               "End-to-end invoke wall seconds per function");
+    deployed = &repository_.emplace(function, std::move(entry)).first->second.model;
   }
 
   if (options_.warm_plan_cache) {
@@ -81,14 +121,15 @@ size_t OptimusPlatform::NumLiveContainers() const {
 }
 
 PlatformCounters OptimusPlatform::counters() const {
+  // A thin view over the registry — the counters live there (DESIGN.md §12).
   PlatformCounters counters;
-  counters.warm_starts = warm_starts_.load(std::memory_order_relaxed);
-  counters.transforms = transforms_.load(std::memory_order_relaxed);
-  counters.cold_starts = cold_starts_.load(std::memory_order_relaxed);
-  counters.transform_failures = transform_failures_.load(std::memory_order_relaxed);
-  counters.transform_fallbacks = transform_fallbacks_.load(std::memory_order_relaxed);
-  counters.decide_failures = decide_failures_.load(std::memory_order_relaxed);
-  counters.failed_invokes = failed_invokes_.load(std::memory_order_relaxed);
+  counters.warm_starts = static_cast<size_t>(warm_starts_.Value());
+  counters.transforms = static_cast<size_t>(transforms_.Value());
+  counters.cold_starts = static_cast<size_t>(cold_starts_.Value());
+  counters.transform_failures = static_cast<size_t>(transform_failures_.Value());
+  counters.transform_fallbacks = static_cast<size_t>(transform_fallbacks_.Value());
+  counters.decide_failures = static_cast<size_t>(decide_failures_.Value());
+  counters.failed_invokes = static_cast<size_t>(failed_invokes_.Value());
   return counters;
 }
 
@@ -146,23 +187,25 @@ double OptimusPlatform::AdvanceClock(double now) {
 }
 
 Status OptimusPlatform::TryInvoke(const std::string& function, const std::vector<float>& input,
-                                  double now, InvokeResult* result) {
+                                  double now, InvokeResult* result,
+                                  telemetry::TraceContext* trace) {
   try {
-    *result = InvokeInternal(function, input, now);
+    *result = InvokeInternal(function, input, now, trace);
     return Status::Ok();
   } catch (const OptimusError& error) {
-    failed_invokes_.fetch_add(1, std::memory_order_relaxed);
+    failed_invokes_.Inc();
     return error.ToStatus();
   } catch (const std::exception& error) {
-    failed_invokes_.fetch_add(1, std::memory_order_relaxed);
+    failed_invokes_.Inc();
     return Status(ErrorCode::kInternal, error.what());
   }
 }
 
 InvokeResult OptimusPlatform::Invoke(const std::string& function,
-                                     const std::vector<float>& input, double now) {
+                                     const std::vector<float>& input, double now,
+                                     telemetry::TraceContext* trace) {
   InvokeResult result;
-  const Status status = TryInvoke(function, input, now, &result);
+  const Status status = TryInvoke(function, input, now, &result, trace);
   if (!status.ok()) {
     throw OptimusError(status);
   }
@@ -170,16 +213,21 @@ InvokeResult OptimusPlatform::Invoke(const std::string& function,
 }
 
 InvokeResult OptimusPlatform::InvokeInternal(const std::string& function,
-                                             const std::vector<float>& input, double now) {
+                                             const std::vector<float>& input, double now,
+                                             telemetry::TraceContext* trace) {
+  const uint64_t invoke_start_ns = telemetry::MonotonicNanos();
+  telemetry::ScopedSpan invoke_span(trace, "invoke", "platform");
   now = AdvanceClock(now);
   const Model* model_ptr = nullptr;
+  telemetry::Histogram* function_seconds = nullptr;
   {
     std::shared_lock<std::shared_mutex> lock(repository_mutex_);
     auto model_it = repository_.find(function);
     if (model_it == repository_.end()) {
       throw OptimusError(ErrorCode::kNotFound, "Invoke: unknown function " + function);
     }
-    model_ptr = &model_it->second;  // Map nodes are stable; models immutable.
+    model_ptr = &model_it->second.model;  // Map nodes are stable; models immutable.
+    function_seconds = model_it->second.invoke_seconds;
   }
   const Model& model = *model_ptr;
 
@@ -208,27 +256,38 @@ InvokeResult OptimusPlatform::InvokeInternal(const std::string& function,
       static_cast<int>(node.containers.size()) >= options_.containers_per_node) {
     RealContainer* best_donor = nullptr;
     double best_cost = 0.0;
-    for (RealContainer& container : node.containers) {
-      if (now - container.last_active < options_.idle_threshold) {
-        continue;
-      }
-      try {
-        const TransformDecision decision =
-            transformer_->Decide(container.instance.model, model);
-        if (best_donor == nullptr || decision.ChosenCost() < best_cost) {
-          best_donor = &container;
-          best_cost = decision.ChosenCost();
+    {
+      telemetry::ScopedSpan decide_span(trace, "decide", "platform");
+      const uint64_t decide_start_ns = telemetry::MonotonicNanos();
+      for (RealContainer& container : node.containers) {
+        if (now - container.last_active < options_.idle_threshold) {
+          continue;
         }
-      } catch (const std::exception&) {
-        // Planning/verification failed for this pair (possibly a transient
-        // injected fault): the candidate is simply not eligible this request.
-        decide_failures_.fetch_add(1, std::memory_order_relaxed);
+        try {
+          const TransformDecision decision =
+              transformer_->Decide(container.instance.model, model, trace);
+          if (best_donor == nullptr || decision.ChosenCost() < best_cost) {
+            best_donor = &container;
+            best_cost = decision.ChosenCost();
+          }
+        } catch (const std::exception&) {
+          // Planning/verification failed for this pair (possibly a transient
+          // injected fault): the candidate is simply not eligible this request.
+          decide_failures_.Inc();
+        }
       }
+      decide_seconds_.Observe(
+          static_cast<double>(telemetry::MonotonicNanos() - decide_start_ns) * 1e-9);
     }
     if (best_donor != nullptr) {
       try {
+        const uint64_t transform_start_ns = telemetry::MonotonicNanos();
         const TransformOutcome outcome =
-            transformer_->TransformOrLoad(&best_donor->instance, model);
+            transformer_->TransformOrLoad(&best_donor->instance, model, trace);
+        if (outcome.decision.use_transform) {
+          transform_seconds_.Observe(
+              static_cast<double>(telemetry::MonotonicNanos() - transform_start_ns) * 1e-9);
+        }
         result.start = outcome.decision.use_transform ? StartType::kTransform : StartType::kCold;
         result.donor_function = best_donor->function;
         result.estimated_latency = outcome.decision.ChosenCost() + profile.InferenceCost(model);
@@ -239,7 +298,7 @@ InvokeResult OptimusPlatform::InvokeInternal(const std::string& function,
         // half-mutated, so the container is destroyed and the request falls
         // through to a fresh scratch (cold) load. The transformer already
         // charged the failure to the plan-cache quarantine.
-        transform_failures_.fetch_add(1, std::memory_order_relaxed);
+        transform_failures_.Inc();
         const ContainerId poisoned = best_donor->id;
         auto& containers = node.containers;
         containers.erase(std::remove_if(containers.begin(), containers.end(),
@@ -267,7 +326,8 @@ InvokeResult OptimusPlatform::InvokeInternal(const std::string& function,
     container.id = next_container_id_.fetch_add(1, std::memory_order_relaxed);
     container.function = function;
     try {
-      container.instance = loader_.Instantiate(model);
+      container.instance = loader_.Instantiate(model, /*weight_seed=*/1, /*breakdown=*/nullptr,
+                                               trace);
     } catch (const std::exception& error) {
       // The scratch load is the path of last resort; classify its failure as
       // retryable — nothing about the request itself is wrong.
@@ -282,24 +342,39 @@ InvokeResult OptimusPlatform::InvokeInternal(const std::string& function,
   }
 
   chosen->last_active = now;
-  result.output = RunInference(chosen->instance, input);
+  {
+    telemetry::ScopedSpan inference_span(trace, "inference", "inference");
+    const uint64_t inference_start_ns = telemetry::MonotonicNanos();
+    result.output = RunInference(chosen->instance, input);
+    inference_seconds_.Observe(
+        static_cast<double>(telemetry::MonotonicNanos() - inference_start_ns) * 1e-9);
+  }
 
   // Count successes only after inference produced output, so the start-type
   // counters reconcile exactly with successful requests.
+  const double invoke_seconds =
+      static_cast<double>(telemetry::MonotonicNanos() - invoke_start_ns) * 1e-9;
   switch (result.start) {
     case StartType::kWarm:
-      warm_starts_.fetch_add(1, std::memory_order_relaxed);
+      warm_starts_.Inc();
+      invoke_seconds_warm_.Observe(invoke_seconds);
       break;
     case StartType::kTransform:
-      transforms_.fetch_add(1, std::memory_order_relaxed);
+      transforms_.Inc();
+      invoke_seconds_transform_.Observe(invoke_seconds);
       break;
     case StartType::kCold:
-      cold_starts_.fetch_add(1, std::memory_order_relaxed);
+      cold_starts_.Inc();
+      invoke_seconds_cold_.Observe(invoke_seconds);
       break;
   }
-  if (result.transform_fallback) {
-    transform_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  if (function_seconds != nullptr) {
+    function_seconds->Observe(invoke_seconds);
   }
+  if (result.transform_fallback) {
+    transform_fallbacks_.Inc();
+  }
+  invoke_span.Arg("start", static_cast<double>(result.start));
   return result;
 }
 

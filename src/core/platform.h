@@ -60,6 +60,8 @@
 #include "src/container/container.h"
 #include "src/core/transformer.h"
 #include "src/graph/serialization.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 
 namespace optimus {
 
@@ -76,6 +78,12 @@ struct PlatformOptions {
   // plannings out across a pool; 0 or 1 keeps the serial path. The cache
   // contents are identical either way.
   int warm_threads = 0;
+  // Request tracing (DESIGN.md §12): completed traces retained in the
+  // collector's ring, the sampling period (~1/period of requests traced; 0
+  // disables sampling entirely), and the sampler's deterministic seed.
+  size_t trace_capacity = 256;
+  uint64_t trace_sample_period = 64;
+  uint64_t trace_seed = 0x7ace;
 };
 
 // Result of one invocation.
@@ -126,23 +134,33 @@ class OptimusPlatform {
   // On failure returns a typed Status from the ErrorCode taxonomy and leaves
   // *result unspecified; never throws for classified failures (kNotFound for
   // unknown functions, kUnavailable for transient load/transform failures,
-  // kInternal otherwise).
+  // kInternal otherwise). A non-null `trace` (normally obtained from
+  // traces().MaybeStartTrace) records spans for the plan lookup, each executed
+  // meta-op step, the scratch load, and inference.
   Status TryInvoke(const std::string& function, const std::vector<float>& input, double now,
-                   InvokeResult* result);
+                   InvokeResult* result, telemetry::TraceContext* trace = nullptr);
 
   // Throwing wrapper over TryInvoke: returns the result or throws
   // OptimusError carrying the same typed code.
-  InvokeResult Invoke(const std::string& function, const std::vector<float>& input, double now);
+  InvokeResult Invoke(const std::string& function, const std::vector<float>& input, double now,
+                      telemetry::TraceContext* trace = nullptr);
 
   // Operational introspection.
   size_t NumFunctions() const;
   size_t NumLiveContainers() const;
   const PlanCache& plan_cache() const { return transformer_->cache(); }
   PlanCache& plan_cache() { return transformer_->cache(); }
-  size_t WarmStarts() const { return warm_starts_.load(std::memory_order_relaxed); }
-  size_t Transforms() const { return transforms_.load(std::memory_order_relaxed); }
-  size_t ColdStarts() const { return cold_starts_.load(std::memory_order_relaxed); }
+  size_t WarmStarts() const { return static_cast<size_t>(warm_starts_.Value()); }
+  size_t Transforms() const { return static_cast<size_t>(transforms_.Value()); }
+  size_t ColdStarts() const { return static_cast<size_t>(cold_starts_.Value()); }
   PlatformCounters counters() const;
+
+  // Telemetry (DESIGN.md §12). The platform owns the registry every layer
+  // below it (plan cache, transformer, loader) reports into, plus the trace
+  // collector holding completed request traces.
+  telemetry::MetricsRegistry& metrics() { return metrics_; }
+  const telemetry::MetricsRegistry& metrics() const { return metrics_; }
+  telemetry::TraceCollector& traces() { return traces_; }
 
   // Debug/chaos introspection: validates every live container (resident model
   // loaded, structurally valid, and named after the container's function) and
@@ -165,6 +183,14 @@ class OptimusPlatform {
     std::vector<RealContainer> containers;
   };
 
+  // One registered function: its loaded model plus the per-function latency
+  // series, resolved once at Deploy() so the invoke path never takes the
+  // registry's name lookup.
+  struct FunctionEntry {
+    Model model;
+    telemetry::Histogram* invoke_seconds = nullptr;
+  };
+
   void ReapExpired(Node* node, double now);
   int PlaceFunction(const std::string& function) const;
   // CAS-max clock advance; returns the effective time max(now, clock).
@@ -172,25 +198,36 @@ class OptimusPlatform {
   // The un-wrapped invocation path; throws OptimusError (and, for bugs,
   // other exceptions TryInvoke classifies as kInternal).
   InvokeResult InvokeInternal(const std::string& function, const std::vector<float>& input,
-                              double now);
+                              double now, telemetry::TraceContext* trace);
 
   const CostModel* costs_;
   PlatformOptions options_;
+  // Registry before every member that binds series on it (init order).
+  telemetry::MetricsRegistry metrics_;
+  telemetry::TraceCollector traces_;
   Loader loader_;
   std::unique_ptr<Transformer> transformer_;
   std::unique_ptr<ThreadPool> warm_pool_;  // Present when warm_threads > 1.
   mutable std::shared_mutex repository_mutex_;
-  std::map<std::string, Model> repository_;  // Loaded (weighted) models.
+  std::map<std::string, FunctionEntry> repository_;  // Loaded (weighted) models.
   std::vector<std::unique_ptr<Node>> nodes_;
   std::atomic<ContainerId> next_container_id_{0};
   std::atomic<double> last_now_{0.0};
-  std::atomic<size_t> warm_starts_{0};
-  std::atomic<size_t> transforms_{0};
-  std::atomic<size_t> cold_starts_{0};
-  std::atomic<size_t> transform_failures_{0};
-  std::atomic<size_t> transform_fallbacks_{0};
-  std::atomic<size_t> decide_failures_{0};
-  std::atomic<size_t> failed_invokes_{0};
+  // Monotone counters and latency series, re-homed onto the registry (the
+  // registry is the single source of truth; counters() is a thin view).
+  telemetry::Counter& warm_starts_;
+  telemetry::Counter& transforms_;
+  telemetry::Counter& cold_starts_;
+  telemetry::Counter& transform_failures_;
+  telemetry::Counter& transform_fallbacks_;
+  telemetry::Counter& decide_failures_;
+  telemetry::Counter& failed_invokes_;
+  telemetry::Histogram& invoke_seconds_warm_;
+  telemetry::Histogram& invoke_seconds_transform_;
+  telemetry::Histogram& invoke_seconds_cold_;
+  telemetry::Histogram& decide_seconds_;
+  telemetry::Histogram& transform_seconds_;
+  telemetry::Histogram& inference_seconds_;
 };
 
 }  // namespace optimus

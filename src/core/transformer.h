@@ -43,14 +43,20 @@ struct TransformOutcome {
 
 class Transformer {
  public:
-  Transformer(const CostModel* costs, PlannerKind planner = PlannerKind::kGroup)
-      : costs_(costs), loader_(costs), cache_(costs, planner) {}
+  // With a registry (DESIGN.md §12) the transformer reports per-meta-op-kind
+  // execution latency and predicted-vs-actual cost drift, and wires the
+  // scratch-load path's metrics through its loader; with none, only the plan
+  // cache's privately-owned registry exists and the rest is skipped.
+  Transformer(const CostModel* costs, PlannerKind planner = PlannerKind::kGroup,
+              telemetry::MetricsRegistry* metrics = nullptr);
 
   // Safeguard check: compares the (cached) plan cost against the destination's
   // scratch-load cost. Quarantined pairs never choose the transform path (the
   // cached plan is not even consulted, so a latched planning failure for a
-  // quarantined pair cannot surface here).
-  TransformDecision Decide(const Model& source, const Model& dest);
+  // quarantined pair cannot surface here). A non-null `trace` records the
+  // plan-lookup span.
+  TransformDecision Decide(const Model& source, const Model& dest,
+                           telemetry::TraceContext* trace = nullptr);
 
   // Transforms `instance` (holding `source`) into `dest`, or scratch-loads
   // `dest` when the safeguard (or the quarantine) rejects the transformation.
@@ -60,7 +66,8 @@ class Transformer {
   // "executor.step" fault points) the failure is reported to the plan cache's
   // quarantine and the exception propagates with *instance poisoned — the
   // caller must discard the container and fall back to a fresh scratch load.
-  TransformOutcome TransformOrLoad(ModelInstance* instance, const Model& dest);
+  TransformOutcome TransformOrLoad(ModelInstance* instance, const Model& dest,
+                                   telemetry::TraceContext* trace = nullptr);
 
   PlanCache& cache() { return cache_; }
   const PlanCache& cache() const { return cache_; }
@@ -68,9 +75,18 @@ class Transformer {
   const CostModel& costs() const { return *costs_; }
 
  private:
+  // Feeds one executed plan's per-kind timings and drift into the registry.
+  void RecordExecution(const TransformPlan& plan, const TransformExecutionStats& stats);
+
   const CostModel* costs_;
   Loader loader_;
   PlanCache cache_;
+  // Per-kind series, indexed by MetaOpKind; null without a registry.
+  std::array<telemetry::Histogram*, kNumMetaOpKinds> meta_op_seconds_{};
+  std::array<telemetry::Histogram*, kNumMetaOpKinds> meta_op_drift_{};
+  telemetry::Histogram* transform_drift_ = nullptr;
+  telemetry::Gauge* predicted_seconds_ = nullptr;
+  telemetry::Gauge* actual_seconds_ = nullptr;
 };
 
 }  // namespace optimus

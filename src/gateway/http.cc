@@ -288,6 +288,20 @@ HttpResponse HttpFetch(uint16_t port, const std::string& method, const std::stri
     std::string version;
     status_line >> version >> response.status;
   }
+  // Surface the Content-Type header so callers can assert on it.
+  std::istringstream headers(raw.substr(0, head_end));
+  std::string line;
+  while (std::getline(headers, line)) {
+    constexpr const char kPrefix[] = "Content-Type:";
+    if (line.compare(0, sizeof(kPrefix) - 1, kPrefix) == 0) {
+      std::string value = line.substr(sizeof(kPrefix) - 1);
+      const size_t begin = value.find_first_not_of(" \t");
+      const size_t end = value.find_last_not_of(" \t\r");
+      if (begin != std::string::npos) {
+        response.content_type = value.substr(begin, end - begin + 1);
+      }
+    }
+  }
   response.body = raw.substr(head_end + 4);
   return response;
 }

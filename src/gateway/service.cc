@@ -119,6 +119,22 @@ OptimusHttpService::OptimusHttpService(const CostModel* costs, const PlatformOpt
     : platform_(costs, options),
       gateway_(gateway),
       clock_(std::move(clock)),
+      retries_(platform_.metrics().GetCounter("optimus_gateway_retries_total", {},
+                                              "Invoke retries after retryable platform errors")),
+      sheds_(platform_.metrics().GetCounter("optimus_gateway_sheds_total", {},
+                                            "Invokes shed with 429 at saturation")),
+      drops_(platform_.metrics().GetCounter("optimus_gateway_drops_total", {},
+                                            "Invokes dropped by the gateway.drop fault point")),
+      deadlines_(platform_.metrics().GetCounter("optimus_gateway_deadlines_total", {},
+                                                "Invokes rejected with 504 (deadline expired)")),
+      invoke_request_seconds_(
+          platform_.metrics().GetHistogram("optimus_gateway_request_seconds",
+                                           {{"route", "invoke"}},
+                                           "Gateway wall seconds per request by route")),
+      live_containers_(platform_.metrics().GetGauge("optimus_live_containers", {},
+                                                    "Containers currently alive")),
+      functions_gauge_(platform_.metrics().GetGauge("optimus_functions", {},
+                                                    "Functions registered in the repository")),
       jitter_rng_(gateway.jitter_seed) {
   if (!clock_) {
     const auto start = std::chrono::steady_clock::now();
@@ -163,7 +179,7 @@ HttpResponse OptimusHttpService::HandleInvoke(const HttpRequest& request) {
   if (inflight_invokes_.fetch_add(1, std::memory_order_acq_rel) >=
       gateway_.max_inflight_invokes) {
     inflight_invokes_.fetch_sub(1, std::memory_order_acq_rel);
-    sheds_.fetch_add(1, std::memory_order_relaxed);
+    sheds_.Inc();
     return JsonError(ErrorCode::kResourceExhausted, "gateway saturated; request shed");
   }
   struct InflightGuard {
@@ -197,12 +213,35 @@ HttpResponse OptimusHttpService::HandleInvoke(const HttpRequest& request) {
     return JsonError(ErrorCode::kInvalidArgument, "malformed input vector");
   }
 
+  // Trace lifecycle: the sampled context is created here (the request's
+  // entry point), threaded through the retry loop into the platform, and
+  // always published to the collector — the RAII request span closes on
+  // every return path, so span accounting reconciles even under faults.
+  const uint64_t request_start_ns = telemetry::MonotonicNanos();
+  std::unique_ptr<telemetry::TraceContext> trace =
+      platform_.traces().MaybeStartTrace(name->second);
+  HttpResponse response;
+  {
+    telemetry::ScopedSpan request_span(trace.get(), "request", "gateway");
+    response = InvokeWithRetries(name->second, input, deadline, trace.get());
+    request_span.Arg("http_status", static_cast<double>(response.status));
+  }
+  platform_.traces().Finish(std::move(trace));
+  invoke_request_seconds_.Observe(
+      static_cast<double>(telemetry::MonotonicNanos() - request_start_ns) * 1e-9);
+  return response;
+}
+
+HttpResponse OptimusHttpService::InvokeWithRetries(const std::string& function,
+                                                   const std::vector<float>& input,
+                                                   double deadline,
+                                                   telemetry::TraceContext* trace) {
   const double start = WallSeconds();
 
   // Injected gateway faults: a dropped request surfaces as 503 (the client
   // may retry); a slow one eats into the deadline below.
   if (fault::Triggered("gateway.drop")) {
-    drops_.fetch_add(1, std::memory_order_relaxed);
+    drops_.Inc();
     return JsonError(ErrorCode::kUnavailable, "request dropped (injected fault)");
   }
   if (fault::Triggered("gateway.slow")) {
@@ -212,12 +251,12 @@ HttpResponse OptimusHttpService::HandleInvoke(const HttpRequest& request) {
   Status status;
   for (int attempt = 0;; ++attempt) {
     if (deadline > 0.0 && WallSeconds() - start >= deadline) {
-      deadlines_.fetch_add(1, std::memory_order_relaxed);
+      deadlines_.Inc();
       return JsonError(ErrorCode::kDeadlineExceeded,
                        "deadline of " + std::to_string(deadline) + "s exceeded");
     }
     InvokeResult result;
-    status = platform_.TryInvoke(name->second, input, clock_(), &result);
+    status = platform_.TryInvoke(function, input, clock_(), &result, trace);
     if (status.ok()) {
       std::ostringstream body;
       body << "start=" << StartTypeName(result.start) << "\n"
@@ -234,11 +273,28 @@ HttpResponse OptimusHttpService::HandleInvoke(const HttpRequest& request) {
       return JsonError(status);
     }
     // Exponential backoff with deterministic jitter before the retry.
-    retries_.fetch_add(1, std::memory_order_relaxed);
+    retries_.Inc();
     const double backoff =
         gateway_.retry_backoff * static_cast<double>(1 << attempt) * JitterFactor();
     std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
   }
+}
+
+HttpResponse OptimusHttpService::HandleMetrics() {
+  // Point-in-time gauges are refreshed at scrape time, Prometheus-style.
+  live_containers_.Set(static_cast<double>(platform_.NumLiveContainers()));
+  functions_gauge_.Set(static_cast<double>(platform_.NumFunctions()));
+  HttpResponse response;
+  response.content_type = "text/plain; version=0.0.4";
+  response.body = platform_.metrics().RenderPrometheus();
+  return response;
+}
+
+HttpResponse OptimusHttpService::HandleTrace() {
+  HttpResponse response;
+  response.content_type = "application/json";
+  response.body = telemetry::ExportChromeTrace(platform_.traces().Drain());
+  return response;
 }
 
 HttpResponse OptimusHttpService::Handle(const HttpRequest& request) {
@@ -273,6 +329,14 @@ HttpResponse OptimusHttpService::Handle(const HttpRequest& request) {
     HttpResponse response;
     response.body = body.str();
     return response;
+  }
+
+  if (request.method == "GET" && request.path == "/metrics") {
+    return HandleMetrics();
+  }
+
+  if (request.method == "GET" && request.path == "/trace") {
+    return HandleTrace();
   }
 
   if (request.method == "GET" && request.path == "/functions") {

@@ -6,6 +6,10 @@
 //        [&deadline=<sec>]   per-request deadline override (wall seconds)
 //   GET  /functions                                        -> registered names
 //   GET  /stats                                            -> counters
+//   GET  /metrics            Prometheus text exposition of the platform's
+//                            metrics registry (DESIGN.md §12)
+//   GET  /trace              drains completed request traces as Chrome
+//                            trace_event JSON (chrome://tracing, Perfetto)
 //
 // Invocation responses are line-oriented "key=value" text:
 //   start=Warm|Transform|Cold
@@ -78,11 +82,13 @@ class OptimusHttpService {
   OptimusPlatform& platform() { return platform_; }
   const GatewayOptions& gateway_options() const { return gateway_; }
 
-  // Gateway-level counters (also exported via /stats).
-  size_t Retries() const { return retries_.load(std::memory_order_relaxed); }
-  size_t Sheds() const { return sheds_.load(std::memory_order_relaxed); }
-  size_t Drops() const { return drops_.load(std::memory_order_relaxed); }
-  size_t DeadlinesExceeded() const { return deadlines_.load(std::memory_order_relaxed); }
+  // Gateway-level counters (thin views over the platform's metrics registry,
+  // which is the single source of truth — also exported via /stats and
+  // /metrics).
+  size_t Retries() const { return static_cast<size_t>(retries_.Value()); }
+  size_t Sheds() const { return static_cast<size_t>(sheds_.Value()); }
+  size_t Drops() const { return static_cast<size_t>(drops_.Value()); }
+  size_t DeadlinesExceeded() const { return static_cast<size_t>(deadlines_.Value()); }
 
   // The route dispatcher (exposed for direct testing without sockets).
   // Thread-safe: routes delegate to the platform, which synchronizes itself,
@@ -92,6 +98,11 @@ class OptimusHttpService {
  private:
   HttpResponse HandleDeploy(const HttpRequest& request);
   HttpResponse HandleInvoke(const HttpRequest& request);
+  // The shed-checked, deadline-bounded retry loop; `trace` may be null.
+  HttpResponse InvokeWithRetries(const std::string& function, const std::vector<float>& input,
+                                 double deadline, telemetry::TraceContext* trace);
+  HttpResponse HandleMetrics();
+  HttpResponse HandleTrace();
   double JitterFactor();  // Deterministic in [1, 2).
 
   OptimusPlatform platform_;
@@ -99,10 +110,13 @@ class OptimusHttpService {
   std::function<double()> clock_;
   HttpServer server_;
   std::atomic<int> inflight_invokes_{0};
-  std::atomic<size_t> retries_{0};
-  std::atomic<size_t> sheds_{0};
-  std::atomic<size_t> drops_{0};
-  std::atomic<size_t> deadlines_{0};
+  telemetry::Counter& retries_;
+  telemetry::Counter& sheds_;
+  telemetry::Counter& drops_;
+  telemetry::Counter& deadlines_;
+  telemetry::Histogram& invoke_request_seconds_;
+  telemetry::Gauge& live_containers_;
+  telemetry::Gauge& functions_gauge_;
   std::mutex jitter_mutex_;
   Rng jitter_rng_;
 };

@@ -22,8 +22,69 @@ void MaterializeWeights(Model* model, uint64_t weight_seed) {
 
 }  // namespace
 
+void Loader::set_metrics(telemetry::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    load_seconds_ = nullptr;
+    drift_ratio_ = nullptr;
+    predicted_seconds_ = nullptr;
+    actual_seconds_ = nullptr;
+    return;
+  }
+  load_seconds_ = &metrics->GetHistogram("optimus_phase_seconds", {{"phase", "scratch_load"}},
+                                         "Wall seconds spent per invoke-path phase");
+  drift_ratio_ = &metrics->GetHistogram("optimus_cost_drift_ratio", {{"phase", "scratch_load"}},
+                                        "Actual wall seconds / cost-model prediction");
+  predicted_seconds_ =
+      &metrics->GetGauge("optimus_cost_predicted_seconds", {{"phase", "scratch_load"}},
+                         "Accumulated cost-model predictions");
+  actual_seconds_ = &metrics->GetGauge("optimus_cost_actual_seconds", {{"phase", "scratch_load"}},
+                                       "Accumulated measured wall seconds");
+}
+
+void Loader::RecordLoad(const Model& model, double actual_seconds,
+                        telemetry::TraceContext* trace) const {
+  const bool need_prediction =
+      drift_ratio_ != nullptr || predicted_seconds_ != nullptr || trace != nullptr;
+  double predicted = 0.0;
+  if (need_prediction) {
+    predicted = cost_model_->ScratchLoadCost(model);
+  }
+  if (load_seconds_ != nullptr) {
+    load_seconds_->Observe(actual_seconds);
+  }
+  if (drift_ratio_ != nullptr && predicted > 0.0) {
+    drift_ratio_->Observe(actual_seconds / predicted);
+  }
+  if (predicted_seconds_ != nullptr) {
+    predicted_seconds_->Add(predicted);
+  }
+  if (actual_seconds_ != nullptr) {
+    actual_seconds_->Add(actual_seconds);
+  }
+  if (trace != nullptr) {
+    TraceSpanInto(trace, predicted, actual_seconds);
+  }
+}
+
+void Loader::TraceSpanInto(telemetry::TraceContext* trace, double predicted_seconds,
+                           double actual_seconds) {
+  // Recorded post hoc (the load already ran) so the span brackets [now - dur,
+  // now]; Chrome's viewer only needs start + duration to be consistent.
+  telemetry::TraceSpan span;
+  span.name = "scratch_load";
+  span.category = "load";
+  span.duration_ns = static_cast<uint64_t>(actual_seconds * 1e9);
+  const uint64_t now = telemetry::MonotonicNanos();
+  span.start_ns = now > span.duration_ns ? now - span.duration_ns : 0;
+  span.args.emplace_back("predicted_s", predicted_seconds);
+  span.args.emplace_back("actual_s", actual_seconds);
+  trace->Record(std::move(span));
+}
+
 ModelInstance Loader::LoadFromFile(const ModelFile& file, uint64_t weight_seed,
-                                   LoadBreakdown* breakdown) const {
+                                   LoadBreakdown* breakdown,
+                                   telemetry::TraceContext* trace) const {
+  const uint64_t start_ns = telemetry::MonotonicNanos();
   fault::MaybeInject("loader.deserialize");
   ModelInstance instance;
   instance.model = DeserializeModel(file);
@@ -32,11 +93,15 @@ ModelInstance Loader::LoadFromFile(const ModelFile& file, uint64_t weight_seed,
   if (breakdown != nullptr) {
     *breakdown = cost_model_->ModelLoadBreakdown(instance.model);
   }
+  RecordLoad(instance.model, static_cast<double>(telemetry::MonotonicNanos() - start_ns) * 1e-9,
+             trace);
   return instance;
 }
 
 ModelInstance Loader::Instantiate(const Model& structure, uint64_t weight_seed,
-                                  LoadBreakdown* breakdown) const {
+                                  LoadBreakdown* breakdown,
+                                  telemetry::TraceContext* trace) const {
+  const uint64_t start_ns = telemetry::MonotonicNanos();
   fault::MaybeInject("loader.load");
   ModelInstance instance;
   instance.model = structure;
@@ -45,6 +110,8 @@ ModelInstance Loader::Instantiate(const Model& structure, uint64_t weight_seed,
   if (breakdown != nullptr) {
     *breakdown = cost_model_->ModelLoadBreakdown(instance.model);
   }
+  RecordLoad(instance.model, static_cast<double>(telemetry::MonotonicNanos() - start_ns) * 1e-9,
+             trace);
   return instance;
 }
 

@@ -9,6 +9,8 @@
 #include "src/graph/model.h"
 #include "src/graph/serialization.h"
 #include "src/runtime/cost_model.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 
 namespace optimus {
 
@@ -23,24 +25,50 @@ struct ModelInstance {
 // construction, weight tensor allocation and fill) while also reporting the
 // calibrated latency decomposition from the cost model — the simulator and
 // benchmarks consume the latter so results are deterministic across machines.
+//
+// Telemetry (DESIGN.md §12): with a registry attached via set_metrics(), each
+// scratch load records its real wall time into the "scratch_load" phase
+// histogram and its predicted-vs-actual cost-model drift (actual wall seconds
+// divided by the cost model's ScratchLoadCost) into the drift series, making
+// the §4.4 safeguard's comparison baseline auditable. A non-null trace
+// context additionally records a "scratch_load" span carrying both costs.
 class Loader {
  public:
   explicit Loader(const CostModel* cost_model) : cost_model_(cost_model) {}
 
+  // Attaches the metrics registry the loads report into (may be null to
+  // detach). Not thread-safe with concurrent loads; wire it up at
+  // construction time, before serving.
+  void set_metrics(telemetry::MetricsRegistry* metrics);
+
   // Deserializes a model file and materializes its weights. Ops serialized
   // structure-only get deterministic weights derived from `weight_seed`.
   ModelInstance LoadFromFile(const ModelFile& file, uint64_t weight_seed = 1,
-                             LoadBreakdown* breakdown = nullptr) const;
+                             LoadBreakdown* breakdown = nullptr,
+                             telemetry::TraceContext* trace = nullptr) const;
 
   // Materializes a structure-only model (as produced by the zoo builders)
   // with deterministic weights — the "load from scratch" path.
   ModelInstance Instantiate(const Model& structure, uint64_t weight_seed = 1,
-                            LoadBreakdown* breakdown = nullptr) const;
+                            LoadBreakdown* breakdown = nullptr,
+                            telemetry::TraceContext* trace = nullptr) const;
 
   const CostModel& cost_model() const { return *cost_model_; }
 
  private:
+  // Records phase latency, drift, and the optional span for one finished load.
+  void RecordLoad(const Model& model, double actual_seconds,
+                  telemetry::TraceContext* trace) const;
+
+  // Appends a post-hoc "scratch_load" span carrying both costs to `trace`.
+  static void TraceSpanInto(telemetry::TraceContext* trace, double predicted_seconds,
+                            double actual_seconds);
+
   const CostModel* cost_model_;
+  telemetry::Histogram* load_seconds_ = nullptr;      // phase="scratch_load".
+  telemetry::Histogram* drift_ratio_ = nullptr;       // actual / predicted.
+  telemetry::Gauge* predicted_seconds_ = nullptr;     // Accumulated predictions.
+  telemetry::Gauge* actual_seconds_ = nullptr;        // Accumulated wall time.
 };
 
 }  // namespace optimus

@@ -1,0 +1,316 @@
+#include "src/telemetry/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+namespace optimus {
+namespace telemetry {
+
+namespace internal {
+
+size_t ThreadShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t index = next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+}  // namespace internal
+
+namespace {
+
+// Nanosecond cap: ~9.2e9 seconds. Keeps the bucket math inside 63 bits and
+// makes the sum accumulator overflow-proof for any realistic run.
+constexpr uint64_t kMaxNanos = uint64_t{1} << 63;
+
+uint64_t SecondsToNanos(double seconds) {
+  if (!(seconds > 0.0)) {  // Negative and NaN clamp to 0.
+    return 0;
+  }
+  const double nanos = seconds * 1e9;
+  if (nanos >= static_cast<double>(kMaxNanos)) {
+    return kMaxNanos - 1;
+  }
+  return static_cast<uint64_t>(nanos);
+}
+
+double NanosToSeconds(uint64_t nanos) { return static_cast<double>(nanos) * 1e-9; }
+
+}  // namespace
+
+size_t BucketIndexForNanos(uint64_t nanos) {
+  if (nanos < kHistogramSubBuckets) {
+    return static_cast<size_t>(nanos);
+  }
+  if (nanos >= kMaxNanos) {
+    nanos = kMaxNanos - 1;
+  }
+  // Octave = position of the leading bit (>= 2 here); the next two bits pick
+  // the sub-bucket, so each power of two splits into 4 equal ranges.
+  const int octave = static_cast<int>(std::bit_width(nanos)) - 1;
+  const size_t sub = static_cast<size_t>(nanos >> (octave - 2)) & (kHistogramSubBuckets - 1);
+  const size_t index = static_cast<size_t>(octave - 1) * kHistogramSubBuckets + sub;
+  return std::min(index, kHistogramBuckets - 1);
+}
+
+uint64_t BucketLowerBoundNanos(size_t index) {
+  if (index < kHistogramSubBuckets) {
+    return index;
+  }
+  const size_t octave = index / kHistogramSubBuckets + 1;
+  const size_t sub = index % kHistogramSubBuckets;
+  return (uint64_t{kHistogramSubBuckets} + sub) << (octave - 2);
+}
+
+uint64_t BucketUpperBoundNanos(size_t index) {
+  if (index < kHistogramSubBuckets) {
+    return index;
+  }
+  const size_t octave = index / kHistogramSubBuckets + 1;
+  return BucketLowerBoundNanos(index) + (uint64_t{1} << (octave - 2)) - 1;
+}
+
+void Histogram::Observe(double seconds) {
+  if (enabled_ != nullptr && !enabled_->load(std::memory_order_relaxed)) {
+    return;
+  }
+  const uint64_t nanos = SecondsToNanos(seconds);
+  buckets_[BucketIndexForNanos(nanos)].fetch_add(1, std::memory_order_relaxed);
+  sum_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  uint64_t prev_max = max_nanos_.load(std::memory_order_relaxed);
+  while (prev_max < nanos &&
+         !max_nanos_.compare_exchange_weak(prev_max, nanos, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    snapshot.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    snapshot.count += snapshot.buckets[i];
+  }
+  snapshot.sum_seconds = NanosToSeconds(sum_nanos_.load(std::memory_order_relaxed));
+  snapshot.max_seconds = NanosToSeconds(max_nanos_.load(std::memory_order_relaxed));
+  return snapshot;
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t count = 0;
+  for (const std::atomic<uint64_t>& bucket : buckets_) {
+    count += bucket.load(std::memory_order_relaxed);
+  }
+  return count;
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) {
+    return 0.0;
+  }
+  p = std::clamp(p, 0.0, 1.0);
+  if (p >= 1.0) {
+    return max_seconds;
+  }
+  // 1-based rank of the requested order statistic.
+  const uint64_t rank =
+      std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(p * static_cast<double>(count))));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    if (buckets[i] == 0) {
+      continue;
+    }
+    if (cumulative + buckets[i] >= rank) {
+      // Linear interpolation inside the bucket by rank position.
+      const double lower = NanosToSeconds(BucketLowerBoundNanos(i));
+      const double upper = NanosToSeconds(BucketUpperBoundNanos(i) + 1);
+      const double within =
+          static_cast<double>(rank - cumulative) / static_cast<double>(buckets[i]);
+      return std::min(lower + (upper - lower) * within, max_seconds);
+    }
+    cumulative += buckets[i];
+  }
+  return max_seconds;
+}
+
+MetricsRegistry::Series& MetricsRegistry::GetSeries(const std::string& name, const Labels& labels,
+                                                    const std::string& help, MetricType type) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    auto family_it = families_.find(name);
+    if (family_it != families_.end()) {
+      if (family_it->second.type != type) {
+        throw std::logic_error("MetricsRegistry: '" + name +
+                               "' already registered as a different metric type");
+      }
+      auto series_it = family_it->second.series.find(labels);
+      if (series_it != family_it->second.series.end()) {
+        return series_it->second;
+      }
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  Family& family = families_[name];
+  if (family.series.empty()) {
+    family.type = type;
+    family.help = help;
+  } else if (family.type != type) {
+    throw std::logic_error("MetricsRegistry: '" + name +
+                           "' already registered as a different metric type");
+  }
+  if (family.help.empty() && !help.empty()) {
+    family.help = help;
+  }
+  Series& series = family.series[labels];
+  switch (type) {
+    case MetricType::kCounter:
+      if (series.counter == nullptr) {
+        series.counter = std::make_unique<Counter>();
+        series.counter->enabled_ = &enabled_;
+      }
+      break;
+    case MetricType::kGauge:
+      if (series.gauge == nullptr) {
+        series.gauge = std::make_unique<Gauge>();
+        series.gauge->enabled_ = &enabled_;
+      }
+      break;
+    case MetricType::kHistogram:
+      if (series.histogram == nullptr) {
+        series.histogram = std::make_unique<Histogram>();
+        series.histogram->enabled_ = &enabled_;
+      }
+      break;
+  }
+  return series;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name, const Labels& labels,
+                                     const std::string& help) {
+  return *GetSeries(name, labels, help, MetricType::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name, const Labels& labels,
+                                 const std::string& help) {
+  return *GetSeries(name, labels, help, MetricType::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name, const Labels& labels,
+                                         const std::string& help) {
+  return *GetSeries(name, labels, help, MetricType::kHistogram).histogram;
+}
+
+namespace {
+
+// Prometheus label values escape backslash, double quote, and newline.
+std::string EscapeLabelValue(const std::string& value) {
+  std::string escaped;
+  escaped.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        escaped += "\\\\";
+        break;
+      case '"':
+        escaped += "\\\"";
+        break;
+      case '\n':
+        escaped += "\\n";
+        break;
+      default:
+        escaped += c;
+    }
+  }
+  return escaped;
+}
+
+std::string RenderLabels(const Labels& labels) {
+  if (labels.empty()) {
+    return "";
+  }
+  std::string rendered = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) {
+      rendered += ",";
+    }
+    rendered += labels[i].first + "=\"" + EscapeLabelValue(labels[i].second) + "\"";
+  }
+  rendered += "}";
+  return rendered;
+}
+
+// Labels plus one extra pair — used for the summary quantile series.
+std::string RenderLabelsWith(const Labels& labels, const std::string& key,
+                             const std::string& value) {
+  Labels extended = labels;
+  extended.emplace_back(key, value);
+  return RenderLabels(extended);
+}
+
+std::string FormatValue(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::ostringstream out;
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  for (const auto& [name, family] : families_) {
+    if (!family.help.empty()) {
+      out << "# HELP " << name << " " << family.help << "\n";
+    }
+    switch (family.type) {
+      case MetricType::kCounter:
+        out << "# TYPE " << name << " counter\n";
+        for (const auto& [labels, series] : family.series) {
+          out << name << RenderLabels(labels) << " " << series.counter->Value() << "\n";
+        }
+        break;
+      case MetricType::kGauge:
+        out << "# TYPE " << name << " gauge\n";
+        for (const auto& [labels, series] : family.series) {
+          out << name << RenderLabels(labels) << " " << FormatValue(series.gauge->Value())
+              << "\n";
+        }
+        break;
+      case MetricType::kHistogram:
+        out << "# TYPE " << name << " summary\n";
+        for (const auto& [labels, series] : family.series) {
+          const HistogramSnapshot snapshot = series.histogram->Snapshot();
+          for (const double quantile : {0.5, 0.95, 0.99}) {
+            out << name << RenderLabelsWith(labels, "quantile", FormatValue(quantile)) << " "
+                << FormatValue(snapshot.Percentile(quantile)) << "\n";
+          }
+          out << name << "_sum" << RenderLabels(labels) << " "
+              << FormatValue(snapshot.sum_seconds) << "\n";
+          out << name << "_count" << RenderLabels(labels) << " " << snapshot.count << "\n";
+          out << name << "_max" << RenderLabels(labels) << " "
+              << FormatValue(snapshot.max_seconds) << "\n";
+        }
+        break;
+    }
+  }
+  return out.str();
+}
+
+void MetricsRegistry::VisitHistograms(
+    const std::function<void(const std::string&, const Labels&, const HistogramSnapshot&)>& visit)
+    const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  for (const auto& [name, family] : families_) {
+    if (family.type != MetricType::kHistogram) {
+      continue;
+    }
+    for (const auto& [labels, series] : family.series) {
+      visit(name, labels, series.histogram->Snapshot());
+    }
+  }
+}
+
+}  // namespace telemetry
+}  // namespace optimus

@@ -1,0 +1,229 @@
+// Always-on, low-overhead observability: the metrics registry (DESIGN.md §12).
+//
+// Optimus's value claim is a latency *distribution* — transformation must beat
+// scratch loads per-request (§4.4 safeguard, §8 evaluation) — so the platform
+// records where every invoke spent its time instead of keeping a few ad-hoc
+// means. Three metric kinds cover that:
+//
+//   * Counter   — monotone event count; per-shard relaxed atomics so
+//                 concurrent increments from different threads never contend.
+//   * Gauge     — a settable/addable double (CAS add).
+//   * Histogram — log-bucketed latency distribution (4 sub-buckets per power
+//                 of two, ≤25% relative bucket width) supporting p50/p95/p99
+//                 and max. Observations are clamped to [0, ~9.2e9] seconds.
+//
+// MetricsRegistry names metrics and attaches label sets (e.g.
+// optimus_phase_seconds{phase="inference"}), so per-function and per-phase
+// series live side by side. Lookups take a shared lock and allocate; hot
+// paths resolve their series once and cache the returned reference, which is
+// stable for the registry's lifetime. RenderPrometheus() serializes every
+// series in Prometheus text exposition format (histograms as summaries with
+// quantile labels), which is what the gateway's /metrics endpoint serves.
+//
+// The whole registry can be switched off (set_enabled(false)): recording
+// becomes a relaxed atomic load and an early return, which is what the
+// telemetry-overhead guard in bench_warm_parallel measures against.
+
+#ifndef OPTIMUS_SRC_TELEMETRY_METRICS_H_
+#define OPTIMUS_SRC_TELEMETRY_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace optimus {
+namespace telemetry {
+
+// Ordered (key, value) label pairs identifying one series within a family.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+namespace internal {
+// Stable per-thread shard index; threads round-robin across shards so
+// concurrent writers rarely share a cache line.
+size_t ThreadShardIndex();
+}  // namespace internal
+
+// Monotone event counter. Inc() is wait-free: one relaxed fetch_add on the
+// calling thread's shard; Value() sums the shards (racy reads are fine — the
+// counter is monotone and snapshots need only be eventually consistent).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Inc(uint64_t n = 1) {
+    if (enabled_ != nullptr && !enabled_->load(std::memory_order_relaxed)) {
+      return;
+    }
+    shards_[internal::ThreadShardIndex() % kShards].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  static constexpr size_t kShards = 8;
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  std::array<Shard, kShards> shards_;
+  const std::atomic<bool>* enabled_ = nullptr;  // Registry kill switch; may be null.
+};
+
+// A settable / addable double.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double value) {
+    if (enabled_ != nullptr && !enabled_->load(std::memory_order_relaxed)) {
+      return;
+    }
+    value_.store(value, std::memory_order_relaxed);
+  }
+
+  void Add(double delta) {
+    if (enabled_ != nullptr && !enabled_->load(std::memory_order_relaxed)) {
+      return;
+    }
+    double prev = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(prev, prev + delta, std::memory_order_relaxed)) {
+    }
+  }
+
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<double> value_{0.0};
+  const std::atomic<bool>* enabled_ = nullptr;
+};
+
+// Log-linear bucket layout shared by Histogram and its snapshot. Values are
+// recorded in integer nanoseconds (for dimensionless series such as drift
+// ratios the "nanosecond" is just a fixed-point scale; percentiles convert
+// back, so callers never see the encoding).
+//
+// Buckets 0..3 hold exact values 0..3 ns; every later power of two is split
+// into 4 sub-buckets, so the relative bucket width is at most 1/4.
+inline constexpr size_t kHistogramSubBuckets = 4;  // Per power of two.
+inline constexpr size_t kHistogramBuckets = 252;
+
+size_t BucketIndexForNanos(uint64_t nanos);
+uint64_t BucketLowerBoundNanos(size_t index);
+uint64_t BucketUpperBoundNanos(size_t index);  // Inclusive upper bound.
+
+// A point-in-time copy of a histogram, safe to analyze without locks.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum_seconds = 0.0;
+  double max_seconds = 0.0;
+  std::array<uint64_t, kHistogramBuckets> buckets{};
+
+  // Rank-interpolated percentile (p in [0, 1]) in seconds. The answer is
+  // exact to within the bucket's ≤25% relative width; p = 1 returns the
+  // tracked true maximum. Returns 0 for an empty histogram.
+  double Percentile(double p) const;
+
+  double Mean() const { return count == 0 ? 0.0 : sum_seconds / static_cast<double>(count); }
+};
+
+// Concurrent log-bucketed histogram. Observe() is three relaxed atomic RMWs
+// (bucket, sum, CAS-max); all read methods are racy-but-consistent snapshots.
+class Histogram {
+ public:
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double seconds);
+
+  HistogramSnapshot Snapshot() const;
+  uint64_t Count() const;
+
+ private:
+  friend class MetricsRegistry;
+  std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets_{};
+  std::atomic<uint64_t> sum_nanos_{0};
+  std::atomic<uint64_t> max_nanos_{0};
+  const std::atomic<bool>* enabled_ = nullptr;
+};
+
+// Named, labeled metric families. Thread-safe; returned references remain
+// valid for the registry's lifetime (series are never removed).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Finds or creates the series; `help` is attached to the family on first
+  // use. Throws std::logic_error if `name` is already registered as a
+  // different metric type.
+  Counter& GetCounter(const std::string& name, const Labels& labels = {},
+                      const std::string& help = "");
+  Gauge& GetGauge(const std::string& name, const Labels& labels = {},
+                  const std::string& help = "");
+  Histogram& GetHistogram(const std::string& name, const Labels& labels = {},
+                          const std::string& help = "");
+
+  // Kill switch for overhead measurement: while disabled, every metric
+  // attached to this registry drops writes (reads still work).
+  void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Prometheus text exposition format (version 0.0.4). Counters and gauges
+  // render one line per series; histograms render as summaries:
+  // quantile-labeled series plus _count, _sum, and an untyped _max.
+  std::string RenderPrometheus() const;
+
+  // Visits every histogram series as (name, labels, snapshot) — the hook the
+  // chaos/bench summaries use to print percentile tables.
+  void VisitHistograms(
+      const std::function<void(const std::string&, const Labels&, const HistogramSnapshot&)>&
+          visit) const;
+
+ private:
+  enum class MetricType : uint8_t { kCounter, kGauge, kHistogram };
+
+  struct Series {
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  struct Family {
+    MetricType type = MetricType::kCounter;
+    std::string help;
+    std::map<Labels, Series> series;
+  };
+
+  Series& GetSeries(const std::string& name, const Labels& labels, const std::string& help,
+                    MetricType type);
+
+  std::atomic<bool> enabled_{true};
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace telemetry
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_TELEMETRY_METRICS_H_

@@ -1,0 +1,183 @@
+#include "src/telemetry/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+namespace optimus {
+namespace telemetry {
+
+uint64_t MonotonicNanos() {
+  static const std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now() - epoch)
+                                   .count());
+}
+
+TraceCollector::TraceCollector(MetricsRegistry* metrics, TraceCollectorOptions options)
+    : spans_opened_(metrics->GetCounter("optimus_trace_spans_opened_total", {},
+                                        "Spans opened across all traced requests")),
+      spans_closed_(metrics->GetCounter("optimus_trace_spans_closed_total", {},
+                                        "Spans closed (RAII; equals opened when reconciled)")),
+      traces_started_(
+          metrics->GetCounter("optimus_traces_started_total", {}, "Sampled-in trace contexts")),
+      traces_completed_(metrics->GetCounter("optimus_traces_completed_total", {},
+                                            "Traces finished into the ring")),
+      traces_dropped_(metrics->GetCounter("optimus_traces_dropped_total", {},
+                                          "Completed traces evicted by ring wraparound")),
+      ring_(options.capacity == 0 ? 1 : options.capacity),
+      sample_period_(options.sample_period),
+      sampler_rng_(options.seed) {}
+
+TraceCollector::~TraceCollector() {
+  for (std::atomic<TraceContext*>& slot : ring_) {
+    delete slot.exchange(nullptr, std::memory_order_acq_rel);
+  }
+}
+
+std::unique_ptr<TraceContext> TraceCollector::MaybeStartTrace(const std::string& root) {
+  const uint64_t period = sample_period_.load(std::memory_order_relaxed);
+  if (period == 0) {
+    return nullptr;
+  }
+  bool sampled;
+  {
+    // One RNG draw per decision keeps the sequence deterministic for a fixed
+    // seed regardless of the period in force at each call.
+    std::lock_guard<std::mutex> lock(sampler_mutex_);
+    sampled = sampler_rng_.NextU64() % period == 0;
+  }
+  if (!sampled) {
+    return nullptr;
+  }
+  return StartTrace(root);
+}
+
+std::unique_ptr<TraceContext> TraceCollector::StartTrace(const std::string& root) {
+  auto trace = std::make_unique<TraceContext>(next_id_.fetch_add(1, std::memory_order_relaxed),
+                                              root);
+  trace->spans_opened_ = &spans_opened_;
+  trace->spans_closed_ = &spans_closed_;
+  traces_started_.Inc();
+  return trace;
+}
+
+void TraceCollector::Finish(std::unique_ptr<TraceContext> trace) {
+  if (trace == nullptr) {
+    return;
+  }
+  traces_completed_.Inc();
+  const size_t slot = static_cast<size_t>(cursor_.fetch_add(1, std::memory_order_relaxed)) %
+                      ring_.size();
+  TraceContext* evicted = ring_[slot].exchange(trace.release(), std::memory_order_acq_rel);
+  if (evicted != nullptr) {
+    traces_dropped_.Inc();
+    delete evicted;
+  }
+}
+
+std::vector<std::unique_ptr<TraceContext>> TraceCollector::Drain() {
+  std::vector<std::unique_ptr<TraceContext>> traces;
+  for (std::atomic<TraceContext*>& slot : ring_) {
+    TraceContext* trace = slot.exchange(nullptr, std::memory_order_acq_rel);
+    if (trace != nullptr) {
+      traces.emplace_back(trace);
+    }
+  }
+  std::sort(traces.begin(), traces.end(),
+            [](const std::unique_ptr<TraceContext>& a, const std::unique_ptr<TraceContext>& b) {
+              return a->begin_ns() < b->begin_ns();
+            });
+  return traces;
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        escaped += "\\\"";
+        break;
+      case '\\':
+        escaped += "\\\\";
+        break;
+      case '\n':
+        escaped += "\\n";
+        break;
+      case '\r':
+        escaped += "\\r";
+        break;
+      case '\t':
+        escaped += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          escaped += buffer;
+        } else {
+          escaped += c;
+        }
+    }
+  }
+  return escaped;
+}
+
+std::string FormatMicros(uint64_t nanos) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", static_cast<double>(nanos) / 1e3);
+  return buffer;
+}
+
+std::string FormatDouble(double value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string ExportChromeTrace(const std::vector<std::unique_ptr<TraceContext>>& traces) {
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const std::unique_ptr<TraceContext>& trace : traces) {
+    if (trace == nullptr) {
+      continue;
+    }
+    // A metadata event names the track after the traced request.
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << trace->id()
+        << ",\"args\":{\"name\":\"" << JsonEscape(trace->root()) << " #" << trace->id()
+        << "\"}}";
+    for (const TraceSpan& span : trace->spans()) {
+      out << ",{\"name\":\"" << JsonEscape(span.name) << "\",\"cat\":\""
+          << JsonEscape(span.category) << "\",\"ph\":\"X\",\"ts\":" << FormatMicros(span.start_ns)
+          << ",\"dur\":" << FormatMicros(span.duration_ns) << ",\"pid\":1,\"tid\":" << trace->id();
+      if (!span.args.empty()) {
+        out << ",\"args\":{";
+        for (size_t i = 0; i < span.args.size(); ++i) {
+          if (i > 0) {
+            out << ",";
+          }
+          out << "\"" << JsonEscape(span.args[i].first)
+              << "\":" << FormatDouble(span.args[i].second);
+        }
+        out << "}";
+      }
+      out << "}";
+    }
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+}  // namespace telemetry
+}  // namespace optimus

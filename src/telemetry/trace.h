@@ -1,0 +1,185 @@
+// Request tracing (DESIGN.md §12): where did a slow invoke spend its time?
+//
+// A TraceContext is created at the gateway (sampled, 1/64 by default) and
+// propagated by pointer through Platform::Invoke → PlanCache → Transformer /
+// Loader → Executor. Each instrumented phase opens a ScopedSpan against the
+// context; spans record wall-clock start/duration plus small numeric args —
+// notably the cost model's *predicted* cost next to the *actual* measured
+// cost for every executed meta-op and scratch load, which is what makes the
+// §4.4 safeguard's inputs auditable.
+//
+// A null TraceContext* everywhere means "not sampled": ScopedSpan degenerates
+// to two pointer checks, so the unsampled hot path stays effectively free.
+//
+// Completed traces are pushed into the TraceCollector's bounded lock-free
+// ring (atomic pointer exchange per slot; the oldest trace is dropped on
+// wraparound) and drained by the gateway's /trace endpoint or the
+// optimus_trace CLI as Chrome trace_event JSON (chrome://tracing, Perfetto).
+//
+// Span accounting (spans opened / closed / traces started / completed /
+// dropped) lives on the metrics registry, so fault-injected runs can assert
+// the books balance: RAII spans close on exception unwind, and the chaos
+// harness checks spans_closed == spans_opened after every pass.
+
+#ifndef OPTIMUS_SRC_TELEMETRY_TRACE_H_
+#define OPTIMUS_SRC_TELEMETRY_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/telemetry/metrics.h"
+
+namespace optimus {
+namespace telemetry {
+
+// Monotonic wall-clock nanoseconds since process start (steady_clock based;
+// never goes backwards, unaffected by the platform's virtual clock).
+uint64_t MonotonicNanos();
+
+// One completed phase of a traced request.
+struct TraceSpan {
+  std::string name;              // e.g. "invoke", "replace", "scratch_load".
+  std::string category;          // Phase taxonomy: gateway|queue|plan|transform|load|inference.
+  uint64_t start_ns = 0;         // MonotonicNanos() at open.
+  uint64_t duration_ns = 0;      // Wall nanoseconds the phase took.
+  std::vector<std::pair<std::string, double>> args;  // e.g. {"predicted_s", 0.12}.
+};
+
+// Per-request span recorder. NOT thread-safe: a context belongs to the one
+// thread serving its request (the invoke path is synchronous).
+class TraceContext {
+ public:
+  TraceContext(uint64_t id, std::string root) : id_(id), root_(std::move(root)) {}
+
+  uint64_t id() const { return id_; }
+  const std::string& root() const { return root_; }
+  uint64_t begin_ns() const { return begin_ns_; }
+
+  void Record(TraceSpan span) { spans_.push_back(std::move(span)); }
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+
+ private:
+  friend class TraceCollector;
+  friend class ScopedSpan;
+  uint64_t id_ = 0;
+  std::string root_;  // The traced request's function (or route) name.
+  uint64_t begin_ns_ = MonotonicNanos();
+  std::vector<TraceSpan> spans_;
+  Counter* spans_opened_ = nullptr;  // Bound by the collector that started us.
+  Counter* spans_closed_ = nullptr;
+};
+
+// RAII span: opens on construction when `trace` is non-null, records itself
+// (and counts as closed) on destruction — including exception unwind, which
+// is what keeps span accounting reconciled under fault injection.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceContext* trace, const char* name, const char* category) : trace_(trace) {
+    if (trace_ == nullptr) {
+      return;
+    }
+    span_.name = name;
+    span_.category = category;
+    span_.start_ns = MonotonicNanos();
+    if (trace_->spans_opened_ != nullptr) {
+      trace_->spans_opened_->Inc();
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void Arg(const char* key, double value) {
+    if (trace_ != nullptr) {
+      span_.args.emplace_back(key, value);
+    }
+  }
+
+  ~ScopedSpan() {
+    if (trace_ == nullptr) {
+      return;
+    }
+    span_.duration_ns = MonotonicNanos() - span_.start_ns;
+    if (trace_->spans_closed_ != nullptr) {
+      trace_->spans_closed_->Inc();
+    }
+    trace_->Record(std::move(span_));
+  }
+
+ private:
+  TraceContext* trace_;
+  TraceSpan span_;
+};
+
+struct TraceCollectorOptions {
+  size_t capacity = 256;        // Completed traces retained (ring slots).
+  uint64_t sample_period = 64;  // ~1/period of requests traced; 0 disables, 1 traces all.
+  uint64_t seed = 0x7ace;       // Sampler RNG seed (deterministic decisions).
+};
+
+// Owns the sampler, the completed-trace ring, and the span accounting
+// counters (registered on `metrics`). Thread-safe.
+class TraceCollector {
+ public:
+  explicit TraceCollector(MetricsRegistry* metrics,
+                          TraceCollectorOptions options = TraceCollectorOptions());
+  ~TraceCollector();
+
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  // Seeded sampling decision: starts a trace for ~1/sample_period of calls
+  // (deterministic sequence for a fixed seed), else returns nullptr.
+  std::unique_ptr<TraceContext> MaybeStartTrace(const std::string& root);
+
+  // Unconditionally starts a trace (CLI / tests).
+  std::unique_ptr<TraceContext> StartTrace(const std::string& root);
+
+  // Publishes a finished trace into the ring, dropping the oldest resident
+  // trace if the slot was occupied. Null traces are ignored.
+  void Finish(std::unique_ptr<TraceContext> trace);
+
+  // Removes and returns every resident completed trace, oldest first.
+  std::vector<std::unique_ptr<TraceContext>> Drain();
+
+  uint64_t sample_period() const { return sample_period_.load(std::memory_order_relaxed); }
+  void set_sample_period(uint64_t period) {
+    sample_period_.store(period, std::memory_order_relaxed);
+  }
+
+  // Accounting (also exported via the registry as optimus_trace_*).
+  uint64_t SpansOpened() const { return spans_opened_.Value(); }
+  uint64_t SpansClosed() const { return spans_closed_.Value(); }
+  uint64_t TracesStarted() const { return traces_started_.Value(); }
+  uint64_t TracesCompleted() const { return traces_completed_.Value(); }
+  uint64_t TracesDropped() const { return traces_dropped_.Value(); }
+
+ private:
+  Counter& spans_opened_;
+  Counter& spans_closed_;
+  Counter& traces_started_;
+  Counter& traces_completed_;
+  Counter& traces_dropped_;
+  std::vector<std::atomic<TraceContext*>> ring_;
+  std::atomic<uint64_t> cursor_{0};
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<uint64_t> sample_period_;
+  std::mutex sampler_mutex_;
+  Rng sampler_rng_;
+};
+
+// Serializes traces as Chrome trace_event JSON ("X" complete events; ts/dur
+// in microseconds; one tid per trace so each request renders as its own
+// track). Loadable in chrome://tracing and Perfetto.
+std::string ExportChromeTrace(const std::vector<std::unique_ptr<TraceContext>>& traces);
+
+}  // namespace telemetry
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_TELEMETRY_TRACE_H_

@@ -105,6 +105,40 @@ std::map<std::string, std::vector<float>> ReferenceOutputs(const Zoo& zoo,
   return outputs;
 }
 
+// Latency-percentile and cost-drift summary over the registry's histograms —
+// the fault-injected passes double as a telemetry soak, so surface what the
+// distributions actually recorded.
+void PrintTelemetrySummary(const char* pass, uint64_t seed,
+                           const telemetry::MetricsRegistry& metrics) {
+  metrics.VisitHistograms([pass, seed](const std::string& name, const telemetry::Labels& labels,
+                                       const telemetry::HistogramSnapshot& snapshot) {
+    if (snapshot.count == 0) {
+      return;
+    }
+    std::string series = name;
+    for (const auto& [key, value] : labels) {
+      series += " " + key + "=" + value;
+    }
+    std::printf("seed %llu %s telemetry: %-46s count=%-5llu p50=%.3g p95=%.3g p99=%.3g "
+                "max=%.3g\n",
+                (unsigned long long)seed, pass, series.c_str(),
+                (unsigned long long)snapshot.count, snapshot.Percentile(0.5),
+                snapshot.Percentile(0.95), snapshot.Percentile(0.99), snapshot.max_seconds);
+  });
+}
+
+// After a fault-injected run the span books must balance: RAII spans close on
+// exception unwind, so opened == closed even when transforms abort mid-plan.
+void CheckSpanAccounting(const char* pass, uint64_t seed, const telemetry::TraceCollector& traces) {
+  CHAOS_CHECK(traces.SpansOpened() == traces.SpansClosed(),
+              "seed %llu %s: %llu spans opened but %llu closed", (unsigned long long)seed, pass,
+              (unsigned long long)traces.SpansOpened(), (unsigned long long)traces.SpansClosed());
+  CHAOS_CHECK(traces.TracesCompleted() <= traces.TracesStarted(),
+              "seed %llu %s: %llu traces completed > %llu started", (unsigned long long)seed,
+              pass, (unsigned long long)traces.TracesCompleted(),
+              (unsigned long long)traces.TracesStarted());
+}
+
 std::string PlatformFaultSpec(uint64_t seed) {
   // The per-step probability is low because a plan evaluates the executor
   // point dozens of times: ~2% per step still aborts roughly half the
@@ -144,7 +178,11 @@ void RunPlatformPass(uint64_t seed, int requests, const Zoo& zoo,
                       rng.UniformInt(0, static_cast<int64_t>(zoo.names.size()) - 1))];
     const double now = static_cast<double>(i) * 25.0;
     InvokeResult result;
-    const Status status = platform.TryInvoke(function, input, now, &result);
+    // Trace every request: fault-injected invokes are exactly where span
+    // accounting (RAII close on unwind) earns its keep.
+    auto trace = platform.traces().StartTrace(function);
+    const Status status = platform.TryInvoke(function, input, now, &result, trace.get());
+    platform.traces().Finish(std::move(trace));
     if (status.ok()) {
       ++ok;
       CHAOS_CHECK(!unknown, "seed %llu request %d: unknown function succeeded",
@@ -224,16 +262,19 @@ void RunPlatformPass(uint64_t seed, int requests, const Zoo& zoo,
               "seed %llu: %zu UNAVAILABLE errors but only %llu loader fires",
               (unsigned long long)seed, unavailable, (unsigned long long)load_fires);
 
+  CheckSpanAccounting("platform", seed, platform.traces());
+
   std::printf(
       "seed %llu platform: ok=%zu notfound=%zu unavailable=%zu warm=%zu transform=%zu "
       "cold=%zu tfail=%zu tfallback=%zu quarantined=%zu fires[step=%llu donor=%llu "
-      "load=%llu plan=%llu verify=%llu]\n",
+      "load=%llu plan=%llu verify=%llu] spans=%llu\n",
       (unsigned long long)seed, ok, not_found, unavailable, counters.warm_starts,
       counters.transforms, counters.cold_starts, counters.transform_failures,
       counters.transform_fallbacks, platform.plan_cache().QuarantinedPairs(),
       (unsigned long long)step_fires, (unsigned long long)donor_fires,
       (unsigned long long)load_fires, (unsigned long long)plan_fires,
-      (unsigned long long)verify_fires);
+      (unsigned long long)verify_fires, (unsigned long long)platform.traces().SpansOpened());
+  PrintTelemetrySummary("platform", seed, platform.metrics());
 }
 
 // Drives the gateway dispatcher (no sockets) and checks the HTTP taxonomy.
@@ -244,6 +285,8 @@ void RunGatewayPass(uint64_t seed, int requests, const Zoo& zoo) {
   gateway.retry_backoff = 0.0005;
   gateway.jitter_seed = seed;
   OptimusHttpService service(&costs, ChaosPlatformOptions(), gateway);
+  // Trace every request through the gateway's own sampling path.
+  service.platform().traces().set_sample_period(1);
   for (size_t i = 0; i < zoo.names.size(); ++i) {
     service.platform().Deploy(zoo.names[i], zoo.models[i]);
   }
@@ -297,9 +340,14 @@ void RunGatewayPass(uint64_t seed, int requests, const Zoo& zoo) {
     CHAOS_CHECK(false, "seed %llu gateway: %s", (unsigned long long)seed, violation.c_str());
   }
 
-  std::printf("seed %llu gateway: 200=%zu 404=%zu 503=%zu 504=%zu retries=%zu drops=%zu\n",
+  CheckSpanAccounting("gateway", seed, service.platform().traces());
+
+  std::printf("seed %llu gateway: 200=%zu 404=%zu 503=%zu 504=%zu retries=%zu drops=%zu "
+              "spans=%llu\n",
               (unsigned long long)seed, statuses[200], statuses[404], statuses[503],
-              statuses[504], service.Retries(), service.Drops());
+              statuses[504], service.Retries(), service.Drops(),
+              (unsigned long long)service.platform().traces().SpansOpened());
+  PrintTelemetrySummary("gateway", seed, service.platform().metrics());
 }
 
 }  // namespace

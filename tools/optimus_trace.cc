@@ -1,0 +1,243 @@
+// optimus_trace: fetch request traces from a running Optimus gateway.
+//
+// Drains the gateway's /trace endpoint (Chrome trace_event JSON) and writes
+// the document to stdout or a file, ready to load in chrome://tracing or
+// Perfetto. With --demo, no gateway is needed: the tool spins up an
+// in-process platform, deploys two VGG variants, runs a cold start and a
+// traced transform-triggering invoke, and exports that trace — a one-command
+// way to see the plan-lookup / meta-op / inference span taxonomy.
+//
+// With --selftest, the tool starts a real gateway on an ephemeral loopback
+// port, deploys two VGG variants over POST /deploy, drives a cold start, a
+// transform, and a warm start over POST /invoke (virtual clock, every request
+// traced), then scrapes GET /metrics and GET /trace over the socket — the CI
+// smoke that proves both observability endpoints serve well-formed payloads.
+//
+// Exits 0 on success, 1 on fetch/serve errors, 2 on usage errors.
+//
+// Examples:
+//   optimus_trace --port 8080                 # drain a live gateway
+//   optimus_trace --port 8080 --out trace.json
+//   optimus_trace --demo --out demo.json      # self-contained demo trace
+//   optimus_trace --selftest --out trace.json --metrics-out metrics.txt
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/core/platform.h"
+#include "src/gateway/http.h"
+#include "src/gateway/service.h"
+#include "src/graph/serialization.h"
+#include "src/runtime/cost_model.h"
+#include "src/telemetry/trace.h"
+#include "src/zoo/vgg.h"
+
+namespace {
+
+using namespace optimus;  // NOLINT(google-build-using-namespace): small CLI tool.
+
+struct Options {
+  uint16_t port = 0;
+  std::string out;          // Empty = stdout.
+  std::string metrics_out;  // --selftest: where the /metrics scrape lands.
+  bool demo = false;
+  bool selftest = false;
+  bool metrics = false;  // Also dump /metrics to stderr (live mode only).
+};
+
+void PrintUsage() {
+  std::cout << "Usage: optimus_trace [options]\n"
+               "  --port P     drain GET /trace from the gateway on 127.0.0.1:P\n"
+               "  --out FILE   write the trace JSON to FILE instead of stdout\n"
+               "  --metrics    also fetch /metrics and print it to stderr\n"
+               "  --demo       no gateway: run a traced transform in-process and\n"
+               "               export its spans (plan_lookup, meta-ops, inference)\n"
+               "  --selftest   start a gateway on an ephemeral port, drive cold/\n"
+               "               transform/warm invokes over HTTP, scrape /metrics\n"
+               "               (--metrics-out FILE) and /trace (--out FILE)\n"
+               "  --metrics-out FILE  /metrics destination for --selftest\n";
+}
+
+int WriteDocument(const Options& options, const std::string& json) {
+  if (options.out.empty()) {
+    std::cout << json;
+    return 0;
+  }
+  std::ofstream file(options.out, std::ios::trunc);
+  if (!file) {
+    std::cerr << "optimus_trace: cannot open " << options.out << " for writing\n";
+    return 1;
+  }
+  file << json;
+  std::cerr << "wrote " << json.size() << " bytes to " << options.out << "\n";
+  return 0;
+}
+
+// A self-contained traced transform: cold-start vgg11 on a one-slot node,
+// then invoke vgg16 after the idle threshold so the donor is repurposed.
+int RunDemo(const Options& options) {
+  AnalyticCostModel costs;
+  PlatformOptions platform_options;
+  platform_options.num_nodes = 1;
+  platform_options.containers_per_node = 1;
+  OptimusPlatform platform(&costs, platform_options);
+  VggOptions vgg;
+  vgg.width_multiplier = 0.25;
+  platform.Deploy("vgg11", BuildVgg(11, vgg));
+  platform.Deploy("vgg16", BuildVgg(16, vgg));
+  const std::vector<float> input(8, 0.5f);
+
+  platform.Invoke("vgg11", input, 0.0);
+  auto cold_trace = platform.traces().StartTrace("vgg11-cold");
+  // Expire the container so the second vgg11 trace shows a scratch load too.
+  platform.Invoke("vgg11", input, 1000.0, cold_trace.get());
+  platform.traces().Finish(std::move(cold_trace));
+
+  auto trace = platform.traces().StartTrace("vgg16-transform");
+  const InvokeResult result = platform.Invoke("vgg16", input, 1100.0, trace.get());
+  platform.traces().Finish(std::move(trace));
+  std::cerr << "demo invoke: start=" << static_cast<int>(result.start)
+            << " donor=" << result.donor_function
+            << " spans=" << platform.traces().SpansOpened() << "\n";
+
+  return WriteDocument(options, telemetry::ExportChromeTrace(platform.traces().Drain()));
+}
+
+// Starts a real gateway on loopback, drives a cold -> transform -> warm
+// sequence over HTTP with a virtual clock, then scrapes both observability
+// endpoints. Returns nonzero if any step misbehaves.
+int RunSelftest(const Options& options) {
+  AnalyticCostModel costs;
+  PlatformOptions platform_options;
+  platform_options.num_nodes = 1;
+  platform_options.containers_per_node = 1;
+  platform_options.trace_sample_period = 1;  // Trace every request.
+  std::atomic<double> now{0.0};
+  OptimusHttpService service(&costs, platform_options, [&now] { return now.load(); });
+  service.Start(/*port=*/0, /*num_workers=*/2);
+  const uint16_t port = service.port();
+  std::cerr << "selftest gateway on 127.0.0.1:" << port << "\n";
+
+  int failures = 0;
+  const auto expect = [&failures](bool ok, const std::string& what) {
+    if (!ok) {
+      std::cerr << "selftest FAIL: " << what << "\n";
+      ++failures;
+    }
+  };
+
+  VggOptions vgg;
+  vgg.width_multiplier = 0.25;
+  for (const auto& [name, depth] : {std::pair<const char*, int>{"vgg11", 11}, {"vgg16", 16}}) {
+    const ModelFile file = SerializeModel(BuildVgg(depth, vgg));
+    const HttpResponse deploy = HttpFetch(port, "POST", std::string("/deploy?name=") + name,
+                                          std::string(file.begin(), file.end()));
+    expect(deploy.status == 200, std::string("deploy ") + name);
+  }
+
+  const HttpResponse cold = HttpFetch(port, "POST", "/invoke?name=vgg11", "0.5,0.5,0.5,0.5");
+  expect(cold.status == 200 && cold.body.find("start=Cold") != std::string::npos,
+         "cold invoke of vgg11");
+  now.store(100.0);  // Past the idle threshold: vgg11's container is a donor.
+  const HttpResponse transform =
+      HttpFetch(port, "POST", "/invoke?name=vgg16", "0.5,0.5,0.5,0.5");
+  expect(transform.status == 200 && transform.body.find("start=Transform") != std::string::npos,
+         "transform invoke of vgg16 (body: " + transform.body.substr(0, 120) + ")");
+  const HttpResponse warm = HttpFetch(port, "POST", "/invoke?name=vgg16", "0.5,0.5,0.5,0.5");
+  expect(warm.status == 200 && warm.body.find("start=Warm") != std::string::npos,
+         "warm invoke of vgg16");
+
+  const HttpResponse metrics = HttpFetch(port, "GET", "/metrics");
+  expect(metrics.status == 200, "/metrics status");
+  expect(metrics.content_type.find("text/plain") != std::string::npos, "/metrics content type");
+  expect(metrics.body.find("# TYPE optimus_starts_total counter") != std::string::npos,
+         "/metrics exposes optimus_starts_total");
+  expect(metrics.body.find("optimus_invoke_seconds") != std::string::npos,
+         "/metrics exposes optimus_invoke_seconds");
+
+  const HttpResponse trace = HttpFetch(port, "GET", "/trace");
+  expect(trace.status == 200, "/trace status");
+  expect(trace.content_type.find("application/json") != std::string::npos,
+         "/trace content type");
+  expect(trace.body.find("\"ph\":\"X\"") != std::string::npos, "/trace has span events");
+  expect(trace.body.find("plan_lookup") != std::string::npos, "/trace has plan_lookup span");
+  expect(trace.body.find("inference") != std::string::npos, "/trace has inference span");
+
+  const auto& collector = service.platform().traces();
+  expect(collector.SpansOpened() == collector.SpansClosed(),
+         "span accounting reconciles (opened == closed)");
+  service.Stop();
+
+  if (!options.metrics_out.empty()) {
+    std::ofstream file(options.metrics_out, std::ios::trunc);
+    file << metrics.body;
+  }
+  const int write_status = options.out.empty() ? 0 : WriteDocument(options, trace.body);
+  std::cerr << "selftest: " << (failures == 0 ? "OK" : "FAILED") << "\n";
+  return failures == 0 ? write_status : 1;
+}
+
+int RunFetch(const Options& options) {
+  try {
+    const HttpResponse response = HttpFetch(options.port, "GET", "/trace");
+    if (response.status != 200) {
+      std::cerr << "optimus_trace: GET /trace returned " << response.status << "\n";
+      return 1;
+    }
+    if (options.metrics) {
+      const HttpResponse metrics = HttpFetch(options.port, "GET", "/metrics");
+      std::cerr << metrics.body;
+    }
+    return WriteDocument(options, response.body);
+  } catch (const std::exception& error) {
+    std::cerr << "optimus_trace: " << error.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    }
+    if (arg == "--demo") {
+      options.demo = true;
+    } else if (arg == "--selftest") {
+      options.selftest = true;
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      options.metrics_out = argv[++i];
+    } else if (arg == "--metrics") {
+      options.metrics = true;
+    } else if (arg == "--port" && i + 1 < argc) {
+      options.port = static_cast<uint16_t>(std::stoi(argv[++i]));
+    } else if (arg == "--out" && i + 1 < argc) {
+      options.out = argv[++i];
+    } else {
+      std::cerr << "optimus_trace: unknown option '" << arg << "'\n";
+      PrintUsage();
+      return 2;
+    }
+  }
+  if (options.demo) {
+    return RunDemo(options);
+  }
+  if (options.selftest) {
+    return RunSelftest(options);
+  }
+  if (options.port == 0) {
+    std::cerr << "optimus_trace: --port or --demo required\n";
+    PrintUsage();
+    return 2;
+  }
+  return RunFetch(options);
+}
