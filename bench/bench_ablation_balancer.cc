@@ -26,7 +26,7 @@ void Run() {
   for (const BalancerKind kind :
        {BalancerKind::kHash, BalancerKind::kLoadBased, BalancerKind::kModelSharing}) {
     SimConfig config = benchutil::BaseSimConfig(SystemType::kOptimus);
-    config.balancer.kind = kind;
+    config.placement.kind = kind;
     const SimResult result = RunSimulation(models, trace, config, costs);
     std::printf("%-32s %12.3f %9.2f%% %11.2f%%\n", BalancerKindName(kind),
                 result.AvgServiceTime(), 100.0 * result.FractionOf(StartType::kCold),
@@ -39,9 +39,9 @@ void Run() {
   const double gammas[][2] = {{1.0, 0.0}, {0.8, 0.2}, {0.6, 0.4}, {0.4, 0.6}, {0.0, 1.0}};
   for (const auto& gamma : gammas) {
     SimConfig config = benchutil::BaseSimConfig(SystemType::kOptimus);
-    config.balancer.kind = BalancerKind::kModelSharing;
-    config.balancer.gamma_distance = gamma[0];
-    config.balancer.gamma_correlation = gamma[1];
+    config.placement.kind = BalancerKind::kModelSharing;
+    config.placement.gamma_distance = gamma[0];
+    config.placement.gamma_correlation = gamma[1];
     const SimResult result = RunSimulation(models, trace, config, costs);
     std::printf("%-16.2f %-16.2f %12.3f %9.2f%%\n", gamma[0], gamma[1], result.AvgServiceTime(),
                 100.0 * result.FractionOf(StartType::kCold));

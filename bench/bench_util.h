@@ -71,7 +71,7 @@ inline SimConfig BaseSimConfig(SystemType system) {
   config.containers_per_node = 6;
   // Optimus ships the §5.1 model sharing-aware balancer; the baselines use
   // the hash placement of existing serverless platforms.
-  config.balancer.kind =
+  config.placement.kind =
       system == SystemType::kOptimus ? BalancerKind::kModelSharing : BalancerKind::kHash;
   return config;
 }

@@ -4,8 +4,15 @@
 // POSTing their serialized files, and serves inference requests through
 // HTTP — exactly the client workflow of the paper's Listing 1
 // (deploy_model / inference), with transformation visible in the responses.
+//
+// Cluster knobs (README "cluster quick-start"):
+//   --nodes=N                      number of worker nodes (default 1)
+//   --balancer=<hash|load_based|model_sharing>
+//                                  placement policy for function->node routing
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "src/gateway/service.h"
 #include "src/graph/serialization.h"
@@ -20,12 +27,31 @@ std::string BodyOf(const optimus::Model& model) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace optimus;
 
   AnalyticCostModel costs;
   PlatformOptions options;
   options.containers_per_node = 2;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--nodes=", 0) == 0) {
+      options.num_nodes = std::atoi(arg.c_str() + 8);
+    } else if (arg.rfind("--balancer=", 0) == 0) {
+      if (!ParseBalancerKind(arg.substr(11), &options.placement.kind)) {
+        std::fprintf(stderr, "unknown balancer '%s'\n", arg.substr(11).c_str());
+        return 1;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: http_gateway [--nodes=N] "
+                   "[--balancer=hash|load_based|model_sharing]\n");
+      return 1;
+    }
+  }
+  std::printf("placement: %s over %d node(s)\n", BalancerKindId(options.placement.kind),
+              options.num_nodes);
 
   // A scripted virtual clock so the demo's idle thresholds fire instantly.
   double now = 0.0;

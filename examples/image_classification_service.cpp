@@ -45,7 +45,7 @@ int main() {
     config.system = system;
     config.num_nodes = 2;
     config.containers_per_node = 4;
-    config.balancer.kind =
+    config.placement.kind =
         system == SystemType::kOptimus ? BalancerKind::kModelSharing : BalancerKind::kHash;
     SimResult result = RunSimulation(models, trace, config, costs);
     std::printf("%-12s %12.3f %7.2f%% %10.2f%% %7.2f%%\n", SystemTypeName(system),

@@ -138,7 +138,7 @@ int CmdSimulate(const std::string& system_name) {
   config.system = system;
   config.num_nodes = 2;
   config.containers_per_node = 6;
-  config.balancer.kind =
+  config.placement.kind =
       system == SystemType::kOptimus ? BalancerKind::kModelSharing : BalancerKind::kHash;
   AnalyticCostModel costs;
   const SimResult result = RunSimulation(models, trace, config, costs);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 #include <numeric>
+#include <stdexcept>
 
 #include "src/balancer/kmedoids.h"
 #include "src/core/planner.h"
@@ -21,16 +22,27 @@ const char* BalancerKindName(BalancerKind kind) {
   return "Unknown";
 }
 
-std::vector<std::vector<double>> CombinedDistanceMatrix(
-    const std::vector<Model>& models, const std::map<std::string, DemandSeries>& history,
+namespace {
+
+std::vector<const Model*> Pointers(const std::vector<Model>& models) {
+  std::vector<const Model*> pointers;
+  pointers.reserve(models.size());
+  for (const Model& model : models) {
+    pointers.push_back(&model);
+  }
+  return pointers;
+}
+
+std::vector<std::vector<double>> CombinedDistanceMatrixImpl(
+    const std::vector<const Model*>& models, const std::map<std::string, DemandSeries>& history,
     const CostModel& costs, const BalancerOptions& options) {
   const size_t n = models.size();
   std::vector<std::vector<double>> edit(n, std::vector<double>(n, 0.0));
   double max_edit = 0.0;
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = i + 1; j < n; ++j) {
-      const double forward = ModelEditDistance(models[i], models[j], costs);
-      const double backward = ModelEditDistance(models[j], models[i], costs);
+      const double forward = ModelEditDistance(*models[i], *models[j], costs);
+      const double backward = ModelEditDistance(*models[j], *models[i], costs);
       const double d = std::min(forward, backward);
       edit[i][j] = edit[j][i] = d;
       max_edit = std::max(max_edit, d);
@@ -42,8 +54,8 @@ std::vector<std::vector<double>> CombinedDistanceMatrix(
     for (size_t j = i + 1; j < n; ++j) {
       const double normalized_edit = max_edit > 0.0 ? edit[i][j] / max_edit : 0.0;
       double correlation = 0.0;
-      auto a = history.find(models[i].name());
-      auto b = history.find(models[j].name());
+      auto a = history.find(models[i]->name());
+      auto b = history.find(models[j]->name());
       if (a != history.end() && b != history.end()) {
         correlation = DemandCorrelation(a->second, b->second);
       }
@@ -57,29 +69,28 @@ std::vector<std::vector<double>> CombinedDistanceMatrix(
   return combined;
 }
 
-namespace {
-
-Placement HashPlacement(const std::vector<Model>& models, int num_nodes) {
+Placement HashPlacement(const std::vector<const Model*>& models, int num_nodes) {
   Placement placement;
-  for (const Model& model : models) {
-    placement[model.name()] =
-        static_cast<int>(std::hash<std::string>{}(model.name()) % static_cast<size_t>(num_nodes));
+  for (const Model* model : models) {
+    placement[model->name()] =
+        static_cast<int>(std::hash<std::string>{}(model->name()) %
+                         static_cast<size_t>(num_nodes));
   }
   return placement;
 }
 
-Placement LoadBasedPlacement(const std::vector<Model>& models, int num_nodes,
+Placement LoadBasedPlacement(const std::vector<const Model*>& models, int num_nodes,
                              const std::map<std::string, DemandSeries>& history) {
   // Greedy bin packing by expected demand: heaviest functions first, each to
   // the currently least-loaded node.
   std::vector<std::pair<double, std::string>> demand;
-  for (const Model& model : models) {
+  for (const Model* model : models) {
     double total = 1.0;  // Every function contributes at least a unit load.
-    auto it = history.find(model.name());
+    auto it = history.find(model->name());
     if (it != history.end()) {
       total += std::accumulate(it->second.begin(), it->second.end(), 0.0);
     }
-    demand.emplace_back(total, model.name());
+    demand.emplace_back(total, model->name());
   }
   std::sort(demand.rbegin(), demand.rend());
   std::vector<double> node_load(static_cast<size_t>(num_nodes), 0.0);
@@ -92,10 +103,10 @@ Placement LoadBasedPlacement(const std::vector<Model>& models, int num_nodes,
   return placement;
 }
 
-Placement ModelSharingPlacement(const std::vector<Model>& models, int num_nodes,
+Placement ModelSharingPlacement(const std::vector<const Model*>& models, int num_nodes,
                                 const std::map<std::string, DemandSeries>& history,
                                 const CostModel& costs, const BalancerOptions& options) {
-  const auto distance = CombinedDistanceMatrix(models, history, costs, options);
+  const auto distance = CombinedDistanceMatrixImpl(models, history, costs, options);
   // Cluster at finer granularity than the node count, then bin-pack clusters
   // onto nodes by expected demand: keeping whole clusters together preserves
   // transformation affinity, while the packing keeps node load even (§5.1's
@@ -106,7 +117,7 @@ Placement ModelSharingPlacement(const std::vector<Model>& models, int num_nodes,
 
   auto demand_of = [&](size_t model_index) {
     double total = 1.0;
-    auto it = history.find(models[model_index].name());
+    auto it = history.find(models[model_index]->name());
     if (it != history.end()) {
       total += std::accumulate(it->second.begin(), it->second.end(), 0.0);
     }
@@ -161,7 +172,7 @@ Placement ModelSharingPlacement(const std::vector<Model>& models, int num_nodes,
           best_node = node;
         }
       }
-      placement[models[member].name()] = best_node;
+      placement[models[member]->name()] = best_node;
       node_load[static_cast<size_t>(best_node)] += demand_of(member);
       node_count[static_cast<size_t>(best_node)] += 1;
       hosts_cluster[static_cast<size_t>(best_node)] = true;
@@ -172,18 +183,36 @@ Placement ModelSharingPlacement(const std::vector<Model>& models, int num_nodes,
 
 }  // namespace
 
-Placement PlaceFunctions(const std::vector<Model>& models, int num_nodes,
+std::vector<std::vector<double>> CombinedDistanceMatrix(
+    const std::vector<Model>& models, const std::map<std::string, DemandSeries>& history,
+    const CostModel& costs, const BalancerOptions& options) {
+  return CombinedDistanceMatrixImpl(Pointers(models), history, costs, options);
+}
+
+Placement PlaceFunctions(const std::vector<const Model*>& models, int num_nodes,
                          const std::map<std::string, DemandSeries>& history,
-                         const CostModel& costs, const BalancerOptions& options) {
+                         const CostModel* costs, const BalancerOptions& options) {
+  if (num_nodes < 1) {
+    throw std::invalid_argument("PlaceFunctions: need at least one node");
+  }
   switch (options.kind) {
     case BalancerKind::kHash:
       return HashPlacement(models, num_nodes);
     case BalancerKind::kLoadBased:
       return LoadBasedPlacement(models, num_nodes, history);
     case BalancerKind::kModelSharing:
-      return ModelSharingPlacement(models, num_nodes, history, costs, options);
+      if (costs == nullptr) {
+        throw std::invalid_argument("PlaceFunctions: model sharing needs a cost model");
+      }
+      return ModelSharingPlacement(models, num_nodes, history, *costs, options);
   }
   return {};
+}
+
+Placement PlaceFunctions(const std::vector<Model>& models, int num_nodes,
+                         const std::map<std::string, DemandSeries>& history,
+                         const CostModel& costs, const BalancerOptions& options) {
+  return PlaceFunctions(Pointers(models), num_nodes, history, &costs, options);
 }
 
 }  // namespace optimus

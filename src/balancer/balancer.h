@@ -52,6 +52,13 @@ Placement PlaceFunctions(const std::vector<Model>& models, int num_nodes,
                          const std::map<std::string, DemandSeries>& history,
                          const CostModel& costs, const BalancerOptions& options);
 
+// Non-owning overload for callers (the placement subsystem) whose models live
+// in a repository: no copies are made. `costs` may be null for kHash and
+// kLoadBased; kModelSharing requires it (throws std::invalid_argument).
+Placement PlaceFunctions(const std::vector<const Model*>& models, int num_nodes,
+                         const std::map<std::string, DemandSeries>& history,
+                         const CostModel* costs, const BalancerOptions& options);
+
 // The pairwise combined-distance matrix the model-sharing balancer clusters;
 // exposed for tests and ablation benchmarks. Distances are normalized to
 // [0, 1] per term before weighting, and symmetrized via min(D(a,b), D(b,a)).

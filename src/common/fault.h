@@ -33,6 +33,8 @@
 //   transform.donor     donor/plan mismatch detected at transform start
 //   gateway.slow        request handling delayed (exercises deadlines)
 //   gateway.drop        request dropped at the gateway (503)
+//   placement.rebalance placement recompute failure (previous table keeps
+//                       serving; counted in optimus_rebalance_failures_total)
 
 #ifndef OPTIMUS_SRC_COMMON_FAULT_H_
 #define OPTIMUS_SRC_COMMON_FAULT_H_

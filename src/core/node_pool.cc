@@ -1,0 +1,100 @@
+#include "src/core/node_pool.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace optimus {
+
+NodePool::NodePool(int num_nodes, int containers_per_node)
+    : capacity_per_node_(containers_per_node) {
+  if (num_nodes < 1 || containers_per_node < 1) {
+    throw std::invalid_argument("NodePool: need at least one node and one container");
+  }
+  nodes_.reserve(static_cast<size_t>(num_nodes));
+  for (int i = 0; i < num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<Node>());
+  }
+}
+
+NodePool::LockedNode NodePool::Lock(int node_index) {
+  Node* node = nodes_.at(static_cast<size_t>(node_index)).get();
+  std::unique_lock<std::mutex> lock(node->mutex);
+  lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  return LockedNode(std::move(lock), node, node_index, capacity_per_node_);
+}
+
+RealContainer* NodePool::LockedNode::FindWarm(const std::string& function) {
+  for (RealContainer& container : node_->containers) {
+    if (container.function == function) {
+      return &container;
+    }
+  }
+  return nullptr;
+}
+
+bool NodePool::LockedNode::HasIdleContainer(double now, double idle_threshold) const {
+  for (const RealContainer& container : node_->containers) {
+    if (now - container.last_active >= idle_threshold) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void NodePool::LockedNode::ReapExpired(double now, double keep_alive) {
+  auto& containers = node_->containers;
+  containers.erase(std::remove_if(containers.begin(), containers.end(),
+                                  [&](const RealContainer& container) {
+                                    return now - container.last_active >= keep_alive;
+                                  }),
+                   containers.end());
+}
+
+void NodePool::LockedNode::RemoveById(ContainerId id) {
+  auto& containers = node_->containers;
+  containers.erase(std::remove_if(containers.begin(), containers.end(),
+                                  [&](const RealContainer& container) {
+                                    return container.id == id;
+                                  }),
+                   containers.end());
+}
+
+void NodePool::LockedNode::EvictLeastRecentlyActive() {
+  auto& containers = node_->containers;
+  if (containers.empty()) {
+    return;
+  }
+  const auto victim = std::min_element(containers.begin(), containers.end(),
+                                       [](const RealContainer& a, const RealContainer& b) {
+                                         return a.last_active < b.last_active;
+                                       });
+  containers.erase(victim);
+}
+
+RealContainer* NodePool::LockedNode::Adopt(RealContainer&& container) {
+  node_->containers.push_back(std::move(container));
+  return &node_->containers.back();
+}
+
+size_t NodePool::TotalContainers() const {
+  size_t count = 0;
+  for (const std::unique_ptr<Node>& node : nodes_) {
+    std::lock_guard<std::mutex> lock(node->mutex);
+    lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    count += node->containers.size();
+  }
+  return count;
+}
+
+void NodePool::ForEachContainer(
+    const std::function<void(int, const RealContainer&)>& visit) const {
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    std::lock_guard<std::mutex> lock(nodes_[n]->mutex);
+    lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    for (const RealContainer& container : nodes_[n]->containers) {
+      visit(static_cast<int>(n), container);
+    }
+  }
+}
+
+}  // namespace optimus

@@ -1,0 +1,111 @@
+// NodePool — the container-mechanism half of the Router/NodePool split
+// (DESIGN.md §13). It owns the worker nodes' container state and the per-node
+// mutexes; all *policy* (which node to route to, which donor to transform,
+// who to evict) stays with the caller (OptimusPlatform).
+//
+// Locking discipline: every access to a node's containers goes through
+// Lock(node), which returns a movable RAII view holding that node's mutex.
+// Lock acquisitions are counted (relaxed atomic) so tests can assert routing
+// really is O(1) — a warm hit must take exactly one node lock no matter how
+// many nodes the pool has.
+
+#ifndef OPTIMUS_SRC_CORE_NODE_POOL_H_
+#define OPTIMUS_SRC_CORE_NODE_POOL_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/container/container.h"
+#include "src/runtime/loader.h"
+
+namespace optimus {
+
+// A live container: a real ModelInstance pinned to a function.
+struct RealContainer {
+  ContainerId id = -1;
+  std::string function;
+  double last_active = 0.0;
+  ModelInstance instance;
+};
+
+class NodePool {
+ private:
+  // Node state is only touched under the node's mutex. Nodes live behind
+  // unique_ptr so the vector can be sized despite the mutex member.
+  struct Node {
+    std::mutex mutex;
+    std::vector<RealContainer> containers;
+  };
+
+ public:
+  NodePool(int num_nodes, int containers_per_node);
+
+  // RAII view over one locked node. Callers hold at most one at a time (the
+  // platform's neighbor probing releases the primary before locking a
+  // neighbor), so lock ordering is trivially deadlock-free.
+  class LockedNode {
+   public:
+    LockedNode(LockedNode&&) noexcept = default;
+    LockedNode& operator=(LockedNode&&) noexcept = default;
+
+    int index() const { return index_; }
+    std::vector<RealContainer>& containers() { return node_->containers; }
+    const std::vector<RealContainer>& containers() const { return node_->containers; }
+
+    RealContainer* FindWarm(const std::string& function);
+    bool Full() const { return static_cast<int>(node_->containers.size()) >= capacity_; }
+    // Any container idle for at least `idle_threshold` (a transform donor
+    // candidate) — the predicate behind the capacity-pressure fallback.
+    bool HasIdleContainer(double now, double idle_threshold) const;
+    void ReapExpired(double now, double keep_alive);
+    void RemoveById(ContainerId id);
+    void EvictLeastRecentlyActive();
+    RealContainer* Adopt(RealContainer&& container);
+
+    // Explicitly releases the node (the destructor also does); the view must
+    // not be used afterwards.
+    void Release() { lock_.unlock(); }
+
+   private:
+    friend class NodePool;
+    LockedNode(std::unique_lock<std::mutex> lock, Node* node, int index, int capacity)
+        : lock_(std::move(lock)), node_(node), index_(index), capacity_(capacity) {}
+
+    std::unique_lock<std::mutex> lock_;
+    Node* node_;
+    int index_;
+    int capacity_;
+  };
+
+  LockedNode Lock(int node_index);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int capacity_per_node() const { return capacity_per_node_; }
+  ContainerId AllocateId() { return next_container_id_.fetch_add(1, std::memory_order_relaxed); }
+
+  // Total live containers across all nodes (locks each node in turn).
+  size_t TotalContainers() const;
+
+  // Visits every container under its node's lock (integrity checks).
+  void ForEachContainer(const std::function<void(int, const RealContainer&)>& visit) const;
+
+  // Node-lock acquisitions since construction — the O(1)-routing regression
+  // hook: a warm invoke contributes exactly one, independent of num_nodes.
+  uint64_t LockAcquisitions() const {
+    return lock_acquisitions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<std::unique_ptr<Node>> nodes_;
+  int capacity_per_node_;
+  std::atomic<ContainerId> next_container_id_{0};
+  mutable std::atomic<uint64_t> lock_acquisitions_{0};
+};
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_CORE_NODE_POOL_H_

@@ -52,10 +52,73 @@ OptimusPlatform::OptimusPlatform(const CostModel* costs, const PlatformOptions& 
   if (options.warm_plan_cache && options.warm_threads > 1) {
     warm_pool_ = std::make_unique<ThreadPool>(options.warm_threads);
   }
-  nodes_.reserve(static_cast<size_t>(options.num_nodes));
-  for (int i = 0; i < options.num_nodes; ++i) {
-    nodes_.push_back(std::make_unique<Node>());
+  pool_ = std::make_unique<NodePool>(options.num_nodes, options.containers_per_node);
+  PlacementManagerOptions placement_options;
+  placement_options.policy = options.placement;
+  placement_options.num_nodes = options.num_nodes;
+  placement_options.rebalance_interval = options.rebalance_interval;
+  placement_options.demand_slots = options.demand_slots;
+  placement_ = std::make_unique<PlacementManager>(placement_options, costs, &metrics_);
+  if (options.rebalance_interval > 0.0) {
+    rebalancer_ = std::thread([this] { RebalancerLoop(); });
   }
+}
+
+OptimusPlatform::~OptimusPlatform() {
+  {
+    std::lock_guard<std::mutex> lock(rebalance_mutex_);
+    shutdown_ = true;
+  }
+  rebalance_cv_.notify_all();
+  if (rebalancer_.joinable()) {
+    rebalancer_.join();
+  }
+}
+
+void OptimusPlatform::RequestRebalance() {
+  if (!rebalancer_.joinable()) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(rebalance_mutex_);
+    rebalance_requested_ = true;
+  }
+  rebalance_cv_.notify_one();
+}
+
+void OptimusPlatform::RebalancerLoop() {
+  std::unique_lock<std::mutex> lock(rebalance_mutex_);
+  for (;;) {
+    rebalance_cv_.wait(lock, [this] { return rebalance_requested_ || shutdown_; });
+    if (shutdown_) {
+      return;
+    }
+    rebalance_requested_ = false;
+    lock.unlock();
+    RebalanceNow("demand");
+    lock.lock();
+  }
+}
+
+bool OptimusPlatform::RebalanceNow(const std::string& reason) {
+  // Harvest the demand signal: the per-function invoke histograms' cumulative
+  // counts in the telemetry registry. The accumulator turns successive
+  // harvests into slotted demand series for the §5.1 correlation term.
+  std::map<std::string, uint64_t> totals;
+  std::vector<const Model*> models;
+  {
+    std::shared_lock<std::shared_mutex> lock(repository_mutex_);
+    models.reserve(repository_.size());
+    for (const auto& [name, entry] : repository_) {
+      totals[name] = entry.invoke_seconds != nullptr ? entry.invoke_seconds->Count() : 0;
+      models.push_back(&entry.model);  // Map nodes are stable; models immutable.
+    }
+  }
+  if (models.empty()) {
+    return false;  // Nothing to place yet.
+  }
+  placement_->RecordDemand(totals);
+  return placement_->Rebalance(models, placement_->DemandHistory(), reason);
 }
 
 void OptimusPlatform::Deploy(const std::string& function, const Model& model) {
@@ -74,11 +137,13 @@ void OptimusPlatform::Deploy(const std::string& function, const Model& model) {
   const uint64_t seed = std::hash<std::string>{}(function);
   ModelInstance instance = loader_.Instantiate(named, seed == 0 ? 1 : seed);
 
-  // Register, snapshotting the peers to warm against. The warming itself runs
-  // outside the repository lock: plans are independent of repository state and
-  // map nodes are reference-stable, so concurrent Deploy/Invoke can proceed.
+  // Register, snapshotting the peers to warm and place against. The warming
+  // itself runs outside the repository lock: plans are independent of
+  // repository state and map nodes are reference-stable, so concurrent
+  // Deploy/Invoke can proceed.
   const Model* deployed = nullptr;
   std::vector<std::reference_wrapper<const Model>> peers;
+  std::vector<const Model*> peer_models;
   {
     std::unique_lock<std::shared_mutex> lock(repository_mutex_);
     if (repository_.count(function) > 0) {
@@ -86,6 +151,7 @@ void OptimusPlatform::Deploy(const std::string& function, const Model& model) {
     }
     for (const auto& [other_name, other_entry] : repository_) {
       peers.emplace_back(other_entry.model);
+      peer_models.push_back(&other_entry.model);
     }
     FunctionEntry entry;
     entry.model = std::move(instance.model);
@@ -94,6 +160,10 @@ void OptimusPlatform::Deploy(const std::string& function, const Model& model) {
                                "End-to-end invoke wall seconds per function");
     deployed = &repository_.emplace(function, std::move(entry)).first->second.model;
   }
+
+  // Deploy trigger (DESIGN.md §13): slot the new function into the placement
+  // table incrementally — existing functions never move on a deploy.
+  placement_->AddFunction(*deployed, peer_models);
 
   if (options_.warm_plan_cache) {
     // Planning-strategy caching at registration (§4.4 Module 3): plan both
@@ -111,14 +181,7 @@ size_t OptimusPlatform::NumFunctions() const {
   return repository_.size();
 }
 
-size_t OptimusPlatform::NumLiveContainers() const {
-  size_t count = 0;
-  for (const std::unique_ptr<Node>& node : nodes_) {
-    std::lock_guard<std::mutex> lock(node->mutex);
-    count += node->containers.size();
-  }
-  return count;
-}
+size_t OptimusPlatform::NumLiveContainers() const { return pool_->TotalContainers(); }
 
 PlatformCounters OptimusPlatform::counters() const {
   // A thin view over the registry — the counters live there (DESIGN.md §12).
@@ -135,42 +198,24 @@ PlatformCounters OptimusPlatform::counters() const {
 
 std::vector<std::string> OptimusPlatform::CheckContainerIntegrity() const {
   std::vector<std::string> violations;
-  for (size_t n = 0; n < nodes_.size(); ++n) {
-    std::lock_guard<std::mutex> lock(nodes_[n]->mutex);
-    for (const RealContainer& container : nodes_[n]->containers) {
-      const std::string where =
-          "node " + std::to_string(n) + " container " + std::to_string(container.id) + " (" +
-          container.function + "): ";
-      if (!container.instance.Loaded()) {
-        violations.push_back(where + "no resident model");
-        continue;
-      }
-      if (container.instance.model.name() != container.function) {
-        violations.push_back(where + "resident model is '" + container.instance.model.name() +
-                             "' — half-transformed or misassigned");
-      }
-      try {
-        container.instance.model.Validate();
-      } catch (const std::exception& e) {
-        violations.push_back(where + "resident model invalid: " + e.what());
-      }
+  pool_->ForEachContainer([&violations](int node, const RealContainer& container) {
+    const std::string where = "node " + std::to_string(node) + " container " +
+                              std::to_string(container.id) + " (" + container.function + "): ";
+    if (!container.instance.Loaded()) {
+      violations.push_back(where + "no resident model");
+      return;
     }
-  }
+    if (container.instance.model.name() != container.function) {
+      violations.push_back(where + "resident model is '" + container.instance.model.name() +
+                           "' — half-transformed or misassigned");
+    }
+    try {
+      container.instance.model.Validate();
+    } catch (const std::exception& e) {
+      violations.push_back(where + "resident model invalid: " + e.what());
+    }
+  });
   return violations;
-}
-
-void OptimusPlatform::ReapExpired(Node* node, double now) {
-  auto& containers = node->containers;
-  containers.erase(std::remove_if(containers.begin(), containers.end(),
-                                  [&](const RealContainer& container) {
-                                    return now - container.last_active >= options_.keep_alive;
-                                  }),
-                   containers.end());
-}
-
-int OptimusPlatform::PlaceFunction(const std::string& function) const {
-  return static_cast<int>(std::hash<std::string>{}(function) %
-                          static_cast<size_t>(options_.num_nodes));
 }
 
 double OptimusPlatform::AdvanceClock(double now) {
@@ -230,36 +275,73 @@ InvokeResult OptimusPlatform::InvokeInternal(const std::string& function,
     function_seconds = model_it->second.invoke_seconds;
   }
   const Model& model = *model_ptr;
-
-  InvokeResult result;
-  result.node = PlaceFunction(function);
-  Node& node = *nodes_[static_cast<size_t>(result.node)];
-  std::lock_guard<std::mutex> node_lock(node.mutex);
-  ReapExpired(&node, now);
-
   const SystemProfile profile;  // CPU profile for latency estimation.
-  RealContainer* chosen = nullptr;
+
+  // O(1) routing: one lock-free table read names the primary node, and only
+  // that node is locked. No per-node scanning happens on this path.
+  InvokeResult result;
+  const int primary = placement_->Route(function);
+  result.node = primary;
+  NodePool::LockedNode node = pool_->Lock(primary);
+  node.ReapExpired(now, options_.keep_alive);
 
   // Warm start: an idle container already holding this function's model.
-  for (RealContainer& container : node.containers) {
-    if (container.function == function) {
-      chosen = &container;
-      result.start = StartType::kWarm;
-      result.estimated_latency = profile.InferenceCost(model);
-      break;
+  RealContainer* chosen = node.FindWarm(function);
+  if (chosen != nullptr) {
+    result.start = StartType::kWarm;
+    result.estimated_latency = profile.InferenceCost(model);
+  }
+
+  // Capacity pressure — the primary is full and offers no sufficiently-idle
+  // transform donor — is the only case that leaves the primary: probe up to
+  // route_fallback_breadth neighbors (one lock at a time) for a warm
+  // container or a free slot before evicting busy state on the primary.
+  if (chosen == nullptr && node.Full() &&
+      !node.HasIdleContainer(now, options_.idle_threshold) &&
+      options_.route_fallback_breadth > 0 && pool_->num_nodes() > 1) {
+    node.Release();
+    bool adopted = false;
+    const int breadth = std::min(options_.route_fallback_breadth, pool_->num_nodes() - 1);
+    for (int k = 1; k <= breadth && !adopted; ++k) {
+      const int neighbor = (primary + k) % pool_->num_nodes();
+      NodePool::LockedNode alt = pool_->Lock(neighbor);
+      alt.ReapExpired(now, options_.keep_alive);
+      if (RealContainer* warm = alt.FindWarm(function); warm != nullptr) {
+        chosen = warm;
+        result.start = StartType::kWarm;
+        result.estimated_latency = profile.InferenceCost(model);
+        node = std::move(alt);
+        result.node = neighbor;
+        adopted = true;
+      } else if (!alt.Full()) {
+        node = std::move(alt);  // Cold-start into the neighbor's free slot.
+        result.node = neighbor;
+        adopted = true;
+      }
+    }
+    if (!adopted) {
+      // Every neighbor is saturated too: fall back to the primary's eviction
+      // path. Re-examine under the fresh lock — state may have moved on.
+      node = pool_->Lock(primary);
+      node.ReapExpired(now, options_.keep_alive);
+      result.node = primary;
+      chosen = node.FindWarm(function);
+      if (chosen != nullptr) {
+        result.start = StartType::kWarm;
+        result.estimated_latency = profile.InferenceCost(model);
+      }
     }
   }
 
   // Transformation: repurpose the best sufficiently-idle donor (only when the
   // node has no free slot; otherwise a fresh container preserves warm state).
-  if (chosen == nullptr &&
-      static_cast<int>(node.containers.size()) >= options_.containers_per_node) {
+  if (chosen == nullptr && node.Full()) {
     RealContainer* best_donor = nullptr;
     double best_cost = 0.0;
     {
       telemetry::ScopedSpan decide_span(trace, "decide", "platform");
       const uint64_t decide_start_ns = telemetry::MonotonicNanos();
-      for (RealContainer& container : node.containers) {
+      for (RealContainer& container : node.containers()) {
         if (now - container.last_active < options_.idle_threshold) {
           continue;
         }
@@ -299,13 +381,7 @@ InvokeResult OptimusPlatform::InvokeInternal(const std::string& function,
         // through to a fresh scratch (cold) load. The transformer already
         // charged the failure to the plan-cache quarantine.
         transform_failures_.Inc();
-        const ContainerId poisoned = best_donor->id;
-        auto& containers = node.containers;
-        containers.erase(std::remove_if(containers.begin(), containers.end(),
-                                        [&](const RealContainer& container) {
-                                          return container.id == poisoned;
-                                        }),
-                         containers.end());
+        node.RemoveById(best_donor->id);
         result.transform_fallback = true;
       }
     }
@@ -315,15 +391,11 @@ InvokeResult OptimusPlatform::InvokeInternal(const std::string& function,
   // donor frees one — or evicting the least-recently-active container on a
   // full node with no eligible donor).
   if (chosen == nullptr) {
-    if (static_cast<int>(node.containers.size()) >= options_.containers_per_node) {
-      auto victim = std::min_element(node.containers.begin(), node.containers.end(),
-                                     [](const RealContainer& a, const RealContainer& b) {
-                                       return a.last_active < b.last_active;
-                                     });
-      node.containers.erase(victim);
+    if (node.Full()) {
+      node.EvictLeastRecentlyActive();
     }
     RealContainer container;
-    container.id = next_container_id_.fetch_add(1, std::memory_order_relaxed);
+    container.id = pool_->AllocateId();
     container.function = function;
     try {
       container.instance = loader_.Instantiate(model, /*weight_seed=*/1, /*breakdown=*/nullptr,
@@ -337,8 +409,7 @@ InvokeResult OptimusPlatform::InvokeInternal(const std::string& function,
     result.start = StartType::kCold;
     result.estimated_latency =
         profile.InitCost() + costs_->ScratchLoadCost(model) + profile.InferenceCost(model);
-    node.containers.push_back(std::move(container));
-    chosen = &node.containers.back();
+    chosen = node.Adopt(std::move(container));
   }
 
   chosen->last_active = now;
@@ -375,6 +446,12 @@ InvokeResult OptimusPlatform::InvokeInternal(const std::string& function,
     transform_fallbacks_.Inc();
   }
   invoke_span.Arg("start", static_cast<double>(result.start));
+
+  // Demand trigger (DESIGN.md §13): when the rebalance window elapsed in
+  // virtual time, exactly one invoker wakes the background rebalancer.
+  if (placement_->RebalanceDue(now)) {
+    RequestRebalance();
+  }
   return result;
 }
 

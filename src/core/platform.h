@@ -13,6 +13,19 @@
 //   * cold start      — a fresh container is created and the model loads from
 //                       scratch.
 //
+// Routing (DESIGN.md §13) follows the policy/mechanism split: the platform is
+// a thin router over two subsystems. The *placement* subsystem
+// (src/placement) owns the function→node mapping as a versioned,
+// atomically-swappable table computed by the configured PlacementPolicy
+// (hash / load_based / the §5.1 model-sharing K-medoids scheme); the
+// *NodePool* (src/core/node_pool.h) owns container state behind per-node
+// locks. Invoke() consults the table for an O(1) primary-node decision and
+// locks only that node; neighbor nodes are probed (one lock at a time) only
+// under capacity pressure — a full primary with no idle transform donor.
+// Deploy() slots the new function into the table incrementally, and a
+// background rebalancer recomputes the K-medoids placement from demand series
+// accumulated out of the telemetry registry's per-function invoke counters.
+//
 // Time is a caller-driven virtual clock (advanced by the `now` argument), so
 // idle-threshold and keep-alive behaviour is deterministic; the *content* of
 // containers (weights, inference results) is fully real.
@@ -31,6 +44,8 @@
 // destroyed, the failure is charged to the plan cache's quarantine, and the
 // request falls back to a scratch (cold) load — the client sees a slower
 // start, not an error, unless the fallback itself fails (kUnavailable).
+// A failed placement recompute (the `placement.rebalance` fault point)
+// leaves the previous table serving.
 //
 // Thread safety: Deploy() and Invoke() are safe to call concurrently from any
 // number of threads. The locking discipline (also documented in DESIGN.md):
@@ -38,28 +53,36 @@
 //     for Invoke's lookup, exclusive for Deploy's insert. Models are
 //     immutable once registered and std::map nodes are stable, so plain
 //     `const Model&` references remain valid outside the lock.
-//   * each Node carries its own mutex guarding that node's container state;
-//     invocations routed to different nodes never contend.
-//   * the start-type counters and the container-id allocator are atomics; the
-//     virtual clock is an atomic advanced by a CAS-max loop.
+//   * each NodePool node carries its own mutex guarding that node's container
+//     state; invocations routed to different nodes never contend, and the
+//     invoke path holds at most one node lock at a time.
+//   * the placement table is read lock-free (atomic shared_ptr acquire) and
+//     swapped wholesale; readers see the old or the new table, never a torn
+//     one (DESIGN.md §13).
+//   * the start-type counters are registry atomics; the virtual clock is an
+//     atomic advanced by a CAS-max loop.
 //   * PlanCache synchronizes itself (sharded mutexes + in-flight latches).
 
 #ifndef OPTIMUS_SRC_CORE_PLATFORM_H_
 #define OPTIMUS_SRC_CORE_PLATFORM_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/status.h"
 #include "src/common/thread_pool.h"
 #include "src/container/container.h"
+#include "src/core/node_pool.h"
 #include "src/core/transformer.h"
 #include "src/graph/serialization.h"
+#include "src/placement/manager.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/trace.h"
 
@@ -84,6 +107,18 @@ struct PlatformOptions {
   size_t trace_capacity = 256;
   uint64_t trace_sample_period = 64;
   uint64_t trace_seed = 0x7ace;
+  // Placement policy (§5.1) behind the function→node table. Defaults to the
+  // model sharing-aware K-medoids scheme.
+  PlacementOptions placement;
+  // Virtual seconds between demand-driven placement recomputes; 0 disables
+  // the background rebalancer (deploy-incremental and manual RebalanceNow()
+  // updates still run).
+  double rebalance_interval = 0.0;
+  // Neighbor nodes probed (for a warm container or a free slot) when the
+  // primary node is under capacity pressure; 0 pins requests to the primary.
+  int route_fallback_breadth = 1;
+  // Demand-history slots retained for the §5.1 correlation term.
+  size_t demand_slots = 32;
 };
 
 // Result of one invocation.
@@ -120,6 +155,7 @@ struct PlatformCounters {
 class OptimusPlatform {
  public:
   OptimusPlatform(const CostModel* costs, const PlatformOptions& options);
+  ~OptimusPlatform();
 
   // Registers a function. The model is serialized into the repository; if the
   // structure carries no weights, deterministic weights are materialized.
@@ -155,6 +191,20 @@ class OptimusPlatform {
   size_t ColdStarts() const { return static_cast<size_t>(cold_starts_.Value()); }
   PlatformCounters counters() const;
 
+  // Placement introspection and control (DESIGN.md §13).
+  PlacementManager& placement() { return *placement_; }
+  const PlacementManager& placement() const { return *placement_; }
+  std::shared_ptr<const PlacementTable> PlacementSnapshot() const { return placement_->Table(); }
+  uint64_t PlacementVersion() const { return placement_->Version(); }
+  // Synchronously harvests per-function demand from the telemetry registry
+  // and recomputes the placement. Returns false when the recompute failed
+  // (the previous table keeps serving). `reason` labels the rebalance
+  // counter ("manual" for operator-initiated runs).
+  bool RebalanceNow(const std::string& reason = "manual");
+  // Node-lock acquisitions so far (see NodePool::LockAcquisitions) — lets
+  // tests pin the O(1)-routing claim: a warm hit takes exactly one.
+  uint64_t NodeLockAcquisitions() const { return pool_->LockAcquisitions(); }
+
   // Telemetry (DESIGN.md §12). The platform owns the registry every layer
   // below it (plan cache, transformer, loader) reports into, plus the trace
   // collector holding completed request traces.
@@ -169,36 +219,24 @@ class OptimusPlatform {
   std::vector<std::string> CheckContainerIntegrity() const;
 
  private:
-  struct RealContainer {
-    ContainerId id = -1;
-    std::string function;
-    double last_active = 0.0;
-    ModelInstance instance;
-  };
-
-  // Node state is only touched under the node's mutex. Nodes live behind
-  // unique_ptr so the vector can be sized despite the mutex member.
-  struct Node {
-    std::mutex mutex;
-    std::vector<RealContainer> containers;
-  };
-
   // One registered function: its loaded model plus the per-function latency
   // series, resolved once at Deploy() so the invoke path never takes the
-  // registry's name lookup.
+  // registry's name lookup. The histogram's count doubles as the cumulative
+  // demand signal the rebalancer harvests.
   struct FunctionEntry {
     Model model;
     telemetry::Histogram* invoke_seconds = nullptr;
   };
 
-  void ReapExpired(Node* node, double now);
-  int PlaceFunction(const std::string& function) const;
   // CAS-max clock advance; returns the effective time max(now, clock).
   double AdvanceClock(double now);
   // The un-wrapped invocation path; throws OptimusError (and, for bugs,
   // other exceptions TryInvoke classifies as kInternal).
   InvokeResult InvokeInternal(const std::string& function, const std::vector<float>& input,
                               double now, telemetry::TraceContext* trace);
+  // Wakes the background rebalancer (no-op when it is not running).
+  void RequestRebalance();
+  void RebalancerLoop();
 
   const CostModel* costs_;
   PlatformOptions options_;
@@ -210,9 +248,15 @@ class OptimusPlatform {
   std::unique_ptr<ThreadPool> warm_pool_;  // Present when warm_threads > 1.
   mutable std::shared_mutex repository_mutex_;
   std::map<std::string, FunctionEntry> repository_;  // Loaded (weighted) models.
-  std::vector<std::unique_ptr<Node>> nodes_;
-  std::atomic<ContainerId> next_container_id_{0};
+  std::unique_ptr<NodePool> pool_;
+  std::unique_ptr<PlacementManager> placement_;
   std::atomic<double> last_now_{0.0};
+  // Background rebalancer (running only when rebalance_interval > 0).
+  std::mutex rebalance_mutex_;
+  std::condition_variable rebalance_cv_;
+  bool rebalance_requested_ = false;
+  bool shutdown_ = false;
+  std::thread rebalancer_;
   // Monotone counters and latency series, re-homed onto the registry (the
   // registry is the single source of truth; counters() is a thin view).
   telemetry::Counter& warm_starts_;

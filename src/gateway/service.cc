@@ -325,7 +325,13 @@ HttpResponse OptimusHttpService::Handle(const HttpRequest& request) {
          << "gateway_retries=" << Retries() << "\n"
          << "gateway_sheds=" << Sheds() << "\n"
          << "gateway_drops=" << Drops() << "\n"
-         << "gateway_deadlines=" << DeadlinesExceeded() << "\n";
+         << "gateway_deadlines=" << DeadlinesExceeded() << "\n"
+         << "placement_version=" << platform_.PlacementVersion() << "\n"
+         << "placement_policy=" << BalancerKindId(platform_.placement().options().policy.kind)
+         << "\n"
+         << "rebalances=" << platform_.placement().Rebalances() << "\n"
+         << "rebalance_failures=" << platform_.placement().RebalanceFailures() << "\n"
+         << "placement=" << platform_.placement().StatsJson() << "\n";
     HttpResponse response;
     response.body = body.str();
     return response;
@@ -337,6 +343,24 @@ HttpResponse OptimusHttpService::Handle(const HttpRequest& request) {
 
   if (request.method == "GET" && request.path == "/trace") {
     return HandleTrace();
+  }
+
+  if (request.method == "GET" && request.path == "/placement") {
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.body = platform_.placement().StatsJson() + "\n";
+    return response;
+  }
+
+  if (request.method == "POST" && request.path == "/rebalance") {
+    const bool swapped = platform_.RebalanceNow("manual");
+    HttpResponse response;
+    response.content_type = "application/json";
+    std::ostringstream body;
+    body << "{\"swapped\":" << (swapped ? "true" : "false")
+         << ",\"version\":" << platform_.PlacementVersion() << "}\n";
+    response.body = body.str();
+    return response;
   }
 
   if (request.method == "GET" && request.path == "/functions") {

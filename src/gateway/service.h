@@ -5,7 +5,12 @@
 //   POST /invoke?name=<fn>   body = comma-separated floats -> runs inference
 //        [&deadline=<sec>]   per-request deadline override (wall seconds)
 //   GET  /functions                                        -> registered names
-//   GET  /stats                                            -> counters
+//   GET  /stats                                            -> counters (incl.
+//                            a placement block: version/policy/rebalances)
+//   GET  /placement          placement table state as JSON (version, policy,
+//                            per-node function counts, rebalance counters)
+//   POST /rebalance          synchronously recomputes the placement
+//                            (reason="manual"); JSON {"swapped":...,"version":...}
 //   GET  /metrics            Prometheus text exposition of the platform's
 //                            metrics registry (DESIGN.md §12)
 //   GET  /trace              drains completed request traces as Chrome

@@ -1,0 +1,148 @@
+#include "src/placement/manager.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "src/common/fault.h"
+
+namespace optimus {
+
+namespace {
+constexpr const char* kRebalanceReasons[] = {"initial", "deploy", "demand", "manual"};
+}  // namespace
+
+PlacementManager::PlacementManager(const PlacementManagerOptions& options, const CostModel* costs,
+                                   telemetry::MetricsRegistry* metrics)
+    : options_(options),
+      policy_(MakePlacementPolicy(options.policy, costs)),
+      store_(std::make_shared<const PlacementTable>(0, options.policy.kind,
+                                                    options.num_nodes, Placement{})),
+      demand_(options.demand_slots),
+      next_rebalance_due_(options.rebalance_interval) {
+  if (options.num_nodes < 1) {
+    throw std::invalid_argument("PlacementManager: need at least one node");
+  }
+  if (metrics != nullptr) {
+    version_gauge_ = &metrics->GetGauge("optimus_placement_version", {},
+                                        "Version of the serving placement table");
+    node_function_gauges_.reserve(static_cast<size_t>(options.num_nodes));
+    for (int node = 0; node < options.num_nodes; ++node) {
+      node_function_gauges_.push_back(
+          &metrics->GetGauge("optimus_placement_node_functions", {{"node", std::to_string(node)}},
+                             "Functions assigned to each node by the placement table"));
+    }
+    for (const char* reason : kRebalanceReasons) {
+      rebalance_counters_[reason] =
+          &metrics->GetCounter("optimus_rebalance_total", {{"reason", reason}},
+                               "Placement-table swaps by trigger");
+    }
+    rebalance_failures_counter_ =
+        &metrics->GetCounter("optimus_rebalance_failures_total", {},
+                             "Placement recomputes that failed (previous table kept serving)");
+  }
+}
+
+void PlacementManager::PublishLocked(std::shared_ptr<const PlacementTable> next) {
+  if (version_gauge_ != nullptr) {
+    version_gauge_->Set(static_cast<double>(next->version()));
+    const std::vector<size_t> counts = next->NodeFunctionCounts();
+    for (size_t node = 0; node < node_function_gauges_.size() && node < counts.size(); ++node) {
+      node_function_gauges_[node]->Set(static_cast<double>(counts[node]));
+    }
+  }
+  store_.Swap(std::move(next));
+}
+
+void PlacementManager::AddFunction(const Model& model, const std::vector<const Model*>& peers) {
+  std::lock_guard<std::mutex> lock(update_mutex_);
+  const std::shared_ptr<const PlacementTable> current = store_.Snapshot();
+  if (current->NodeOf(model.name()) >= 0) {
+    return;  // Already placed; deploys never move existing functions.
+  }
+  const int node = policy_->PlaceOne(model, peers, *current);
+  Placement assignment;
+  for (const auto& [function, existing_node] : current->assignment()) {
+    assignment.emplace(function, existing_node);
+  }
+  assignment[model.name()] = node;
+  PublishLocked(std::make_shared<const PlacementTable>(current->version() + 1,
+                                                       options_.policy.kind, options_.num_nodes,
+                                                       assignment));
+  const auto counter = rebalance_counters_.find("deploy");
+  if (counter != rebalance_counters_.end()) {
+    counter->second->Inc();
+  }
+}
+
+bool PlacementManager::Rebalance(const std::vector<const Model*>& models,
+                                 const std::map<std::string, DemandSeries>& history,
+                                 const std::string& reason) {
+  std::lock_guard<std::mutex> lock(update_mutex_);
+  const std::shared_ptr<const PlacementTable> current = store_.Snapshot();
+  try {
+    // The injected failure models a solver crash mid-recompute: nothing may
+    // have been published, so the previous table must keep serving.
+    fault::MaybeInject("placement.rebalance");
+    const Placement assignment = policy_->Compute(models, history, options_.num_nodes);
+    PublishLocked(std::make_shared<const PlacementTable>(
+        current->version() + 1, options_.policy.kind, options_.num_nodes, assignment));
+  } catch (const std::exception&) {
+    rebalance_failures_.fetch_add(1, std::memory_order_relaxed);
+    if (rebalance_failures_counter_ != nullptr) {
+      rebalance_failures_counter_->Inc();
+    }
+    return false;
+  }
+  rebalances_.fetch_add(1, std::memory_order_relaxed);
+  const auto counter = rebalance_counters_.find(reason);
+  if (counter != rebalance_counters_.end()) {
+    counter->second->Inc();
+  }
+  return true;
+}
+
+void PlacementManager::RecordDemand(const std::map<std::string, uint64_t>& cumulative_invokes) {
+  demand_.RecordCumulative(cumulative_invokes);
+}
+
+bool PlacementManager::RebalanceDue(double now) {
+  if (options_.rebalance_interval <= 0.0) {
+    return false;
+  }
+  double due = next_rebalance_due_.load(std::memory_order_relaxed);
+  while (now >= due) {
+    if (next_rebalance_due_.compare_exchange_weak(due, now + options_.rebalance_interval,
+                                                  std::memory_order_relaxed)) {
+      return true;  // This caller won the CAS: exactly one rebalance per window.
+    }
+  }
+  return false;
+}
+
+size_t PlacementManager::Rebalances() const {
+  return static_cast<size_t>(rebalances_.load(std::memory_order_relaxed));
+}
+
+size_t PlacementManager::RebalanceFailures() const {
+  return static_cast<size_t>(rebalance_failures_.load(std::memory_order_relaxed));
+}
+
+std::string PlacementManager::StatsJson() const {
+  const std::shared_ptr<const PlacementTable> table = Table();
+  std::ostringstream out;
+  out << "{\"version\":" << table->version() << ",\"policy\":\""
+      << BalancerKindId(table->kind()) << "\",\"num_nodes\":" << table->num_nodes()
+      << ",\"functions\":" << table->size() << ",\"rebalances\":" << Rebalances()
+      << ",\"rebalance_failures\":" << RebalanceFailures() << ",\"node_functions\":[";
+  const std::vector<size_t> counts = table->NodeFunctionCounts();
+  for (size_t node = 0; node < counts.size(); ++node) {
+    if (node > 0) {
+      out << ",";
+    }
+    out << counts[node];
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace optimus

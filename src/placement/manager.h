@@ -1,0 +1,101 @@
+// PlacementManager — the runtime coordinator of the placement subsystem.
+//
+// Owns the PlacementStore, the configured PlacementPolicy, and the demand
+// accumulator, and wires the three rebalance triggers (DESIGN.md §13):
+//   * deploy  — AddFunction() slots one new function incrementally;
+//   * demand  — RebalanceDue()/Rebalance() recompute the full placement from
+//               demand observed since the last harvest;
+//   * manual  — operator-initiated (gateway POST /rebalance, tests).
+//
+// Every swap publishes a new immutable table through the atomic store; a
+// failed recompute (including the injected `placement.rebalance` fault)
+// leaves the previous table serving and is counted in
+// optimus_rebalance_failures_total. All update paths serialize on one mutex;
+// the read path (Route/Table) is lock-free.
+
+#ifndef OPTIMUS_SRC_PLACEMENT_MANAGER_H_
+#define OPTIMUS_SRC_PLACEMENT_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/placement/placement.h"
+#include "src/telemetry/metrics.h"
+
+namespace optimus {
+
+struct PlacementManagerOptions {
+  PlacementOptions policy;
+  int num_nodes = 1;
+  // Virtual seconds between demand-driven rebalances; 0 disables the online
+  // re-clustering trigger (deploy/manual rebalances still work).
+  double rebalance_interval = 0.0;
+  // Demand-history window: slots retained for the correlation term.
+  size_t demand_slots = 32;
+};
+
+class PlacementManager {
+ public:
+  // `metrics` may be null (e.g. in the simulator); observability is then
+  // skipped. `costs` must be non-null for the model-sharing policy.
+  PlacementManager(const PlacementManagerOptions& options, const CostModel* costs,
+                   telemetry::MetricsRegistry* metrics);
+
+  // Lock-free routing reads.
+  std::shared_ptr<const PlacementTable> Table() const { return store_.Snapshot(); }
+  int Route(const std::string& function) const { return Table()->NodeOrHash(function); }
+  uint64_t Version() const { return store_.Version(); }
+
+  // Deploy trigger: places `model` incrementally and publishes version+1.
+  // Already-placed functions keep their node.
+  void AddFunction(const Model& model, const std::vector<const Model*>& peers);
+
+  // Full recompute via the policy's solver. Returns true when a new table was
+  // published; on failure the previous table keeps serving and the failure
+  // counter advances. `reason` labels optimus_rebalance_total (one of
+  // "initial", "deploy", "demand", "manual").
+  bool Rebalance(const std::vector<const Model*>& models,
+                 const std::map<std::string, DemandSeries>& history, const std::string& reason);
+
+  // Demand plumbing: RecordDemand closes one accumulator slot from cumulative
+  // per-function invoke counts; DemandHistory feeds Rebalance.
+  void RecordDemand(const std::map<std::string, uint64_t>& cumulative_invokes);
+  std::map<std::string, DemandSeries> DemandHistory() const { return demand_.History(); }
+  size_t DemandSlots() const { return demand_.Slots(); }
+
+  // Demand trigger: true at most once per rebalance interval (CAS on the next
+  // deadline, so concurrent invokers elect exactly one rebalance).
+  bool RebalanceDue(double now);
+
+  size_t Rebalances() const;
+  size_t RebalanceFailures() const;
+  const PlacementManagerOptions& options() const { return options_; }
+  const PlacementPolicy& policy() const { return *policy_; }
+
+  // One-line JSON summary for /stats and the gateway's placement endpoint.
+  std::string StatsJson() const;
+
+ private:
+  void PublishLocked(std::shared_ptr<const PlacementTable> next);
+
+  PlacementManagerOptions options_;
+  std::unique_ptr<PlacementPolicy> policy_;
+  PlacementStore store_;
+  DemandAccumulator demand_;
+  std::mutex update_mutex_;  // Serializes AddFunction/Rebalance swaps.
+  std::atomic<double> next_rebalance_due_;
+  std::atomic<uint64_t> rebalances_{0};
+  std::atomic<uint64_t> rebalance_failures_{0};
+  // Observability (null when no registry was supplied).
+  telemetry::Gauge* version_gauge_ = nullptr;
+  std::vector<telemetry::Gauge*> node_function_gauges_;
+  std::map<std::string, telemetry::Counter*> rebalance_counters_;
+  telemetry::Counter* rebalance_failures_counter_ = nullptr;
+};
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_PLACEMENT_MANAGER_H_

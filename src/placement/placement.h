@@ -1,0 +1,164 @@
+// Cluster placement subsystem (paper §5.1) — the policy/mechanism split for
+// function→node routing shared by the live platform, the simulator, and the
+// gateway.
+//
+// Mechanism: a `PlacementTable` is an immutable, versioned snapshot of the
+// function→node mapping. Tables are published through a `PlacementStore`
+// holding a `std::atomic<std::shared_ptr<const PlacementTable>>`: writers
+// build a fully-constructed table and store it with release ordering, readers
+// load with acquire ordering, so every reader observes either the previous or
+// the next table in its entirety — never a torn mapping (the memory-order
+// argument is spelled out in DESIGN.md §13).
+//
+// Policy: a `PlacementPolicy` decides *where* functions go. Three
+// implementations mirror the paper's comparison set:
+//   * hash           — stateless hashing (existing platforms' default);
+//   * load_based     — spread expected demand evenly;
+//   * model_sharing  — the §5.1 K-medoids scheme over the combined distance
+//                      gamma_d·D̂ + gamma_k·K̂, delegating the full solve to
+//                      the offline solver in src/balancer.
+// Each policy answers both the batch question (`Compute`: place everything,
+// used by rebalances and the simulator) and the incremental one (`PlaceOne`:
+// slot a newly deployed function into an existing table without moving
+// anything else).
+
+#ifndef OPTIMUS_SRC_PLACEMENT_PLACEMENT_H_
+#define OPTIMUS_SRC_PLACEMENT_PLACEMENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/balancer/balancer.h"
+#include "src/graph/model.h"
+#include "src/runtime/cost_model.h"
+#include "src/workload/trace.h"
+
+namespace optimus {
+
+// Stable machine-readable ids for flags, /stats, and metric labels
+// ("hash" / "load_based" / "model_sharing"), next to the human-facing
+// BalancerKindName ("Hash" / "LoadBased" / "ModelSharing").
+const char* BalancerKindId(BalancerKind kind);
+
+// Parses either the id or the human-facing name; returns false (and leaves
+// *kind untouched) for unknown strings.
+bool ParseBalancerKind(const std::string& name, BalancerKind* kind);
+
+// Knobs for a placement policy. Field names deliberately match
+// BalancerOptions — the model-sharing policy forwards them to the offline
+// solver via ToBalancerOptions().
+struct PlacementOptions {
+  BalancerKind kind = BalancerKind::kModelSharing;
+  double gamma_distance = 0.6;
+  double gamma_correlation = 0.4;
+  int clusters_per_node = 2;
+  uint64_t seed = 1;
+};
+
+BalancerOptions ToBalancerOptions(const PlacementOptions& options);
+
+// An immutable snapshot of the function→node mapping. Instances are built
+// once, then only read; safe to share across threads without locks.
+class PlacementTable {
+ public:
+  PlacementTable() = default;
+  PlacementTable(uint64_t version, BalancerKind kind, int num_nodes, const Placement& assignment);
+
+  // Node hosting `function`, or -1 when the function is not in the table.
+  int NodeOf(const std::string& function) const;
+  // Like NodeOf, but unknown functions fall back to hashing — routing never
+  // fails just because a table predates a deploy.
+  int NodeOrHash(const std::string& function) const;
+
+  uint64_t version() const { return version_; }
+  BalancerKind kind() const { return kind_; }
+  int num_nodes() const { return num_nodes_; }
+  size_t size() const { return assignment_.size(); }
+  const std::unordered_map<std::string, int>& assignment() const { return assignment_; }
+
+  // Functions assigned to each node (length num_nodes).
+  std::vector<size_t> NodeFunctionCounts() const;
+
+ private:
+  uint64_t version_ = 0;
+  BalancerKind kind_ = BalancerKind::kModelSharing;
+  int num_nodes_ = 1;
+  std::unordered_map<std::string, int> assignment_;
+};
+
+// The atomically-swappable publication point for placement tables. Swap() is
+// a release store of a fully-built table; Snapshot() is an acquire load, so
+// a reader's view is always internally consistent (DESIGN.md §13).
+class PlacementStore {
+ public:
+  explicit PlacementStore(std::shared_ptr<const PlacementTable> initial);
+
+  std::shared_ptr<const PlacementTable> Snapshot() const {
+    return table_.load(std::memory_order_acquire);
+  }
+  void Swap(std::shared_ptr<const PlacementTable> next) {
+    table_.store(std::move(next), std::memory_order_release);
+  }
+  uint64_t Version() const { return Snapshot()->version(); }
+
+ private:
+  std::atomic<std::shared_ptr<const PlacementTable>> table_;
+};
+
+// Where functions go. Implementations are stateless (all inputs arrive as
+// arguments), so one policy instance can serve concurrent callers.
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  virtual BalancerKind kind() const = 0;
+
+  // Places every model onto `num_nodes` nodes from scratch (full rebalance /
+  // simulator initialization). `history` feeds the demand-correlation and
+  // load terms; it may be empty.
+  virtual Placement Compute(const std::vector<const Model*>& models,
+                            const std::map<std::string, DemandSeries>& history,
+                            int num_nodes) const = 0;
+
+  // Slots one newly deployed model into `current` without moving existing
+  // assignments. `peers` are the already-registered models (the candidates
+  // the new function could share transformations with).
+  virtual int PlaceOne(const Model& model, const std::vector<const Model*>& peers,
+                       const PlacementTable& current) const = 0;
+};
+
+// Builds the policy for `options.kind`. `costs` supplies the edit-distance
+// term and must outlive the policy (it may be null for kHash/kLoadBased).
+std::unique_ptr<PlacementPolicy> MakePlacementPolicy(const PlacementOptions& options,
+                                                     const CostModel* costs);
+
+// Turns cumulative per-function invoke counts (harvested from the telemetry
+// registry) into the slotted DemandSeries the §5.1 correlation term consumes.
+// Each RecordCumulative() call closes one slot holding the per-function delta
+// since the previous call; series stay aligned (equal length, zero-backfilled
+// for late-appearing functions) and bounded to the most recent `max_slots`.
+class DemandAccumulator {
+ public:
+  explicit DemandAccumulator(size_t max_slots = 32);
+
+  void RecordCumulative(const std::map<std::string, uint64_t>& totals);
+  std::map<std::string, DemandSeries> History() const;
+  size_t Slots() const;
+
+ private:
+  mutable std::mutex mutex_;
+  size_t max_slots_;
+  size_t slots_ = 0;
+  std::map<std::string, uint64_t> last_;
+  std::map<std::string, DemandSeries> series_;
+};
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_PLACEMENT_PLACEMENT_H_

@@ -51,8 +51,19 @@ class Simulation {
     context.planner = config.planner;
     policy_ = MakeStartupPolicy(config.system, context);
 
+    // Route through the same PlacementPolicy implementations the live
+    // platform uses: compute the assignment once from the trace's demand
+    // history and freeze it into an immutable table.
+    std::vector<const Model*> model_ptrs;
+    model_ptrs.reserve(models.size());
+    for (const auto& [name, model] : repository_) {
+      model_ptrs.push_back(&model);
+    }
     const auto history = DemandHistory(trace, Horizon(trace), /*slot_seconds=*/300.0);
-    placement_ = PlaceFunctions(models, config.num_nodes, history, costs, config.balancer);
+    const auto policy = MakePlacementPolicy(config.placement, &costs);
+    table_ = std::make_shared<PlacementTable>(
+        /*version=*/1, config.placement.kind, config.num_nodes,
+        policy->Compute(model_ptrs, history, config.num_nodes));
 
     nodes_.reserve(static_cast<size_t>(config.num_nodes));
     for (int i = 0; i < config.num_nodes; ++i) {
@@ -90,11 +101,10 @@ class Simulation {
 
   void OnArrival(size_t request_index, double now) {
     const std::string& function = trace_[request_index].function;
-    auto placed = placement_.find(function);
-    if (placed == placement_.end()) {
+    if (repository_.find(function) == repository_.end()) {
       throw std::runtime_error("RunSimulation: unregistered function " + function);
     }
-    const int node = placed->second;
+    const int node = table_->NodeOrHash(function);
     if (!TryServe(node, request_index, now)) {
       nodes_[static_cast<size_t>(node)].queue.push_back(request_index);
     }
@@ -216,7 +226,7 @@ class Simulation {
   std::map<std::string, Model> repository_;
   std::map<std::string, double> scratch_costs_;
   double gd_clock_ = 0.0;
-  Placement placement_;
+  std::shared_ptr<const PlacementTable> table_;
   std::unique_ptr<StartupPolicy> policy_;
   std::vector<NodeState> nodes_;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;

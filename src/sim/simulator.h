@@ -14,8 +14,8 @@
 #include <string>
 #include <vector>
 
-#include "src/balancer/balancer.h"
 #include "src/baselines/systems.h"
+#include "src/placement/placement.h"
 #include "src/workload/trace.h"
 
 namespace optimus {
@@ -34,9 +34,10 @@ struct SimConfig {
   double keep_alive = 600.0;      // 10-minute keep-alive (§8.1).
   EvictionPolicy eviction = EvictionPolicy::kLru;
   SystemProfile profile = SystemProfile::Cpu();
-  // Placement strategy. The paper's Optimus uses the model sharing-aware
-  // balancer; existing systems hash.
-  BalancerOptions balancer;
+  // Placement strategy — the same PlacementPolicy implementations the live
+  // platform routes through (src/placement). The paper's Optimus uses the
+  // model sharing-aware policy; existing systems hash.
+  PlacementOptions placement;
   PlannerKind planner = PlannerKind::kGroup;
 
   // --- Memory modeling (§6 "fine-grained resource allocation"). -------------

@@ -75,7 +75,7 @@ class MemorySimTest : public testing::Test {
     config_.system = SystemType::kOptimus;
     config_.num_nodes = 1;
     config_.containers_per_node = 8;
-    config_.balancer.kind = BalancerKind::kHash;
+    config_.placement.kind = BalancerKind::kHash;
     config_.node_memory_bytes = 2 * kGiB;
     config_.uniform_container_bytes = 1 * kGiB;
   }

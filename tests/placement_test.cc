@@ -1,0 +1,410 @@
+// The placement subsystem (DESIGN.md §13): table/store semantics, the three
+// PlacementPolicy implementations, the demand accumulator, O(1) routing in
+// the live platform, concurrent table swaps, the placement.rebalance fault
+// point, and the end-to-end §5.1 claim that model sharing-aware placement
+// beats hashing — in the live platform and the simulator, through the same
+// policy implementations.
+
+#include "src/placement/placement.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/common/fault.h"
+#include "src/core/platform.h"
+#include "src/placement/manager.h"
+#include "src/sim/simulator.h"
+#include "tests/test_util.h"
+
+namespace optimus {
+namespace {
+
+// --- PlacementTable / PlacementStore -----------------------------------------
+
+TEST(PlacementTableTest, NodeOfAndHashFallback) {
+  Placement assignment = {{"a", 0}, {"b", 1}, {"stray", 7}};
+  const PlacementTable table(3, BalancerKind::kHash, 2, assignment);
+  EXPECT_EQ(table.version(), 3u);
+  EXPECT_EQ(table.num_nodes(), 2);
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_EQ(table.NodeOf("a"), 0);
+  EXPECT_EQ(table.NodeOf("b"), 1);
+  EXPECT_EQ(table.NodeOf("missing"), -1);
+  // Out-of-range assignments are clamped into [0, num_nodes).
+  const int stray = table.NodeOf("stray");
+  EXPECT_GE(stray, 0);
+  EXPECT_LT(stray, 2);
+  // Unknown functions route by hash instead of failing.
+  const int hashed = table.NodeOrHash("missing");
+  EXPECT_GE(hashed, 0);
+  EXPECT_LT(hashed, 2);
+  EXPECT_EQ(table.NodeOrHash("a"), 0);
+}
+
+TEST(PlacementTableTest, NodeFunctionCounts) {
+  const PlacementTable table(1, BalancerKind::kHash, 3, {{"a", 0}, {"b", 0}, {"c", 2}});
+  const std::vector<size_t> counts = table.NodeFunctionCounts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 0u);
+  EXPECT_EQ(counts[2], 1u);
+}
+
+TEST(PlacementStoreTest, SwapPublishesNewTable) {
+  PlacementStore store(nullptr);  // Seeds an empty version-0 table.
+  ASSERT_NE(store.Snapshot(), nullptr);
+  EXPECT_EQ(store.Version(), 0u);
+  store.Swap(std::make_shared<const PlacementTable>(5, BalancerKind::kHash, 2,
+                                                    Placement{{"a", 1}}));
+  EXPECT_EQ(store.Version(), 5u);
+  EXPECT_EQ(store.Snapshot()->NodeOf("a"), 1);
+}
+
+TEST(BalancerKindIdTest, RoundTripsIdsAndNames) {
+  for (const BalancerKind kind :
+       {BalancerKind::kHash, BalancerKind::kLoadBased, BalancerKind::kModelSharing}) {
+    BalancerKind parsed = BalancerKind::kHash;
+    ASSERT_TRUE(ParseBalancerKind(BalancerKindId(kind), &parsed));
+    EXPECT_EQ(parsed, kind);
+    ASSERT_TRUE(ParseBalancerKind(BalancerKindName(kind), &parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  BalancerKind parsed = BalancerKind::kLoadBased;
+  EXPECT_FALSE(ParseBalancerKind("quantum", &parsed));
+  EXPECT_EQ(parsed, BalancerKind::kLoadBased);  // Untouched on failure.
+}
+
+// --- DemandAccumulator --------------------------------------------------------
+
+TEST(DemandAccumulatorTest, SlotsCumulativeDeltas) {
+  DemandAccumulator accumulator(8);
+  accumulator.RecordCumulative({{"a", 3}});
+  accumulator.RecordCumulative({{"a", 10}, {"b", 4}});
+  const auto history = accumulator.History();
+  ASSERT_EQ(accumulator.Slots(), 2u);
+  ASSERT_EQ(history.at("a").size(), 2u);
+  EXPECT_DOUBLE_EQ(history.at("a")[0], 3.0);
+  EXPECT_DOUBLE_EQ(history.at("a")[1], 7.0);
+  // A function appearing late is zero-backfilled so series stay aligned.
+  ASSERT_EQ(history.at("b").size(), 2u);
+  EXPECT_DOUBLE_EQ(history.at("b")[0], 0.0);
+  EXPECT_DOUBLE_EQ(history.at("b")[1], 4.0);
+}
+
+TEST(DemandAccumulatorTest, TrimsToMaxSlots) {
+  DemandAccumulator accumulator(2);
+  accumulator.RecordCumulative({{"a", 1}});
+  accumulator.RecordCumulative({{"a", 2}});
+  accumulator.RecordCumulative({{"a", 5}});
+  EXPECT_EQ(accumulator.Slots(), 2u);
+  const auto history = accumulator.History();
+  ASSERT_EQ(history.at("a").size(), 2u);
+  EXPECT_DOUBLE_EQ(history.at("a")[0], 1.0);
+  EXPECT_DOUBLE_EQ(history.at("a")[1], 3.0);
+}
+
+// --- Policies -----------------------------------------------------------------
+
+TEST(PlacementPolicyTest, HashPlaceOneMatchesBatchCompute) {
+  const PlacementOptions options{BalancerKind::kHash};
+  const auto policy = MakePlacementPolicy(options, nullptr);
+  const Model model = TinyVgg(11);
+  const PlacementTable current(1, BalancerKind::kHash, 4, {});
+  const int incremental = policy->PlaceOne(model, {}, current);
+  const Placement batch = policy->Compute({&model}, {}, 4);
+  EXPECT_EQ(incremental, batch.at(model.name()));
+}
+
+TEST(PlacementPolicyTest, ModelSharingRequiresCostModel) {
+  EXPECT_THROW(MakePlacementPolicy(PlacementOptions{BalancerKind::kModelSharing}, nullptr),
+               std::invalid_argument);
+}
+
+TEST(PlacementPolicyTest, ModelSharingPlaceOneFollowsSimilarPeers) {
+  AnalyticCostModel costs;
+  PlacementOptions options;
+  options.kind = BalancerKind::kModelSharing;
+  const auto policy = MakePlacementPolicy(options, &costs);
+  const Model vgg_a = TinyVgg(11);
+  const Model vgg_b = TinyVgg(13);
+  const Model bert_a = TinyBert(2, 64);
+  const Model bert_b = TinyBert(4, 64);
+  // Four peers already placed pair-per-node with slack (cap allows a fifth on
+  // either node): a new vgg16 should join the vgg node, not the bert node.
+  const PlacementTable current(
+      1, BalancerKind::kModelSharing, 2,
+      {{vgg_a.name(), 0}, {vgg_b.name(), 0}, {bert_a.name(), 1}, {bert_b.name(), 1}});
+  const Model newcomer = TinyVgg(16);
+  const int node =
+      policy->PlaceOne(newcomer, {&vgg_a, &vgg_b, &bert_a, &bert_b}, current);
+  EXPECT_EQ(node, 0);
+}
+
+TEST(PlacementPolicyTest, LoadBasedPlaceOnePicksEmptiestNode) {
+  const auto policy = MakePlacementPolicy(PlacementOptions{BalancerKind::kLoadBased}, nullptr);
+  const PlacementTable current(1, BalancerKind::kLoadBased, 3, {{"x", 0}, {"y", 0}, {"z", 2}});
+  const Model model = TinyVgg(11);
+  EXPECT_EQ(policy->PlaceOne(model, {}, current), 1);
+}
+
+// --- PlacementManager ---------------------------------------------------------
+
+TEST(PlacementManagerTest, AddFunctionBumpsVersionIncrementally) {
+  AnalyticCostModel costs;
+  PlacementManagerOptions options;
+  options.num_nodes = 2;
+  PlacementManager manager(options, &costs, nullptr);
+  EXPECT_EQ(manager.Version(), 0u);
+  const Model vgg = TinyVgg(11);
+  manager.AddFunction(vgg, {});
+  EXPECT_EQ(manager.Version(), 1u);
+  const int node = manager.Route(vgg.name());
+  EXPECT_GE(node, 0);
+  EXPECT_LT(node, 2);
+  // Re-adding is a no-op (no version churn).
+  manager.AddFunction(vgg, {});
+  EXPECT_EQ(manager.Version(), 1u);
+}
+
+TEST(PlacementManagerTest, RebalanceDueFiresOncePerInterval) {
+  AnalyticCostModel costs;
+  PlacementManagerOptions options;
+  options.num_nodes = 1;
+  options.rebalance_interval = 100.0;
+  PlacementManager manager(options, &costs, nullptr);
+  EXPECT_FALSE(manager.RebalanceDue(50.0));
+  EXPECT_TRUE(manager.RebalanceDue(100.0));
+  EXPECT_FALSE(manager.RebalanceDue(150.0));  // Already claimed for this window.
+  EXPECT_TRUE(manager.RebalanceDue(250.0));
+}
+
+TEST(PlacementManagerTest, StatsJsonCarriesVersionAndPolicy) {
+  AnalyticCostModel costs;
+  PlacementManagerOptions options;
+  options.num_nodes = 2;
+  PlacementManager manager(options, &costs, nullptr);
+  const Model vgg = TinyVgg(11);
+  manager.AddFunction(vgg, {});
+  const std::string json = manager.StatsJson();
+  EXPECT_NE(json.find("\"version\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"policy\":\"model_sharing\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"functions\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"node_functions\":["), std::string::npos) << json;
+}
+
+// --- O(1) routing regression --------------------------------------------------
+
+// A warm hit must take exactly one node lock, independent of cluster size —
+// the regression hook for the old O(num_nodes) scan in Invoke.
+TEST(PlacementRoutingTest, WarmHitLockCountIndependentOfNumNodes) {
+  const std::vector<float> input(8, 0.5f);
+  for (const int num_nodes : {1, 32}) {
+    AnalyticCostModel costs;
+    PlatformOptions options;
+    options.num_nodes = num_nodes;
+    options.containers_per_node = 2;
+    OptimusPlatform platform(&costs, options);
+    platform.Deploy("vgg", TinyVgg(11));
+    platform.Invoke("vgg", input, 0.0);  // Cold; container now resident.
+    const uint64_t before = platform.NodeLockAcquisitions();
+    platform.Invoke("vgg", input, 1.0);
+    const uint64_t locks_for_warm_hit = platform.NodeLockAcquisitions() - before;
+    EXPECT_EQ(locks_for_warm_hit, 1u) << "num_nodes=" << num_nodes;
+  }
+}
+
+// --- Concurrent swaps ---------------------------------------------------------
+
+// Invokers race Deploy-driven incremental updates and full rebalances. Every
+// reader must see a coherent table: routed nodes stay in range and every
+// invocation succeeds. Run under TSan in CI.
+TEST(PlacementConcurrencyTest, InvokeDuringDeployAndRebalanceSwaps) {
+  AnalyticCostModel costs;
+  PlatformOptions options;
+  options.num_nodes = 4;
+  options.containers_per_node = 2;
+  OptimusPlatform platform(&costs, options);
+  platform.Deploy("vgg11", TinyVgg(11));
+  platform.Deploy("vgg13", TinyVgg(13));
+
+  const std::vector<float> input(8, 0.5f);
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> invokers;
+  for (int t = 0; t < 3; ++t) {
+    invokers.emplace_back([&, t] {
+      const std::string function = t % 2 == 0 ? "vgg11" : "vgg13";
+      for (int i = 0; !stop.load(std::memory_order_relaxed) && i < 400; ++i) {
+        InvokeResult result;
+        const Status status =
+            platform.TryInvoke(function, input, static_cast<double>(i), &result);
+        if (!status.ok() || result.node < 0 || result.node >= 4) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::thread deployer([&] {
+    platform.Deploy("vgg16", TinyVgg(16));
+    platform.Deploy("vgg19", TinyVgg(19));
+    platform.Deploy("bert", TinyBert(2, 64));
+  });
+  std::thread rebalancer([&] {
+    for (int i = 0; i < 20; ++i) {
+      platform.RebalanceNow("manual");
+    }
+  });
+  deployer.join();
+  rebalancer.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& thread : invokers) {
+    thread.join();
+  }
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(platform.PlacementVersion(), 5u);  // 5 deploys + 20 rebalances.
+  EXPECT_TRUE(platform.CheckContainerIntegrity().empty());
+}
+
+// --- placement.rebalance fault point ------------------------------------------
+
+TEST(PlacementFaultTest, FailedRebalanceKeepsPreviousTableServing) {
+  AnalyticCostModel costs;
+  PlatformOptions options;
+  options.num_nodes = 2;
+  OptimusPlatform platform(&costs, options);
+  platform.Deploy("vgg11", TinyVgg(11));
+  platform.Deploy("vgg13", TinyVgg(13));
+  const uint64_t version = platform.PlacementVersion();
+  const auto table_before = platform.PlacementSnapshot();
+
+  {
+    fault::ScopedFaults faults("placement.rebalance=always");
+    EXPECT_FALSE(platform.RebalanceNow("manual"));
+    EXPECT_EQ(platform.PlacementVersion(), version);  // Table not swapped.
+    EXPECT_EQ(platform.PlacementSnapshot().get(), table_before.get());
+    EXPECT_EQ(platform.placement().RebalanceFailures(), 1u);
+    EXPECT_EQ(fault::Fires("placement.rebalance"), 1u);
+    // The previous table keeps serving.
+    const std::vector<float> input(8, 0.5f);
+    EXPECT_FALSE(platform.Invoke("vgg11", input, 0.0).output.empty());
+  }
+
+  // Disarmed: the recompute succeeds and publishes a fresh table.
+  EXPECT_TRUE(platform.RebalanceNow("manual"));
+  EXPECT_EQ(platform.PlacementVersion(), version + 1);
+  EXPECT_EQ(platform.placement().Rebalances(), 1u);
+}
+
+// --- End-to-end: model sharing beats hash, live and simulated -----------------
+
+// Two structurally similar pairs (two VGG variants, two BERT variants) rotate
+// on a 2-node cluster with one container per node. Model-sharing placement
+// co-locates each pair, so every rotation finds a cheap donor (transform);
+// hash placement — with names chosen so the pairs split across nodes and each
+// pair's round-mates collide — forces eviction cold starts. The suffix search
+// below makes the hash layout deterministic rather than name-lucky.
+struct PairedWorkload {
+  std::vector<std::string> names;  // {a1, a2, b1, b2}.
+  std::vector<Model> models;
+};
+
+PairedWorkload MakePairedWorkload() {
+  const auto node_of = [](const std::string& name) {
+    return static_cast<int>(std::hash<std::string>{}(name) % 2);
+  };
+  for (int suffix = 0; suffix < 512; ++suffix) {
+    PairedWorkload workload;
+    workload.names = {"vision_a_" + std::to_string(suffix),
+                      "vision_b_" + std::to_string(suffix),
+                      "text_a_" + std::to_string(suffix),
+                      "text_b_" + std::to_string(suffix)};
+    // Hash must split both pairs AND co-locate the two functions invoked in
+    // the same round (a1 with b1) so their node's single container churns.
+    if (node_of(workload.names[0]) == node_of(workload.names[1]) ||
+        node_of(workload.names[2]) == node_of(workload.names[3]) ||
+        node_of(workload.names[0]) != node_of(workload.names[2])) {
+      continue;
+    }
+    workload.models = {TinyVgg(11), TinyVgg(13), TinyBert(2, 64), TinyBert(4, 64)};
+    for (size_t i = 0; i < workload.models.size(); ++i) {
+      workload.models[i].set_name(workload.names[i]);
+    }
+    return workload;
+  }
+  ADD_FAILURE() << "no hash-splitting suffix found";
+  return {};
+}
+
+constexpr int kRotationRounds = 8;
+constexpr double kRoundGap = 100.0;  // > idle_threshold (60s), < keep_alive.
+
+size_t LiveTransformPlusWarm(BalancerKind kind, const PairedWorkload& workload) {
+  AnalyticCostModel costs;
+  PlatformOptions options;
+  options.num_nodes = 2;
+  options.containers_per_node = 1;
+  options.route_fallback_breadth = 0;  // Pin requests to their primary node.
+  options.placement.kind = kind;
+  options.placement.clusters_per_node = 1;  // 2 clusters for the 2 pairs.
+  OptimusPlatform platform(&costs, options);
+  for (size_t i = 0; i < workload.names.size(); ++i) {
+    platform.Deploy(workload.names[i], workload.models[i]);
+  }
+  if (kind == BalancerKind::kModelSharing) {
+    // Full §5.1 K-medoids recompute (deploy-time placement is incremental
+    // and order-sensitive); verify it co-locates the structural pairs.
+    EXPECT_TRUE(platform.RebalanceNow("manual"));
+    const auto table = platform.PlacementSnapshot();
+    EXPECT_EQ(table->NodeOf(workload.names[0]), table->NodeOf(workload.names[1]));
+    EXPECT_EQ(table->NodeOf(workload.names[2]), table->NodeOf(workload.names[3]));
+  }
+  const std::vector<float> input(8, 0.5f);
+  for (int round = 0; round < kRotationRounds; ++round) {
+    const double now = kRoundGap * round;
+    const size_t member = static_cast<size_t>(round % 2);
+    platform.Invoke(workload.names[member], input, now);       // Vision pair.
+    platform.Invoke(workload.names[2 + member], input, now);   // Text pair.
+  }
+  return platform.Transforms() + platform.WarmStarts();
+}
+
+TEST(PlacementEndToEndTest, ModelSharingBeatsHashOnLivePlatform) {
+  const PairedWorkload workload = MakePairedWorkload();
+  ASSERT_EQ(workload.names.size(), 4u);
+  const size_t sharing = LiveTransformPlusWarm(BalancerKind::kModelSharing, workload);
+  const size_t hash = LiveTransformPlusWarm(BalancerKind::kHash, workload);
+  EXPECT_GT(sharing, hash);
+}
+
+TEST(PlacementEndToEndTest, ModelSharingBeatsHashInSimulator) {
+  const PairedWorkload workload = MakePairedWorkload();
+  ASSERT_EQ(workload.names.size(), 4u);
+  Trace trace;
+  for (int round = 0; round < kRotationRounds; ++round) {
+    const double now = kRoundGap * round;
+    const size_t member = static_cast<size_t>(round % 2);
+    trace.push_back({now, workload.names[member]});
+    trace.push_back({now, workload.names[2 + member]});
+  }
+  SimConfig config;
+  config.system = SystemType::kOptimus;
+  config.num_nodes = 2;
+  config.containers_per_node = 1;
+  config.placement.clusters_per_node = 1;
+  AnalyticCostModel costs;
+
+  config.placement.kind = BalancerKind::kModelSharing;
+  const SimResult sharing = RunSimulation(workload.models, trace, config, costs);
+  config.placement.kind = BalancerKind::kHash;
+  const SimResult hash = RunSimulation(workload.models, trace, config, costs);
+
+  EXPECT_GT(sharing.CountOf(StartType::kTransform) + sharing.CountOf(StartType::kWarm),
+            hash.CountOf(StartType::kTransform) + hash.CountOf(StartType::kWarm));
+}
+
+}  // namespace
+}  // namespace optimus

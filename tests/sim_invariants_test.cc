@@ -56,7 +56,7 @@ class SimInvariantsTest : public testing::TestWithParam<SimCase> {
     config.system = system;
     config.num_nodes = 2;
     config.containers_per_node = 3;
-    config.balancer.kind = BalancerKind::kHash;
+    config.placement.kind = BalancerKind::kHash;
     return config;
   }
 };
@@ -159,7 +159,7 @@ TEST(SimOrderingTest, OptimusNeverLosesToOpenWhiskAcrossSeeds) {
       config.system = system;
       config.num_nodes = 1;
       config.containers_per_node = 2;
-      config.balancer.kind = BalancerKind::kHash;
+      config.placement.kind = BalancerKind::kHash;
       service[i++] = RunSimulation(models, trace, config, costs).AvgServiceTime();
     }
     EXPECT_LE(service[1], service[0] + 1e-9) << "seed " << seed;

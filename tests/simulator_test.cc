@@ -22,7 +22,7 @@ class SimulatorTest : public testing::Test {
     // Fewer container slots than functions, so some requests always find
     // their model missing — the regime where the systems differ.
     config_.containers_per_node = 2;
-    config_.balancer.kind = BalancerKind::kHash;
+    config_.placement.kind = BalancerKind::kHash;
   }
 
   Trace SparseTrace() {
@@ -185,7 +185,7 @@ TEST_F(SimulatorTest, MultiNodePlacementRoutesAllRequests) {
   SimConfig config = config_;
   config.num_nodes = 2;
   config.system = SystemType::kOptimus;
-  config.balancer.kind = BalancerKind::kModelSharing;
+  config.placement.kind = BalancerKind::kModelSharing;
   const Trace trace = SparseTrace();
   const SimResult result = RunSimulation(models_, trace, config, costs_);
   EXPECT_EQ(result.records.size(), trace.size());

@@ -147,7 +147,8 @@ std::string PlatformFaultSpec(uint64_t seed) {
          ";transform.donor=prob:0.03@" + std::to_string(seed + 1) +
          ";loader.load=prob:0.04@" + std::to_string(seed + 2) +
          ";cache.plan=prob:0.10@" + std::to_string(seed + 3) +
-         ";cache.verify=prob:0.05@" + std::to_string(seed + 4);
+         ";cache.verify=prob:0.05@" + std::to_string(seed + 4) +
+         ";placement.rebalance=prob:0.50@" + std::to_string(seed + 8);
 }
 
 // Drives TryInvoke directly and reconciles platform counters against the
@@ -215,6 +216,17 @@ void RunPlatformPass(uint64_t seed, int requests, const Zoo& zoo,
       CHAOS_CHECK(violations.empty(), "seed %llu request %d: %s", (unsigned long long)seed, i,
                   violations.empty() ? "" : violations.front().c_str());
     }
+    // Periodic placement recomputes under the placement.rebalance fault: a
+    // failed recompute must leave the previous table serving (requests keep
+    // succeeding) and be charged to the failure counter reconciled below.
+    if (i % 20 == 19) {
+      const uint64_t version_before = platform.PlacementVersion();
+      if (!platform.RebalanceNow("manual")) {
+        CHAOS_CHECK(platform.PlacementVersion() == version_before,
+                    "seed %llu request %d: failed rebalance swapped the table",
+                    (unsigned long long)seed, i);
+      }
+    }
   }
 
   // Final integrity sweep: no container may be left half-transformed.
@@ -261,6 +273,12 @@ void RunPlatformPass(uint64_t seed, int requests, const Zoo& zoo,
   CHAOS_CHECK(unavailable <= load_fires,
               "seed %llu: %zu UNAVAILABLE errors but only %llu loader fires",
               (unsigned long long)seed, unavailable, (unsigned long long)load_fires);
+  // Every placement.rebalance fire is exactly one failed recompute, and every
+  // failed recompute traces back to a fire.
+  CHAOS_CHECK(platform.placement().RebalanceFailures() == fault::Fires("placement.rebalance"),
+              "seed %llu: %zu rebalance failures but %llu placement.rebalance fires",
+              (unsigned long long)seed, platform.placement().RebalanceFailures(),
+              (unsigned long long)fault::Fires("placement.rebalance"));
 
   CheckSpanAccounting("platform", seed, platform.traces());
 
