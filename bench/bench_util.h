@@ -4,7 +4,10 @@
 #ifndef OPTIMUS_BENCH_BENCH_UTIL_H_
 #define OPTIMUS_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -105,6 +108,105 @@ inline std::string JsonEscapeString(const std::string& text) {
   return escaped;
 }
 
+// BENCH_*.json schema version. scripts/bench_check.py refuses files whose
+// schema it does not understand, so bump this when the layout changes.
+//   optimus-bench/2: {"schema","git_sha","bench","series":[{name,labels,
+//                     count,mean,p50,p95,p99,max}]}
+inline constexpr const char kBenchSchema[] = "optimus-bench/2";
+
+// Git SHA stamped into every BENCH_*.json so a perf-trajectory artifact can
+// be traced back to the exact commit. CI exports OPTIMUS_GIT_SHA; local runs
+// without it record "unknown".
+inline std::string BenchGitSha() {
+  const char* sha = std::getenv("OPTIMUS_GIT_SHA");
+  return sha != nullptr && *sha != '\0' ? std::string(sha) : std::string("unknown");
+}
+
+inline void WriteBenchJsonHeader(std::ofstream& out, const std::string& bench_name) {
+  out << "{\"schema\":\"" << kBenchSchema << "\",\"git_sha\":\""
+      << JsonEscapeString(BenchGitSha()) << "\",\"bench\":\"" << JsonEscapeString(bench_name)
+      << "\",\"series\":[";
+}
+
+// One exact-sample metric series for DumpScalarSeries. The telemetry
+// histograms bucket logarithmically (≤25% relative width) — fine for serving
+// tails, too coarse for microbenchmark regressions — so micro benches record
+// raw samples and report exact order statistics.
+struct ScalarSeries {
+  std::string name;
+  telemetry::Labels labels;
+  std::vector<double> samples;
+};
+
+// Exact percentile (linear interpolation between order statistics).
+inline double ExactPercentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+inline void WriteSeriesEntry(std::ofstream& out, bool* first, const std::string& name,
+                             const telemetry::Labels& labels, unsigned long long count,
+                             double mean, double p50, double p95, double p99, double max) {
+  if (!*first) {
+    out << ",";
+  }
+  *first = false;
+  out << "{\"name\":\"" << JsonEscapeString(name) << "\",\"labels\":{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) {
+      out << ",";
+    }
+    out << "\"" << JsonEscapeString(labels[i].first) << "\":\""
+        << JsonEscapeString(labels[i].second) << "\"";
+  }
+  char stats[256];
+  std::snprintf(stats, sizeof(stats),
+                "},\"count\":%llu,\"mean\":%.9g,\"p50\":%.9g,\"p95\":%.9g,\"p99\":%.9g,"
+                "\"max\":%.9g}",
+                count, mean, p50, p95, p99, max);
+  out << stats;
+}
+
+// Dumps exact-sample scalar series into BENCH_<bench_name>.json (same
+// envelope as DumpRegistryPercentiles, but percentiles are computed from the
+// raw samples, not histogram buckets). Returns true when the file was written.
+inline bool DumpScalarSeries(const std::vector<ScalarSeries>& series,
+                             const std::string& bench_name) {
+  const std::string path = "BENCH_" + bench_name + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "DumpScalarSeries: cannot open %s\n", path.c_str());
+    return false;
+  }
+  WriteBenchJsonHeader(out, bench_name);
+  bool first = true;
+  for (const ScalarSeries& entry : series) {
+    if (entry.samples.empty()) {
+      continue;
+    }
+    std::vector<double> sorted = entry.samples;
+    std::sort(sorted.begin(), sorted.end());
+    double sum = 0.0;
+    for (const double sample : sorted) {
+      sum += sample;
+    }
+    WriteSeriesEntry(out, &first, entry.name, entry.labels,
+                     static_cast<unsigned long long>(sorted.size()),
+                     sum / static_cast<double>(sorted.size()), ExactPercentile(sorted, 0.5),
+                     ExactPercentile(sorted, 0.95), ExactPercentile(sorted, 0.99),
+                     sorted.back());
+  }
+  out << "]}\n";
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
 // Dumps every histogram series in `registry` — count, mean, p50/p95/p99, max —
 // into BENCH_<bench_name>.json, so the perf trajectory records tail latency,
 // not just means. Returns true when the file was written.
@@ -116,7 +218,7 @@ inline bool DumpRegistryPercentiles(const telemetry::MetricsRegistry& registry,
     std::fprintf(stderr, "DumpRegistryPercentiles: cannot open %s\n", path.c_str());
     return false;
   }
-  out << "{\"bench\":\"" << JsonEscapeString(bench_name) << "\",\"histograms\":[";
+  WriteBenchJsonHeader(out, bench_name);
   bool first = true;
   registry.VisitHistograms([&out, &first](const std::string& name,
                                           const telemetry::Labels& labels,
@@ -124,26 +226,9 @@ inline bool DumpRegistryPercentiles(const telemetry::MetricsRegistry& registry,
     if (snapshot.count == 0) {
       return;  // Unexercised series carry no signal.
     }
-    if (!first) {
-      out << ",";
-    }
-    first = false;
-    out << "{\"name\":\"" << JsonEscapeString(name) << "\",\"labels\":{";
-    for (size_t i = 0; i < labels.size(); ++i) {
-      if (i > 0) {
-        out << ",";
-      }
-      out << "\"" << JsonEscapeString(labels[i].first) << "\":\""
-          << JsonEscapeString(labels[i].second) << "\"";
-    }
-    char stats[256];
-    std::snprintf(stats, sizeof(stats),
-                  "},\"count\":%llu,\"mean\":%.9g,\"p50\":%.9g,\"p95\":%.9g,\"p99\":%.9g,"
-                  "\"max\":%.9g}",
-                  static_cast<unsigned long long>(snapshot.count), snapshot.Mean(),
-                  snapshot.Percentile(0.5), snapshot.Percentile(0.95), snapshot.Percentile(0.99),
-                  snapshot.max_seconds);
-    out << stats;
+    WriteSeriesEntry(out, &first, name, labels, static_cast<unsigned long long>(snapshot.count),
+                     snapshot.Mean(), snapshot.Percentile(0.5), snapshot.Percentile(0.95),
+                     snapshot.Percentile(0.99), snapshot.max_seconds);
   });
   out << "]}\n";
   std::printf("wrote %s\n", path.c_str());

@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate: compare BENCH_*.json medians against thresholds.
+
+Usage (what the CI perf job runs):
+
+    python3 scripts/bench_check.py BENCH_micro_ops.json BENCH_warm_parallel.json \
+        BENCH_placement.json
+
+Each input file is an artifact written by bench/bench_util.h's DumpScalarSeries /
+DumpRegistryPercentiles: {"schema": "optimus-bench/N", "bench": "<name>",
+"git_sha": "...", "series": [{"name", "labels", "count", "p50", ...}, ...]}.
+
+bench/thresholds.json holds the gates. Every check names a bench, a series,
+and a label set; the checker finds the matching series entry and requires
+`min <= entry[metric]` and/or `entry[metric] <= max`. A check whose bench was
+passed on the command line but whose series cannot be found is an error too —
+renaming a series must not silently disable its gate. Checks for benches NOT
+among the inputs are skipped (so the tool works on a single file locally).
+
+Exit status: 0 = all gates hold, 1 = at least one violation (or a malformed /
+unmatched input), 2 = usage error.
+
+Re-baselining (see also the "docs" block in bench/thresholds.json): when a
+deliberate change moves a number, run the affected bench with --smoke, inspect
+the new medians with `--print`, and update the bound keeping the headroom
+policy documented there. Never tighten a bound in the same PR that changes the
+code being measured — land the code change first, then ratchet.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+SCHEMA_PREFIX = "optimus-bench/"
+MIN_SCHEMA_VERSION = 2
+
+
+def load_artifact(path):
+    """Parses and validates one BENCH_*.json artifact."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    schema = data.get("schema", "")
+    if not schema.startswith(SCHEMA_PREFIX):
+        raise ValueError(f"{path}: unrecognized schema {schema!r} "
+                         f"(expected {SCHEMA_PREFIX}N)")
+    try:
+        version = int(schema[len(SCHEMA_PREFIX):])
+    except ValueError as error:
+        raise ValueError(f"{path}: malformed schema version in {schema!r}") from error
+    if version < MIN_SCHEMA_VERSION:
+        raise ValueError(f"{path}: schema version {version} predates the "
+                         f"git_sha/series format (need >= {MIN_SCHEMA_VERSION})")
+    for key in ("bench", "git_sha", "series"):
+        if key not in data:
+            raise ValueError(f"{path}: missing required key {key!r}")
+    if not isinstance(data["series"], list):
+        raise ValueError(f"{path}: 'series' must be a list")
+    return data
+
+
+def find_entry(artifact, series, labels):
+    """Returns the unique series entry matching name + exact label set."""
+    matches = [entry for entry in artifact["series"]
+               if entry.get("name") == series and entry.get("labels", {}) == labels]
+    if not matches:
+        return None
+    if len(matches) > 1:
+        raise ValueError(f"ambiguous: {len(matches)} entries match "
+                         f"{series} {labels}")
+    return matches[0]
+
+
+def format_labels(labels):
+    if not labels:
+        return "{}"
+    return "{" + ", ".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+
+
+def run_checks(artifacts, thresholds):
+    """Evaluates every applicable gate; returns (passes, violations)."""
+    passes, violations = [], []
+    for check in thresholds["checks"]:
+        bench = check["bench"]
+        if bench not in artifacts:
+            continue  # That bench was not run; local single-file use is fine.
+        artifact = artifacts[bench]
+        where = f"{bench}: {check['series']} {format_labels(check.get('labels', {}))}"
+        try:
+            entry = find_entry(artifact, check["series"], check.get("labels", {}))
+        except ValueError as error:
+            violations.append(f"{where}: {error}")
+            continue
+        if entry is None:
+            violations.append(f"{where}: series not found in artifact "
+                              "(renamed without updating bench/thresholds.json?)")
+            continue
+        metric = check.get("metric", "p50")
+        if metric not in entry:
+            violations.append(f"{where}: entry has no metric {metric!r}")
+            continue
+        value = entry[metric]
+        bounds = []
+        ok = True
+        if "min" in check:
+            bounds.append(f">= {check['min']}")
+            ok = ok and value >= check["min"]
+        if "max" in check:
+            bounds.append(f"<= {check['max']}")
+            ok = ok and value <= check["max"]
+        if not bounds:
+            violations.append(f"{where}: check has neither 'min' nor 'max'")
+            continue
+        line = f"{where}: {metric}={value:.6g} (want {' and '.join(bounds)})"
+        if ok:
+            passes.append(line)
+        else:
+            violations.append(line + f" -- {check.get('note', 'regression')}")
+    return passes, violations
+
+
+def print_medians(artifacts):
+    for bench, artifact in sorted(artifacts.items()):
+        print(f"== {bench} (git_sha={artifact['git_sha']}, "
+              f"schema={artifact['schema']})")
+        for entry in artifact["series"]:
+            print(f"  {entry['name']} {format_labels(entry.get('labels', {}))}: "
+                  f"p50={entry.get('p50', float('nan')):.6g} "
+                  f"count={entry.get('count', 0)}")
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("artifacts", nargs="+", metavar="BENCH_*.json",
+                        help="benchmark artifacts to check")
+    parser.add_argument("--thresholds",
+                        default=os.path.join(os.path.dirname(os.path.dirname(
+                            os.path.abspath(__file__))), "bench", "thresholds.json"),
+                        help="thresholds file (default: bench/thresholds.json "
+                             "next to this script)")
+    parser.add_argument("--print", dest="print_medians", action="store_true",
+                        help="print every series median (for re-baselining) "
+                             "instead of only the gated ones")
+    args = parser.parse_args(argv)
+
+    with open(args.thresholds, "r", encoding="utf-8") as handle:
+        thresholds = json.load(handle)
+    if "checks" not in thresholds:
+        print(f"error: {args.thresholds} has no 'checks' list", file=sys.stderr)
+        return 2
+
+    artifacts = {}
+    failed_load = False
+    for path in args.artifacts:
+        try:
+            artifact = load_artifact(path)
+        except (OSError, ValueError, json.JSONDecodeError) as error:
+            print(f"FAIL {error}", file=sys.stderr)
+            failed_load = True
+            continue
+        bench = artifact["bench"]
+        if bench in artifacts:
+            print(f"FAIL duplicate artifact for bench {bench!r}: {path}",
+                  file=sys.stderr)
+            failed_load = True
+            continue
+        artifacts[bench] = artifact
+
+    if args.print_medians:
+        print_medians(artifacts)
+
+    passes, violations = run_checks(artifacts, thresholds)
+    for line in passes:
+        print(f"PASS {line}")
+    for line in violations:
+        print(f"FAIL {line}", file=sys.stderr)
+    checked = {check["bench"] for check in thresholds["checks"]}
+    for bench in sorted(set(artifacts) - checked):
+        print(f"note: bench {bench!r} has no thresholds configured")
+
+    if violations or failed_load:
+        print(f"\n{len(violations)} gate violation(s). See bench/thresholds.json "
+              "for the re-baselining policy.", file=sys.stderr)
+        return 1
+    print(f"\nAll {len(passes)} benchmark gate(s) hold.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

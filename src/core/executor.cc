@@ -79,6 +79,7 @@ TransformExecutionStats ExecutePlan(ModelInstance* instance, const Model& dest,
   TransformExecutionStats stats;
   KindTimer timer(&stats, trace, plan);
   Model& source = instance->model;
+  TensorArena* const arena = instance->arena.get();
   if (!plan.source_name.empty() && plan.source_name != source.name()) {
     throw std::runtime_error("ExecutePlan: plan was computed for source '" + plan.source_name +
                              "' but the container holds '" + source.name() + "'");
@@ -105,8 +106,9 @@ TransformExecutionStats ExecutePlan(ModelInstance* instance, const Model& dest,
         op.attrs = dst_op.attrs;
         const std::vector<Shape> target_shapes = WeightShapesFor(op.kind, op.attrs);
         for (size_t i = 0; i < op.weights.size() && i < target_shapes.size(); ++i) {
-          if (op.weights[i].shape() != target_shapes[i]) {
-            op.weights[i] = ResizeToShape(op.weights[i], target_shapes[i]);
+          if (op.weights[i].shape() != target_shapes[i] &&
+              !ResizeToShapeInPlace(&op.weights[i], target_shapes[i])) {
+            op.weights[i] = ResizeToShape(op.weights[i], target_shapes[i], arena);
           }
         }
       });
@@ -114,11 +116,15 @@ TransformExecutionStats ExecutePlan(ModelInstance* instance, const Model& dest,
     if (OpKindHasWeights(op.kind) && !dst_op.weights.empty()) {
       fault::MaybeInject("executor.step");
       timer.Time(MetaOpKind::kReplace, src_id, dst_id, [&] {
-        if (op.weights.size() != dst_op.weights.size()) {
-          op.AllocateWeights();
-        }
-        for (size_t i = 0; i < op.weights.size(); ++i) {
-          OverwriteTensor(dst_op.weights[i], &op.weights[i]);
+        // Zero-copy Replace (DESIGN.md §14): deployed weights are immutable
+        // for the life of the process, so the container aliases the
+        // destination model's tensors instead of copying them — a pointer
+        // swap per weight. Any later in-place mutation refuses on the alias
+        // and falls back to a copy into the arena.
+        op.weights.clear();
+        op.weights.reserve(dst_op.weights.size());
+        for (const Tensor& weight : dst_op.weights) {
+          op.weights.push_back(Tensor::AliasOf(weight));
         }
       });
     }
@@ -144,7 +150,9 @@ TransformExecutionStats ExecutePlan(ModelInstance* instance, const Model& dest,
       op.attrs = dst_op.attrs;
       op.weights.reserve(dst_op.weights.size());
       for (const Tensor& weight : dst_op.weights) {
-        op.weights.push_back(CopyTensor(weight));
+        // Same zero-copy rationale as Replace: new ops alias the deployed
+        // model's immutable weights.
+        op.weights.push_back(Tensor::AliasOf(weight));
       }
       result.AddOpWithId(std::move(op));
     });

@@ -43,20 +43,26 @@ bool NodePool::LockedNode::HasIdleContainer(double now, double idle_threshold) c
 
 void NodePool::LockedNode::ReapExpired(double now, double keep_alive) {
   auto& containers = node_->containers;
-  containers.erase(std::remove_if(containers.begin(), containers.end(),
-                                  [&](const RealContainer& container) {
-                                    return now - container.last_active >= keep_alive;
-                                  }),
-                   containers.end());
+  for (auto it = containers.begin(); it != containers.end();) {
+    if (now - it->last_active >= keep_alive) {
+      RecycleArena(std::move(it->instance.arena));
+      it = containers.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void NodePool::LockedNode::RemoveById(ContainerId id) {
   auto& containers = node_->containers;
-  containers.erase(std::remove_if(containers.begin(), containers.end(),
-                                  [&](const RealContainer& container) {
-                                    return container.id == id;
-                                  }),
-                   containers.end());
+  for (auto it = containers.begin(); it != containers.end();) {
+    if (it->id == id) {
+      RecycleArena(std::move(it->instance.arena));
+      it = containers.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void NodePool::LockedNode::EvictLeastRecentlyActive() {
@@ -68,7 +74,26 @@ void NodePool::LockedNode::EvictLeastRecentlyActive() {
                                        [](const RealContainer& a, const RealContainer& b) {
                                          return a.last_active < b.last_active;
                                        });
+  RecycleArena(std::move(victim->instance.arena));
   containers.erase(victim);
+}
+
+std::shared_ptr<TensorArena> NodePool::LockedNode::AcquireArena() {
+  auto& spares = node_->spare_arenas;
+  if (!spares.empty()) {
+    std::shared_ptr<TensorArena> arena = std::move(spares.back());
+    spares.pop_back();
+    arena->Reset();
+    return arena;
+  }
+  return std::make_shared<TensorArena>();
+}
+
+void NodePool::LockedNode::RecycleArena(std::shared_ptr<TensorArena> arena) {
+  if (arena == nullptr || static_cast<int>(node_->spare_arenas.size()) >= capacity_) {
+    return;
+  }
+  node_->spare_arenas.push_back(std::move(arena));
 }
 
 RealContainer* NodePool::LockedNode::Adopt(RealContainer&& container) {

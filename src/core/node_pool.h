@@ -39,6 +39,9 @@ class NodePool {
   struct Node {
     std::mutex mutex;
     std::vector<RealContainer> containers;
+    // Arenas recycled from dead containers, awaiting the next cold start on
+    // this node (DESIGN.md §14). Bounded by the node's container capacity.
+    std::vector<std::shared_ptr<TensorArena>> spare_arenas;
   };
 
  public:
@@ -66,6 +69,15 @@ class NodePool {
     void EvictLeastRecentlyActive();
     RealContainer* Adopt(RealContainer&& container);
 
+    // Hands out a tensor arena for a container about to cold-start on this
+    // node: a recycled (Reset) spare when one exists, a fresh one otherwise.
+    // Every container-removal path above banks the dead container's arena as
+    // a spare, so steady-state churn stops allocating slabs altogether.
+    std::shared_ptr<TensorArena> AcquireArena();
+
+    // Spares currently banked on this node (observability / tests).
+    size_t SpareArenas() const { return node_->spare_arenas.size(); }
+
     // Explicitly releases the node (the destructor also does); the view must
     // not be used afterwards.
     void Release() { lock_.unlock(); }
@@ -74,6 +86,10 @@ class NodePool {
     friend class NodePool;
     LockedNode(std::unique_lock<std::mutex> lock, Node* node, int index, int capacity)
         : lock_(std::move(lock)), node_(node), index_(index), capacity_(capacity) {}
+
+    // Banks a dying container's arena for reuse (dropped once the node
+    // already holds capacity_ spares).
+    void RecycleArena(std::shared_ptr<TensorArena> arena);
 
     std::unique_lock<std::mutex> lock_;
     Node* node_;

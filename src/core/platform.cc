@@ -31,6 +31,8 @@ OptimusPlatform::OptimusPlatform(const CostModel* costs, const PlatformOptions& 
                                            "Donor candidates skipped because Decide threw")),
       failed_invokes_(metrics_.GetCounter("optimus_failed_invokes_total", {},
                                           "TryInvoke calls that returned a non-OK status")),
+      warm_batches_(metrics_.GetCounter("optimus_warm_batches_total", {},
+                                        "Batches served fully warm under one node lock")),
       invoke_seconds_warm_(metrics_.GetHistogram("optimus_invoke_seconds", {{"start", "warm"}},
                                                  "End-to-end invoke wall seconds by start type")),
       invoke_seconds_transform_(
@@ -43,7 +45,9 @@ OptimusPlatform::OptimusPlatform(const CostModel* costs, const PlatformOptions& 
       transform_seconds_(metrics_.GetHistogram("optimus_phase_seconds", {{"phase", "transform"}},
                                                "Wall seconds spent per invoke-path phase")),
       inference_seconds_(metrics_.GetHistogram("optimus_phase_seconds", {{"phase", "inference"}},
-                                               "Wall seconds spent per invoke-path phase")) {
+                                               "Wall seconds spent per invoke-path phase")),
+      batch_size_(metrics_.GetHistogram("optimus_batch_size", {},
+                                        "Requests per TryInvokeBatch dispatch")) {
   if (options.num_nodes < 1 || options.containers_per_node < 1) {
     throw std::invalid_argument("OptimusPlatform: need at least one node and one container");
   }
@@ -257,6 +261,93 @@ InvokeResult OptimusPlatform::Invoke(const std::string& function,
   return result;
 }
 
+std::vector<Status> OptimusPlatform::TryInvokeBatch(
+    const std::string& function, const std::vector<const std::vector<float>*>& inputs, double now,
+    std::vector<InvokeResult>* results, const std::vector<telemetry::TraceContext*>* traces) {
+  results->assign(inputs.size(), InvokeResult{});
+  std::vector<Status> statuses(inputs.size(), Status::Ok());
+  if (inputs.empty()) {
+    return statuses;
+  }
+  batch_size_.Observe(static_cast<double>(inputs.size()));
+  now = AdvanceClock(now);
+  const auto trace_for = [&](size_t i) -> telemetry::TraceContext* {
+    return traces != nullptr && i < traces->size() ? (*traces)[i] : nullptr;
+  };
+
+  const Model* model_ptr = nullptr;
+  telemetry::Histogram* function_seconds = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> lock(repository_mutex_);
+    auto model_it = repository_.find(function);
+    if (model_it == repository_.end()) {
+      failed_invokes_.Inc(inputs.size());
+      for (Status& status : statuses) {
+        status = Status(ErrorCode::kNotFound, "Invoke: unknown function " + function);
+      }
+      return statuses;
+    }
+    model_ptr = &model_it->second.model;
+    function_seconds = model_it->second.invoke_seconds;
+  }
+
+  // Warm fast path: one route, one node lock, the whole batch drained against
+  // the resident container. Any miss (not warm on the primary) falls through
+  // to the exact per-request path below — batching never changes which start
+  // type a request gets, only how many locks a warm run costs.
+  {
+    const SystemProfile profile;
+    const int primary = placement_->Route(function);
+    NodePool::LockedNode node = pool_->Lock(primary);
+    node.ReapExpired(now, options_.keep_alive);
+    RealContainer* warm = node.FindWarm(function);
+    if (warm != nullptr) {
+      warm->last_active = now;
+      const double inference_estimate = profile.InferenceCost(*model_ptr);
+      for (size_t i = 0; i < inputs.size(); ++i) {
+        const uint64_t invoke_start_ns = telemetry::MonotonicNanos();
+        telemetry::TraceContext* trace = trace_for(i);
+        telemetry::ScopedSpan invoke_span(trace, "invoke", "platform");
+        InvokeResult& result = (*results)[i];
+        result.node = primary;
+        result.start = StartType::kWarm;
+        result.estimated_latency = inference_estimate;
+        try {
+          telemetry::ScopedSpan inference_span(trace, "inference", "inference");
+          const uint64_t inference_start_ns = telemetry::MonotonicNanos();
+          result.output = RunInference(warm->instance, *inputs[i]);
+          inference_seconds_.Observe(
+              static_cast<double>(telemetry::MonotonicNanos() - inference_start_ns) * 1e-9);
+        } catch (const std::exception& error) {
+          failed_invokes_.Inc();
+          statuses[i] = Status(ErrorCode::kInternal, error.what());
+          continue;
+        }
+        const double invoke_seconds =
+            static_cast<double>(telemetry::MonotonicNanos() - invoke_start_ns) * 1e-9;
+        warm_starts_.Inc();
+        invoke_seconds_warm_.Observe(invoke_seconds);
+        if (function_seconds != nullptr) {
+          function_seconds->Observe(invoke_seconds);
+        }
+        invoke_span.Arg("start", static_cast<double>(StartType::kWarm));
+      }
+      warm_batches_.Inc();
+      if (placement_->RebalanceDue(now)) {
+        RequestRebalance();
+      }
+      return statuses;
+    }
+  }
+
+  // Miss: per-request path. The first request cold-starts (or transforms)
+  // the container; subsequent batches for this function take the fast path.
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    statuses[i] = TryInvoke(function, *inputs[i], now, &(*results)[i], trace_for(i));
+  }
+  return statuses;
+}
+
 InvokeResult OptimusPlatform::InvokeInternal(const std::string& function,
                                              const std::vector<float>& input, double now,
                                              telemetry::TraceContext* trace) {
@@ -398,8 +489,10 @@ InvokeResult OptimusPlatform::InvokeInternal(const std::string& function,
     container.id = pool_->AllocateId();
     container.function = function;
     try {
+      // The weight arena comes from the node's spare pool (recycled from dead
+      // containers) so steady-state churn reuses slabs instead of allocating.
       container.instance = loader_.Instantiate(model, /*weight_seed=*/1, /*breakdown=*/nullptr,
-                                               trace);
+                                               trace, node.AcquireArena());
     } catch (const std::exception& error) {
       // The scratch load is the path of last resort; classify its failure as
       // retryable — nothing about the request itself is wrong.

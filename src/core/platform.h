@@ -181,6 +181,20 @@ class OptimusPlatform {
   InvokeResult Invoke(const std::string& function, const std::vector<float>& input, double now,
                       telemetry::TraceContext* trace = nullptr);
 
+  // Serves a batch of requests for ONE function. When the function is warm on
+  // its primary node the whole batch runs under a single routing decision and
+  // a single node-lock acquisition — the gateway's batcher amortizes the
+  // per-request locking that dominates small-model warm invokes. Otherwise
+  // every request falls back to the exact per-request TryInvoke path (the
+  // first one cold-starts or transforms; later batches hit the warm path).
+  // `results` is resized to match `inputs`; the returned statuses align with
+  // it. `traces` may be null or supply one (possibly null) context per input.
+  // Never throws: per-request failures land in the per-request status.
+  std::vector<Status> TryInvokeBatch(const std::string& function,
+                                     const std::vector<const std::vector<float>*>& inputs,
+                                     double now, std::vector<InvokeResult>* results,
+                                     const std::vector<telemetry::TraceContext*>* traces = nullptr);
+
   // Operational introspection.
   size_t NumFunctions() const;
   size_t NumLiveContainers() const;
@@ -266,12 +280,14 @@ class OptimusPlatform {
   telemetry::Counter& transform_fallbacks_;
   telemetry::Counter& decide_failures_;
   telemetry::Counter& failed_invokes_;
+  telemetry::Counter& warm_batches_;
   telemetry::Histogram& invoke_seconds_warm_;
   telemetry::Histogram& invoke_seconds_transform_;
   telemetry::Histogram& invoke_seconds_cold_;
   telemetry::Histogram& decide_seconds_;
   telemetry::Histogram& transform_seconds_;
   telemetry::Histogram& inference_seconds_;
+  telemetry::Histogram& batch_size_;
 };
 
 }  // namespace optimus

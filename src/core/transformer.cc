@@ -24,6 +24,8 @@ Transformer::Transformer(const CostModel* costs, PlannerKind planner,
   }
   transform_drift_ = &metrics->GetHistogram("optimus_cost_drift_ratio", {{"phase", "transform"}},
                                             "Actual wall seconds / cost-model prediction");
+  arena_repacks_ = &metrics->GetCounter("optimus_arena_repacks_total", {},
+                                        "Post-transform arena compactions");
   predicted_seconds_ = &metrics->GetGauge("optimus_cost_predicted_seconds",
                                           {{"phase", "transform"}},
                                           "Accumulated cost-model predictions");
@@ -82,13 +84,22 @@ TransformOutcome Transformer::TransformOrLoad(ModelInstance* instance, const Mod
       const TransformPlan& plan = cache_.GetOrPlan(instance->model, dest, trace);
       outcome.execution = ExecutePlan(instance, dest, plan, trace);
       RecordExecution(plan, outcome.execution);
+      // Bump allocation strands the pre-transform weights in the arena;
+      // compact once the dead bytes dominate the live set.
+      if (instance->MaybeRepack() && arena_repacks_ != nullptr) {
+        arena_repacks_->Inc();
+      }
     } catch (...) {
       cache_.ReportExecutionFailure(source_name, dest.name());
       throw;
     }
   } else {
     // Safeguard: load the destination from scratch, as traditional systems do.
-    *instance = loader_.Instantiate(dest, /*weight_seed=*/1, /*breakdown=*/nullptr, trace);
+    // The container's arena survives the reload: Instantiate resets it and the
+    // old model's views are only ever overwritten, never read, before the
+    // assignment destroys them.
+    *instance =
+        loader_.Instantiate(dest, /*weight_seed=*/1, /*breakdown=*/nullptr, trace, instance->arena);
   }
   return outcome;
 }

@@ -85,6 +85,7 @@ class Transformer {
   std::array<telemetry::Histogram*, kNumMetaOpKinds> meta_op_seconds_{};
   std::array<telemetry::Histogram*, kNumMetaOpKinds> meta_op_drift_{};
   telemetry::Histogram* transform_drift_ = nullptr;
+  telemetry::Counter* arena_repacks_ = nullptr;
   telemetry::Gauge* predicted_seconds_ = nullptr;
   telemetry::Gauge* actual_seconds_ = nullptr;
 };

@@ -42,9 +42,14 @@
 #define OPTIMUS_SRC_GATEWAY_SERVICE_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <vector>
 
 #include "src/common/rng.h"
 #include "src/core/platform.h"
@@ -66,6 +71,10 @@ struct GatewayOptions {
   int max_inflight_invokes = 64;
   // Delay injected when the "gateway.slow" fault point fires.
   double slow_fault_delay = 0.05;
+  // Requests for the same function coalesced into one platform dispatch
+  // (leader/follower batching — see "Request batching" below); 1 disables
+  // batching and restores the per-request TryInvoke path.
+  int max_batch_size = 8;
 };
 
 class OptimusHttpService {
@@ -101,11 +110,33 @@ class OptimusHttpService {
   HttpResponse Handle(const HttpRequest& request);
 
  private:
+  // Request batching (DESIGN.md §14): one gateway worker per function becomes
+  // the *leader* and drains up to max_batch_size queued requests into a single
+  // OptimusPlatform::TryInvokeBatch dispatch; the others (*followers*) park on
+  // a condition variable until the leader posts their result. Requests are
+  // served strictly in arrival order, so a request waits at most
+  // ceil(queue position / max_batch_size) dispatches — the fairness bound.
+  struct PendingInvoke {
+    const std::vector<float>* input = nullptr;
+    telemetry::TraceContext* trace = nullptr;
+    Status status;
+    InvokeResult result;
+    bool done = false;
+  };
+  struct FunctionQueue {
+    std::deque<PendingInvoke*> waiting;
+    bool leader_active = false;
+  };
+
   HttpResponse HandleDeploy(const HttpRequest& request);
   HttpResponse HandleInvoke(const HttpRequest& request);
   // The shed-checked, deadline-bounded retry loop; `trace` may be null.
   HttpResponse InvokeWithRetries(const std::string& function, const std::vector<float>& input,
                                  double deadline, telemetry::TraceContext* trace);
+  // One batched invocation attempt: enqueue, then either lead a dispatch or
+  // wait for a leader. Never throws; failures come back as the status.
+  Status InvokeBatched(const std::string& function, const std::vector<float>& input,
+                       telemetry::TraceContext* trace, InvokeResult* result);
   HttpResponse HandleMetrics();
   HttpResponse HandleTrace();
   double JitterFactor();  // Deterministic in [1, 2).
@@ -124,6 +155,13 @@ class OptimusHttpService {
   telemetry::Gauge& functions_gauge_;
   std::mutex jitter_mutex_;
   Rng jitter_rng_;
+  // Batcher state: per-function pending queues under one gateway-wide mutex
+  // (held only for queue bookkeeping, never across a platform dispatch).
+  // Queues are shared_ptr so a drained entry can be erased from the map while
+  // just-completed waiters still hold their reference.
+  std::mutex batch_mutex_;
+  std::condition_variable batch_cv_;
+  std::map<std::string, std::shared_ptr<FunctionQueue>> batch_queues_;
 };
 
 }  // namespace optimus

@@ -11,8 +11,17 @@ void Operation::AllocateWeights() {
   }
 }
 
-void Operation::InitializeWeights(Rng* rng) {
-  AllocateWeights();
+void Operation::AllocateWeightsIn(TensorArena* arena) {
+  weights.clear();
+  for (const Shape& shape : WeightShapesFor(kind, attrs)) {
+    weights.push_back(Tensor::Uninitialized(shape, arena));
+  }
+}
+
+void Operation::InitializeWeights(Rng* rng) { InitializeWeights(rng, nullptr); }
+
+void Operation::InitializeWeights(Rng* rng, TensorArena* arena) {
+  AllocateWeightsIn(arena);
   for (Tensor& weight : weights) {
     weight.FillRandom(rng);
   }

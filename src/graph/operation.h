@@ -28,8 +28,17 @@ struct Operation {
   // Allocates zero weights matching (kind, attrs).
   void AllocateWeights();
 
+  // Allocates UNINITIALIZED weights matching (kind, attrs) from `arena` (heap
+  // when null). The caller must overwrite every element before reading — this
+  // is the Replace meta-operator's allocation path, where the subsequent
+  // OverwriteTensor covers the whole buffer.
+  void AllocateWeightsIn(TensorArena* arena);
+
   // Allocates weights and fills them with deterministic pseudo-random values.
   void InitializeWeights(Rng* rng);
+
+  // Same, with storage drawn from `arena` (heap when null).
+  void InitializeWeights(Rng* rng, TensorArena* arena);
 
   int64_t WeightElements() const;
   int64_t WeightBytes() const;

@@ -7,7 +7,7 @@ namespace optimus {
 
 namespace {
 
-void MaterializeWeights(Model* model, uint64_t weight_seed) {
+void MaterializeWeights(Model* model, uint64_t weight_seed, TensorArena* arena = nullptr) {
   Rng rng(weight_seed);
   for (const OpId id : model->OpIds()) {
     Operation& op = model->mutable_op(id);
@@ -15,12 +15,70 @@ void MaterializeWeights(Model* model, uint64_t weight_seed) {
       continue;
     }
     if (op.weights.empty()) {
-      op.InitializeWeights(&rng);
+      op.InitializeWeights(&rng, arena);
+    } else if (arena != nullptr) {
+      // The structure copy deep-copied pre-existing weights to the heap;
+      // migrate them into the container's arena.
+      for (Tensor& weight : op.weights) {
+        weight.MoveTo(arena);
+      }
     }
   }
 }
 
 }  // namespace
+
+double ModelInstance::ArenaWasteFactor() const {
+  if (arena == nullptr) {
+    return 1.0;
+  }
+  // Only arena-resident weights count as live: aliased views (zero-copy
+  // Replace) and heap tensors occupy no arena bytes, so comparing against the
+  // full model size would mask a slab full of dead Reshape outputs.
+  int64_t live = 0;
+  for (const OpId id : model.OpIds()) {
+    for (const Tensor& weight : model.op(id).weights) {
+      if (weight.arena_backed() && arena->Owns(weight.data())) {
+        live += weight.SizeBytes();
+      }
+    }
+  }
+  if (live <= 0) {
+    return arena->bytes_used() > 0 ? static_cast<double>(arena->bytes_used()) : 1.0;
+  }
+  return static_cast<double>(arena->bytes_used()) / static_cast<double>(live);
+}
+
+bool ModelInstance::MaybeRepack(double waste_factor) {
+  if (arena == nullptr || ArenaWasteFactor() <= waste_factor) {
+    return false;
+  }
+  Repack();
+  return true;
+}
+
+void ModelInstance::Repack() {
+  if (arena == nullptr) {
+    return;
+  }
+  for (const OpId id : model.OpIds()) {
+    for (Tensor& weight : model.mutable_op(id).weights) {
+      // Aliased views cost the arena nothing — repacking them would copy the
+      // repository's weights into the slab for no benefit.
+      if (!weight.aliased()) {
+        weight.Detach();
+      }
+    }
+  }
+  arena->Reset();
+  for (const OpId id : model.OpIds()) {
+    for (Tensor& weight : model.mutable_op(id).weights) {
+      if (!weight.aliased()) {
+        weight.MoveTo(arena.get());
+      }
+    }
+  }
+}
 
 void Loader::set_metrics(telemetry::MetricsRegistry* metrics) {
   if (metrics == nullptr) {
@@ -99,13 +157,17 @@ ModelInstance Loader::LoadFromFile(const ModelFile& file, uint64_t weight_seed,
 }
 
 ModelInstance Loader::Instantiate(const Model& structure, uint64_t weight_seed,
-                                  LoadBreakdown* breakdown,
-                                  telemetry::TraceContext* trace) const {
+                                  LoadBreakdown* breakdown, telemetry::TraceContext* trace,
+                                  std::shared_ptr<TensorArena> arena) const {
   const uint64_t start_ns = telemetry::MonotonicNanos();
   fault::MaybeInject("loader.load");
   ModelInstance instance;
+  instance.arena = std::move(arena);
+  if (instance.arena != nullptr) {
+    instance.arena->Reset();
+  }
   instance.model = structure;
-  MaterializeWeights(&instance.model, weight_seed);
+  MaterializeWeights(&instance.model, weight_seed, instance.arena.get());
   instance.model.Validate();
   if (breakdown != nullptr) {
     *breakdown = cost_model_->ModelLoadBreakdown(instance.model);

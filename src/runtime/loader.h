@@ -5,20 +5,43 @@
 #define OPTIMUS_SRC_RUNTIME_LOADER_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "src/graph/model.h"
 #include "src/graph/serialization.h"
 #include "src/runtime/cost_model.h"
+#include "src/tensor/arena.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/trace.h"
 
 namespace optimus {
 
 // A model materialized inside a container's runtime, with weights resident.
+//
+// When `arena` is set, weight tensors are zero-copy views into it and the
+// arena is the container-lifetime allocation pool (DESIGN.md §14): repeated
+// transforms bump-allocate from it, and Repack() reclaims the dead space they
+// strand. `arena` must outlive `model` — it is declared first so the members
+// destroy in a safe order, and shared so NodePool can recycle it after the
+// instance dies.
 struct ModelInstance {
+  std::shared_ptr<TensorArena> arena;
   Model model;
 
   bool Loaded() const { return model.NumOps() > 0; }
+
+  // Bytes the arena has handed out versus bytes the live weights actually
+  // need. 1.0 = no waste; grows as transforms strand old allocations.
+  double ArenaWasteFactor() const;
+
+  // Repacks when the arena's used bytes exceed `waste_factor` times the live
+  // weight bytes. Returns true if a repack ran. Called after transforms, when
+  // no other views into the arena exist.
+  bool MaybeRepack(double waste_factor = 4.0);
+
+  // Copies every weight out to the heap, resets the arena, and moves the
+  // weights back in — compacting the arena to exactly the live set.
+  void Repack();
 };
 
 // Loads models into instances, performing the real work (parse, graph
@@ -48,10 +71,15 @@ class Loader {
                              telemetry::TraceContext* trace = nullptr) const;
 
   // Materializes a structure-only model (as produced by the zoo builders)
-  // with deterministic weights — the "load from scratch" path.
+  // with deterministic weights — the "load from scratch" path. When `arena`
+  // is non-null it is Reset() and becomes the instance's weight storage, so
+  // the caller must guarantee no other live views into it (the platform only
+  // passes a container's own arena, whose old views die with the returned
+  // assignment).
   ModelInstance Instantiate(const Model& structure, uint64_t weight_seed = 1,
                             LoadBreakdown* breakdown = nullptr,
-                            telemetry::TraceContext* trace = nullptr) const;
+                            telemetry::TraceContext* trace = nullptr,
+                            std::shared_ptr<TensorArena> arena = nullptr) const;
 
   const CostModel& cost_model() const { return *cost_model_; }
 

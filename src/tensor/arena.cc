@@ -1,0 +1,90 @@
+#include "src/tensor/arena.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace optimus {
+
+namespace {
+
+// 64 bytes = 16 floats: one cache line, and wide enough for any vector ISA
+// the compiler may target.
+constexpr int64_t kAlignElements = 16;
+
+int64_t AlignUp(int64_t elements) {
+  return (elements + kAlignElements - 1) / kAlignElements * kAlignElements;
+}
+
+}  // namespace
+
+TensorArena::TensorArena(int64_t slab_elements) : slab_elements_(slab_elements) {
+  if (slab_elements < kAlignElements) {
+    throw std::invalid_argument("TensorArena: slab_elements must be at least 16");
+  }
+}
+
+TensorArena::Slab& TensorArena::AddSlab(int64_t min_elements) {
+  Slab slab;
+  slab.capacity = min_elements > slab_elements_ ? AlignUp(min_elements) : slab_elements_;
+  // Value-less new[]: the slab starts uninitialized by design. operator new
+  // only guarantees 16-byte alignment, so over-allocate one alignment unit
+  // and round the base up to the promised 64-byte boundary.
+  slab.data =
+      std::unique_ptr<float[]>(new float[static_cast<size_t>(slab.capacity + kAlignElements)]);
+  const uintptr_t raw = reinterpret_cast<uintptr_t>(slab.data.get());
+  const uintptr_t boundary = kAlignElements * sizeof(float);
+  slab.base = reinterpret_cast<float*>((raw + boundary - 1) / boundary * boundary);
+  elements_reserved_ += slab.capacity;
+  slabs_.push_back(std::move(slab));
+  return slabs_.back();
+}
+
+float* TensorArena::Allocate(int64_t elements) {
+  if (elements < 0) {
+    throw std::invalid_argument("TensorArena::Allocate: negative element count");
+  }
+  const int64_t need = AlignUp(elements);
+  while (active_slab_ < slabs_.size()) {
+    Slab& slab = slabs_[active_slab_];
+    if (slab.capacity - slab.used >= need) {
+      float* out = slab.base + slab.used;
+      slab.used += need;
+      elements_used_ += need;
+      return out;
+    }
+    // The remaining tail is too small; move on (waste bounded by one
+    // allocation per slab, reclaimed at the next Reset).
+    ++active_slab_;
+  }
+  Slab& slab = AddSlab(need);
+  float* out = slab.base;
+  slab.used = need;
+  elements_used_ += need;
+  return out;
+}
+
+float* TensorArena::AllocateZeroed(int64_t elements) {
+  float* out = Allocate(elements);
+  std::memset(out, 0, static_cast<size_t>(elements) * sizeof(float));
+  return out;
+}
+
+void TensorArena::Reset() {
+  for (Slab& slab : slabs_) {
+    slab.used = 0;
+  }
+  active_slab_ = 0;
+  elements_used_ = 0;
+  ++generation_;
+}
+
+bool TensorArena::Owns(const float* ptr) const {
+  for (const Slab& slab : slabs_) {
+    if (ptr >= slab.base && ptr < slab.base + slab.capacity) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace optimus

@@ -1,0 +1,96 @@
+// TensorArena — a slab/bump allocator backing zero-copy tensor storage.
+//
+// The five meta-operators move real weight bytes; with plain heap-owned
+// tensors every scratch load and every Reshape/Add allocates (and
+// zero-initializes) fresh vectors, so transformation speed is bounded by
+// allocator churn rather than memory bandwidth. An arena pre-reserves large
+// slabs once, hands out 64-byte-aligned uninitialized runs with a pointer
+// bump, and recycles the whole reservation with Reset() when the owning
+// container turns over — no per-tensor free, no zero-fill unless asked.
+//
+// Ownership and lifetime rules (DESIGN.md §14):
+//   * Arena-backed Tensors are views: pointer + shape into arena memory. They
+//     must not outlive the arena, and Reset() invalidates every outstanding
+//     view (generation() lets tests assert this).
+//   * An arena serves one container and is only touched under that
+//     container's node lock — it is deliberately NOT thread-safe.
+//   * Allocation never fails into a half state: an oversized request gets a
+//     dedicated slab; std::bad_alloc propagates before any bookkeeping moves.
+
+#ifndef OPTIMUS_SRC_TENSOR_ARENA_H_
+#define OPTIMUS_SRC_TENSOR_ARENA_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace optimus {
+
+class TensorArena {
+ public:
+  // Default slab: 4 MiB of float32 — large enough that a BERT-size op's
+  // weights rarely straddle slabs, small enough to keep idle containers lean.
+  static constexpr int64_t kDefaultSlabElements = int64_t{1} << 20;
+
+  explicit TensorArena(int64_t slab_elements = kDefaultSlabElements);
+
+  // Views hold raw pointers into the slabs, so the arena must stay put.
+  TensorArena(const TensorArena&) = delete;
+  TensorArena& operator=(const TensorArena&) = delete;
+
+  // Returns a 64-byte-aligned run of `elements` floats. The memory is
+  // UNINITIALIZED — callers either overwrite it fully (Replace, FillRandom)
+  // or use AllocateZeroed. `elements` may be 0 (returns a valid pointer).
+  float* Allocate(int64_t elements);
+
+  // Allocate + memset to 0.0f.
+  float* AllocateZeroed(int64_t elements);
+
+  // Recycles every slab for reuse and bumps the generation. Invalidates all
+  // outstanding views — callers must guarantee none are live (the platform
+  // only resets between container generations).
+  void Reset();
+
+  // Floats handed out since the last Reset (includes alignment padding).
+  int64_t elements_used() const { return elements_used_; }
+  int64_t bytes_used() const { return elements_used_ * static_cast<int64_t>(sizeof(float)); }
+
+  // Total reserved capacity across slabs.
+  int64_t elements_reserved() const { return elements_reserved_; }
+  int64_t bytes_reserved() const {
+    return elements_reserved_ * static_cast<int64_t>(sizeof(float));
+  }
+
+  size_t num_slabs() const { return slabs_.size(); }
+
+  // Incremented by every Reset; tests use it to pin view invalidation.
+  uint64_t generation() const { return generation_; }
+
+  // True when `ptr` points into this arena's current reservation — the
+  // aliasing oracle behind the view-vs-copy tests.
+  bool Owns(const float* ptr) const;
+
+ private:
+  struct Slab {
+    std::unique_ptr<float[]> data;  // Raw allocation (capacity + padding).
+    float* base = nullptr;          // First 64-byte-aligned element of data.
+    int64_t capacity = 0;           // Elements usable from base.
+    int64_t used = 0;               // Elements handed out from this slab.
+  };
+
+  // Adds a slab of at least `min_elements` (rounded up to slab_elements_).
+  Slab& AddSlab(int64_t min_elements);
+
+  int64_t slab_elements_;
+  int64_t elements_used_ = 0;
+  int64_t elements_reserved_ = 0;
+  uint64_t generation_ = 0;
+  std::vector<Slab> slabs_;
+  // Index of the slab currently being bumped; slabs before it may retain
+  // unusable tails (bounded by one allocation each).
+  size_t active_slab_ = 0;
+};
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_TENSOR_ARENA_H_

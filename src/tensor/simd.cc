@@ -1,0 +1,85 @@
+#include "src/tensor/simd.h"
+
+#include <cstring>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace optimus {
+namespace simd {
+
+namespace {
+
+inline bool Aligned16(const void* ptr) {
+  return (reinterpret_cast<uintptr_t>(ptr) & 0xF) == 0;
+}
+
+}  // namespace
+
+bool UsesStreamingStores(const float* dst, int64_t count) {
+#if defined(__SSE2__)
+  return count >= kStreamingMinElements && Aligned16(dst);
+#else
+  (void)dst;
+  (void)count;
+  return false;
+#endif
+}
+
+void CopyFloats(float* dst, const float* src, int64_t count) {
+#if defined(__SSE2__)
+  if (UsesStreamingStores(dst, count)) {
+    // Four 16-byte stores per iteration; the tail (< 16 floats) goes through
+    // memcpy after the fence.
+    const int64_t vec = count & ~int64_t{15};
+    int64_t i = 0;
+    if (Aligned16(src)) {
+      for (; i < vec; i += 16) {
+        _mm_stream_ps(dst + i, _mm_load_ps(src + i));
+        _mm_stream_ps(dst + i + 4, _mm_load_ps(src + i + 4));
+        _mm_stream_ps(dst + i + 8, _mm_load_ps(src + i + 8));
+        _mm_stream_ps(dst + i + 12, _mm_load_ps(src + i + 12));
+      }
+    } else {
+      for (; i < vec; i += 16) {
+        _mm_stream_ps(dst + i, _mm_loadu_ps(src + i));
+        _mm_stream_ps(dst + i + 4, _mm_loadu_ps(src + i + 4));
+        _mm_stream_ps(dst + i + 8, _mm_loadu_ps(src + i + 8));
+        _mm_stream_ps(dst + i + 12, _mm_loadu_ps(src + i + 12));
+      }
+    }
+    // Order the streaming stores before any subsequent load of the buffer.
+    _mm_sfence();
+    if (count > vec) {
+      std::memcpy(dst + vec, src + vec, static_cast<size_t>(count - vec) * sizeof(float));
+    }
+    return;
+  }
+#endif
+  std::memcpy(dst, src, static_cast<size_t>(count) * sizeof(float));
+}
+
+void ZeroFloats(float* dst, int64_t count) {
+#if defined(__SSE2__)
+  if (UsesStreamingStores(dst, count)) {
+    const __m128 zero = _mm_setzero_ps();
+    const int64_t vec = count & ~int64_t{15};
+    for (int64_t i = 0; i < vec; i += 16) {
+      _mm_stream_ps(dst + i, zero);
+      _mm_stream_ps(dst + i + 4, zero);
+      _mm_stream_ps(dst + i + 8, zero);
+      _mm_stream_ps(dst + i + 12, zero);
+    }
+    _mm_sfence();
+    if (count > vec) {
+      std::memset(dst + vec, 0, static_cast<size_t>(count - vec) * sizeof(float));
+    }
+    return;
+  }
+#endif
+  std::memset(dst, 0, static_cast<size_t>(count) * sizeof(float));
+}
+
+}  // namespace simd
+}  // namespace optimus

@@ -1,0 +1,40 @@
+// SIMD data-movement kernels for the meta-operator hot path (DESIGN.md §14).
+//
+// Large weight copies are bandwidth-bound, and ordinary stores pay a hidden
+// read-for-ownership: the cache line being overwritten is first read from
+// memory, so an N-byte copy moves ~3N bytes of bus traffic. Non-temporal
+// (streaming) stores skip the read and the cache fill, cutting a large copy
+// to ~2N and leaving the cache untouched for the model that is about to run.
+//
+// Both kernels fall back to memcpy/memset when the buffer is small (where
+// cache-resident stores win and the sfence would dominate) or when the
+// destination is not 16-byte aligned. TensorArena hands out 64-byte-aligned
+// slots, so arena-backed tensors always take the streaming path at size.
+
+#ifndef OPTIMUS_SRC_TENSOR_SIMD_H_
+#define OPTIMUS_SRC_TENSOR_SIMD_H_
+
+#include <cstdint>
+
+namespace optimus {
+namespace simd {
+
+// Streaming kicks in at 1 MiB of floats: comfortably past the per-core cache,
+// where avoiding read-for-ownership beats keeping the lines warm.
+inline constexpr int64_t kStreamingMinElements = int64_t{1} << 18;
+
+// Copies `count` floats from `src` to `dst` (must not overlap). Uses
+// non-temporal stores for large aligned destinations, memcpy otherwise.
+void CopyFloats(float* dst, const float* src, int64_t count);
+
+// Zeroes `count` floats at `dst`. Streaming-store counterpart of memset.
+void ZeroFloats(float* dst, int64_t count);
+
+// True when a (dst, count) pair takes the streaming path — exposed so tests
+// can pin both sides of the size/alignment gate.
+bool UsesStreamingStores(const float* dst, int64_t count);
+
+}  // namespace simd
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_TENSOR_SIMD_H_

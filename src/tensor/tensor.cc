@@ -1,25 +1,173 @@
 #include "src/tensor/tensor.h"
 
-#include <numeric>
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "src/tensor/simd.h"
 
 namespace optimus {
 
-Tensor::Tensor(const Shape& shape)
-    : shape_(shape), data_(static_cast<size_t>(shape.NumElements()), 0.0f) {}
+void Tensor::AllocateHeap(bool zeroed) {
+  const size_t count = static_cast<size_t>(num_elements_);
+  owned_ = zeroed ? std::unique_ptr<float[]>(new float[count]())
+                  : std::unique_ptr<float[]>(new float[count]);
+  data_ = owned_.get();
+  capacity_ = num_elements_;
+}
+
+Tensor::Tensor(const Shape& shape) : shape_(shape), num_elements_(shape.NumElements()) {
+  AllocateHeap(/*zeroed=*/true);
+}
 
 Tensor::Tensor(const Shape& shape, float fill)
-    : shape_(shape), data_(static_cast<size_t>(shape.NumElements()), fill) {}
+    : shape_(shape), num_elements_(shape.NumElements()) {
+  AllocateHeap(/*zeroed=*/false);
+  std::fill(data_, data_ + num_elements_, fill);
+}
+
+Tensor::Tensor(const Shape& shape, TensorArena* arena)
+    : shape_(shape), num_elements_(shape.NumElements()) {
+  if (arena == nullptr) {
+    AllocateHeap(/*zeroed=*/true);
+    return;
+  }
+  data_ = arena->AllocateZeroed(num_elements_);
+  capacity_ = num_elements_;
+}
+
+Tensor::Tensor(const Shape& shape, TensorArena* arena, UninitTag)
+    : shape_(shape), num_elements_(shape.NumElements()) {
+  if (arena == nullptr) {
+    AllocateHeap(/*zeroed=*/false);
+    return;
+  }
+  data_ = arena->Allocate(num_elements_);
+  capacity_ = num_elements_;
+}
+
+Tensor Tensor::Uninitialized(const Shape& shape, TensorArena* arena) {
+  return Tensor(shape, arena, UninitTag{});
+}
+
+Tensor Tensor::AliasOf(const Tensor& src) {
+  Tensor alias(Shape{}, nullptr, UninitTag{});
+  alias.shape_ = src.shape_;
+  alias.num_elements_ = src.num_elements_;
+  // Capacity is pinned to the element count: an alias never grows into the
+  // source's spare capacity (that space belongs to the source).
+  alias.capacity_ = src.num_elements_;
+  alias.data_ = src.data_;
+  alias.owned_.reset();
+  alias.aliased_ = true;
+  return alias;
+}
+
+Tensor::Tensor(const Tensor& other)
+    : shape_(other.shape_), num_elements_(other.num_elements_) {
+  AllocateHeap(/*zeroed=*/false);
+  simd::CopyFloats(data_, other.data_, num_elements_);
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) {
+    return *this;
+  }
+  shape_ = other.shape_;
+  num_elements_ = other.num_elements_;
+  AllocateHeap(/*zeroed=*/false);
+  simd::CopyFloats(data_, other.data_, num_elements_);
+  aliased_ = false;
+  return *this;
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : shape_(std::move(other.shape_)),
+      num_elements_(other.num_elements_),
+      capacity_(other.capacity_),
+      data_(other.data_),
+      owned_(std::move(other.owned_)),
+      aliased_(other.aliased_) {
+  other.shape_ = Shape{};
+  other.num_elements_ = 0;
+  other.capacity_ = 0;
+  other.data_ = nullptr;
+  other.aliased_ = false;
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this == &other) {
+    return *this;
+  }
+  shape_ = std::move(other.shape_);
+  num_elements_ = other.num_elements_;
+  capacity_ = other.capacity_;
+  data_ = other.data_;
+  owned_ = std::move(other.owned_);
+  aliased_ = other.aliased_;
+  other.shape_ = Shape{};
+  other.num_elements_ = 0;
+  other.capacity_ = 0;
+  other.data_ = nullptr;
+  other.aliased_ = false;
+  return *this;
+}
+
+void Tensor::SetShapeInPlace(const Shape& new_shape) {
+  if (aliased_) {
+    throw std::logic_error("Tensor::SetShapeInPlace: cannot relabel an aliased view; "
+                           "the storage belongs to the source tensor");
+  }
+  const int64_t new_elements = new_shape.NumElements();
+  if (new_elements > capacity_) {
+    throw std::invalid_argument("Tensor::SetShapeInPlace: " + new_shape.ToString() +
+                                " needs " + std::to_string(new_elements) +
+                                " elements but capacity is " + std::to_string(capacity_));
+  }
+  shape_ = new_shape;
+  num_elements_ = new_elements;
+}
+
+void Tensor::Detach() {
+  if (owned_ != nullptr || data_ == nullptr) {
+    return;  // Already heap-owned (or empty).
+  }
+  const float* view = data_;
+  num_elements_ = shape_.NumElements();
+  AllocateHeap(/*zeroed=*/false);
+  simd::CopyFloats(data_, view, num_elements_);
+  aliased_ = false;
+}
+
+void Tensor::MoveTo(TensorArena* arena) {
+  if (arena == nullptr || data_ == nullptr) {
+    return;
+  }
+  float* slot = arena->Allocate(num_elements_);
+  simd::CopyFloats(slot, data_, num_elements_);
+  data_ = slot;
+  capacity_ = num_elements_;
+  owned_.reset();
+  aliased_ = false;
+}
 
 void Tensor::FillRandom(Rng* rng, float scale) {
-  for (auto& value : data_) {
-    value = static_cast<float>(rng->Normal(0.0, scale));
+  for (int64_t i = 0; i < num_elements_; ++i) {
+    data_[i] = static_cast<float>(rng->Normal(0.0, scale));
   }
 }
 
 bool Tensor::ElementsEqual(const Tensor& other) const {
-  return shape_ == other.shape_ && data_ == other.data_;
+  return shape_ == other.shape_ &&
+         std::equal(data_, data_ + num_elements_, other.data_);
 }
 
-double Tensor::Sum() const { return std::accumulate(data_.begin(), data_.end(), 0.0); }
+double Tensor::Sum() const {
+  double sum = 0.0;
+  for (int64_t i = 0; i < num_elements_; ++i) {
+    sum += data_[i];
+  }
+  return sum;
+}
 
 }  // namespace optimus

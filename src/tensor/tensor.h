@@ -1,55 +1,136 @@
-// A minimal dense float32 tensor.
+// A minimal dense float32 tensor over pluggable storage.
 //
 // This is the weight substrate for model operations: meta-operators such as
 // Replace and Reshape perform real memory traffic (copy / pad / crop) over
 // Tensor storage, which is what gives transformation its size-dependent and
 // asymmetric cost behaviour.
+//
+// Storage model (DESIGN.md §14): a Tensor is a shape plus a pointer to a
+// contiguous row-major float buffer. The buffer is either
+//   * heap-owned   — the tensor holds a unique_ptr to its own allocation
+//                    (the default, and what every copy produces), or
+//   * arena-backed — the tensor is a zero-copy view into a TensorArena slab
+//                    owned by the serving container; the view must not
+//                    outlive the arena and dies with the arena's Reset(), or
+//   * aliased      — a read-only view of ANOTHER tensor's storage (AliasOf).
+//                    This is what makes Replace a pointer swap: a container's
+//                    weights alias the repository's immutable deployed model
+//                    instead of copying it. The alias must not outlive the
+//                    source buffer, and its storage must never be written
+//                    through (in-place mutation entry points refuse).
+// Copies always deep-copy into fresh heap storage (a copy never silently
+// aliases or extends arena memory); moves transfer the view/ownership as-is.
 
 #ifndef OPTIMUS_SRC_TENSOR_TENSOR_H_
 #define OPTIMUS_SRC_TENSOR_TENSOR_H_
 
 #include <cstdint>
-#include <vector>
+#include <memory>
 
 #include "src/common/rng.h"
+#include "src/tensor/arena.h"
 #include "src/tensor/shape.h"
 
 namespace optimus {
 
-// Owns a contiguous row-major float32 buffer described by a Shape.
 class Tensor {
  public:
   // An empty (rank-0, zero-filled scalar) tensor.
-  Tensor() : shape_({}), data_(1, 0.0f) {}
+  Tensor() : Tensor(Shape{}) {}
 
-  // Zero-initialized tensor of the given shape.
+  // Zero-initialized heap tensor of the given shape.
   explicit Tensor(const Shape& shape);
 
-  // Tensor filled with a constant.
+  // Heap tensor filled with a constant.
   Tensor(const Shape& shape, float fill);
 
+  // Zero-initialized tensor allocated from `arena` (heap when arena is null).
+  Tensor(const Shape& shape, TensorArena* arena);
+
+  // Tensor with UNINITIALIZED contents, from `arena` (heap when null). The
+  // caller must overwrite every element before reading (Replace's memcpy,
+  // FillRandom) — the fast path that skips the zero-fill the heap
+  // constructors pay.
+  static Tensor Uninitialized(const Shape& shape, TensorArena* arena);
+
+  // Zero-copy view of `src`'s storage (shape and data shared, nothing
+  // allocated). The alias treats the shared buffer as READ-ONLY and must not
+  // outlive it; use Detach() to sever the dependency. In-place mutation
+  // (SetShapeInPlace, ResizeToShapeInPlace) refuses on aliases so a
+  // container can never scribble over the repository's deployed weights.
+  static Tensor AliasOf(const Tensor& src);
+
+  // Copies deep-copy into fresh heap storage; an arena view never propagates
+  // through a copy.
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+
+  // Moves transfer the storage (or the arena view) verbatim; the moved-from
+  // tensor is left empty and must only be destroyed or assigned to.
+  Tensor(Tensor&& other) noexcept;
+  Tensor& operator=(Tensor&& other) noexcept;
+
+  ~Tensor() = default;
+
   const Shape& shape() const { return shape_; }
-  int64_t NumElements() const { return static_cast<int64_t>(data_.size()); }
-  int64_t SizeBytes() const { return NumElements() * static_cast<int64_t>(sizeof(float)); }
+  int64_t NumElements() const { return num_elements_; }
+  int64_t SizeBytes() const { return num_elements_ * static_cast<int64_t>(sizeof(float)); }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
+  float* data() { return data_; }
+  const float* data() const { return data_; }
 
-  float At(int64_t flat_index) const { return data_[static_cast<size_t>(flat_index)]; }
-  void Set(int64_t flat_index, float value) { data_[static_cast<size_t>(flat_index)] = value; }
+  float At(int64_t flat_index) const { return data_[flat_index]; }
+  void Set(int64_t flat_index, float value) { data_[flat_index] = value; }
+
+  // True when this tensor is a view into arena memory (it does not own its
+  // buffer).
+  bool arena_backed() const { return data_ != nullptr && owned_ == nullptr && !aliased_; }
+
+  // True when this tensor is a read-only view of another tensor's storage.
+  bool aliased() const { return aliased_; }
+
+  // Elements available at data() — at least NumElements(). A metadata-only
+  // reshape may shrink NumElements below capacity and later grow back into it.
+  int64_t capacity() const { return capacity_; }
+
+  // Re-labels the buffer with a new shape without moving data. Requires
+  // new_shape.NumElements() <= capacity(); contents beyond the old element
+  // count are left as-is (callers zero them when growing). This is what makes
+  // compatible-layout Reshape metadata-only.
+  void SetShapeInPlace(const Shape& new_shape);
+
+  // Ensures heap-owned storage: an arena view or alias is deep-copied into
+  // fresh heap memory; a heap tensor is untouched.
+  void Detach();
+
+  // Copies the contents into `arena` and drops heap ownership, turning this
+  // tensor into an arena view. No-op when arena is null or already the
+  // backing store cannot be known — callers pair this with Detach() in
+  // ModelInstance repacking.
+  void MoveTo(TensorArena* arena);
 
   // Fills with deterministic pseudo-random weights drawn from N(0, scale).
   void FillRandom(Rng* rng, float scale = 0.05f);
 
-  // Element-wise equality.
+  // Element-wise equality; backing storage (heap vs arena) is irrelevant.
   bool ElementsEqual(const Tensor& other) const;
 
   // Sum of all elements (used by the toy forward pass and tests).
   double Sum() const;
 
  private:
+  // Tag for the uninitialized-storage constructor.
+  struct UninitTag {};
+  Tensor(const Shape& shape, TensorArena* arena, UninitTag);
+
+  void AllocateHeap(bool zeroed);
+
   Shape shape_;
-  std::vector<float> data_;
+  int64_t num_elements_ = 0;
+  int64_t capacity_ = 0;
+  float* data_ = nullptr;                // Points into owned_, arena, or aliased memory.
+  std::unique_ptr<float[]> owned_;       // Null when arena-backed/aliased (or empty).
+  bool aliased_ = false;                 // True for AliasOf views (read-only storage).
 };
 
 }  // namespace optimus

@@ -3,12 +3,17 @@
 #include <algorithm>
 #include <cstring>
 #include <stdexcept>
+#include <vector>
+
+#include "src/tensor/simd.h"
 
 namespace optimus {
 
-Tensor CopyTensor(const Tensor& src) {
-  Tensor out(src.shape());
-  std::memcpy(out.data(), src.data(), static_cast<size_t>(src.SizeBytes()));
+Tensor CopyTensor(const Tensor& src) { return CopyTensor(src, nullptr); }
+
+Tensor CopyTensor(const Tensor& src, TensorArena* arena) {
+  Tensor out = Tensor::Uninitialized(src.shape(), arena);
+  simd::CopyFloats(out.data(), src.data(), src.NumElements());
   return out;
 }
 
@@ -17,28 +22,10 @@ void OverwriteTensor(const Tensor& src, Tensor* dst) {
     throw std::invalid_argument("OverwriteTensor: shape mismatch " + src.shape().ToString() +
                                 " vs " + dst->shape().ToString());
   }
-  std::memcpy(dst->data(), src.data(), static_cast<size_t>(src.SizeBytes()));
+  simd::CopyFloats(dst->data(), src.data(), src.NumElements());
 }
 
 namespace {
-
-// Recursively copies the overlap box. `axis` walks the dimensions; `src_base`
-// and `dst_base` are flat offsets into the respective buffers.
-void CopyOverlap(const Tensor& src, Tensor* dst, const std::vector<int64_t>& src_strides,
-                 const std::vector<int64_t>& dst_strides, const std::vector<int64_t>& overlap,
-                 int axis, int64_t src_base, int64_t dst_base) {
-  if (axis == static_cast<int>(overlap.size()) - 1) {
-    // Innermost dimension is contiguous in both tensors: one memcpy.
-    std::memcpy(dst->data() + dst_base, src.data() + src_base,
-                static_cast<size_t>(overlap[static_cast<size_t>(axis)]) * sizeof(float));
-    return;
-  }
-  for (int64_t i = 0; i < overlap[static_cast<size_t>(axis)]; ++i) {
-    CopyOverlap(src, dst, src_strides, dst_strides, overlap, axis + 1,
-                src_base + i * src_strides[static_cast<size_t>(axis)],
-                dst_base + i * dst_strides[static_cast<size_t>(axis)]);
-  }
-}
 
 std::vector<int64_t> RowMajorStrides(const Shape& shape) {
   std::vector<int64_t> strides(static_cast<size_t>(shape.Rank()), 1);
@@ -49,26 +36,163 @@ std::vector<int64_t> RowMajorStrides(const Shape& shape) {
   return strides;
 }
 
+// Writes one destination block in a single pass: the overlap box is memcpy'd
+// as runs of `run_elements` contiguous floats and the padding gaps between
+// runs are memset in place. Axes at and below `split_axis` have been
+// coalesced into the run (their dimensions match in both layouts, so source
+// and destination are contiguous there); only the axes above it need strided
+// iteration. `dims` are the destination dimensions.
+void ResizeRuns(const float* src, float* dst, const int64_t* src_strides,
+                const int64_t* dst_strides, const int64_t* overlap, const int64_t* dims,
+                int axis, int split_axis, int64_t run_elements) {
+  if (axis == split_axis) {
+    simd::CopyFloats(dst, src, run_elements);
+    const int64_t block = dims[axis] * dst_strides[axis];
+    if (block > run_elements) {
+      simd::ZeroFloats(dst + run_elements, block - run_elements);
+    }
+    return;
+  }
+  for (int64_t i = 0; i < overlap[axis]; ++i) {
+    ResizeRuns(src + i * src_strides[axis], dst + i * dst_strides[axis], src_strides,
+               dst_strides, overlap, dims, axis + 1, split_axis, run_elements);
+  }
+  if (dims[axis] > overlap[axis]) {
+    simd::ZeroFloats(dst + overlap[axis] * dst_strides[axis],
+                     (dims[axis] - overlap[axis]) * dst_strides[axis]);
+  }
+}
+
+// Fills the (possibly uninitialized) `dst` from `src` (same rank, possibly
+// different shapes): overlap elements are copied, everything else is zeroed.
+// Every destination element is written exactly once — a padded resize costs a
+// single pass over the output instead of zero-fill plus copy.
+void ResizeInto(const Tensor& src, Tensor* dst) {
+  const Shape& target = dst->shape();
+  const int rank = target.Rank();
+  if (rank == 0) {
+    dst->Set(0, src.At(0));
+    return;
+  }
+  if (target.NumElements() == 0) {
+    return;
+  }
+  std::vector<int64_t> overlap(static_cast<size_t>(rank));
+  std::vector<int64_t> dims(static_cast<size_t>(rank));
+  for (int axis = 0; axis < rank; ++axis) {
+    overlap[static_cast<size_t>(axis)] = std::min(src.shape().Dim(axis), target.Dim(axis));
+    dims[static_cast<size_t>(axis)] = target.Dim(axis);
+    if (overlap[static_cast<size_t>(axis)] == 0) {
+      // Empty overlap: the whole output is padding.
+      simd::ZeroFloats(dst->data(), dst->NumElements());
+      return;
+    }
+  }
+  // Deepest axis where the layouts differ: every axis below it has equal
+  // dimensions in both tensors, so runs of overlap[split] * (inner block) are
+  // contiguous in source and destination alike.
+  int split = 0;
+  for (int axis = rank - 1; axis >= 0; --axis) {
+    if (src.shape().Dim(axis) != target.Dim(axis)) {
+      split = axis;
+      break;
+    }
+  }
+  int64_t run = overlap[static_cast<size_t>(split)];
+  for (int axis = split + 1; axis < rank; ++axis) {
+    run *= target.Dim(axis);
+  }
+  const std::vector<int64_t> src_strides = RowMajorStrides(src.shape());
+  const std::vector<int64_t> dst_strides = RowMajorStrides(target);
+  ResizeRuns(src.data(), dst->data(), src_strides.data(), dst_strides.data(), overlap.data(),
+             dims.data(), 0, split, run);
+}
+
 }  // namespace
 
 Tensor ResizeToShape(const Tensor& src, const Shape& target) {
+  return ResizeToShape(src, target, nullptr);
+}
+
+Tensor ResizeToShape(const Tensor& src, const Shape& target, TensorArena* arena) {
   if (src.shape().Rank() != target.Rank()) {
     throw std::invalid_argument("ResizeToShape: rank mismatch " + src.shape().ToString() +
                                 " vs " + target.ToString());
   }
+  // ResizeInto writes every output element exactly once (copy runs plus
+  // memset pad gaps), so the allocation never needs a zero-fill pass.
+  Tensor out = Tensor::Uninitialized(target, arena);
+  ResizeInto(src, &out);
+  return out;
+}
+
+bool ResizeToShapeInPlace(Tensor* tensor, const Shape& target) {
+  const Shape& src = tensor->shape();
+  if (src.Rank() != target.Rank()) {
+    return false;
+  }
+  if (src == target) {
+    return true;
+  }
+  // An alias's storage is read-only (it belongs to the source tensor); the
+  // caller must resize out-of-place into owned storage instead.
+  if (tensor->aliased()) {
+    return false;
+  }
+  // Row-major layout: if only the leading dimension changes, the overlap is a
+  // contiguous prefix of both layouts and no element needs to move.
+  for (int axis = 1; axis < target.Rank(); ++axis) {
+    if (src.Dim(axis) != target.Dim(axis)) {
+      return false;
+    }
+  }
+  const int64_t new_elements = target.NumElements();
+  if (new_elements > tensor->capacity()) {
+    return false;
+  }
+  const int64_t old_elements = tensor->NumElements();
+  tensor->SetShapeInPlace(target);
+  if (new_elements > old_elements) {
+    // Growing: zero only the padded tail; the prefix is reused verbatim.
+    std::memset(tensor->data() + old_elements, 0,
+                static_cast<size_t>(new_elements - old_elements) * sizeof(float));
+  }
+  return true;
+}
+
+Tensor ResizeToShapeScalar(const Tensor& src, const Shape& target) {
+  if (src.shape().Rank() != target.Rank()) {
+    throw std::invalid_argument("ResizeToShapeScalar: rank mismatch " + src.shape().ToString() +
+                                " vs " + target.ToString());
+  }
   Tensor out(target);
-  if (target.Rank() == 0) {
+  const int rank = target.Rank();
+  if (rank == 0) {
     out.Set(0, src.At(0));
     return out;
   }
-  std::vector<int64_t> overlap(static_cast<size_t>(target.Rank()));
-  for (int axis = 0; axis < target.Rank(); ++axis) {
-    overlap[static_cast<size_t>(axis)] = std::min(src.shape().Dim(axis), target.Dim(axis));
-    if (overlap[static_cast<size_t>(axis)] == 0) {
-      return out;
+  const std::vector<int64_t> src_strides = RowMajorStrides(src.shape());
+  std::vector<int64_t> index(static_cast<size_t>(rank), 0);
+  for (int64_t flat = 0; flat < out.NumElements(); ++flat) {
+    bool in_overlap = true;
+    int64_t src_flat = 0;
+    for (int axis = 0; axis < rank; ++axis) {
+      if (index[static_cast<size_t>(axis)] >= src.shape().Dim(axis)) {
+        in_overlap = false;
+        break;
+      }
+      src_flat += index[static_cast<size_t>(axis)] * src_strides[static_cast<size_t>(axis)];
+    }
+    if (in_overlap) {
+      out.Set(flat, src.At(src_flat));
+    }
+    for (int axis = rank - 1; axis >= 0; --axis) {
+      if (++index[static_cast<size_t>(axis)] < target.Dim(axis)) {
+        break;
+      }
+      index[static_cast<size_t>(axis)] = 0;
     }
   }
-  CopyOverlap(src, &out, RowMajorStrides(src.shape()), RowMajorStrides(target), overlap, 0, 0, 0);
   return out;
 }
 

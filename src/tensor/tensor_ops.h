@@ -4,16 +4,28 @@
 // the overlapping region of the source tensor into a tensor of the destination
 // shape (cropping dimensions that shrink, zero-padding dimensions that grow),
 // so existing weights are reused rather than regenerated.
+//
+// The copy kernel coalesces the overlap into the longest contiguous runs both
+// layouts share (DESIGN.md §14): when only leading dimensions differ, the
+// whole overlap is a single memcpy; a pure crop skips the zero-fill entirely.
+// ResizeToShapeScalar is the deliberately naive per-element reference that the
+// vectorized paths are tested against.
 
 #ifndef OPTIMUS_SRC_TENSOR_TENSOR_OPS_H_
 #define OPTIMUS_SRC_TENSOR_TENSOR_OPS_H_
 
+#include <cstdint>
+
+#include "src/tensor/arena.h"
 #include "src/tensor/tensor.h"
 
 namespace optimus {
 
-// Deep copy of `src` into a new tensor.
+// Deep copy of `src` into a new heap tensor.
 Tensor CopyTensor(const Tensor& src);
+
+// Deep copy of `src` into storage from `arena` (heap when arena is null).
+Tensor CopyTensor(const Tensor& src, TensorArena* arena);
 
 // Overwrites the contents of `dst` with the contents of `src`.
 // Requires identical shapes. This is the Replace meta-operator's data path.
@@ -24,6 +36,20 @@ void OverwriteTensor(const Tensor& src, Tensor* dst);
 // zero. Source and target must have the same rank. This is the Reshape
 // meta-operator's data path (crop and/or zero-pad per dimension).
 Tensor ResizeToShape(const Tensor& src, const Shape& target);
+
+// Same, but the result is allocated from `arena` (heap when arena is null).
+Tensor ResizeToShape(const Tensor& src, const Shape& target, TensorArena* arena);
+
+// Reshapes `tensor` to `target` without moving any data, when the layouts
+// permit it: same rank, all dimensions except the leading one unchanged, and
+// the target fits in the buffer's capacity. Shrinking is a pure shape relabel;
+// growing zero-fills only the new tail. Returns false (tensor untouched) when
+// the layouts are incompatible — callers fall back to ResizeToShape.
+bool ResizeToShapeInPlace(Tensor* tensor, const Shape& target);
+
+// Per-element reference implementation of ResizeToShape: no memcpy, no run
+// coalescing. Exists as the correctness oracle for the vectorized kernels.
+Tensor ResizeToShapeScalar(const Tensor& src, const Shape& target);
 
 // Number of elements copied by ResizeToShape (the size of the overlap box).
 int64_t OverlapElements(const Shape& a, const Shape& b);
