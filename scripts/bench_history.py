@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""Longitudinal benchmark diff: one table across many BENCH_*.json artifacts.
+
+scripts/bench_check.py gates a single run against static thresholds; nothing
+diffs the per-run artifacts the CI perf job uploads *over time*. This tool
+closes that gap: feed it the same BENCH_*.json files from several commits
+(e.g. downloaded `bench-results-<sha>` artifacts) and it renders one table per
+series — one column per commit, in input order — for a chosen metric, with
+the relative delta of the newest column against the oldest.
+
+    python3 scripts/bench_history.py old/BENCH_micro_ops.json \
+        mid/BENCH_micro_ops.json new/BENCH_micro_ops.json
+    python3 scripts/bench_history.py --metric p99 --format csv run*/BENCH_*.json
+
+Artifacts sharing a git_sha (several benches from one commit) land in the same
+column. Series are keyed by (bench, name, labels); a series missing from some
+commit renders as "-" in that column rather than erroring, so the table stays
+usable across runs that added or renamed benchmarks.
+
+    --metric   p50 (default), mean, p95, p99, max, count
+    --format   md (default) or csv
+    --selftest fabricates two fake commits in a temp dir and checks the table
+
+Exit status: 0 on success (the tool reports, it does not gate — thresholds
+stay bench_check.py's job), 1 on malformed input, 2 on usage error.
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+SCHEMA_PREFIX = "optimus-bench/"
+MIN_SCHEMA_VERSION = 2
+METRICS = ("p50", "mean", "p95", "p99", "max", "count")
+
+
+def load_artifact(path):
+    """Parses one BENCH_*.json artifact; raises ValueError when malformed."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    schema = data.get("schema", "")
+    if not schema.startswith(SCHEMA_PREFIX):
+        raise ValueError(f"{path}: unrecognized schema {schema!r}")
+    try:
+        version = int(schema[len(SCHEMA_PREFIX):])
+    except ValueError as error:
+        raise ValueError(f"{path}: malformed schema version {schema!r}") from error
+    if version < MIN_SCHEMA_VERSION:
+        raise ValueError(f"{path}: schema version {version} predates the "
+                         f"git_sha/series format (need >= {MIN_SCHEMA_VERSION})")
+    for key in ("bench", "git_sha", "series"):
+        if key not in data:
+            raise ValueError(f"{path}: missing required key {key!r}")
+    if not isinstance(data["series"], list):
+        raise ValueError(f"{path}: 'series' must be a list")
+    return data
+
+
+def series_key(bench, entry):
+    labels = entry.get("labels", {}) or {}
+    label_str = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return (bench, entry.get("name", "?"), label_str)
+
+
+def short_sha(sha):
+    return sha[:10] if len(sha) > 10 else sha
+
+
+def collect(paths, metric):
+    """Returns (sha_order, {series_key: {sha: value}})."""
+    sha_order = []
+    table = {}
+    for path in paths:
+        data = load_artifact(path)
+        sha = data["git_sha"]
+        if sha not in sha_order:
+            sha_order.append(sha)
+        for entry in data["series"]:
+            key = series_key(data["bench"], entry)
+            if metric not in entry:
+                raise ValueError(f"{path}: series {key[1]!r} has no {metric!r} field")
+            cells = table.setdefault(key, {})
+            if sha in cells:
+                raise ValueError(f"{path}: duplicate series {key} for commit "
+                                 f"{short_sha(sha)} — same artifact fed twice?")
+            cells[sha] = entry[metric]
+    return sha_order, table
+
+
+def format_value(value):
+    if value is None:
+        return "-"
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.6g}"
+    return str(int(value))
+
+
+def format_delta(first, last):
+    """Relative change of the newest column vs the oldest, when both exist."""
+    if first is None or last is None:
+        return "-"
+    if first == 0:
+        return "-" if last == 0 else "inf"
+    return f"{(last - first) / first * 100.0:+.1f}%"
+
+
+def render_rows(sha_order, table, metric):
+    header = ["bench", "series", "labels"] + [short_sha(s) for s in sha_order]
+    if len(sha_order) > 1:
+        header.append(f"Δ{metric}")
+    rows = [header]
+    for key in sorted(table):
+        cells = table[key]
+        values = [cells.get(sha) for sha in sha_order]
+        row = list(key) + [format_value(v) for v in values]
+        if len(sha_order) > 1:
+            row.append(format_delta(values[0], values[-1]))
+        rows.append(row)
+    return rows
+
+
+def emit_md(rows, out):
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    for index, row in enumerate(rows):
+        out.write("| " + " | ".join(cell.ljust(widths[i])
+                                    for i, cell in enumerate(row)) + " |\n")
+        if index == 0:
+            out.write("|" + "|".join("-" * (w + 2) for w in widths) + "|\n")
+
+
+def emit_csv(rows, out):
+    for row in rows:
+        out.write(",".join('"' + cell.replace('"', '""') + '"'
+                           if ("," in cell or '"' in cell) else cell
+                           for cell in row) + "\n")
+
+
+def run(paths, metric, fmt, out):
+    sha_order, table = collect(paths, metric)
+    if not table:
+        raise ValueError("no series found in any input")
+    rows = render_rows(sha_order, table, metric)
+    if fmt == "csv":
+        emit_csv(rows, out)
+    else:
+        out.write(f"Benchmark history — metric: {metric}, "
+                  f"{len(sha_order)} commit(s), {len(table)} series\n\n")
+        emit_md(rows, out)
+
+
+def fake_artifact(directory, bench, sha, p50_by_name):
+    series = [{"name": name, "labels": {"mode": "smoke"}, "count": 100,
+               "mean": p50 * 1.1, "p50": p50, "p95": p50 * 2,
+               "p99": p50 * 3, "max": p50 * 4}
+              for name, p50 in p50_by_name.items()]
+    path = os.path.join(directory, f"BENCH_{bench}_{sha}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"schema": "optimus-bench/2", "git_sha": sha,
+                   "bench": bench, "series": series}, handle)
+    return path
+
+
+def selftest():
+    import io
+    with tempfile.TemporaryDirectory() as tmp:
+        old = fake_artifact(tmp, "micro", "aaaaaaaaaaaaaaaa",
+                            {"warm_start_us": 100.0, "transform_us": 50.0})
+        new = fake_artifact(tmp, "micro", "bbbbbbbbbbbbbbbb",
+                            {"warm_start_us": 80.0, "renamed_us": 7.0})
+        buffer = io.StringIO()
+        run([old, new], "p50", "md", buffer)
+        text = buffer.getvalue()
+        assert "aaaaaaaaaa" in text and "bbbbbbbbbb" in text, text
+        assert "-20.0%" in text, text       # 100 -> 80
+        assert text.count(" - ") >= 2, text  # series missing on one side
+        buffer = io.StringIO()
+        run([old, new], "p99", "csv", buffer)
+        assert "300" in buffer.getvalue(), buffer.getvalue()  # p99 = 3 * p50
+        # Feeding the same artifact twice must be rejected, not double-counted.
+        try:
+            run([old, old], "p50", "md", io.StringIO())
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("duplicate artifact was not rejected")
+    print("bench_history selftest OK")
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("artifacts", nargs="*", help="BENCH_*.json files, oldest first")
+    parser.add_argument("--metric", default="p50", choices=METRICS)
+    parser.add_argument("--format", default="md", choices=("md", "csv"))
+    parser.add_argument("--selftest", action="store_true")
+    args = parser.parse_args(argv)
+    if args.selftest:
+        selftest()
+        return 0
+    if not args.artifacts:
+        parser.error("no artifacts given (or use --selftest)")
+    try:
+        run(args.artifacts, args.metric, args.format, sys.stdout)
+    except (ValueError, OSError, json.JSONDecodeError) as error:
+        print(f"bench_history: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -3,10 +3,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 
 #include "src/common/rng.h"
+#include "src/common/sync.h"
 
 namespace optimus {
 namespace fault {
@@ -20,18 +19,19 @@ namespace {
 // Mutable trigger state for one armed point. `mutex` serializes hit counting
 // and RNG draws so concurrent evaluations stay deterministic in aggregate
 // (the multiset of fire decisions depends only on the spec, not the thread
-// interleaving).
+// interleaving). Lock order: registry mutex (shared) → point mutex — the
+// registry lock pins the point alive while its trigger state is consulted.
 struct Point {
-  std::mutex mutex;
-  FaultSpec spec;
-  Rng rng{1};
-  uint64_t hits = 0;
-  uint64_t fires = 0;
+  Mutex mutex{LockRank::kFaultPoint, "fault.point"};
+  FaultSpec spec GUARDED_BY(mutex);
+  Rng rng GUARDED_BY(mutex){1};
+  uint64_t hits GUARDED_BY(mutex) = 0;
+  uint64_t fires GUARDED_BY(mutex) = 0;
 };
 
 struct Registry {
-  mutable std::shared_mutex mutex;
-  std::map<std::string, std::unique_ptr<Point>> points;
+  mutable SharedMutex mutex{LockRank::kFaultRegistry, "fault.registry"};
+  std::map<std::string, std::unique_ptr<Point>> points GUARDED_BY(mutex);
 };
 
 Registry& GetRegistry() {
@@ -40,7 +40,7 @@ Registry& GetRegistry() {
 }
 
 bool EvaluatePoint(Point* point) {
-  std::lock_guard<std::mutex> lock(point->mutex);
+  MutexLock lock(point->mutex);
   const uint64_t hit = ++point->hits;
   bool fire = false;
   switch (point->spec.kind) {
@@ -63,15 +63,16 @@ bool EvaluatePoint(Point* point) {
   return fire;
 }
 
-uint64_t CounterFor(const std::string& point, bool fires) {
+uint64_t CounterFor(const std::string& name, bool fires) {
   Registry& registry = GetRegistry();
-  std::shared_lock<std::shared_mutex> lock(registry.mutex);
-  auto it = registry.points.find(point);
+  ReaderLock lock(registry.mutex);
+  auto it = registry.points.find(name);
   if (it == registry.points.end()) {
     return 0;
   }
-  std::lock_guard<std::mutex> point_lock(it->second->mutex);
-  return fires ? it->second->fires : it->second->hits;
+  Point* point = it->second.get();
+  MutexLock point_lock(point->mutex);
+  return fires ? point->fires : point->hits;
 }
 
 [[noreturn]] void BadSpec(const std::string& entry, const std::string& why) {
@@ -168,7 +169,7 @@ bool EvaluateSlow(const char* point) {
   Registry& registry = GetRegistry();
   // The shared lock is held across the evaluation so a concurrent Disarm()
   // cannot free the point mid-draw.
-  std::shared_lock<std::shared_mutex> lock(registry.mutex);
+  ReaderLock lock(registry.mutex);
   auto it = registry.points.find(point);
   if (it == registry.points.end()) {
     return false;
@@ -189,10 +190,15 @@ void Arm(const FaultSpec& spec) {
     throw std::invalid_argument("fault::Arm: empty point name");
   }
   Registry& registry = GetRegistry();
-  std::unique_lock<std::shared_mutex> lock(registry.mutex);
+  WriterLock lock(registry.mutex);
   auto point = std::make_unique<Point>();
-  point->spec = spec;
-  point->rng = Rng(spec.seed);
+  {
+    // A freshly built Point is unshared, but the analysis (rightly) demands
+    // its lock for the writes; uncontended, so effectively free.
+    MutexLock point_lock(point->mutex);
+    point->spec = spec;
+    point->rng = Rng(spec.seed);
+  }
   registry.points[spec.point] = std::move(point);
   internal::g_armed.store(true, std::memory_order_release);
 }
@@ -205,7 +211,7 @@ void ArmSpec(const std::string& spec) {
 
 void Disarm() {
   Registry& registry = GetRegistry();
-  std::unique_lock<std::shared_mutex> lock(registry.mutex);
+  WriterLock lock(registry.mutex);
   internal::g_armed.store(false, std::memory_order_release);
   registry.points.clear();
 }
@@ -216,10 +222,11 @@ uint64_t Fires(const std::string& point) { return CounterFor(point, /*fires=*/tr
 
 std::map<std::string, uint64_t> FireCounts() {
   Registry& registry = GetRegistry();
-  std::shared_lock<std::shared_mutex> lock(registry.mutex);
+  ReaderLock lock(registry.mutex);
   std::map<std::string, uint64_t> counts;
-  for (const auto& [name, point] : registry.points) {
-    std::lock_guard<std::mutex> point_lock(point->mutex);
+  for (const auto& [name, point_ptr] : registry.points) {
+    Point* point = point_ptr.get();
+    MutexLock point_lock(point->mutex);
     counts[name] = point->fires;
   }
   return counts;

@@ -1,0 +1,312 @@
+#include "src/common/sync.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#if OPTIMUS_LOCK_RANK_DEBUG
+#include <atomic>
+#include <map>
+#include <set>
+#include <vector>
+#if defined(__has_include)
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define OPTIMUS_HAVE_BACKTRACE 1
+#endif
+#endif
+#endif
+
+namespace optimus {
+
+// The Release contract: wrappers are layout-identical to the std types, so
+// migrating the tree onto them costs nothing in production builds.
+#if !OPTIMUS_LOCK_RANK_DEBUG
+static_assert(sizeof(Mutex) == sizeof(lockrank::internal::RawMutex),
+              "Release Mutex must add no state over the raw mutex");
+static_assert(sizeof(SharedMutex) == sizeof(lockrank::internal::RawSharedMutex),
+              "Release SharedMutex must add no state over the raw shared mutex");
+static_assert(sizeof(CondVar) == sizeof(lockrank::internal::RawCondVar),
+              "CondVar must add no state over the raw condition variable");
+static_assert(alignof(Mutex) == alignof(lockrank::internal::RawMutex));
+static_assert(alignof(SharedMutex) == alignof(lockrank::internal::RawSharedMutex));
+#endif
+
+namespace lockrank {
+
+#if !OPTIMUS_LOCK_RANK_DEBUG
+
+// Validator compiled out: the API keeps linking so tests build in any config.
+Handler SetViolationHandler(Handler) { return nullptr; }
+size_t HeldLockCount() { return 0; }
+void ResetGraphForTest() {}
+
+#else
+
+namespace {
+
+constexpr uint32_t kUnrankedValue = static_cast<uint32_t>(LockRank::kUnranked);
+constexpr int kMaxStackFrames = 24;
+
+struct Stack {
+  void* frames[kMaxStackFrames];
+  int depth = 0;
+};
+
+Stack CaptureStack() {
+  Stack stack;
+#if defined(OPTIMUS_HAVE_BACKTRACE)
+  stack.depth = backtrace(stack.frames, kMaxStackFrames);
+#endif
+  return stack;
+}
+
+void AppendStack(std::string* out, const Stack& stack) {
+#if defined(OPTIMUS_HAVE_BACKTRACE)
+  if (stack.depth <= 0) {
+    out->append("    <no frames captured>\n");
+    return;
+  }
+  char** symbols = backtrace_symbols(const_cast<void**>(stack.frames), stack.depth);
+  for (int i = 0; i < stack.depth; ++i) {
+    out->append("    ");
+    if (symbols != nullptr) {
+      out->append(symbols[i]);
+    } else {
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%p", stack.frames[i]);
+      out->append(buffer);
+    }
+    out->push_back('\n');
+  }
+  std::free(symbols);
+#else
+  (void)stack;
+  out->append("    <backtrace unavailable on this platform>\n");
+#endif
+}
+
+struct HeldLock {
+  const void* mu = nullptr;
+  uint32_t rank = kUnrankedValue;
+  const char* name = "";
+  bool shared = false;
+  Stack stack;  // Where this thread acquired it.
+};
+
+// The per-thread held-set. A vector, not a set: release order is LIFO-ish but
+// not guaranteed (LockedNode moves), so release searches backwards.
+thread_local std::vector<HeldLock> t_held;
+
+// One recorded "A was held while acquiring B" observation.
+struct EdgeInfo {
+  const char* from_name = "";
+  const char* to_name = "";
+  uint32_t from_rank = kUnrankedValue;
+  uint32_t to_rank = kUnrankedValue;
+  Stack stack;  // The acquiring thread's stack when the edge was first seen.
+};
+
+// Global acquired-after graph over mutex *instances*, fed by every ranked
+// acquisition on every thread. Guarded by a raw mutex (never an
+// optimus::Mutex — the validator must not recurse into itself). Nodes are
+// never removed: the locks that matter here are long-lived platform state,
+// and this is debug-build-only bookkeeping.
+internal::RawMutex g_graph_mutex;
+std::map<const void*, std::map<const void*, EdgeInfo>>& Graph() {
+  static auto* graph = new std::map<const void*, std::map<const void*, EdgeInfo>>();
+  return *graph;
+}
+
+// DFS reachability over the graph; caller holds g_graph_mutex.
+bool Reachable(const void* from, const void* to, std::set<const void*>* visited) {
+  if (from == to) {
+    return true;
+  }
+  if (!visited->insert(from).second) {
+    return false;
+  }
+  auto it = Graph().find(from);
+  if (it == Graph().end()) {
+    return false;
+  }
+  for (const auto& [next, info] : it->second) {
+    if (Reachable(next, to, visited)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Appends the edge chain from `from` to `to` (names only) to the report;
+// caller holds g_graph_mutex. Returns true when a path was printed.
+bool AppendPath(std::string* out, const void* from, const void* to,
+                std::set<const void*>* visited) {
+  if (!visited->insert(from).second) {
+    return false;
+  }
+  auto it = Graph().find(from);
+  if (it == Graph().end()) {
+    return false;
+  }
+  for (auto& [next, info] : it->second) {
+    if (next == to || AppendPath(out, next, to, visited)) {
+      out->append("  edge '");
+      out->append(info.from_name);
+      out->append("' -> '");
+      out->append(info.to_name);
+      out->append("', first recorded at:\n");
+      AppendStack(out, info.stack);
+      return true;
+    }
+  }
+  return false;
+}
+
+void DefaultHandler(const Violation& violation) {
+  std::fprintf(stderr, "optimus lock-rank validator: %s\n%s", violation.kind,
+               violation.message.c_str());
+  std::abort();
+}
+
+std::atomic<Handler> g_handler{&DefaultHandler};
+
+void Report(const char* kind, std::string message) {
+  Violation violation;
+  violation.kind = kind;
+  violation.message = std::move(message);
+  g_handler.load(std::memory_order_acquire)(violation);
+}
+
+std::string DescribeLock(const char* name, uint32_t rank) {
+  std::string out = "'";
+  out.append(name);
+  out.append("' (rank ");
+  out.append(rank == kUnrankedValue ? std::string("unranked") : std::to_string(rank));
+  out.append(")");
+  return out;
+}
+
+}  // namespace
+
+Handler SetViolationHandler(Handler handler) {
+  return g_handler.exchange(handler != nullptr ? handler : &DefaultHandler,
+                            std::memory_order_acq_rel);
+}
+
+size_t HeldLockCount() { return t_held.size(); }
+
+void ResetGraphForTest() {
+  std::lock_guard<internal::RawMutex> lock(g_graph_mutex);
+  Graph().clear();
+}
+
+namespace internal {
+
+void PreAcquire(const void* mu, uint32_t rank, const char* name) {
+  const Stack here = CaptureStack();
+  // Recursive acquisition and rank inversion: checked against the thread's
+  // held-set before blocking, so a would-be deadlock reports instead of
+  // hanging the test run.
+  for (const HeldLock& held : t_held) {
+    if (held.mu == mu) {
+      std::string message = "re-acquiring " + DescribeLock(name, rank) +
+                            " already held by this thread\nfirst acquisition:\n";
+      AppendStack(&message, held.stack);
+      message.append("re-acquisition:\n");
+      AppendStack(&message, here);
+      Report("recursive-acquisition", std::move(message));
+      return;
+    }
+  }
+  if (rank == kUnrankedValue) {
+    return;  // Unranked locks are exempt from ordering checks.
+  }
+  for (const HeldLock& held : t_held) {
+    if (held.rank != kUnrankedValue && held.rank > rank) {
+      std::string message = "acquiring " + DescribeLock(name, rank) + " while holding " +
+                            DescribeLock(held.name, held.rank) +
+                            " — ranks must be acquired in increasing order\nheld lock acquired "
+                            "at:\n";
+      AppendStack(&message, held.stack);
+      message.append("offending acquisition:\n");
+      AppendStack(&message, here);
+      Report("rank-inversion", std::move(message));
+      return;
+    }
+  }
+  // Feed the acquired-after graph and detect cycles among same-or-legal rank
+  // pairs (the inversion check above already proves held.rank <= rank, so any
+  // cycle found here is a genuine cross-thread ordering disagreement —
+  // typically two threads taking two same-rank locks in opposite orders).
+  std::lock_guard<internal::RawMutex> graph_lock(g_graph_mutex);
+  for (const HeldLock& held : t_held) {
+    if (held.rank == kUnrankedValue) {
+      continue;
+    }
+    auto& out_edges = Graph()[held.mu];
+    if (out_edges.find(mu) != out_edges.end()) {
+      continue;  // Known edge; already vetted for cycles when first recorded.
+    }
+    std::set<const void*> visited;
+    if (Reachable(mu, held.mu, &visited)) {
+      std::string message = "acquiring " + DescribeLock(name, rank) + " while holding " +
+                            DescribeLock(held.name, held.rank) +
+                            " closes an acquired-after cycle:\n";
+      std::set<const void*> path_visited;
+      AppendPath(&message, mu, held.mu, &path_visited);
+      message.append("held lock acquired at:\n");
+      AppendStack(&message, held.stack);
+      message.append("offending acquisition:\n");
+      AppendStack(&message, here);
+      Report("lock-cycle", std::move(message));
+      return;  // Skip recording the cycle-closing edge (test handlers return).
+    }
+    EdgeInfo info;
+    info.from_name = held.name;
+    info.to_name = name;
+    info.from_rank = held.rank;
+    info.to_rank = rank;
+    info.stack = here;
+    out_edges.emplace(mu, std::move(info));
+  }
+}
+
+void PostAcquire(const void* mu, uint32_t rank, const char* name, bool shared) {
+  HeldLock held;
+  held.mu = mu;
+  held.rank = rank;
+  held.name = name;
+  held.shared = shared;
+  held.stack = CaptureStack();
+  t_held.push_back(std::move(held));
+}
+
+void OnTryAcquire(const void* mu, uint32_t rank, const char* name, bool shared) {
+  // A successful try-lock cannot deadlock, so it skips the ordering checks
+  // (and the graph — try-lock sites are allowed to probe against the order).
+  // It still enters the held-set: locks acquired *after* it are checked.
+  PostAcquire(mu, rank, name, shared);
+}
+
+void OnRelease(const void* mu, const char* name) {
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->mu == mu) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+  std::string message = "releasing '";
+  message.append(name);
+  message.append("' which this thread does not hold\nrelease at:\n");
+  const Stack here = CaptureStack();
+  AppendStack(&message, here);
+  Report("unheld-release", std::move(message));
+}
+
+}  // namespace internal
+
+#endif  // OPTIMUS_LOCK_RANK_DEBUG
+
+}  // namespace lockrank
+}  // namespace optimus

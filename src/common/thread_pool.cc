@@ -15,10 +15,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& worker : workers_) {
     worker.join();
   }
@@ -26,21 +26,23 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Post(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (shutting_down_) {
       throw std::runtime_error("ThreadPool: Submit after shutdown");
     }
     queue_.push_back(std::move(task));
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!shutting_down_ && queue_.empty()) {
+        work_available_.Wait(mutex_);
+      }
       if (queue_.empty()) {
         return;  // Shutting down and fully drained.
       }

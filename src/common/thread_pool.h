@@ -5,20 +5,22 @@
 // Deliberately minimal — a single locked FIFO queue, no work stealing. The
 // tasks it runs (planning a transformation, serving one HTTP request) are
 // orders of magnitude more expensive than a queue handoff, so a smarter
-// scheduler buys nothing here.
+// scheduler buys nothing here. The queue mutex ranks near the bottom of the
+// hierarchy (kThreadPool): submitters hold nothing, and workers drop it
+// before running the task.
 
 #ifndef OPTIMUS_SRC_COMMON_THREAD_POOL_H_
 #define OPTIMUS_SRC_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "src/common/sync.h"
 
 namespace optimus {
 
@@ -49,14 +51,14 @@ class ThreadPool {
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
  private:
-  void Post(std::function<void()> task);
-  void WorkerLoop();
+  void Post(std::function<void()> task) EXCLUDES(mutex_);
+  void WorkerLoop() EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::deque<std::function<void()>> queue_;
-  bool shutting_down_ = false;
-  std::vector<std::thread> workers_;
+  Mutex mutex_{LockRank::kThreadPool, "thread_pool.queue"};
+  CondVar work_available_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  bool shutting_down_ GUARDED_BY(mutex_) = false;
+  std::vector<std::thread> workers_;  // Written only in the constructor.
 };
 
 }  // namespace optimus

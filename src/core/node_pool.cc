@@ -16,11 +16,11 @@ NodePool::NodePool(int num_nodes, int containers_per_node)
   }
 }
 
-NodePool::LockedNode NodePool::Lock(int node_index) {
+NodePool::LockedNode NodePool::Lock(int node_index) NO_THREAD_SAFETY_ANALYSIS {
   Node* node = nodes_.at(static_cast<size_t>(node_index)).get();
-  std::unique_lock<std::mutex> lock(node->mutex);
+  node->mutex.Lock();  // Ownership transfers to the returned view.
   lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
-  return LockedNode(std::move(lock), node, node_index, capacity_per_node_);
+  return LockedNode(node, node_index, capacity_per_node_);
 }
 
 RealContainer* NodePool::LockedNode::FindWarm(const std::string& function) {
@@ -104,7 +104,7 @@ RealContainer* NodePool::LockedNode::Adopt(RealContainer&& container) {
 size_t NodePool::TotalContainers() const {
   size_t count = 0;
   for (const std::unique_ptr<Node>& node : nodes_) {
-    std::lock_guard<std::mutex> lock(node->mutex);
+    MutexLock lock(node->mutex);
     lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
     count += node->containers.size();
   }
@@ -114,7 +114,7 @@ size_t NodePool::TotalContainers() const {
 void NodePool::ForEachContainer(
     const std::function<void(int, const RealContainer&)>& visit) const {
   for (size_t n = 0; n < nodes_.size(); ++n) {
-    std::lock_guard<std::mutex> lock(nodes_[n]->mutex);
+    MutexLock lock(nodes_[n]->mutex);
     lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
     for (const RealContainer& container : nodes_[n]->containers) {
       visit(static_cast<int>(n), container);

@@ -15,10 +15,11 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "src/common/sync.h"
 #include "src/container/container.h"
 #include "src/runtime/loader.h"
 
@@ -35,13 +36,16 @@ struct RealContainer {
 class NodePool {
  private:
   // Node state is only touched under the node's mutex. Nodes live behind
-  // unique_ptr so the vector can be sized despite the mutex member.
+  // unique_ptr so the vector can be sized despite the mutex member. Every
+  // node mutex shares rank kNode: the invoke path holds at most one at a
+  // time (neighbor probing releases the primary first), and the lock-rank
+  // validator's acquired-after graph enforces that protocol in debug builds.
   struct Node {
-    std::mutex mutex;
-    std::vector<RealContainer> containers;
+    Mutex mutex{LockRank::kNode, "node_pool.node"};
+    std::vector<RealContainer> containers GUARDED_BY(mutex);
     // Arenas recycled from dead containers, awaiting the next cold start on
     // this node (DESIGN.md §14). Bounded by the node's container capacity.
-    std::vector<std::shared_ptr<TensorArena>> spare_arenas;
+    std::vector<std::shared_ptr<TensorArena>> spare_arenas GUARDED_BY(mutex);
   };
 
  public:
@@ -50,51 +54,90 @@ class NodePool {
   // RAII view over one locked node. Callers hold at most one at a time (the
   // platform's neighbor probing releases the primary before locking a
   // neighbor), so lock ordering is trivially deadlock-free.
+  //
+  // LockedNode is a *movable* lock view, which Clang's static analysis
+  // cannot track across moves and returns; its accessors are therefore
+  // NO_THREAD_SAFETY_ANALYSIS, with safety resting on two enforced
+  // invariants: construction only happens inside NodePool::Lock() with the
+  // node mutex held, and the debug lock-rank validator verifies every
+  // acquisition/release at runtime (an unowned access after Release() trips
+  // the unheld-release check on destruction paths).
   class LockedNode {
    public:
-    LockedNode(LockedNode&&) noexcept = default;
-    LockedNode& operator=(LockedNode&&) noexcept = default;
+    LockedNode(LockedNode&& other) noexcept
+        : node_(other.node_), index_(other.index_), capacity_(other.capacity_),
+          owns_(std::exchange(other.owns_, false)) {}
+    LockedNode& operator=(LockedNode&& other) noexcept NO_THREAD_SAFETY_ANALYSIS {
+      if (this != &other) {
+        if (owns_) {
+          node_->mutex.Unlock();
+        }
+        node_ = other.node_;
+        index_ = other.index_;
+        capacity_ = other.capacity_;
+        owns_ = std::exchange(other.owns_, false);
+      }
+      return *this;
+    }
+    ~LockedNode() NO_THREAD_SAFETY_ANALYSIS {
+      if (owns_) {
+        node_->mutex.Unlock();
+      }
+    }
 
     int index() const { return index_; }
-    std::vector<RealContainer>& containers() { return node_->containers; }
-    const std::vector<RealContainer>& containers() const { return node_->containers; }
+    std::vector<RealContainer>& containers() NO_THREAD_SAFETY_ANALYSIS {
+      return node_->containers;
+    }
+    const std::vector<RealContainer>& containers() const NO_THREAD_SAFETY_ANALYSIS {
+      return node_->containers;
+    }
 
-    RealContainer* FindWarm(const std::string& function);
-    bool Full() const { return static_cast<int>(node_->containers.size()) >= capacity_; }
+    RealContainer* FindWarm(const std::string& function) NO_THREAD_SAFETY_ANALYSIS;
+    bool Full() const NO_THREAD_SAFETY_ANALYSIS {
+      return static_cast<int>(node_->containers.size()) >= capacity_;
+    }
     // Any container idle for at least `idle_threshold` (a transform donor
     // candidate) — the predicate behind the capacity-pressure fallback.
-    bool HasIdleContainer(double now, double idle_threshold) const;
-    void ReapExpired(double now, double keep_alive);
-    void RemoveById(ContainerId id);
-    void EvictLeastRecentlyActive();
-    RealContainer* Adopt(RealContainer&& container);
+    bool HasIdleContainer(double now, double idle_threshold) const NO_THREAD_SAFETY_ANALYSIS;
+    void ReapExpired(double now, double keep_alive) NO_THREAD_SAFETY_ANALYSIS;
+    void RemoveById(ContainerId id) NO_THREAD_SAFETY_ANALYSIS;
+    void EvictLeastRecentlyActive() NO_THREAD_SAFETY_ANALYSIS;
+    RealContainer* Adopt(RealContainer&& container) NO_THREAD_SAFETY_ANALYSIS;
 
     // Hands out a tensor arena for a container about to cold-start on this
     // node: a recycled (Reset) spare when one exists, a fresh one otherwise.
     // Every container-removal path above banks the dead container's arena as
     // a spare, so steady-state churn stops allocating slabs altogether.
-    std::shared_ptr<TensorArena> AcquireArena();
+    std::shared_ptr<TensorArena> AcquireArena() NO_THREAD_SAFETY_ANALYSIS;
 
     // Spares currently banked on this node (observability / tests).
-    size_t SpareArenas() const { return node_->spare_arenas.size(); }
+    size_t SpareArenas() const NO_THREAD_SAFETY_ANALYSIS { return node_->spare_arenas.size(); }
 
     // Explicitly releases the node (the destructor also does); the view must
     // not be used afterwards.
-    void Release() { lock_.unlock(); }
+    void Release() NO_THREAD_SAFETY_ANALYSIS {
+      if (owns_) {
+        owns_ = false;
+        node_->mutex.Unlock();
+      }
+    }
 
    private:
     friend class NodePool;
-    LockedNode(std::unique_lock<std::mutex> lock, Node* node, int index, int capacity)
-        : lock_(std::move(lock)), node_(node), index_(index), capacity_(capacity) {}
+    // Takes ownership of `node`'s mutex, which the caller (NodePool::Lock)
+    // has just acquired.
+    LockedNode(Node* node, int index, int capacity) noexcept
+        : node_(node), index_(index), capacity_(capacity) {}
 
     // Banks a dying container's arena for reuse (dropped once the node
     // already holds capacity_ spares).
-    void RecycleArena(std::shared_ptr<TensorArena> arena);
+    void RecycleArena(std::shared_ptr<TensorArena> arena) NO_THREAD_SAFETY_ANALYSIS;
 
-    std::unique_lock<std::mutex> lock_;
     Node* node_;
     int index_;
     int capacity_;
+    bool owns_ = true;
   };
 
   LockedNode Lock(int node_index);

@@ -53,25 +53,25 @@ const TransformPlan& PlanCache::PlanInto(Entry* entry, const Model& source, cons
                          dest.name() + "'");
     }
     {
-      std::lock_guard<std::mutex> lock(entry->mutex);
+      MutexLock lock(entry->mutex);
       entry->plan = std::move(plan);
       entry->error.clear();
       entry->state.store(kReady, std::memory_order_release);
     }
-    entry->published.notify_all();
+    entry->published.NotifyAll();
     plan_seconds_.Observe(static_cast<double>(telemetry::MonotonicNanos() - start_ns) * 1e-9);
-    return entry->plan;
+    return entry->published_plan();
   } catch (const std::exception& e) {
     // Latch the failure so waiters see the error instead of blocking forever.
     // The latch is retryable: a later requester re-claims the entry until the
     // plan retry budget is exhausted.
     {
-      std::lock_guard<std::mutex> lock(entry->mutex);
+      MutexLock lock(entry->mutex);
       entry->error = e.what();
       entry->failed_attempts += 1;
       entry->state.store(kFailed, std::memory_order_release);
     }
-    entry->published.notify_all();
+    entry->published.NotifyAll();
     plan_seconds_.Observe(static_cast<double>(telemetry::MonotonicNanos() - start_ns) * 1e-9);
     throw;
   }
@@ -86,7 +86,7 @@ const TransformPlan& PlanCache::GetOrPlan(const Model& source, const Model& dest
   std::shared_ptr<Entry> entry;
   bool planner_thread = false;
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     auto [it, inserted] = shard.entries.try_emplace(key);
     if (inserted) {
       it->second = std::make_shared<Entry>();
@@ -96,18 +96,20 @@ const TransformPlan& PlanCache::GetOrPlan(const Model& source, const Model& dest
   }
 
   if (!planner_thread) {
-    std::unique_lock<std::mutex> lock(entry->mutex);
-    entry->published.wait(
-        lock, [&] { return entry->state.load(std::memory_order_acquire) != kPlanning; });
+    MutexLock lock(entry->mutex);
+    while (entry->state.load(std::memory_order_acquire) == kPlanning) {
+      entry->published.Wait(entry->mutex);
+    }
     if (entry->state.load(std::memory_order_acquire) == kReady) {
       hits_.Inc();
       span.Arg("hit", 1.0);
-      return entry->plan;
+      return entry->plan;  // Read under the entry latch; reference outlives it
+                           // because published plans are immutable.
     }
     // kFailed: permanent once the budget is spent, otherwise re-claim the
     // entry (flip back to kPlanning under the mutex so exactly one waiter
     // becomes the re-planner; the rest resume waiting).
-    if (entry->failed_attempts >= plan_retry_budget_) {
+    if (entry->failed_attempts >= plan_retry_budget()) {
       hits_.Inc();
       throw std::runtime_error(entry->error);
     }
@@ -121,7 +123,7 @@ const TransformPlan& PlanCache::GetOrPlan(const Model& source, const Model& dest
 bool PlanCache::Contains(const std::string& source_name, const std::string& dest_name) const {
   const Key key{source_name, dest_name};
   const Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   auto it = shard.entries.find(key);
   return it != shard.entries.end() &&
          it->second->state.load(std::memory_order_acquire) == kReady;
@@ -130,22 +132,23 @@ bool PlanCache::Contains(const std::string& source_name, const std::string& dest
 void PlanCache::ReportExecutionFailure(const std::string& source_name,
                                        const std::string& dest_name) {
   execution_failures_.Inc();
-  std::lock_guard<std::mutex> lock(quarantine_mutex_);
+  MutexLock lock(quarantine_mutex_);
   execution_failures_by_pair_[Key{source_name, dest_name}] += 1;
 }
 
 bool PlanCache::Quarantined(const std::string& source_name,
                             const std::string& dest_name) const {
-  std::lock_guard<std::mutex> lock(quarantine_mutex_);
+  MutexLock lock(quarantine_mutex_);
   auto it = execution_failures_by_pair_.find(Key{source_name, dest_name});
-  return it != execution_failures_by_pair_.end() && it->second >= execution_retry_budget_;
+  return it != execution_failures_by_pair_.end() && it->second >= execution_retry_budget();
 }
 
 size_t PlanCache::QuarantinedPairs() const {
-  std::lock_guard<std::mutex> lock(quarantine_mutex_);
+  MutexLock lock(quarantine_mutex_);
   size_t count = 0;
+  const int budget = execution_retry_budget();
   for (const auto& [key, failures] : execution_failures_by_pair_) {
-    if (failures >= execution_retry_budget_) {
+    if (failures >= budget) {
       ++count;
     }
   }
@@ -159,7 +162,7 @@ size_t PlanCache::ExecutionFailures() const {
 size_t PlanCache::Size() const {
   size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     total += shard.entries.size();
   }
   return total;
@@ -169,10 +172,10 @@ void PlanCache::Save(const std::string& path) const {
   // Collect under the shard locks, then sort by key so the file contents are
   // deterministic — identical whether the cache was warmed serially or by a
   // pool (shard order is hash order, not key order).
-  std::vector<std::pair<Key, const Entry*>> ready_entries;
-  std::vector<std::shared_ptr<Entry>> pinned;  // Keep entries alive while writing.
+  std::vector<std::pair<Key, Entry*>> ready_entries;
+  std::vector<std::shared_ptr<Entry>> pinned;  // Keep entries alive while copying.
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     for (const auto& [key, entry] : shard.entries) {
       if (entry->state.load(std::memory_order_acquire) == kReady) {
         ready_entries.emplace_back(key, entry.get());
@@ -185,6 +188,12 @@ void PlanCache::Save(const std::string& path) const {
   std::vector<TransformPlan> plans;
   plans.reserve(ready_entries.size());
   for (const auto& [key, entry] : ready_entries) {
+    // Copy under the entry latch: a concurrent Load() may be overwriting the
+    // published plan in place, and an unguarded copy here could tear. (This
+    // was a real guarded-state violation the annotation migration surfaced —
+    // the original code read entry->plan with no lock held. The shard lock is
+    // already dropped, so shard → entry nesting never happens.)
+    MutexLock entry_lock(entry->mutex);
     plans.push_back(entry->plan);
   }
   WritePlansToFile(path, plans);
@@ -200,7 +209,7 @@ void PlanCache::Load(const std::string& path) {
     Shard& shard = ShardFor(key);
     std::shared_ptr<Entry> entry;
     {
-      std::lock_guard<std::mutex> lock(shard.mutex);
+      MutexLock lock(shard.mutex);
       auto [it, inserted] = shard.entries.try_emplace(key);
       if (inserted) {
         it->second = std::make_shared<Entry>();
@@ -208,13 +217,13 @@ void PlanCache::Load(const std::string& path) {
       entry = it->second;
     }
     {
-      std::lock_guard<std::mutex> lock(entry->mutex);
+      MutexLock lock(entry->mutex);
       entry->plan = std::move(plan);
       entry->error.clear();
       entry->failed_attempts = 0;
       entry->state.store(kReady, std::memory_order_release);
     }
-    entry->published.notify_all();
+    entry->published.NotifyAll();
   }
 }
 

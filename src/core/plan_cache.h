@@ -33,14 +33,13 @@
 #define OPTIMUS_SRC_CORE_PLAN_CACHE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "src/common/sync.h"
 #include "src/common/thread_pool.h"
 #include "src/core/planner.h"
 #include "src/telemetry/metrics.h"
@@ -126,13 +125,22 @@ class PlanCache {
   bool Quarantined(const std::string& source_name, const std::string& dest_name) const;
 
   // Execution failures a pair may accumulate before being quarantined.
-  int execution_retry_budget() const { return execution_retry_budget_; }
-  void set_execution_retry_budget(int budget) { execution_retry_budget_ = budget; }
+  // Atomic so tests/operators may tune the budget while requests are in
+  // flight (previously a plain int — a data race the thread-safety migration
+  // surfaced).
+  int execution_retry_budget() const {
+    return execution_retry_budget_.load(std::memory_order_relaxed);
+  }
+  void set_execution_retry_budget(int budget) {
+    execution_retry_budget_.store(budget, std::memory_order_relaxed);
+  }
 
   // Planning attempts (initial + retries) a pair may consume before its
   // latched planning error becomes permanent.
-  int plan_retry_budget() const { return plan_retry_budget_; }
-  void set_plan_retry_budget(int budget) { plan_retry_budget_ = budget; }
+  int plan_retry_budget() const { return plan_retry_budget_.load(std::memory_order_relaxed); }
+  void set_plan_retry_budget(int budget) {
+    plan_retry_budget_.store(budget, std::memory_order_relaxed);
+  }
 
   size_t QuarantinedPairs() const;   // Pairs at/over the execution budget.
   size_t ExecutionFailures() const;  // Total failures reported.
@@ -142,8 +150,11 @@ class PlanCache {
   // Save writes plans in (source, dest) key order regardless of which threads
   // planned them; Load merges into the cache keyed by the plans' source/dest
   // names, overwriting existing entries, and rejects (throws) records that
-  // fail the model-free VerifyPlanShape checks. Neither may race with
-  // GetOrPlan callers still using returned plan references.
+  // fail the model-free VerifyPlanShape checks. Save copies each plan under
+  // its entry latch, so Save and Load may run concurrently (the annotation
+  // migration surfaced Save's previously-unlocked plan reads); Load still
+  // must not race with GetOrPlan callers holding references into the cache,
+  // since it overwrites published plans in place.
   void Save(const std::string& path) const;
   void Load(const std::string& path);
 
@@ -165,20 +176,32 @@ class PlanCache {
   // store so Contains() may read it lock-free); waiters block on `published`
   // until the state leaves kPlanning. A kFailed entry with budget remaining
   // is re-claimed by flipping it back to kPlanning.
+  //
+  // Lock order (DESIGN.md §15): shard mutex and entry mutex are never nested
+  // — GetOrPlan drops the shard lock before touching the entry latch — but
+  // they carry adjacent ranks so the validator pins the documented
+  // node → shard → entry order tree-wide.
   struct Entry {
-    std::mutex mutex;
-    std::condition_variable published;
+    Mutex mutex{LockRank::kPlanCacheEntry, "plan_cache.entry"};
+    CondVar published;
     std::atomic<uint8_t> state{kPlanning};
-    int failed_attempts = 0;  // Guarded by mutex.
-    std::string error;        // Guarded by mutex.
-    TransformPlan plan;       // Written once, before state -> kReady.
+    int failed_attempts GUARDED_BY(mutex) = 0;
+    std::string error GUARDED_BY(mutex);
+    TransformPlan plan GUARDED_BY(mutex);  // Written under mutex, before state -> kReady.
+
+    // Lock-free read of a published plan: `plan` is written under `mutex`
+    // before the kReady release-store and immutable afterwards, so a reader
+    // that observed state == kReady (acquire) needs no lock. Load()
+    // overwrites are serialized against such readers by the API contract
+    // (see the class comment).
+    const TransformPlan& published_plan() const NO_THREAD_SAFETY_ANALYSIS { return plan; }
   };
 
   static constexpr size_t kNumShards = 16;
 
   struct Shard {
-    mutable std::mutex mutex;
-    std::map<Key, std::shared_ptr<Entry>> entries;
+    mutable Mutex mutex{LockRank::kPlanCacheShard, "plan_cache.shard"};
+    std::map<Key, std::shared_ptr<Entry>> entries GUARDED_BY(mutex);
   };
 
   const Shard& ShardFor(const Key& key) const;
@@ -207,10 +230,10 @@ class PlanCache {
   telemetry::Counter& execution_failures_;
   telemetry::Histogram& plan_seconds_;
 
-  int plan_retry_budget_ = 3;
-  int execution_retry_budget_ = 2;
-  mutable std::mutex quarantine_mutex_;
-  std::map<Key, int> execution_failures_by_pair_;
+  std::atomic<int> plan_retry_budget_{3};
+  std::atomic<int> execution_retry_budget_{2};
+  mutable Mutex quarantine_mutex_{LockRank::kQuarantine, "plan_cache.quarantine"};
+  std::map<Key, int> execution_failures_by_pair_ GUARDED_BY(quarantine_mutex_);
 };
 
 }  // namespace optimus

@@ -70,10 +70,10 @@ OptimusPlatform::OptimusPlatform(const CostModel* costs, const PlatformOptions& 
 
 OptimusPlatform::~OptimusPlatform() {
   {
-    std::lock_guard<std::mutex> lock(rebalance_mutex_);
+    MutexLock lock(rebalance_mutex_);
     shutdown_ = true;
   }
-  rebalance_cv_.notify_all();
+  rebalance_cv_.NotifyAll();
   if (rebalancer_.joinable()) {
     rebalancer_.join();
   }
@@ -84,23 +84,28 @@ void OptimusPlatform::RequestRebalance() {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(rebalance_mutex_);
+    MutexLock lock(rebalance_mutex_);
     rebalance_requested_ = true;
   }
-  rebalance_cv_.notify_one();
+  rebalance_cv_.NotifyOne();
 }
 
 void OptimusPlatform::RebalancerLoop() {
-  std::unique_lock<std::mutex> lock(rebalance_mutex_);
+  MutexLock lock(rebalance_mutex_);
   for (;;) {
-    rebalance_cv_.wait(lock, [this] { return rebalance_requested_ || shutdown_; });
+    while (!rebalance_requested_ && !shutdown_) {
+      rebalance_cv_.Wait(rebalance_mutex_);
+    }
     if (shutdown_) {
       return;
     }
     rebalance_requested_ = false;
-    lock.unlock();
+    // Drop the mutex across the recompute: RebalanceNow takes the repository
+    // (rank kRepository, below kRebalance) and the demand/update locks, and
+    // invokers signalling RequestRebalance must not block on a recompute.
+    lock.Unlock();
     RebalanceNow("demand");
-    lock.lock();
+    lock.Lock();
   }
 }
 
@@ -111,7 +116,7 @@ bool OptimusPlatform::RebalanceNow(const std::string& reason) {
   std::map<std::string, uint64_t> totals;
   std::vector<const Model*> models;
   {
-    std::shared_lock<std::shared_mutex> lock(repository_mutex_);
+    ReaderLock lock(repository_mutex_);
     models.reserve(repository_.size());
     for (const auto& [name, entry] : repository_) {
       totals[name] = entry.invoke_seconds != nullptr ? entry.invoke_seconds->Count() : 0;
@@ -129,7 +134,7 @@ void OptimusPlatform::Deploy(const std::string& function, const Model& model) {
   {
     // Fast-fail on duplicates before materializing weights; the authoritative
     // check re-runs under the exclusive lock below.
-    std::shared_lock<std::shared_mutex> lock(repository_mutex_);
+    ReaderLock lock(repository_mutex_);
     if (repository_.count(function) > 0) {
       throw std::invalid_argument("Deploy: function already registered: " + function);
     }
@@ -149,7 +154,7 @@ void OptimusPlatform::Deploy(const std::string& function, const Model& model) {
   std::vector<std::reference_wrapper<const Model>> peers;
   std::vector<const Model*> peer_models;
   {
-    std::unique_lock<std::shared_mutex> lock(repository_mutex_);
+    WriterLock lock(repository_mutex_);
     if (repository_.count(function) > 0) {
       throw std::invalid_argument("Deploy: function already registered: " + function);
     }
@@ -181,7 +186,7 @@ void OptimusPlatform::DeployFile(const std::string& function, const ModelFile& f
 }
 
 size_t OptimusPlatform::NumFunctions() const {
-  std::shared_lock<std::shared_mutex> lock(repository_mutex_);
+  ReaderLock lock(repository_mutex_);
   return repository_.size();
 }
 
@@ -278,7 +283,7 @@ std::vector<Status> OptimusPlatform::TryInvokeBatch(
   const Model* model_ptr = nullptr;
   telemetry::Histogram* function_seconds = nullptr;
   {
-    std::shared_lock<std::shared_mutex> lock(repository_mutex_);
+    ReaderLock lock(repository_mutex_);
     auto model_it = repository_.find(function);
     if (model_it == repository_.end()) {
       failed_invokes_.Inc(inputs.size());
@@ -357,7 +362,7 @@ InvokeResult OptimusPlatform::InvokeInternal(const std::string& function,
   const Model* model_ptr = nullptr;
   telemetry::Histogram* function_seconds = nullptr;
   {
-    std::shared_lock<std::shared_mutex> lock(repository_mutex_);
+    ReaderLock lock(repository_mutex_);
     auto model_it = repository_.find(function);
     if (model_it == repository_.end()) {
       throw OptimusError(ErrorCode::kNotFound, "Invoke: unknown function " + function);

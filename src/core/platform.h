@@ -48,11 +48,13 @@
 // leaves the previous table serving.
 //
 // Thread safety: Deploy() and Invoke() are safe to call concurrently from any
-// number of threads. The locking discipline (also documented in DESIGN.md):
-//   * `repository_mutex_` (shared_mutex) guards the model repository — shared
-//     for Invoke's lookup, exclusive for Deploy's insert. Models are
-//     immutable once registered and std::map nodes are stable, so plain
-//     `const Model&` references remain valid outside the lock.
+// number of threads. The locking discipline (also documented in DESIGN.md §15,
+// and enforced by the annotated sync primitives + the debug lock-rank
+// validator):
+//   * `repository_mutex_` (SharedMutex, rank kRepository) guards the model
+//     repository — shared for Invoke's lookup, exclusive for Deploy's insert.
+//     Models are immutable once registered and std::map nodes are stable, so
+//     plain `const Model&` references remain valid outside the lock.
 //   * each NodePool node carries its own mutex guarding that node's container
 //     state; invocations routed to different nodes never contend, and the
 //     invoke path holds at most one node lock at a time.
@@ -67,16 +69,14 @@
 #define OPTIMUS_SRC_CORE_PLATFORM_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/sync.h"
 #include "src/common/thread_pool.h"
 #include "src/container/container.h"
 #include "src/core/node_pool.h"
@@ -249,8 +249,8 @@ class OptimusPlatform {
   InvokeResult InvokeInternal(const std::string& function, const std::vector<float>& input,
                               double now, telemetry::TraceContext* trace);
   // Wakes the background rebalancer (no-op when it is not running).
-  void RequestRebalance();
-  void RebalancerLoop();
+  void RequestRebalance() EXCLUDES(rebalance_mutex_);
+  void RebalancerLoop() EXCLUDES(rebalance_mutex_);
 
   const CostModel* costs_;
   PlatformOptions options_;
@@ -260,16 +260,19 @@ class OptimusPlatform {
   Loader loader_;
   std::unique_ptr<Transformer> transformer_;
   std::unique_ptr<ThreadPool> warm_pool_;  // Present when warm_threads > 1.
-  mutable std::shared_mutex repository_mutex_;
-  std::map<std::string, FunctionEntry> repository_;  // Loaded (weighted) models.
+  mutable SharedMutex repository_mutex_{LockRank::kRepository, "platform.repository"};
+  // Loaded (weighted) models.
+  std::map<std::string, FunctionEntry> repository_ GUARDED_BY(repository_mutex_);
   std::unique_ptr<NodePool> pool_;
   std::unique_ptr<PlacementManager> placement_;
   std::atomic<double> last_now_{0.0};
-  // Background rebalancer (running only when rebalance_interval > 0).
-  std::mutex rebalance_mutex_;
-  std::condition_variable rebalance_cv_;
-  bool rebalance_requested_ = false;
-  bool shutdown_ = false;
+  // Background rebalancer (running only when rebalance_interval > 0). Rank
+  // kRebalance sits above kNode/kPlanCache* because RebalancerLoop drops the
+  // mutex before calling RebalanceNow (which takes kRepository).
+  Mutex rebalance_mutex_{LockRank::kRebalance, "platform.rebalance"};
+  CondVar rebalance_cv_;
+  bool rebalance_requested_ GUARDED_BY(rebalance_mutex_) = false;
+  bool shutdown_ GUARDED_BY(rebalance_mutex_) = false;
   std::thread rebalancer_;
   // Monotone counters and latency series, re-homed onto the registry (the
   // registry is the single source of truth; counters() is a thin view).

@@ -36,7 +36,12 @@ using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
 
 // An accept loop on a background thread that dispatches each accepted
 // connection onto a worker pool, so the handler serves requests concurrently.
-// The handler must therefore be thread-safe; OptimusPlatform is.
+// The handler must therefore be thread-safe; OptimusPlatform is. The server
+// itself holds no mutex of its own — per-connection state is confined to the
+// pool task that owns the socket, and lifecycle is a pair of atomics — so it
+// sits outside the DESIGN.md §15 lock hierarchy; the locks a request *does*
+// take (gateway batcher, repository, node, plan cache, ...) are all ranked
+// and acquired in hierarchy order downstream of the handler.
 class HttpServer {
  public:
   HttpServer() = default;

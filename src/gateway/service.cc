@@ -152,7 +152,7 @@ void OptimusHttpService::Start(uint16_t port, int num_workers) {
 void OptimusHttpService::Stop() { server_.Stop(); }
 
 double OptimusHttpService::JitterFactor() {
-  std::lock_guard<std::mutex> lock(jitter_mutex_);
+  MutexLock lock(jitter_mutex_);
   return 1.0 + jitter_rng_.NextDouble();
 }
 
@@ -289,7 +289,7 @@ Status OptimusHttpService::InvokeBatched(const std::string& function,
   pending.input = &input;
   pending.trace = trace;
 
-  std::unique_lock<std::mutex> lock(batch_mutex_);
+  MutexLock lock(batch_mutex_);
   std::shared_ptr<FunctionQueue>& slot = batch_queues_[function];
   if (slot == nullptr) {
     slot = std::make_shared<FunctionQueue>();
@@ -300,7 +300,9 @@ Status OptimusHttpService::InvokeBatched(const std::string& function,
     if (queue->leader_active) {
       // Follower: a leader is dispatching; it will either complete this
       // request or relinquish leadership (then the oldest waiter leads next).
-      batch_cv_.wait(lock, [&] { return pending.done || !queue->leader_active; });
+      while (!pending.done && queue->leader_active) {
+        batch_cv_.Wait(batch_mutex_);
+      }
       continue;
     }
     // Leader: drain the oldest max_batch_size requests (FIFO — the fairness
@@ -313,7 +315,7 @@ Status OptimusHttpService::InvokeBatched(const std::string& function,
       batch.push_back(queue->waiting.front());
       queue->waiting.pop_front();
     }
-    lock.unlock();
+    lock.Unlock();
 
     std::vector<const std::vector<float>*> inputs;
     std::vector<telemetry::TraceContext*> traces;
@@ -334,7 +336,7 @@ Status OptimusHttpService::InvokeBatched(const std::string& function,
       statuses.assign(batch.size(), Status(ErrorCode::kInternal, error.what()));
     }
 
-    lock.lock();
+    lock.Lock();
     for (size_t i = 0; i < batch.size(); ++i) {
       batch[i]->status = i < statuses.size() ? statuses[i]
                                              : Status(ErrorCode::kInternal, "missing batch result");
@@ -344,7 +346,7 @@ Status OptimusHttpService::InvokeBatched(const std::string& function,
       batch[i]->done = true;
     }
     queue->leader_active = false;
-    batch_cv_.notify_all();
+    batch_cv_.NotifyAll();
   }
   // Drop the queue entry once idle so the map stays bounded by the number of
   // functions with requests actually in flight. The shared_ptr keeps the

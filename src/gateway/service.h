@@ -42,16 +42,15 @@
 #define OPTIMUS_SRC_GATEWAY_SERVICE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/sync.h"
 #include "src/core/platform.h"
 #include "src/gateway/http.h"
 
@@ -116,6 +115,11 @@ class OptimusHttpService {
   // a condition variable until the leader posts their result. Requests are
   // served strictly in arrival order, so a request waits at most
   // ceil(queue position / max_batch_size) dispatches — the fairness bound.
+  // PendingInvoke/FunctionQueue state is protected by batch_mutex_ (the
+  // structs cannot name the outer class's member in a GUARDED_BY, so the
+  // contract is documented here and checked by the dynamic validator): every
+  // field except the leader's private `batch` snapshot is read and written
+  // only between MutexLock(batch_mutex_) and the matching release.
   struct PendingInvoke {
     const std::vector<float>* input = nullptr;
     telemetry::TraceContext* trace = nullptr;
@@ -153,15 +157,18 @@ class OptimusHttpService {
   telemetry::Histogram& invoke_request_seconds_;
   telemetry::Gauge& live_containers_;
   telemetry::Gauge& functions_gauge_;
-  std::mutex jitter_mutex_;
-  Rng jitter_rng_;
+  // kJitter is a leaf rank: JitterFactor holds it for one RNG draw only.
+  Mutex jitter_mutex_{LockRank::kJitter, "gateway.jitter"};
+  Rng jitter_rng_ GUARDED_BY(jitter_mutex_);
   // Batcher state: per-function pending queues under one gateway-wide mutex
-  // (held only for queue bookkeeping, never across a platform dispatch).
+  // (held only for queue bookkeeping, never across a platform dispatch —
+  // which is why kGatewayBatch sits at the bottom of the lock hierarchy:
+  // a leader releases it before entering the platform's ranks).
   // Queues are shared_ptr so a drained entry can be erased from the map while
   // just-completed waiters still hold their reference.
-  std::mutex batch_mutex_;
-  std::condition_variable batch_cv_;
-  std::map<std::string, std::shared_ptr<FunctionQueue>> batch_queues_;
+  Mutex batch_mutex_{LockRank::kGatewayBatch, "gateway.batch"};
+  CondVar batch_cv_;
+  std::map<std::string, std::shared_ptr<FunctionQueue>> batch_queues_ GUARDED_BY(batch_mutex_);
 };
 
 }  // namespace optimus

@@ -54,7 +54,7 @@ void PlacementManager::PublishLocked(std::shared_ptr<const PlacementTable> next)
 }
 
 void PlacementManager::AddFunction(const Model& model, const std::vector<const Model*>& peers) {
-  std::lock_guard<std::mutex> lock(update_mutex_);
+  MutexLock lock(update_mutex_);
   const std::shared_ptr<const PlacementTable> current = store_.Snapshot();
   if (current->NodeOf(model.name()) >= 0) {
     return;  // Already placed; deploys never move existing functions.
@@ -77,7 +77,7 @@ void PlacementManager::AddFunction(const Model& model, const std::vector<const M
 bool PlacementManager::Rebalance(const std::vector<const Model*>& models,
                                  const std::map<std::string, DemandSeries>& history,
                                  const std::string& reason) {
-  std::lock_guard<std::mutex> lock(update_mutex_);
+  MutexLock lock(update_mutex_);
   const std::shared_ptr<const PlacementTable> current = store_.Snapshot();
   try {
     // The injected failure models a solver crash mid-recompute: nothing may

@@ -18,10 +18,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/common/sync.h"
 #include "src/placement/placement.h"
 #include "src/telemetry/metrics.h"
 
@@ -79,13 +79,17 @@ class PlacementManager {
   std::string StatsJson() const;
 
  private:
-  void PublishLocked(std::shared_ptr<const PlacementTable> next);
+  void PublishLocked(std::shared_ptr<const PlacementTable> next) REQUIRES(update_mutex_);
 
   PlacementManagerOptions options_;
   std::unique_ptr<PlacementPolicy> policy_;
   PlacementStore store_;
   DemandAccumulator demand_;
-  std::mutex update_mutex_;  // Serializes AddFunction/Rebalance swaps.
+  // Serializes AddFunction/Rebalance swaps. The store swap itself is an
+  // atomic release-store; the mutex only orders competing *writers*, which
+  // is why Route/Table stay lock-free. Holders call into the solver and the
+  // metrics registry, so kPlacementUpdate ranks below kMetricsRegistry.
+  Mutex update_mutex_{LockRank::kPlacementUpdate, "placement.update"};
   std::atomic<double> next_rebalance_due_;
   std::atomic<uint64_t> rebalances_{0};
   std::atomic<uint64_t> rebalance_failures_{0};

@@ -230,7 +230,7 @@ DemandAccumulator::DemandAccumulator(size_t max_slots)
     : max_slots_(max_slots < 2 ? 2 : max_slots) {}
 
 void DemandAccumulator::RecordCumulative(const std::map<std::string, uint64_t>& totals) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   // Close one slot: every known function gets exactly one new sample so the
   // series stay aligned for the Pearson-correlation term.
   for (const auto& [function, total] : totals) {
@@ -251,12 +251,12 @@ void DemandAccumulator::RecordCumulative(const std::map<std::string, uint64_t>& 
 }
 
 std::map<std::string, DemandSeries> DemandAccumulator::History() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return series_;
 }
 
 size_t DemandAccumulator::Slots() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return slots_;
 }
 

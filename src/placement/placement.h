@@ -29,12 +29,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/balancer/balancer.h"
+#include "src/common/sync.h"
 #include "src/graph/model.h"
 #include "src/runtime/cost_model.h"
 #include "src/workload/trace.h"
@@ -152,11 +152,14 @@ class DemandAccumulator {
   size_t Slots() const;
 
  private:
-  mutable std::mutex mutex_;
+  // Rank kDemand is near the top of the hierarchy: harvesting holds no other
+  // lock, and RecordDemand/History are called with at most the rebalance
+  // protocol's locks already dropped.
+  mutable Mutex mutex_{LockRank::kDemand, "placement.demand"};
   size_t max_slots_;
-  size_t slots_ = 0;
-  std::map<std::string, uint64_t> last_;
-  std::map<std::string, DemandSeries> series_;
+  size_t slots_ GUARDED_BY(mutex_) = 0;
+  std::map<std::string, uint64_t> last_ GUARDED_BY(mutex_);
+  std::map<std::string, DemandSeries> series_ GUARDED_BY(mutex_);
 };
 
 }  // namespace optimus

@@ -4,7 +4,6 @@
 #include <bit>
 #include <cmath>
 #include <cstdio>
-#include <mutex>
 #include <sstream>
 #include <stdexcept>
 
@@ -138,7 +137,7 @@ double HistogramSnapshot::Percentile(double p) const {
 MetricsRegistry::Series& MetricsRegistry::GetSeries(const std::string& name, const Labels& labels,
                                                     const std::string& help, MetricType type) {
   {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+    ReaderLock lock(mutex_);
     auto family_it = families_.find(name);
     if (family_it != families_.end()) {
       if (family_it->second.type != type) {
@@ -151,7 +150,7 @@ MetricsRegistry::Series& MetricsRegistry::GetSeries(const std::string& name, con
       }
     }
   }
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  WriterLock lock(mutex_);
   Family& family = families_[name];
   if (family.series.empty()) {
     family.type = type;
@@ -259,7 +258,7 @@ std::string FormatValue(double value) {
 
 std::string MetricsRegistry::RenderPrometheus() const {
   std::ostringstream out;
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderLock lock(mutex_);
   for (const auto& [name, family] : families_) {
     if (!family.help.empty()) {
       out << "# HELP " << name << " " << family.help << "\n";
@@ -301,7 +300,7 @@ std::string MetricsRegistry::RenderPrometheus() const {
 void MetricsRegistry::VisitHistograms(
     const std::function<void(const std::string&, const Labels&, const HistogramSnapshot&)>& visit)
     const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderLock lock(mutex_);
   for (const auto& [name, family] : families_) {
     if (family.type != MetricType::kHistogram) {
       continue;

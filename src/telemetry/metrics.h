@@ -34,10 +34,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "src/common/sync.h"
 
 namespace optimus {
 namespace telemetry {
@@ -219,8 +220,11 @@ class MetricsRegistry {
                     MetricType type);
 
   std::atomic<bool> enabled_{true};
-  mutable std::shared_mutex mutex_;
-  std::map<std::string, Family> families_;
+  // kMetricsRegistry ranks near the top: series are resolved (GetCounter /
+  // GetHistogram) while callers hold repository or placement locks, and a
+  // registry holder never calls back into lower-ranked subsystems.
+  mutable SharedMutex mutex_{LockRank::kMetricsRegistry, "metrics.registry"};
+  std::map<std::string, Family> families_ GUARDED_BY(mutex_);
 };
 
 }  // namespace telemetry

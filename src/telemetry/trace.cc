@@ -45,7 +45,7 @@ std::unique_ptr<TraceContext> TraceCollector::MaybeStartTrace(const std::string&
   {
     // One RNG draw per decision keeps the sequence deterministic for a fixed
     // seed regardless of the period in force at each call.
-    std::lock_guard<std::mutex> lock(sampler_mutex_);
+    MutexLock lock(sampler_mutex_);
     sampled = sampler_rng_.NextU64() % period == 0;
   }
   if (!sampled) {

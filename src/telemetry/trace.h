@@ -27,12 +27,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/sync.h"
 #include "src/telemetry/metrics.h"
 
 namespace optimus {
@@ -170,8 +170,9 @@ class TraceCollector {
   std::atomic<uint64_t> cursor_{0};
   std::atomic<uint64_t> next_id_{1};
   std::atomic<uint64_t> sample_period_;
-  std::mutex sampler_mutex_;
-  Rng sampler_rng_;
+  // Leaf rank: held for exactly one RNG draw per sampling decision.
+  Mutex sampler_mutex_{LockRank::kTraceSampler, "trace.sampler"};
+  Rng sampler_rng_ GUARDED_BY(sampler_mutex_);
 };
 
 // Serializes traces as Chrome trace_event JSON ("X" complete events; ts/dur

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <set>
 #include <string>
 #include <thread>
@@ -139,6 +140,87 @@ TEST(ConcurrencyPlanCacheTest, ParallelWarmMatchesSerialContents) {
                        serial.GetOrPlan(source, dest).total_cost);
     }
   }
+}
+
+// Regression: Save() used to copy entry->plan with no lock held, racing
+// Load()'s in-place overwrite of published plans — a guarded-state violation
+// the GUARDED_BY migration surfaced. Save now copies each plan under its
+// entry latch; this stress fails under TSan against the old code.
+TEST(ConcurrencyPlanCacheTest, SaveAndLoadRunConcurrently) {
+  AnalyticCostModel costs;
+  PlanCache cache(&costs);
+  const std::vector<Model> models = {TinyVgg(11), TinyVgg(13), TinyResNet(18)};
+  for (const Model& source : models) {
+    for (const Model& dest : models) {
+      if (source.name() != dest.name()) {
+        cache.GetOrPlan(source, dest);
+      }
+    }
+  }
+  // Two distinct files so the file I/O itself never races: Load re-reads a
+  // fixed snapshot (overwriting the cache's published plans in place) while
+  // Save concurrently copies those same plans out under the entry latches.
+  const std::string snapshot = testing::TempDir() + "/optimus_race_snapshot.plans";
+  const std::string out = testing::TempDir() + "/optimus_race_out.plans";
+  cache.Save(snapshot);
+
+  std::atomic<bool> stop{false};
+  std::thread loader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      cache.Load(snapshot);
+    }
+  });
+  for (int i = 0; i < 50; ++i) {
+    cache.Save(out);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  loader.join();
+
+  const size_t pairs = models.size() * (models.size() - 1);
+  EXPECT_EQ(cache.Size(), pairs);
+  PlanCache restored(&costs);
+  restored.Load(out);
+  EXPECT_EQ(restored.Size(), pairs);
+  std::remove(snapshot.c_str());
+  std::remove(out.c_str());
+}
+
+// Regression: the plan/execution retry budgets were plain ints written by
+// set_*_budget() while GetOrPlan/Quarantined read them concurrently — a data
+// race surfaced by the migration; they are atomics now.
+TEST(ConcurrencyPlanCacheTest, BudgetTuningDuringTraffic) {
+  AnalyticCostModel costs;
+  PlanCache cache(&costs);
+  const Model vgg11 = TinyVgg(11);
+  const Model vgg16 = TinyVgg(16);
+
+  std::atomic<bool> stop{false};
+  std::thread tuner([&] {
+    int budget = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      cache.set_plan_retry_budget(1 + (budget % 4));
+      cache.set_execution_retry_budget(1 + (budget % 3));
+      ++budget;
+    }
+  });
+  std::vector<std::thread> traffic;
+  for (int t = 0; t < 4; ++t) {
+    traffic.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        cache.GetOrPlan(vgg11, vgg16);
+        cache.ReportExecutionFailure("ghost_src", "ghost_dst");
+        cache.Quarantined("ghost_src", "ghost_dst");
+      }
+    });
+  }
+  for (auto& thread : traffic) {
+    thread.join();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  tuner.join();
+
+  EXPECT_TRUE(cache.Contains(vgg11.name(), vgg16.name()));
+  EXPECT_EQ(cache.ExecutionFailures(), 800u);
 }
 
 // --- OptimusPlatform ----------------------------------------------------------
