@@ -9,6 +9,11 @@
 //   --nodes=N                      number of worker nodes (default 1)
 //   --balancer=<hash|load_based|model_sharing>
 //                                  placement policy for function->node routing
+//   --tenant-rate=R                per-tenant admission: R requests/sec per
+//                                  tenant= attribute (default 0 = disabled)
+//
+// With --nodes>=2 the script also walks the operational surface from
+// DESIGN.md §16: GET /healthz, POST /nodes/<id>/drain, POST /nodes/<id>/revive.
 
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +38,7 @@ int main(int argc, char** argv) {
   AnalyticCostModel costs;
   PlatformOptions options;
   options.containers_per_node = 2;
+  GatewayOptions gateway;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -43,10 +49,12 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "unknown balancer '%s'\n", arg.substr(11).c_str());
         return 1;
       }
+    } else if (arg.rfind("--tenant-rate=", 0) == 0) {
+      gateway.tenant_rate = std::atof(arg.c_str() + 14);
     } else {
       std::fprintf(stderr,
                    "usage: http_gateway [--nodes=N] "
-                   "[--balancer=hash|load_based|model_sharing]\n");
+                   "[--balancer=hash|load_based|model_sharing] [--tenant-rate=R]\n");
       return 1;
     }
   }
@@ -55,7 +63,7 @@ int main(int argc, char** argv) {
 
   // A scripted virtual clock so the demo's idle thresholds fire instantly.
   double now = 0.0;
-  OptimusHttpService service(&costs, options, [&now] { return now; });
+  OptimusHttpService service(&costs, options, gateway, [&now] { return now; });
   service.Start(/*port=*/0);
   std::printf("optimus gateway listening on 127.0.0.1:%u\n\n", service.port());
 
@@ -79,6 +87,33 @@ int main(int argc, char** argv) {
   post("/invoke?name=vgg19", "0.5,0.5,0.5,0.5");  // Transform from a donor.
   now = 121.0;
   post("/invoke?name=vgg19", "0.5,0.5,0.5,0.5");  // Warm.
+
+  auto get = [&](const std::string& target) {
+    const HttpResponse response = HttpFetch(service.port(), "GET", target);
+    std::printf("GET  %-22s -> %d\n%s\n", target.c_str(), response.status,
+                response.body.c_str());
+  };
+
+  if (options.num_nodes >= 2) {
+    // Operational surface (DESIGN.md §16): kill a node, watch /healthz
+    // degrade while invokes keep landing on the survivors, then revive it.
+    get("/healthz");
+    post("/nodes/1/drain?grace=0", "");
+    now = 122.0;
+    post("/invoke?name=vgg19", "0.5,0.5,0.5,0.5");  // Re-homed off node 1.
+    get("/healthz");
+    post("/nodes/1/revive", "");
+    get("/healthz");
+  }
+
+  if (gateway.tenant_rate > 0.0) {
+    // Burst one tenant past its bucket: the tail of the burst sheds with
+    // 429 + Retry-After while a second tenant stays admitted.
+    for (int i = 0; i < 3; ++i) {
+      post("/invoke?name=vgg11&tenant=alice", "0.5,0.5,0.5,0.5");
+    }
+    post("/invoke?name=vgg11&tenant=bob", "0.5,0.5,0.5,0.5");
+  }
 
   const HttpResponse stats = HttpFetch(service.port(), "GET", "/stats");
   std::printf("GET /stats -> %d\n%s", stats.status, stats.body.c_str());

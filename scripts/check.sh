@@ -8,12 +8,15 @@
 #   SKIP_BENCH  set to 1 to stop after the test suite (sanitized benches are slow)
 #   OPTIMUS_FAULTS  fault-injection spec (src/common/fault.h) inherited by every
 #               test/tool run below — e.g. "executor.step=prob:0.01@7" hardens
-#               the whole suite against injected transform failures. The chaos
+#               the whole suite against injected transform failures, and
+#               "node.revoke=prob:0.005@3;tenant.quota_exhausted=nth:50"
+#               layers node churn + tenant-quota rejections on top. The chaos
 #               sweep arms its own seeded faults regardless.
 #
 # Examples:
 #   scripts/check.sh                                  # tier-1: Release + ctest + benches
 #   SANITIZE=thread SKIP_BENCH=1 scripts/check.sh     # the CI TSan job, locally
+#   OPTIMUS_FAULTS="node.revoke=prob:0.01@9" scripts/check.sh  # churn-hardened suite
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -43,6 +46,11 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure
 # path; exits non-zero on any DESIGN.md §11 invariant violation. Also prints
 # latency-percentile/drift summaries and asserts span accounting balances.
 "$BUILD_DIR"/tools/optimus_chaos --smoke
+
+# Node-churn storm smoke (DESIGN.md §16): 30% kill/revive cycles with counter
+# reconciliation and container-integrity checks; counters-only output, so the
+# fixed-seed sweep is bit-reproducible (CI diffs two runs).
+"$BUILD_DIR"/tools/optimus_chaos --smoke --storm
 
 # Telemetry endpoint smoke (DESIGN.md §12): a real gateway must serve
 # /metrics as valid Prometheus exposition text and /trace as Chrome

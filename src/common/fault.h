@@ -35,6 +35,11 @@
 //   gateway.drop        request dropped at the gateway (503)
 //   placement.rebalance placement recompute failure (previous table keeps
 //                       serving; counted in optimus_rebalance_failures_total)
+//   node.revoke         spot revocation of the freshly-routed node mid-invoke
+//                       (zero grace; the request fails retryable UNAVAILABLE
+//                       and the next attempt re-homes — DESIGN.md §16)
+//   tenant.quota_exhausted  gateway tenant admission forced to reject (429 +
+//                       Retry-After) regardless of the token bucket's level
 
 #ifndef OPTIMUS_SRC_COMMON_FAULT_H_
 #define OPTIMUS_SRC_COMMON_FAULT_H_

@@ -98,6 +98,7 @@ namespace optimus {
 // before (never across) a platform dispatch, and the invoke path goes
 // node → plan-cache shard → plan-cache entry latch.
 enum class LockRank : uint32_t {
+  kTenantAdmission = 5,   // gateway per-tenant token buckets (service.cc)
   kGatewayBatch = 10,     // gateway batcher queues (service.cc)
   kRepository = 20,       // platform model repository (shared)
   kPlacementUpdate = 30,  // placement manager table swaps

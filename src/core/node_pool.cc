@@ -1,9 +1,24 @@
 #include "src/core/node_pool.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace optimus {
+
+const char* NodeLifecycleName(NodeLifecycle state) {
+  switch (state) {
+    case NodeLifecycle::kUp:
+      return "up";
+    case NodeLifecycle::kDraining:
+      return "draining";
+    case NodeLifecycle::kDown:
+      return "down";
+    case NodeLifecycle::kReviving:
+      return "reviving";
+  }
+  return "unknown";
+}
 
 NodePool::NodePool(int num_nodes, int containers_per_node)
     : capacity_per_node_(containers_per_node) {
@@ -90,7 +105,11 @@ std::shared_ptr<TensorArena> NodePool::LockedNode::AcquireArena() {
 }
 
 void NodePool::LockedNode::RecycleArena(std::shared_ptr<TensorArena> arena) {
-  if (arena == nullptr || static_cast<int>(node_->spare_arenas.size()) >= capacity_) {
+  // A dead owner banks nothing: once the node is Down (or finalizing), its
+  // spare pool is being reclaimed, so the arena is simply dropped rather than
+  // leaked into a pool nobody will ever drain (DESIGN.md §16).
+  if (arena == nullptr || static_cast<int>(node_->spare_arenas.size()) >= capacity_ ||
+      node_->lifecycle.load(std::memory_order_acquire) == NodeLifecycle::kDown) {
     return;
   }
   node_->spare_arenas.push_back(std::move(arena));
@@ -98,7 +117,98 @@ void NodePool::LockedNode::RecycleArena(std::shared_ptr<TensorArena> arena) {
 
 RealContainer* NodePool::LockedNode::Adopt(RealContainer&& container) {
   node_->containers.push_back(std::move(container));
+  // First container on a Reviving node: the node is warm again.
+  NodeLifecycle expected = NodeLifecycle::kReviving;
+  node_->lifecycle.compare_exchange_strong(expected, NodeLifecycle::kUp,
+                                           std::memory_order_acq_rel);
   return &node_->containers.back();
+}
+
+int NodePool::AcceptingNodes() const {
+  int count = 0;
+  for (int i = 0; i < num_nodes(); ++i) {
+    if (Accepting(i)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+bool NodePool::RevokeNode(int node_index, double grace_seconds, double now) {
+  Node* node = nodes_.at(static_cast<size_t>(node_index)).get();
+  MutexLock lock(node->mutex);
+  lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  const NodeLifecycle state = node->lifecycle.load(std::memory_order_acquire);
+  if (state == NodeLifecycle::kDraining || state == NodeLifecycle::kDown) {
+    return false;  // Already revoked.
+  }
+  revocations_.fetch_add(1, std::memory_order_relaxed);
+  if (grace_seconds <= 0.0) {
+    ReclaimLocked(node);
+    return true;
+  }
+  node->drain_deadline.store(now + grace_seconds, std::memory_order_release);
+  node->lifecycle.store(NodeLifecycle::kDraining, std::memory_order_release);
+  draining_nodes_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+size_t NodePool::FinalizeExpiredDrains(double now) {
+  if (DrainingNodes() == 0) {
+    return 0;  // Fast path: nothing draining, one relaxed load.
+  }
+  size_t reclaimed = 0;
+  for (const std::unique_ptr<Node>& owned : nodes_) {
+    Node* node = owned.get();
+    if (node->lifecycle.load(std::memory_order_acquire) != NodeLifecycle::kDraining ||
+        now < node->drain_deadline.load(std::memory_order_acquire)) {
+      continue;
+    }
+    MutexLock lock(node->mutex);
+    lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    // Re-check under the lock: a racing finalize may have beaten us here.
+    if (node->lifecycle.load(std::memory_order_acquire) != NodeLifecycle::kDraining ||
+        now < node->drain_deadline.load(std::memory_order_acquire)) {
+      continue;
+    }
+    reclaimed += ReclaimLocked(node);
+    draining_nodes_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return reclaimed;
+}
+
+bool NodePool::ReviveNode(int node_index) {
+  Node* node = nodes_.at(static_cast<size_t>(node_index)).get();
+  MutexLock lock(node->mutex);
+  lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  if (node->lifecycle.load(std::memory_order_acquire) != NodeLifecycle::kDown) {
+    return false;
+  }
+  node->drain_deadline.store(std::numeric_limits<double>::infinity(),
+                             std::memory_order_release);
+  node->lifecycle.store(NodeLifecycle::kReviving, std::memory_order_release);
+  revives_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::vector<NodeLifecycle> NodePool::LifecycleSnapshot() const {
+  std::vector<NodeLifecycle> snapshot;
+  snapshot.reserve(nodes_.size());
+  for (const std::unique_ptr<Node>& node : nodes_) {
+    snapshot.push_back(node->lifecycle.load(std::memory_order_acquire));
+  }
+  return snapshot;
+}
+
+size_t NodePool::ReclaimLocked(Node* node) {
+  const size_t reclaimed = node->containers.size();
+  node->containers.clear();
+  node->spare_arenas.clear();
+  node->drain_deadline.store(std::numeric_limits<double>::infinity(),
+                             std::memory_order_release);
+  node->lifecycle.store(NodeLifecycle::kDown, std::memory_order_release);
+  reclaimed_containers_.fetch_add(reclaimed, std::memory_order_relaxed);
+  return reclaimed;
 }
 
 size_t NodePool::TotalContainers() const {

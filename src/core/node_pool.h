@@ -8,12 +8,23 @@
 // Lock acquisitions are counted (relaxed atomic) so tests can assert routing
 // really is O(1) — a warm hit must take exactly one node lock no matter how
 // many nodes the pool has.
+//
+// Node lifecycle (DESIGN.md §16): every node carries an explicit state
+// machine — Up → Draining → Down, with Down → Reviving → Up on revive — so
+// spot revocation is a first-class event instead of an error path. A revoked
+// node stops accepting new routes immediately (Accepting() is a lock-free
+// atomic read the router consults); in-flight work already holding the node
+// may finish within the grace window; past the window the drain is finalized
+// lazily (FinalizeExpiredDrains) and the node's containers *and* banked spare
+// arenas are reclaimed, so a dead owner never leaks slabs through the PR 6
+// recycling path.
 
 #ifndef OPTIMUS_SRC_CORE_NODE_POOL_H_
 #define OPTIMUS_SRC_CORE_NODE_POOL_H_
 
 #include <atomic>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <string>
 #include <utility>
@@ -24,6 +35,18 @@
 #include "src/runtime/loader.h"
 
 namespace optimus {
+
+// The per-node lifecycle state machine. Legal transitions:
+//   kUp       → kDraining   RevokeNode(grace > 0): no new routes, grace window
+//   kUp       → kDown       RevokeNode(grace == 0): immediate reclaim
+//   kDraining → kDown       grace expired (FinalizeExpiredDrains)
+//   kDown     → kReviving   ReviveNode(): accepts routes again, still empty
+//   kReviving → kUp         first container adopted (the node is warm again)
+enum class NodeLifecycle : uint8_t { kUp = 0, kDraining, kDown, kReviving };
+
+// Stable lower-case names ("up" / "draining" / "down" / "reviving") for
+// /healthz, logs, and metric labels.
+const char* NodeLifecycleName(NodeLifecycle state);
 
 // A live container: a real ModelInstance pinned to a function.
 struct RealContainer {
@@ -46,6 +69,13 @@ class NodePool {
     // Arenas recycled from dead containers, awaiting the next cold start on
     // this node (DESIGN.md §14). Bounded by the node's container capacity.
     std::vector<std::shared_ptr<TensorArena>> spare_arenas GUARDED_BY(mutex);
+    // Lifecycle state (DESIGN.md §16). Reads are lock-free (the router checks
+    // Accepting() on every invoke); transitions happen under `mutex` so they
+    // serialize with container reclaim.
+    std::atomic<NodeLifecycle> lifecycle{NodeLifecycle::kUp};
+    // Virtual time at which a Draining node's grace window closes. Only
+    // meaningful while lifecycle == kDraining.
+    std::atomic<double> drain_deadline{std::numeric_limits<double>::infinity()};
   };
 
  public:
@@ -97,6 +127,24 @@ class NodePool {
     bool Full() const NO_THREAD_SAFETY_ANALYSIS {
       return static_cast<int>(node_->containers.size()) >= capacity_;
     }
+    NodeLifecycle lifecycle() const {
+      return node_->lifecycle.load(std::memory_order_acquire);
+    }
+    // Whether work may still run on this node at virtual time `now`: Up and
+    // Reviving nodes always, a Draining node only inside its grace window,
+    // a Down node never (DESIGN.md §16 grace-window semantics).
+    bool Servable(double now) const {
+      switch (lifecycle()) {
+        case NodeLifecycle::kUp:
+        case NodeLifecycle::kReviving:
+          return true;
+        case NodeLifecycle::kDraining:
+          return now < node_->drain_deadline.load(std::memory_order_acquire);
+        case NodeLifecycle::kDown:
+          return false;
+      }
+      return false;
+    }
     // Any container idle for at least `idle_threshold` (a transform donor
     // candidate) — the predicate behind the capacity-pressure fallback.
     bool HasIdleContainer(double now, double idle_threshold) const NO_THREAD_SAFETY_ANALYSIS;
@@ -146,6 +194,51 @@ class NodePool {
   int capacity_per_node() const { return capacity_per_node_; }
   ContainerId AllocateId() { return next_container_id_.fetch_add(1, std::memory_order_relaxed); }
 
+  // --- Node lifecycle (DESIGN.md §16). --------------------------------------
+
+  NodeLifecycle Lifecycle(int node_index) const {
+    return nodes_.at(static_cast<size_t>(node_index))->lifecycle.load(std::memory_order_acquire);
+  }
+
+  // Whether the node accepts *new* routes (Up or Reviving). Lock-free; the
+  // router consults this on every invoke.
+  bool Accepting(int node_index) const {
+    const NodeLifecycle state = Lifecycle(node_index);
+    return state == NodeLifecycle::kUp || state == NodeLifecycle::kReviving;
+  }
+
+  // Nodes currently accepting new routes.
+  int AcceptingNodes() const;
+
+  // Revokes the node (spot revocation / operator drain). Up/Reviving →
+  // Draining with a grace window of `grace_seconds` virtual seconds; a grace
+  // of zero (or less) goes straight to Down, reclaiming containers and spare
+  // arenas immediately. Returns false (no-op) when the node is already
+  // Draining or Down.
+  bool RevokeNode(int node_index, double grace_seconds, double now);
+
+  // Finalizes every Draining node whose grace window has closed: its
+  // containers and banked spare arenas are reclaimed and it transitions to
+  // Down. Returns the number of containers reclaimed. Cheap when no node is
+  // draining (one relaxed atomic read via DrainingNodes()).
+  size_t FinalizeExpiredDrains(double now);
+
+  // Down → Reviving: the node accepts routes again (still container-less; it
+  // promotes itself to Up when the first container is adopted). Returns false
+  // (no-op) unless the node is Down.
+  bool ReviveNode(int node_index);
+
+  // Lifecycle observability.
+  int DrainingNodes() const { return draining_nodes_.load(std::memory_order_relaxed); }
+  std::vector<NodeLifecycle> LifecycleSnapshot() const;
+  uint64_t Revocations() const { return revocations_.load(std::memory_order_relaxed); }
+  uint64_t Revives() const { return revives_.load(std::memory_order_relaxed); }
+  // Containers reclaimed by drains finalizing (kill accounting for chaos
+  // counter reconciliation).
+  uint64_t ReclaimedContainers() const {
+    return reclaimed_containers_.load(std::memory_order_relaxed);
+  }
+
   // Total live containers across all nodes (locks each node in turn).
   size_t TotalContainers() const;
 
@@ -159,10 +252,19 @@ class NodePool {
   }
 
  private:
+  // Clears the node's containers and spare arenas and marks it Down. Caller
+  // holds the node's mutex.
+  size_t ReclaimLocked(Node* node) NO_THREAD_SAFETY_ANALYSIS;
+
   std::vector<std::unique_ptr<Node>> nodes_;
   int capacity_per_node_;
   std::atomic<ContainerId> next_container_id_{0};
   mutable std::atomic<uint64_t> lock_acquisitions_{0};
+  // Lifecycle accounting (relaxed: the counts are monotone observability).
+  std::atomic<int> draining_nodes_{0};
+  std::atomic<uint64_t> revocations_{0};
+  std::atomic<uint64_t> revives_{0};
+  std::atomic<uint64_t> reclaimed_containers_{0};
 };
 
 }  // namespace optimus

@@ -4,6 +4,7 @@
 #include <functional>
 #include <stdexcept>
 
+#include "src/common/fault.h"
 #include "src/runtime/inference.h"
 
 namespace optimus {
@@ -33,6 +34,16 @@ OptimusPlatform::OptimusPlatform(const CostModel* costs, const PlatformOptions& 
                                           "TryInvoke calls that returned a non-OK status")),
       warm_batches_(metrics_.GetCounter("optimus_warm_batches_total", {},
                                         "Batches served fully warm under one node lock")),
+      node_revocations_(metrics_.GetCounter("optimus_node_revocations_total", {},
+                                            "Node revocations issued (drain or immediate kill)")),
+      node_revives_(metrics_.GetCounter("optimus_node_revives_total", {},
+                                        "Down nodes brought back into rotation")),
+      drained_containers_(
+          metrics_.GetCounter("optimus_drained_containers_total", {},
+                              "Containers reclaimed by node kills and finalized drains")),
+      rerouted_invokes_(
+          metrics_.GetCounter("optimus_rerouted_invokes_total", {},
+                              "Invokes re-homed because the routed node was not accepting")),
       invoke_seconds_warm_(metrics_.GetHistogram("optimus_invoke_seconds", {{"start", "warm"}},
                                                  "End-to-end invoke wall seconds by start type")),
       invoke_seconds_transform_(
@@ -130,6 +141,71 @@ bool OptimusPlatform::RebalanceNow(const std::string& reason) {
   return placement_->Rebalance(models, placement_->DemandHistory(), reason);
 }
 
+bool OptimusPlatform::RevokeNode(int node, double grace_seconds, double now) {
+  if (node < 0 || node >= pool_->num_nodes()) {
+    return false;
+  }
+  now = AdvanceClock(now);
+  const uint64_t reclaimed_before = pool_->ReclaimedContainers();
+  if (!pool_->RevokeNode(node, grace_seconds, now)) {
+    return false;
+  }
+  node_revocations_.Inc();
+  const uint64_t reclaimed = pool_->ReclaimedContainers() - reclaimed_before;
+  if (reclaimed > 0) {
+    drained_containers_.Inc(reclaimed);
+  }
+  // Invalidation first: the mask-republished table re-homes the dead node's
+  // functions over the live ring immediately; the full policy re-cluster
+  // ("node_down") then revises the placement over the surviving nodes.
+  placement_->SetNodeLive(node, false);
+  RebalanceNow("node_down");
+  return true;
+}
+
+bool OptimusPlatform::ReviveNode(int node) {
+  if (node < 0 || node >= pool_->num_nodes()) {
+    return false;
+  }
+  if (!pool_->ReviveNode(node)) {
+    return false;
+  }
+  node_revives_.Inc();
+  placement_->SetNodeLive(node, true);
+  RebalanceNow("node_up");
+  return true;
+}
+
+int OptimusPlatform::RouteAccepting(const std::string& function) {
+  const int primary = placement_->Route(function);
+  if (pool_->Accepting(primary)) {
+    return primary;
+  }
+  // Race window: the table routed us to a node revoked since its mask was
+  // published. Deterministic linear probe over accepting nodes so concurrent
+  // requests for the same function still pile onto one node.
+  const int n = pool_->num_nodes();
+  const size_t hashed = std::hash<std::string>{}(function);
+  for (int k = 0; k < n; ++k) {
+    const int candidate = static_cast<int>((hashed + static_cast<size_t>(k)) % static_cast<size_t>(n));
+    if (pool_->Accepting(candidate)) {
+      rerouted_invokes_.Inc();
+      return candidate;
+    }
+  }
+  return primary;  // Total outage; the Servable check fails the request.
+}
+
+void OptimusPlatform::FinalizeDrains(double now) {
+  if (pool_->DrainingNodes() == 0) {
+    return;
+  }
+  const size_t reclaimed = pool_->FinalizeExpiredDrains(now);
+  if (reclaimed > 0) {
+    drained_containers_.Inc(reclaimed);
+  }
+}
+
 void OptimusPlatform::Deploy(const std::string& function, const Model& model) {
   {
     // Fast-fail on duplicates before materializing weights; the authoritative
@@ -202,6 +278,14 @@ PlatformCounters OptimusPlatform::counters() const {
   counters.transform_fallbacks = static_cast<size_t>(transform_fallbacks_.Value());
   counters.decide_failures = static_cast<size_t>(decide_failures_.Value());
   counters.failed_invokes = static_cast<size_t>(failed_invokes_.Value());
+  // Lifecycle counters come from the pool (the authoritative source the chaos
+  // harness reconciles against); reroutes only exist as a registry series.
+  counters.node_revocations = static_cast<size_t>(pool_->Revocations());
+  counters.node_revives = static_cast<size_t>(pool_->Revives());
+  counters.reclaimed_containers = static_cast<size_t>(pool_->ReclaimedContainers());
+  counters.rerouted_invokes = static_cast<size_t>(rerouted_invokes_.Value());
+  counters.draining_nodes = pool_->DrainingNodes();
+  counters.accepting_nodes = pool_->AcceptingNodes();
   return counters;
 }
 
@@ -296,16 +380,22 @@ std::vector<Status> OptimusPlatform::TryInvokeBatch(
     function_seconds = model_it->second.invoke_seconds;
   }
 
+  FinalizeDrains(now);
+
   // Warm fast path: one route, one node lock, the whole batch drained against
-  // the resident container. Any miss (not warm on the primary) falls through
-  // to the exact per-request path below — batching never changes which start
-  // type a request gets, only how many locks a warm run costs.
+  // the resident container. Any miss (not warm on the primary, or the node
+  // revoked between routing and locking) falls through to the exact
+  // per-request path below — batching never changes which start type a
+  // request gets, only how many locks a warm run costs.
   {
     const SystemProfile profile;
-    const int primary = placement_->Route(function);
+    const int primary = RouteAccepting(function);
     NodePool::LockedNode node = pool_->Lock(primary);
-    node.ReapExpired(now, options_.keep_alive);
-    RealContainer* warm = node.FindWarm(function);
+    RealContainer* warm = nullptr;
+    if (node.Servable(now)) {
+      node.ReapExpired(now, options_.keep_alive);
+      warm = node.FindWarm(function);
+    }
     if (warm != nullptr) {
       warm->last_active = now;
       const double inference_estimate = profile.InferenceCost(*model_ptr);
@@ -373,12 +463,33 @@ InvokeResult OptimusPlatform::InvokeInternal(const std::string& function,
   const Model& model = *model_ptr;
   const SystemProfile profile;  // CPU profile for latency estimation.
 
+  // Lazily close any grace windows that expired by `now` before routing, so
+  // a Draining node past its deadline never serves this request.
+  FinalizeDrains(now);
+
   // O(1) routing: one lock-free table read names the primary node, and only
   // that node is locked. No per-node scanning happens on this path.
   InvokeResult result;
-  const int primary = placement_->Route(function);
+  const int primary = RouteAccepting(function);
   result.node = primary;
+
+  // Injected spot revocation (DESIGN.md §16): the routed node vanishes with
+  // zero grace mid-request. The request fails retryably — the gateway's retry
+  // loop re-routes it to a surviving node via the republished mask.
+  if (fault::Triggered("node.revoke")) {
+    RevokeNode(primary, /*grace_seconds=*/0.0, now);
+    throw OptimusError(ErrorCode::kUnavailable,
+                       "Invoke: node " + std::to_string(primary) + " revoked mid-request");
+  }
+
   NodePool::LockedNode node = pool_->Lock(primary);
+  if (!node.Servable(now)) {
+    // Routed into the revocation race window (or a total outage): the node
+    // went Down / past its grace deadline between routing and locking.
+    throw OptimusError(ErrorCode::kUnavailable,
+                       "Invoke: node " + std::to_string(primary) + " is " +
+                           NodeLifecycleName(node.lifecycle()) + " (revoked)");
+  }
   node.ReapExpired(now, options_.keep_alive);
 
   // Warm start: an idle container already holding this function's model.
@@ -397,9 +508,18 @@ InvokeResult OptimusPlatform::InvokeInternal(const std::string& function,
       options_.route_fallback_breadth > 0 && pool_->num_nodes() > 1) {
     node.Release();
     bool adopted = false;
+    // Probe at most `breadth` *distinct* accepting neighbors. The walk is
+    // bounded by one full ring (step < num_nodes) so a breadth larger than
+    // the pool can never revisit a node on small pools, and the primary and
+    // non-accepting (draining/down) nodes never consume probe budget.
     const int breadth = std::min(options_.route_fallback_breadth, pool_->num_nodes() - 1);
-    for (int k = 1; k <= breadth && !adopted; ++k) {
-      const int neighbor = (primary + k) % pool_->num_nodes();
+    int probed = 0;
+    for (int step = 1; step < pool_->num_nodes() && probed < breadth && !adopted; ++step) {
+      const int neighbor = (primary + step) % pool_->num_nodes();
+      if (!pool_->Accepting(neighbor)) {
+        continue;
+      }
+      ++probed;
       NodePool::LockedNode alt = pool_->Lock(neighbor);
       alt.ReapExpired(now, options_.keep_alive);
       if (RealContainer* warm = alt.FindWarm(function); warm != nullptr) {
@@ -417,8 +537,14 @@ InvokeResult OptimusPlatform::InvokeInternal(const std::string& function,
     }
     if (!adopted) {
       // Every neighbor is saturated too: fall back to the primary's eviction
-      // path. Re-examine under the fresh lock — state may have moved on.
+      // path. Re-examine under the fresh lock — state may have moved on,
+      // including a racing revocation (never adopt into a dead node).
       node = pool_->Lock(primary);
+      if (!node.Servable(now)) {
+        throw OptimusError(ErrorCode::kUnavailable,
+                           "Invoke: node " + std::to_string(primary) + " is " +
+                               NodeLifecycleName(node.lifecycle()) + " (revoked)");
+      }
       node.ReapExpired(now, options_.keep_alive);
       result.node = primary;
       chosen = node.FindWarm(function);

@@ -150,6 +150,15 @@ struct PlatformCounters {
   size_t decide_failures = 0;
   // TryInvoke calls that returned a non-OK status.
   size_t failed_invokes = 0;
+  // Node lifecycle (DESIGN.md §16): revocations issued, Down nodes revived,
+  // containers reclaimed by kills/finalized drains, and invokes re-homed
+  // because their routed node was no longer accepting.
+  size_t node_revocations = 0;
+  size_t node_revives = 0;
+  size_t reclaimed_containers = 0;
+  size_t rerouted_invokes = 0;
+  int draining_nodes = 0;
+  int accepting_nodes = 0;
 };
 
 class OptimusPlatform {
@@ -219,6 +228,24 @@ class OptimusPlatform {
   // tests pin the O(1)-routing claim: a warm hit takes exactly one.
   uint64_t NodeLockAcquisitions() const { return pool_->LockAcquisitions(); }
 
+  // Node lifecycle & churn (DESIGN.md §16). RevokeNode models a spot
+  // revocation or operator drain at virtual time `now`: the node stops
+  // accepting new routes immediately (the placement mask republishes with the
+  // node dead, and RouteAccepting skips it during the race window), in-flight
+  // work may finish within `grace_seconds`, and the dead node's demand is
+  // re-homed through the active policy (reason "node_down"). A grace of zero
+  // reclaims the node's containers and spare arenas on the spot. ReviveNode
+  // brings a Down node back (Reviving; placement republishes with reason
+  // "node_up"). Both return false when the node is not in a state that admits
+  // the transition.
+  bool RevokeNode(int node, double grace_seconds, double now);
+  bool ReviveNode(int node);
+  NodeLifecycle NodeState(int node) const { return pool_->Lifecycle(node); }
+  std::vector<NodeLifecycle> NodeLifecycles() const { return pool_->LifecycleSnapshot(); }
+  int DrainingNodes() const { return pool_->DrainingNodes(); }
+  int AcceptingNodes() const { return pool_->AcceptingNodes(); }
+  int num_nodes() const { return pool_->num_nodes(); }
+
   // Telemetry (DESIGN.md §12). The platform owns the registry every layer
   // below it (plan cache, transformer, loader) reports into, plus the trace
   // collector holding completed request traces.
@@ -244,6 +271,12 @@ class OptimusPlatform {
 
   // CAS-max clock advance; returns the effective time max(now, clock).
   double AdvanceClock(double now);
+  // Routing that tolerates a stale placement table: the table's primary when
+  // it is accepting routes, otherwise a deterministic probe over accepting
+  // nodes (counted in optimus_rerouted_invokes_total).
+  int RouteAccepting(const std::string& function);
+  // Lazily finalizes expired drains (cheap no-op when nothing is draining).
+  void FinalizeDrains(double now);
   // The un-wrapped invocation path; throws OptimusError (and, for bugs,
   // other exceptions TryInvoke classifies as kInternal).
   InvokeResult InvokeInternal(const std::string& function, const std::vector<float>& input,
@@ -284,6 +317,10 @@ class OptimusPlatform {
   telemetry::Counter& decide_failures_;
   telemetry::Counter& failed_invokes_;
   telemetry::Counter& warm_batches_;
+  telemetry::Counter& node_revocations_;
+  telemetry::Counter& node_revives_;
+  telemetry::Counter& drained_containers_;
+  telemetry::Counter& rerouted_invokes_;
   telemetry::Histogram& invoke_seconds_warm_;
   telemetry::Histogram& invoke_seconds_transform_;
   telemetry::Histogram& invoke_seconds_cold_;

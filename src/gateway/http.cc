@@ -224,9 +224,11 @@ void HttpServer::HandleClient(int client_fd) {
   std::ostringstream out;
   out << "HTTP/1.1 " << response.status << " " << StatusText(response.status) << "\r\n"
       << "Content-Type: " << response.content_type << "\r\n"
-      << "Content-Length: " << response.body.size() << "\r\n"
-      << "Connection: close\r\n\r\n"
-      << response.body;
+      << "Content-Length: " << response.body.size() << "\r\n";
+  for (const auto& [name, value] : response.headers) {
+    out << name << ": " << value << "\r\n";
+  }
+  out << "Connection: close\r\n\r\n" << response.body;
   try {
     SendAll(client_fd, out.str());
   } catch (const std::exception&) {
@@ -288,18 +290,28 @@ HttpResponse HttpFetch(uint16_t port, const std::string& method, const std::stri
     std::string version;
     status_line >> version >> response.status;
   }
-  // Surface the Content-Type header so callers can assert on it.
+  // Surface every response header (Content-Type specially, so callers can
+  // assert on it; the rest — e.g. Retry-After — land in the headers map).
   std::istringstream headers(raw.substr(0, head_end));
   std::string line;
+  std::getline(headers, line);  // Skip the status line.
   while (std::getline(headers, line)) {
-    constexpr const char kPrefix[] = "Content-Type:";
-    if (line.compare(0, sizeof(kPrefix) - 1, kPrefix) == 0) {
-      std::string value = line.substr(sizeof(kPrefix) - 1);
-      const size_t begin = value.find_first_not_of(" \t");
-      const size_t end = value.find_last_not_of(" \t\r");
-      if (begin != std::string::npos) {
-        response.content_type = value.substr(begin, end - begin + 1);
-      }
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      continue;
+    }
+    std::string value = line.substr(colon + 1);
+    const size_t begin = value.find_first_not_of(" \t");
+    const size_t end = value.find_last_not_of(" \t\r");
+    if (begin == std::string::npos) {
+      continue;
+    }
+    value = value.substr(begin, end - begin + 1);
+    const std::string name = line.substr(0, colon);
+    if (name == "Content-Type") {
+      response.content_type = value;
+    } else {
+      response.headers[name] = value;
     }
   }
   response.body = raw.substr(head_end + 4);

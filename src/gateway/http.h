@@ -29,6 +29,11 @@ struct HttpRequest {
 struct HttpResponse {
   int status = 200;
   std::string content_type = "text/plain";
+  // Extra response headers (e.g. Retry-After on 429s). Content-Type,
+  // Content-Length, and Connection are always emitted from the fields above
+  // and must not be duplicated here. On the client side (HttpFetch) this maps
+  // every received header name to its value.
+  std::map<std::string, std::string> headers;
   std::string body;
 };
 

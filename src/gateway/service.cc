@@ -1,6 +1,8 @@
 #include "src/gateway/service.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 #include <thread>
@@ -173,8 +175,58 @@ HttpResponse OptimusHttpService::HandleDeploy(const HttpRequest& request) {
   return response;
 }
 
+bool OptimusHttpService::AdmitTenant(const std::string& tenant, double* retry_after) {
+  const double now = clock_();
+  const double burst =
+      gateway_.tenant_burst > 0.0 ? gateway_.tenant_burst : gateway_.tenant_rate;
+  MutexLock lock(tenant_mutex_);
+  TenantBucket& bucket = tenant_buckets_[tenant];
+  if (bucket.requests == nullptr) {
+    // First request from this tenant: full bucket, bind its series.
+    bucket.tokens = burst;
+    bucket.last_refill = now;
+    bucket.requests = &platform_.metrics().GetCounter(
+        "optimus_gateway_tenant_requests_total", {{"tenant", tenant}},
+        "Invoke requests per tenant (admitted + rejected)");
+    bucket.rejections = &platform_.metrics().GetCounter(
+        "optimus_gateway_tenant_rejections_total", {{"tenant", tenant}},
+        "Invokes rejected 429 by the tenant's token bucket");
+  }
+  bucket.requests->Inc();
+  bucket.tokens = std::min(
+      burst, bucket.tokens + std::max(0.0, now - bucket.last_refill) * gateway_.tenant_rate);
+  bucket.last_refill = now;
+  if (!fault::Triggered("tenant.quota_exhausted") && bucket.tokens >= 1.0) {
+    bucket.tokens -= 1.0;
+    return true;
+  }
+  bucket.rejections->Inc();
+  const double deficit = bucket.tokens < 1.0 ? 1.0 - bucket.tokens : 1.0;
+  *retry_after = deficit / gateway_.tenant_rate;
+  return false;
+}
+
 HttpResponse OptimusHttpService::HandleInvoke(const HttpRequest& request) {
-  // Load shedding first: when the gateway is saturated, refuse immediately
+  // Per-tenant admission runs before anything else — a tenant over quota is
+  // turned away without consuming an inflight slot, so its burst cannot
+  // crowd out other tenants' capacity (DESIGN.md §16).
+  if (gateway_.tenant_rate > 0.0) {
+    const auto tenant = request.query.find("tenant");
+    if (tenant != request.query.end() && !tenant->second.empty()) {
+      double retry_after = 0.0;
+      if (!AdmitTenant(tenant->second, &retry_after)) {
+        HttpResponse response = JsonError(
+            ErrorCode::kResourceExhausted,
+            "tenant '" + tenant->second + "' quota exhausted; retry after Retry-After seconds");
+        // Retry-After is integral delay-seconds (RFC 7231); round up, min 1.
+        response.headers["Retry-After"] =
+            std::to_string(std::max<long long>(1, std::llround(std::ceil(retry_after))));
+        return response;
+      }
+    }
+  }
+
+  // Load shedding next: when the gateway is saturated, refuse immediately
   // with 429 instead of queueing into collapse.
   if (inflight_invokes_.fetch_add(1, std::memory_order_acq_rel) >=
       gateway_.max_inflight_invokes) {
@@ -361,6 +413,84 @@ Status OptimusHttpService::InvokeBatched(const std::string& function,
   return pending.status;
 }
 
+HttpResponse OptimusHttpService::HandleHealthz() {
+  // Cluster health at a glance (DESIGN.md §16): per-node lifecycle state,
+  // draining/accepting counts, and the serving placement version. "ok" means
+  // every node accepts routes; anything less is "degraded" (but still 200 —
+  // the gateway itself is serving).
+  const std::vector<NodeLifecycle> states = platform_.NodeLifecycles();
+  const int accepting = platform_.AcceptingNodes();
+  std::ostringstream body;
+  body << "{\"status\":\""
+       << (accepting == static_cast<int>(states.size()) ? "ok" : "degraded") << "\",\"nodes\":[";
+  for (size_t node = 0; node < states.size(); ++node) {
+    if (node > 0) {
+      body << ",";
+    }
+    body << "{\"node\":" << node << ",\"state\":\"" << NodeLifecycleName(states[node]) << "\"}";
+  }
+  body << "],\"num_nodes\":" << states.size() << ",\"accepting\":" << accepting
+       << ",\"draining\":" << platform_.DrainingNodes()
+       << ",\"placement_version\":" << platform_.PlacementVersion()
+       << ",\"rebalances\":" << platform_.placement().Rebalances() << "}\n";
+  HttpResponse response;
+  response.content_type = "application/json";
+  response.body = body.str();
+  return response;
+}
+
+HttpResponse OptimusHttpService::HandleNodeAction(const HttpRequest& request) {
+  // POST /nodes/<id>/drain [?grace=<sec>]  and  POST /nodes/<id>/revive.
+  const std::string rest = request.path.substr(sizeof("/nodes/") - 1);
+  const size_t slash = rest.find('/');
+  if (slash == std::string::npos) {
+    return JsonError(ErrorCode::kNotFound, "no such route: POST " + request.path);
+  }
+  int node = -1;
+  try {
+    size_t consumed = 0;
+    node = std::stoi(rest.substr(0, slash), &consumed);
+    if (consumed != slash) {
+      throw std::invalid_argument("trailing characters");
+    }
+  } catch (const std::exception&) {
+    return JsonError(ErrorCode::kInvalidArgument, "malformed node id in " + request.path);
+  }
+  if (node < 0 || node >= platform_.num_nodes()) {
+    return JsonError(ErrorCode::kNotFound, "no such node: " + std::to_string(node));
+  }
+  const std::string action = rest.substr(slash + 1);
+  bool ok = false;
+  double grace = gateway_.drain_grace;
+  if (action == "drain") {
+    const auto grace_param = request.query.find("grace");
+    if (grace_param != request.query.end()) {
+      try {
+        grace = std::stod(grace_param->second);
+      } catch (const std::exception&) {
+        return JsonError(ErrorCode::kInvalidArgument, "malformed ?grace=" + grace_param->second);
+      }
+    }
+    ok = platform_.RevokeNode(node, grace, clock_());
+  } else if (action == "revive") {
+    ok = platform_.ReviveNode(node);
+  } else {
+    return JsonError(ErrorCode::kNotFound, "no such node action: " + action);
+  }
+  std::ostringstream body;
+  body << "{\"node\":" << node << ",\"action\":\"" << action << "\",\"ok\":"
+       << (ok ? "true" : "false") << ",\"state\":\""
+       << NodeLifecycleName(platform_.NodeState(node)) << "\"";
+  if (action == "drain") {
+    body << ",\"grace\":" << grace;
+  }
+  body << "}\n";
+  HttpResponse response;
+  response.content_type = "application/json";
+  response.body = body.str();
+  return response;
+}
+
 HttpResponse OptimusHttpService::HandleMetrics() {
   // Point-in-time gauges are refreshed at scrape time, Prometheus-style.
   live_containers_.Set(static_cast<double>(platform_.NumLiveContainers()));
@@ -400,6 +530,11 @@ HttpResponse OptimusHttpService::Handle(const HttpRequest& request) {
          << "transform_fallbacks=" << counters.transform_fallbacks << "\n"
          << "decide_failures=" << counters.decide_failures << "\n"
          << "failed_invokes=" << counters.failed_invokes << "\n"
+         << "node_revocations=" << counters.node_revocations << "\n"
+         << "node_revives=" << counters.node_revives << "\n"
+         << "reclaimed_containers=" << counters.reclaimed_containers << "\n"
+         << "accepting_nodes=" << counters.accepting_nodes << "\n"
+         << "draining_nodes=" << counters.draining_nodes << "\n"
          << "cached_plans=" << cache.Size() << "\n"
          << "quarantined_pairs=" << cache.QuarantinedPairs() << "\n"
          << "execution_failures=" << cache.ExecutionFailures() << "\n"
@@ -416,6 +551,14 @@ HttpResponse OptimusHttpService::Handle(const HttpRequest& request) {
     HttpResponse response;
     response.body = body.str();
     return response;
+  }
+
+  if (request.method == "GET" && request.path == "/healthz") {
+    return HandleHealthz();
+  }
+
+  if (request.method == "POST" && request.path.rfind("/nodes/", 0) == 0) {
+    return HandleNodeAction(request);
   }
 
   if (request.method == "GET" && request.path == "/metrics") {

@@ -4,6 +4,8 @@
 //   POST /deploy?name=<fn>   body = serialized model file  -> deploys <fn>
 //   POST /invoke?name=<fn>   body = comma-separated floats -> runs inference
 //        [&deadline=<sec>]   per-request deadline override (wall seconds)
+//        [&tenant=<id>]      tenant attribution for token-bucket admission
+//                            (quota-aware 429 + Retry-After when exhausted)
 //   GET  /functions                                        -> registered names
 //   GET  /stats                                            -> counters (incl.
 //                            a placement block: version/policy/rebalances)
@@ -11,6 +13,11 @@
 //                            per-node function counts, rebalance counters)
 //   POST /rebalance          synchronously recomputes the placement
 //                            (reason="manual"); JSON {"swapped":...,"version":...}
+//   GET  /healthz            cluster health: per-node lifecycle state,
+//                            draining/accepting counts, placement version
+//   POST /nodes/<id>/drain   revoke a node (grace window; ?grace=<sec>
+//                            overrides, 0 kills immediately)
+//   POST /nodes/<id>/revive  bring a Down node back into rotation
 //   GET  /metrics            Prometheus text exposition of the platform's
 //                            metrics registry (DESIGN.md §12)
 //   GET  /trace              drains completed request traces as Chrome
@@ -74,6 +81,18 @@ struct GatewayOptions {
   // (leader/follower batching — see "Request batching" below); 1 disables
   // batching and restores the per-request TryInvoke path.
   int max_batch_size = 8;
+  // Per-tenant admission (DESIGN.md §16): requests carrying ?tenant=<id> are
+  // admitted through that tenant's token bucket — `tenant_rate` tokens/sec
+  // refill, `tenant_burst` capacity (defaults to tenant_rate when <= 0).
+  // A tenant over quota is rejected with 429 + Retry-After *before* the
+  // global inflight check, so one tenant's burst can neither consume
+  // inflight slots nor starve other tenants. <= 0 disables admission;
+  // requests without a tenant attribute always bypass it.
+  double tenant_rate = 0.0;
+  double tenant_burst = 0.0;
+  // Default grace window (virtual seconds) for POST /nodes/<id>/drain,
+  // overridable per request with ?grace=<sec>.
+  double drain_grace = 30.0;
 };
 
 class OptimusHttpService {
@@ -132,8 +151,25 @@ class OptimusHttpService {
     bool leader_active = false;
   };
 
+  // One tenant's token bucket plus its telemetry series (bound lazily on the
+  // tenant's first request). State is guarded by tenant_mutex_.
+  struct TenantBucket {
+    double tokens = 0.0;
+    double last_refill = 0.0;
+    telemetry::Counter* requests = nullptr;
+    telemetry::Counter* rejections = nullptr;
+  };
+
   HttpResponse HandleDeploy(const HttpRequest& request);
   HttpResponse HandleInvoke(const HttpRequest& request);
+  HttpResponse HandleHealthz();
+  // POST /nodes/<id>/drain and /nodes/<id>/revive admin actions.
+  HttpResponse HandleNodeAction(const HttpRequest& request);
+  // Token-bucket admission for `tenant` at clock_() time. Returns true when
+  // admitted; otherwise *retry_after receives the seconds until the bucket
+  // holds a full token again (the 429's Retry-After). The injected
+  // `tenant.quota_exhausted` fault forces a rejection.
+  bool AdmitTenant(const std::string& tenant, double* retry_after);
   // The shed-checked, deadline-bounded retry loop; `trace` may be null.
   HttpResponse InvokeWithRetries(const std::string& function, const std::vector<float>& input,
                                  double deadline, telemetry::TraceContext* trace);
@@ -157,6 +193,12 @@ class OptimusHttpService {
   telemetry::Histogram& invoke_request_seconds_;
   telemetry::Gauge& live_containers_;
   telemetry::Gauge& functions_gauge_;
+  // Per-tenant buckets. kTenantAdmission sits at the very bottom of the
+  // hierarchy: admission runs before any other gateway/platform lock, holding
+  // only this mutex (plus the registry's, rank-above, for first-request
+  // series binding).
+  Mutex tenant_mutex_{LockRank::kTenantAdmission, "gateway.tenant"};
+  std::map<std::string, TenantBucket> tenant_buckets_ GUARDED_BY(tenant_mutex_);
   // kJitter is a leaf rank: JitterFactor holds it for one RNG draw only.
   Mutex jitter_mutex_{LockRank::kJitter, "gateway.jitter"};
   Rng jitter_rng_ GUARDED_BY(jitter_mutex_);

@@ -1,5 +1,6 @@
 #include "src/placement/manager.h"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
@@ -8,7 +9,8 @@
 namespace optimus {
 
 namespace {
-constexpr const char* kRebalanceReasons[] = {"initial", "deploy", "demand", "manual"};
+constexpr const char* kRebalanceReasons[] = {"initial",  "deploy",  "demand",
+                                             "manual",   "node_down", "node_up"};
 }  // namespace
 
 PlacementManager::PlacementManager(const PlacementManagerOptions& options, const CostModel* costs,
@@ -67,8 +69,36 @@ void PlacementManager::AddFunction(const Model& model, const std::vector<const M
   assignment[model.name()] = node;
   PublishLocked(std::make_shared<const PlacementTable>(current->version() + 1,
                                                        options_.policy.kind, options_.num_nodes,
-                                                       assignment));
-  const auto counter = rebalance_counters_.find("deploy");
+                                                       assignment, live_mask_));
+  BumpReasonCounter("deploy");
+}
+
+bool PlacementManager::SetNodeLive(int node, bool live) {
+  if (node < 0 || node >= options_.num_nodes) {
+    return false;
+  }
+  MutexLock lock(update_mutex_);
+  if (live_mask_.empty()) {
+    live_mask_.assign(static_cast<size_t>(options_.num_nodes), 1);
+  }
+  if ((live_mask_[static_cast<size_t>(node)] != 0) == live) {
+    return false;  // Mask already agrees; nothing to publish.
+  }
+  live_mask_[static_cast<size_t>(node)] = live ? 1 : 0;
+  const std::shared_ptr<const PlacementTable> current = store_.Snapshot();
+  Placement assignment;
+  for (const auto& [function, existing_node] : current->assignment()) {
+    assignment.emplace(function, existing_node);
+  }
+  PublishLocked(std::make_shared<const PlacementTable>(current->version() + 1,
+                                                       options_.policy.kind, options_.num_nodes,
+                                                       assignment, live_mask_));
+  BumpReasonCounter(live ? "node_up" : "node_down");
+  return true;
+}
+
+void PlacementManager::BumpReasonCounter(const std::string& reason) {
+  const auto counter = rebalance_counters_.find(reason);
   if (counter != rebalance_counters_.end()) {
     counter->second->Inc();
   }
@@ -83,9 +113,30 @@ bool PlacementManager::Rebalance(const std::vector<const Model*>& models,
     // The injected failure models a solver crash mid-recompute: nothing may
     // have been published, so the previous table must keep serving.
     fault::MaybeInject("placement.rebalance");
-    const Placement assignment = policy_->Compute(models, history, options_.num_nodes);
-    PublishLocked(std::make_shared<const PlacementTable>(
-        current->version() + 1, options_.policy.kind, options_.num_nodes, assignment));
+    // Re-home over the live subset (DESIGN.md §16): the solver sees a
+    // contiguous 0..live-1 cluster, and its indices are remapped back to
+    // physical node ids afterwards, so dead nodes receive no assignments.
+    // An all-dead mask (total outage) degenerates to the full set — the
+    // router's hash fallback covers routing until someone revives.
+    std::vector<int> live_ids;
+    if (!live_mask_.empty()) {
+      for (int node = 0; node < options_.num_nodes; ++node) {
+        if (live_mask_[static_cast<size_t>(node)] != 0) {
+          live_ids.push_back(node);
+        }
+      }
+    }
+    const int solve_nodes =
+        live_ids.empty() ? options_.num_nodes : static_cast<int>(live_ids.size());
+    Placement assignment = policy_->Compute(models, history, solve_nodes);
+    if (!live_ids.empty()) {
+      for (auto& [function, node] : assignment) {
+        node = live_ids[static_cast<size_t>(std::clamp(node, 0, solve_nodes - 1))];
+      }
+    }
+    PublishLocked(std::make_shared<const PlacementTable>(current->version() + 1,
+                                                         options_.policy.kind, options_.num_nodes,
+                                                         assignment, live_mask_));
   } catch (const std::exception&) {
     rebalance_failures_.fetch_add(1, std::memory_order_relaxed);
     if (rebalance_failures_counter_ != nullptr) {
@@ -94,10 +145,7 @@ bool PlacementManager::Rebalance(const std::vector<const Model*>& models,
     return false;
   }
   rebalances_.fetch_add(1, std::memory_order_relaxed);
-  const auto counter = rebalance_counters_.find(reason);
-  if (counter != rebalance_counters_.end()) {
-    counter->second->Inc();
-  }
+  BumpReasonCounter(reason);
   return true;
 }
 
@@ -132,7 +180,8 @@ std::string PlacementManager::StatsJson() const {
   std::ostringstream out;
   out << "{\"version\":" << table->version() << ",\"policy\":\""
       << BalancerKindId(table->kind()) << "\",\"num_nodes\":" << table->num_nodes()
-      << ",\"functions\":" << table->size() << ",\"rebalances\":" << Rebalances()
+      << ",\"live_nodes\":" << table->live_nodes() << ",\"functions\":" << table->size()
+      << ",\"rebalances\":" << Rebalances()
       << ",\"rebalance_failures\":" << RebalanceFailures() << ",\"node_functions\":[";
   const std::vector<size_t> counts = table->NodeFunctionCounts();
   for (size_t node = 0; node < counts.size(); ++node) {

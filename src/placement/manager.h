@@ -53,6 +53,19 @@ class PlacementManager {
   // Already-placed functions keep their node.
   void AddFunction(const Model& model, const std::vector<const Model*>& peers);
 
+  // Node-lifecycle trigger (DESIGN.md §16): flips `node`'s liveness and
+  // immediately publishes the current assignment under the new mask —
+  // invalidation first, so a dead node's demand re-homes over the live ring
+  // within one table swap, long before the full re-clustering runs. Returns
+  // false (no publish) when the mask already agrees. The caller typically
+  // follows up with a Rebalance(..., "node_down"/"node_up") to re-cluster
+  // over the surviving nodes.
+  bool SetNodeLive(int node, bool live);
+
+  // Current liveness mask (empty = all nodes live). Lock-free snapshot read.
+  std::vector<uint8_t> LiveMask() const { return Table()->live_mask(); }
+  int LiveNodes() const { return Table()->live_nodes(); }
+
   // Full recompute via the policy's solver. Returns true when a new table was
   // published; on failure the previous table keeps serving and the failure
   // counter advances. `reason` labels optimus_rebalance_total (one of
@@ -80,6 +93,7 @@ class PlacementManager {
 
  private:
   void PublishLocked(std::shared_ptr<const PlacementTable> next) REQUIRES(update_mutex_);
+  void BumpReasonCounter(const std::string& reason);
 
   PlacementManagerOptions options_;
   std::unique_ptr<PlacementPolicy> policy_;
@@ -90,6 +104,9 @@ class PlacementManager {
   // is why Route/Table stay lock-free. Holders call into the solver and the
   // metrics registry, so kPlacementUpdate ranks below kMetricsRegistry.
   Mutex update_mutex_{LockRank::kPlacementUpdate, "placement.update"};
+  // Authoritative liveness mask (empty = all live); every published table
+  // carries a copy so readers see assignment + mask as one atomic snapshot.
+  std::vector<uint8_t> live_mask_ GUARDED_BY(update_mutex_);
   std::atomic<double> next_rebalance_due_;
   std::atomic<uint64_t> rebalances_{0};
   std::atomic<uint64_t> rebalance_failures_{0};

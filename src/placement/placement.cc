@@ -44,10 +44,27 @@ BalancerOptions ToBalancerOptions(const PlacementOptions& options) {
 
 PlacementTable::PlacementTable(uint64_t version, BalancerKind kind, int num_nodes,
                                const Placement& assignment)
+    : PlacementTable(version, kind, num_nodes, assignment, {}) {}
+
+PlacementTable::PlacementTable(uint64_t version, BalancerKind kind, int num_nodes,
+                               const Placement& assignment, std::vector<uint8_t> live_mask)
     : version_(version), kind_(kind), num_nodes_(num_nodes < 1 ? 1 : num_nodes) {
   assignment_.reserve(assignment.size());
   for (const auto& [function, node] : assignment) {
     assignment_.emplace(function, std::clamp(node, 0, num_nodes_ - 1));
+  }
+  if (!live_mask.empty()) {
+    live_mask.resize(static_cast<size_t>(num_nodes_), 0);
+    const bool all_live = std::all_of(live_mask.begin(), live_mask.end(),
+                                      [](uint8_t live) { return live != 0; });
+    if (!all_live) {
+      live_mask_ = std::move(live_mask);
+      for (int node = 0; node < num_nodes_; ++node) {
+        if (live_mask_[static_cast<size_t>(node)] != 0) {
+          live_ids_.push_back(node);
+        }
+      }
+    }
   }
 }
 
@@ -56,12 +73,26 @@ int PlacementTable::NodeOf(const std::string& function) const {
   return it == assignment_.end() ? -1 : it->second;
 }
 
+bool PlacementTable::Live(int node) const {
+  if (node < 0 || node >= num_nodes_) {
+    return false;
+  }
+  return live_mask_.empty() || live_mask_[static_cast<size_t>(node)] != 0;
+}
+
 int PlacementTable::NodeOrHash(const std::string& function) const {
   const int node = NodeOf(function);
-  if (node >= 0) {
+  if (node >= 0 && Live(node)) {
     return node;
   }
-  return static_cast<int>(std::hash<std::string>{}(function) % static_cast<size_t>(num_nodes_));
+  // Unknown function, or one assigned to a dead node: re-home
+  // deterministically over the live ring (plain hashing when the mask is
+  // empty or — total outage — nothing is live).
+  const size_t hashed = std::hash<std::string>{}(function);
+  if (!live_ids_.empty()) {
+    return live_ids_[hashed % live_ids_.size()];
+  }
+  return static_cast<int>(hashed % static_cast<size_t>(num_nodes_));
 }
 
 std::vector<size_t> PlacementTable::NodeFunctionCounts() const {
@@ -76,7 +107,7 @@ PlacementStore::PlacementStore(std::shared_ptr<const PlacementTable> initial) {
   if (initial == nullptr) {
     initial = std::make_shared<const PlacementTable>();
   }
-  table_.store(std::move(initial), std::memory_order_release);
+  Swap(std::move(initial));
 }
 
 namespace {

@@ -69,12 +69,27 @@ class PlacementTable {
  public:
   PlacementTable() = default;
   PlacementTable(uint64_t version, BalancerKind kind, int num_nodes, const Placement& assignment);
+  // Like the above, but with an explicit liveness mask (DESIGN.md §16): dead
+  // nodes keep their assignment entries — so a revive restores them without a
+  // rebalance — but NodeOrHash deterministically re-homes their demand over
+  // the live subset. An empty mask means every node is live.
+  PlacementTable(uint64_t version, BalancerKind kind, int num_nodes, const Placement& assignment,
+                 std::vector<uint8_t> live_mask);
 
   // Node hosting `function`, or -1 when the function is not in the table.
+  // Ignores liveness — this is the raw assignment.
   int NodeOf(const std::string& function) const;
   // Like NodeOf, but unknown functions fall back to hashing — routing never
-  // fails just because a table predates a deploy.
+  // fails just because a table predates a deploy — and functions assigned to
+  // a dead node re-home by hashing over the live nodes (invalidation routing
+  // between a revocation and the next full rebalance).
   int NodeOrHash(const std::string& function) const;
+
+  // Whether `node` is live under this table's mask (empty mask = all live).
+  bool Live(int node) const;
+  // Number of live nodes (== num_nodes when the mask is empty).
+  int live_nodes() const { return live_ids_.empty() ? num_nodes_ : static_cast<int>(live_ids_.size()); }
+  const std::vector<uint8_t>& live_mask() const { return live_mask_; }
 
   uint64_t version() const { return version_; }
   BalancerKind kind() const { return kind_; }
@@ -90,7 +105,27 @@ class PlacementTable {
   BalancerKind kind_ = BalancerKind::kModelSharing;
   int num_nodes_ = 1;
   std::unordered_map<std::string, int> assignment_;
+  // Empty when all nodes are live; otherwise live_mask_[node] != 0 marks a
+  // live node and live_ids_ lists them in ascending order (the re-homing
+  // hash ring).
+  std::vector<uint8_t> live_mask_;
+  std::vector<int> live_ids_;
 };
+
+// Under ThreadSanitizer the lock-free PlacementStore below swaps in a
+// reader-writer-locked implementation: libstdc++'s atomic<shared_ptr> guards
+// its raw pointer with a lock *bit* and releases the reader side with a
+// relaxed fetch_sub, a protocol TSan cannot model — every concurrent
+// Swap/Snapshot pair reports a false race inside _Sp_atomic. The substitute
+// has identical semantics (torn-free whole-table publication), so the
+// sanitizer still verifies all surrounding code.
+#if defined(__SANITIZE_THREAD__)
+#define OPTIMUS_PLACEMENT_STORE_LOCKED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define OPTIMUS_PLACEMENT_STORE_LOCKED 1
+#endif
+#endif
 
 // The atomically-swappable publication point for placement tables. Swap() is
 // a release store of a fully-built table; Snapshot() is an acquire load, so
@@ -99,16 +134,33 @@ class PlacementStore {
  public:
   explicit PlacementStore(std::shared_ptr<const PlacementTable> initial);
 
+#ifdef OPTIMUS_PLACEMENT_STORE_LOCKED
+  std::shared_ptr<const PlacementTable> Snapshot() const {
+    ReaderLock lock(mutex_);
+    return table_;
+  }
+  void Swap(std::shared_ptr<const PlacementTable> next) {
+    WriterLock lock(mutex_);
+    table_ = std::move(next);
+  }
+#else
   std::shared_ptr<const PlacementTable> Snapshot() const {
     return table_.load(std::memory_order_acquire);
   }
   void Swap(std::shared_ptr<const PlacementTable> next) {
     table_.store(std::move(next), std::memory_order_release);
   }
+#endif
   uint64_t Version() const { return Snapshot()->version(); }
 
  private:
+#ifdef OPTIMUS_PLACEMENT_STORE_LOCKED
+  // Unranked: held for a pointer copy only, never across another acquire.
+  mutable SharedMutex mutex_;
+  std::shared_ptr<const PlacementTable> table_ GUARDED_BY(mutex_);
+#else
   std::atomic<std::shared_ptr<const PlacementTable>> table_;
+#endif
 };
 
 // Where functions go. Implementations are stateless (all inputs arrive as

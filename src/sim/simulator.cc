@@ -2,14 +2,17 @@
 
 #include <algorithm>
 #include <deque>
+#include <limits>
 #include <queue>
 #include <stdexcept>
+
+#include "src/core/node_pool.h"  // NodeLifecycle — the shared state machine.
 
 namespace optimus {
 
 namespace {
 
-enum class EventType : uint8_t { kArrival = 0, kCompletion };
+enum class EventType : uint8_t { kArrival = 0, kCompletion, kRevoke, kDrainExpire, kRevive };
 
 struct Event {
   double time = 0.0;
@@ -18,6 +21,7 @@ struct Event {
   size_t request_index = 0;
   int node = -1;
   ContainerId container = -1;
+  double grace = 0.0;  // kRevoke only.
 
   bool operator>(const Event& other) const {
     if (time != other.time) {
@@ -30,6 +34,10 @@ struct Event {
 struct NodeState {
   ContainerPool pool;
   std::deque<size_t> queue;  // FIFO of pending request indices.
+  // Lifecycle mirror of NodePool::Node (DESIGN.md §16). The simulator has no
+  // adoption gate, so a revive goes straight back to Up.
+  NodeLifecycle lifecycle = NodeLifecycle::kUp;
+  double drain_deadline = std::numeric_limits<double>::infinity();
 
   NodeState(int capacity, double idle_threshold, double keep_alive, int64_t memory_limit)
       : pool(capacity, idle_threshold, keep_alive, memory_limit) {}
@@ -53,17 +61,17 @@ class Simulation {
 
     // Route through the same PlacementPolicy implementations the live
     // platform uses: compute the assignment once from the trace's demand
-    // history and freeze it into an immutable table.
-    std::vector<const Model*> model_ptrs;
-    model_ptrs.reserve(models.size());
+    // history and freeze it into an immutable table. (Churn events republish
+    // the table exactly the way the live PlacementManager does.)
+    model_ptrs_.reserve(models.size());
     for (const auto& [name, model] : repository_) {
-      model_ptrs.push_back(&model);
+      model_ptrs_.push_back(&model);
     }
-    const auto history = DemandHistory(trace, Horizon(trace), /*slot_seconds=*/300.0);
-    const auto policy = MakePlacementPolicy(config.placement, &costs);
+    history_ = DemandHistory(trace, Horizon(trace), /*slot_seconds=*/300.0);
+    placement_policy_ = MakePlacementPolicy(config.placement, &costs);
     table_ = std::make_shared<PlacementTable>(
         /*version=*/1, config.placement.kind, config.num_nodes,
-        policy->Compute(model_ptrs, history, config.num_nodes));
+        placement_policy_->Compute(model_ptrs_, history_, config.num_nodes));
 
     nodes_.reserve(static_cast<size_t>(config.num_nodes));
     for (int i = 0; i < config.num_nodes; ++i) {
@@ -82,13 +90,34 @@ class Simulation {
       event.request_index = i;
       events_.push(event);
     }
+    for (const NodeChurnEvent& churn : config_.churn) {
+      Event event;
+      event.time = churn.time;
+      event.seq = next_seq_++;
+      event.type = churn.revive ? EventType::kRevive : EventType::kRevoke;
+      event.node = churn.node;
+      event.grace = churn.grace;
+      events_.push(event);
+    }
     while (!events_.empty()) {
       const Event event = events_.top();
       events_.pop();
-      if (event.type == EventType::kArrival) {
-        OnArrival(event.request_index, event.time);
-      } else {
-        OnCompletion(event.node, event.container, event.time);
+      switch (event.type) {
+        case EventType::kArrival:
+          OnArrival(event.request_index, event.time);
+          break;
+        case EventType::kCompletion:
+          OnCompletion(event.node, event.container, event.time);
+          break;
+        case EventType::kRevoke:
+          OnRevoke(event.node, event.grace, event.time);
+          break;
+        case EventType::kDrainExpire:
+          OnDrainExpire(event.node, event.time);
+          break;
+        case EventType::kRevive:
+          OnRevive(event.node);
+          break;
       }
     }
     return std::move(result_);
@@ -121,6 +150,118 @@ class Simulation {
     while (!node.queue.empty() && TryServe(node_index, node.queue.front(), now)) {
       node.queue.pop_front();
     }
+  }
+
+  void OnRevoke(int node_index, double grace, double now) {
+    if (node_index < 0 || node_index >= config_.num_nodes) {
+      return;
+    }
+    NodeState& node = nodes_[static_cast<size_t>(node_index)];
+    if (node.lifecycle == NodeLifecycle::kDraining || node.lifecycle == NodeLifecycle::kDown) {
+      return;  // Already revoked.
+    }
+    ++result_.revocations;
+    if (live_mask_.empty()) {
+      live_mask_.assign(static_cast<size_t>(config_.num_nodes), 1);
+    }
+    live_mask_[static_cast<size_t>(node_index)] = 0;
+    if (grace > 0.0) {
+      node.lifecycle = NodeLifecycle::kDraining;
+      node.drain_deadline = now + grace;
+      Event expire;
+      expire.time = now + grace;
+      expire.seq = next_seq_++;
+      expire.type = EventType::kDrainExpire;
+      expire.node = node_index;
+      events_.push(expire);
+    } else {
+      ReclaimNode(&node);
+    }
+    // Mirror the live manager: republish under the new mask and re-cluster
+    // over the survivors, then re-home the dead node's queued requests (they
+    // had not started — like new routes, they must leave immediately).
+    RecomputePlacement();
+    RehomeQueue(&node, now);
+  }
+
+  void OnDrainExpire(int node_index, double now) {
+    NodeState& node = nodes_[static_cast<size_t>(node_index)];
+    if (node.lifecycle != NodeLifecycle::kDraining || now < node.drain_deadline) {
+      return;
+    }
+    ReclaimNode(&node);
+  }
+
+  void OnRevive(int node_index) {
+    if (node_index < 0 || node_index >= config_.num_nodes) {
+      return;
+    }
+    NodeState& node = nodes_[static_cast<size_t>(node_index)];
+    if (node.lifecycle != NodeLifecycle::kDown) {
+      return;
+    }
+    // No adoption gate in the simulator (containers launch synchronously), so
+    // the node goes straight back to Up.
+    node.lifecycle = NodeLifecycle::kUp;
+    node.drain_deadline = std::numeric_limits<double>::infinity();
+    ++result_.revives;
+    if (!live_mask_.empty()) {
+      live_mask_[static_cast<size_t>(node_index)] = 1;
+    }
+    RecomputePlacement();
+  }
+
+  // Reclaims every container on the node (busy ones included — the spot
+  // instance is gone; their completion events become no-ops) and marks it
+  // Down.
+  void ReclaimNode(NodeState* node) {
+    std::vector<ContainerId> ids;
+    ids.reserve(node->pool.Size());
+    for (const Container& container : node->pool.containers()) {
+      ids.push_back(container.id);
+    }
+    result_.reclaimed_containers += ids.size();
+    for (const ContainerId id : ids) {
+      node->pool.Remove(id);
+    }
+    node->lifecycle = NodeLifecycle::kDown;
+    node->drain_deadline = std::numeric_limits<double>::infinity();
+  }
+
+  // Re-dispatches every request queued on a revoked node through the
+  // (re-homed) placement table.
+  void RehomeQueue(NodeState* node, double now) {
+    std::deque<size_t> pending;
+    pending.swap(node->queue);
+    result_.rehomed_requests += pending.size();
+    for (const size_t request_index : pending) {
+      OnArrival(request_index, now);
+    }
+  }
+
+  // The live PlacementManager's Rebalance over the live subset, inline: the
+  // solver sees a contiguous 0..live-1 cluster and its indices are remapped
+  // back to physical node ids (dead nodes receive no assignments).
+  void RecomputePlacement() {
+    std::vector<int> live_ids;
+    if (!live_mask_.empty()) {
+      for (int node = 0; node < config_.num_nodes; ++node) {
+        if (live_mask_[static_cast<size_t>(node)] != 0) {
+          live_ids.push_back(node);
+        }
+      }
+    }
+    const int solve_nodes =
+        live_ids.empty() ? config_.num_nodes : static_cast<int>(live_ids.size());
+    Placement assignment = placement_policy_->Compute(model_ptrs_, history_, solve_nodes);
+    if (!live_ids.empty()) {
+      for (auto& [function, node] : assignment) {
+        node = live_ids[static_cast<size_t>(std::clamp(node, 0, solve_nodes - 1))];
+      }
+    }
+    table_ = std::make_shared<PlacementTable>(table_->version() + 1, config_.placement.kind,
+                                              config_.num_nodes, assignment, live_mask_);
+    ++result_.churn_rebalances;
   }
 
   // Attempts to serve the request on its node right now; returns false if it
@@ -227,6 +368,11 @@ class Simulation {
   std::map<std::string, double> scratch_costs_;
   double gd_clock_ = 0.0;
   std::shared_ptr<const PlacementTable> table_;
+  // Placement inputs kept for churn-triggered re-clustering.
+  std::vector<const Model*> model_ptrs_;
+  std::map<std::string, DemandSeries> history_;
+  std::unique_ptr<PlacementPolicy> placement_policy_;
+  std::vector<uint8_t> live_mask_;  // Empty = all nodes live.
   std::unique_ptr<StartupPolicy> policy_;
   std::vector<NodeState> nodes_;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;

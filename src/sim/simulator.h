@@ -26,6 +26,19 @@ namespace optimus {
 // global clock.
 enum class EvictionPolicy : uint8_t { kLru = 0, kGreedyDual };
 
+// One scheduled node-lifecycle event (DESIGN.md §16) — the simulator mirror
+// of the live platform's RevokeNode/ReviveNode, so churn ablations replay
+// identically live and simulated. Events execute in (time, schedule-order).
+struct NodeChurnEvent {
+  double time = 0.0;
+  int node = 0;
+  // false = revoke (grace window below), true = revive a Down node.
+  bool revive = false;
+  // Revoke only: virtual seconds of grace before the node's containers are
+  // reclaimed; <= 0 kills the node immediately.
+  double grace = 0.0;
+};
+
 struct SimConfig {
   SystemType system = SystemType::kOptimus;
   int num_nodes = 2;
@@ -50,6 +63,13 @@ struct SimConfig {
   // model's footprint, fitting more containers per node — at the price that
   // a small donor container cannot host a larger model.
   bool fine_grained_containers = false;
+
+  // --- Node churn (DESIGN.md §16). ------------------------------------------
+  // Scheduled revocations/revives. On a revoke the node stops receiving new
+  // routes (the placement table republishes with the node masked dead and the
+  // policy re-clusters over the survivors), its queued requests re-home, and
+  // its containers are reclaimed when the grace window closes.
+  std::vector<NodeChurnEvent> churn;
 };
 
 // Memory footprint of serving `model` in a container (runtime baseline plus
@@ -71,6 +91,15 @@ struct RequestRecord {
 
 struct SimResult {
   std::vector<RequestRecord> records;
+
+  // Node-churn accounting (all zero when SimConfig::churn is empty).
+  size_t revocations = 0;
+  size_t revives = 0;
+  size_t reclaimed_containers = 0;
+  // Queued requests re-dispatched off a revoked node onto survivors.
+  size_t rehomed_requests = 0;
+  // Placement-table republishes triggered by churn (mask swap + re-cluster).
+  size_t churn_rebalances = 0;
 
   double AvgServiceTime() const;
   double AvgWait() const;

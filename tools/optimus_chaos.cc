@@ -17,9 +17,19 @@
 // faults (drops, transient load failures) and checks the HTTP status
 // taxonomy plus the shed/retry/drop counters.
 //
-// Usage: optimus_chaos [--seeds N] [--requests M] [--smoke]
+// --storm switches to the node-churn sweep (DESIGN.md §16): a multi-node
+// platform absorbs repeated kill/revive cycles (~30% of nodes per cycle,
+// mixed zero-grace kills and graceful drains) plus the seeded `node.revoke`
+// fault, and the pass asserts that no request is lost or duplicated, that
+// the lifecycle counters reconcile exactly with the revokes issued and the
+// fault log, and that CheckContainerIntegrity stays clean across every
+// cycle. Storm output is counters-only (no wall-clock telemetry), so a
+// fixed seed is bit-reproducible: CI runs the sweep twice and diffs stdout.
+//
+// Usage: optimus_chaos [--seeds N] [--requests M] [--smoke] [--storm]
 // Exits non-zero on the first invariant violation.
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -368,12 +378,198 @@ void RunGatewayPass(uint64_t seed, int requests, const Zoo& zoo) {
   PrintTelemetrySummary("gateway", seed, service.platform().metrics());
 }
 
+// Node-churn storm (DESIGN.md §16): kill ~30% of a multi-node pool per
+// cycle (alternating zero-grace kills with graceful drains), keep serving
+// through the outage, revive everything, and reconcile the lifecycle
+// counters against the exact revokes/revives issued plus the seeded
+// `node.revoke` fault log. Output is counters-only so a fixed seed is
+// bit-identical run to run.
+void RunStormPass(uint64_t seed, int requests, const Zoo& zoo,
+                  const std::map<std::string, std::vector<float>>& reference) {
+  PlatformOptions options;
+  options.num_nodes = 5;
+  options.containers_per_node = 2;
+  options.route_fallback_breadth = 2;
+  options.warm_plan_cache = false;
+  AnalyticCostModel costs;
+  OptimusPlatform platform(&costs, options);
+  for (size_t i = 0; i < zoo.names.size(); ++i) {
+    platform.Deploy(zoo.names[i], zoo.models[i]);
+  }
+
+  // Low probability: the scheduled cycles below are the main churn driver;
+  // the fault point adds surprise zero-grace revocations of the routed node
+  // mid-invoke (the request fails retryable UNAVAILABLE).
+  fault::ScopedFaults faults("node.revoke=prob:0.01@" + std::to_string(seed + 9));
+  Rng rng(seed * 0x6c62272e07bb0143ULL + 13);
+  const std::vector<float> input(8, 0.5f);
+
+  // ceil(0.3 * num_nodes) nodes revoked per cycle — the 30%-kill storm.
+  const int kills_per_cycle = (options.num_nodes * 3 + 9) / 10;
+  const int cycles = 3;
+  const int phase = std::max(1, requests / (cycles * 3));
+  const double kGrace = 50.0;  // Two request-steps of virtual time.
+
+  size_t ok = 0;
+  size_t unavailable = 0;
+  size_t storm_revokes = 0;  // Accepted scheduled RevokeNode calls.
+  size_t storm_revives = 0;  // Accepted ReviveNode calls.
+  double now = 0.0;
+  int request_index = 0;
+
+  auto serve = [&](int count) {
+    for (int i = 0; i < count && request_index < requests; ++i, ++request_index) {
+      const std::string& function = zoo.names[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(zoo.names.size()) - 1))];
+      now = static_cast<double>(request_index) * 25.0;
+      InvokeResult result;
+      const Status status = platform.TryInvoke(function, input, now, &result);
+      if (status.ok()) {
+        ++ok;
+        const auto it = reference.find(function);
+        CHAOS_CHECK(it != reference.end() && result.output == it->second,
+                    "seed %llu storm request %d (%s): output differs from scratch reference",
+                    (unsigned long long)seed, request_index, function.c_str());
+      } else {
+        // The only legal failure under pure churn is the retryable
+        // UNAVAILABLE a mid-invoke revocation raises.
+        CHAOS_CHECK(status.code() == ErrorCode::kUnavailable,
+                    "seed %llu storm request %d: unexpected code %s", (unsigned long long)seed,
+                    request_index, ErrorCodeName(status.code()));
+        ++unavailable;
+      }
+    }
+  };
+
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    serve(phase);
+
+    // Kill kills_per_cycle distinct accepting nodes: even picks die on the
+    // spot (zero grace — containers reclaimed immediately), odd picks drain.
+    int killed = 0;
+    for (int attempt = 0; attempt < options.num_nodes * 4 && killed < kills_per_cycle;
+         ++attempt) {
+      const int node =
+          static_cast<int>(rng.UniformInt(0, static_cast<int64_t>(options.num_nodes) - 1));
+      if (platform.NodeState(node) != NodeLifecycle::kUp &&
+          platform.NodeState(node) != NodeLifecycle::kReviving) {
+        continue;
+      }
+      const bool hard_kill = killed % 2 == 0;
+      const size_t live_before = platform.NumLiveContainers();
+      const size_t reclaimed_before = platform.counters().reclaimed_containers;
+      if (platform.RevokeNode(node, hard_kill ? 0.0 : kGrace, now)) {
+        ++storm_revokes;
+        ++killed;
+        if (hard_kill) {
+          // A zero-grace kill reclaims exactly the node's containers —
+          // nothing else changed between the two snapshots.
+          const size_t reclaimed = platform.counters().reclaimed_containers - reclaimed_before;
+          CHAOS_CHECK(live_before - platform.NumLiveContainers() == reclaimed,
+                      "seed %llu cycle %d: kill of node %d reclaimed %zu containers but "
+                      "%zu disappeared",
+                      (unsigned long long)seed, cycle, node, reclaimed,
+                      live_before - platform.NumLiveContainers());
+        }
+      }
+    }
+    CHAOS_CHECK(killed == kills_per_cycle, "seed %llu cycle %d: only revoked %d of %d nodes",
+                (unsigned long long)seed, cycle, killed, kills_per_cycle);
+
+    // Serve through the outage (graceful drains finalize as the clock passes
+    // their deadline), then bring every Down node back.
+    serve(phase);
+    for (int node = 0; node < options.num_nodes; ++node) {
+      if (platform.NodeState(node) == NodeLifecycle::kDown && platform.ReviveNode(node)) {
+        ++storm_revives;
+      }
+    }
+    serve(phase);
+
+    const std::vector<std::string> violations = platform.CheckContainerIntegrity();
+    CHAOS_CHECK(violations.empty(), "seed %llu cycle %d: %s", (unsigned long long)seed, cycle,
+                violations.empty() ? "" : violations.front().c_str());
+  }
+  serve(requests - request_index);
+
+  // Settle: revive any node the fault point killed after the last cycle's
+  // sweep, then one far-future invoke finalizes every outstanding drain.
+  for (int node = 0; node < options.num_nodes; ++node) {
+    if (platform.NodeState(node) == NodeLifecycle::kDown && platform.ReviveNode(node)) {
+      ++storm_revives;
+    }
+  }
+  {
+    InvokeResult result;
+    now += kGrace * 2;
+    const Status status = platform.TryInvoke(zoo.names[0], input, now, &result);
+    if (status.ok()) {
+      ++ok;
+    } else {
+      ++unavailable;
+    }
+  }
+
+  const PlatformCounters counters = platform.counters();
+  const uint64_t revoke_fires = fault::Fires("node.revoke");
+
+  // Zero lost or duplicated invokes: every request is exactly one success or
+  // one typed failure, and the start counters sum to the successes.
+  CHAOS_CHECK(ok + unavailable == static_cast<size_t>(requests) + 1,
+              "seed %llu storm: %zu ok + %zu unavailable != %d requests",
+              (unsigned long long)seed, ok, unavailable, requests + 1);
+  CHAOS_CHECK(counters.warm_starts + counters.transforms + counters.cold_starts == ok,
+              "seed %llu storm: start counters %zu+%zu+%zu != %zu successes",
+              (unsigned long long)seed, counters.warm_starts, counters.transforms,
+              counters.cold_starts, ok);
+  CHAOS_CHECK(counters.failed_invokes == unavailable,
+              "seed %llu storm: failed_invokes=%zu but observed %zu errors",
+              (unsigned long long)seed, counters.failed_invokes, unavailable);
+  // With no loader/executor faults armed, the only source of UNAVAILABLE is
+  // the node.revoke fault — exactly one error per fire.
+  CHAOS_CHECK(unavailable == revoke_fires,
+              "seed %llu storm: %zu UNAVAILABLE errors but %llu node.revoke fires",
+              (unsigned long long)seed, unavailable, (unsigned long long)revoke_fires);
+  // Every revocation is either a scheduled storm kill or a fault fire (the
+  // fault revokes the freshly-routed — hence accepting — node, so its
+  // RevokeNode always lands).
+  CHAOS_CHECK(counters.node_revocations == storm_revokes + revoke_fires,
+              "seed %llu storm: node_revocations=%zu != %zu scheduled + %llu fault fires",
+              (unsigned long long)seed, counters.node_revocations, storm_revokes,
+              (unsigned long long)revoke_fires);
+  CHAOS_CHECK(counters.node_revives == storm_revives,
+              "seed %llu storm: node_revives=%zu != %zu issued", (unsigned long long)seed,
+              counters.node_revives, storm_revives);
+  // Everything revived and every drain finalized: the pool is whole again.
+  CHAOS_CHECK(platform.DrainingNodes() == 0, "seed %llu storm: %d nodes still draining",
+              (unsigned long long)seed, platform.DrainingNodes());
+  CHAOS_CHECK(platform.AcceptingNodes() == options.num_nodes,
+              "seed %llu storm: only %d of %d nodes accepting after revival",
+              (unsigned long long)seed, platform.AcceptingNodes(), options.num_nodes);
+  for (const std::string& violation : platform.CheckContainerIntegrity()) {
+    CHAOS_CHECK(false, "seed %llu storm: %s", (unsigned long long)seed, violation.c_str());
+  }
+
+  // Counters-only line: virtual-time determinism makes this bit-identical
+  // for a fixed seed (CI diffs two runs).
+  std::printf(
+      "seed %llu storm: ok=%zu unavailable=%zu warm=%zu transform=%zu cold=%zu "
+      "revocations=%zu revives=%zu reclaimed=%zu rerouted=%zu fires[revoke=%llu] "
+      "accepting=%d draining=%d version=%llu\n",
+      (unsigned long long)seed, ok, unavailable, counters.warm_starts, counters.transforms,
+      counters.cold_starts, counters.node_revocations, counters.node_revives,
+      counters.reclaimed_containers, counters.rerouted_invokes,
+      (unsigned long long)revoke_fires, platform.AcceptingNodes(), platform.DrainingNodes(),
+      (unsigned long long)platform.PlacementVersion());
+}
+
 }  // namespace
 }  // namespace optimus
 
 int main(int argc, char** argv) {
   int seeds = 10;
   int requests = 120;
+  bool storm = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
       seeds = std::atoi(argv[++i]);
@@ -382,8 +578,11 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       seeds = 3;
       requests = 40;
+    } else if (std::strcmp(argv[i], "--storm") == 0) {
+      storm = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--seeds N] [--requests M] [--smoke]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--seeds N] [--requests M] [--smoke] [--storm]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -398,6 +597,12 @@ int main(int argc, char** argv) {
 
   for (int s = 0; s < seeds; ++s) {
     const uint64_t seed = 1000u + static_cast<uint64_t>(s) * 31u;
+    if (storm) {
+      // Storm mode is its own sweep: counters-only output, bit-reproducible
+      // for a fixed seed (the regular passes print wall-clock telemetry).
+      optimus::RunStormPass(seed, requests, zoo, reference);
+      continue;
+    }
     optimus::RunPlatformPass(seed, requests, zoo, reference);
     optimus::RunGatewayPass(seed, requests / 2, zoo);
   }
