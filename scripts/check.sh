@@ -52,6 +52,11 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure
 # fixed-seed sweep is bit-reproducible (CI diffs two runs).
 "$BUILD_DIR"/tools/optimus_chaos --smoke --storm
 
+# Forecast-driven warming smoke (DESIGN.md §17): manual warming cycles under
+# the warming.prefetch fault; the speculation ledger must reconcile exactly
+# and never perturb the reactive start counters.
+"$BUILD_DIR"/tools/optimus_chaos --smoke --warming
+
 # Telemetry endpoint smoke (DESIGN.md §12): a real gateway must serve
 # /metrics as valid Prometheus exposition text and /trace as Chrome
 # trace_event JSON with the expected span taxonomy.

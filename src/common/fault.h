@@ -40,6 +40,9 @@
 //                       and the next attempt re-homes — DESIGN.md §16)
 //   tenant.quota_exhausted  gateway tenant admission forced to reject (429 +
 //                       Retry-After) regardless of the token bucket's level
+//   warming.prefetch    speculative pre-warm order aborted before touching a
+//                       node (counted in optimus_warming_failures_total;
+//                       reactive traffic is unaffected — DESIGN.md §17)
 
 #ifndef OPTIMUS_SRC_COMMON_FAULT_H_
 #define OPTIMUS_SRC_COMMON_FAULT_H_

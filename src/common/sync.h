@@ -107,6 +107,7 @@ enum class LockRank : uint32_t {
   kPlanCacheEntry = 60,   // plan-cache per-entry latch
   kQuarantine = 70,       // plan-cache execution-failure quarantine
   kRebalance = 80,        // background rebalancer wakeup
+  kWarming = 85,          // background warming-loop wakeup (platform.cc)
   kDemand = 90,           // placement demand accumulator
   kThreadPool = 100,      // worker-pool task queue
   kMetricsRegistry = 110, // telemetry series registry (shared)

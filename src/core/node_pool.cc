@@ -56,16 +56,21 @@ bool NodePool::LockedNode::HasIdleContainer(double now, double idle_threshold) c
   return false;
 }
 
-void NodePool::LockedNode::ReapExpired(double now, double keep_alive) {
+size_t NodePool::LockedNode::ReapExpired(double now, double keep_alive) {
   auto& containers = node_->containers;
+  size_t prewarmed_waste = 0;
   for (auto it = containers.begin(); it != containers.end();) {
     if (now - it->last_active >= keep_alive) {
+      if (it->prewarmed) {
+        ++prewarmed_waste;  // A speculation that expired before any request.
+      }
       RecycleArena(std::move(it->instance.arena));
       it = containers.erase(it);
     } else {
       ++it;
     }
   }
+  return prewarmed_waste;
 }
 
 void NodePool::LockedNode::RemoveById(ContainerId id) {
@@ -80,17 +85,19 @@ void NodePool::LockedNode::RemoveById(ContainerId id) {
   }
 }
 
-void NodePool::LockedNode::EvictLeastRecentlyActive() {
+bool NodePool::LockedNode::EvictLeastRecentlyActive() {
   auto& containers = node_->containers;
   if (containers.empty()) {
-    return;
+    return false;
   }
   const auto victim = std::min_element(containers.begin(), containers.end(),
                                        [](const RealContainer& a, const RealContainer& b) {
                                          return a.last_active < b.last_active;
                                        });
+  const bool prewarmed_waste = victim->prewarmed;
   RecycleArena(std::move(victim->instance.arena));
   containers.erase(victim);
+  return prewarmed_waste;
 }
 
 std::shared_ptr<TensorArena> NodePool::LockedNode::AcquireArena() {

@@ -54,6 +54,12 @@ struct RealContainer {
   std::string function;
   double last_active = 0.0;
   ModelInstance instance;
+  // Set by the warming subsystem when this container was prepared
+  // speculatively and has not served a request yet (DESIGN.md §17). The
+  // first warm hit clears it (forecast hit); removal while still set is
+  // counted as speculative waste.
+  bool prewarmed = false;
+  double prewarmed_at = 0.0;  // Virtual time the speculative prepare finished.
 };
 
 class NodePool {
@@ -148,9 +154,12 @@ class NodePool {
     // Any container idle for at least `idle_threshold` (a transform donor
     // candidate) — the predicate behind the capacity-pressure fallback.
     bool HasIdleContainer(double now, double idle_threshold) const NO_THREAD_SAFETY_ANALYSIS;
-    void ReapExpired(double now, double keep_alive) NO_THREAD_SAFETY_ANALYSIS;
+    // Returns the number of reaped containers that were pre-warmed and never
+    // served a request — the caller charges those to speculative waste.
+    size_t ReapExpired(double now, double keep_alive) NO_THREAD_SAFETY_ANALYSIS;
     void RemoveById(ContainerId id) NO_THREAD_SAFETY_ANALYSIS;
-    void EvictLeastRecentlyActive() NO_THREAD_SAFETY_ANALYSIS;
+    // True when the evicted container was pre-warmed and never served.
+    bool EvictLeastRecentlyActive() NO_THREAD_SAFETY_ANALYSIS;
     RealContainer* Adopt(RealContainer&& container) NO_THREAD_SAFETY_ANALYSIS;
 
     // Hands out a tensor arena for a container about to cold-start on this

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <sstream>
 #include <stdexcept>
 
 #include "src/common/fault.h"
@@ -44,6 +45,29 @@ OptimusPlatform::OptimusPlatform(const CostModel* costs, const PlatformOptions& 
       rerouted_invokes_(
           metrics_.GetCounter("optimus_rerouted_invokes_total", {},
                               "Invokes re-homed because the routed node was not accepting")),
+      warming_cycles_(metrics_.GetCounter("optimus_warming_cycles_total", {},
+                                          "Forecast-driven warming cycles executed")),
+      warming_orders_(metrics_.GetCounter("optimus_warming_orders_total", {},
+                                          "Pre-warm orders planned by the warming policy")),
+      warming_prewarms_cold_(
+          metrics_.GetCounter("optimus_warming_prewarms_total", {{"kind", "cold"}},
+                              "Containers prepared speculatively, by mechanism")),
+      warming_prewarms_transform_(
+          metrics_.GetCounter("optimus_warming_prewarms_total", {{"kind", "transform"}},
+                              "Containers prepared speculatively, by mechanism")),
+      warming_hits_(metrics_.GetCounter("optimus_warming_hits_total", {},
+                                        "Requests served warm by a pre-warmed container")),
+      warming_misses_(
+          metrics_.GetCounter("optimus_warming_misses_total", {},
+                              "Non-warm starts while warming was enabled (forecast misses)")),
+      warming_waste_(metrics_.GetCounter("optimus_warming_waste_total", {},
+                                         "Pre-warmed containers that died before any request")),
+      warming_skipped_(
+          metrics_.GetCounter("optimus_warming_skipped_total", {},
+                              "Pre-warm orders dropped (already warm, no donor, node down)")),
+      warming_failures_(
+          metrics_.GetCounter("optimus_warming_failures_total", {},
+                              "Pre-warm orders aborted by faults or transform failures")),
       invoke_seconds_warm_(metrics_.GetHistogram("optimus_invoke_seconds", {{"start", "warm"}},
                                                  "End-to-end invoke wall seconds by start type")),
       invoke_seconds_transform_(
@@ -58,7 +82,10 @@ OptimusPlatform::OptimusPlatform(const CostModel* costs, const PlatformOptions& 
       inference_seconds_(metrics_.GetHistogram("optimus_phase_seconds", {{"phase", "inference"}},
                                                "Wall seconds spent per invoke-path phase")),
       batch_size_(metrics_.GetHistogram("optimus_batch_size", {},
-                                        "Requests per TryInvokeBatch dispatch")) {
+                                        "Requests per TryInvokeBatch dispatch")),
+      warming_lead_seconds_(
+          metrics_.GetHistogram("optimus_warming_lead_seconds", {},
+                                "Virtual seconds between a pre-warm and its first hit")) {
   if (options.num_nodes < 1 || options.containers_per_node < 1) {
     throw std::invalid_argument("OptimusPlatform: need at least one node and one container");
   }
@@ -74,8 +101,14 @@ OptimusPlatform::OptimusPlatform(const CostModel* costs, const PlatformOptions& 
   placement_options.rebalance_interval = options.rebalance_interval;
   placement_options.demand_slots = options.demand_slots;
   placement_ = std::make_unique<PlacementManager>(placement_options, costs, &metrics_);
+  // Always construct the engine (the gateway admin route can enable warming
+  // at runtime); the loop thread only exists when a cadence is configured.
+  warming_engine_ = std::make_unique<WarmingEngine>(options.warming);
   if (options.rebalance_interval > 0.0) {
     rebalancer_ = std::thread([this] { RebalancerLoop(); });
+  }
+  if (options.warming.interval > 0.0) {
+    warming_thread_ = std::thread([this] { WarmingLoop(); });
   }
 }
 
@@ -87,6 +120,14 @@ OptimusPlatform::~OptimusPlatform() {
   rebalance_cv_.NotifyAll();
   if (rebalancer_.joinable()) {
     rebalancer_.join();
+  }
+  {
+    MutexLock lock(warming_mutex_);
+    warming_shutdown_ = true;
+  }
+  warming_cv_.NotifyAll();
+  if (warming_thread_.joinable()) {
+    warming_thread_.join();
   }
 }
 
@@ -139,6 +180,218 @@ bool OptimusPlatform::RebalanceNow(const std::string& reason) {
   }
   placement_->RecordDemand(totals);
   return placement_->Rebalance(models, placement_->DemandHistory(), reason);
+}
+
+PlacementDiff OptimusPlatform::PreviewRebalance() {
+  std::vector<const Model*> models;
+  {
+    ReaderLock lock(repository_mutex_);
+    models.reserve(repository_.size());
+    for (const auto& [name, entry] : repository_) {
+      models.push_back(&entry.model);
+    }
+  }
+  return placement_->PreviewRebalance(models, placement_->DemandHistory());
+}
+
+void OptimusPlatform::RequestWarming() {
+  if (!warming_thread_.joinable()) {
+    return;
+  }
+  {
+    MutexLock lock(warming_mutex_);
+    warming_requested_ = true;
+  }
+  warming_cv_.NotifyOne();
+}
+
+void OptimusPlatform::WarmingLoop() {
+  MutexLock lock(warming_mutex_);
+  for (;;) {
+    while (!warming_requested_ && !warming_shutdown_) {
+      warming_cv_.Wait(warming_mutex_);
+    }
+    if (warming_shutdown_) {
+      return;
+    }
+    warming_requested_ = false;
+    // Drop the mutex across the cycle: WarmNow takes kRepository → kDemand →
+    // kNode, and invokers signalling RequestWarming must never block on a
+    // speculative transform.
+    lock.Unlock();
+    WarmNow(last_now_.load(std::memory_order_relaxed));
+    lock.Lock();
+  }
+}
+
+size_t OptimusPlatform::WarmNow(double now) {
+  if (!warming_engine_->enabled()) {
+    return 0;
+  }
+  now = AdvanceClock(now);
+  // Harvest the same demand signal the rebalancer uses, through the same
+  // accumulator — GET /demand therefore shows exactly the series the
+  // forecaster predicted from.
+  std::map<std::string, uint64_t> totals;
+  {
+    ReaderLock lock(repository_mutex_);
+    for (const auto& [name, entry] : repository_) {
+      totals[name] = entry.invoke_seconds != nullptr ? entry.invoke_seconds->Count() : 0;
+    }
+  }
+  warming_cycles_.Inc();
+  // Sweep expired containers on every cycle so a speculation that died
+  // unused is charged to the waste bucket promptly — even on cycles that
+  // plan no orders.
+  for (int i = 0; i < pool_->num_nodes(); ++i) {
+    NodePool::LockedNode node = pool_->Lock(i);
+    ReapNode(node, now);
+  }
+  if (totals.empty()) {
+    return 0;  // Nothing deployed yet.
+  }
+  placement_->RecordDemand(totals);
+  const std::shared_ptr<const PlacementTable> table = placement_->Table();
+  const std::vector<WarmingOrder> orders =
+      warming_engine_->PlanOrders(placement_->DemandHistory(), *table);
+  warming_orders_.Inc(orders.size());
+  size_t executed = 0;
+  for (const WarmingOrder& order : orders) {
+    if (ExecutePrewarmOrder(order, now)) {
+      ++executed;
+    }
+  }
+  return executed;
+}
+
+bool OptimusPlatform::ExecutePrewarmOrder(const WarmingOrder& order, double now) {
+  // Injected prefetch failure (DESIGN.md §17): the order aborts before
+  // touching any node, so reactive traffic never observes it.
+  if (fault::Triggered("warming.prefetch")) {
+    warming_failures_.Inc();
+    return false;
+  }
+  const Model* model_ptr = nullptr;
+  {
+    ReaderLock lock(repository_mutex_);
+    const auto it = repository_.find(order.function);
+    if (it == repository_.end()) {
+      warming_skipped_.Inc();
+      return false;
+    }
+    model_ptr = &it->second.model;
+  }
+  const Model& model = *model_ptr;
+  if (order.node < 0 || order.node >= pool_->num_nodes() || !pool_->Accepting(order.node)) {
+    warming_skipped_.Inc();  // Planned against a table that has since drained.
+    return false;
+  }
+  NodePool::LockedNode node = pool_->Lock(order.node);
+  if (!node.Servable(now)) {
+    warming_skipped_.Inc();
+    return false;
+  }
+  ReapNode(node, now);
+  if (node.FindWarm(order.function) != nullptr) {
+    warming_skipped_.Inc();  // The forecast demand is already warm here.
+    return false;
+  }
+  if (!node.Full()) {
+    // Free slot: speculative scratch load into a fresh container.
+    RealContainer container;
+    container.id = pool_->AllocateId();
+    container.function = order.function;
+    try {
+      container.instance = loader_.Instantiate(model, /*weight_seed=*/1, /*breakdown=*/nullptr,
+                                               /*trace=*/nullptr, node.AcquireArena());
+    } catch (const std::exception&) {
+      warming_failures_.Inc();
+      return false;
+    }
+    container.prewarmed = true;
+    container.prewarmed_at = now;
+    container.last_active = now;
+    node.Adopt(std::move(container));
+    warming_prewarms_cold_.Inc();
+    return true;
+  }
+  // Full node: pre-transform the cheapest sufficiently-idle donor via the
+  // cached plan. Speculation never evicts — a full node with no idle donor
+  // means its capacity is earning its keep, so the order is dropped.
+  RealContainer* best_donor = nullptr;
+  double best_cost = 0.0;
+  for (RealContainer& container : node.containers()) {
+    if (now - container.last_active < options_.idle_threshold) {
+      continue;
+    }
+    try {
+      const TransformDecision decision = transformer_->Decide(container.instance.model, model);
+      if (best_donor == nullptr || decision.ChosenCost() < best_cost) {
+        best_donor = &container;
+        best_cost = decision.ChosenCost();
+      }
+    } catch (const std::exception&) {
+      decide_failures_.Inc();
+    }
+  }
+  if (best_donor == nullptr) {
+    warming_skipped_.Inc();
+    return false;
+  }
+  const bool donor_was_prewarmed = best_donor->prewarmed;
+  try {
+    transformer_->TransformOrLoad(&best_donor->instance, model);
+  } catch (const std::exception&) {
+    // Transactional like the reactive path: the half-mutated donor is
+    // destroyed. Charged to the warming bucket, not transform_failures_, so
+    // reactive accounting stays reconcilable.
+    warming_failures_.Inc();
+    if (donor_was_prewarmed) {
+      warming_waste_.Inc();  // The consumed speculation never served.
+    }
+    node.RemoveById(best_donor->id);
+    return false;
+  }
+  if (donor_was_prewarmed) {
+    warming_waste_.Inc();  // Repurposed before it ever served a request.
+  }
+  best_donor->function = order.function;
+  best_donor->prewarmed = true;
+  best_donor->prewarmed_at = now;
+  best_donor->last_active = now;
+  warming_prewarms_transform_.Inc();
+  return true;
+}
+
+size_t OptimusPlatform::PrewarmedContainers() const {
+  size_t live = 0;
+  pool_->ForEachContainer([&live](int, const RealContainer& container) {
+    if (container.prewarmed) {
+      ++live;
+    }
+  });
+  return live;
+}
+
+std::string OptimusPlatform::WarmingStatsJson() const {
+  const WarmingOptions& warming = warming_engine_->options();
+  std::ostringstream out;
+  out << "{\"enabled\":" << (warming_engine_->enabled() ? "true" : "false")
+      << ",\"interval\":" << warming.interval << ",\"forecaster\":\""
+      << warming_engine_->forecaster().name() << "\",\"policy\":\""
+      << warming_engine_->policy().name() << "\",\"budget\":{\"max_orders_per_cycle\":"
+      << warming.budget.max_orders_per_cycle
+      << ",\"max_orders_per_node\":" << warming.budget.max_orders_per_node
+      << ",\"containers_per_order\":" << warming.budget.containers_per_order
+      << ",\"min_predicted_rate\":" << warming.budget.min_predicted_rate
+      << "},\"cycles\":" << warming_cycles_.Value() << ",\"orders\":" << warming_orders_.Value()
+      << ",\"prewarms\":{\"cold\":" << warming_prewarms_cold_.Value()
+      << ",\"transform\":" << warming_prewarms_transform_.Value()
+      << "},\"hits\":" << warming_hits_.Value() << ",\"misses\":" << warming_misses_.Value()
+      << ",\"waste\":" << warming_waste_.Value() << ",\"skipped\":" << warming_skipped_.Value()
+      << ",\"failures\":" << warming_failures_.Value()
+      << ",\"prewarmed_containers\":" << PrewarmedContainers() << "}";
+  return out.str();
 }
 
 bool OptimusPlatform::RevokeNode(int node, double grace_seconds, double now) {
@@ -203,6 +456,13 @@ void OptimusPlatform::FinalizeDrains(double now) {
   const size_t reclaimed = pool_->FinalizeExpiredDrains(now);
   if (reclaimed > 0) {
     drained_containers_.Inc(reclaimed);
+  }
+}
+
+void OptimusPlatform::ReapNode(NodePool::LockedNode& node, double now) {
+  const size_t expired = node.ReapExpired(now, options_.keep_alive);
+  if (expired > 0) {
+    warming_waste_.Inc(expired);  // Speculations that expired before any hit.
   }
 }
 
@@ -286,6 +546,15 @@ PlatformCounters OptimusPlatform::counters() const {
   counters.rerouted_invokes = static_cast<size_t>(rerouted_invokes_.Value());
   counters.draining_nodes = pool_->DrainingNodes();
   counters.accepting_nodes = pool_->AcceptingNodes();
+  counters.warming_cycles = static_cast<size_t>(warming_cycles_.Value());
+  counters.warming_orders = static_cast<size_t>(warming_orders_.Value());
+  counters.warming_prewarms_cold = static_cast<size_t>(warming_prewarms_cold_.Value());
+  counters.warming_prewarms_transform = static_cast<size_t>(warming_prewarms_transform_.Value());
+  counters.warming_hits = static_cast<size_t>(warming_hits_.Value());
+  counters.warming_misses = static_cast<size_t>(warming_misses_.Value());
+  counters.warming_waste = static_cast<size_t>(warming_waste_.Value());
+  counters.warming_skipped = static_cast<size_t>(warming_skipped_.Value());
+  counters.warming_failures = static_cast<size_t>(warming_failures_.Value());
   return counters;
 }
 
@@ -393,11 +662,16 @@ std::vector<Status> OptimusPlatform::TryInvokeBatch(
     NodePool::LockedNode node = pool_->Lock(primary);
     RealContainer* warm = nullptr;
     if (node.Servable(now)) {
-      node.ReapExpired(now, options_.keep_alive);
+      ReapNode(node, now);
       warm = node.FindWarm(function);
     }
     if (warm != nullptr) {
       warm->last_active = now;
+      if (warm->prewarmed) {
+        warm->prewarmed = false;
+        warming_hits_.Inc();
+        warming_lead_seconds_.Observe(std::max(0.0, now - warm->prewarmed_at));
+      }
       const double inference_estimate = profile.InferenceCost(*model_ptr);
       for (size_t i = 0; i < inputs.size(); ++i) {
         const uint64_t invoke_start_ns = telemetry::MonotonicNanos();
@@ -430,6 +704,9 @@ std::vector<Status> OptimusPlatform::TryInvokeBatch(
       warm_batches_.Inc();
       if (placement_->RebalanceDue(now)) {
         RequestRebalance();
+      }
+      if (warming_engine_->Due(now)) {
+        RequestWarming();
       }
       return statuses;
     }
@@ -490,7 +767,7 @@ InvokeResult OptimusPlatform::InvokeInternal(const std::string& function,
                        "Invoke: node " + std::to_string(primary) + " is " +
                            NodeLifecycleName(node.lifecycle()) + " (revoked)");
   }
-  node.ReapExpired(now, options_.keep_alive);
+  ReapNode(node, now);
 
   // Warm start: an idle container already holding this function's model.
   RealContainer* chosen = node.FindWarm(function);
@@ -521,7 +798,7 @@ InvokeResult OptimusPlatform::InvokeInternal(const std::string& function,
       }
       ++probed;
       NodePool::LockedNode alt = pool_->Lock(neighbor);
-      alt.ReapExpired(now, options_.keep_alive);
+      ReapNode(alt, now);
       if (RealContainer* warm = alt.FindWarm(function); warm != nullptr) {
         chosen = warm;
         result.start = StartType::kWarm;
@@ -545,7 +822,7 @@ InvokeResult OptimusPlatform::InvokeInternal(const std::string& function,
                            "Invoke: node " + std::to_string(primary) + " is " +
                                NodeLifecycleName(node.lifecycle()) + " (revoked)");
       }
-      node.ReapExpired(now, options_.keep_alive);
+      ReapNode(node, now);
       result.node = primary;
       chosen = node.FindWarm(function);
       if (chosen != nullptr) {
@@ -584,6 +861,12 @@ InvokeResult OptimusPlatform::InvokeInternal(const std::string& function,
           static_cast<double>(telemetry::MonotonicNanos() - decide_start_ns) * 1e-9);
     }
     if (best_donor != nullptr) {
+      // A pre-warmed donor consumed reactively (success or failure) is a
+      // speculation that never served its own function: waste either way.
+      if (best_donor->prewarmed) {
+        best_donor->prewarmed = false;
+        warming_waste_.Inc();
+      }
       try {
         const uint64_t transform_start_ns = telemetry::MonotonicNanos();
         const TransformOutcome outcome =
@@ -614,7 +897,9 @@ InvokeResult OptimusPlatform::InvokeInternal(const std::string& function,
   // full node with no eligible donor).
   if (chosen == nullptr) {
     if (node.Full()) {
-      node.EvictLeastRecentlyActive();
+      if (node.EvictLeastRecentlyActive()) {
+        warming_waste_.Inc();  // The LRU victim was an unused speculation.
+      }
     }
     RealContainer container;
     container.id = pool_->AllocateId();
@@ -636,6 +921,13 @@ InvokeResult OptimusPlatform::InvokeInternal(const std::string& function,
     chosen = node.Adopt(std::move(container));
   }
 
+  if (chosen->prewarmed) {
+    // Forecast hit: a speculatively prepared container absorbs what would
+    // otherwise have been a cold start or transform.
+    chosen->prewarmed = false;
+    warming_hits_.Inc();
+    warming_lead_seconds_.Observe(std::max(0.0, now - chosen->prewarmed_at));
+  }
   chosen->last_active = now;
   {
     telemetry::ScopedSpan inference_span(trace, "inference", "inference");
@@ -675,6 +967,15 @@ InvokeResult OptimusPlatform::InvokeInternal(const std::string& function,
   // virtual time, exactly one invoker wakes the background rebalancer.
   if (placement_->RebalanceDue(now)) {
     RequestRebalance();
+  }
+  // Warming trigger (DESIGN.md §17): same shape, its own CAS'd window.
+  if (warming_engine_->enabled()) {
+    if (result.start != StartType::kWarm) {
+      warming_misses_.Inc();  // Demand the forecast failed to pre-warm.
+    }
+    if (warming_engine_->Due(now)) {
+      RequestWarming();
+    }
   }
   return result;
 }

@@ -85,6 +85,7 @@
 #include "src/placement/manager.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/trace.h"
+#include "src/warming/policy.h"
 
 namespace optimus {
 
@@ -119,6 +120,11 @@ struct PlatformOptions {
   int route_fallback_breadth = 1;
   // Demand-history slots retained for the §5.1 correlation term.
   size_t demand_slots = 32;
+  // Forecast-driven warming (DESIGN.md §17). Disabled by default; when
+  // enabled with warming.interval > 0 a background loop runs one warming
+  // cycle per interval of virtual time (driven by invoke timestamps, like
+  // the rebalancer). With interval <= 0 cycles only run via WarmNow().
+  WarmingOptions warming;
 };
 
 // Result of one invocation.
@@ -159,6 +165,21 @@ struct PlatformCounters {
   size_t rerouted_invokes = 0;
   int draining_nodes = 0;
   int accepting_nodes = 0;
+  // Forecast-driven warming (DESIGN.md §17) — a distinct accounting bucket:
+  // speculative transforms/loads never touch the warm/transform/cold success
+  // counters above, so `warm + transform + cold == successful invokes` keeps
+  // holding with warming enabled. Conservation within the bucket:
+  //   warming_prewarms_cold + warming_prewarms_transform
+  //     == warming_hits + warming_waste + (live pre-warmed containers).
+  size_t warming_cycles = 0;
+  size_t warming_orders = 0;
+  size_t warming_prewarms_cold = 0;       // Speculative scratch loads.
+  size_t warming_prewarms_transform = 0;  // Speculative transformations.
+  size_t warming_hits = 0;    // Pre-warmed container served its first request.
+  size_t warming_misses = 0;  // Non-warm start while warming was enabled.
+  size_t warming_waste = 0;   // Pre-warmed container died unused.
+  size_t warming_skipped = 0;  // Orders dropped (no donor, already warm, ...).
+  size_t warming_failures = 0;  // Orders aborted by faults/transform errors.
 };
 
 class OptimusPlatform {
@@ -224,9 +245,28 @@ class OptimusPlatform {
   // (the previous table keeps serving). `reason` labels the rebalance
   // counter ("manual" for operator-initiated runs).
   bool RebalanceNow(const std::string& reason = "manual");
+  // Computes what RebalanceNow would publish and diffs it against the
+  // serving table without swapping snapshots (POST /rebalance?dry_run=1).
+  PlacementDiff PreviewRebalance();
   // Node-lock acquisitions so far (see NodePool::LockAcquisitions) — lets
   // tests pin the O(1)-routing claim: a warm hit takes exactly one.
   uint64_t NodeLockAcquisitions() const { return pool_->LockAcquisitions(); }
+
+  // Forecast-driven warming (DESIGN.md §17). The engine is always
+  // constructed (so warming can be enabled at runtime via the gateway admin
+  // route); the background loop only exists when options.warming.interval is
+  // positive.
+  bool WarmingEnabled() const { return warming_engine_->enabled(); }
+  void SetWarmingEnabled(bool enabled) { warming_engine_->set_enabled(enabled); }
+  // Runs one warming cycle synchronously at virtual time `now`: harvests
+  // demand into the placement accumulator (the same signal the rebalancer
+  // and GET /demand see), plans budget-capped orders against the serving
+  // table, and executes them. Returns the number of orders that produced a
+  // pre-warmed container. No-op (returns 0) while warming is disabled.
+  size_t WarmNow(double now);
+  // Live containers currently pre-warmed and not yet hit.
+  size_t PrewarmedContainers() const;
+  std::string WarmingStatsJson() const;
 
   // Node lifecycle & churn (DESIGN.md §16). RevokeNode models a spot
   // revocation or operator drain at virtual time `now`: the node stops
@@ -277,6 +317,9 @@ class OptimusPlatform {
   int RouteAccepting(const std::string& function);
   // Lazily finalizes expired drains (cheap no-op when nothing is draining).
   void FinalizeDrains(double now);
+  // ReapExpired on a locked node, charging reaped never-hit pre-warmed
+  // containers to speculative waste.
+  void ReapNode(NodePool::LockedNode& node, double now);
   // The un-wrapped invocation path; throws OptimusError (and, for bugs,
   // other exceptions TryInvoke classifies as kInternal).
   InvokeResult InvokeInternal(const std::string& function, const std::vector<float>& input,
@@ -284,6 +327,14 @@ class OptimusPlatform {
   // Wakes the background rebalancer (no-op when it is not running).
   void RequestRebalance() EXCLUDES(rebalance_mutex_);
   void RebalancerLoop() EXCLUDES(rebalance_mutex_);
+  // Wakes the background warming loop (no-op when it is not running).
+  void RequestWarming() EXCLUDES(warming_mutex_);
+  void WarmingLoop() EXCLUDES(warming_mutex_);
+  // Executes one pre-warm order against its node: a speculative scratch load
+  // into a free slot, or a speculative transformation of the cheapest
+  // sufficiently-idle donor. Never evicts (speculation must not displace
+  // reactive state). Returns true when a pre-warmed container was produced.
+  bool ExecutePrewarmOrder(const WarmingOrder& order, double now);
 
   const CostModel* costs_;
   PlatformOptions options_;
@@ -307,6 +358,17 @@ class OptimusPlatform {
   bool rebalance_requested_ GUARDED_BY(rebalance_mutex_) = false;
   bool shutdown_ GUARDED_BY(rebalance_mutex_) = false;
   std::thread rebalancer_;
+  // Forecast-driven warming (DESIGN.md §17). The engine bundles the
+  // forecaster + WarmingPolicy + cycle cadence and is shared logic with the
+  // simulator. Rank kWarming sits above kRebalance (the loops never nest)
+  // and below kDemand; WarmingLoop drops its mutex before WarmNow, which
+  // takes kRepository → kDemand → kNode in turn.
+  std::unique_ptr<WarmingEngine> warming_engine_;
+  Mutex warming_mutex_{LockRank::kWarming, "platform.warming"};
+  CondVar warming_cv_;
+  bool warming_requested_ GUARDED_BY(warming_mutex_) = false;
+  bool warming_shutdown_ GUARDED_BY(warming_mutex_) = false;
+  std::thread warming_thread_;
   // Monotone counters and latency series, re-homed onto the registry (the
   // registry is the single source of truth; counters() is a thin view).
   telemetry::Counter& warm_starts_;
@@ -321,6 +383,15 @@ class OptimusPlatform {
   telemetry::Counter& node_revives_;
   telemetry::Counter& drained_containers_;
   telemetry::Counter& rerouted_invokes_;
+  telemetry::Counter& warming_cycles_;
+  telemetry::Counter& warming_orders_;
+  telemetry::Counter& warming_prewarms_cold_;
+  telemetry::Counter& warming_prewarms_transform_;
+  telemetry::Counter& warming_hits_;
+  telemetry::Counter& warming_misses_;
+  telemetry::Counter& warming_waste_;
+  telemetry::Counter& warming_skipped_;
+  telemetry::Counter& warming_failures_;
   telemetry::Histogram& invoke_seconds_warm_;
   telemetry::Histogram& invoke_seconds_transform_;
   telemetry::Histogram& invoke_seconds_cold_;
@@ -328,6 +399,8 @@ class OptimusPlatform {
   telemetry::Histogram& transform_seconds_;
   telemetry::Histogram& inference_seconds_;
   telemetry::Histogram& batch_size_;
+  // Virtual seconds between a speculative prepare and its first warm hit.
+  telemetry::Histogram& warming_lead_seconds_;
 };
 
 }  // namespace optimus

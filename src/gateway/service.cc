@@ -491,6 +491,30 @@ HttpResponse OptimusHttpService::HandleNodeAction(const HttpRequest& request) {
   return response;
 }
 
+HttpResponse OptimusHttpService::HandleWarmingAction(const HttpRequest& request) {
+  // POST /warming/enable, /warming/disable, /warming/run.
+  const std::string action = request.path.substr(sizeof("/warming/") - 1);
+  std::ostringstream body;
+  if (action == "enable" || action == "disable") {
+    platform_.SetWarmingEnabled(action == "enable");
+    body << "{\"action\":\"" << action
+         << "\",\"enabled\":" << (platform_.WarmingEnabled() ? "true" : "false") << "}\n";
+  } else if (action == "run") {
+    // Synchronous warming cycle on the caller's thread (deterministic for
+    // tests and operators; the background loop uses the same WarmNow).
+    const size_t executed = platform_.WarmNow(clock_());
+    body << "{\"action\":\"run\",\"enabled\":"
+         << (platform_.WarmingEnabled() ? "true" : "false") << ",\"executed\":" << executed
+         << "}\n";
+  } else {
+    return JsonError(ErrorCode::kNotFound, "no such warming action: " + action);
+  }
+  HttpResponse response;
+  response.content_type = "application/json";
+  response.body = body.str();
+  return response;
+}
+
 HttpResponse OptimusHttpService::HandleMetrics() {
   // Point-in-time gauges are refreshed at scrape time, Prometheus-style.
   live_containers_.Set(static_cast<double>(platform_.NumLiveContainers()));
@@ -542,6 +566,16 @@ HttpResponse OptimusHttpService::Handle(const HttpRequest& request) {
          << "gateway_sheds=" << Sheds() << "\n"
          << "gateway_drops=" << Drops() << "\n"
          << "gateway_deadlines=" << DeadlinesExceeded() << "\n"
+         << "warming_enabled=" << (platform_.WarmingEnabled() ? 1 : 0) << "\n"
+         << "warming_cycles=" << counters.warming_cycles << "\n"
+         << "warming_orders=" << counters.warming_orders << "\n"
+         << "warming_prewarms_cold=" << counters.warming_prewarms_cold << "\n"
+         << "warming_prewarms_transform=" << counters.warming_prewarms_transform << "\n"
+         << "warming_hits=" << counters.warming_hits << "\n"
+         << "warming_misses=" << counters.warming_misses << "\n"
+         << "warming_waste=" << counters.warming_waste << "\n"
+         << "warming_skipped=" << counters.warming_skipped << "\n"
+         << "warming_failures=" << counters.warming_failures << "\n"
          << "placement_version=" << platform_.PlacementVersion() << "\n"
          << "placement_policy=" << BalancerKindId(platform_.placement().options().policy.kind)
          << "\n"
@@ -576,7 +610,73 @@ HttpResponse OptimusHttpService::Handle(const HttpRequest& request) {
     return response;
   }
 
+  if (request.method == "GET" && request.path == "/demand") {
+    // Per-function demand history — the exact slotted series the placement
+    // solver's correlation term and the warming forecaster consume.
+    const std::map<std::string, DemandSeries> history = platform_.placement().DemandHistory();
+    std::ostringstream body;
+    body << "{\"slots\":" << platform_.placement().DemandSlots() << ",\"functions\":{";
+    bool first = true;
+    for (const auto& [function, series] : history) {
+      if (!first) {
+        body << ",";
+      }
+      first = false;
+      body << "\"" << JsonEscape(function) << "\":[";
+      for (size_t i = 0; i < series.size(); ++i) {
+        if (i > 0) {
+          body << ",";
+        }
+        body << series[i];
+      }
+      body << "]";
+    }
+    body << "}}\n";
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.body = body.str();
+    return response;
+  }
+
+  if (request.method == "GET" && request.path == "/warming") {
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.body = platform_.WarmingStatsJson() + "\n";
+    return response;
+  }
+
+  if (request.method == "POST" && request.path.rfind("/warming/", 0) == 0) {
+    return HandleWarmingAction(request);
+  }
+
   if (request.method == "POST" && request.path == "/rebalance") {
+    const auto dry = request.query.find("dry_run");
+    if (dry != request.query.end() && dry->second != "0" && dry->second != "false") {
+      // Dry run: same solver, no snapshot swap — report the would-be moves.
+      PlacementDiff diff;
+      try {
+        diff = platform_.PreviewRebalance();
+      } catch (const std::exception& error) {
+        return JsonError(ErrorCode::kInternal, error.what());
+      }
+      constexpr size_t kMaxMoves = 64;
+      std::ostringstream body;
+      body << "{\"dry_run\":true,\"version\":" << diff.version
+           << ",\"would_move\":" << diff.moves.size() << ",\"unchanged\":" << diff.unchanged
+           << ",\"moves\":[";
+      for (size_t i = 0; i < diff.moves.size() && i < kMaxMoves; ++i) {
+        if (i > 0) {
+          body << ",";
+        }
+        body << "{\"function\":\"" << JsonEscape(diff.moves[i].function)
+             << "\",\"from\":" << diff.moves[i].from << ",\"to\":" << diff.moves[i].to << "}";
+      }
+      body << "],\"truncated\":" << (diff.moves.size() > kMaxMoves ? "true" : "false") << "}\n";
+      HttpResponse response;
+      response.content_type = "application/json";
+      response.body = body.str();
+      return response;
+    }
     const bool swapped = platform_.RebalanceNow("manual");
     HttpResponse response;
     response.content_type = "application/json";

@@ -13,6 +13,18 @@
 //                            per-node function counts, rebalance counters)
 //   POST /rebalance          synchronously recomputes the placement
 //                            (reason="manual"); JSON {"swapped":...,"version":...}
+//        [?dry_run=1]        preview only: runs the same solver but never
+//                            swaps the table; JSON {"dry_run":true,"version",
+//                            "would_move","unchanged","moves":[{function,
+//                            from,to}...],"truncated"}
+//   GET  /demand             per-function demand history (the slotted series
+//                            the placement solver and forecaster consume)
+//   GET  /warming            warming subsystem state + counters as JSON
+//                            (DESIGN.md §17)
+//   POST /warming/enable     turn the forecast-driven warming loop on
+//   POST /warming/disable    turn it off (in-flight cycle finishes)
+//   POST /warming/run        run one synchronous warming cycle now; JSON
+//                            includes the number of executed pre-warm orders
 //   GET  /healthz            cluster health: per-node lifecycle state,
 //                            draining/accepting counts, placement version
 //   POST /nodes/<id>/drain   revoke a node (grace window; ?grace=<sec>
@@ -165,6 +177,8 @@ class OptimusHttpService {
   HttpResponse HandleHealthz();
   // POST /nodes/<id>/drain and /nodes/<id>/revive admin actions.
   HttpResponse HandleNodeAction(const HttpRequest& request);
+  // POST /warming/enable|disable|run admin actions (DESIGN.md §17).
+  HttpResponse HandleWarmingAction(const HttpRequest& request);
   // Token-bucket admission for `tenant` at clock_() time. Returns true when
   // admitted; otherwise *retry_after receives the seconds until the bucket
   // holds a full token again (the 429's Retry-After). The injected

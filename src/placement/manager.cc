@@ -149,6 +149,42 @@ bool PlacementManager::Rebalance(const std::vector<const Model*>& models,
   return true;
 }
 
+PlacementDiff PlacementManager::PreviewRebalance(
+    const std::vector<const Model*>& models,
+    const std::map<std::string, DemandSeries>& history) {
+  MutexLock lock(update_mutex_);
+  const std::shared_ptr<const PlacementTable> current = store_.Snapshot();
+  PlacementDiff diff;
+  diff.version = current->version();
+  // Same live-subset solve + remap as Rebalance — the preview must predict
+  // exactly what a real swap would publish.
+  std::vector<int> live_ids;
+  if (!live_mask_.empty()) {
+    for (int node = 0; node < options_.num_nodes; ++node) {
+      if (live_mask_[static_cast<size_t>(node)] != 0) {
+        live_ids.push_back(node);
+      }
+    }
+  }
+  const int solve_nodes =
+      live_ids.empty() ? options_.num_nodes : static_cast<int>(live_ids.size());
+  Placement assignment = policy_->Compute(models, history, solve_nodes);
+  if (!live_ids.empty()) {
+    for (auto& [function, node] : assignment) {
+      node = live_ids[static_cast<size_t>(std::clamp(node, 0, solve_nodes - 1))];
+    }
+  }
+  for (const auto& [function, node] : assignment) {
+    const int from = current->NodeOf(function);
+    if (from == node) {
+      ++diff.unchanged;
+    } else {
+      diff.moves.push_back(PlacementDiff::Move{function, from, node});
+    }
+  }
+  return diff;
+}
+
 void PlacementManager::RecordDemand(const std::map<std::string, uint64_t>& cumulative_invokes) {
   demand_.RecordCumulative(cumulative_invokes);
 }

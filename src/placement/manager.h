@@ -37,6 +37,20 @@ struct PlacementManagerOptions {
   size_t demand_slots = 32;
 };
 
+// What a full rebalance *would* change, computed without publishing — the
+// payload behind POST /rebalance?dry_run=1 (DESIGN.md §17 uses it to preview
+// warming-driven placement pressure).
+struct PlacementDiff {
+  struct Move {
+    std::string function;
+    int from = -1;  // -1: not in the serving table (would be newly placed).
+    int to = -1;
+  };
+  uint64_t version = 0;       // Serving table version the diff is against.
+  std::vector<Move> moves;    // Sorted by function name (Placement is a map).
+  size_t unchanged = 0;       // Functions the recompute would keep in place.
+};
+
 class PlacementManager {
  public:
   // `metrics` may be null (e.g. in the simulator); observability is then
@@ -72,6 +86,13 @@ class PlacementManager {
   // "initial", "deploy", "demand", "manual").
   bool Rebalance(const std::vector<const Model*>& models,
                  const std::map<std::string, DemandSeries>& history, const std::string& reason);
+
+  // Dry-run recompute: runs the same solver + live-ring remap as Rebalance
+  // and diffs the result against the serving table, but never swaps
+  // snapshots, bumps counters, or injects the rebalance fault. Throws
+  // whatever the solver throws.
+  PlacementDiff PreviewRebalance(const std::vector<const Model*>& models,
+                                 const std::map<std::string, DemandSeries>& history);
 
   // Demand plumbing: RecordDemand closes one accumulator slot from cumulative
   // per-function invoke counts; DemandHistory feeds Rebalance.

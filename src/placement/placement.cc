@@ -278,7 +278,12 @@ void DemandAccumulator::RecordCumulative(const std::map<std::string, uint64_t>& 
     }
   }
   slots_ = std::min(slots_ + 1, max_slots_);
-  last_ = totals;
+  // Merge (not replace) the cumulative baselines: a function absent from one
+  // harvest must keep its baseline, or its entire historical total would be
+  // recounted as a single slot's demand when it reappears.
+  for (const auto& [function, total] : totals) {
+    last_[function] = total;
+  }
 }
 
 std::map<std::string, DemandSeries> DemandAccumulator::History() const {

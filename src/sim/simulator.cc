@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <deque>
 #include <limits>
+#include <memory>
 #include <queue>
 #include <stdexcept>
+#include <utility>
 
 #include "src/core/node_pool.h"  // NodeLifecycle — the shared state machine.
 
@@ -12,7 +14,14 @@ namespace optimus {
 
 namespace {
 
-enum class EventType : uint8_t { kArrival = 0, kCompletion, kRevoke, kDrainExpire, kRevive };
+enum class EventType : uint8_t {
+  kArrival = 0,
+  kCompletion,
+  kRevoke,
+  kDrainExpire,
+  kRevive,
+  kWarmingCycle,
+};
 
 struct Event {
   double time = 0.0;
@@ -78,6 +87,12 @@ class Simulation {
       nodes_.emplace_back(config.containers_per_node, config.idle_threshold, config.keep_alive,
                           config.node_memory_bytes);
     }
+    if (config.warming.enabled && config.warming.interval > 0.0) {
+      // The same engine the live platform drives, on the same cadence —
+      // which is what keeps live and simulated warming counters consistent.
+      warming_engine_ = std::make_unique<WarmingEngine>(config.warming);
+      warming_demand_ = std::make_unique<DemandAccumulator>(/*max_slots=*/64);
+    }
     result_.records.resize(trace.size());
   }
 
@@ -99,6 +114,17 @@ class Simulation {
       event.grace = churn.grace;
       events_.push(event);
     }
+    if (warming_engine_ != nullptr) {
+      // One warming cycle per interval — the virtual-time twin of the live
+      // platform's background WarmingLoop wakeups.
+      for (double t = config_.warming.interval; t < Horizon(trace_); t += config_.warming.interval) {
+        Event event;
+        event.time = t;
+        event.seq = next_seq_++;
+        event.type = EventType::kWarmingCycle;
+        events_.push(event);
+      }
+    }
     while (!events_.empty()) {
       const Event event = events_.top();
       events_.pop();
@@ -118,7 +144,14 @@ class Simulation {
         case EventType::kRevive:
           OnRevive(event.node);
           break;
+        case EventType::kWarmingCycle:
+          OnWarmingCycle(event.time);
+          break;
       }
+    }
+    if (warming_engine_ != nullptr) {
+      PurgePrewarmWaste();
+      result_.warming_unused = prewarmed_.size();
     }
     return std::move(result_);
   }
@@ -264,6 +297,123 @@ class Simulation {
     ++result_.churn_rebalances;
   }
 
+  // One forecast-driven warming cycle (DESIGN.md §17): harvest served counts
+  // into the demand accumulator, forecast, and execute budget-capped orders —
+  // the exact pipeline OptimusPlatform::WarmNow runs, in virtual time.
+  void OnWarmingCycle(double now) {
+    if (!warming_engine_->enabled()) {
+      return;
+    }
+    ++result_.warming_cycles;
+    // Sweep keep-alive expiry up front: a pre-warm that died unused charges
+    // the waste bucket on this cycle, not at the horizon.
+    for (NodeState& node : nodes_) {
+      node.pool.ReapExpired(now);
+    }
+    PurgePrewarmWaste();
+    warming_demand_->RecordCumulative(served_counts_);
+    const std::vector<WarmingOrder> orders =
+        warming_engine_->PlanOrders(warming_demand_->History(), *table_);
+    result_.warming_orders += orders.size();
+    for (const WarmingOrder& order : orders) {
+      ExecutePrewarm(order, now);
+    }
+    PurgePrewarmWaste();
+  }
+
+  // Executes one speculative pre-warm. Speculation never evicts and never
+  // displaces reactive work: a full node with no idle donor is a skip, and a
+  // container already warm for the function makes the order redundant.
+  void ExecutePrewarm(const WarmingOrder& order, double now) {
+    if (order.node < 0 || order.node >= config_.num_nodes) {
+      ++result_.warming_skipped;
+      return;
+    }
+    NodeState& node = nodes_[static_cast<size_t>(order.node)];
+    if (node.lifecycle != NodeLifecycle::kUp) {
+      ++result_.warming_skipped;
+      return;
+    }
+    const auto model_it = repository_.find(order.function);
+    if (model_it == repository_.end()) {
+      ++result_.warming_skipped;
+      return;
+    }
+    const Model& model = model_it->second;
+    node.pool.ReapExpired(now);
+    if (node.pool.FindWarm(order.function) != nullptr) {
+      ++result_.warming_skipped;
+      return;
+    }
+
+    int64_t needed_memory = 0;
+    if (config_.node_memory_bytes > 0) {
+      needed_memory = config_.fine_grained_containers ? ContainerFootprintBytes(model)
+                                                      : config_.uniform_container_bytes;
+    }
+    StartupRequest request;
+    request.dest = &model;
+    request.donors = node.pool.TransformCandidates(
+        order.function, now, config_.fine_grained_containers ? needed_memory : 0);
+    request.has_free_slot = node.pool.CanLaunch(needed_memory);
+    for (const Container& container : node.pool.containers()) {
+      request.resident_functions.push_back(container.function);
+    }
+    if (!request.has_free_slot && request.donors.empty()) {
+      ++result_.warming_skipped;
+      return;
+    }
+    const StartupResult startup = policy_->Acquire(request);
+    Container* container = nullptr;
+    if (startup.donor != nullptr) {
+      if (prewarmed_.erase({order.node, startup.donor->id}) > 0) {
+        ++result_.warming_waste;  // One pre-warm consumed another before any hit.
+      }
+      startup.donor->function = order.function;
+      container = startup.donor;
+      ++result_.warming_prewarms_transform;
+    } else if (request.has_free_slot) {
+      container = node.pool.Launch(order.function, now, now, needed_memory);
+      ++result_.warming_prewarms_cold;
+    } else {
+      ++result_.warming_skipped;  // The policy declined every donor on a full node.
+      return;
+    }
+    // Busy through init + load: a request arriving before the container is
+    // ready queues behind it exactly as it would behind a reactive start.
+    const double ready = now + startup.init_seconds + startup.load_seconds;
+    container->state = ContainerState::kBusy;
+    container->busy_until = ready;
+    container->last_active = now;
+    if (config_.eviction == EvictionPolicy::kGreedyDual) {
+      container->priority =
+          gd_clock_ + config_.profile.InitCost() + scratch_costs_.at(order.function);
+    }
+    prewarmed_[{order.node, container->id}] = now;
+    Event completion;
+    completion.time = ready;
+    completion.seq = next_seq_++;
+    completion.type = EventType::kCompletion;
+    completion.node = order.node;
+    completion.container = container->id;
+    events_.push(completion);
+  }
+
+  // Charges pre-warmed containers that vanished (keep-alive reap, churn
+  // reclaim) before their first hit to the waste bucket, preserving
+  //   prewarms_cold + prewarms_transform == hits + waste + unused.
+  void PurgePrewarmWaste() {
+    for (auto it = prewarmed_.begin(); it != prewarmed_.end();) {
+      NodeState& node = nodes_[static_cast<size_t>(it->first.first)];
+      if (node.pool.Find(it->first.second) == nullptr) {
+        ++result_.warming_waste;
+        it = prewarmed_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
   // Attempts to serve the request on its node right now; returns false if it
   // must (continue to) queue.
   bool TryServe(int node_index, size_t request_index, double now) {
@@ -280,6 +430,13 @@ class Simulation {
 
     // Warm start: an idle container already serving this function.
     if (Container* warm = node.pool.FindWarm(function)) {
+      const auto prewarm = prewarmed_.find({node_index, warm->id});
+      if (prewarm != prewarmed_.end()) {
+        // First hit on a speculative pre-warm: the forecast paid off.
+        ++result_.warming_hits;
+        result_.warming_lead_seconds.push_back(now - prewarm->second);
+        prewarmed_.erase(prewarm);
+      }
       record.start = StartType::kWarm;
       record.init = 0.0;
       record.load = 0.0;
@@ -311,6 +468,9 @@ class Simulation {
     record.load = startup.load_seconds;
 
     if (startup.donor != nullptr) {
+      if (prewarmed_.erase({node_index, startup.donor->id}) > 0) {
+        ++result_.warming_waste;  // A reactive transform consumed an unused pre-warm.
+      }
       // Repurpose the donor container for this function.
       startup.donor->function = function;
       Occupy(startup.donor, node_index, request_index, now, record);
@@ -330,6 +490,9 @@ class Simulation {
       if (config_.eviction == EvictionPolicy::kGreedyDual) {
         gd_clock_ = std::max(gd_clock_, victim->priority);
       }
+      if (prewarmed_.erase({node_index, victim->id}) > 0) {
+        ++result_.warming_waste;  // Eviction beat the forecast to the slot.
+      }
       node.pool.Remove(victim->id);
     }
     Container* slot = node.pool.Launch(function, now, now, needed_memory);
@@ -341,6 +504,10 @@ class Simulation {
   // completion event.
   void Occupy(Container* container, int node_index, size_t request_index, double now,
               const RequestRecord& record) {
+    if (warming_engine_ != nullptr) {
+      // The sim mirror of the per-function invoke counters WarmNow harvests.
+      ++served_counts_[trace_[request_index].function];
+    }
     const double done = now + record.init + record.load + record.compute;
     container->state = ContainerState::kBusy;
     container->busy_until = done;
@@ -374,6 +541,13 @@ class Simulation {
   std::unique_ptr<PlacementPolicy> placement_policy_;
   std::vector<uint8_t> live_mask_;  // Empty = all nodes live.
   std::unique_ptr<StartupPolicy> policy_;
+  // --- Forecast-driven warming (null/empty when SimConfig::warming is off).
+  std::unique_ptr<WarmingEngine> warming_engine_;
+  std::unique_ptr<DemandAccumulator> warming_demand_;
+  // Cumulative served invocations per function: the warming harvest's input.
+  std::map<std::string, uint64_t> served_counts_;
+  // Pre-warmed containers awaiting their first hit: (node, id) -> born time.
+  std::map<std::pair<int, ContainerId>, double> prewarmed_;
   std::vector<NodeState> nodes_;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
   uint64_t next_seq_ = 0;

@@ -16,6 +16,7 @@
 
 #include "src/baselines/systems.h"
 #include "src/placement/placement.h"
+#include "src/warming/policy.h"
 #include "src/workload/trace.h"
 
 namespace optimus {
@@ -70,6 +71,12 @@ struct SimConfig {
   // policy re-clusters over the survivors), its queued requests re-home, and
   // its containers are reclaimed when the grace window closes.
   std::vector<NodeChurnEvent> churn;
+
+  // --- Forecast-driven warming (DESIGN.md §17). -----------------------------
+  // The same WarmingEngine the live platform runs, in virtual time: one
+  // warming cycle per warming.interval harvests served counts into a demand
+  // accumulator, forecasts, and executes budget-capped pre-warm orders.
+  WarmingOptions warming;
 };
 
 // Memory footprint of serving `model` in a container (runtime baseline plus
@@ -100,6 +107,24 @@ struct SimResult {
   size_t rehomed_requests = 0;
   // Placement-table republishes triggered by churn (mask swap + re-cluster).
   size_t churn_rebalances = 0;
+
+  // Forecast-driven warming accounting (all zero when SimConfig::warming is
+  // disabled) — the same bucket semantics as PlatformCounters: speculative
+  // work never touches the per-request start-type records, and
+  //   prewarms_cold + prewarms_transform == hits + waste + unused.
+  size_t warming_cycles = 0;
+  size_t warming_orders = 0;
+  size_t warming_prewarms_cold = 0;
+  size_t warming_prewarms_transform = 0;
+  size_t warming_hits = 0;
+  size_t warming_waste = 0;
+  size_t warming_skipped = 0;
+  // Pre-warmed containers still alive and unused at the horizon.
+  size_t warming_unused = 0;
+  // Virtual seconds between each pre-warm and its first hit.
+  std::vector<double> warming_lead_seconds;
+
+  size_t WarmingPrewarms() const { return warming_prewarms_cold + warming_prewarms_transform; }
 
   double AvgServiceTime() const;
   double AvgWait() const;

@@ -1,0 +1,102 @@
+#include "src/warming/policy.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace optimus {
+
+namespace {
+
+// Warm the forecast-hottest functions first, one container each, on the node
+// the routing table will actually send their traffic to.
+class PredictiveWarmingPolicy final : public WarmingPolicy {
+ public:
+  const char* name() const override { return "predictive"; }
+
+  std::vector<WarmingOrder> Plan(const std::vector<FunctionForecast>& forecasts,
+                                 const PlacementTable& table,
+                                 const WarmingBudget& budget) const override {
+    std::vector<WarmingOrder> orders;
+    for (const FunctionForecast& entry : forecasts) {
+      const Forecast& forecast = entry.forecast;
+      if (!forecast.predictable || forecast.rate < budget.min_predicted_rate) {
+        continue;  // The sporadic fallback declined, or the rate is noise.
+      }
+      WarmingOrder order;
+      order.function = entry.function;
+      // NodeOrHash re-homes over the live ring, so orders never target a
+      // drained or down node.
+      order.node = table.NodeOrHash(entry.function);
+      order.containers = std::max(1, budget.containers_per_order);
+      // Confidence scales priority so a hesitant forecast loses a budget
+      // tie against a confident one at the same rate.
+      order.priority = forecast.rate * (0.5 + 0.5 * forecast.confidence);
+      order.forecast = forecast;
+      orders.push_back(std::move(order));
+    }
+    std::sort(orders.begin(), orders.end(), [](const WarmingOrder& a, const WarmingOrder& b) {
+      if (a.priority != b.priority) {
+        return a.priority > b.priority;
+      }
+      return a.function < b.function;  // Deterministic tie-break for replays.
+    });
+    // Enforce the per-node cap first (keep the highest-priority orders on
+    // each node), then the cluster-wide cap.
+    std::vector<WarmingOrder> capped;
+    std::map<int, int> per_node;
+    for (WarmingOrder& order : orders) {
+      if (static_cast<int>(capped.size()) >= std::max(0, budget.max_orders_per_cycle)) {
+        break;
+      }
+      int& node_count = per_node[order.node];
+      if (node_count >= std::max(0, budget.max_orders_per_node)) {
+        continue;
+      }
+      ++node_count;
+      capped.push_back(std::move(order));
+    }
+    return capped;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<WarmingPolicy> MakeWarmingPolicy(const std::string& kind) {
+  if (kind == "predictive") {
+    return std::make_unique<PredictiveWarmingPolicy>();
+  }
+  throw std::invalid_argument("MakeWarmingPolicy: unknown warming policy: " + kind);
+}
+
+WarmingEngine::WarmingEngine(const WarmingOptions& options)
+    : options_(options),
+      forecaster_(MakeForecaster(options.forecaster, options.ewma_alpha)),
+      policy_(MakeWarmingPolicy(options.policy)),
+      enabled_(options.enabled),
+      next_due_(options.interval) {}
+
+bool WarmingEngine::Due(double now) {
+  if (!enabled() || options_.interval <= 0.0) {
+    return false;
+  }
+  double due = next_due_.load(std::memory_order_relaxed);
+  while (now >= due) {
+    if (next_due_.compare_exchange_weak(due, now + options_.interval,
+                                        std::memory_order_relaxed)) {
+      return true;  // This caller owns the cycle for the elapsed window.
+    }
+  }
+  return false;
+}
+
+std::vector<WarmingOrder> WarmingEngine::PlanOrders(
+    const std::map<std::string, DemandSeries>& history, const PlacementTable& table) const {
+  std::vector<FunctionForecast> forecasts;
+  forecasts.reserve(history.size());
+  for (const auto& [function, series] : history) {
+    forecasts.push_back(FunctionForecast{function, forecaster_->Predict(series)});
+  }
+  return policy_->Plan(forecasts, table, options_.budget);
+}
+
+}  // namespace optimus

@@ -1,0 +1,116 @@
+// WarmingPolicy: forecast → prioritized pre-transform orders (DESIGN.md §17).
+//
+// The policy/mechanism split mirrors placement: a WarmingPolicy is pure
+// decision logic (which functions to warm, where, how many containers) and
+// the platform/simulator own execution (locking nodes, running transforms,
+// charging the speculative accounting bucket). A WarmingBudget caps every
+// cycle so speculation can never starve reactive traffic of containers.
+//
+// WarmingEngine bundles a forecaster + policy + cadence into the one object
+// both the live platform and the simulator drive, which is what keeps their
+// warming counters consistent on the same schedule.
+
+#ifndef OPTIMUS_SRC_WARMING_POLICY_H_
+#define OPTIMUS_SRC_WARMING_POLICY_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/placement/placement.h"
+#include "src/warming/forecaster.h"
+#include "src/workload/trace.h"
+
+namespace optimus {
+
+// Per-cycle speculation caps. Defaults are deliberately tight: a cycle may
+// touch at most 4 containers cluster-wide and 2 per node.
+struct WarmingBudget {
+  int max_orders_per_cycle = 4;  // Cluster-wide order cap per cycle.
+  int max_orders_per_node = 2;   // Per-node cap within one cycle.
+  int containers_per_order = 1;  // Containers a single order may warm.
+  // Forecast floor (arrivals per demand slot): predictions below this are
+  // not worth a speculative transform.
+  double min_predicted_rate = 0.5;
+};
+
+struct WarmingOptions {
+  bool enabled = false;
+  // Virtual seconds between warming cycles; <= 0 disables the background
+  // loop (cycles then only run via explicit WarmNow / POST /warming/run).
+  double interval = 120.0;
+  std::string forecaster = "hybrid";  // MakeForecaster kind.
+  double ewma_alpha = 0.5;
+  std::string policy = "predictive";  // MakeWarmingPolicy kind.
+  WarmingBudget budget;
+};
+
+// One pre-warm instruction: make `containers` warm instances of `function`
+// on `node` before the forecast demand lands.
+struct WarmingOrder {
+  std::string function;
+  int node = -1;
+  int containers = 1;
+  double priority = 0.0;  // Higher executes first when the budget truncates.
+  Forecast forecast;      // The prediction that motivated the order.
+};
+
+struct FunctionForecast {
+  std::string function;
+  Forecast forecast;
+};
+
+class WarmingPolicy {
+ public:
+  virtual ~WarmingPolicy() = default;
+  virtual const char* name() const = 0;
+  // Converts forecasts into budget-capped orders, highest priority first.
+  // Node choice must respect `table` (and therefore its live-mask): warming
+  // a node the router will not send traffic to is guaranteed waste. Must be
+  // deterministic in its inputs — chaos replays depend on it.
+  virtual std::vector<WarmingOrder> Plan(const std::vector<FunctionForecast>& forecasts,
+                                         const PlacementTable& table,
+                                         const WarmingBudget& budget) const = 0;
+};
+
+// "predictive"; throws std::invalid_argument for unknown kinds.
+std::unique_ptr<WarmingPolicy> MakeWarmingPolicy(const std::string& kind);
+
+// Forecaster + policy + cadence, shared verbatim by OptimusPlatform and the
+// simulator. Thread-safe: PlanOrders is const over immutable members, and
+// the enable flag / cycle deadline are atomics.
+class WarmingEngine {
+ public:
+  explicit WarmingEngine(const WarmingOptions& options);
+
+  const WarmingOptions& options() const { return options_; }
+  const Forecaster& forecaster() const { return *forecaster_; }
+  const WarmingPolicy& policy() const { return *policy_; }
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+
+  // True exactly once per elapsed interval (CAS on the deadline, like
+  // PlacementManager::RebalanceDue): with many threads racing the same
+  // clock, one wins and runs the cycle. Always false when disabled or the
+  // interval is non-positive.
+  bool Due(double now);
+
+  // Forecasts every function in `history` and plans budget-capped orders
+  // against the routing table.
+  std::vector<WarmingOrder> PlanOrders(const std::map<std::string, DemandSeries>& history,
+                                       const PlacementTable& table) const;
+
+ private:
+  WarmingOptions options_;
+  std::unique_ptr<Forecaster> forecaster_;
+  std::unique_ptr<WarmingPolicy> policy_;
+  std::atomic<bool> enabled_;
+  std::atomic<double> next_due_;
+};
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_WARMING_POLICY_H_

@@ -85,7 +85,11 @@ Trace GenerateAzureTrace(const std::vector<std::string>& functions,
     const double rate =
         options.peak_rate / std::pow(static_cast<double>(i + 1), options.popularity_skew);
     Rng rng(seeder.NextU64());
-    switch (AzurePatternFor(i, options.seed)) {
+    const AzurePattern pattern =
+        options.force_pattern >= 0 && options.force_pattern <= 2
+            ? static_cast<AzurePattern>(options.force_pattern)
+            : AzurePatternFor(i, options.seed);
+    switch (pattern) {
       case AzurePattern::kPeriodic:
         traces.push_back(GeneratePeriodic(functions[i], rate, options.horizon_seconds, &rng));
         break;

@@ -28,6 +28,10 @@ struct AzureTraceOptions {
   double popularity_skew = 1.0;
   // Base invocations/second of the most popular function.
   double peak_rate = 0.08;
+  // When >= 0, every function gets this AzurePattern (cast to the enum)
+  // instead of the representative mix — single-class workloads for the
+  // warming benchmark and the forecaster's trace-class regressions.
+  int force_pattern = -1;
 };
 
 // Synthesizes a merged Azure-like trace over `functions`. Pattern types are

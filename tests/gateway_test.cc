@@ -160,6 +160,59 @@ TEST_F(GatewayServiceTest, StatsReflectActivity) {
   EXPECT_NE(stats.body.find("cold=1"), std::string::npos);
 }
 
+TEST_F(GatewayServiceTest, DemandRouteDumpsForecasterInput) {
+  Post("/deploy?name=vgg11", ModelBody(TinyVgg(11)));
+  // No harvest yet: the history is empty (slots=0).
+  const HttpResponse empty = Get("/demand");
+  EXPECT_EQ(empty.status, 200);
+  EXPECT_NE(empty.body.find("\"slots\":0"), std::string::npos);
+
+  Post("/invoke?name=vgg11", "0.5");
+  virtual_time_ = 1.0;
+  Post("/invoke?name=vgg11", "0.5");
+  EXPECT_EQ(Post("/warming/enable", "").status, 200);
+  EXPECT_EQ(Post("/warming/run", "").status, 200);  // Harvests one demand slot.
+  const HttpResponse demand = Get("/demand");
+  EXPECT_EQ(demand.status, 200);
+  EXPECT_NE(demand.body.find("\"slots\":1"), std::string::npos);
+  // The slot holds both invokes — exactly the series the forecaster saw.
+  EXPECT_NE(demand.body.find("\"vgg11\":[2]"), std::string::npos);
+}
+
+TEST_F(GatewayServiceTest, WarmingRoutesToggleAndRun) {
+  Post("/deploy?name=vgg11", ModelBody(TinyVgg(11)));
+  const HttpResponse state = Get("/warming");
+  EXPECT_EQ(state.status, 200);
+  EXPECT_NE(state.body.find("\"enabled\":false"), std::string::npos);
+
+  EXPECT_NE(Post("/warming/enable", "").body.find("\"enabled\":true"), std::string::npos);
+  const HttpResponse run = Post("/warming/run", "");
+  EXPECT_EQ(run.status, 200);
+  EXPECT_NE(run.body.find("\"executed\":"), std::string::npos);
+  const HttpResponse stats = Get("/stats");
+  EXPECT_NE(stats.body.find("warming_enabled=1"), std::string::npos);
+  EXPECT_NE(stats.body.find("warming_cycles=1"), std::string::npos);
+  EXPECT_NE(Post("/warming/disable", "").body.find("\"enabled\":false"), std::string::npos);
+  EXPECT_EQ(Post("/warming/hibernate", "").status, 404);
+}
+
+TEST_F(GatewayServiceTest, RebalanceDryRunPreviewsWithoutSwapping) {
+  Post("/deploy?name=vgg11", ModelBody(TinyVgg(11)));
+  Post("/deploy?name=vgg16", ModelBody(TinyVgg(16)));
+  const uint64_t version = service_.platform().PlacementVersion();
+  const HttpResponse dry = Post("/rebalance?dry_run=1", "");
+  EXPECT_EQ(dry.status, 200);
+  EXPECT_NE(dry.body.find("\"dry_run\":true"), std::string::npos);
+  EXPECT_NE(dry.body.find("\"would_move\":"), std::string::npos);
+  EXPECT_NE(dry.body.find("\"unchanged\":"), std::string::npos);
+  // The serving table did not move.
+  EXPECT_EQ(service_.platform().PlacementVersion(), version);
+
+  const HttpResponse real = Post("/rebalance", "");
+  EXPECT_NE(real.body.find("\"swapped\":true"), std::string::npos);
+  EXPECT_EQ(service_.platform().PlacementVersion(), version + 1);
+}
+
 TEST_F(GatewayServiceTest, ConcurrentInvokesCoalesceIntoBatches) {
   Post("/deploy?name=vgg11", ModelBody(TinyVgg(11)));
   const HttpResponse reference = Post("/invoke?name=vgg11", "0.5,0.5,0.5");  // Warm it.

@@ -105,6 +105,66 @@ TEST(DemandAccumulatorTest, TrimsToMaxSlots) {
   EXPECT_DOUBLE_EQ(history.at("a")[1], 3.0);
 }
 
+TEST(DemandAccumulatorTest, FirstSampleCountsCumulativeTotal) {
+  // The first harvest has no baseline, so the whole cumulative total lands in
+  // the first slot — correct by design: for a fresh accumulator the total IS
+  // the demand observed since the window opened.
+  DemandAccumulator accumulator(8);
+  accumulator.RecordCumulative({{"a", 5}});
+  const auto history = accumulator.History();
+  ASSERT_EQ(history.at("a").size(), 1u);
+  EXPECT_DOUBLE_EQ(history.at("a")[0], 5.0);
+}
+
+TEST(DemandAccumulatorTest, CounterResetClampsToZero) {
+  // A cumulative counter can regress (process restart, registry reset). The
+  // slot clamps to zero instead of going negative or recounting history, and
+  // subsequent deltas resume from the new baseline.
+  DemandAccumulator accumulator(8);
+  accumulator.RecordCumulative({{"a", 10}});
+  accumulator.RecordCumulative({{"a", 3}});  // Reset below the baseline.
+  accumulator.RecordCumulative({{"a", 7}});
+  const auto history = accumulator.History();
+  ASSERT_EQ(history.at("a").size(), 3u);
+  EXPECT_DOUBLE_EQ(history.at("a")[1], 0.0);
+  EXPECT_DOUBLE_EQ(history.at("a")[2], 4.0);
+}
+
+TEST(DemandAccumulatorTest, WraparoundKeepsSeriesAligned) {
+  // Once the ring is full every close trims the oldest slot from *every*
+  // series, including ones for functions that appeared late — lengths must
+  // stay equal or the correlation term would misalign slots across functions.
+  DemandAccumulator accumulator(3);
+  accumulator.RecordCumulative({{"a", 1}});
+  accumulator.RecordCumulative({{"a", 2}, {"b", 10}});
+  accumulator.RecordCumulative({{"a", 3}, {"b", 20}});
+  accumulator.RecordCumulative({{"a", 4}, {"b", 30}});  // First trim.
+  accumulator.RecordCumulative({{"a", 5}, {"b", 40}});
+  EXPECT_EQ(accumulator.Slots(), 3u);
+  const auto history = accumulator.History();
+  ASSERT_EQ(history.at("a").size(), 3u);
+  ASSERT_EQ(history.at("b").size(), 3u);
+  EXPECT_DOUBLE_EQ(history.at("a")[0], 1.0);  // Slots 3..5 survive.
+  EXPECT_DOUBLE_EQ(history.at("a")[2], 1.0);
+  EXPECT_DOUBLE_EQ(history.at("b")[0], 10.0);
+  EXPECT_DOUBLE_EQ(history.at("b")[2], 10.0);
+}
+
+TEST(DemandAccumulatorTest, AbsentFunctionKeepsItsBaseline) {
+  // Regression: a function missing from one harvest (e.g. its counter was
+  // not yet bound) must keep its cumulative baseline. Replacing the baseline
+  // map wholesale made the function's entire historical total reappear as a
+  // single slot's demand on the next harvest.
+  DemandAccumulator accumulator(8);
+  accumulator.RecordCumulative({{"a", 5}, {"b", 2}});
+  accumulator.RecordCumulative({{"a", 8}});            // b absent this harvest.
+  accumulator.RecordCumulative({{"a", 8}, {"b", 3}});  // b reappears.
+  const auto history = accumulator.History();
+  ASSERT_EQ(history.at("b").size(), 3u);
+  EXPECT_DOUBLE_EQ(history.at("b")[1], 0.0);  // No demand observed while absent.
+  EXPECT_DOUBLE_EQ(history.at("b")[2], 1.0);  // Delta from baseline 2, not 0.
+}
+
 // --- Policies -----------------------------------------------------------------
 
 TEST(PlacementPolicyTest, HashPlaceOneMatchesBatchCompute) {

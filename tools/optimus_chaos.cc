@@ -26,7 +26,14 @@
 // cycle. Storm output is counters-only (no wall-clock telemetry), so a
 // fixed seed is bit-reproducible: CI runs the sweep twice and diffs stdout.
 //
-// Usage: optimus_chaos [--seeds N] [--requests M] [--smoke] [--storm]
+// --warming switches to the forecast-driven warming sweep (DESIGN.md §17):
+// manual warming cycles interleave with a skewed request stream while the
+// `warming.prefetch` fault aborts a random subset of speculative orders, and
+// the pass asserts that the warming bucket reconciles exactly, that
+// speculation never perturbs the reactive start counters, and that no
+// container is left half-transformed.
+//
+// Usage: optimus_chaos [--seeds N] [--requests M] [--smoke] [--storm] [--warming]
 // Exits non-zero on the first invariant violation.
 
 #include <algorithm>
@@ -563,6 +570,128 @@ void RunStormPass(uint64_t seed, int requests, const Zoo& zoo,
       (unsigned long long)platform.PlacementVersion());
 }
 
+// --warming: the forecast-driven warming sweep (DESIGN.md §17). Manual
+// WarmNow cadence (interval 0 — no background thread) keeps the pass
+// deterministic in virtual time; the armed `warming.prefetch` fault aborts a
+// random subset of speculative orders. Asserts the warming bucket reconciles
+// exactly (every order lands in prewarms/skipped/failures, every pre-warm
+// ends as a hit, waste, or a still-live container), that speculation never
+// perturbs the reactive start counters, and that no container is left
+// half-transformed. Counters-only output, bit-reproducible per seed.
+void RunWarmingPass(uint64_t seed, int requests, const Zoo& zoo,
+                    const std::map<std::string, std::vector<float>>& reference) {
+  PlatformOptions options;
+  options.num_nodes = 2;
+  options.containers_per_node = 2;
+  options.warm_plan_cache = false;
+  options.warming.enabled = true;
+  options.warming.interval = 0.0;  // Cycles only via the manual WarmNow below.
+  AnalyticCostModel costs;
+  OptimusPlatform platform(&costs, options);
+  for (size_t i = 0; i < zoo.names.size(); ++i) {
+    platform.Deploy(zoo.names[i], zoo.models[i]);
+  }
+
+  fault::ScopedFaults faults("warming.prefetch=prob:0.2@" + std::to_string(seed + 17));
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 29);
+  const std::vector<float> input(8, 0.5f);
+
+  size_t ok = 0;
+  size_t cycles_run = 0;
+  double now = 0.0;
+  for (int i = 0; i < requests; ++i) {
+    // Skewed mix: one function takes ~2/3 of traffic so the forecaster has a
+    // clear winner to pre-warm; the tail keeps transforms flowing.
+    const size_t pick =
+        rng.UniformInt(0, 5) < 4
+            ? 0
+            : static_cast<size_t>(
+                  rng.UniformInt(1, static_cast<int64_t>(zoo.names.size()) - 1));
+    const std::string& function = zoo.names[pick];
+    // Steps wider than a third of the keep-alive window: tail functions
+    // expire between arrivals, so the forecaster has real cold starts to
+    // prevent and the sweep exercises every pre-warm path, not just skips.
+    now = static_cast<double>(i) * 250.0;
+    InvokeResult result;
+    const Status status = platform.TryInvoke(function, input, now, &result);
+    // The prefetch fault only aborts speculative orders — foreground invokes
+    // must be untouched.
+    CHAOS_CHECK(status.ok(), "seed %llu warming request %d (%s): unexpected %s",
+                (unsigned long long)seed, i, function.c_str(), ErrorCodeName(status.code()));
+    if (status.ok()) {
+      ++ok;
+      const auto it = reference.find(function);
+      CHAOS_CHECK(it != reference.end() && result.output == it->second,
+                  "seed %llu warming request %d (%s): output differs from scratch reference",
+                  (unsigned long long)seed, i, function.c_str());
+    }
+    if (i % 10 == 9) {
+      platform.WarmNow(now + 1.0);
+      ++cycles_run;
+      const std::vector<std::string> violations = platform.CheckContainerIntegrity();
+      CHAOS_CHECK(violations.empty(), "seed %llu warming cycle %zu: %s",
+                  (unsigned long long)seed, cycles_run,
+                  violations.empty() ? "" : violations.front().c_str());
+    }
+  }
+
+  const PlatformCounters counters = platform.counters();
+  const uint64_t prefetch_fires = fault::Fires("warming.prefetch");
+  const size_t prewarms =
+      counters.warming_prewarms_cold + counters.warming_prewarms_transform;
+
+  CHAOS_CHECK(counters.warming_cycles == cycles_run,
+              "seed %llu warming: %zu cycles counted, %zu WarmNow calls",
+              (unsigned long long)seed, counters.warming_cycles, cycles_run);
+  // Every planned order lands in exactly one bucket.
+  CHAOS_CHECK(prewarms + counters.warming_skipped + counters.warming_failures ==
+                  counters.warming_orders,
+              "seed %llu warming: %zu prewarms + %zu skipped + %zu failures != %zu orders",
+              (unsigned long long)seed, prewarms, counters.warming_skipped,
+              counters.warming_failures, counters.warming_orders);
+  CHAOS_CHECK(counters.warming_orders <=
+                  counters.warming_cycles *
+                      static_cast<size_t>(options.warming.budget.max_orders_per_cycle),
+              "seed %llu warming: %zu orders exceed %zu cycles x %d budget",
+              (unsigned long long)seed, counters.warming_orders, counters.warming_cycles,
+              options.warming.budget.max_orders_per_cycle);
+  // Each prefetch fire is charged as a warming failure (other failure paths
+  // need un-armed transform faults, so fires bound the count from below).
+  CHAOS_CHECK(counters.warming_failures >= prefetch_fires,
+              "seed %llu warming: failures=%zu < %llu warming.prefetch fires",
+              (unsigned long long)seed, counters.warming_failures,
+              (unsigned long long)prefetch_fires);
+  CHAOS_CHECK(counters.transform_failures == 0,
+              "seed %llu warming: prefetch faults leaked into transform_failures=%zu",
+              (unsigned long long)seed, counters.transform_failures);
+  // Speculation has its own bucket: the reactive start counters still sum to
+  // the successful invokes.
+  CHAOS_CHECK(counters.warm_starts + counters.transforms + counters.cold_starts == ok,
+              "seed %llu warming: start counters %zu+%zu+%zu != %zu successes",
+              (unsigned long long)seed, counters.warm_starts, counters.transforms,
+              counters.cold_starts, ok);
+  // Pre-warm conservation: issued == consumed + expired + still-live.
+  CHAOS_CHECK(prewarms == counters.warming_hits + counters.warming_waste +
+                              platform.PrewarmedContainers(),
+              "seed %llu warming: %zu prewarms != %zu hits + %zu waste + %zu live",
+              (unsigned long long)seed, prewarms, counters.warming_hits,
+              counters.warming_waste, platform.PrewarmedContainers());
+  for (const std::string& violation : platform.CheckContainerIntegrity()) {
+    CHAOS_CHECK(false, "seed %llu warming: %s", (unsigned long long)seed, violation.c_str());
+  }
+
+  std::printf(
+      "seed %llu warming: ok=%zu warm=%zu transform=%zu cold=%zu cycles=%zu orders=%zu "
+      "prewarms[cold=%zu transform=%zu] hits=%zu waste=%zu skipped=%zu failures=%zu "
+      "fires[prefetch=%llu] live_prewarmed=%zu\n",
+      (unsigned long long)seed, ok, counters.warm_starts, counters.transforms,
+      counters.cold_starts, counters.warming_cycles, counters.warming_orders,
+      counters.warming_prewarms_cold, counters.warming_prewarms_transform,
+      counters.warming_hits, counters.warming_waste, counters.warming_skipped,
+      counters.warming_failures, (unsigned long long)prefetch_fires,
+      platform.PrewarmedContainers());
+}
+
 }  // namespace
 }  // namespace optimus
 
@@ -570,6 +699,7 @@ int main(int argc, char** argv) {
   int seeds = 10;
   int requests = 120;
   bool storm = false;
+  bool warming = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
       seeds = std::atoi(argv[++i]);
@@ -580,8 +710,11 @@ int main(int argc, char** argv) {
       requests = 40;
     } else if (std::strcmp(argv[i], "--storm") == 0) {
       storm = true;
+    } else if (std::strcmp(argv[i], "--warming") == 0) {
+      warming = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--seeds N] [--requests M] [--smoke] [--storm]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--seeds N] [--requests M] [--smoke] [--storm] [--warming]\n",
                    argv[0]);
       return 2;
     }
@@ -601,6 +734,10 @@ int main(int argc, char** argv) {
       // Storm mode is its own sweep: counters-only output, bit-reproducible
       // for a fixed seed (the regular passes print wall-clock telemetry).
       optimus::RunStormPass(seed, requests, zoo, reference);
+      continue;
+    }
+    if (warming) {
+      optimus::RunWarmingPass(seed, requests, zoo, reference);
       continue;
     }
     optimus::RunPlatformPass(seed, requests, zoo, reference);

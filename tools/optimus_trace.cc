@@ -152,6 +152,19 @@ int RunSelftest(const Options& options) {
   expect(warm.status == 200 && warm.body.find("start=Warm") != std::string::npos,
          "warm invoke of vgg16");
 
+  // Exercise the forecast-driven warming surface so the optimus_warming_*
+  // metric families register before the /metrics scrape below.
+  const HttpResponse enable = HttpFetch(port, "POST", "/warming/enable");
+  expect(enable.status == 200 && enable.body.find("\"enabled\":true") != std::string::npos,
+         "POST /warming/enable");
+  now.store(200.0);
+  const HttpResponse cycle = HttpFetch(port, "POST", "/warming/run");
+  expect(cycle.status == 200 && cycle.body.find("\"executed\":") != std::string::npos,
+         "POST /warming/run");
+  const HttpResponse warming = HttpFetch(port, "GET", "/warming");
+  expect(warming.status == 200 && warming.body.find("\"cycles\":") != std::string::npos,
+         "GET /warming reports cycle count");
+
   const HttpResponse metrics = HttpFetch(port, "GET", "/metrics");
   expect(metrics.status == 200, "/metrics status");
   expect(metrics.content_type.find("text/plain") != std::string::npos, "/metrics content type");
@@ -159,6 +172,8 @@ int RunSelftest(const Options& options) {
          "/metrics exposes optimus_starts_total");
   expect(metrics.body.find("optimus_invoke_seconds") != std::string::npos,
          "/metrics exposes optimus_invoke_seconds");
+  expect(metrics.body.find("optimus_warming_cycles_total") != std::string::npos,
+         "/metrics exposes optimus_warming_cycles_total");
 
   const HttpResponse trace = HttpFetch(port, "GET", "/trace");
   expect(trace.status == 200, "/trace status");
