@@ -23,8 +23,12 @@ void Run() {
   repository.emplace("function_c", BuildVgg(16));  // Donor's function (Model X).
   repository.emplace("function_d", BuildVgg(19));  // Requested function (Model Y).
 
+  std::map<std::string, const Model*> repository_ptrs;
+  for (const auto& [name, model] : repository) {
+    repository_ptrs.emplace(name, &model);
+  }
   PolicyContext context;
-  context.repository = &repository;
+  context.repository = &repository_ptrs;
   context.costs = &costs;
   context.profile = SystemProfile::Cpu();
 

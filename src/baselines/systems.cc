@@ -131,7 +131,7 @@ class OptimusPolicy final : public StartupPolicy {
       if (it == context_.repository->end()) {
         continue;
       }
-      const TransformPlan& plan = cache_.GetOrPlan(it->second, *request.dest);
+      const TransformPlan& plan = cache_.GetOrPlan(*it->second, *request.dest);
       if (plan.total_cost < best_cost) {
         best_cost = plan.total_cost;
         best_donor = donor;

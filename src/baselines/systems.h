@@ -70,9 +70,11 @@ class StartupPolicy {
 };
 
 // Shared context the policies draw on. `repository` maps function name to its
-// (structure-only) model and must outlive the policy.
+// (structure-only) model; the map and the pointed-to models must outlive the
+// policy. Pointer values let many functions alias one model structure (the
+// million-function simulation regime) without duplicating Model storage.
 struct PolicyContext {
-  const std::map<std::string, Model>* repository = nullptr;
+  const std::map<std::string, const Model*>* repository = nullptr;
   const CostModel* costs = nullptr;
   SystemProfile profile;
   PlannerKind planner = PlannerKind::kGroup;

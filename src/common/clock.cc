@@ -1,0 +1,38 @@
+#include "src/common/clock.h"
+
+#include <chrono>
+
+namespace optimus {
+
+namespace {
+
+std::chrono::steady_clock::time_point ProcessEpoch() {
+  static const std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+double SystemClock::Now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - ProcessEpoch()).count();
+}
+
+const SystemClock& SystemClock::Instance() {
+  static const SystemClock clock;
+  // Touch the epoch so the first Now() reading is relative to construction,
+  // not to the first time anyone asks.
+  ProcessEpoch();
+  return clock;
+}
+
+double VirtualClock::AdvanceTo(double now) {
+  double prev = now_.load(std::memory_order_relaxed);
+  while (now > prev) {
+    if (now_.compare_exchange_weak(prev, now, std::memory_order_acq_rel)) {
+      return now;
+    }
+  }
+  return prev;
+}
+
+}  // namespace optimus

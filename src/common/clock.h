@@ -1,0 +1,63 @@
+// Clock — the one time source behind keep-alive, eviction, and warming-cycle
+// logic (DESIGN.md §18).
+//
+// Every policy that reasons about elapsed time (the §4.2 idle timer, the
+// keep-alive reaper, greedy-dual aging, the warming cadence) consults a Clock
+// rather than calling a chrono API or threading ad-hoc `now` doubles around.
+// Two implementations cover both execution worlds:
+//
+//   * SystemClock  — monotonic wall seconds since process start (the live
+//     gateway/platform deployment);
+//   * VirtualClock — a CAS-max advanced virtual time (the simulator's event
+//     loop, and the live platform's caller-driven clock).
+//
+// Because the same policy code reads the same interface in both worlds, the
+// sim/live twin property holds by construction: a simulation and a live run
+// presented with the same sequence of clock readings make identical
+// keep-alive, eviction, and warming decisions.
+
+#ifndef OPTIMUS_SRC_COMMON_CLOCK_H_
+#define OPTIMUS_SRC_COMMON_CLOCK_H_
+
+#include <atomic>
+
+namespace optimus {
+
+// Seconds since an implementation-defined epoch. Readings are monotone
+// non-decreasing; implementations must be safe to read from any thread.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual double Now() const = 0;
+};
+
+// Monotonic wall-clock seconds since process start (steady_clock based, so
+// immune to NTP steps). The live deployment's time source.
+class SystemClock final : public Clock {
+ public:
+  double Now() const override;
+
+  // Process-wide instance (the epoch is captured on first use).
+  static const SystemClock& Instance();
+};
+
+// Manually advanced virtual time. AdvanceTo is a CAS-max: time never moves
+// backwards, and a caller presenting a stale timestamp (normal under
+// concurrency — threads race between reading their timestamp and reaching
+// the clock) is clamped forward to the newest observed time.
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(double start = 0.0) : now_(start) {}
+
+  double Now() const override { return now_.load(std::memory_order_acquire); }
+
+  // Advances the clock to max(now, current) and returns that effective time.
+  double AdvanceTo(double now);
+
+ private:
+  std::atomic<double> now_;
+};
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_COMMON_CLOCK_H_

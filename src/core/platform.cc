@@ -104,6 +104,9 @@ OptimusPlatform::OptimusPlatform(const CostModel* costs, const PlatformOptions& 
   // Always construct the engine (the gateway admin route can enable warming
   // at runtime); the loop thread only exists when a cadence is configured.
   warming_engine_ = std::make_unique<WarmingEngine>(options.warming);
+  // The engine's cadence reads the platform clock — warming, keep-alive, and
+  // drains consult one time source (DESIGN.md §18).
+  warming_engine_->AttachClock(&clock_);
   if (options.rebalance_interval > 0.0) {
     rebalancer_ = std::thread([this] { RebalancerLoop(); });
   }
@@ -219,7 +222,7 @@ void OptimusPlatform::WarmingLoop() {
     // kNode, and invokers signalling RequestWarming must never block on a
     // speculative transform.
     lock.Unlock();
-    WarmNow(last_now_.load(std::memory_order_relaxed));
+    WarmNow(clock_.Now());
     lock.Lock();
   }
 }
@@ -584,13 +587,7 @@ double OptimusPlatform::AdvanceClock(double now) {
   // CAS-max: the clock only moves forward. A caller presenting an older `now`
   // (threads race between taking their timestamp and arriving here) is
   // clamped to the newest observed time rather than rejected.
-  double prev = last_now_.load(std::memory_order_relaxed);
-  while (prev < now) {
-    if (last_now_.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
-      return now;
-    }
-  }
-  return prev;
+  return clock_.AdvanceTo(now);
 }
 
 Status OptimusPlatform::TryInvoke(const std::string& function, const std::vector<float>& input,

@@ -75,6 +75,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/clock.h"
 #include "src/common/status.h"
 #include "src/common/sync.h"
 #include "src/common/thread_pool.h"
@@ -309,7 +310,9 @@ class OptimusPlatform {
     telemetry::Histogram* invoke_seconds = nullptr;
   };
 
-  // CAS-max clock advance; returns the effective time max(now, clock).
+  // CAS-max advance of the platform's VirtualClock; returns the effective
+  // time max(now, clock). Thin wrapper kept so every caller funnels through
+  // the shared Clock abstraction (DESIGN.md §18).
   double AdvanceClock(double now);
   // Routing that tolerates a stale placement table: the table's primary when
   // it is accepting routes, otherwise a deterministic probe over accepting
@@ -349,7 +352,11 @@ class OptimusPlatform {
   std::map<std::string, FunctionEntry> repository_ GUARDED_BY(repository_mutex_);
   std::unique_ptr<NodePool> pool_;
   std::unique_ptr<PlacementManager> placement_;
-  std::atomic<double> last_now_{0.0};
+  // The platform's single time source: keep-alive reaping, drain deadlines,
+  // rebalance cadence, and warming cycles all read this clock, which invokers
+  // advance with their (virtual or wall) timestamps. The simulator drives the
+  // same logic from its own VirtualClock — the sim/live twin property.
+  VirtualClock clock_;
   // Background rebalancer (running only when rebalance_interval > 0). Rank
   // kRebalance sits above kNode/kPlanCache* because RebalancerLoop drops the
   // mutex before calling RebalanceNow (which takes kRepository).

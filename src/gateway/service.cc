@@ -7,6 +7,7 @@
 #include <sstream>
 #include <thread>
 
+#include "src/common/clock.h"
 #include "src/common/fault.h"
 
 namespace optimus {
@@ -104,10 +105,9 @@ HttpResponse JsonError(ErrorCode code, const std::string& message) {
 
 HttpResponse JsonError(const Status& status) { return JsonError(status.code(), status.message()); }
 
-double WallSeconds() {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+// Monotonic wall seconds off the shared SystemClock (DESIGN.md §18) —
+// deadline math and the default request clock read the same source.
+double WallSeconds() { return SystemClock::Instance().Now(); }
 
 }  // namespace
 
@@ -139,10 +139,9 @@ OptimusHttpService::OptimusHttpService(const CostModel* costs, const PlatformOpt
                                                     "Functions registered in the repository")),
       jitter_rng_(gateway.jitter_seed) {
   if (!clock_) {
-    const auto start = std::chrono::steady_clock::now();
-    clock_ = [start] {
-      return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-    };
+    // Default to the process-wide SystemClock so gateway timestamps, platform
+    // keep-alive, and warming cadence share one monotonic time source.
+    clock_ = [] { return SystemClock::Instance().Now(); };
   }
 }
 

@@ -1,0 +1,80 @@
+// Streaming simulation statistics (DESIGN.md §18): constant-memory
+// accumulators that replace the per-request RequestRecord vector at scale.
+//
+//   * LatencyHistogram — log-bucketed (5% geometric buckets): percentiles to
+//     within one bucket's relative width, in a few KB regardless of count;
+//   * ReservoirSample  — seeded Algorithm-R reservoir: an unbiased
+//     fixed-size sample of service times for exact-sample diagnostics.
+//
+// Both are deterministic in the input sequence (the reservoir additionally
+// in its seed), so two simulator runs produce bit-identical summaries.
+
+#ifndef OPTIMUS_SRC_SIM_SIM_STATS_H_
+#define OPTIMUS_SRC_SIM_SIM_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace optimus {
+
+// Histogram over positive values with geometrically spaced buckets. Bucket 0
+// catches values <= kFirstUpper; bucket i spans
+// (kFirstUpper * kGrowth^(i-1), kFirstUpper * kGrowth^i]. With 5% growth a
+// percentile read is within ~5% relative error of the exact order statistic.
+class LatencyHistogram {
+ public:
+  static constexpr double kFirstUpper = 1e-6;  // Seconds.
+  static constexpr double kGrowth = 1.05;
+
+  void Record(double seconds);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return max_; }
+  double Mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+
+  // Quantile q in [0, 1] using the same rank convention as the record-based
+  // path (rank = min(count-1, floor(q * count))); returns the geometric
+  // midpoint of the rank's bucket, clamped into [min, max].
+  double Percentile(double q) const;
+
+  // Exposed for determinism tests: bit-identical runs produce bit-identical
+  // bucket vectors.
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
+
+ private:
+  static size_t BucketIndex(double seconds);
+
+  std::vector<uint64_t> buckets_;  // Grown lazily to the highest seen bucket.
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Fixed-capacity uniform sample (Vitter's Algorithm R) over a stream.
+// Deterministic from the seed and the input sequence.
+class ReservoirSample {
+ public:
+  explicit ReservoirSample(size_t capacity = 4096, uint64_t seed = 0x0ccab5eed)
+      : rng_(seed), capacity_(capacity) {}
+
+  void Add(double value);
+
+  uint64_t seen() const { return seen_; }
+  const std::vector<double>& samples() const { return samples_; }
+  std::vector<double> Sorted() const;
+
+ private:
+  Rng rng_;
+  size_t capacity_;
+  uint64_t seen_ = 0;
+  std::vector<double> samples_;
+};
+
+}  // namespace optimus
+
+#endif  // OPTIMUS_SRC_SIM_SIM_STATS_H_

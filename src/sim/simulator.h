@@ -1,5 +1,5 @@
-// Discrete-event cluster simulator for end-to-end serverless ML inference
-// experiments (paper §8.3-§8.5).
+// Streaming discrete-event cluster simulator for end-to-end serverless ML
+// inference experiments (paper §8.3-§8.5; DESIGN.md §18).
 //
 // Requests flow through the lifecycle the paper's Figure 1 describes:
 // dispatch to a node (via the load balancer), container acquisition
@@ -7,17 +7,34 @@
 // sandbox+runtime init, model load or transformation, inference compute.
 // Virtual time comes from the calibrated cost model, so results are
 // deterministic and machine-independent.
+//
+// The core is *streaming*: arrivals are pulled one at a time from a
+// TraceSource (only the next arrival lives in the event queue), warming
+// cycles and churn events schedule their successors lazily from their
+// handlers, and accounting accumulates into log-bucketed histograms plus a
+// seeded reservoir sample. Simulation memory is therefore
+// O(nodes + functions + histogram buckets) — independent of request count —
+// which is what lets bench_sim_scale push ≥1M requests over ≥1000 nodes in
+// one pass. Per-request records remain available (RecordMode) for the
+// small-trace ablation benches and tests, bit-for-bit compatible with the
+// pre-streaming simulator.
 
 #ifndef OPTIMUS_SRC_SIM_SIMULATOR_H_
 #define OPTIMUS_SRC_SIM_SIMULATOR_H_
 
+#include <array>
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "src/baselines/systems.h"
 #include "src/placement/placement.h"
+#include "src/sim/sim_stats.h"
 #include "src/warming/policy.h"
+#include "src/workload/function_table.h"
 #include "src/workload/trace.h"
+#include "src/workload/trace_source.h"
 
 namespace optimus {
 
@@ -40,6 +57,12 @@ struct NodeChurnEvent {
   double grace = 0.0;
 };
 
+// Whether the simulator keeps one RequestRecord per request (O(requests)
+// memory). kAuto resolves to kOn for the materialized-Trace entry point
+// (existing benches and tests read `records`) and kOff for the streaming
+// entry point (scale runs must stay bounded).
+enum class RecordMode : uint8_t { kAuto = 0, kOn, kOff };
+
 struct SimConfig {
   SystemType system = SystemType::kOptimus;
   int num_nodes = 2;
@@ -53,6 +76,12 @@ struct SimConfig {
   // model sharing-aware policy; existing systems hash.
   PlacementOptions placement;
   PlannerKind planner = PlannerKind::kGroup;
+
+  // --- Streaming accounting (DESIGN.md §18). --------------------------------
+  RecordMode records = RecordMode::kAuto;
+  // Capacity and seed of the service-time reservoir sample.
+  size_t sample_capacity = 4096;
+  uint64_t sample_seed = 0x0ccab5eed;
 
   // --- Memory modeling (§6 "fine-grained resource allocation"). -------------
   // Per-node memory budget; 0 disables memory accounting entirely.
@@ -83,7 +112,7 @@ struct SimConfig {
 // resident weights with framework overhead).
 int64_t ContainerFootprintBytes(const Model& model);
 
-// Per-request latency decomposition.
+// Per-request latency decomposition (RecordMode::kOn only).
 struct RequestRecord {
   std::string function;
   double arrival = 0.0;
@@ -97,7 +126,24 @@ struct RequestRecord {
 };
 
 struct SimResult {
+  // Per-request records; populated only under RecordMode::kOn (the default
+  // for the materialized-Trace entry point). When present, every aggregate
+  // accessor below computes from the records — bit-for-bit the pre-streaming
+  // behavior.
   std::vector<RequestRecord> records;
+
+  // --- Streaming accounting (always populated; DESIGN.md §18). --------------
+  uint64_t total_requests = 0;
+  double sum_wait = 0.0;
+  double sum_init = 0.0;
+  double sum_load = 0.0;
+  double sum_compute = 0.0;
+  // Start-type counts indexed by StartType (kWarm/kTransform/kCold).
+  std::array<uint64_t, 3> start_counts{};
+  // Log-bucketed service-time distribution (~5% relative resolution).
+  LatencyHistogram service_hist;
+  // Seeded uniform sample of service times.
+  ReservoirSample service_sample;
 
   // Node-churn accounting (all zero when SimConfig::churn is empty).
   size_t revocations = 0;
@@ -121,7 +167,8 @@ struct SimResult {
   size_t warming_skipped = 0;
   // Pre-warmed containers still alive and unused at the horizon.
   size_t warming_unused = 0;
-  // Virtual seconds between each pre-warm and its first hit.
+  // Virtual seconds between each pre-warm and its first hit. Bounded by the
+  // number of warming orders (O(horizon / interval)), not by requests.
   std::vector<double> warming_lead_seconds;
 
   size_t WarmingPrewarms() const { return warming_prewarms_cold + warming_prewarms_transform; }
@@ -135,14 +182,46 @@ struct SimResult {
   double FractionOf(StartType type) const;
   size_t CountOf(StartType type) const;
 
-  // Service-time percentile (q in [0, 1], e.g. 0.5 / 0.95 / 0.99).
+  // Service-time percentile (q in [0, 1], e.g. 0.5 / 0.95 / 0.99). With
+  // records, exact against a lazily sorted (memoized) copy; without, read
+  // from the log-bucketed histogram (within one bucket's relative width).
+  // Not thread-safe on first call (builds the memo).
   double ServiceTimePercentile(double q) const;
+
+ private:
+  // Memoized sorted service times for the record-based percentile path —
+  // sorting all records per call was the old O(n log n)-per-query cost.
+  mutable std::vector<double> sorted_service_times_;
+};
+
+// The function universe a streaming simulation serves. Functions alias model
+// structures via `function_model` (many functions per model is the
+// million-function regime: distinct names, shared architecture), so memory
+// stays O(functions + distinct models).
+struct SimWorkload {
+  // Distinct model structures. Must outlive the simulation.
+  const std::vector<Model>* models = nullptr;
+  // Interned names of every function the source may emit.
+  const FunctionTable* functions = nullptr;
+  // FunctionId -> index into *models. Empty means identity (function i
+  // serves models[i]; requires functions->size() == models->size()).
+  std::vector<int32_t> function_model;
+  // Demand history for the initial placement solve; may be empty.
+  std::map<std::string, DemandSeries> history;
 };
 
 // Runs the trace through a cluster of the configured system. `models` are the
 // registered (structure-only) models; every function in `trace` must appear.
+// Materializes nothing extra: this is the streaming core behind a
+// TraceVectorSource adapter with RecordMode::kAuto resolving to kOn.
 SimResult RunSimulation(const std::vector<Model>& models, const Trace& trace,
                         const SimConfig& config, const CostModel& costs);
+
+// Streaming entry point: pulls arrivals from `source` (which must emit only
+// functions present in `workload.functions`). RecordMode::kAuto resolves to
+// kOff — memory stays O(nodes + functions), independent of request count.
+SimResult RunSimulationStream(const SimWorkload& workload, TraceSource* source,
+                              const SimConfig& config, const CostModel& costs);
 
 }  // namespace optimus
 

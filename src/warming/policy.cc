@@ -75,6 +75,8 @@ WarmingEngine::WarmingEngine(const WarmingOptions& options)
       enabled_(options.enabled),
       next_due_(options.interval) {}
 
+bool WarmingEngine::Due() { return clock_ != nullptr && Due(clock_->Now()); }
+
 bool WarmingEngine::Due(double now) {
   if (!enabled() || options_.interval <= 0.0) {
     return false;

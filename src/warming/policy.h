@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/clock.h"
 #include "src/placement/placement.h"
 #include "src/warming/forecaster.h"
 #include "src/workload/trace.h"
@@ -98,6 +99,16 @@ class WarmingEngine {
   // interval is non-positive.
   bool Due(double now);
 
+  // Binds the cycle cadence to a shared time source — the platform's
+  // VirtualClock live, SystemClock for wall-clock callers — so warming reads
+  // the same clock as keep-alive and eviction (DESIGN.md §18). Unowned; the
+  // clock must outlive the engine. Attach before any thread calls Due().
+  void AttachClock(const Clock* clock) { clock_ = clock; }
+  const Clock* clock() const { return clock_; }
+
+  // Due(clock->Now()) against the attached clock; false when none attached.
+  bool Due();
+
   // Forecasts every function in `history` and plans budget-capped orders
   // against the routing table.
   std::vector<WarmingOrder> PlanOrders(const std::map<std::string, DemandSeries>& history,
@@ -109,6 +120,7 @@ class WarmingEngine {
   std::unique_ptr<WarmingPolicy> policy_;
   std::atomic<bool> enabled_;
   std::atomic<double> next_due_;
+  const Clock* clock_ = nullptr;
 };
 
 }  // namespace optimus

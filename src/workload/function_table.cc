@@ -1,0 +1,23 @@
+#include "src/workload/function_table.h"
+
+namespace optimus {
+
+FunctionId FunctionTable::Intern(const std::string& name) {
+  const auto it = ids_.find(std::string_view(name));
+  if (it != ids_.end()) {
+    return it->second;
+  }
+  const FunctionId id = static_cast<FunctionId>(names_.size());
+  names_.push_back(name);
+  // The string_view key points into the deque-owned string, which never
+  // moves; the map entry therefore stays valid for the table's lifetime.
+  ids_.emplace(std::string_view(names_.back()), id);
+  return id;
+}
+
+FunctionId FunctionTable::Find(const std::string& name) const {
+  const auto it = ids_.find(std::string_view(name));
+  return it == ids_.end() ? kInvalidFunction : it->second;
+}
+
+}  // namespace optimus

@@ -1,0 +1,66 @@
+#include "src/workload/trace_source.h"
+
+#include <algorithm>
+#include <string>
+
+namespace optimus {
+
+bool TraceVectorSource::Next(Arrival* out) {
+  if (cursor_ >= trace_.size()) {
+    return false;
+  }
+  const Invocation& invocation = trace_[cursor_++];
+  out->time = invocation.arrival;
+  out->function = functions_->Intern(invocation.function);
+  return true;
+}
+
+double TraceVectorSource::Horizon() const {
+  // The legacy simulator's horizon: one second past the last arrival.
+  return trace_.empty() ? 1.0 : trace_.back().arrival + 1.0;
+}
+
+PoissonProcessSource::PoissonProcessSource(FunctionTable* functions, size_t num_functions,
+                                           const std::string& name_prefix,
+                                           const Options& options)
+    : options_(options) {
+  rngs_.reserve(num_functions);
+  function_ids_.reserve(num_functions);
+  heap_.reserve(num_functions);
+  Rng seeder(options.seed);
+  for (size_t i = 0; i < num_functions; ++i) {
+    function_ids_.push_back(functions->Intern(name_prefix + std::to_string(i)));
+    rngs_.push_back(seeder.Fork());
+    PushNext(i, 0.0);
+  }
+}
+
+double PoissonProcessSource::RateOf(size_t index) const {
+  // Round-robin class assignment, like GenerateMixedPoissonTrace.
+  return RateFor(static_cast<RateClass>(index % 3)) * options_.rate_multiplier;
+}
+
+void PoissonProcessSource::PushNext(size_t index, double from_time) {
+  const double gap = rngs_[index].Exponential(RateOf(index));
+  const double next = from_time + gap;
+  if (next >= options_.horizon_seconds) {
+    return;  // This function's stream is exhausted.
+  }
+  heap_.push_back(Pending{next, index});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+}
+
+bool PoissonProcessSource::Next(Arrival* out) {
+  if (heap_.empty()) {
+    return false;
+  }
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+  const Pending pending = heap_.back();
+  heap_.pop_back();
+  out->time = pending.time;
+  out->function = function_ids_[pending.index];
+  PushNext(pending.index, pending.time);
+  return true;
+}
+
+}  // namespace optimus

@@ -14,7 +14,10 @@ class SystemsTest : public testing::Test {
     repository_.emplace("tiny_vgg16", TinyVgg(16));
     repository_.emplace("tiny_vgg19", TinyVgg(19));
     repository_.emplace("bert", TinyBert(2, 64));
-    context_.repository = &repository_;
+    for (const auto& [name, model] : repository_) {
+      repository_ptrs_.emplace(name, &model);
+    }
+    context_.repository = &repository_ptrs_;
     context_.costs = &costs_;
     context_.profile = SystemProfile::Cpu();
   }
@@ -35,6 +38,7 @@ class SystemsTest : public testing::Test {
 
   AnalyticCostModel costs_;
   std::map<std::string, Model> repository_;
+  std::map<std::string, const Model*> repository_ptrs_;
   PolicyContext context_;
 };
 
